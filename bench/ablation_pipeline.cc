@@ -1,0 +1,63 @@
+// Ablation (Table 1, "pipelinable") — the effect of first-rows queries on
+// the MEMO and on plan choice.
+//
+// Adding FETCH FIRST n ROWS ONLY makes the pipelinable property
+// interesting: plan *generation* is unchanged (the COTE needs no extra
+// work), but the MEMO keeps more plans (pipelinable variants survive
+// pruning) and the final plan flips from the full-result optimum to a
+// streaming plan chosen on early-termination-discounted cost.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "parser/binder.h"
+
+using namespace cote;         // NOLINT — bench driver
+using namespace cote::bench;  // NOLINT
+
+int main() {
+  Section("Pipelinable property ablation — TPC-H join cores, +/- FETCH FIRST");
+
+  auto catalog = MakeTpchCatalog();
+  const char* kQueries[] = {
+      "SELECT * FROM orders o, lineitem l WHERE o.o_orderkey = l.l_orderkey "
+      "ORDER BY o.o_orderkey",
+      "SELECT * FROM customer c, orders o, lineitem l "
+      "WHERE c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey "
+      "ORDER BY c.c_custkey",
+      "SELECT * FROM supplier s, lineitem l, orders o "
+      "WHERE s.s_suppkey = l.l_suppkey AND o.o_orderkey = l.l_orderkey",
+      "SELECT * FROM part p, partsupp ps, supplier s "
+      "WHERE p.p_partkey = ps.ps_partkey AND s.s_suppkey = ps.ps_suppkey "
+      "ORDER BY p.p_partkey",
+  };
+
+  Optimizer opt(SerialOptions());
+  std::printf("\n%-6s %18s %18s %14s %16s\n", "query",
+              "gen plans (full/topn)", "stored (full/topn)",
+              "topn pipelined", "cost full/topn");
+  int q = 0;
+  for (const char* sql : kQueries) {
+    auto full = Binder::BindSql(*catalog, sql);
+    auto topn = Binder::BindSql(*catalog,
+                                std::string(sql) + " FETCH FIRST 10 ROWS ONLY");
+    if (!full.ok() || !topn.ok()) {
+      std::fprintf(stderr, "bind failed\n");
+      return 1;
+    }
+    OptimizeResult rf = MustOptimize(opt, *full, "full");
+    OptimizeResult rt = MustOptimize(opt, *topn, "topn");
+    std::printf("Q%-5d %9lld/%-9lld %9lld/%-9lld %14s %10.0f/%-8.0f\n", ++q,
+                static_cast<long long>(rf.stats.join_plans_generated.total()),
+                static_cast<long long>(rt.stats.join_plans_generated.total()),
+                static_cast<long long>(rf.stats.plans_stored),
+                static_cast<long long>(rt.stats.plans_stored),
+                rt.best_plan->pipelinable ? "yes" : "no",
+                rf.stats.best_cost, rt.stats.best_cost);
+  }
+  std::printf(
+      "\ngenerated counts identical (plan generation is property-blind; the"
+      " COTE needs no change);\nstored plans grow (extra Pareto dimension);"
+      " FETCH FIRST picks streaming plans.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+#include "bench/bench_util.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cote {
+namespace bench {
+
+OptimizerOptions SerialOptions() {
+  OptimizerOptions o;
+  o.enumeration.max_composite_inner = 2;
+  return o;
+}
+
+OptimizerOptions ParallelOptions() {
+  OptimizerOptions o = OptimizerOptions::Parallel(4);
+  o.enumeration.max_composite_inner = 2;
+  return o;
+}
+
+TimeModel CalibrateTimeModel(const OptimizerOptions& options) {
+  Workload training = TrainingWorkload();
+  Optimizer opt(options);
+  // The paper's model is T = Tinst * sum(Ct * Pt) with no constant term;
+  // an intercept overfits the training set's fixed cost and wrecks the
+  // estimates for sub-millisecond queries.
+  TimeModelCalibrator cal(/*with_intercept=*/false,
+                          /*relative_weighting=*/true);
+  for (int i = 0; i < training.size(); ++i) {
+    OptimizeResult r = MustOptimize(opt, training.queries[i],
+                                    training.labels[i]);
+    // Use the median-of-3 time for a stable regression target.
+    double seconds = MedianCompileSeconds(opt, training.queries[i]);
+    cal.AddObservation(r.stats.join_plans_generated, seconds);
+  }
+  auto model = cal.Fit();
+  if (!model.ok()) {
+    std::fprintf(stderr, "time model calibration failed: %s\n",
+                 model.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(model).value();
+}
+
+OptimizeResult MustOptimize(const Optimizer& opt, const QueryGraph& q,
+                            const std::string& label) {
+  auto r = opt.Optimize(q);
+  if (!r.ok()) {
+    std::fprintf(stderr, "optimize(%s) failed: %s\n", label.c_str(),
+                 r.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(r).value();
+}
+
+double MedianCompileSeconds(const Optimizer& opt, const QueryGraph& q,
+                            OptimizeResult* last) {
+  std::vector<double> times;
+  OptimizeResult result;
+  MustOptimize(opt, q, "warmup");  // warm caches/allocator before timing
+  for (int i = 0; i < 3; ++i) {
+    result = MustOptimize(opt, q, "repeat");
+    times.push_back(result.stats.total_seconds);
+  }
+  std::sort(times.begin(), times.end());
+  if (last != nullptr) *last = std::move(result);
+  return times[1];
+}
+
+double RelError(double est, double act) {
+  if (act == 0) return 0;
+  return std::abs(est - act) / act;
+}
+
+void Section(const std::string& title) {
+  std::printf("\n");
+  std::printf("================================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================================\n");
+}
+
+}  // namespace bench
+}  // namespace cote

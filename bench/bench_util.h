@@ -1,0 +1,44 @@
+#ifndef COTE_BENCH_BENCH_UTIL_H_
+#define COTE_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/regression.h"
+#include "optimizer/optimizer.h"
+#include "workload/workload.h"
+
+namespace cote {
+namespace bench {
+
+/// Optimizer configuration used throughout the reproduction: dynamic
+/// programming with a composite-inner limit of 2 — matching the paper's
+/// "level of optimization that uses dynamic programming with certain
+/// limits on the composite inner size" (§5).
+OptimizerOptions SerialOptions();
+OptimizerOptions ParallelOptions();  ///< 4 logical nodes, like the paper
+
+/// Calibrates the §3.5 time model by optimizing the training workload and
+/// regressing measured time on per-method plan counts. One model per
+/// environment, exactly as the paper fits two sets of Ct.
+TimeModel CalibrateTimeModel(const OptimizerOptions& options);
+
+/// Runs a full (instrumented) optimization; aborts on failure.
+OptimizeResult MustOptimize(const Optimizer& opt, const QueryGraph& q,
+                            const std::string& label);
+
+/// Median-of-3 wall time of compiling `q` (reduces scheduler noise).
+double MedianCompileSeconds(const Optimizer& opt, const QueryGraph& q,
+                            OptimizeResult* last = nullptr);
+
+/// Relative error |est - act| / act (0 when act == 0).
+double RelError(double est, double act);
+
+/// Prints a horizontal rule + section title.
+void Section(const std::string& title);
+
+}  // namespace bench
+}  // namespace cote
+
+#endif  // COTE_BENCH_BENCH_UTIL_H_

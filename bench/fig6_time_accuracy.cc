@@ -1,0 +1,65 @@
+// Figure 6 — Compilation Time Estimation accuracy.
+//   Serial:   (a) star_s   (b) real1_s   (c) real2_s
+//   Parallel: (d) TPC-H_p  (e) random_p  (f) real1_p
+//
+// The paper reports estimates within 30% of actual compilation time for
+// (a)-(e), larger errors (up to 66%) on real1_p due to a larger variation
+// of per-plan generation time in the parallel environment. The Ct
+// coefficients are fit by regression on a training workload (§3.5), one
+// set per environment.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace cote;         // NOLINT — bench driver
+using namespace cote::bench;  // NOLINT
+
+namespace {
+
+void RunOne(const std::string& title, const Workload& w,
+            const OptimizerOptions& options, const TimeModel& model) {
+  Section(title);
+  Optimizer opt(options);
+  CompileTimeEstimator cote(model, options);
+
+  std::printf("\n%-12s %14s %14s %8s\n", "query", "actual (s)",
+              "estimated (s)", "error");
+  double sum_err = 0, max_err = 0;
+  for (int i = 0; i < w.size(); ++i) {
+    double actual = MedianCompileSeconds(opt, w.queries[i]);
+    CompileTimeEstimate est = cote.Estimate(w.queries[i]);
+    double err = RelError(est.estimated_seconds, actual);
+    sum_err += err;
+    max_err = std::max(max_err, err);
+    std::printf("%-12s %14.4f %14.4f %7.1f%%\n", w.labels[i].c_str(), actual,
+                est.estimated_seconds, 100 * err);
+  }
+  std::printf("avg error %.1f%%  max %.1f%%   (paper: avg ~<=30%%)\n",
+              100 * sum_err / w.size(), 100 * max_err);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("calibrating time models (one per environment, as the paper "
+              "fits two sets of Ct)...\n");
+  TimeModel serial = CalibrateTimeModel(SerialOptions());
+  TimeModel parallel = CalibrateTimeModel(ParallelOptions());
+  std::printf("serial   Cm:Cn:Ch = %s\n", serial.RatioString().c_str());
+  std::printf("parallel Cm:Cn:Ch = %s\n", parallel.RatioString().c_str());
+
+  RunOne("Figure 6(a): time accuracy — star_s (serial)", StarWorkload(),
+         SerialOptions(), serial);
+  RunOne("Figure 6(b): time accuracy — real1_s (serial)", Real1Workload(),
+         SerialOptions(), serial);
+  RunOne("Figure 6(c): time accuracy — real2_s (serial)", Real2Workload(),
+         SerialOptions(), serial);
+  RunOne("Figure 6(d): time accuracy — TPC-H_p (parallel)", TpchWorkload(),
+         ParallelOptions(), parallel);
+  RunOne("Figure 6(e): time accuracy — random_p (parallel)",
+         RandomWorkload(), ParallelOptions(), parallel);
+  RunOne("Figure 6(f): time accuracy — real1_p (parallel)", Real1Workload(),
+         ParallelOptions(), parallel);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Google-benchmark micro-benchmarks for the hot components: enumeration,
+// plan-estimate mode, full optimization, cardinality estimation.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/join_count_baseline.h"
+
+namespace cote {
+namespace {
+
+const Workload& Star() {
+  static const Workload* w = new Workload(StarWorkload());
+  return *w;
+}
+
+void BM_EnumerateOnly(benchmark::State& state) {
+  const QueryGraph& q = Star().queries[static_cast<size_t>(state.range(0))];
+  EnumeratorOptions opt;
+  opt.max_composite_inner = 2;
+  for (auto _ : state) {
+    EnumerationStats stats = JoinCountBaseline::CountJoins(q, opt);
+    benchmark::DoNotOptimize(stats.joins_ordered);
+  }
+}
+BENCHMARK(BM_EnumerateOnly)->Arg(0)->Arg(5)->Arg(10);
+
+void BM_Estimate(benchmark::State& state) {
+  const QueryGraph& q = Star().queries[static_cast<size_t>(state.range(0))];
+  TimeModel model;
+  CompileTimeEstimator cote(model, bench::SerialOptions());
+  for (auto _ : state) {
+    CompileTimeEstimate est = cote.Estimate(q);
+    benchmark::DoNotOptimize(est.plan_estimates.counts[0]);
+  }
+}
+BENCHMARK(BM_Estimate)->Arg(0)->Arg(5)->Arg(10);
+
+void BM_FullOptimize(benchmark::State& state) {
+  const QueryGraph& q = Star().queries[static_cast<size_t>(state.range(0))];
+  Optimizer opt(bench::SerialOptions());
+  for (auto _ : state) {
+    auto r = opt.Optimize(q);
+    benchmark::DoNotOptimize(r->stats.best_cost);
+  }
+}
+BENCHMARK(BM_FullOptimize)->Arg(0)->Arg(5)->Arg(10);
+
+void BM_CardinalityModel(benchmark::State& state) {
+  const QueryGraph& q = Star().queries[10];
+  for (auto _ : state) {
+    CardinalityModel card(q, true);
+    double rows = card.JoinRows(q.AllTables());
+    benchmark::DoNotOptimize(rows);
+  }
+}
+BENCHMARK(BM_CardinalityModel);
+
+}  // namespace
+}  // namespace cote
+
+BENCHMARK_MAIN();

@@ -1,0 +1,131 @@
+// §5.4 — how property *generation policies* shape compilation complexity.
+//
+// The paper's closing observation: "the number of indexes present does
+// not significantly affect the number of plans generated, because DB2
+// uses an eager policy for order propagation. On the other hand, how data
+// is initially partitioned in a parallel environment does affect plans
+// generated and the compilation time because a lazy policy is employed
+// for the partition property."
+//
+// Part A varies the number of indexes per table (orders are EAGER: the
+// interesting orders exist regardless, as SORT enforcers if need be).
+// Part B varies the initial partitioning column (partitions are LAZY:
+// only physical partitions seed the lists). Part C turns the eager
+// partition policy on, showing the sensitivity to physical design vanish
+// while the search space grows.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "query/query_builder.h"
+
+using namespace cote;         // NOLINT — bench driver
+using namespace cote::bench;  // NOLINT
+
+namespace {
+
+/// A 8-table star joined on c1/c2 (NOT the c0 partitioning key), with an
+/// ORDER BY, built against the given physical design.
+QueryGraph StarQuery(const Catalog& catalog) {
+  QueryBuilder qb(catalog);
+  for (int t = 0; t < 8; ++t) {
+    qb.AddTable("T" + std::to_string(t), "t" + std::to_string(t));
+  }
+  for (int t = 1; t < 8; ++t) {
+    qb.Join("t0", "c1", "t" + std::to_string(t), "c1");
+    if (t % 2 == 0) qb.Join("t0", "c2", "t" + std::to_string(t), "c2");
+  }
+  qb.OrderBy({{"t0", "c5"}, {"t1", "c5"}});
+  auto g = qb.Build();
+  if (!g.ok()) std::abort();
+  return std::move(g).value();
+}
+
+struct Row {
+  int64_t plans;
+  double seconds;
+};
+
+Row Measure(const Catalog& catalog, OptimizerOptions options) {
+  QueryGraph q = StarQuery(catalog);
+  Optimizer opt(options);
+  OptimizeResult r;
+  double seconds = MedianCompileSeconds(opt, q, &r);
+  return Row{r.stats.join_plans_generated.total(), seconds};
+}
+
+}  // namespace
+
+int main() {
+  Section("Part A: number of indexes (orders are EAGER) — serial");
+  std::printf("\n%-22s %14s %12s\n", "physical design", "join plans",
+              "compile (s)");
+  Row base_a{0, 0};
+  for (int idx : {0, 1, 2, 3}) {
+    auto catalog = MakeSyntheticCatalogEx(8, idx, "c0");
+    Row row = Measure(*catalog, SerialOptions());
+    if (idx == 0) base_a = row;
+    std::printf("%-22s %14lld %12.4f   (%.2fx plans vs 0 indexes)\n",
+                (std::to_string(idx) + " index(es)/table").c_str(),
+                static_cast<long long>(row.plans), row.seconds,
+                static_cast<double>(row.plans) /
+                    static_cast<double>(base_a.plans));
+  }
+  std::printf(
+      "-> order-driven plan counts are flat (eager order generation already"
+      " materializes every interesting order, §5.4); the step at 2 indexes"
+      " is the extra index-nested-loop ACCESS PATH a join-column index"
+      " enables, not an order effect (the c3 index at 3 adds nothing)\n");
+
+  Section("Part B: initial partitioning (partitions are LAZY) — parallel");
+  std::printf("\n%-22s %14s %12s\n", "partitioned on", "join plans",
+              "compile (s)");
+  Row on_join{0, 0}, off_join{0, 0};
+  for (const char* col : {"mix", "c1", "c2", "c5"}) {
+    auto catalog = MakeSyntheticCatalogEx(8, 1, col);
+    Row row = Measure(*catalog, ParallelOptions());
+    if (std::string(col) == "mix") on_join = row;
+    if (std::string(col) == "c5") off_join = row;
+    std::string label = std::string(col) == "mix"
+                            ? "c1/c2 staggered"
+                            : std::string(col) +
+                                  (std::string(col) == "c5"
+                                       ? " (not a join col)"
+                                       : " (join column)");
+    std::printf("%-22s %14lld %12.4f\n", label.c_str(),
+                static_cast<long long>(row.plans), row.seconds);
+  }
+  std::printf(
+      "-> with the LAZY policy the physical design shows through: plan "
+      "counts shift %.2fx and compile time %.2fx between join-column and "
+      "useless partitioning (repartition enforcers are generated and "
+      "costed on every join) — §5.4's partition sensitivity\n",
+      static_cast<double>(on_join.plans) /
+          static_cast<double>(off_join.plans),
+      off_join.seconds / on_join.seconds);
+
+  Section("Part C: EAGER partition policy ablation — parallel");
+  std::printf("\n%-22s %14s %12s\n", "partitioned on", "join plans",
+              "compile (s)");
+  Row e_on{0, 0}, e_off{0, 0};
+  for (const char* col : {"mix", "c5"}) {
+    auto catalog = MakeSyntheticCatalogEx(8, 1, col);
+    OptimizerOptions options = ParallelOptions();
+    options.plangen.eager_partitions = true;
+    Row row = Measure(*catalog, options);
+    if (std::string(col) == "mix") e_on = row;
+    if (std::string(col) == "c5") e_off = row;
+    std::printf("%-22s %14lld %12.4f\n", col,
+                static_cast<long long>(row.plans), row.seconds);
+  }
+  std::printf(
+      "-> with EAGER partitions the design sensitivity collapses (plans "
+      "%.2fx, time %.2fx between the same two designs) at the price of a "
+      "larger search space (%.2fx plans over lazy) — the §3.2 trade-off "
+      "that makes systems choose the lazy policy for partitions\n",
+      static_cast<double>(e_on.plans) / static_cast<double>(e_off.plans),
+      e_off.seconds / e_on.seconds,
+      static_cast<double>(e_off.plans) /
+          static_cast<double>(off_join.plans));
+  return 0;
+}

@@ -1,0 +1,64 @@
+// §3.5/§4 — the regressed per-plan-type coefficients Ct.
+//
+// The paper reports Cm : Cn : Ch = 5 : 2 : 4 for serial DB2 and 6 : 1 : 2
+// for the parallel version (plan generation being costlier in parallel).
+// This bench fits both models on the training workload, prints the ratios,
+// and validates the fit quality on held-out workloads.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace cote;         // NOLINT — bench driver
+using namespace cote::bench;  // NOLINT
+
+namespace {
+
+void Validate(const std::string& name, const Workload& w,
+              const OptimizerOptions& options, const TimeModel& model) {
+  Optimizer opt(options);
+  double sum_err = 0;
+  for (int i = 0; i < w.size(); ++i) {
+    OptimizeResult r = MustOptimize(opt, w.queries[i], w.labels[i]);
+    double actual = MedianCompileSeconds(opt, w.queries[i]);
+    double est = model.EstimateSeconds(r.stats.join_plans_generated);
+    sum_err += RelError(est, actual);
+  }
+  std::printf("  fit check on %-8s (actual plan counts -> time): avg err "
+              "%.1f%%\n",
+              name.c_str(), 100 * sum_err / w.size());
+}
+
+}  // namespace
+
+int main() {
+  Section("Regressed time-model coefficients Ct (paper §3.5, §4)");
+
+  TimeModel serial = CalibrateTimeModel(SerialOptions());
+  TimeModel parallel = CalibrateTimeModel(ParallelOptions());
+
+  std::printf("\n%-10s %14s %14s %14s %12s\n", "", "Cm (MGJN)", "Cn (NLJN)",
+              "Ch (HSJN)", "intercept");
+  std::printf("%-10s %14.3e %14.3e %14.3e %12.3e\n", "serial",
+              serial.ct[static_cast<int>(JoinMethod::kMgjn)],
+              serial.ct[static_cast<int>(JoinMethod::kNljn)],
+              serial.ct[static_cast<int>(JoinMethod::kHsjn)],
+              serial.intercept);
+  std::printf("%-10s %14.3e %14.3e %14.3e %12.3e\n", "parallel",
+              parallel.ct[static_cast<int>(JoinMethod::kMgjn)],
+              parallel.ct[static_cast<int>(JoinMethod::kNljn)],
+              parallel.ct[static_cast<int>(JoinMethod::kHsjn)],
+              parallel.intercept);
+
+  std::printf("\nratios Cm:Cn:Ch  serial   = %s   (paper DB2: 5 : 2 : 4)\n",
+              serial.RatioString().c_str());
+  std::printf("ratios Cm:Cn:Ch  parallel = %s   (paper DB2: 6 : 1 : 2)\n",
+              parallel.RatioString().c_str());
+
+  std::printf("\nfit quality (using ACTUAL plan counts, isolating the time "
+              "model itself):\n");
+  Validate("linear_s", LinearWorkload(), SerialOptions(), serial);
+  Validate("star_s", StarWorkload(), SerialOptions(), serial);
+  Validate("tpch_p", TpchWorkload(), ParallelOptions(), parallel);
+  return 0;
+}

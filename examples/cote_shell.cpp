@@ -1,0 +1,181 @@
+// Interactive shell: type SQL against the TPC-H or retail schema; every
+// statement is optimized AND estimated, printing the plan, the actual
+// compilation time, the COTE's prediction, and its overhead.
+//
+// Run:    ./build/examples/cote_shell           (interactive)
+//         echo "SELECT ..." | ./build/examples/cote_shell
+//
+// Meta-commands:
+//   \catalog tpch|retail    switch schema (default tpch)
+//   \parallel on|off        toggle 4-node shared-nothing planning
+//   \limit N                composite-inner limit (default 2)
+//   \save FILE / \load FILE persist / restore the calibrated time model
+//   \quit
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/estimator.h"
+#include "core/model_io.h"
+#include "core/regression.h"
+#include "parser/binder.h"
+#include "workload/workload.h"
+
+using namespace cote;  // NOLINT — example code
+
+namespace {
+
+struct ShellState {
+  std::shared_ptr<Catalog> catalog = MakeTpchCatalog();
+  std::string catalog_name = "tpch";
+  bool parallel = false;
+  int inner_limit = 2;
+  TimeModel serial_model;
+  TimeModel parallel_model;
+
+  OptimizerOptions Options() const {
+    OptimizerOptions o =
+        parallel ? OptimizerOptions::Parallel(4) : OptimizerOptions{};
+    o.enumeration.max_composite_inner = inner_limit;
+    return o;
+  }
+  const TimeModel& Model() const {
+    return parallel ? parallel_model : serial_model;
+  }
+};
+
+TimeModel Calibrate(const OptimizerOptions& options) {
+  Workload training = TrainingWorkload();
+  Optimizer opt(options);
+  TimeModelCalibrator cal(/*with_intercept=*/false,
+                          /*relative_weighting=*/true);
+  for (const QueryGraph& q : training.queries) {
+    auto r = opt.Optimize(q);
+    if (r.ok()) cal.AddObservation(r->stats);
+  }
+  auto model = cal.Fit();
+  return model.ok() ? std::move(model).value() : TimeModel{};
+}
+
+bool HandleMeta(ShellState* state, const std::string& line) {
+  auto starts = [&](const char* p) { return line.rfind(p, 0) == 0; };
+  if (starts("\\catalog")) {
+    std::string which = line.size() > 9 ? line.substr(9) : "";
+    if (which == "retail") {
+      state->catalog = MakeRetailCatalog();
+      state->catalog_name = "retail";
+    } else if (which == "tpch") {
+      state->catalog = MakeTpchCatalog();
+      state->catalog_name = "tpch";
+    } else {
+      std::printf("usage: \\catalog tpch|retail\n");
+      return true;
+    }
+    std::printf("catalog -> %s (%d tables)\n", state->catalog_name.c_str(),
+                state->catalog->num_tables());
+  } else if (starts("\\parallel")) {
+    state->parallel = line.find("on") != std::string::npos;
+    std::printf("parallel planning %s\n", state->parallel ? "ON (4 nodes)"
+                                                          : "off");
+  } else if (starts("\\limit")) {
+    int n = std::atoi(line.c_str() + 6);
+    if (n >= 1) state->inner_limit = n;
+    std::printf("composite-inner limit = %d\n", state->inner_limit);
+  } else if (starts("\\save")) {
+    std::string path = line.size() > 6 ? line.substr(6) : "cote_model.txt";
+    Status s = SaveTimeModel(path, state->Model());
+    std::printf("%s\n", s.ok() ? ("saved " + path).c_str()
+                               : s.ToString().c_str());
+  } else if (starts("\\load")) {
+    std::string path = line.size() > 6 ? line.substr(6) : "cote_model.txt";
+    auto m = LoadTimeModel(path);
+    if (m.ok()) {
+      (state->parallel ? state->parallel_model : state->serial_model) = *m;
+      std::printf("loaded %s\n", path.c_str());
+    } else {
+      std::printf("%s\n", m.status().ToString().c_str());
+    }
+  } else if (starts("\\quit") || starts("\\q")) {
+    return false;
+  } else {
+    std::printf("unknown command: %s\n", line.c_str());
+  }
+  return true;
+}
+
+void RunSql(ShellState* state, const std::string& sql) {
+  auto bound = Binder::BindSqlMulti(*state->catalog, sql);
+  if (!bound.ok()) {
+    std::printf("error: %s\n", bound.status().ToString().c_str());
+    return;
+  }
+  OptimizerOptions options = state->Options();
+  Optimizer optimizer(options);
+
+  double actual = 0;
+  const Plan* main_plan = nullptr;
+  std::shared_ptr<Memo> keepalive;
+  for (const QueryGraph* block : bound->AllBlocks()) {
+    auto r = optimizer.Optimize(*block);
+    if (!r.ok()) {
+      std::printf("error: %s\n", r.status().ToString().c_str());
+      return;
+    }
+    actual += r->stats.total_seconds;
+    if (block == &bound->main) {
+      main_plan = r->best_plan;
+      keepalive = r->memo;
+    }
+  }
+
+  CompileTimeEstimator cote(state->Model(), options);
+  CompileTimeEstimate est = cote.Estimate(*bound);
+
+  std::printf("%s", PrintPlan(main_plan).c_str());
+  if (bound->num_blocks() > 1) {
+    std::printf("(+%d subquery block(s) compiled separately)\n",
+                bound->num_blocks() - 1);
+  }
+  std::printf(
+      "compiled in %.3f ms | COTE predicted %.3f ms (err %.0f%%) | "
+      "estimation cost %.3f ms (%.1f%% of compile)\n",
+      actual * 1e3, est.estimated_seconds * 1e3,
+      actual > 0
+          ? 100 * std::abs(est.estimated_seconds - actual) / actual
+          : 0.0,
+      est.estimation_seconds * 1e3,
+      actual > 0 ? 100 * est.estimation_seconds / actual : 0.0);
+}
+
+}  // namespace
+
+int main() {
+  ShellState state;
+  std::printf("calibrating time models on the training workload...\n");
+  state.serial_model = Calibrate(OptimizerOptions{});
+  state.parallel_model = Calibrate(OptimizerOptions::Parallel(4));
+  std::printf(
+      "cote shell — catalog '%s'; \\catalog, \\parallel, \\limit, \\save, "
+      "\\load, \\quit; end SQL with ';'\n",
+      state.catalog_name.c_str());
+
+  std::string buffer;
+  std::string line;
+  while (true) {
+    std::printf(buffer.empty() ? "cote> " : "  ...> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+    if (line[0] == '\\' && buffer.empty()) {
+      if (!HandleMeta(&state, line)) break;
+      continue;
+    }
+    buffer += line + "\n";
+    if (line.find(';') != std::string::npos) {
+      RunSql(&state, buffer);
+      buffer.clear();
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Meta-optimizer demo (the paper's Figure 1).
+//
+// For each query: compile at the cheap greedy level, estimate the
+// high-level compilation time with the COTE, and reoptimize at the high
+// level only when the query would still be executing (on the greedy plan)
+// by the time high-level optimization finished. Prints each decision and
+// the end-to-end win.
+//
+// Run: ./build/examples/meta_optimizer_demo
+
+#include <cstdio>
+
+#include "core/meta_optimizer.h"
+#include "core/regression.h"
+#include "workload/workload.h"
+
+using namespace cote;  // NOLINT — example code
+
+int main() {
+  // Calibrate the compile-time model once (per release, per machine).
+  Workload training = TrainingWorkload();
+  Optimizer high((OptimizerOptions()));
+  TimeModelCalibrator calibrator;
+  for (const QueryGraph& q : training.queries) {
+    auto r = high.Optimize(q);
+    if (r.ok()) calibrator.AddObservation(r->stats);
+  }
+  auto model = calibrator.Fit();
+  if (!model.ok()) {
+    std::fprintf(stderr, "calibration failed: %s\n",
+                 model.status().ToString().c_str());
+    return 1;
+  }
+
+  MetaOptimizerOptions options;
+  options.time_model = *model;
+  MetaOptimizer mop(options);
+
+  // A mixed workload: complex analytical queries (execution-dominated,
+  // should reoptimize) and highly selective point-ish queries
+  // (compilation-dominated once amplified, should not).
+  Workload w = Real1Workload();
+  std::printf("%-8s %16s %18s %12s\n", "query", "exec est E (s)",
+              "compile est C (s)", "decision");
+  int reoptimized = 0;
+  for (int i = 0; i < w.size(); ++i) {
+    auto r = mop.Compile(w.queries[i]);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", w.labels[i].c_str(),
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    reoptimized += r->reoptimized;
+    std::printf("%-8s %16.4f %18.5f %12s\n", w.labels[i].c_str(),
+                r->low_exec_seconds, r->est_high_compile_seconds,
+                r->reoptimized ? "HIGH level" : "keep greedy");
+  }
+  std::printf("\nreoptimized %d/%d queries at the high level\n", reoptimized,
+              w.size());
+
+  // Show the flip side: with an (artificially) expensive optimizer the
+  // MOP declines reoptimization for cheap queries.
+  MetaOptimizerOptions costly = options;
+  for (double& c : costly.time_model.ct) c *= 2e4;
+  MetaOptimizer costly_mop(costly);
+  auto r = costly_mop.Compile(w.queries[0]);
+  if (r.ok()) {
+    std::printf(
+        "\nwith a 20000x slower optimizer, %s would %s (C=%.2fs vs "
+        "E=%.2fs)\n",
+        w.labels[0].c_str(),
+        r->reoptimized ? "still reoptimize" : "stay on the greedy plan",
+        r->est_high_compile_seconds, r->low_exec_seconds);
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Mid-query reoptimization decision support (the paper's §1.1, second use,
+// after Kabra & DeWitt).
+//
+// A query is executing when the runtime discovers that an intermediate
+// cardinality was badly misestimated. Reoptimizing might produce a much
+// better plan for the remaining work — but reoptimization itself takes
+// time. The decision needs exactly what the COTE provides: a quantified
+// estimate of recompilation time, compared against the estimated cost of
+// finishing on the current (now known-bad) plan.
+//
+// Run: ./build/examples/midquery_reopt
+
+#include <cstdio>
+
+#include "core/estimator.h"
+#include "core/regression.h"
+#include "parser/binder.h"
+#include "workload/workload.h"
+
+using namespace cote;  // NOLINT — example code
+
+int main() {
+  auto catalog = MakeTpchCatalog();
+  OptimizerOptions options;
+  Optimizer opt(options);
+
+  // Calibrate the COTE.
+  Workload training = TrainingWorkload();
+  TimeModelCalibrator calibrator;
+  for (const QueryGraph& q : training.queries) {
+    auto r = opt.Optimize(q);
+    if (r.ok()) calibrator.AddObservation(r->stats);
+  }
+  auto model = calibrator.Fit();
+  if (!model.ok()) return 1;
+  CompileTimeEstimator cote(*model, options);
+  CostModel cost_model(options.cost);
+
+  // Checkpoint scenarios: execution pauses, re-costs the REMAINING work of
+  // the current plan with the cardinalities observed so far, and decides.
+  // Reoptimize only if the recompilation is cheap relative to the
+  // potential savings (here: < 10% of the remaining execution time).
+  struct Scenario {
+    const char* what;
+    const char* sql;
+    double blowup;  ///< observed/estimated cardinality ratio at checkpoint
+  };
+  const Scenario scenarios[] = {
+      {"point lookup, on track",
+       "SELECT * FROM orders o, lineitem l WHERE o.o_orderkey = l.l_orderkey "
+       "AND o.o_orderkey = 42",
+       1.0},
+      {"point lookup, 10x blow-up",
+       "SELECT * FROM orders o, lineitem l WHERE o.o_orderkey = l.l_orderkey "
+       "AND o.o_orderkey = 42",
+       10.0},
+      {"5-way analytical, on track",
+       "SELECT n.n_name, SUM(l.l_extendedprice) "
+       "FROM customer c, orders o, lineitem l, supplier s, nation n "
+       "WHERE c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey "
+       "AND l.l_suppkey = s.s_suppkey AND s.s_nationkey = n.n_nationkey "
+       "GROUP BY n.n_name",
+       1.0},
+      {"5-way analytical, 50x blow-up",
+       "SELECT n.n_name, SUM(l.l_extendedprice) "
+       "FROM customer c, orders o, lineitem l, supplier s, nation n "
+       "WHERE c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey "
+       "AND l.l_suppkey = s.s_suppkey AND s.s_nationkey = n.n_nationkey "
+       "GROUP BY n.n_name",
+       50.0},
+  };
+
+  std::printf("\n%-30s %16s %16s %12s\n", "checkpoint", "remaining (s)",
+              "recompile (s)", "decision");
+  for (const Scenario& sc : scenarios) {
+    auto graph = Binder::BindSql(*catalog, sc.sql);
+    if (!graph.ok()) return 1;
+    auto compiled = opt.Optimize(*graph);
+    if (!compiled.ok()) return 1;
+    double full_exec = cost_model.CostToSeconds(compiled->best_plan->cost);
+    double remaining = full_exec * 0.8 * sc.blowup;  // 80% of work left
+    CompileTimeEstimate est = cote.Estimate(*graph);
+    bool reoptimize = est.estimated_seconds < 0.1 * remaining;
+    std::printf("%-30s %16.5f %16.5f %12s\n", sc.what, remaining,
+                est.estimated_seconds,
+                reoptimize ? "REOPTIMIZE" : "keep running");
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Quickstart: parse a SQL query, optimize it, and estimate its compilation
+// time with the COTE — the 60-second tour of the library.
+//
+// Build & run:   cmake -B build -G Ninja && cmake --build build
+//                ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/estimator.h"
+#include "core/regression.h"
+#include "optimizer/optimizer.h"
+#include "parser/binder.h"
+#include "workload/workload.h"
+
+using namespace cote;  // NOLINT — example code
+
+int main() {
+  // 1. A catalog. MakeTpchCatalog() ships the TPC-H schema; you would
+  // normally build your own with TableBuilder.
+  std::shared_ptr<Catalog> catalog = MakeTpchCatalog();
+
+  // 2. Parse + bind a query into a QueryGraph.
+  const char* sql = R"(
+      SELECT n.n_name, SUM(l.l_extendedprice)
+      FROM customer c, orders o, lineitem l, supplier s, nation n, region r
+      WHERE c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey
+        AND l.l_suppkey = s.s_suppkey AND s.s_nationkey = n.n_nationkey
+        AND c.c_nationkey = n.n_nationkey AND n.n_regionkey = r.r_regionkey
+        AND r.r_name = 'ASIA'
+      GROUP BY n.n_name ORDER BY n.n_name)";
+  auto graph = Binder::BindSql(*catalog, sql);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "bind failed: %s\n",
+                 graph.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("query graph:\n%s\n\n", graph->ToString().c_str());
+
+  // 3. Optimize at the high (dynamic programming) level.
+  OptimizerOptions options;
+  options.enumeration.max_composite_inner = 3;
+  Optimizer optimizer(options);
+  auto result = optimizer.Optimize(*graph);
+  if (!result.ok()) {
+    std::fprintf(stderr, "optimize failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  const OptimizeStats& st = result->stats;
+  std::printf("best plan (cost %.1f):\n%s\n", st.best_cost,
+              PrintPlan(result->best_plan).c_str());
+  std::printf(
+      "joins enumerated: %lld   plans generated: NLJN=%lld MGJN=%lld "
+      "HSJN=%lld   stored: %lld\n",
+      static_cast<long long>(st.enumeration.joins_unordered),
+      static_cast<long long>(st.join_plans_generated.nljn()),
+      static_cast<long long>(st.join_plans_generated.mgjn()),
+      static_cast<long long>(st.join_plans_generated.hsjn()),
+      static_cast<long long>(st.plans_stored));
+  std::printf("compilation took %.3f ms\n\n", st.total_seconds * 1e3);
+
+  // 4. Calibrate a time model on a training workload (once per release),
+  // then estimate this query's compilation time WITHOUT optimizing it.
+  Workload training = TrainingWorkload();
+  TimeModelCalibrator calibrator;
+  for (const QueryGraph& q : training.queries) {
+    auto r = optimizer.Optimize(q);
+    if (r.ok()) calibrator.AddObservation(r->stats);
+  }
+  auto model = calibrator.Fit();
+  if (!model.ok()) {
+    std::fprintf(stderr, "calibration failed: %s\n",
+                 model.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("time model Cm:Cn:Ch = %s\n", model->RatioString().c_str());
+
+  CompileTimeEstimator cote(*model, options);
+  CompileTimeEstimate est = cote.Estimate(*graph);
+  std::printf(
+      "COTE: estimated plans NLJN=%lld MGJN=%lld HSJN=%lld\n"
+      "      estimated compile time %.3f ms (actual was %.3f ms)\n"
+      "      estimation overhead %.3f ms (%.1f%% of actual)\n",
+      static_cast<long long>(est.plan_estimates.nljn()),
+      static_cast<long long>(est.plan_estimates.mgjn()),
+      static_cast<long long>(est.plan_estimates.hsjn()),
+      est.estimated_seconds * 1e3, st.total_seconds * 1e3,
+      est.estimation_seconds * 1e3,
+      100.0 * est.estimation_seconds / st.total_seconds);
+  return 0;
+}

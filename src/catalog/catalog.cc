@@ -1,0 +1,26 @@
+#include "catalog/catalog.h"
+
+namespace cote {
+
+Status Catalog::AddTable(Table table) {
+  if (by_name_.count(table.name()) > 0) {
+    return Status::AlreadyExists("table " + table.name());
+  }
+  auto owned = std::make_unique<Table>(std::move(table));
+  by_name_[owned->name()] = owned.get();
+  tables_.push_back(std::move(owned));
+  return Status::OK();
+}
+
+const Table* Catalog::FindTable(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+StatusOr<const Table*> Catalog::GetTable(const std::string& name) const {
+  const Table* t = FindTable(name);
+  if (t == nullptr) return Status::NotFound("table " + name);
+  return t;
+}
+
+}  // namespace cote

@@ -1,0 +1,45 @@
+#ifndef COTE_CATALOG_CATALOG_H_
+#define COTE_CATALOG_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/table.h"
+#include "common/status.h"
+
+namespace cote {
+
+/// \brief Registry of base tables (a single schema).
+///
+/// The catalog owns its tables; pointers handed out remain valid for the
+/// lifetime of the catalog (tables are never removed).
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+  Catalog(Catalog&&) = default;
+  Catalog& operator=(Catalog&&) = default;
+
+  /// Registers a table. Fails if a table of the same name exists.
+  Status AddTable(Table table);
+
+  /// Looks up a table by name (case-sensitive); nullptr if absent.
+  const Table* FindTable(const std::string& name) const;
+
+  /// Looks up a table, returning NotFound if absent.
+  StatusOr<const Table*> GetTable(const std::string& name) const;
+
+  const std::vector<std::unique_ptr<Table>>& tables() const { return tables_; }
+  int num_tables() const { return static_cast<int>(tables_.size()); }
+
+ private:
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::unordered_map<std::string, Table*> by_name_;
+};
+
+}  // namespace cote
+
+#endif  // COTE_CATALOG_CATALOG_H_

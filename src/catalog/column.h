@@ -1,0 +1,39 @@
+#ifndef COTE_CATALOG_COLUMN_H_
+#define COTE_CATALOG_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "catalog/histogram.h"
+
+namespace cote {
+
+/// SQL column types supported by the mini catalog. The optimizer itself is
+/// type-agnostic; types matter only for parsing/binding and for default
+/// statistics.
+enum class ColumnType {
+  kInt,
+  kBigInt,
+  kDouble,
+  kDecimal,
+  kVarchar,
+  kDate,
+};
+
+const char* ColumnTypeName(ColumnType type);
+
+/// \brief Column definition inside a base table.
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kInt;
+  /// Number of distinct values; used for equi-join/equality selectivity.
+  /// Zero means "unknown" and is defaulted by TableBuilder from row count.
+  double ndv = 0;
+  /// Synthetic equi-depth histogram (built by TableBuilder); drives range
+  /// and equality selectivities in the binder.
+  Histogram histogram;
+};
+
+}  // namespace cote
+
+#endif  // COTE_CATALOG_COLUMN_H_

@@ -1,0 +1,94 @@
+#include "catalog/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace cote {
+
+Histogram Histogram::Synthesize(double row_count, double ndv, int buckets,
+                                uint64_t seed) {
+  assert(buckets > 0);
+  Histogram h;
+  h.row_count_ = std::max(row_count, 1.0);
+  h.ndv_ = std::max(ndv, 1.0);
+
+  Rng rng(seed ^ 0x8157063a11ULL);
+  // Uneven boundaries: accumulate jittered widths, then normalize.
+  std::vector<double> widths(buckets);
+  double total_width = 0;
+  for (int i = 0; i < buckets; ++i) {
+    widths[i] = 0.5 + rng.NextDouble();
+    total_width += widths[i];
+  }
+  h.boundaries_.resize(buckets + 1);
+  h.boundaries_[0] = 0;
+  for (int i = 0; i < buckets; ++i) {
+    h.boundaries_[i + 1] = h.boundaries_[i] + widths[i] / total_width;
+  }
+  h.boundaries_[buckets] = 1.0;
+
+  // Near-equi-depth fractions with mild skew: bucket depth varies within
+  // ±40% of uniform, shaped by a gentle Zipf-ish tilt.
+  std::vector<double> depth(buckets);
+  double total_depth = 0;
+  for (int i = 0; i < buckets; ++i) {
+    double zipf = 1.0 + 0.4 / (1.0 + i * 0.3);
+    depth[i] = zipf * (0.8 + 0.4 * rng.NextDouble());
+    total_depth += depth[i];
+  }
+  h.fractions_.resize(buckets);
+  for (int i = 0; i < buckets; ++i) h.fractions_[i] = depth[i] / total_depth;
+  return h;
+}
+
+double Histogram::EqualitySelectivity(double position) const {
+  position = std::clamp(position, 0.0, 1.0 - 1e-12);
+  // Distinct values spread across buckets proportionally to width.
+  for (int i = 0; i < num_buckets(); ++i) {
+    if (position < boundaries_[i + 1]) {
+      double width = boundaries_[i + 1] - boundaries_[i];
+      double values_here = std::max(1.0, ndv_ * width);
+      return fractions_[i] / values_here;
+    }
+  }
+  return 1.0 / ndv_;
+}
+
+double Histogram::LessThanSelectivity(double position) const {
+  if (position <= 0) return 0;
+  if (position >= 1) return 1;
+  double acc = 0;
+  for (int i = 0; i < num_buckets(); ++i) {
+    if (position >= boundaries_[i + 1]) {
+      acc += fractions_[i];
+      continue;
+    }
+    // Linear interpolation within the bucket.
+    double width = boundaries_[i + 1] - boundaries_[i];
+    double inside = width > 0 ? (position - boundaries_[i]) / width : 0;
+    acc += fractions_[i] * inside;
+    break;
+  }
+  return std::clamp(acc, 0.0, 1.0);
+}
+
+double Histogram::RangeSelectivity(double lo, double hi) const {
+  if (hi < lo) std::swap(lo, hi);
+  return std::clamp(LessThanSelectivity(hi) - LessThanSelectivity(lo), 0.0,
+                    1.0);
+}
+
+double Histogram::LiteralPosition(const std::string& literal) {
+  // FNV-1a, folded into [0, 1).
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : literal) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace cote

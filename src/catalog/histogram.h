@@ -1,0 +1,64 @@
+#ifndef COTE_CATALOG_HISTOGRAM_H_
+#define COTE_CATALOG_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cote {
+
+/// \brief Synthetic equi-depth histogram over a column's value domain.
+///
+/// Real catalogs build histograms from data samples; this library has no
+/// data, so histograms are *synthesized* deterministically from a column's
+/// row count and NDV, with mild Zipf-like skew — enough for the binder to
+/// derive varied, repeatable range selectivities instead of a magic
+/// constant, which is what drives cost-model work during plan generation
+/// (§3.1: commercial cost models lean on histograms heavily).
+///
+/// The domain is normalized to [0, 1]; bucket `i` covers
+/// [boundary(i), boundary(i+1)) and holds `row_fraction(i)` of the rows.
+/// Being equi-depth-ish, boundaries are uneven while fractions are near
+/// (but deliberately not exactly) uniform.
+class Histogram {
+ public:
+  /// Builds a histogram for a column with the given statistics. The same
+  /// (row_count, ndv, buckets, seed) always yields the same histogram.
+  static Histogram Synthesize(double row_count, double ndv, int buckets = 32,
+                              uint64_t seed = 0);
+
+  int num_buckets() const { return static_cast<int>(fractions_.size()); }
+  double row_count() const { return row_count_; }
+  double ndv() const { return ndv_; }
+
+  /// Left boundary of bucket i (normalized domain position); boundary of
+  /// num_buckets() is 1.0.
+  double boundary(int i) const { return boundaries_[i]; }
+  /// Fraction of all rows inside bucket i; fractions sum to 1.
+  double row_fraction(int i) const { return fractions_[i]; }
+
+  /// Selectivity of `column = literal` — the average frequency of one
+  /// value within the literal's bucket.
+  double EqualitySelectivity(double position) const;
+
+  /// Selectivity of `column < literal` at a normalized domain position —
+  /// the cumulative row fraction below `position`.
+  double LessThanSelectivity(double position) const;
+
+  /// Selectivity of `lo <= column <= hi`.
+  double RangeSelectivity(double lo, double hi) const;
+
+  /// Maps an arbitrary literal string to a stable pseudo-position in the
+  /// normalized domain (a stand-in for real value-to-domain mapping).
+  static double LiteralPosition(const std::string& literal);
+
+ private:
+  double row_count_ = 0;
+  double ndv_ = 1;
+  std::vector<double> boundaries_;  // size buckets + 1, [0..1]
+  std::vector<double> fractions_;   // size buckets, sums to 1
+};
+
+}  // namespace cote
+
+#endif  // COTE_CATALOG_HISTOGRAM_H_

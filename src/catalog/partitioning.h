@@ -1,0 +1,39 @@
+#ifndef COTE_CATALOG_PARTITIONING_H_
+#define COTE_CATALOG_PARTITIONING_H_
+
+#include <string>
+#include <vector>
+
+namespace cote {
+
+/// How a base table is physically distributed across the nodes of a
+/// shared-nothing parallel system (the paper's parallel DB2 setup, §4).
+enum class PartitionKind {
+  /// Hash-partitioned on a set of key columns.
+  kHash,
+  /// A full copy on every node (small dimension tables).
+  kReplicated,
+  /// Resides entirely on one node.
+  kSingleNode,
+};
+
+/// \brief Physical partitioning specification of a base table.
+struct PartitioningSpec {
+  PartitionKind kind = PartitionKind::kSingleNode;
+  /// Column ordinals of the hash partitioning key; empty unless kHash.
+  std::vector<int> key_columns;
+
+  static PartitioningSpec Hash(std::vector<int> columns) {
+    return PartitioningSpec{PartitionKind::kHash, std::move(columns)};
+  }
+  static PartitioningSpec Replicated() {
+    return PartitioningSpec{PartitionKind::kReplicated, {}};
+  }
+  static PartitioningSpec SingleNode() {
+    return PartitioningSpec{PartitionKind::kSingleNode, {}};
+  }
+};
+
+}  // namespace cote
+
+#endif  // COTE_CATALOG_PARTITIONING_H_

@@ -1,0 +1,125 @@
+#ifndef COTE_CATALOG_TABLE_H_
+#define COTE_CATALOG_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/column.h"
+#include "catalog/partitioning.h"
+#include "common/status.h"
+
+namespace cote {
+
+/// \brief A secondary (or primary) index over a prefix-ordered key.
+struct Index {
+  std::string name;
+  /// Ordered key column ordinals; an index scan naturally produces rows
+  /// ordered on this sequence (the source of "natural" interesting orders).
+  std::vector<int> key_columns;
+  bool unique = false;
+};
+
+/// \brief A foreign-key constraint: `columns` reference
+/// `referenced_table.referenced_columns`. Used by the random query
+/// generator, which prefers FK->PK joins (§5 of the paper).
+struct ForeignKey {
+  std::vector<int> columns;
+  std::string referenced_table;
+  /// Referenced columns are kept by name because the referenced table may
+  /// be registered in the catalog after this one.
+  std::vector<std::string> referenced_columns;
+};
+
+/// \brief Base-table definition with statistics and physical design.
+class Table {
+ public:
+  Table(std::string name, std::vector<Column> columns, double row_count);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Column>& columns() const { return columns_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+
+  /// Ordinal of the named column, or -1 if absent.
+  int FindColumn(const std::string& name) const;
+  const Column& column(int ordinal) const { return columns_[ordinal]; }
+
+  double row_count() const { return row_count_; }
+  /// Number of disk pages occupied by the table (drives scan cost).
+  double pages() const { return pages_; }
+  void set_pages(double pages) { pages_ = pages; }
+
+  const std::vector<Index>& indexes() const { return indexes_; }
+  void AddIndex(Index index) { indexes_.push_back(std::move(index)); }
+
+  const std::vector<int>& primary_key() const { return primary_key_; }
+  void SetPrimaryKey(std::vector<int> columns) {
+    primary_key_ = std::move(columns);
+  }
+
+  const std::vector<ForeignKey>& foreign_keys() const { return foreign_keys_; }
+  void AddForeignKey(ForeignKey fk) { foreign_keys_.push_back(std::move(fk)); }
+
+  const PartitioningSpec& partitioning() const { return partitioning_; }
+  void SetPartitioning(PartitioningSpec spec) {
+    partitioning_ = std::move(spec);
+  }
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+  double row_count_;
+  double pages_;
+  std::vector<Index> indexes_;
+  std::vector<int> primary_key_;
+  std::vector<ForeignKey> foreign_keys_;
+  PartitioningSpec partitioning_;
+};
+
+/// \brief Fluent builder for tables; fills in defaulted statistics.
+///
+///   Table t = TableBuilder("orders", 1500000)
+///       .Col("o_orderkey", ColumnType::kBigInt, 1500000)
+///       .Col("o_custkey", ColumnType::kBigInt, 100000)
+///       .PrimaryKey({"o_orderkey"})
+///       .Idx("o_pk", {"o_orderkey"}, /*unique=*/true)
+///       .HashPartition({"o_orderkey"})
+///       .Build();
+class TableBuilder {
+ public:
+  TableBuilder(std::string name, double row_count);
+
+  TableBuilder& Col(const std::string& name, ColumnType type, double ndv = 0);
+  TableBuilder& PrimaryKey(const std::vector<std::string>& columns);
+  TableBuilder& Idx(const std::string& name,
+                    const std::vector<std::string>& columns,
+                    bool unique = false);
+  TableBuilder& Fk(const std::vector<std::string>& columns,
+                   const std::string& ref_table,
+                   const std::vector<std::string>& ref_columns);
+  TableBuilder& HashPartition(const std::vector<std::string>& columns);
+  TableBuilder& Replicate();
+  TableBuilder& Pages(double pages);
+
+  Table Build();
+
+ private:
+  std::vector<int> Resolve(const std::vector<std::string>& names) const;
+
+  std::string name_;
+  double row_count_;
+  double pages_ = -1;
+  std::vector<Column> columns_;
+  std::vector<int> primary_key_;
+  std::vector<Index> indexes_;
+  struct PendingFk {
+    std::vector<std::string> columns;
+    std::string ref_table;
+    std::vector<std::string> ref_columns;
+  };
+  std::vector<PendingFk> fks_;
+  PartitioningSpec partitioning_ = PartitioningSpec::SingleNode();
+};
+
+}  // namespace cote
+
+#endif  // COTE_CATALOG_TABLE_H_

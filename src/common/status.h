@@ -1,0 +1,123 @@
+#ifndef COTE_COMMON_STATUS_H_
+#define COTE_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace cote {
+
+/// Error categories used across the library. Mirrors the conventional
+/// database-system idiom (RocksDB/Arrow style) of returning rich status
+/// objects instead of throwing exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kParseError,
+  kBindError,
+};
+
+/// \brief Result of an operation that can fail.
+///
+/// A `Status` is cheap to copy in the common OK case (no message
+/// allocation). Non-OK statuses carry a human-readable message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable rendering, e.g. "ParseError: unexpected token".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Holds either a value of type `T` or an error `Status`.
+///
+/// Minimal StatusOr in the spirit of absl::StatusOr. Accessing the value
+/// of a failed result aborts in debug builds.
+template <typename T>
+class StatusOr {
+ public:
+  /* implicit */ StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)), has_value_(true) {}
+  /* implicit */ StatusOr(Status status)  // NOLINT
+      : status_(std::move(status)), has_value_(false) {
+    assert(!status_.ok() && "OK status requires a value");
+  }
+
+  bool ok() const { return has_value_; }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(has_value_);
+    return value_;
+  }
+  T& value() & {
+    assert(has_value_);
+    return value_;
+  }
+  T&& value() && {
+    assert(has_value_);
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  T value_{};
+  bool has_value_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define COTE_RETURN_NOT_OK(expr)         \
+  do {                                   \
+    ::cote::Status _st = (expr);         \
+    if (!_st.ok()) return _st;           \
+  } while (0)
+
+}  // namespace cote
+
+#endif  // COTE_COMMON_STATUS_H_

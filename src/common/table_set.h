@@ -1,0 +1,136 @@
+#ifndef COTE_COMMON_TABLE_SET_H_
+#define COTE_COMMON_TABLE_SET_H_
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace cote {
+
+/// \brief A set of query table references, represented as a 64-bit bitmap.
+///
+/// MEMO entries, join-graph connectivity and enumeration state are all keyed
+/// by table sets. Table references are identified by their position
+/// (0-based) in the query's FROM list, so a query may join at most 64 tables
+/// — far beyond what dynamic-programming enumeration can handle anyway.
+class TableSet {
+ public:
+  constexpr TableSet() : bits_(0) {}
+  constexpr explicit TableSet(uint64_t bits) : bits_(bits) {}
+
+  /// The singleton set {table}.
+  static constexpr TableSet Single(int table) {
+    assert(table >= 0 && table < 64);
+    return TableSet(uint64_t{1} << table);
+  }
+
+  /// The set {0, 1, ..., n-1}.
+  static constexpr TableSet FirstN(int n) {
+    assert(n >= 0 && n <= 64);
+    return n == 64 ? TableSet(~uint64_t{0})
+                   : TableSet((uint64_t{1} << n) - 1);
+  }
+
+  constexpr uint64_t bits() const { return bits_; }
+  constexpr bool empty() const { return bits_ == 0; }
+  constexpr int size() const { return std::popcount(bits_); }
+
+  constexpr bool Contains(int table) const {
+    return (bits_ >> table) & 1;
+  }
+  constexpr bool ContainsAll(TableSet other) const {
+    return (bits_ & other.bits_) == other.bits_;
+  }
+  constexpr bool Overlaps(TableSet other) const {
+    return (bits_ & other.bits_) != 0;
+  }
+
+  constexpr TableSet Union(TableSet other) const {
+    return TableSet(bits_ | other.bits_);
+  }
+  constexpr TableSet Intersect(TableSet other) const {
+    return TableSet(bits_ & other.bits_);
+  }
+  constexpr TableSet Minus(TableSet other) const {
+    return TableSet(bits_ & ~other.bits_);
+  }
+  constexpr TableSet With(int table) const {
+    return Union(Single(table));
+  }
+
+  /// Index of the lowest-numbered table in the set. Set must be non-empty.
+  constexpr int First() const {
+    assert(!empty());
+    return std::countr_zero(bits_);
+  }
+
+  /// Iterates the members of the set in increasing order.
+  ///
+  ///   for (auto it = s.begin(); it != s.end(); ++it) { int t = *it; ... }
+  class Iterator {
+   public:
+    constexpr explicit Iterator(uint64_t bits) : bits_(bits) {}
+    constexpr int operator*() const { return std::countr_zero(bits_); }
+    constexpr Iterator& operator++() {
+      bits_ &= bits_ - 1;  // clear lowest set bit
+      return *this;
+    }
+    constexpr bool operator!=(const Iterator& other) const {
+      return bits_ != other.bits_;
+    }
+    constexpr bool operator==(const Iterator& other) const {
+      return bits_ == other.bits_;
+    }
+
+   private:
+    uint64_t bits_;
+  };
+
+  constexpr Iterator begin() const { return Iterator(bits_); }
+  constexpr Iterator end() const { return Iterator(0); }
+
+  constexpr bool operator==(const TableSet& other) const {
+    return bits_ == other.bits_;
+  }
+  constexpr bool operator!=(const TableSet& other) const {
+    return bits_ != other.bits_;
+  }
+  /// Orders sets by bitmap value; used only for deterministic containers.
+  constexpr bool operator<(const TableSet& other) const {
+    return bits_ < other.bits_;
+  }
+
+  /// Renders like "{0,2,5}".
+  std::string ToString() const {
+    std::string out = "{";
+    bool first = true;
+    for (int t : *this) {
+      if (!first) out += ",";
+      out += std::to_string(t);
+      first = false;
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  uint64_t bits_;
+};
+
+struct TableSetHash {
+  size_t operator()(const TableSet& s) const {
+    // SplitMix64 finalizer: good avalanche for dense small bitmaps.
+    uint64_t x = s.bits();
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<size_t>(x);
+  }
+};
+
+}  // namespace cote
+
+#endif  // COTE_COMMON_TABLE_SET_H_

@@ -1,0 +1,78 @@
+#ifndef COTE_COMMON_TIMER_H_
+#define COTE_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace cote {
+
+/// \brief Wall-clock stopwatch with microsecond resolution.
+///
+/// Used to measure actual optimizer compilation time and the estimator's own
+/// overhead (the paper's Figure 4), and to attribute time to optimizer
+/// phases (Figure 2).
+class StopWatch {
+ public:
+  StopWatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Restart, in microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) / 1e6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// \brief Accumulates time across many intervals (nanosecond resolution).
+///
+/// The optimizer instrumentation uses one accumulator per phase
+/// (plan generation per join type, plan saving, enumeration, ...).
+class TimeAccumulator {
+ public:
+  void Start() { start_ = Clock::now(); }
+  void Stop() {
+    total_ns_ += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     Clock::now() - start_)
+                     .count();
+  }
+  void Reset() { total_ns_ = 0; }
+
+  int64_t TotalNanos() const { return total_ns_; }
+  double TotalMicros() const { return static_cast<double>(total_ns_) / 1e3; }
+  double TotalSeconds() const { return static_cast<double>(total_ns_) / 1e9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+  int64_t total_ns_ = 0;
+};
+
+/// RAII helper: accumulates the lifetime of the scope into `acc`.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(TimeAccumulator* acc) : acc_(acc) {
+    if (acc_ != nullptr) acc_->Start();
+  }
+  ~ScopedTimer() {
+    if (acc_ != nullptr) acc_->Stop();
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimeAccumulator* acc_;
+};
+
+}  // namespace cote
+
+#endif  // COTE_COMMON_TIMER_H_

@@ -1,0 +1,59 @@
+#include "core/estimator.h"
+
+#include "common/timer.h"
+
+namespace cote {
+
+CompileTimeEstimator::CompileTimeEstimator(
+    const TimeModel& time_model, const OptimizerOptions& optimizer_options,
+    const PlanCounterOptions& counter_options)
+    : time_model_(time_model),
+      opt_options_(optimizer_options),
+      counter_options_(counter_options) {
+  // The counter must model the same environment the optimizer plans for.
+  counter_options_.parallel =
+      optimizer_options.num_nodes > 1 || optimizer_options.plangen.parallel;
+  counter_options_.eager_partitions =
+      optimizer_options.plangen.eager_partitions;
+}
+
+CompileTimeEstimate CompileTimeEstimator::Estimate(
+    const QueryGraph& graph) const {
+  StopWatch watch;
+  CompileTimeEstimate out;
+
+  // Plan-estimate mode uses the simple cardinality model: no key/FD
+  // refinement, exactly like the paper's prototype (§4/§5.2).
+  CardinalityModel simple_card(graph, /*use_key_refinement=*/false);
+  InterestingOrders interesting(graph);
+  PlanCounter counter(graph, interesting, simple_card, counter_options_);
+
+  out.enumeration =
+      RunEnumeration(graph, opt_options_.enumeration, &counter);
+
+  out.plan_estimates = counter.estimated_plans();
+  out.estimated_seconds = time_model_.EstimateSeconds(out.plan_estimates);
+  out.plan_slots = counter.TotalPlanSlots();
+  out.estimated_memo_bytes = out.plan_slots * kBytesPerPlan;
+  out.estimation_seconds = watch.ElapsedSeconds();
+  return out;
+}
+
+CompileTimeEstimate CompileTimeEstimator::Estimate(
+    const MultiBlockQuery& query) const {
+  CompileTimeEstimate total;
+  for (const QueryGraph* block : query.AllBlocks()) {
+    CompileTimeEstimate e = Estimate(*block);
+    total.plan_estimates += e.plan_estimates;
+    total.enumeration.joins_unordered += e.enumeration.joins_unordered;
+    total.enumeration.joins_ordered += e.enumeration.joins_ordered;
+    total.enumeration.entries_created += e.enumeration.entries_created;
+    total.estimated_seconds += e.estimated_seconds;
+    total.estimation_seconds += e.estimation_seconds;
+    total.estimated_memo_bytes += e.estimated_memo_bytes;
+    total.plan_slots += e.plan_slots;
+  }
+  return total;
+}
+
+}  // namespace cote

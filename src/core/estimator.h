@@ -1,0 +1,68 @@
+#ifndef COTE_CORE_ESTIMATOR_H_
+#define COTE_CORE_ESTIMATOR_H_
+
+#include "core/plan_counter.h"
+#include "core/time_model.h"
+#include "optimizer/optimizer.h"
+#include "query/multi_block.h"
+
+namespace cote {
+
+/// \brief Everything one estimation run produces.
+struct CompileTimeEstimate {
+  /// Estimated number of join plans per join method (what Figure 5 plots
+  /// against the instrumented actuals).
+  JoinTypeCounts plan_estimates;
+  /// Join counts seen during estimation (from the reused enumerator).
+  EnumerationStats enumeration;
+  /// Estimated compilation time via the linear time model (Figure 6).
+  double estimated_seconds = 0;
+  /// Wall time this estimate itself took — the overhead Figure 4 compares
+  /// against the actual compilation time.
+  double estimation_seconds = 0;
+  /// §6.2: lower bound of MEMO memory at this level, from the interesting
+  /// property list lengths × bytes per stored plan.
+  int64_t estimated_memo_bytes = 0;
+  int64_t plan_slots = 0;
+};
+
+/// \brief The COTE: compilation-time estimator (the paper's contribution).
+///
+/// Runs the *same* join enumerator the optimizer uses — with the same
+/// knobs, so every customization (composite-inner limit, Cartesian rules,
+/// outer-join eligibility) is reflected in the joins enumerated — but
+/// installs the plan-counting visitor instead of the plan generator,
+/// bypassing plan generation entirely (§3.1). Plan counts are converted to
+/// seconds with a regression-calibrated TimeModel (§3.5).
+///
+///   CompileTimeEstimator cote(time_model, options);
+///   CompileTimeEstimate est = cote.Estimate(graph);
+///   // est.estimated_seconds ≈ Optimizer(options).Optimize(graph) time
+class CompileTimeEstimator {
+ public:
+  /// `optimizer_options` describe the optimization level whose compilation
+  /// time is being estimated (the "high" level in the meta-optimizer).
+  CompileTimeEstimator(const TimeModel& time_model,
+                       const OptimizerOptions& optimizer_options,
+                       const PlanCounterOptions& counter_options = {});
+
+  CompileTimeEstimate Estimate(const QueryGraph& graph) const;
+
+  /// Multi-block queries (§3.3): each block is optimized with its own
+  /// MEMO, so the estimates (plans, time, memory) sum over the blocks.
+  CompileTimeEstimate Estimate(const MultiBlockQuery& query) const;
+
+  const TimeModel& time_model() const { return time_model_; }
+
+  /// Bytes charged per plan slot in the memory lower bound.
+  static constexpr int64_t kBytesPerPlan = sizeof(Plan);
+
+ private:
+  TimeModel time_model_;
+  OptimizerOptions opt_options_;
+  PlanCounterOptions counter_options_;
+};
+
+}  // namespace cote
+
+#endif  // COTE_CORE_ESTIMATOR_H_

@@ -1,0 +1,62 @@
+#ifndef COTE_CORE_HYBRID_ESTIMATOR_H_
+#define COTE_CORE_HYBRID_ESTIMATOR_H_
+
+#include "core/estimator.h"
+#include "core/statement_cache.h"
+
+namespace cote {
+
+/// \brief Statement cache in front of the COTE.
+///
+/// §1.2 dismisses the statement cache for ad-hoc queries but it is exactly
+/// right for repeated statements (where the *measured* time beats any
+/// model). Production systems want both: consult the cache first, fall
+/// back to the model-based estimate on a miss, and feed measured times
+/// back after each real compilation.
+///
+///   HybridEstimator est(model, options);
+///   double t = est.EstimateSeconds(query);   // cache or COTE
+///   ... compile ...
+///   est.RecordMeasured(query, stats.total_seconds);
+class HybridEstimator {
+ public:
+  HybridEstimator(const TimeModel& time_model,
+                  const OptimizerOptions& optimizer_options,
+                  size_t cache_capacity = 1024)
+      : cote_(time_model, optimizer_options), cache_(cache_capacity) {}
+
+  struct Result {
+    double estimated_seconds = 0;
+    bool from_cache = false;
+    /// Filled only on a cache miss (the COTE pass ran).
+    CompileTimeEstimate cote;
+  };
+
+  /// Cached measured time if this statement shape was compiled before,
+  /// otherwise a fresh COTE estimate.
+  Result Estimate(const QueryGraph& graph) {
+    if (auto cached = cache_.Lookup(graph)) {
+      return Result{*cached, true, {}};
+    }
+    Result r;
+    r.cote = cote_.Estimate(graph);
+    r.estimated_seconds = r.cote.estimated_seconds;
+    r.from_cache = false;
+    return r;
+  }
+
+  /// Feed back the measured compilation time after actually compiling.
+  void RecordMeasured(const QueryGraph& graph, double seconds) {
+    cache_.Insert(graph, seconds);
+  }
+
+  const CompileTimeCache& cache() const { return cache_; }
+
+ private:
+  CompileTimeEstimator cote_;
+  CompileTimeCache cache_;
+};
+
+}  // namespace cote
+
+#endif  // COTE_CORE_HYBRID_ESTIMATOR_H_

@@ -1,0 +1,59 @@
+#include "core/join_count_baseline.h"
+
+#include "optimizer/cost/cardinality.h"
+
+namespace cote {
+
+namespace {
+
+/// Counting-only visitor: provides cardinalities for the Cartesian
+/// heuristic but records nothing — the enumerator's own stats carry the
+/// join counts.
+class CountingVisitor : public JoinVisitor {
+ public:
+  explicit CountingVisitor(const QueryGraph& graph)
+      : card_(graph, /*use_key_refinement=*/false) {}
+
+  void InitializeEntry(TableSet s) override { (void)s; }
+  double EntryCardinality(TableSet s) override { return card_.JoinRows(s); }
+  void OnJoin(TableSet outer, TableSet inner,
+              const std::vector<int>& pred_indices,
+              bool cartesian) override {
+    (void)outer;
+    (void)inner;
+    (void)pred_indices;
+    (void)cartesian;
+  }
+
+ private:
+  CardinalityModel card_;
+};
+
+}  // namespace
+
+int64_t JoinCountBaseline::ChainJoins(int n) {
+  if (n < 2) return 0;
+  int64_t nn = n;
+  return (nn * nn * nn - nn) / 6;
+}
+
+int64_t JoinCountBaseline::StarJoins(int n) {
+  if (n < 2) return 0;
+  return static_cast<int64_t>(n - 1) << (n - 2);
+}
+
+int64_t JoinCountBaseline::CliqueJoins(int n) {
+  if (n < 2) return 0;
+  int64_t pow3 = 1;
+  for (int i = 0; i < n; ++i) pow3 *= 3;
+  int64_t pow2 = int64_t{1} << (n + 1);
+  return (pow3 - pow2 + 1) / 2;
+}
+
+EnumerationStats JoinCountBaseline::CountJoins(
+    const QueryGraph& graph, const EnumeratorOptions& options) {
+  CountingVisitor visitor(graph);
+  return RunEnumeration(graph, options, &visitor);
+}
+
+}  // namespace cote

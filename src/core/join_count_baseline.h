@@ -1,0 +1,46 @@
+#ifndef COTE_CORE_JOIN_COUNT_BASELINE_H_
+#define COTE_CORE_JOIN_COUNT_BASELINE_H_
+
+#include <cstdint>
+
+#include "optimizer/enumerator.h"
+#include "query/query_graph.h"
+
+namespace cote {
+
+/// \brief The prior art the paper improves on: join-count complexity
+/// estimation (Ono & Lohman, §2.2).
+///
+/// Estimates compilation time as (number of joins) × (time per join),
+/// assuming every join costs the same to optimize — the assumption the
+/// paper shows fails by up to 20× within a star-query batch (§5.3).
+/// Join counting is done two ways:
+///  * closed formulas for the special query shapes that have them
+///    (chains, stars, cliques — unordered join pairs, no Cartesian
+///    products, full bushy space);
+///  * by reusing the join enumerator with a counting-only visitor, which
+///    works for arbitrary (including cyclic) graphs — counting joins in a
+///    general cyclic graph analytically is #P-complete.
+class JoinCountBaseline {
+ public:
+  /// Chain of n tables: (n³ − n) / 6 unordered joins.
+  static int64_t ChainJoins(int n);
+  /// Star with one hub and n−1 satellites: (n−1) · 2^(n−2).
+  static int64_t StarJoins(int n);
+  /// Clique of n tables: (3^n − 2^(n+1) + 1) / 2.
+  static int64_t CliqueJoins(int n);
+
+  /// Counts joins by running the enumerator with a no-op visitor.
+  /// `joins_unordered` of the returned stats is the Ono–Lohman metric.
+  static EnumerationStats CountJoins(const QueryGraph& graph,
+                                     const EnumeratorOptions& options);
+
+  /// Baseline time estimate: joins × seconds_per_join.
+  static double EstimateSeconds(int64_t joins, double seconds_per_join) {
+    return static_cast<double>(joins) * seconds_per_join;
+  }
+};
+
+}  // namespace cote
+
+#endif  // COTE_CORE_JOIN_COUNT_BASELINE_H_

@@ -1,0 +1,46 @@
+#include "core/meta_optimizer.h"
+
+#include "common/timer.h"
+
+namespace cote {
+
+MetaOptimizer::MetaOptimizer(MetaOptimizerOptions options)
+    : options_(std::move(options)) {}
+
+StatusOr<MetaOptimizeResult> MetaOptimizer::Compile(
+    const QueryGraph& graph) const {
+  StopWatch watch;
+  MetaOptimizeResult result;
+
+  // 1. Low-level optimization: fast, always runs.
+  Optimizer low(options_.low);
+  auto low_result = low.Optimize(graph);
+  if (!low_result.ok()) return low_result.status();
+
+  // 2. E: estimated execution time of the low plan.
+  CostModel cost(options_.high.cost);
+  result.low_exec_seconds = cost.CostToSeconds(low_result->best_plan->cost);
+
+  // 3. C: estimated compilation time at the high level.
+  CompileTimeEstimator cote(options_.time_model, options_.high);
+  result.estimate = cote.Estimate(graph);
+  result.est_high_compile_seconds = result.estimate.estimated_seconds;
+
+  // 4. Decide: reoptimize only if high-level compilation is cheap relative
+  // to the potential execution win (E > C / threshold).
+  if (result.est_high_compile_seconds <
+      options_.threshold * result.low_exec_seconds) {
+    Optimizer high(options_.high);
+    auto high_result = high.Optimize(graph);
+    if (!high_result.ok()) return high_result.status();
+    result.chosen = std::move(high_result).value();
+    result.reoptimized = true;
+  } else {
+    result.chosen = std::move(low_result).value();
+    result.reoptimized = false;
+  }
+  result.total_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace cote

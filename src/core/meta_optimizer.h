@@ -1,0 +1,53 @@
+#ifndef COTE_CORE_META_OPTIMIZER_H_
+#define COTE_CORE_META_OPTIMIZER_H_
+
+#include "core/estimator.h"
+#include "optimizer/optimizer.h"
+
+namespace cote {
+
+/// \brief Configuration of the meta-optimizer (Figure 1).
+struct MetaOptimizerOptions {
+  OptimizerOptions low;   ///< cheap level compiled unconditionally
+  OptimizerOptions high;  ///< expensive level, gated by the COTE
+  TimeModel time_model;   ///< calibrated for the high level
+  /// Reoptimize at the high level iff C < threshold · E, where C is the
+  /// estimated high-level compilation time and E the estimated execution
+  /// time of the low-level plan. 1.0 is the paper's plain comparison.
+  double threshold = 1.0;
+
+  MetaOptimizerOptions() {
+    low.level = OptimizationLevel::kLow;
+    high.level = OptimizationLevel::kHigh;
+  }
+};
+
+/// \brief Outcome of one meta-optimized compilation.
+struct MetaOptimizeResult {
+  OptimizeResult chosen;        ///< the plan actually produced
+  bool reoptimized = false;     ///< true if the high level ran
+  double low_exec_seconds = 0;  ///< E: est. execution time of the low plan
+  double est_high_compile_seconds = 0;  ///< C: COTE estimate for high level
+  CompileTimeEstimate estimate;
+  double total_seconds = 0;  ///< low compile + estimation (+ high compile)
+};
+
+/// \brief A simple meta-optimizer (MOP): chooses the optimization level.
+///
+/// Implements Figure 1 of the paper: compile at the low level; estimate
+/// the high-level compilation time with the COTE; if the query would
+/// finish executing (on the low plan) before high-level optimization would
+/// even complete, keep the low plan — otherwise recompile high.
+class MetaOptimizer {
+ public:
+  explicit MetaOptimizer(MetaOptimizerOptions options = {});
+
+  StatusOr<MetaOptimizeResult> Compile(const QueryGraph& graph) const;
+
+ private:
+  MetaOptimizerOptions options_;
+};
+
+}  // namespace cote
+
+#endif  // COTE_CORE_META_OPTIMIZER_H_

@@ -1,0 +1,113 @@
+#include "core/model_io.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/str_util.h"
+
+namespace cote {
+
+namespace {
+
+constexpr char kHeader[] = "cote-time-model v1";
+
+const char* FieldName(int m) {
+  switch (static_cast<JoinMethod>(m)) {
+    case JoinMethod::kNljn:
+      return "nljn";
+    case JoinMethod::kMgjn:
+      return "mgjn";
+    case JoinMethod::kHsjn:
+      return "hsjn";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string TimeModelToString(const TimeModel& model) {
+  std::string out = kHeader;
+  out += "\n";
+  for (int m = 0; m < kNumJoinMethods; ++m) {
+    // Hex floats round-trip exactly.
+    out += StrFormat("%s %a\n", FieldName(m), model.ct[m]);
+  }
+  out += StrFormat("intercept %a\n", model.intercept);
+  return out;
+}
+
+StatusOr<TimeModel> TimeModelFromString(const std::string& text) {
+  size_t pos = text.find('\n');
+  if (pos == std::string::npos ||
+      text.substr(0, pos) != kHeader) {
+    return Status::InvalidArgument("not a cote-time-model v1 file");
+  }
+  TimeModel model;
+  bool seen[kNumJoinMethods] = {false, false, false};
+  bool seen_intercept = false;
+  size_t start = pos + 1;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    char name[32];
+    double value = 0;
+    if (std::sscanf(line.c_str(), "%31s %la", name, &value) != 2) {
+      return Status::InvalidArgument("malformed time-model line: " + line);
+    }
+    bool matched = false;
+    for (int m = 0; m < kNumJoinMethods; ++m) {
+      if (std::strcmp(name, FieldName(m)) == 0) {
+        model.ct[m] = value;
+        seen[m] = true;
+        matched = true;
+      }
+    }
+    if (std::strcmp(name, "intercept") == 0) {
+      model.intercept = value;
+      seen_intercept = true;
+      matched = true;
+    }
+    if (!matched) {
+      return Status::InvalidArgument("unknown time-model field: " +
+                                     std::string(name));
+    }
+  }
+  if (!seen[0] || !seen[1] || !seen[2] || !seen_intercept) {
+    return Status::InvalidArgument("incomplete time-model file");
+  }
+  return model;
+}
+
+Status SaveTimeModel(const std::string& path, const TimeModel& model) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  std::string text = TimeModelToString(model);
+  size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (written != text.size()) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+StatusOr<TimeModel> LoadTimeModel(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open " + path);
+  }
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+  return TimeModelFromString(text);
+}
+
+}  // namespace cote

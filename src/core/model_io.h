@@ -1,0 +1,34 @@
+#ifndef COTE_CORE_MODEL_IO_H_
+#define COTE_CORE_MODEL_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/time_model.h"
+
+namespace cote {
+
+/// \brief Persistence for calibrated time models.
+///
+/// Calibration is per release and per machine (§3.5: "rerun the regression
+/// for new releases"), so deployments calibrate once and load the result
+/// at startup. The format is a small self-describing text file:
+///
+///   cote-time-model v1
+///   nljn <seconds-per-plan>
+///   mgjn <seconds-per-plan>
+///   hsjn <seconds-per-plan>
+///   intercept <seconds>
+///
+/// Numbers round-trip exactly (hex float rendering).
+Status SaveTimeModel(const std::string& path, const TimeModel& model);
+
+StatusOr<TimeModel> LoadTimeModel(const std::string& path);
+
+/// Serializes to / parses from the file format without touching disk.
+std::string TimeModelToString(const TimeModel& model);
+StatusOr<TimeModel> TimeModelFromString(const std::string& text);
+
+}  // namespace cote
+
+#endif  // COTE_CORE_MODEL_IO_H_

@@ -1,0 +1,97 @@
+#include "core/multilevel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+#include "common/timer.h"
+
+namespace cote {
+
+namespace {
+
+/// Fans enumerator callbacks out to one PlanCounter per level, filtering
+/// OnJoin by each level's composite-inner limit.
+class DemuxVisitor : public JoinVisitor {
+ public:
+  DemuxVisitor(std::vector<std::unique_ptr<PlanCounter>> counters,
+               std::vector<int> limits)
+      : counters_(std::move(counters)),
+        limits_(std::move(limits)),
+        joins_per_level_(limits_.size(), 0) {}
+
+  void InitializeEntry(TableSet s) override {
+    for (auto& c : counters_) c->InitializeEntry(s);
+  }
+  double EntryCardinality(TableSet s) override {
+    return counters_.back()->EntryCardinality(s);
+  }
+  void OnJoin(TableSet outer, TableSet inner,
+              const std::vector<int>& pred_indices, bool cartesian) override {
+    for (size_t i = 0; i < counters_.size(); ++i) {
+      if (inner.size() <= limits_[i]) {
+        counters_[i]->OnJoin(outer, inner, pred_indices, cartesian);
+        ++joins_per_level_[i];
+      }
+    }
+  }
+
+  const PlanCounter& counter(size_t i) const { return *counters_[i]; }
+  int64_t joins(size_t i) const { return joins_per_level_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<PlanCounter>> counters_;
+  std::vector<int> limits_;
+  std::vector<int64_t> joins_per_level_;
+};
+
+}  // namespace
+
+MultiLevelEstimator::MultiLevelEstimator(
+    const TimeModel& time_model, OptimizerOptions base_options,
+    std::vector<int> inner_limits, const PlanCounterOptions& counter_options)
+    : time_model_(time_model),
+      base_options_(std::move(base_options)),
+      inner_limits_(std::move(inner_limits)),
+      counter_options_(counter_options) {
+  assert(!inner_limits_.empty());
+  assert(std::is_sorted(inner_limits_.begin(), inner_limits_.end()));
+  counter_options_.parallel =
+      base_options_.num_nodes > 1 || base_options_.plangen.parallel;
+  counter_options_.eager_partitions = base_options_.plangen.eager_partitions;
+}
+
+MultiLevelEstimator::Result MultiLevelEstimator::Estimate(
+    const QueryGraph& graph) const {
+  StopWatch watch;
+  Result result;
+
+  CardinalityModel simple_card(graph, /*use_key_refinement=*/false);
+  InterestingOrders interesting(graph);
+
+  std::vector<std::unique_ptr<PlanCounter>> counters;
+  for (size_t i = 0; i < inner_limits_.size(); ++i) {
+    counters.push_back(std::make_unique<PlanCounter>(
+        graph, interesting, simple_card, counter_options_));
+  }
+  DemuxVisitor demux(std::move(counters), inner_limits_);
+
+  // Enumerate once, at the highest (most permissive) level.
+  EnumeratorOptions enum_opts = base_options_.enumeration;
+  enum_opts.max_composite_inner = inner_limits_.back();
+  RunEnumeration(graph, enum_opts, &demux);
+
+  for (size_t i = 0; i < inner_limits_.size(); ++i) {
+    LevelEstimate level;
+    level.inner_limit = inner_limits_[i];
+    level.plan_estimates = demux.counter(i).estimated_plans();
+    level.joins_ordered = demux.joins(i);
+    level.estimated_seconds =
+        time_model_.EstimateSeconds(level.plan_estimates);
+    result.levels.push_back(level);
+  }
+  result.estimation_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace cote

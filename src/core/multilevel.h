@@ -1,0 +1,53 @@
+#ifndef COTE_CORE_MULTILEVEL_H_
+#define COTE_CORE_MULTILEVEL_H_
+
+#include <vector>
+
+#include "core/estimator.h"
+
+namespace cote {
+
+/// \brief §6.2: piggybacked estimation of several optimization levels in a
+/// single enumeration pass.
+///
+/// As long as the highest level's search space subsumes the others (full
+/// bushy ⊇ composite-inner ≤ k ⊇ left-deep), one run of the enumerator at
+/// the highest level can classify each enumerated join by the smallest
+/// level that would also enumerate it — a join with composite-inner size m
+/// belongs to every level with limit ≥ m — and accumulate per-level plan
+/// counts simultaneously, amortizing the estimation overhead.
+class MultiLevelEstimator {
+ public:
+  /// `inner_limits` defines the levels, e.g. {1, 2, 64}: left-deep,
+  /// inner ≤ 2, full bushy. Must be sorted ascending; the largest is the
+  /// level actually enumerated.
+  MultiLevelEstimator(const TimeModel& time_model,
+                      OptimizerOptions base_options,
+                      std::vector<int> inner_limits,
+                      const PlanCounterOptions& counter_options = {});
+
+  struct LevelEstimate {
+    int inner_limit = 0;
+    JoinTypeCounts plan_estimates;
+    int64_t joins_ordered = 0;
+    double estimated_seconds = 0;
+  };
+
+  struct Result {
+    std::vector<LevelEstimate> levels;
+    /// Overhead of the single shared pass.
+    double estimation_seconds = 0;
+  };
+
+  Result Estimate(const QueryGraph& graph) const;
+
+ private:
+  TimeModel time_model_;
+  OptimizerOptions base_options_;
+  std::vector<int> inner_limits_;
+  PlanCounterOptions counter_options_;
+};
+
+}  // namespace cote
+
+#endif  // COTE_CORE_MULTILEVEL_H_

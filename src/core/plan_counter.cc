@@ -1,0 +1,412 @@
+#include "core/plan_counter.h"
+
+#include <algorithm>
+
+namespace cote {
+
+PlanCounter::PlanCounter(const QueryGraph& graph,
+                         const InterestingOrders& interesting,
+                         const CardinalityModel& cardinality,
+                         const PlanCounterOptions& options)
+    : graph_(graph),
+      interesting_(interesting),
+      card_(cardinality),
+      options_(options) {}
+
+PlanCounter::EntryState& PlanCounter::State(TableSet s) {
+  return states_[s.bits()];
+}
+
+const PlanCounter::EntryState* PlanCounter::FindState(TableSet s) const {
+  auto it = states_.find(s.bits());
+  return it == states_.end() ? nullptr : &it->second;
+}
+
+double PlanCounter::EntryCardinality(TableSet s) {
+  auto it = states_.find(s.bits());
+  if (it != states_.end() && it->second.cardinality >= 0) {
+    return it->second.cardinality;
+  }
+  return card_.JoinRows(s);
+}
+
+void PlanCounter::InitializeEntry(TableSet s) {
+  EntryState& state = State(s);
+  // Logical properties, computed once per entry (equivalence is needed to
+  // canonicalize and dedupe property values — §3.3: "equivalence needs to
+  // be checked for each enumerated join").
+  for (const JoinPredicate& p : graph_.join_predicates()) {
+    if (p.kind != JoinKind::kInner) continue;
+    if (s.Contains(p.left.table) && s.Contains(p.right.table)) {
+      state.equiv.AddEquivalence(p.left, p.right);
+    }
+  }
+  state.cardinality = card_.JoinRows(s);
+  if (s.size() > 1) return;
+
+  // initialize(): populate the interesting property lists of single-table
+  // entries per the generation policy of each property (§3.3 / Table 3).
+  //
+  // Orders use the eager policy (§4 item 1): the precomputed interesting
+  // orders applicable to this table seed the list.
+  for (const OrderInterest* interest : interesting_.ActiveInterests(s)) {
+    OrderProperty o = interest->order.Canonicalize(state.equiv);
+    if (o.IsNone()) continue;
+    if (std::find(state.orders.begin(), state.orders.end(), o) ==
+        state.orders.end()) {
+      state.orders.push_back(o);
+    }
+  }
+
+  // Natural orders delivered by index scans also live in the MEMO when
+  // they remain useful (an index order subsuming an interesting order is
+  // the source of coverage plans); the eager initialization includes them.
+  const Table* base_table = graph_.table_ref(s.First()).table;
+  for (const Index& idx : base_table->indexes()) {
+    std::vector<ColumnRef> cols;
+    for (int ord : idx.key_columns) cols.emplace_back(s.First(), ord);
+    OrderProperty o = OrderProperty(cols).Canonicalize(state.equiv);
+    if (o.IsNone() || !interesting_.Useful(o, s, state.equiv)) continue;
+    if (std::find(state.orders.begin(), state.orders.end(), o) ==
+        state.orders.end()) {
+      state.orders.push_back(o);
+    }
+  }
+
+  // Partitions use the lazy policy: only the physical partitioning of the
+  // base table seeds the list (§4, parallel version).
+  if (options_.parallel) {
+    const int t = s.First();
+    const Table* table = graph_.table_ref(t).table;
+    const PartitioningSpec& spec = table->partitioning();
+    switch (spec.kind) {
+      case PartitionKind::kHash: {
+        std::vector<ColumnRef> cols;
+        for (int ord : spec.key_columns) cols.emplace_back(t, ord);
+        state.partitions.push_back(PartitionProperty::Hash(std::move(cols)));
+        break;
+      }
+      case PartitionKind::kReplicated:
+        state.partitions.push_back(PartitionProperty::Replicated());
+        break;
+      case PartitionKind::kSingleNode:
+        state.partitions.push_back(PartitionProperty::SingleNode());
+        break;
+    }
+  }
+
+  if (options_.parallel && options_.eager_partitions) {
+    const int t = s.First();
+    for (const JoinPredicate& pred : graph_.join_predicates()) {
+      ColumnRef side = pred.SideIn(t);
+      if (!side.valid()) continue;
+      PartitionProperty target =
+          PartitionProperty::Hash({side}).Canonicalize(state.equiv);
+      if (std::find(state.partitions.begin(), state.partitions.end(),
+                    target) == state.partitions.end()) {
+        state.partitions.push_back(target);
+      }
+    }
+  }
+
+  if (options_.multi_property == MultiPropertyMode::kCompound) {
+    PartitionProperty base = options_.parallel && !state.partitions.empty()
+                                 ? state.partitions[0]
+                                 : PartitionProperty::Serial();
+    state.compound.emplace_back(OrderProperty::None(), base);
+    for (const OrderProperty& o : state.orders) {
+      state.compound.emplace_back(o, base);
+    }
+  }
+}
+
+void PlanCounter::PropagateOrders(const EntryState& from, TableSet j,
+                                  EntryState* to) {
+  for (const OrderProperty& o : from.orders) {
+    OrderProperty canon = o.Canonicalize(to->equiv);
+    if (canon.IsNone()) continue;
+    // Retired by the join, or not interesting above `j`?
+    if (!interesting_.Useful(canon, j, to->equiv)) continue;
+    // Equivalent to a property already in the list?
+    if (std::find(to->orders.begin(), to->orders.end(), canon) !=
+        to->orders.end()) {
+      continue;
+    }
+    to->orders.push_back(canon);
+  }
+}
+
+void PlanCounter::PropagatePartitions(const EntryState& from, TableSet j,
+                                      EntryState* to) {
+  (void)j;
+  for (const PartitionProperty& p : from.partitions) {
+    PartitionProperty canon = p.Canonicalize(to->equiv);
+    if (std::find(to->partitions.begin(), to->partitions.end(), canon) ==
+        to->partitions.end()) {
+      to->partitions.push_back(canon);
+    }
+  }
+}
+
+std::vector<PartitionProperty> PlanCounter::JoinPartitions(
+    const EntryState& s, const EntryState& l,
+    const std::vector<ColumnRef>& jcols, const EntryState& j) const {
+  if (!options_.parallel) return {PartitionProperty::Serial()};
+  std::vector<PartitionProperty> out;
+  auto add = [&out](const PartitionProperty& p) {
+    if (std::find(out.begin(), out.end(), p) == out.end()) out.push_back(p);
+  };
+  for (const EntryState* e : {&s, &l}) {
+    for (const PartitionProperty& p : e->partitions) {
+      PartitionProperty canon = p.Canonicalize(j.equiv);
+      if (canon.kind() == PartitionProperty::Kind::kHash &&
+          canon.KeysSubsetOf(jcols)) {
+        add(canon);
+      }
+    }
+  }
+  auto has_single = [](const EntryState& e) {
+    for (const PartitionProperty& p : e.partitions) {
+      if (p.kind() == PartitionProperty::Kind::kSingleNode) return true;
+    }
+    return false;
+  };
+  if (has_single(s) && has_single(l)) add(PartitionProperty::SingleNode());
+  // The DB2 repartition heuristic: no input partitioned on a join column →
+  // both sides are repartitioned, creating a new partition value (§4).
+  if (out.empty() && !jcols.empty()) add(PartitionProperty::Hash(jcols));
+  if (out.empty()) add(PartitionProperty::SingleNode());
+  return out;
+}
+
+void PlanCounter::OnJoin(TableSet outer, TableSet inner,
+                         const std::vector<int>& pred_indices,
+                         bool cartesian) {
+  EntryState& s = State(outer);
+  EntryState& l = State(inner);
+  TableSet jset = outer.Union(inner);
+  EntryState& j = State(jset);
+
+  // ---- Property propagation (bottom-up list accumulation).
+  //
+  // Orders propagate from the outer input (NLJN propagates its outer's
+  // order; merge orders are join-column orders which retire here anyway);
+  // the twin (inner, outer) emission propagates the other side. With the
+  // first-join-only optimization (§4 item 4) only the first unordered
+  // split propagates — later joins into the same entry contribute nearly
+  // identical sets.
+  bool may_propagate = true;
+  if (options_.first_join_propagation_only) {
+    if (!j.propagated) {
+      j.propagated = true;
+      j.first_outer_bits = outer.bits();
+      j.first_inner_bits = inner.bits();
+    } else {
+      bool same_pair = (j.first_outer_bits == outer.bits() &&
+                        j.first_inner_bits == inner.bits()) ||
+                       (j.first_outer_bits == inner.bits() &&
+                        j.first_inner_bits == outer.bits());
+      may_propagate = same_pair;
+    }
+  }
+  if (may_propagate) {
+    PropagateOrders(s, jset, &j);
+    PropagateOrders(l, jset, &j);
+    if (options_.parallel) {
+      PropagatePartitions(s, jset, &j);
+      PropagatePartitions(l, jset, &j);
+    }
+    if (options_.multi_property == MultiPropertyMode::kCompound) {
+      for (const EntryState* e : {&s, &l}) {
+        for (const auto& [o, pt] : e->compound) {
+          OrderProperty canon_o = o.Canonicalize(j.equiv);
+          if (!canon_o.IsNone() &&
+              !interesting_.Useful(canon_o, jset, j.equiv)) {
+            canon_o = OrderProperty::None();  // component retired
+          }
+          PartitionProperty canon_p = pt.Canonicalize(j.equiv);
+          auto pair = std::make_pair(canon_o, canon_p);
+          if (std::find(j.compound.begin(), j.compound.end(), pair) ==
+              j.compound.end()) {
+            j.compound.push_back(pair);
+          }
+        }
+      }
+    }
+  }
+
+  // ---- accumulate_plans(): per-join-method plan counting (Table 3).
+
+  // J-canonical join column representatives.
+  std::vector<ColumnRef> jcols;
+  for (int pi : pred_indices) {
+    ColumnRef rep = j.equiv.Find(graph_.join_predicates()[pi].left);
+    if (std::find(jcols.begin(), jcols.end(), rep) == jcols.end()) {
+      jcols.push_back(rep);
+    }
+  }
+  std::vector<PartitionProperty> jparts = JoinPartitions(s, l, jcols, j);
+  bool fresh_target =
+      options_.parallel && jparts.size() == 1 && !jcols.empty() &&
+      jparts[0] == PartitionProperty::Hash(jcols) &&
+      [&] {
+        for (const EntryState* e : {&s, &l}) {
+          for (const PartitionProperty& p : e->partitions) {
+            if (p.Canonicalize(j.equiv) == jparts[0]) return false;
+          }
+        }
+        return true;
+      }();
+  if (fresh_target) {
+    // The new partition value becomes interesting for the joined entry.
+    if (std::find(j.partitions.begin(), j.partitions.end(), jparts[0]) ==
+        j.partitions.end()) {
+      j.partitions.push_back(jparts[0]);
+    }
+  }
+
+  // NLJN: full order propagation — one plan per outer interesting-order
+  // value plus one for DC; in parallel mode, multiplied by the number of
+  // co-location alternatives plus the broadcast-inner variant (§3.4: the
+  // orthogonal lists multiply). Only outer-enabled inputs reach here (the
+  // enumerator filters), implementing §4 item 3.
+  int64_t outer_orders;
+  if (options_.multi_property == MultiPropertyMode::kCompound &&
+      options_.parallel) {
+    // Distinct order components among the compound pairs (None included
+    // via retired-order pairs) — compound values pair each with the same
+    // partition alternatives.
+    std::vector<OrderProperty> distinct;
+    distinct.push_back(OrderProperty::None());
+    for (const auto& [o, pt] : s.compound) {
+      (void)pt;
+      if (std::find(distinct.begin(), distinct.end(), o) == distinct.end()) {
+        distinct.push_back(o);
+      }
+    }
+    outer_orders = static_cast<int64_t>(distinct.size()) - 1;
+  } else {
+    outer_orders = static_cast<int64_t>(s.orders.size());
+  }
+  // Index nested-loops variant: available when the inner input is a base
+  // table with an index led by a join column (and, in parallel mode, the
+  // inner is co-located or replicated) — one extra plan per outer order.
+  int64_t inl_variant = 0;
+  if (inner.size() == 1 && !pred_indices.empty()) {
+    const int t = inner.First();
+    const Table* table = graph_.table_ref(t).table;
+    for (const Index& idx : table->indexes()) {
+      if (idx.key_columns.empty()) continue;
+      ColumnRef leading(t, idx.key_columns[0]);
+      bool leads_join = false;
+      for (int pi : pred_indices) {
+        if (graph_.join_predicates()[pi].SideIn(t) == leading) {
+          leads_join = true;
+          break;
+        }
+      }
+      if (!leads_join) continue;
+      if (options_.parallel) {
+        bool colocated = false;
+        for (const PartitionProperty& p : l.partitions) {
+          PartitionProperty canon = p.Canonicalize(j.equiv);
+          colocated |=
+              canon.kind() == PartitionProperty::Kind::kReplicated ||
+              (canon.kind() == PartitionProperty::Kind::kHash &&
+               canon.KeysSubsetOf(jcols));
+        }
+        if (!colocated) continue;
+      }
+      inl_variant = 1;
+      break;
+    }
+  }
+
+  const int64_t colocation_alternatives =
+      options_.parallel ? static_cast<int64_t>(jparts.size()) + 1 : 1;
+  estimated_[JoinMethod::kNljn] +=
+      (outer_orders + 1) * (colocation_alternatives + inl_variant);
+
+  if (cartesian) return;  // no MGJN/HSJN for cross products
+
+  // MGJN: partial propagation — listp = interesting orders from the inputs
+  // matching the join columns; listc = coverage (orders subsuming a listp
+  // member, §3.3/§4 item 2).
+  auto add_order = [](std::vector<OrderProperty>* v, const OrderProperty& o) {
+    if (std::find(v->begin(), v->end(), o) == v->end()) v->push_back(o);
+  };
+  // Canonicalize each input order once; classify into listp afterwards.
+  std::vector<OrderProperty> canon_inputs;
+  canon_inputs.reserve(s.orders.size() + l.orders.size());
+  for (const EntryState* e : {&s, &l}) {
+    for (const OrderProperty& o : e->orders) {
+      add_order(&canon_inputs, o.Canonicalize(j.equiv));
+    }
+  }
+  std::vector<OrderProperty> listp;
+  for (const OrderProperty& canon : canon_inputs) {
+    // Propagatable by MGJN: every column of the order is a join column.
+    bool all_join_cols = !canon.IsNone();
+    for (const ColumnRef& c : canon.columns()) {
+      if (std::find(jcols.begin(), jcols.end(), c) == jcols.end()) {
+        all_join_cols = false;
+        break;
+      }
+    }
+    if (all_join_cols) add_order(&listp, canon);
+  }
+  std::vector<OrderProperty> listc;
+  for (const OrderProperty& canon : canon_inputs) {
+    for (const OrderProperty& p : listp) {
+      if (p.StrictlySubsumedBy(canon)) {
+        add_order(&listc, canon);
+        break;
+      }
+    }
+  }
+  // |listp ∪ listc| — listc was deduped against itself; exclude overlaps.
+  int64_t merge_variants = static_cast<int64_t>(listp.size());
+  for (const OrderProperty& o : listc) {
+    if (std::find(listp.begin(), listp.end(), o) == listp.end()) {
+      ++merge_variants;
+    }
+  }
+  estimated_[JoinMethod::kMgjn] +=
+      merge_variants * static_cast<int64_t>(jparts.size());
+
+  // HSJN: no order propagation — one plan per co-location alternative,
+  // plus the broadcast-inner variant in parallel mode.
+  estimated_[JoinMethod::kHsjn] += static_cast<int64_t>(jparts.size());
+  if (options_.parallel) {
+    bool outer_all_replicated = true;
+    for (const PartitionProperty& p : s.partitions) {
+      if (p.kind() != PartitionProperty::Kind::kReplicated) {
+        outer_all_replicated = false;
+        break;
+      }
+    }
+    if (!outer_all_replicated || s.partitions.empty()) {
+      estimated_[JoinMethod::kHsjn] += 1;
+    }
+  }
+}
+
+int64_t PlanCounter::TotalPlanSlots() const {
+  int64_t total = 0;
+  for (const auto& [bits, state] : states_) {
+    (void)bits;
+    int64_t orders = static_cast<int64_t>(state.orders.size()) + 1;
+    int64_t parts =
+        options_.parallel
+            ? std::max<int64_t>(1,
+                                static_cast<int64_t>(state.partitions.size()))
+            : 1;
+    // First-rows queries keep the pipelinable property as an extra Pareto
+    // dimension, roughly doubling the distinct property combinations.
+    int64_t pipeline = graph_.wants_first_rows() ? 2 : 1;
+    total += orders * parts * pipeline;
+  }
+  return total;
+}
+
+}  // namespace cote

@@ -1,0 +1,123 @@
+#ifndef COTE_CORE_PLAN_COUNTER_H_
+#define COTE_CORE_PLAN_COUNTER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "optimizer/cost/cardinality.h"
+#include "optimizer/enumerator.h"
+#include "optimizer/properties/interesting_orders.h"
+#include "optimizer/properties/partition_property.h"
+#include "optimizer/stats.h"
+#include "query/query_graph.h"
+
+namespace cote {
+
+/// How multiple physical property types are tracked (§3.4).
+enum class MultiPropertyMode {
+  /// Orthogonal properties keep separate lists; plan counts multiply the
+  /// list lengths. Cheap, slightly underestimates (retired orders paired
+  /// with live partitions are dropped).
+  kSeparate,
+  /// One compound list of (order, partition) vectors; a compound value
+  /// retires only when every component does. More precise, more state.
+  kCompound,
+};
+
+/// \brief Options of the plan-counting visitor.
+struct PlanCounterOptions {
+  bool parallel = false;
+  MultiPropertyMode multi_property = MultiPropertyMode::kSeparate;
+  /// Eager partition policy (mirrors PlanGenOptions::eager_partitions):
+  /// seed base-table partition lists with every join-column partition.
+  bool eager_partitions = false;
+
+  /// §4 item 4: propagate property values only on the first join that
+  /// reaches a MEMO entry (joins reaching the same entry propagate nearly
+  /// identical sets). Turning this off propagates on every join (ablation).
+  bool first_join_propagation_only = true;
+};
+
+/// \brief Plan-estimate mode: the paper's Table 3 algorithm.
+///
+/// A JoinVisitor that *counts* the join plans the normal-mode generator
+/// would create, without generating any plan or estimating any execution
+/// cost. Per MEMO entry it accumulates interesting property value lists
+/// bottom-up (initialize()); per enumerated join it propagates the lists
+/// and accumulates per-join-method plan counts (accumulate_plans()):
+///
+///  * NLJN (full order propagation): plans = |outer order list| + 1 (DC),
+///    times the partition multiplier in parallel mode;
+///  * MGJN (partial): plans = |listp ∪ listc| — the propagatable merge
+///    orders plus their coverage (subsuming orders, §4 item 2), times the
+///    partition multiplier;
+///  * HSJN (none): one plan per co-location alternative.
+///
+/// Cardinality uses the *simple* model (no key refinement), as in the
+/// paper's prototype — which can flip the Cartesian-product heuristic and
+/// cause the small join-count deviations analysed in §5.2.
+class PlanCounter : public JoinVisitor {
+ public:
+  PlanCounter(const QueryGraph& graph, const InterestingOrders& interesting,
+              const CardinalityModel& cardinality,
+              const PlanCounterOptions& options);
+
+  // JoinVisitor interface -------------------------------------------------
+  void InitializeEntry(TableSet s) override;
+  double EntryCardinality(TableSet s) override;
+  void OnJoin(TableSet outer, TableSet inner,
+              const std::vector<int>& pred_indices, bool cartesian) override;
+
+  // Results ----------------------------------------------------------------
+  const JoinTypeCounts& estimated_plans() const { return estimated_; }
+
+  /// Property-list state of one MEMO entry.
+  struct EntryState {
+    ColumnEquivalence equiv;
+    double cardinality = -1;
+    std::vector<OrderProperty> orders;
+    std::vector<PartitionProperty> partitions;
+    /// kCompound mode only: (order, partition) vectors; order may be None
+    /// when that component has retired.
+    std::vector<std::pair<OrderProperty, PartitionProperty>> compound;
+    // First-join-only bookkeeping (§4 item 4): the first unordered split
+    // reaching this entry is the one allowed to propagate properties.
+    bool propagated = false;
+    uint64_t first_outer_bits = 0;
+    uint64_t first_inner_bits = 0;
+  };
+
+  const EntryState* FindState(TableSet s) const;
+
+  /// Σ over entries of (|orders|+1) × max(1,|partitions|): the MEMO-size
+  /// proxy used by the §6.2 memory estimator.
+  int64_t TotalPlanSlots() const;
+
+  int64_t num_entries() const { return static_cast<int64_t>(states_.size()); }
+
+ private:
+  EntryState& State(TableSet s);
+  void PropagateOrders(const EntryState& from, TableSet j, EntryState* to);
+  void PropagatePartitions(const EntryState& from, TableSet j,
+                           EntryState* to);
+
+  /// Co-location-valid output partitions for a join on `jcols` (canonical
+  /// in j's equivalence), mirroring the generator's JoinPartitions and the
+  /// DB2 repartition heuristic (§4): if no input partition matches a join
+  /// column, a fresh partition on the join columns is introduced.
+  std::vector<PartitionProperty> JoinPartitions(
+      const EntryState& s, const EntryState& l,
+      const std::vector<ColumnRef>& jcols, const EntryState& j) const;
+
+  const QueryGraph& graph_;
+  const InterestingOrders& interesting_;
+  const CardinalityModel& card_;
+  PlanCounterOptions options_;
+
+  JoinTypeCounts estimated_;
+  std::unordered_map<uint64_t, EntryState> states_;
+};
+
+}  // namespace cote
+
+#endif  // COTE_CORE_PLAN_COUNTER_H_

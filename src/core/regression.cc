@@ -1,0 +1,126 @@
+#include "core/regression.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace cote {
+
+std::string TimeModel::RatioString() const {
+  // Paper order: Cm : Cn : Ch (MGJN first).
+  double cm = ct[static_cast<int>(JoinMethod::kMgjn)];
+  double cn = ct[static_cast<int>(JoinMethod::kNljn)];
+  double ch = ct[static_cast<int>(JoinMethod::kHsjn)];
+  double lo = std::min({cm > 0 ? cm : 1e300, cn > 0 ? cn : 1e300,
+                        ch > 0 ? ch : 1e300});
+  if (lo >= 1e300) return "0 : 0 : 0";
+  return StrFormat("%.1f : %.1f : %.1f", cm / lo, cn / lo, ch / lo);
+}
+
+StatusOr<std::vector<double>> LeastSquares(
+    const std::vector<std::vector<double>>& x, const std::vector<double>& y) {
+  if (x.empty() || x.size() != y.size()) {
+    return Status::InvalidArgument("regression needs matching X and y");
+  }
+  const size_t k = x[0].size();
+  if (x.size() < k) {
+    return Status::InvalidArgument("fewer observations than coefficients");
+  }
+  for (const auto& row : x) {
+    if (row.size() != k) {
+      return Status::InvalidArgument("ragged design matrix");
+    }
+  }
+
+  // Normal equations A = XᵀX (k×k), b = Xᵀy.
+  std::vector<std::vector<double>> a(k, std::vector<double>(k, 0.0));
+  std::vector<double> b(k, 0.0);
+  for (size_t r = 0; r < x.size(); ++r) {
+    for (size_t i = 0; i < k; ++i) {
+      b[i] += x[r][i] * y[r];
+      for (size_t j = 0; j < k; ++j) a[i][j] += x[r][i] * x[r][j];
+    }
+  }
+
+  // Gaussian elimination with partial pivoting.
+  for (size_t col = 0; col < k; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < k; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    }
+    if (std::fabs(a[pivot][col]) < 1e-12) {
+      return Status::InvalidArgument("design matrix is rank-deficient");
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (size_t r = 0; r < k; ++r) {
+      if (r == col) continue;
+      double f = a[r][col] / a[col][col];
+      for (size_t c = col; c < k; ++c) a[r][c] -= f * a[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> coef(k);
+  for (size_t i = 0; i < k; ++i) coef[i] = b[i] / a[i][i];
+  return coef;
+}
+
+void TimeModelCalibrator::AddObservation(const JoinTypeCounts& plans,
+                                         double seconds) {
+  plans_.push_back(plans);
+  y_.push_back(seconds);
+}
+
+StatusOr<TimeModel> TimeModelCalibrator::Fit() const {
+  if (y_.size() < 4) {
+    return Status::InvalidArgument("need at least 4 training observations");
+  }
+
+  // One active-set pass: fit, clamp negative coefficients to zero, refit
+  // over the survivors.
+  std::vector<bool> active(kNumJoinMethods, true);
+  TimeModel model;
+  for (int pass = 0; pass < kNumJoinMethods + 1; ++pass) {
+    std::vector<int> cols;
+    for (int m = 0; m < kNumJoinMethods; ++m) {
+      if (active[m]) cols.push_back(m);
+    }
+    std::vector<std::vector<double>> x;
+    std::vector<double> y = y_;
+    x.reserve(plans_.size());
+    for (size_t r = 0; r < plans_.size(); ++r) {
+      const JoinTypeCounts& p = plans_[r];
+      double w = 1.0;
+      if (relative_weighting_) w = 1.0 / std::max(y_[r], 1e-9);
+      std::vector<double> row;
+      for (int m : cols) {
+        row.push_back(static_cast<double>(p.counts[m]) * w);
+      }
+      if (with_intercept_) row.push_back(w);
+      x.push_back(std::move(row));
+      y[r] = y_[r] * w;  // == 1.0 under relative weighting
+    }
+    auto coef = LeastSquares(x, y);
+    if (!coef.ok()) return coef.status();
+
+    model = TimeModel();
+    bool all_nonneg = true;
+    for (size_t i = 0; i < cols.size(); ++i) {
+      model.ct[cols[i]] = (*coef)[i];
+      if ((*coef)[i] < 0) {
+        active[cols[i]] = false;
+        model.ct[cols[i]] = 0;
+        all_nonneg = false;
+      }
+    }
+    if (with_intercept_) {
+      model.intercept = std::max(0.0, (*coef)[cols.size()]);
+    }
+    if (all_nonneg) break;
+    if (cols.size() <= 1) break;  // nothing left to drop
+  }
+  return model;
+}
+
+}  // namespace cote

@@ -1,0 +1,58 @@
+#ifndef COTE_CORE_REGRESSION_H_
+#define COTE_CORE_REGRESSION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/time_model.h"
+#include "optimizer/stats.h"
+
+namespace cote {
+
+/// \brief Ordinary least squares: minimizes ‖X·c − y‖².
+///
+/// Solves the normal equations XᵀX c = Xᵀy by Gaussian elimination with
+/// partial pivoting. Fails on rank-deficient inputs. Rows of `x` are
+/// observations; all rows must have the same width.
+StatusOr<std::vector<double>> LeastSquares(
+    const std::vector<std::vector<double>>& x, const std::vector<double>& y);
+
+/// \brief Fits a TimeModel from instrumented optimizer runs (§3.5).
+///
+/// Feed one AddObservation() per training query with the *actual* plan
+/// counts and measured compilation time, then Fit(). Negative coefficients
+/// (possible when a join method is rare in the training set) are clamped
+/// to zero and the remaining coefficients are re-fit (one active-set
+/// pass), keeping the model physically sensible.
+class TimeModelCalibrator {
+ public:
+  /// `with_intercept` adds a per-query fixed-cost term (the paper's model
+  /// has none). `relative_weighting` scales each observation by 1/time so
+  /// the fit minimizes *relative* error — the metric the paper evaluates —
+  /// instead of letting the largest queries dominate.
+  explicit TimeModelCalibrator(bool with_intercept = true,
+                               bool relative_weighting = false)
+      : with_intercept_(with_intercept),
+        relative_weighting_(relative_weighting) {}
+
+  void AddObservation(const JoinTypeCounts& plans, double seconds);
+
+  /// Convenience overload taking the optimizer's stats directly.
+  void AddObservation(const OptimizeStats& stats) {
+    AddObservation(stats.join_plans_generated, stats.total_seconds);
+  }
+
+  int num_observations() const { return static_cast<int>(y_.size()); }
+
+  StatusOr<TimeModel> Fit() const;
+
+ private:
+  bool with_intercept_;
+  bool relative_weighting_;
+  std::vector<JoinTypeCounts> plans_;
+  std::vector<double> y_;
+};
+
+}  // namespace cote
+
+#endif  // COTE_CORE_REGRESSION_H_

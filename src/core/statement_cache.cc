@@ -1,0 +1,68 @@
+#include "core/statement_cache.h"
+
+#include <functional>
+
+namespace cote {
+
+namespace {
+
+inline void Mix(uint64_t* h, uint64_t v) {
+  // boost::hash_combine-style mixing with a 64-bit constant.
+  *h ^= v + 0x9e3779b97f4a7c15ULL + (*h << 12) + (*h >> 4);
+}
+
+}  // namespace
+
+uint64_t CompileTimeCache::Signature(const QueryGraph& graph) {
+  uint64_t h = 0xc07e5eed;
+  std::hash<std::string> shash;
+  for (int t = 0; t < graph.num_tables(); ++t) {
+    Mix(&h, shash(graph.table_ref(t).table->name()));
+    Mix(&h, graph.table_ref(t).inner_only ? 7 : 3);
+  }
+  for (const JoinPredicate& p : graph.join_predicates()) {
+    Mix(&h, p.left.Encode());
+    Mix(&h, p.right.Encode());
+    Mix(&h, static_cast<uint64_t>(p.kind));
+  }
+  for (const LocalPredicate& p : graph.local_predicates()) {
+    Mix(&h, p.column.Encode());
+    Mix(&h, static_cast<uint64_t>(p.op));
+  }
+  for (const ColumnRef& c : graph.group_by()) Mix(&h, c.Encode() * 2654435761u);
+  for (const ColumnRef& c : graph.order_by()) Mix(&h, c.Encode() * 40503u);
+  Mix(&h, graph.wants_first_rows() ? 0xf17c4 : 0);
+  Mix(&h, graph.has_aggregation() ? 0xa66 : 0);
+  return h;
+}
+
+std::optional<double> CompileTimeCache::Lookup(const QueryGraph& graph) {
+  uint64_t sig = Signature(graph);
+  auto it = map_.find(sig);
+  if (it == map_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  // Refresh recency.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->seconds;
+}
+
+void CompileTimeCache::Insert(const QueryGraph& graph, double seconds) {
+  uint64_t sig = Signature(graph);
+  auto it = map_.find(sig);
+  if (it != map_.end()) {
+    it->second->seconds = seconds;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{sig, seconds});
+  map_[sig] = lru_.begin();
+  if (map_.size() > capacity_) {
+    map_.erase(lru_.back().signature);
+    lru_.pop_back();
+  }
+}
+
+}  // namespace cote

@@ -1,0 +1,61 @@
+#ifndef COTE_CORE_STATEMENT_CACHE_H_
+#define COTE_CORE_STATEMENT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "query/query_graph.h"
+
+namespace cote {
+
+/// \brief The straightforward alternative the paper dismisses (§1.2):
+/// cache the measured compilation time of each compiled statement and
+/// reuse it for subsequent *similar* statements.
+///
+/// Works well for repeated statements; useless for the ad-hoc queries the
+/// paper targets, because a new join graph never hits the cache. The
+/// bench `statement_cache` quantifies exactly that.
+///
+/// The cache is keyed by a structural signature of the bound query: table
+/// identities, join predicates (columns + kind), local predicate columns
+/// and operators, GROUP BY / ORDER BY columns and first-rows marker —
+/// but NOT literal values, so `c_city = 'A'` and `c_city = 'B'` share an
+/// entry (their compilations are identical in shape).
+///
+/// Eviction is LRU. Not thread-safe (like the rest of the library).
+class CompileTimeCache {
+ public:
+  explicit CompileTimeCache(size_t capacity = 1024) : capacity_(capacity) {}
+
+  /// Structural signature; stable across runs.
+  static uint64_t Signature(const QueryGraph& graph);
+
+  /// Returns the cached compile time, refreshing LRU recency.
+  std::optional<double> Lookup(const QueryGraph& graph);
+
+  /// Records the measured compile time of a statement.
+  void Insert(const QueryGraph& graph, double seconds);
+
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+  size_t size() const { return map_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    uint64_t signature;
+    double seconds;
+  };
+
+  size_t capacity_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> map_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace cote
+
+#endif  // COTE_CORE_STATEMENT_CACHE_H_

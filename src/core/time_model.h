@@ -1,0 +1,40 @@
+#ifndef COTE_CORE_TIME_MODEL_H_
+#define COTE_CORE_TIME_MODEL_H_
+
+#include <string>
+
+#include "optimizer/stats.h"
+
+namespace cote {
+
+/// \brief The paper's linear compilation-time model (§3.5):
+///
+///   T = Tinst · Σ_t (Ct · Pt)
+///
+/// Here the machine-dependent Tinst is folded into the coefficients, so
+/// `ct[t]` is directly "seconds per generated plan of join method t". An
+/// optional intercept absorbs the per-query fixed cost (parsing, base
+/// plans, final sort). The coefficients are fit by regression on a
+/// training workload (TimeModelCalibrator) and must be re-fit when the
+/// optimizer changes — just as the paper refits per DB2 release.
+struct TimeModel {
+  double ct[kNumJoinMethods] = {0, 0, 0};
+  double intercept = 0;
+
+  double EstimateSeconds(const JoinTypeCounts& plans) const {
+    double t = intercept;
+    for (int m = 0; m < kNumJoinMethods; ++m) {
+      t += ct[m] * static_cast<double>(plans.counts[m]);
+    }
+    return t;
+  }
+
+  /// Integer-ish ratio rendering like "5.0 : 2.0 : 4.0" (MGJN : NLJN :
+  /// HSJN scaled so the smallest is 1), comparable to the paper's reported
+  /// DB2 ratios (serial 5:2:4, parallel 6:1:2 for Cm:Cn:Ch).
+  std::string RatioString() const;
+};
+
+}  // namespace cote
+
+#endif  // COTE_CORE_TIME_MODEL_H_

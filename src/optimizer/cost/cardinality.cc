@@ -1,0 +1,78 @@
+#include "optimizer/cost/cardinality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace cote {
+
+double CardinalityModel::BaseRows(int table_ref) const {
+  const Table* t = graph_.table_ref(table_ref).table;
+  double rows = t->row_count() * graph_.LocalSelectivity(table_ref);
+  return std::max(rows, 0.1);
+}
+
+double CardinalityModel::JoinRows(TableSet s) const {
+  if (s.size() == 1) return BaseRows(s.First());
+  if (auto it = cache_.find(s.bits()); it != cache_.end()) return it->second;
+
+  double rows = 1.0;
+  for (int t : s) rows *= BaseRows(t);
+
+  // Collect predicates fully inside `s`, grouped by equivalence class so
+  // that derived (transitive-closure) duplicates are not double-counted:
+  // a class spanning k columns inside `s` contributes its k-1 strongest
+  // selectivities — a spanning tree of the class.
+  const ColumnEquivalence& equiv = graph_.GlobalEquivalence();
+  std::map<uint32_t, std::vector<double>> class_sels;
+  std::map<uint32_t, TableSet> class_cols;  // distinct member columns seen
+  std::vector<double> independent_sels;
+  for (const JoinPredicate& p : graph_.join_predicates()) {
+    if (!s.Contains(p.left.table) || !s.Contains(p.right.table)) continue;
+    if (p.kind == JoinKind::kInner &&
+        equiv.Equivalent(p.left, p.right)) {
+      uint32_t cls = equiv.Find(p.left).Encode();
+      class_sels[cls].push_back(p.selectivity);
+      class_cols[cls] =
+          class_cols[cls].With(p.left.table).With(p.right.table);
+    } else {
+      independent_sels.push_back(p.selectivity);
+    }
+  }
+  for (auto& [cls, sels] : class_sels) {
+    std::sort(sels.begin(), sels.end());
+    int distinct_tables = class_cols[cls].size();
+    int to_apply = std::min<int>(static_cast<int>(sels.size()),
+                                 std::max(0, distinct_tables - 1));
+    for (int i = 0; i < to_apply; ++i) rows *= sels[i];
+  }
+  for (double sel : independent_sels) rows *= sel;
+  rows = std::max(rows, 0.01);
+
+  if (!use_key_refinement_) {
+    cache_.emplace(s.bits(), rows);
+    return rows;
+  }
+
+  // Key refinement: a join predicate binding a unique column of table u
+  // cannot yield more rows than the join of the remaining tables.
+  for (const JoinPredicate& p : graph_.join_predicates()) {
+    if (!s.Contains(p.left.table) || !s.Contains(p.right.table)) continue;
+    for (const ColumnRef& side : {p.left, p.right}) {
+      const Table* tab = graph_.table_ref(side.table).table;
+      bool unique = tab->column(side.column).ndv >= tab->row_count() - 0.5;
+      if (!unique) continue;
+      TableSet rest = s.Minus(TableSet::Single(side.table));
+      if (rest.empty()) continue;
+      double rest_rows = JoinRows(rest);
+      // The unique side's own filters still apply.
+      double filter = graph_.LocalSelectivity(side.table);
+      rows = std::min(rows, std::max(rest_rows * filter, 0.01));
+    }
+  }
+  cache_.emplace(s.bits(), rows);
+  return rows;
+}
+
+}  // namespace cote

@@ -1,0 +1,84 @@
+#include "optimizer/enumerator.h"
+
+#include <bit>
+#include <unordered_set>
+
+namespace cote {
+
+namespace {
+constexpr double kCardOneEpsilon = 1e-9;
+}  // namespace
+
+EnumerationStats JoinEnumerator::Run(JoinVisitor* visitor) {
+  EnumerationStats stats;
+  const int n = graph_.num_tables();
+  std::unordered_set<uint64_t> exists;
+
+  // Base-table entries always exist.
+  for (int t = 0; t < n; ++t) {
+    TableSet s = TableSet::Single(t);
+    exists.insert(s.bits());
+    visitor->InitializeEntry(s);
+    ++stats.entries_created;
+  }
+  if (n == 1) return stats;
+
+  const uint64_t all = TableSet::FirstN(n).bits();
+
+  // Bottom-up over set sizes. For each size, scan all masks of that size;
+  // for each, scan its submask splits. Total work is O(3^n) mask pairs,
+  // fine for the table counts DP enumeration can handle at all.
+  for (int size = 2; size <= n; ++size) {
+    for (uint64_t mask = 1; mask <= all; ++mask) {
+      if (std::popcount(mask) != size) continue;
+      TableSet ts(mask);
+      const uint64_t low = mask & (~mask + 1);  // lowest set bit
+      bool entry_exists = false;
+
+      for (uint64_t sub = (mask - 1) & mask; sub != 0;
+           sub = (sub - 1) & mask) {
+        // Visit each unordered split once: keep the side holding the
+        // lowest table of the set.
+        if ((sub & low) == 0) continue;
+        uint64_t rest = mask & ~sub;
+        if (exists.count(sub) == 0 || exists.count(rest) == 0) continue;
+
+        TableSet s(sub), l(rest);
+        std::vector<int> preds = graph_.ConnectingPredicates(s, l);
+        bool cartesian = preds.empty();
+        if (cartesian) {
+          bool allowed =
+              options_.allow_all_cartesian ||
+              (options_.cartesian_when_card_one &&
+               (visitor->EntryCardinality(s) <= 1.0 + kCardOneEpsilon ||
+                visitor->EntryCardinality(l) <= 1.0 + kCardOneEpsilon));
+          if (!allowed) continue;
+        }
+
+        // Ordered emissions (outer, inner).
+        bool emitted = false;
+        auto try_emit = [&](TableSet outer, TableSet inner) {
+          if (inner.size() > options_.max_composite_inner) return;
+          if (!graph_.OuterEnabled(outer)) return;
+          if (!graph_.OuterJoinOrientationOk(outer, inner)) return;
+          if (!emitted && !entry_exists) {
+            // First join for this entry: create it before reporting.
+            exists.insert(mask);
+            visitor->InitializeEntry(ts);
+            ++stats.entries_created;
+            entry_exists = true;
+          }
+          emitted = true;
+          visitor->OnJoin(outer, inner, preds, cartesian);
+          ++stats.joins_ordered;
+        };
+        try_emit(s, l);
+        try_emit(l, s);
+        if (emitted) ++stats.joins_unordered;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace cote

@@ -1,0 +1,113 @@
+#ifndef COTE_OPTIMIZER_ENUMERATOR_H_
+#define COTE_OPTIMIZER_ENUMERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/table_set.h"
+#include "query/query_graph.h"
+
+namespace cote {
+
+/// Search order of the join enumerator. Both kinds enumerate the same set
+/// of joins (only their relative order differs — which §3.1 notes does not
+/// affect compilation complexity); kTopDown mimics transformation-based
+/// optimizers whose MEMO is not filled bottom-up (§6.2).
+enum class EnumeratorKind {
+  kBottomUp,  ///< System R style dynamic programming (the default)
+  kTopDown,   ///< Volcano/Cascades-style memoized recursion
+};
+
+/// \brief Knobs of the dynamic-programming join enumerator.
+///
+/// These correspond to the optimization-level "knobs" of commercial
+/// systems (§1.1): the composite-inner limit interpolates between
+/// left-deep-only (limit 1) and full bushy enumeration, and the Cartesian
+/// rules control when cross products are considered.
+struct EnumeratorOptions {
+  /// Which search order drives the visitor.
+  EnumeratorKind kind = EnumeratorKind::kBottomUp;
+  /// Maximum number of tables in the inner (right) input of a join.
+  /// 1 = left-deep plans only; >= n = full bushy search space.
+  int max_composite_inner = 64;
+  /// DB2 heuristic (§4 item 5): allow a Cartesian product when one input
+  /// has estimated cardinality <= 1. Because the *estimate-mode*
+  /// cardinality model is simpler, the two modes can disagree here — one
+  /// of the paper's error sources.
+  bool cartesian_when_card_one = true;
+  /// Allow arbitrary Cartesian products (usually off).
+  bool allow_all_cartesian = false;
+};
+
+/// \brief Aggregate counters reported by one enumeration run.
+struct EnumerationStats {
+  /// Distinct unordered splits {S, L} that produced at least one join.
+  int64_t joins_unordered = 0;
+  /// OnJoin() invocations (ordered (outer, inner) pairs).
+  int64_t joins_ordered = 0;
+  /// MEMO entries created (including the base tables).
+  int64_t entries_created = 0;
+};
+
+/// \brief The thin interface between join enumeration and plan generation.
+///
+/// The paper's key implementation idea (§3.1): the enumerator never
+/// generates plans itself; it reports each enumerated join to a visitor.
+/// The normal optimizer installs a plan-generating visitor; the
+/// compilation-time estimator installs a plan-*counting* visitor — the
+/// same joins are enumerated either way, because enumeration depends only
+/// on logical information (connectivity, cardinality), never on plan
+/// contents.
+class JoinVisitor {
+ public:
+  virtual ~JoinVisitor() = default;
+
+  /// Called exactly once when the MEMO entry for `s` comes into existence
+  /// (all singletons first, then join results in nondecreasing set size).
+  virtual void InitializeEntry(TableSet s) = 0;
+
+  /// Output cardinality of the existing entry `s`; consulted for the
+  /// cardinality-sensitive Cartesian-product heuristic. Cardinality is a
+  /// logical property, so this does not depend on generated plans.
+  virtual double EntryCardinality(TableSet s) = 0;
+
+  /// One enumerated join: `outer` joined with `inner` using the predicates
+  /// at `pred_indices` (indices into the query's join_predicates();
+  /// empty, with `cartesian` = true, for cross products).
+  virtual void OnJoin(TableSet outer, TableSet inner,
+                      const std::vector<int>& pred_indices,
+                      bool cartesian) = 0;
+};
+
+/// \brief Bottom-up dynamic-programming join enumerator (System R style).
+///
+/// Enumerates, for set sizes 2..n, every split of every table subset into
+/// two disjoint non-empty parts whose sub-entries exist, that are linked
+/// by at least one join predicate (or qualify under a Cartesian rule).
+/// Ordered (outer, inner) pairs are emitted subject to:
+///  * the composite-inner limit,
+///  * the outer input being "outer enabled" (outer joins, correlated
+///    table refs — §4 item 3),
+///  * outer-join orientation legality.
+class JoinEnumerator {
+ public:
+  JoinEnumerator(const QueryGraph& graph, const EnumeratorOptions& options)
+      : graph_(graph), options_(options) {}
+
+  /// Runs the full enumeration, driving `visitor`.
+  EnumerationStats Run(JoinVisitor* visitor);
+
+ private:
+  const QueryGraph& graph_;
+  EnumeratorOptions options_;
+};
+
+/// Runs whichever enumerator `options.kind` selects (bottom-up DP or
+/// top-down memoized recursion) over `visitor`.
+EnumerationStats RunEnumeration(const QueryGraph& graph,
+                                const EnumeratorOptions& options,
+                                JoinVisitor* visitor);
+
+}  // namespace cote
+
+#endif  // COTE_OPTIMIZER_ENUMERATOR_H_

@@ -1,0 +1,71 @@
+#include "optimizer/greedy_optimizer.h"
+
+#include <limits>
+
+namespace cote {
+
+const Plan* GreedyOptimizer::ScanPlan(int table_ref) {
+  const Table* table = graph_.table_ref(table_ref).table;
+  Plan* scan = memo_->NewPlan();
+  scan->op = OpType::kTableScan;
+  scan->tables = TableSet::Single(table_ref);
+  scan->rows = card_.BaseRows(table_ref);
+  scan->cost = cost_.TableScan(*table, scan->rows);
+  return scan;
+}
+
+const Plan* GreedyOptimizer::Run() {
+  const int n = graph_.num_tables();
+  if (n == 0) return nullptr;
+
+  // Start from the smallest filtered table.
+  int start = 0;
+  for (int t = 1; t < n; ++t) {
+    if (card_.BaseRows(t) < card_.BaseRows(start)) start = t;
+  }
+  const Plan* current = ScanPlan(start);
+  TableSet joined = TableSet::Single(start);
+
+  while (joined.size() < n) {
+    // Pick the connected table minimizing the intermediate cardinality;
+    // fall back to the smallest unjoined table (Cartesian step) if the
+    // graph is disconnected from here.
+    int best_t = -1;
+    double best_rows = std::numeric_limits<double>::infinity();
+    TableSet neighbors = graph_.Neighbors(joined);
+    TableSet candidates = neighbors.empty()
+                              ? graph_.AllTables().Minus(joined)
+                              : neighbors;
+    for (int t : candidates) {
+      double rows = card_.JoinRows(joined.With(t));
+      if (rows < best_rows) {
+        best_rows = rows;
+        best_t = t;
+      }
+    }
+    const Plan* inner = ScanPlan(best_t);
+    TableSet next = joined.With(best_t);
+    double out_rows = card_.JoinRows(next);
+
+    double nljn_cost =
+        cost_.Nljn(current->rows, current->cost, inner->rows, inner->cost);
+    double hsjn_cost = cost_.Hsjn(current->rows, current->cost, inner->rows,
+                                  inner->cost, out_rows);
+    bool has_pred = graph_.AreConnected(joined, TableSet::Single(best_t));
+
+    Plan* join = memo_->NewPlan();
+    join->op = (has_pred && hsjn_cost < nljn_cost) ? OpType::kHsjn
+                                                   : OpType::kNljn;
+    join->tables = next;
+    join->rows = out_rows;
+    join->cost = join->op == OpType::kHsjn ? hsjn_cost : nljn_cost;
+    join->child = current;
+    join->inner = inner;
+
+    current = join;
+    joined = next;
+  }
+  return current;
+}
+
+}  // namespace cote

@@ -1,0 +1,40 @@
+#ifndef COTE_OPTIMIZER_GREEDY_OPTIMIZER_H_
+#define COTE_OPTIMIZER_GREEDY_OPTIMIZER_H_
+
+#include "optimizer/cost/cardinality.h"
+#include "optimizer/cost/cost_model.h"
+#include "optimizer/memo.h"
+#include "query/query_graph.h"
+
+namespace cote {
+
+/// \brief The "low" optimization level: polynomial-time greedy join order.
+///
+/// Builds one left-deep plan by repeatedly joining in the connected table
+/// that minimizes the intermediate cardinality, choosing the cheaper of
+/// NLJN/HSJN at each step. This is the fast-but-possibly-poor optimizer a
+/// meta-optimizer runs first (Figure 1): its plan provides the execution
+/// cost estimate E that is compared with the COTE's estimated high-level
+/// compilation time C.
+class GreedyOptimizer {
+ public:
+  GreedyOptimizer(const QueryGraph& graph, const CostModel& cost_model,
+                  const CardinalityModel& cardinality, Memo* memo)
+      : graph_(graph), cost_(cost_model), card_(cardinality), memo_(memo) {}
+
+  /// Returns the greedy plan (allocated from the memo's arena), or nullptr
+  /// for an empty query.
+  const Plan* Run();
+
+ private:
+  const Plan* ScanPlan(int table_ref);
+
+  const QueryGraph& graph_;
+  const CostModel& cost_;
+  const CardinalityModel& card_;
+  Memo* memo_;
+};
+
+}  // namespace cote
+
+#endif  // COTE_OPTIMIZER_GREEDY_OPTIMIZER_H_

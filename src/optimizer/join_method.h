@@ -1,0 +1,57 @@
+#ifndef COTE_OPTIMIZER_JOIN_METHOD_H_
+#define COTE_OPTIMIZER_JOIN_METHOD_H_
+
+namespace cote {
+
+/// The three join methods of the paper (and of most systems).
+enum class JoinMethod {
+  kNljn = 0,  ///< nested-loops join
+  kMgjn = 1,  ///< sort-merge join
+  kHsjn = 2,  ///< hash join
+};
+
+inline constexpr int kNumJoinMethods = 3;
+
+inline const char* JoinMethodName(JoinMethod m) {
+  switch (m) {
+    case JoinMethod::kNljn:
+      return "NLJN";
+    case JoinMethod::kMgjn:
+      return "MGJN";
+    case JoinMethod::kHsjn:
+      return "HSJN";
+  }
+  return "?";
+}
+
+/// How a join method carries a physical property from input to output
+/// (paper Table 2).
+enum class Propagation {
+  kFull,     ///< any input property value survives (NLJN & order)
+  kPartial,  ///< only values tied to the join columns survive (MGJN & order)
+  kNone,     ///< the property is destroyed (HSJN & order)
+};
+
+/// Table 2, "Order" column: NLJN full, MGJN partial, HSJN none.
+inline Propagation OrderPropagation(JoinMethod m) {
+  switch (m) {
+    case JoinMethod::kNljn:
+      return Propagation::kFull;
+    case JoinMethod::kMgjn:
+      return Propagation::kPartial;
+    case JoinMethod::kHsjn:
+      return Propagation::kNone;
+  }
+  return Propagation::kNone;
+}
+
+/// Table 2, "Partition" column: all join methods propagate partitions fully
+/// (the join's output stays distributed the way its inputs were).
+inline Propagation PartitionPropagation(JoinMethod m) {
+  (void)m;
+  return Propagation::kFull;
+}
+
+}  // namespace cote
+
+#endif  // COTE_OPTIMIZER_JOIN_METHOD_H_

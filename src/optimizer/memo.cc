@@ -1,0 +1,115 @@
+#include "optimizer/memo.h"
+
+#include <algorithm>
+
+namespace cote {
+
+MemoEntry::MemoEntry(TableSet set, const QueryGraph& graph) : set_(set) {
+  // Logical properties computed once per entry: column equivalence from the
+  // inner predicates applied inside the set, and outer-eligibility.
+  for (const JoinPredicate& p : graph.join_predicates()) {
+    if (p.kind != JoinKind::kInner) continue;
+    if (set.Contains(p.left.table) && set.Contains(p.right.table)) {
+      equiv_.AddEquivalence(p.left, p.right);
+    }
+  }
+  outer_enabled_ = graph.OuterEnabled(set);
+}
+
+const Plan* MemoEntry::Cheapest() const {
+  const Plan* best = nullptr;
+  for (const Plan* p : plans_) {
+    if (best == nullptr || p->cost < best->cost) best = p;
+  }
+  return best;
+}
+
+const Plan* MemoEntry::CheapestSatisfying(
+    const OrderProperty& required_order,
+    const PartitionProperty& required_partition) const {
+  const Plan* best = nullptr;
+  for (const Plan* p : plans_) {
+    if (!p->order.SatisfiesPrefix(required_order)) continue;
+    if (!p->partition.Satisfies(required_partition)) continue;
+    if (best == nullptr || p->cost < best->cost) best = p;
+  }
+  return best;
+}
+
+MemoEntry* Memo::GetOrCreate(TableSet s, bool* created) {
+  auto it = entries_.find(s.bits());
+  if (it != entries_.end()) {
+    if (created != nullptr) *created = false;
+    return it->second.get();
+  }
+  auto entry = std::make_unique<MemoEntry>(s, graph_);
+  MemoEntry* raw = entry.get();
+  entries_.emplace(s.bits(), std::move(entry));
+  creation_order_.push_back(raw);
+  if (created != nullptr) *created = true;
+  return raw;
+}
+
+MemoEntry* Memo::Find(TableSet s) {
+  auto it = entries_.find(s.bits());
+  return it == entries_.end() ? nullptr : it->second.get();
+}
+
+const MemoEntry* Memo::Find(TableSet s) const {
+  auto it = entries_.find(s.bits());
+  return it == entries_.end() ? nullptr : it->second.get();
+}
+
+Plan* Memo::NewPlan() {
+  ++plans_allocated_;
+  arena_.emplace_back();
+  return &arena_.back();
+}
+
+bool Memo::Insert(MemoEntry* entry, Plan* plan) {
+  // Dominance: q dominates p if q is no more expensive and q's properties
+  // are at least as general (q's order prefix-satisfies p's, q's partition
+  // satisfies p's requirement, and — for first-rows queries, where the
+  // pipelinable property is interesting — q pipelines whenever p does).
+  const bool track_pipeline = graph_.wants_first_rows();
+  auto dominates = [track_pipeline](const Plan* q, const Plan* p) {
+    return q->cost <= p->cost && q->order.SatisfiesPrefix(p->order) &&
+           q->partition.Satisfies(p->partition) &&
+           (!track_pipeline || q->pipelinable || !p->pipelinable);
+  };
+  for (const Plan* existing : entry->plans_) {
+    if (dominates(existing, plan)) return false;
+  }
+  auto& plans = entry->plans_;
+  plans.erase(std::remove_if(plans.begin(), plans.end(),
+                             [&](const Plan* existing) {
+                               return dominates(plan, existing);
+                             }),
+              plans.end());
+  plans.push_back(plan);
+  return true;
+}
+
+int64_t Memo::plans_stored() const {
+  int64_t n = 0;
+  for (const MemoEntry* e : creation_order_) {
+    n += static_cast<int64_t>(e->plans().size());
+  }
+  return n;
+}
+
+int64_t Memo::ApproxMemoryBytes() const {
+  int64_t bytes = 0;
+  for (const MemoEntry* e : creation_order_) {
+    bytes += static_cast<int64_t>(sizeof(MemoEntry));
+    for (const Plan* p : e->plans()) {
+      bytes += static_cast<int64_t>(
+          sizeof(Plan) +
+          p->order.columns().size() * sizeof(ColumnRef) +
+          p->partition.columns().size() * sizeof(ColumnRef));
+    }
+  }
+  return bytes;
+}
+
+}  // namespace cote

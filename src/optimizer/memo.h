@@ -1,0 +1,105 @@
+#ifndef COTE_OPTIMIZER_MEMO_H_
+#define COTE_OPTIMIZER_MEMO_H_
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/table_set.h"
+#include "common/timer.h"
+#include "optimizer/plan/plan.h"
+#include "query/equivalence.h"
+#include "query/query_graph.h"
+
+namespace cote {
+
+/// \brief One MEMO entry: all non-pruned plans for a set of tables.
+///
+/// Besides the plan list, the entry caches the *logical* properties of the
+/// expression: output cardinality and the column-equivalence relation
+/// induced by the predicates applied inside the set (computed once per
+/// entry — the paper's "property caching", §3.2).
+class MemoEntry {
+ public:
+  MemoEntry(TableSet set, const QueryGraph& graph);
+
+  TableSet set() const { return set_; }
+  const ColumnEquivalence& equivalence() const { return equiv_; }
+
+  bool outer_enabled() const { return outer_enabled_; }
+
+  /// Cached output cardinality; negative until set by the visitor.
+  double cardinality() const { return cardinality_; }
+  void set_cardinality(double c) { cardinality_ = c; }
+
+  const std::vector<const Plan*>& plans() const { return plans_; }
+
+  /// Cheapest plan regardless of properties; nullptr if empty.
+  const Plan* Cheapest() const;
+
+  /// Cheapest plan whose order prefix-satisfies `required_order` (pass
+  /// None() for "don't care") and whose partition satisfies
+  /// `required_partition`. nullptr if none qualifies.
+  const Plan* CheapestSatisfying(const OrderProperty& required_order,
+                                 const PartitionProperty& required_partition)
+      const;
+
+ private:
+  friend class Memo;
+
+  TableSet set_;
+  double cardinality_ = -1;
+  bool outer_enabled_ = true;
+  ColumnEquivalence equiv_;
+  std::vector<const Plan*> plans_;
+};
+
+/// \brief The dynamic-programming MEMO structure (§2.1).
+///
+/// Owns all plans in an arena (stable pointers). Insertion applies
+/// cost+property pruning: a plan is dominated by a cheaper-or-equal plan
+/// whose order and partition are at least as general. The "plan saving"
+/// time the paper's Figure 2 charges at 16% is exactly the time spent in
+/// Insert(), which callers may measure via the save timer.
+class Memo {
+ public:
+  explicit Memo(const QueryGraph& graph) : graph_(graph) {}
+  Memo(const Memo&) = delete;
+  Memo& operator=(const Memo&) = delete;
+
+  /// Finds or creates the entry for `s`; `created` reports which happened.
+  MemoEntry* GetOrCreate(TableSet s, bool* created = nullptr);
+  MemoEntry* Find(TableSet s);
+  const MemoEntry* Find(TableSet s) const;
+
+  /// Allocates a plan node from the arena (counted as "generated").
+  Plan* NewPlan();
+
+  /// Inserts with pruning; returns true if the plan survived.
+  bool Insert(MemoEntry* entry, Plan* plan);
+
+  int64_t num_entries() const { return static_cast<int64_t>(entries_.size()); }
+  int64_t plans_allocated() const { return plans_allocated_; }
+  int64_t plans_stored() const;
+
+  /// Actual bytes held by MEMO plan lists (stored plans only) — the
+  /// quantity the §6.2 memory estimator lower-bounds.
+  int64_t ApproxMemoryBytes() const;
+
+  /// Iteration over entries (deterministic order of creation).
+  const std::vector<MemoEntry*>& entries_in_order() const {
+    return creation_order_;
+  }
+
+ private:
+  const QueryGraph& graph_;
+  std::unordered_map<uint64_t, std::unique_ptr<MemoEntry>> entries_;
+  std::vector<MemoEntry*> creation_order_;
+  std::deque<Plan> arena_;
+  int64_t plans_allocated_ = 0;
+};
+
+}  // namespace cote
+
+#endif  // COTE_OPTIMIZER_MEMO_H_

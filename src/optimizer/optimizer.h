@@ -1,0 +1,74 @@
+#ifndef COTE_OPTIMIZER_OPTIMIZER_H_
+#define COTE_OPTIMIZER_OPTIMIZER_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "optimizer/cost/cost_model.h"
+#include "optimizer/enumerator.h"
+#include "optimizer/plan_generator.h"
+#include "optimizer/stats.h"
+#include "query/query_graph.h"
+
+namespace cote {
+
+/// Optimization levels in the sense of §1.1: a cheap polynomial "low"
+/// level and a dynamic-programming "high" level whose search space is
+/// further shaped by the enumerator knobs.
+enum class OptimizationLevel {
+  kLow,   ///< greedy join ordering, single plan, no properties
+  kHigh,  ///< full DP enumeration with physical properties
+};
+
+/// \brief All configuration of one optimizer instance.
+struct OptimizerOptions {
+  OptimizationLevel level = OptimizationLevel::kHigh;
+  EnumeratorOptions enumeration;
+  PlanGenOptions plangen;
+  CostParams cost;
+  /// Number of shared-nothing nodes; > 1 selects parallel planning.
+  int num_nodes = 1;
+
+  /// Convenience factory for the parallel configuration used throughout
+  /// the paper's experiments (4 logical nodes).
+  static OptimizerOptions Parallel(int nodes = 4) {
+    OptimizerOptions o;
+    o.num_nodes = nodes;
+    return o;
+  }
+};
+
+/// \brief Result of one compilation: the chosen plan plus instrumentation.
+struct OptimizeResult {
+  const Plan* best_plan = nullptr;
+  OptimizeStats stats;
+  /// Owns every plan (including best_plan); keep it alive while plans are
+  /// inspected. Shared so results are cheap to copy around benches.
+  std::shared_ptr<Memo> memo;
+};
+
+/// \brief The full query optimizer facade.
+///
+/// Usage:
+///   Optimizer opt(options);
+///   StatusOr<OptimizeResult> result = opt.Optimize(graph);
+///
+/// Optimize() runs base-plan generation, DP join enumeration with plan
+/// generation (or the greedy pass at kLow), and query completion (final
+/// sort / group-by planning), and reports detailed per-phase statistics.
+class Optimizer {
+ public:
+  explicit Optimizer(OptimizerOptions options = {});
+
+  StatusOr<OptimizeResult> Optimize(const QueryGraph& graph) const;
+
+ private:
+  StatusOr<OptimizeResult> OptimizeHigh(const QueryGraph& graph) const;
+  StatusOr<OptimizeResult> OptimizeLow(const QueryGraph& graph) const;
+
+  OptimizerOptions options_;
+};
+
+}  // namespace cote
+
+#endif  // COTE_OPTIMIZER_OPTIMIZER_H_

@@ -1,0 +1,72 @@
+#include "optimizer/plan/dot_export.h"
+
+#include <unordered_map>
+
+#include "common/str_util.h"
+
+namespace cote {
+
+std::string QueryGraphToDot(const QueryGraph& graph) {
+  std::string out = "graph join_graph {\n  node [shape=box];\n";
+  for (int t = 0; t < graph.num_tables(); ++t) {
+    const QueryTableRef& ref = graph.table_ref(t);
+    out += StrFormat("  t%d [label=\"%s\\n(%s, %.0f rows)\"%s];\n", t,
+                     ref.alias.c_str(), ref.table->name().c_str(),
+                     ref.table->row_count(),
+                     ref.inner_only ? " style=dashed" : "");
+  }
+  for (const JoinPredicate& p : graph.join_predicates()) {
+    std::string attrs;
+    if (p.derived) attrs += " style=dashed";
+    if (p.kind == JoinKind::kLeftOuter) attrs += " color=gray dir=forward";
+    out += StrFormat("  t%d -- t%d [label=\"%s=%s\"%s];\n",
+                     static_cast<int>(p.left.table),
+                     static_cast<int>(p.right.table),
+                     graph.ColumnName(p.left).c_str(),
+                     graph.ColumnName(p.right).c_str(), attrs.c_str());
+  }
+  out += "}\n";
+  return out;
+}
+
+namespace {
+
+bool IsEnforcer(OpType op) {
+  return op == OpType::kSort || op == OpType::kRepartition ||
+         op == OpType::kReplicate;
+}
+
+void EmitPlanNode(const Plan* p, std::string* out, int* next_id,
+                  std::unordered_map<const Plan*, int>* ids) {
+  if (p == nullptr || ids->count(p) > 0) return;
+  int id = (*next_id)++;
+  (*ids)[p] = id;
+  std::string label = StrFormat("%s\\n%s\\nrows=%.1f cost=%.1f",
+                                OpTypeName(p->op),
+                                p->tables.ToString().c_str(), p->rows,
+                                p->cost);
+  if (!p->order.IsNone()) label += "\\norder=" + p->order.ToString();
+  if (p->partition.kind() != PartitionProperty::Kind::kSerial) {
+    label += "\\npart=" + p->partition.ToString();
+  }
+  *out += StrFormat("  n%d [label=\"%s\"%s];\n", id, label.c_str(),
+                    IsEnforcer(p->op) ? " style=dotted" : "");
+  for (const Plan* child : {p->child, p->inner}) {
+    if (child == nullptr) continue;
+    EmitPlanNode(child, out, next_id, ids);
+    *out += StrFormat("  n%d -> n%d;\n", id, (*ids)[child]);
+  }
+}
+
+}  // namespace
+
+std::string PlanToDot(const Plan* root) {
+  std::string out = "digraph plan {\n  node [shape=box];\n";
+  int next_id = 0;
+  std::unordered_map<const Plan*, int> ids;
+  EmitPlanNode(root, &out, &next_id, &ids);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace cote

@@ -1,0 +1,26 @@
+#ifndef COTE_OPTIMIZER_PLAN_DOT_EXPORT_H_
+#define COTE_OPTIMIZER_PLAN_DOT_EXPORT_H_
+
+#include <string>
+
+#include "optimizer/plan/plan.h"
+#include "query/query_graph.h"
+
+namespace cote {
+
+/// \brief Graphviz DOT exporters for debugging and documentation.
+///
+/// Render with e.g.  `dot -Tsvg plan.dot -o plan.svg`.
+
+/// The join graph: one node per table ref (label = alias), one edge per
+/// join predicate (solid = written, dashed = derived by transitive
+/// closure, open arrowhead = left outer toward the null-producing side).
+std::string QueryGraphToDot(const QueryGraph& graph);
+
+/// The plan tree: one node per operator with rows/cost/properties;
+/// enforcers are drawn in a lighter style.
+std::string PlanToDot(const Plan* root);
+
+}  // namespace cote
+
+#endif  // COTE_OPTIMIZER_PLAN_DOT_EXPORT_H_

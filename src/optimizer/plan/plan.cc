@@ -1,0 +1,53 @@
+#include "optimizer/plan/plan.h"
+
+#include "common/str_util.h"
+
+namespace cote {
+
+const char* OpTypeName(OpType op) {
+  switch (op) {
+    case OpType::kTableScan:
+      return "TableScan";
+    case OpType::kIndexScan:
+      return "IndexScan";
+    case OpType::kSort:
+      return "Sort";
+    case OpType::kRepartition:
+      return "Repartition";
+    case OpType::kReplicate:
+      return "Replicate";
+    case OpType::kNljn:
+      return "NLJN";
+    case OpType::kMgjn:
+      return "MGJN";
+    case OpType::kHsjn:
+      return "HSJN";
+    case OpType::kGroupBySort:
+      return "GroupBy(sort)";
+    case OpType::kGroupByHash:
+      return "GroupBy(hash)";
+  }
+  return "?";
+}
+
+std::string Plan::Describe() const {
+  std::string out = StrFormat("%s %s rows=%.1f cost=%.2f order=%s",
+                              OpTypeName(op), tables.ToString().c_str(), rows,
+                              cost, order.ToString().c_str());
+  if (partition.kind() != PartitionProperty::Kind::kSerial) {
+    out += " part=" + partition.ToString();
+  }
+  return out;
+}
+
+std::string PrintPlan(const Plan* plan, int indent) {
+  if (plan == nullptr) return std::string(indent, ' ') + "(null)\n";
+  std::string out(indent, ' ');
+  out += plan->Describe();
+  out += "\n";
+  if (plan->child != nullptr) out += PrintPlan(plan->child, indent + 2);
+  if (plan->inner != nullptr) out += PrintPlan(plan->inner, indent + 2);
+  return out;
+}
+
+}  // namespace cote

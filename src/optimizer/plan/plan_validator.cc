@@ -1,0 +1,172 @@
+#include "optimizer/plan/plan_validator.h"
+
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace cote {
+
+namespace {
+
+Status Violation(const Plan* p, const std::string& what) {
+  return Status::Internal(what + " in: " + p->Describe());
+}
+
+}  // namespace
+
+Status PlanValidator::CheckNode(const Plan* p) const {
+  if (p == nullptr) return Status::Internal("null plan node");
+  if (!(p->rows > 0) || !std::isfinite(p->rows)) {
+    return Violation(p, "non-positive rows");
+  }
+  if (p->cost < 0 || !std::isfinite(p->cost)) {
+    return Violation(p, "invalid cost");
+  }
+  if (p->tables.empty()) return Violation(p, "empty table set");
+
+  // Order columns reference tables inside the node's set (equivalence
+  // representatives are always drawn from applied predicates, whose
+  // tables are inside the set).
+  for (const ColumnRef& c : p->order.columns()) {
+    if (!p->tables.Contains(c.table)) {
+      return Violation(p, "order column outside table set");
+    }
+  }
+  // Partition keys may canonicalize to either side of a join predicate,
+  // but must reference real query tables.
+  for (const ColumnRef& c : p->partition.columns()) {
+    if (c.table < 0 || c.table >= graph_.num_tables()) {
+      return Violation(p, "partition column outside query");
+    }
+  }
+
+  switch (p->op) {
+    case OpType::kTableScan:
+    case OpType::kIndexScan:
+      if (p->tables.size() != 1) return Violation(p, "scan of non-singleton");
+      if (p->child != nullptr || p->inner != nullptr) {
+        return Violation(p, "scan with children");
+      }
+      if (!p->pipelinable) return Violation(p, "non-pipelinable scan");
+      if (p->op == OpType::kIndexScan) {
+        const Table* t = graph_.table_ref(p->tables.First()).table;
+        if (p->index_id < 0 ||
+            p->index_id >= static_cast<int>(t->indexes().size())) {
+          return Violation(p, "bad index id");
+        }
+      }
+      break;
+    case OpType::kSort:
+      if (p->order.IsNone()) return Violation(p, "sort without order");
+      if (p->pipelinable) return Violation(p, "pipelinable sort");
+      break;
+    case OpType::kRepartition:
+      if (p->partition.kind() != PartitionProperty::Kind::kHash) {
+        return Violation(p, "repartition without hash target");
+      }
+      break;
+    case OpType::kReplicate:
+      if (p->partition.kind() != PartitionProperty::Kind::kReplicated) {
+        return Violation(p, "replicate without replicated output");
+      }
+      break;
+    case OpType::kNljn:
+    case OpType::kMgjn:
+      if (p->child == nullptr || p->inner == nullptr) {
+        return Violation(p, "join missing input");
+      }
+      if (p->pipelinable !=
+          (p->child->pipelinable && p->inner->pipelinable)) {
+        return Violation(p, "join pipeline flag inconsistent");
+      }
+      break;
+    case OpType::kHsjn:
+      if (p->child == nullptr || p->inner == nullptr) {
+        return Violation(p, "join missing input");
+      }
+      if (p->pipelinable) return Violation(p, "pipelinable hash join");
+      if (!p->order.IsNone()) return Violation(p, "ordered hash join");
+      break;
+    case OpType::kGroupByHash:
+      if (p->pipelinable) return Violation(p, "pipelinable hash aggregate");
+      break;
+    case OpType::kGroupBySort:
+      break;
+  }
+
+  if (p->IsJoin()) {
+    if (p->child->tables.Overlaps(p->inner->tables)) {
+      return Violation(p, "join inputs overlap");
+    }
+    if (p->child->tables.Union(p->inner->tables) != p->tables) {
+      return Violation(p, "join inputs do not cover output");
+    }
+    if (p->cost + 1e-9 < p->child->cost) {
+      return Violation(p, "join cheaper than its outer input");
+    }
+    // Index nested-loops (index_id >= 0): the inner is a parameterized
+    // access path probed per row — its standalone scan cost is not paid.
+    bool inl = p->op == OpType::kNljn && p->index_id >= 0;
+    if (inl && p->inner->op != OpType::kIndexScan) {
+      return Violation(p, "index nested-loops without index inner");
+    }
+    if (!inl && p->cost + 1e-9 < p->inner->cost) {
+      return Violation(p, "join cheaper than its inner input");
+    }
+  } else if (p->child != nullptr) {
+    if (p->child->tables != p->tables) {
+      return Violation(p, "unary operator changes table set");
+    }
+    if (p->inner != nullptr) return Violation(p, "unary with two children");
+    if (p->cost + 1e-9 < p->child->cost) {
+      return Violation(p, "operator cheaper than its input");
+    }
+  }
+  return Status::OK();
+}
+
+Status PlanValidator::ValidatePlan(const Plan* plan) const {
+  COTE_RETURN_NOT_OK(CheckNode(plan));
+  if (plan->child != nullptr) COTE_RETURN_NOT_OK(ValidatePlan(plan->child));
+  if (plan->inner != nullptr) COTE_RETURN_NOT_OK(ValidatePlan(plan->inner));
+  return Status::OK();
+}
+
+Status PlanValidator::ValidateMemo(const Memo& memo) const {
+  const bool track_pipeline = graph_.wants_first_rows();
+  for (const MemoEntry* entry : memo.entries_in_order()) {
+    if (entry->cardinality() < 0) {
+      return Status::Internal("entry " + entry->set().ToString() +
+                              " has unset cardinality");
+    }
+    const auto& plans = entry->plans();
+    for (size_t i = 0; i < plans.size(); ++i) {
+      if (plans[i]->tables != entry->set()) {
+        return Status::Internal("plan outside its entry: " +
+                                plans[i]->Describe());
+      }
+      COTE_RETURN_NOT_OK(ValidatePlan(plans[i]));
+      for (size_t k = 0; k < plans.size(); ++k) {
+        if (i == k) continue;
+        const Plan* q = plans[k];
+        const Plan* p = plans[i];
+        bool dominates = q->cost <= p->cost &&
+                         q->order.SatisfiesPrefix(p->order) &&
+                         q->partition.Satisfies(p->partition) &&
+                         (!track_pipeline || q->pipelinable ||
+                          !p->pipelinable);
+        // Ties on every dimension are allowed to coexist only if the two
+        // plans are property-identical duplicates — which Insert prevents.
+        if (dominates) {
+          return Status::Internal(
+              StrFormat("dominated plan kept in %s: [%s] dominated by [%s]",
+                        entry->set().ToString().c_str(),
+                        p->Describe().c_str(), q->Describe().c_str()));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace cote

@@ -1,0 +1,47 @@
+#ifndef COTE_OPTIMIZER_PLAN_PLAN_VALIDATOR_H_
+#define COTE_OPTIMIZER_PLAN_PLAN_VALIDATOR_H_
+
+#include "common/status.h"
+#include "optimizer/memo.h"
+#include "optimizer/plan/plan.h"
+#include "query/query_graph.h"
+
+namespace cote {
+
+/// \brief Structural invariant checker for plans and MEMO contents.
+///
+/// Used by the test suite as a deep property check over everything the
+/// optimizer produces, and available to applications as a debugging aid.
+/// Checked invariants:
+///
+///  * every node has positive rows, finite non-negative cost;
+///  * a join's children are non-null, cover disjoint table sets whose
+///    union is the join's set, and cost at least their children;
+///  * unary operators preserve the table set; scans are leaf singletons;
+///  * SORT carries a non-empty order and is not pipelinable; HSJN and
+///    hash aggregation are not pipelinable; NLJN/MGJN pipeline exactly
+///    when both inputs do; Repartition/Replicate carry matching partition
+///    kinds;
+///  * order columns reference tables inside the node's table set, and
+///    partition key columns reference tables of the query;
+///  * within a MEMO entry, every stored plan covers the entry's set and
+///    no stored plan dominates another (the list is a Pareto frontier).
+class PlanValidator {
+ public:
+  explicit PlanValidator(const QueryGraph& graph) : graph_(graph) {}
+
+  /// Validates one plan subtree; returns the first violation found.
+  Status ValidatePlan(const Plan* plan) const;
+
+  /// Validates every plan stored in every entry of the MEMO.
+  Status ValidateMemo(const Memo& memo) const;
+
+ private:
+  Status CheckNode(const Plan* p) const;
+
+  const QueryGraph& graph_;
+};
+
+}  // namespace cote
+
+#endif  // COTE_OPTIMIZER_PLAN_PLAN_VALIDATOR_H_

@@ -1,0 +1,596 @@
+#include "optimizer/plan_generator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cote {
+
+PlanGenerator::PlanGenerator(const QueryGraph& graph, Memo* memo,
+                             const CostModel& cost_model,
+                             const CardinalityModel& cardinality,
+                             const InterestingOrders& interesting,
+                             const PlanGenOptions& options)
+    : graph_(graph),
+      memo_(memo),
+      cost_(cost_model),
+      card_(cardinality),
+      interesting_(interesting),
+      options_(options) {}
+
+bool PlanGenerator::SavePlan(MemoEntry* entry, Plan* plan) {
+  if (options_.pilot_pass && plan->cost > options_.pilot_cost) {
+    ++pruned_by_pilot_;
+    return false;
+  }
+  ScopedTimer t(&save_time_);
+  return memo_->Insert(entry, plan);
+}
+
+OrderProperty PlanGenerator::OutputOrder(const OrderProperty& order,
+                                         const MemoEntry& j) const {
+  if (order.IsNone()) return order;
+  OrderProperty canonical = order.Canonicalize(j.equivalence());
+  if (interesting_.Useful(canonical, j.set(), j.equivalence())) {
+    return canonical;
+  }
+  return OrderProperty::None();  // retired: collapses to DC
+}
+
+double PlanGenerator::EntryCardinality(TableSet s) {
+  MemoEntry* e = memo_->Find(s);
+  if (e != nullptr) {
+    if (e->cardinality() < 0) e->set_cardinality(card_.JoinRows(s));
+    return e->cardinality();
+  }
+  return card_.JoinRows(s);
+}
+
+void PlanGenerator::InitializeEntry(TableSet s) {
+  ScopedTimer timer(&init_time_);
+  MemoEntry* entry = memo_->GetOrCreate(s);
+  entry->set_cardinality(card_.JoinRows(s));
+  if (s.size() > 1) return;
+
+  // Base-table access plans.
+  const int t = s.First();
+  const Table* table = graph_.table_ref(t).table;
+  const double rows = entry->cardinality();
+
+  PartitionProperty base_part = PartitionProperty::Serial();
+  if (options_.parallel) {
+    const PartitioningSpec& spec = table->partitioning();
+    switch (spec.kind) {
+      case PartitionKind::kHash: {
+        std::vector<ColumnRef> cols;
+        for (int ord : spec.key_columns) cols.emplace_back(t, ord);
+        base_part = PartitionProperty::Hash(std::move(cols));
+        break;
+      }
+      case PartitionKind::kReplicated:
+        base_part = PartitionProperty::Replicated();
+        break;
+      case PartitionKind::kSingleNode:
+        base_part = PartitionProperty::SingleNode();
+        break;
+    }
+  }
+
+  Plan* scan = memo_->NewPlan();
+  scan->op = OpType::kTableScan;
+  scan->tables = s;
+  scan->rows = rows;
+  scan->cost = cost_.TableScan(*table, rows);
+  scan->order = OrderProperty::None();
+  scan->partition = base_part;
+  ++scan_plans_;
+  SavePlan(entry, scan);
+
+  for (size_t i = 0; i < table->indexes().size(); ++i) {
+    const Index& idx = table->indexes()[i];
+    std::vector<ColumnRef> key_cols;
+    for (int ord : idx.key_columns) key_cols.emplace_back(t, ord);
+    // Selectivity of local predicates matching the leading key column.
+    double match_sel = 1.0;
+    for (const LocalPredicate& p : graph_.local_predicates()) {
+      if (p.column.table == t && !key_cols.empty() &&
+          p.column == key_cols[0]) {
+        match_sel *= p.selectivity;
+      }
+    }
+    Plan* iscan = memo_->NewPlan();
+    iscan->op = OpType::kIndexScan;
+    iscan->tables = s;
+    iscan->rows = rows;
+    iscan->cost = cost_.IndexScan(*table, idx, match_sel, rows);
+    iscan->order = OutputOrder(OrderProperty(key_cols), *entry);
+    iscan->partition = base_part;
+    iscan->index_id = static_cast<int>(i);
+    ++scan_plans_;
+    SavePlan(entry, iscan);
+  }
+
+  if (options_.parallel && options_.eager_partitions) {
+    // Eager partition policy: force each interesting partition (a join
+    // column of this table) into existence with a repartition enforcer.
+    const Plan* cheapest = entry->Cheapest();
+    for (const JoinPredicate& pred : graph_.join_predicates()) {
+      ColumnRef side = pred.SideIn(t);
+      if (!side.valid()) continue;
+      PartitionProperty target = PartitionProperty::Hash({side});
+      if (entry->CheapestSatisfying(OrderProperty::None(), target) !=
+          nullptr) {
+        continue;  // exists naturally
+      }
+      Plan* move = memo_->NewPlan();
+      move->op = OpType::kRepartition;
+      move->tables = s;
+      move->rows = rows;
+      move->cost = cheapest->cost + cost_.Repartition(rows);
+      move->order = OrderProperty::None();
+      move->partition = target;
+      move->pipelinable = cheapest->pipelinable;
+      move->child = cheapest;
+      ++enforcers_;
+      SavePlan(entry, move);
+    }
+  }
+
+  if (options_.eager_orders) {
+    // Eager order policy: force every interesting order applicable to this
+    // table into existence with a SORT enforcer (§4 item 1).
+    const Plan* cheapest = entry->Cheapest();
+    for (const OrderInterest* interest : interesting_.ActiveInterests(s)) {
+      OrderProperty o = interest->order.Canonicalize(entry->equivalence());
+      if (o.IsNone()) continue;
+      if (entry->CheapestSatisfying(o, PartitionProperty::Serial()) !=
+          nullptr) {
+        continue;  // already exists naturally
+      }
+      Plan* sort = memo_->NewPlan();
+      sort->op = OpType::kSort;
+      sort->tables = s;
+      sort->rows = rows;
+      sort->cost = cheapest->cost + cost_.Sort(rows, o.size());
+      sort->order = o;
+      sort->partition = cheapest->partition;
+      sort->pipelinable = false;  // SORT materializes
+      sort->child = cheapest;
+      ++enforcers_;
+      SavePlan(entry, sort);
+    }
+  }
+}
+
+const Plan* PlanGenerator::InputPlan(MemoEntry* e, const OrderProperty& order,
+                                     const PartitionProperty& partition) {
+  // 1. Natural plan satisfying both requirements.
+  const Plan* best = e->CheapestSatisfying(order, partition);
+
+  // 2. Sort enforcer on the cheapest partition-satisfying plan.
+  const Plan* part_ok = order.IsNone()
+                            ? nullptr
+                            : e->CheapestSatisfying(OrderProperty::None(),
+                                                    partition);
+  double sort_cost = part_ok == nullptr
+                         ? 0
+                         : part_ok->cost + cost_.Sort(part_ok->rows,
+                                                      order.size());
+  // 3. Repartition (+ sort) on the overall cheapest plan; only hash and
+  // replicated targets are enforceable.
+  const Plan* cheapest = e->Cheapest();
+  bool enforceable =
+      partition.kind() == PartitionProperty::Kind::kHash ||
+      partition.kind() == PartitionProperty::Kind::kReplicated;
+  double move_cost = 0;
+  if (cheapest != nullptr && enforceable) {
+    move_cost = cheapest->cost +
+                (partition.kind() == PartitionProperty::Kind::kHash
+                     ? cost_.Repartition(cheapest->rows)
+                     : cost_.Replicate(cheapest->rows));
+    if (!order.IsNone()) {
+      move_cost += cost_.Sort(cheapest->rows, order.size());
+    }
+  }
+
+  // Pick the cheapest feasible alternative; materialize enforcers lazily.
+  double best_cost = best != nullptr ? best->cost
+                                     : std::numeric_limits<double>::infinity();
+  if (part_ok != nullptr && sort_cost < best_cost) {
+    Plan* sort = memo_->NewPlan();
+    sort->op = OpType::kSort;
+    sort->tables = e->set();
+    sort->rows = part_ok->rows;
+    sort->cost = sort_cost;
+    sort->order = order;
+    sort->partition = part_ok->partition;
+    sort->pipelinable = false;
+    sort->child = part_ok;
+    ++enforcers_;
+    best = sort;
+    best_cost = sort_cost;
+  }
+  if (cheapest != nullptr && enforceable && move_cost < best_cost) {
+    Plan* move = memo_->NewPlan();
+    move->op = partition.kind() == PartitionProperty::Kind::kHash
+                   ? OpType::kRepartition
+                   : OpType::kReplicate;
+    move->tables = e->set();
+    move->rows = cheapest->rows;
+    move->cost = cheapest->cost +
+                 (partition.kind() == PartitionProperty::Kind::kHash
+                      ? cost_.Repartition(cheapest->rows)
+                      : cost_.Replicate(cheapest->rows));
+    move->order = OrderProperty::None();
+    move->partition = partition;
+    move->pipelinable = cheapest->pipelinable;  // exchanges stream
+    move->child = cheapest;
+    ++enforcers_;
+    const Plan* input = move;
+    if (!order.IsNone()) {
+      Plan* sort = memo_->NewPlan();
+      sort->op = OpType::kSort;
+      sort->tables = e->set();
+      sort->rows = move->rows;
+      sort->cost = move_cost;
+      sort->order = order;
+      sort->partition = partition;
+      sort->pipelinable = false;
+      sort->child = move;
+      ++enforcers_;
+      input = sort;
+    }
+    best = input;
+  }
+  return best;
+}
+
+const Plan* PlanGenerator::ReplicatedInput(MemoEntry* e) {
+  return InputPlan(e, OrderProperty::None(), PartitionProperty::Replicated());
+}
+
+std::vector<PartitionProperty> PlanGenerator::JoinPartitions(
+    const MemoEntry& s, const MemoEntry& l,
+    const std::vector<ColumnRef>& jcols, const MemoEntry& j) const {
+  if (!options_.parallel) return {PartitionProperty::Serial()};
+
+  std::vector<PartitionProperty> out;
+  auto add = [&out](const PartitionProperty& p) {
+    if (std::find(out.begin(), out.end(), p) == out.end()) out.push_back(p);
+  };
+  // Co-location-valid hash partitions already present in either input.
+  for (const MemoEntry* e : {&s, &l}) {
+    for (const Plan* p : e->plans()) {
+      PartitionProperty canon = p->partition.Canonicalize(j.equivalence());
+      if (canon.kind() == PartitionProperty::Kind::kHash &&
+          canon.KeysSubsetOf(jcols)) {
+        add(canon);
+      }
+    }
+  }
+  // Single-node joins are co-located if both sides can be on one node.
+  bool s_single = false, l_single = false;
+  for (const Plan* p : s.plans()) {
+    s_single |= p->partition.kind() == PartitionProperty::Kind::kSingleNode;
+  }
+  for (const Plan* p : l.plans()) {
+    l_single |= p->partition.kind() == PartitionProperty::Kind::kSingleNode;
+  }
+  if (s_single && l_single) add(PartitionProperty::SingleNode());
+
+  // No input partitioned usefully: repartition both sides on the join
+  // columns — creating a brand-new interesting partition value (§4).
+  if (out.empty() && !jcols.empty()) {
+    add(PartitionProperty::Hash(jcols));
+  }
+  if (out.empty()) add(PartitionProperty::SingleNode());
+  return out;
+}
+
+void PlanGenerator::OnJoin(TableSet outer, TableSet inner,
+                           const std::vector<int>& pred_indices,
+                           bool cartesian) {
+  ScopedTimer timer(&on_join_time_);
+  (void)cartesian;
+
+  MemoEntry* s = memo_->Find(outer);
+  MemoEntry* l = memo_->Find(inner);
+  MemoEntry* j = memo_->Find(outer.Union(inner));
+  assert(s != nullptr && l != nullptr && j != nullptr);
+  if (j->cardinality() < 0) j->set_cardinality(card_.JoinRows(j->set()));
+
+  // Merge-join candidates, oriented per side, deduped by their canonical
+  // merge order (transitive-closure predicates often alias each other).
+  std::vector<MergeCandidate> candidates;
+  std::vector<OrderProperty> seen_orders;
+  std::vector<ColumnRef> all_outer_cols, all_inner_cols;
+  auto add_candidate = [&](MergeCandidate cand) {
+    OrderProperty canon =
+        OrderProperty(cand.outer_cols).Canonicalize(j->equivalence());
+    if (std::find(seen_orders.begin(), seen_orders.end(), canon) !=
+        seen_orders.end()) {
+      return;
+    }
+    seen_orders.push_back(std::move(canon));
+    candidates.push_back(std::move(cand));
+  };
+  for (int pi : pred_indices) {
+    const JoinPredicate& p = graph_.join_predicates()[pi];
+    ColumnRef oc = outer.Contains(p.left.table) ? p.left : p.right;
+    ColumnRef ic = outer.Contains(p.left.table) ? p.right : p.left;
+    add_candidate(MergeCandidate{{oc}, {ic}});
+    all_outer_cols.push_back(oc);
+    all_inner_cols.push_back(ic);
+  }
+  if (pred_indices.size() >= 2) {
+    add_candidate(MergeCandidate{all_outer_cols, all_inner_cols});
+  }
+
+  GenerateNljn(s, l, j, pred_indices);
+  if (!cartesian) {
+    GenerateMgjn(s, l, j, candidates);
+    GenerateHsjn(s, l, j, pred_indices);
+  }
+}
+
+namespace {
+
+/// J-canonical representatives of the join columns.
+std::vector<ColumnRef> CanonicalJoinColumns(const QueryGraph& graph,
+                                            const std::vector<int>& preds,
+                                            const MemoEntry& j) {
+  std::vector<ColumnRef> out;
+  for (int pi : preds) {
+    ColumnRef rep = j.equivalence().Find(graph.join_predicates()[pi].left);
+    if (std::find(out.begin(), out.end(), rep) == out.end()) {
+      out.push_back(rep);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const Plan* PlanGenerator::IndexProbeInner(
+    const MemoEntry& l, const std::vector<int>& preds) const {
+  if (l.set().size() != 1 || preds.empty()) return nullptr;
+  const int t = l.set().First();
+  const Table* table = graph_.table_ref(t).table;
+  for (const Plan* p : l.plans()) {
+    if (p->op != OpType::kIndexScan || p->index_id < 0) continue;
+    const Index& idx = table->indexes()[p->index_id];
+    if (idx.key_columns.empty()) continue;
+    ColumnRef leading(t, idx.key_columns[0]);
+    for (int pi : preds) {
+      const JoinPredicate& pred = graph_.join_predicates()[pi];
+      if (pred.SideIn(t) == leading) return p;
+    }
+  }
+  return nullptr;
+}
+
+void PlanGenerator::GenerateNljn(MemoEntry* s, MemoEntry* l, MemoEntry* j,
+                                 const std::vector<int>& preds) {
+  std::vector<Plan*> plans;
+  {
+    ScopedTimer timer(&gen_time_[static_cast<int>(JoinMethod::kNljn)]);
+    std::vector<ColumnRef> jcols = CanonicalJoinColumns(graph_, preds, *j);
+    const double out_rows = j->cardinality();
+
+    auto make = [&](const Plan* po, const Plan* pi,
+                    const PartitionProperty& out_part) {
+      if (po == nullptr || pi == nullptr) return;
+      Plan* p = memo_->NewPlan();
+      p->op = OpType::kNljn;
+      p->tables = j->set();
+      p->rows = out_rows;
+      p->cost = cost_.Nljn(po->rows, po->cost, pi->rows, pi->cost);
+      p->order = OutputOrder(po->order, *j);  // NLJN: full order propagation
+      p->partition = out_part.Canonicalize(j->equivalence());
+      p->pipelinable = po->pipelinable && pi->pipelinable;
+      p->child = po;
+      p->inner = pi;
+      ++generated_[JoinMethod::kNljn];
+      plans.push_back(p);
+    };
+
+    // Index nested-loops variant: probe an inner index per outer row
+    // instead of rescanning the inner.
+    const Plan* probe = IndexProbeInner(*l, preds);
+    if (options_.parallel && probe != nullptr) {
+      // Probing a distributed inner requires co-location or a local copy.
+      PartitionProperty canon = probe->partition.Canonicalize(j->equivalence());
+      bool colocated =
+          canon.kind() == PartitionProperty::Kind::kReplicated ||
+          (canon.kind() == PartitionProperty::Kind::kHash &&
+           canon.KeysSubsetOf(jcols));
+      if (!colocated) probe = nullptr;
+    }
+    auto make_inl = [&](const Plan* po) {
+      if (po == nullptr || probe == nullptr) return;
+      const Table* inner_table = graph_.table_ref(l->set().First()).table;
+      Plan* p = memo_->NewPlan();
+      p->op = OpType::kNljn;
+      p->tables = j->set();
+      p->rows = out_rows;
+      p->cost = cost_.IndexNljn(po->rows, po->cost, *inner_table, out_rows);
+      p->order = OutputOrder(po->order, *j);
+      p->partition = po->partition.Canonicalize(j->equivalence());
+      p->pipelinable = po->pipelinable;  // index probes stream
+      p->child = po;
+      p->inner = probe;
+      // Tag as index nested-loops: the inner is a parameterized access
+      // path probed per outer row, not a fully-scanned input, so its
+      // standalone cost is NOT included in the join's cost.
+      p->index_id = probe->index_id;
+      ++generated_[JoinMethod::kNljn];
+      plans.push_back(p);
+    };
+
+    // One NLJN per (distinct outer order value × co-location alternative):
+    // the outer's order propagates fully, and in parallel mode each
+    // interesting partition alternative yields its own plan (this is the
+    // order × partition product the paper's §3.4 counts).
+    std::vector<OrderProperty> outer_orders;
+    for (const Plan* po : s->plans()) {
+      if (std::find(outer_orders.begin(), outer_orders.end(), po->order) ==
+          outer_orders.end()) {
+        outer_orders.push_back(po->order);
+      }
+    }
+
+    auto redundant_inner = [&](const Plan* po,
+                               const PartitionProperty& out_part) {
+      // Optional DB2-oversight reproduction: an additional (redundant)
+      // NLJN with an index-ordered inner.
+      if (!options_.redundant_nljn_inner || preds.empty() ||
+          l->set().size() != 1) {
+        return;
+      }
+      const JoinPredicate& p0 = graph_.join_predicates()[preds[0]];
+      ColumnRef ic = l->set().Contains(p0.left.table) ? p0.left : p0.right;
+      const Plan* pi2 = l->CheapestSatisfying(
+          OrderProperty({ic}).Canonicalize(l->equivalence()),
+          PartitionProperty::Serial());
+      if (pi2 != nullptr) make(po, pi2, out_part);  // duplicate on purpose
+    };
+
+    if (!options_.parallel) {
+      for (const OrderProperty& o : outer_orders) {
+        const Plan* po =
+            s->CheapestSatisfying(o, PartitionProperty::Serial());
+        const Plan* pi = l->Cheapest();
+        make(po, pi, PartitionProperty::Serial());
+        make_inl(po);
+        redundant_inner(po, PartitionProperty::Serial());
+      }
+    } else {
+      std::vector<PartitionProperty> jparts =
+          JoinPartitions(*s, *l, jcols, *j);
+      for (const OrderProperty& o : outer_orders) {
+        for (const PartitionProperty& pv : jparts) {
+          const Plan* po = InputPlan(s, o, pv);
+          const Plan* pi = InputPlan(l, OrderProperty::None(), pv);
+          make(po, pi, pv);
+        }
+        // Broadcast-inner alternative: outer keeps its own distribution.
+        const Plan* po = s->CheapestSatisfying(o, PartitionProperty::Serial());
+        if (po != nullptr &&
+            po->partition.kind() != PartitionProperty::Kind::kReplicated) {
+          make(po, ReplicatedInput(l), po->partition);
+        }
+        make_inl(po);
+        redundant_inner(po, po != nullptr ? po->partition
+                                          : PartitionProperty::Serial());
+      }
+    }
+  }
+  for (Plan* p : plans) SavePlan(j, p);
+}
+
+void PlanGenerator::GenerateMgjn(MemoEntry* s, MemoEntry* l, MemoEntry* j,
+                                 const std::vector<MergeCandidate>& candidates) {
+  std::vector<Plan*> plans;
+  {
+    ScopedTimer timer(&gen_time_[static_cast<int>(JoinMethod::kMgjn)]);
+    const double out_rows = j->cardinality();
+
+    for (const MergeCandidate& cand : candidates) {
+      OrderProperty outer_req =
+          OrderProperty(cand.outer_cols).Canonicalize(s->equivalence());
+      OrderProperty inner_req =
+          OrderProperty(cand.inner_cols).Canonicalize(l->equivalence());
+      OrderProperty base_out =
+          OrderProperty(cand.outer_cols).Canonicalize(j->equivalence());
+
+      std::vector<ColumnRef> jcols;
+      for (const ColumnRef& c : base_out.columns()) jcols.push_back(c);
+
+      // Output order candidates: the merge order itself, plus coverage —
+      // outer orders that subsume it also come out sorted (§3.3), which is
+      // how one merge join yields several plans.
+      struct OutVariant {
+        OrderProperty outer_side;  // requirement in s-canonical terms
+        OrderProperty output;      // j-canonical output order (pre-filter)
+      };
+      std::vector<OutVariant> variants;
+      variants.push_back(OutVariant{outer_req, base_out});
+      for (const Plan* po : s->plans()) {
+        OrderProperty po_j = po->order.Canonicalize(j->equivalence());
+        if (po_j.size() > base_out.size() &&
+            po_j.SatisfiesPrefix(base_out)) {
+          bool dup = false;
+          for (const OutVariant& v : variants) dup |= (v.output == po_j);
+          if (!dup) variants.push_back(OutVariant{po->order, po_j});
+        }
+      }
+
+      for (const PartitionProperty& pv :
+           JoinPartitions(*s, *l, jcols, *j)) {
+        for (const OutVariant& v : variants) {
+          const Plan* po = InputPlan(s, v.outer_side, pv);
+          const Plan* pi = InputPlan(l, inner_req, pv);
+          if (po == nullptr || pi == nullptr) continue;
+          Plan* p = memo_->NewPlan();
+          p->op = OpType::kMgjn;
+          p->tables = j->set();
+          p->rows = out_rows;
+          p->cost = cost_.Mgjn(po->rows, po->cost, pi->rows, pi->cost,
+                               out_rows);
+          OrderProperty out_order = OutputOrder(v.output, *j);
+          p->order = out_order;
+          p->partition = pv;
+          p->pipelinable = po->pipelinable && pi->pipelinable;
+          p->child = po;
+          p->inner = pi;
+          ++generated_[JoinMethod::kMgjn];
+          plans.push_back(p);
+        }
+      }
+    }
+  }
+  for (Plan* p : plans) SavePlan(j, p);
+}
+
+void PlanGenerator::GenerateHsjn(MemoEntry* s, MemoEntry* l, MemoEntry* j,
+                                 const std::vector<int>& preds) {
+  std::vector<Plan*> plans;
+  {
+    ScopedTimer timer(&gen_time_[static_cast<int>(JoinMethod::kHsjn)]);
+    std::vector<ColumnRef> jcols = CanonicalJoinColumns(graph_, preds, *j);
+    const double out_rows = j->cardinality();
+
+    auto make = [&](const Plan* po, const Plan* pi,
+                    const PartitionProperty& out_part) {
+      if (po == nullptr || pi == nullptr) return;
+      Plan* p = memo_->NewPlan();
+      p->op = OpType::kHsjn;
+      p->tables = j->set();
+      p->rows = out_rows;
+      p->cost = cost_.Hsjn(po->rows, po->cost, pi->rows, pi->cost, out_rows);
+      p->order = OrderProperty::None();  // HSJN destroys order
+      p->partition = out_part.Canonicalize(j->equivalence());
+      p->pipelinable = false;  // the hash build materializes
+      p->child = po;
+      p->inner = pi;
+      ++generated_[JoinMethod::kHsjn];
+      plans.push_back(p);
+    };
+
+    for (const PartitionProperty& pv : JoinPartitions(*s, *l, jcols, *j)) {
+      make(InputPlan(s, OrderProperty::None(), pv),
+           InputPlan(l, OrderProperty::None(), pv), pv);
+    }
+    if (options_.parallel) {
+      // Broadcast-inner variant: outer stays put, inner is replicated.
+      const Plan* po = s->Cheapest();
+      const Plan* pi = ReplicatedInput(l);
+      if (po != nullptr &&
+          po->partition.kind() != PartitionProperty::Kind::kReplicated) {
+        make(po, pi, po->partition);
+      }
+    }
+  }
+  for (Plan* p : plans) SavePlan(j, p);
+}
+
+}  // namespace cote

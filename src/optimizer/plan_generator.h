@@ -1,0 +1,152 @@
+#ifndef COTE_OPTIMIZER_PLAN_GENERATOR_H_
+#define COTE_OPTIMIZER_PLAN_GENERATOR_H_
+
+#include <limits>
+#include <vector>
+
+#include "common/timer.h"
+#include "optimizer/cost/cardinality.h"
+#include "optimizer/cost/cost_model.h"
+#include "optimizer/enumerator.h"
+#include "optimizer/memo.h"
+#include "optimizer/properties/interesting_orders.h"
+#include "optimizer/stats.h"
+
+namespace cote {
+
+/// \brief Knobs of normal-mode plan generation.
+struct PlanGenOptions {
+  /// Shared-nothing planning: base tables carry their catalog partitioning,
+  /// joins require co-location or generate repartition/broadcast enforcers.
+  bool parallel = false;
+
+  /// Eager order policy (DB2's choice, §4 item 1): SORT enforcers are
+  /// generated for interesting orders that do not arise naturally.
+  bool eager_orders = true;
+
+  /// Eager partition policy (ablation of §4's lazy choice): repartition
+  /// enforcers materialize every interesting partition (join columns) at
+  /// the base tables, making the search space insensitive to how data is
+  /// initially partitioned — at the price of generating more plans.
+  bool eager_partitions = false;
+
+  /// Pilot-pass pruning (§6.1): discard any generated plan whose cost
+  /// exceeds `pilot_cost` (typically the cost of a quick greedy plan).
+  bool pilot_pass = false;
+  double pilot_cost = std::numeric_limits<double>::infinity();
+
+  /// Reproduces the DB2 "implementation oversight" of §5.2 that generated
+  /// redundant NLJN plans (an extra index-inner NLJN per outer plan).
+  bool redundant_nljn_inner = false;
+};
+
+/// \brief Normal-mode join visitor: generates and costs physical plans.
+///
+/// Installed behind the enumerator's thin interface. For every enumerated
+/// join it generates NLJN / MGJN / HSJN plans, propagating the order
+/// property per Table 2 (NLJN full, MGJN partial via the join columns plus
+/// coverage, HSJN none) and the partition property fully, inserting
+/// enforcers (SORT, Repartition, Replicate) where required. Each
+/// generation path and each MEMO insertion is timed so compilation time
+/// can be attributed per join method (Figure 2) and regressed into the
+/// per-plan-type coefficients Ct (§3.5).
+class PlanGenerator : public JoinVisitor {
+ public:
+  PlanGenerator(const QueryGraph& graph, Memo* memo,
+                const CostModel& cost_model,
+                const CardinalityModel& cardinality,
+                const InterestingOrders& interesting,
+                const PlanGenOptions& options);
+
+  // JoinVisitor interface -----------------------------------------------
+  void InitializeEntry(TableSet s) override;
+  double EntryCardinality(TableSet s) override;
+  void OnJoin(TableSet outer, TableSet inner,
+              const std::vector<int>& pred_indices, bool cartesian) override;
+
+  // Results ---------------------------------------------------------------
+  const JoinTypeCounts& join_plans_generated() const { return generated_; }
+  int64_t enforcer_plans() const { return enforcers_; }
+  int64_t scan_plans() const { return scan_plans_; }
+  int64_t pruned_by_pilot() const { return pruned_by_pilot_; }
+
+  /// Time spent inside generation of plans of each join method.
+  const TimeAccumulator& gen_time(JoinMethod m) const {
+    return gen_time_[static_cast<int>(m)];
+  }
+  /// Time spent inserting plans into the MEMO ("plan saving").
+  const TimeAccumulator& save_time() const { return save_time_; }
+  /// Time spent creating entries (base plans, logical properties).
+  const TimeAccumulator& init_time() const { return init_time_; }
+  /// Total time spent inside visitor callbacks (to derive pure
+  /// enumeration time from the run's total).
+  double visitor_seconds() const {
+    return init_time_.TotalSeconds() + on_join_time_.TotalSeconds();
+  }
+
+ private:
+  struct MergeCandidate {
+    std::vector<ColumnRef> outer_cols;
+    std::vector<ColumnRef> inner_cols;
+  };
+
+  /// Inserts with optional pilot-pass pruning; times as plan saving.
+  bool SavePlan(MemoEntry* entry, Plan* plan);
+
+  /// Canonicalizes `order` within entry `j` and collapses it to DC if no
+  /// longer useful (retired) there.
+  OrderProperty OutputOrder(const OrderProperty& order, const MemoEntry& j)
+      const;
+
+  /// Cheapest plan of `e` satisfying the given order (canonical in `e`)
+  /// and partition, adding SORT / Repartition enforcers on top of the
+  /// cheapest plan when nothing qualifies naturally. May return nullptr
+  /// only if the entry has no plans at all.
+  const Plan* InputPlan(MemoEntry* e, const OrderProperty& order,
+                        const PartitionProperty& partition);
+
+  /// A replicated version of e's cheapest plan (natural or enforced).
+  const Plan* ReplicatedInput(MemoEntry* e);
+
+  void GenerateNljn(MemoEntry* s, MemoEntry* l, MemoEntry* j,
+                    const std::vector<int>& preds);
+
+  /// The inner-side index-scan plan usable for index nested-loops on this
+  /// join (inner is a single base table owning an index whose leading key
+  /// column is a join column), or nullptr.
+  const Plan* IndexProbeInner(const MemoEntry& l,
+                              const std::vector<int>& preds) const;
+  void GenerateMgjn(MemoEntry* s, MemoEntry* l, MemoEntry* j,
+                    const std::vector<MergeCandidate>& candidates);
+  void GenerateHsjn(MemoEntry* s, MemoEntry* l, MemoEntry* j,
+                    const std::vector<int>& preds);
+
+  /// Candidate output partitions for a join on the given (J-canonical)
+  /// join columns: co-location-valid partitions present in either input,
+  /// or a fresh repartition target when none exists (the DB2 heuristic
+  /// that creates new interesting partition values, §4).
+  std::vector<PartitionProperty> JoinPartitions(
+      const MemoEntry& s, const MemoEntry& l,
+      const std::vector<ColumnRef>& jcols, const MemoEntry& j) const;
+
+  const QueryGraph& graph_;
+  Memo* memo_;
+  const CostModel& cost_;
+  const CardinalityModel& card_;
+  const InterestingOrders& interesting_;
+  PlanGenOptions options_;
+
+  JoinTypeCounts generated_;
+  int64_t enforcers_ = 0;
+  int64_t scan_plans_ = 0;
+  int64_t pruned_by_pilot_ = 0;
+
+  TimeAccumulator gen_time_[kNumJoinMethods];
+  TimeAccumulator save_time_;
+  TimeAccumulator init_time_;
+  TimeAccumulator on_join_time_;
+};
+
+}  // namespace cote
+
+#endif  // COTE_OPTIMIZER_PLAN_GENERATOR_H_

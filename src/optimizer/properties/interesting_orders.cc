@@ -1,0 +1,122 @@
+#include "optimizer/properties/interesting_orders.h"
+
+#include <algorithm>
+#include <map>
+
+namespace cote {
+
+namespace {
+
+TableSet TablesOf(const OrderProperty& order) {
+  TableSet s;
+  for (const ColumnRef& c : order.columns()) s = s.With(c.table);
+  return s;
+}
+
+}  // namespace
+
+InterestingOrders::InterestingOrders(const QueryGraph& graph) : graph_(graph) {
+  auto add = [&](OrderProperty order, OrderSource source, int pred_index) {
+    if (order.IsNone()) return;
+    // Dedupe identical (order, source) pairs; keep distinct pred_indexes
+    // only when the retirement behaviour differs (different table pairs).
+    for (const OrderInterest& existing : interests_) {
+      if (existing.order == order && existing.source == source &&
+          existing.pred_index == pred_index) {
+        return;
+      }
+    }
+    OrderInterest interest;
+    interest.tables = TablesOf(order);
+    interest.order = std::move(order);
+    interest.source = source;
+    interest.pred_index = pred_index;
+    interests_.push_back(std::move(interest));
+  };
+
+  // Join-column orders: one single-column order per predicate side.
+  const auto& preds = graph.join_predicates();
+  for (size_t i = 0; i < preds.size(); ++i) {
+    add(OrderProperty({preds[i].left}), OrderSource::kJoin,
+        static_cast<int>(i));
+    add(OrderProperty({preds[i].right}), OrderSource::kJoin,
+        static_cast<int>(i));
+  }
+
+  // Multi-column merge orders for table pairs joined by several predicates.
+  std::map<std::pair<int, int>, std::vector<int>> by_pair;
+  for (size_t i = 0; i < preds.size(); ++i) {
+    int a = preds[i].left.table, b = preds[i].right.table;
+    by_pair[{std::min(a, b), std::max(a, b)}].push_back(static_cast<int>(i));
+  }
+  for (const auto& [pair, indices] : by_pair) {
+    (void)pair;
+    if (indices.size() < 2) continue;
+    std::vector<ColumnRef> left_cols, right_cols;
+    for (int pi : indices) {
+      left_cols.push_back(preds[pi].left);
+      right_cols.push_back(preds[pi].right);
+    }
+    // The concatenated order retires with (any of) the pair's predicates;
+    // use the first predicate of the pair as the retirement anchor.
+    add(OrderProperty(std::move(left_cols)), OrderSource::kJoin, indices[0]);
+    add(OrderProperty(std::move(right_cols)), OrderSource::kJoin, indices[0]);
+  }
+
+  // ORDER BY: every non-empty prefix is interesting as soon as its tables
+  // are all present (orders are pushed down to base tables, §3.3 / [21]).
+  const auto& ob = graph.order_by();
+  for (size_t len = 1; len <= ob.size(); ++len) {
+    std::vector<ColumnRef> prefix(ob.begin(), ob.begin() + len);
+    add(OrderProperty(std::move(prefix)), OrderSource::kOrderBy, -1);
+  }
+
+  // GROUP BY: the full grouping set, plus per-table projections (pushdown).
+  const auto& gb = graph.group_by();
+  if (!gb.empty()) {
+    add(OrderProperty(gb), OrderSource::kGroupBy, -1);
+    std::map<int, std::vector<ColumnRef>> per_table;
+    for (const ColumnRef& c : gb) per_table[c.table].push_back(c);
+    if (per_table.size() > 1) {
+      for (auto& [t, cols] : per_table) {
+        (void)t;
+        add(OrderProperty(std::move(cols)), OrderSource::kGroupBy, -1);
+      }
+    }
+  }
+}
+
+bool InterestingOrders::ActiveFor(const OrderInterest& i, TableSet s) const {
+  if (!s.ContainsAll(i.tables)) return false;  // columns not yet available
+  if (i.source == OrderSource::kJoin) {
+    const JoinPredicate& p = graph_.join_predicates()[i.pred_index];
+    // Retired once the predicate has been applied inside `s`.
+    if (s.Contains(p.left.table) && s.Contains(p.right.table)) return false;
+  }
+  return true;
+}
+
+std::vector<const OrderInterest*> InterestingOrders::ActiveInterests(
+    TableSet s) const {
+  std::vector<const OrderInterest*> out;
+  for (const OrderInterest& i : interests_) {
+    if (ActiveFor(i, s)) out.push_back(&i);
+  }
+  return out;
+}
+
+bool InterestingOrders::Useful(const OrderProperty& order, TableSet s,
+                               const ColumnEquivalence& equiv) const {
+  if (order.IsNone()) return false;
+  for (const OrderInterest& i : interests_) {
+    if (!ActiveFor(i, s)) continue;
+    OrderProperty canonical = i.order.Canonicalize(equiv);
+    bool satisfied = (i.source == OrderSource::kGroupBy)
+                         ? order.SatisfiesSet(canonical)
+                         : order.SatisfiesPrefix(canonical);
+    if (satisfied) return true;
+  }
+  return false;
+}
+
+}  // namespace cote

@@ -1,0 +1,74 @@
+#ifndef COTE_OPTIMIZER_PROPERTIES_INTERESTING_ORDERS_H_
+#define COTE_OPTIMIZER_PROPERTIES_INTERESTING_ORDERS_H_
+
+#include <vector>
+
+#include "common/table_set.h"
+#include "optimizer/properties/order_property.h"
+#include "query/query_graph.h"
+
+namespace cote {
+
+/// Where an interesting order comes from; determines its coverage semantics
+/// (§4 item 2: prefix subsumption for ORDER BY, set subsumption for
+/// GROUP BY) and when it retires.
+enum class OrderSource {
+  kJoin,     ///< matches the join column(s) of a (future) join predicate
+  kGroupBy,  ///< matches the grouping attributes (set semantics)
+  kOrderBy,  ///< matches (a prefix of) the ordering attributes
+};
+
+/// \brief One interesting order value with its provenance.
+struct OrderInterest {
+  OrderProperty order;
+  OrderSource source = OrderSource::kJoin;
+  /// For kJoin: index of the predicate this interest serves.
+  int pred_index = -1;
+  /// Tables whose columns appear in the order; the interest is applicable
+  /// to a MEMO entry only once all of them are joined in.
+  TableSet tables;
+};
+
+/// \brief Derives and answers questions about the query's interesting orders.
+///
+/// Derivation follows §3.2/§4 of the paper and the order-optimization
+/// literature it cites:
+///  * per join predicate, a single-column order on each side;
+///  * per joined table pair with several predicates, the concatenated
+///    multi-column order on each side (multi-column sort-merge);
+///  * every non-empty prefix of the ORDER BY list (prefix semantics);
+///  * the GROUP BY column set (set semantics), plus its per-table
+///    projections (pushdown to base tables).
+///
+/// Retirement: a kJoin interest retires inside a MEMO entry that contains
+/// both tables of its predicate (the join has been applied; the order can
+/// no longer help a future merge join). kGroupBy/kOrderBy interests never
+/// retire — they are consumed above the join tree.
+class InterestingOrders {
+ public:
+  explicit InterestingOrders(const QueryGraph& graph);
+
+  const std::vector<OrderInterest>& interests() const { return interests_; }
+
+  /// True if interest `i` is applicable to entry `s` (all its columns are
+  /// available) and still interesting above `s` (not retired).
+  bool ActiveFor(const OrderInterest& i, TableSet s) const;
+
+  /// The interests active for entry `s`.
+  std::vector<const OrderInterest*> ActiveInterests(TableSet s) const;
+
+  /// True if a plan ordered by (canonical) `order` is worth keeping in the
+  /// MEMO entry `s`: the order satisfies at least one active interest,
+  /// under that interest's coverage semantics. Orders useless for every
+  /// remaining operation are "retired" and collapse to DC.
+  bool Useful(const OrderProperty& order, TableSet s,
+              const ColumnEquivalence& equiv) const;
+
+ private:
+  const QueryGraph& graph_;
+  std::vector<OrderInterest> interests_;
+};
+
+}  // namespace cote
+
+#endif  // COTE_OPTIMIZER_PROPERTIES_INTERESTING_ORDERS_H_

@@ -1,0 +1,68 @@
+#include "optimizer/properties/order_property.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace cote {
+
+OrderProperty OrderProperty::Canonicalize(const ColumnEquivalence& equiv) const {
+  std::vector<ColumnRef> out;
+  out.reserve(columns_.size());
+  for (const ColumnRef& c : columns_) {
+    ColumnRef rep = equiv.Find(c);
+    if (std::find(out.begin(), out.end(), rep) == out.end()) {
+      out.push_back(rep);
+    }
+  }
+  return OrderProperty(std::move(out));
+}
+
+bool OrderProperty::SatisfiesPrefix(const OrderProperty& required) const {
+  if (required.size() > size()) return false;
+  for (int i = 0; i < required.size(); ++i) {
+    if (columns_[i] != required.columns_[i]) return false;
+  }
+  return true;
+}
+
+bool OrderProperty::SatisfiesSet(const OrderProperty& required) const {
+  if (required.size() > size()) return false;
+  for (int i = 0; i < required.size(); ++i) {
+    const ColumnRef& c = columns_[i];
+    if (std::find(required.columns_.begin(), required.columns_.end(), c) ==
+        required.columns_.end()) {
+      return false;
+    }
+  }
+  // The prefix columns are all members of `required` and (being distinct)
+  // there are required.size() of them, so they form exactly that set.
+  return true;
+}
+
+OrderProperty OrderProperty::Extend(const OrderProperty& suffix) const {
+  std::vector<ColumnRef> out = columns_;
+  for (const ColumnRef& c : suffix.columns_) {
+    if (std::find(out.begin(), out.end(), c) == out.end()) out.push_back(c);
+  }
+  return OrderProperty(std::move(out));
+}
+
+std::vector<int> OrderProperty::Tables() const {
+  std::vector<int> out;
+  for (const ColumnRef& c : columns_) {
+    if (std::find(out.begin(), out.end(), c.table) == out.end()) {
+      out.push_back(static_cast<int>(c.table));
+    }
+  }
+  return out;
+}
+
+std::string OrderProperty::ToString() const {
+  if (IsNone()) return "DC";
+  std::vector<std::string> parts;
+  for (const ColumnRef& c : columns_) parts.push_back(c.ToString());
+  return "(" + Join(parts, ",") + ")";
+}
+
+}  // namespace cote

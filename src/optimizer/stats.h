@@ -1,0 +1,65 @@
+#ifndef COTE_OPTIMIZER_STATS_H_
+#define COTE_OPTIMIZER_STATS_H_
+
+#include <cstdint>
+
+#include "optimizer/enumerator.h"
+#include "optimizer/join_method.h"
+
+namespace cote {
+
+/// \brief Per-join-method counters (plans generated, estimated, ...).
+struct JoinTypeCounts {
+  int64_t counts[kNumJoinMethods] = {0, 0, 0};
+
+  int64_t& operator[](JoinMethod m) { return counts[static_cast<int>(m)]; }
+  int64_t operator[](JoinMethod m) const {
+    return counts[static_cast<int>(m)];
+  }
+  int64_t nljn() const { return counts[0]; }
+  int64_t mgjn() const { return counts[1]; }
+  int64_t hsjn() const { return counts[2]; }
+  int64_t total() const { return counts[0] + counts[1] + counts[2]; }
+
+  JoinTypeCounts& operator+=(const JoinTypeCounts& o) {
+    for (int i = 0; i < kNumJoinMethods; ++i) counts[i] += o.counts[i];
+    return *this;
+  }
+};
+
+/// \brief Everything one full optimization run reports.
+///
+/// The phase timings are what Figure 2 of the paper plots; the plan counts
+/// per join method are what Figure 5 compares against the estimates; the
+/// total time is what Figures 4/6 compare.
+struct OptimizeStats {
+  EnumerationStats enumeration;
+
+  JoinTypeCounts join_plans_generated;
+  int64_t enforcer_plans = 0;  ///< SORT / repartition / broadcast enforcers
+  int64_t scan_plans = 0;      ///< base-table access plans
+  int64_t plans_stored = 0;    ///< plans surviving in the MEMO
+  int64_t memo_entries = 0;
+  int64_t memo_bytes = 0;      ///< actual MEMO plan-list footprint
+  int64_t pruned_by_pilot = 0; ///< plans discarded by pilot-pass pruning
+
+  double best_cost = 0;
+
+  // Wall-clock attribution (seconds).
+  double total_seconds = 0;
+  double gen_seconds[kNumJoinMethods] = {0, 0, 0};  ///< join plan generation
+  double save_seconds = 0;   ///< MEMO insertion + pruning ("plan saving")
+  double init_seconds = 0;   ///< base-table plans + logical properties
+  double enum_seconds = 0;   ///< pure enumeration (Run minus visitor time)
+
+  double other_seconds() const {
+    double accounted = gen_seconds[0] + gen_seconds[1] + gen_seconds[2] +
+                       save_seconds + init_seconds + enum_seconds;
+    double rest = total_seconds - accounted;
+    return rest > 0 ? rest : 0;
+  }
+};
+
+}  // namespace cote
+
+#endif  // COTE_OPTIMIZER_STATS_H_

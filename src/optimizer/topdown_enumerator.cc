@@ -1,0 +1,95 @@
+#include "optimizer/topdown_enumerator.h"
+
+namespace cote {
+
+namespace {
+constexpr double kCardOneEpsilon = 1e-9;
+}  // namespace
+
+EnumerationStats TopDownEnumerator::Run(JoinVisitor* visitor) {
+  EnumerationStats stats;
+  explored_.clear();
+  const int n = graph_.num_tables();
+
+  // Base-table entries exist unconditionally (as in the bottom-up
+  // enumerator, where they are created before any join).
+  for (int t = 0; t < n; ++t) {
+    TableSet s = TableSet::Single(t);
+    visitor->InitializeEntry(s);
+    explored_[s.bits()] = true;
+    ++stats.entries_created;
+  }
+  if (n <= 1) return stats;
+
+  Explore(graph_.AllTables(), visitor, &stats);
+  return stats;
+}
+
+bool TopDownEnumerator::Explore(TableSet s, JoinVisitor* visitor,
+                                EnumerationStats* stats) {
+  auto it = explored_.find(s.bits());
+  if (it != explored_.end()) return it->second;
+  // Mark in-progress as false; splits are strictly smaller so there is no
+  // true cycle, but this keeps accidental re-entry harmless.
+  explored_[s.bits()] = false;
+
+  const uint64_t mask = s.bits();
+  const uint64_t low = mask & (~mask + 1);
+  bool constructible = false;
+
+  for (uint64_t sub = (mask - 1) & mask; sub != 0; sub = (sub - 1) & mask) {
+    if ((sub & low) == 0) continue;  // visit each unordered split once
+    TableSet a(sub), b(mask & ~sub);
+
+    // Explore both sides unconditionally so subset coverage matches the
+    // bottom-up enumerator even when one side is not constructible.
+    bool a_ok = Explore(a, visitor, stats);
+    bool b_ok = Explore(b, visitor, stats);
+    if (!a_ok || !b_ok) continue;
+
+    std::vector<int> preds = graph_.ConnectingPredicates(a, b);
+    bool cartesian = preds.empty();
+    if (cartesian) {
+      bool allowed =
+          options_.allow_all_cartesian ||
+          (options_.cartesian_when_card_one &&
+           (visitor->EntryCardinality(a) <= 1.0 + kCardOneEpsilon ||
+            visitor->EntryCardinality(b) <= 1.0 + kCardOneEpsilon));
+      if (!allowed) continue;
+    }
+
+    bool emitted = false;
+    auto try_emit = [&](TableSet outer, TableSet inner) {
+      if (inner.size() > options_.max_composite_inner) return;
+      if (!graph_.OuterEnabled(outer)) return;
+      if (!graph_.OuterJoinOrientationOk(outer, inner)) return;
+      if (!constructible) {
+        visitor->InitializeEntry(s);
+        explored_[s.bits()] = true;
+        ++stats->entries_created;
+        constructible = true;
+      }
+      emitted = true;
+      visitor->OnJoin(outer, inner, preds, cartesian);
+      ++stats->joins_ordered;
+    };
+    try_emit(a, b);
+    try_emit(b, a);
+    if (emitted) ++stats->joins_unordered;
+  }
+  explored_[s.bits()] = constructible;
+  return constructible;
+}
+
+EnumerationStats RunEnumeration(const QueryGraph& graph,
+                                const EnumeratorOptions& options,
+                                JoinVisitor* visitor) {
+  if (options.kind == EnumeratorKind::kTopDown) {
+    TopDownEnumerator enumerator(graph, options);
+    return enumerator.Run(visitor);
+  }
+  JoinEnumerator enumerator(graph, options);
+  return enumerator.Run(visitor);
+}
+
+}  // namespace cote

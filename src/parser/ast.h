@@ -1,0 +1,102 @@
+#ifndef COTE_PARSER_AST_H_
+#define COTE_PARSER_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cote {
+namespace ast {
+
+struct SelectStatement;
+
+/// Column reference as written: optional qualifier + column name.
+struct ColumnName {
+  std::string qualifier;  ///< table name or alias; empty if unqualified
+  std::string column;
+
+  std::string ToString() const {
+    return qualifier.empty() ? column : qualifier + "." + column;
+  }
+};
+
+/// Aggregate functions recognized in the select list.
+enum class AggFunc { kNone, kCount, kSum, kAvg, kMin, kMax };
+
+/// One select-list item: a column or an aggregate over a column / '*'.
+struct SelectItem {
+  AggFunc agg = AggFunc::kNone;
+  bool star = false;  ///< COUNT(*) or bare '*'
+  ColumnName column;  ///< unused when star
+  std::string output_alias;
+};
+
+/// One FROM-list entry.
+struct TableRef {
+  std::string table_name;
+  std::string alias;  ///< empty = use table name
+};
+
+/// Comparison operators in predicates.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe, kBetween, kLike };
+
+/// Literal operand of a local predicate.
+struct Literal {
+  enum class Kind { kNumber, kString } kind = Kind::kNumber;
+  std::string text;
+};
+
+/// A conjunct of the WHERE clause / an ON condition: a column-column
+/// equality (join), a column-literal comparison (local filter), or a
+/// column-subquery comparison (uncorrelated scalar subquery — a separate
+/// query block, compiled independently; §3.3 of the paper).
+struct Predicate {
+  bool is_join = false;
+  ColumnName left;
+  CompareOp op = CompareOp::kEq;
+  // Join form:
+  ColumnName right;
+  // Local form:
+  Literal literal;
+  Literal literal2;  ///< upper bound of BETWEEN
+  // Scalar-subquery form (shared_ptr keeps Predicate copyable):
+  std::shared_ptr<SelectStatement> subquery;
+};
+
+/// A JOIN ... ON clause attached to a FROM entry.
+struct JoinClause {
+  bool left_outer = false;
+  TableRef table;
+  std::vector<Predicate> on;  ///< conjunctive ON condition
+};
+
+/// One FROM item: a base table followed by zero or more JOIN clauses.
+struct FromItem {
+  TableRef table;
+  std::vector<JoinClause> joins;
+};
+
+/// Sort direction (parsed but not semantically significant for planning —
+/// both directions are served by the same interesting order).
+struct OrderItem {
+  ColumnName column;
+  bool descending = false;
+};
+
+/// \brief A parsed single-block SELECT statement.
+struct SelectStatement {
+  bool distinct = false;
+  std::vector<SelectItem> select_list;
+  std::vector<FromItem> from;
+  std::vector<Predicate> where;  ///< conjunctive
+  std::vector<ColumnName> group_by;
+  std::vector<OrderItem> order_by;
+  /// FETCH FIRST n ROWS ONLY / LIMIT n; -1 when absent. Makes the
+  /// "pipelinable" physical property interesting (paper Table 1).
+  long long fetch_first = -1;
+};
+
+}  // namespace ast
+}  // namespace cote
+
+#endif  // COTE_PARSER_AST_H_

@@ -1,0 +1,259 @@
+#include "parser/binder.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+#include "parser/parser.h"
+
+namespace cote {
+
+StatusOr<QueryGraph> Binder::BindSql(const Catalog& catalog,
+                                     const std::string& sql,
+                                     BinderOptions options) {
+  auto stmt = Parser::Parse(sql);
+  if (!stmt.ok()) return stmt.status();
+  Binder binder(catalog, options);
+  return binder.Bind(stmt.value());
+}
+
+StatusOr<MultiBlockQuery> Binder::BindSqlMulti(const Catalog& catalog,
+                                               const std::string& sql,
+                                               BinderOptions options) {
+  auto stmt = Parser::Parse(sql);
+  if (!stmt.ok()) return stmt.status();
+  Binder binder(catalog, options);
+  return binder.BindMulti(stmt.value());
+}
+
+StatusOr<MultiBlockQuery> Binder::BindMulti(const ast::SelectStatement& stmt) {
+  MultiBlockQuery out;
+  collected_blocks_ = &out.subquery_blocks;
+  auto main = Bind(stmt);
+  collected_blocks_ = nullptr;
+  if (!main.ok()) return main.status();
+  out.main = std::move(main).value();
+  return out;
+}
+
+StatusOr<ColumnRef> Binder::Resolve(const ast::ColumnName& name,
+                                    const QueryGraph& graph) {
+  if (!name.qualifier.empty()) {
+    auto it = alias_to_ref_.find(name.qualifier);
+    if (it == alias_to_ref_.end()) {
+      return Status::BindError("unknown table or alias " + name.qualifier);
+    }
+    int ref = it->second;
+    int ord = graph.table_ref(ref).table->FindColumn(name.column);
+    if (ord < 0) {
+      return Status::BindError("column " + name.ToString() + " not found");
+    }
+    return ColumnRef(ref, ord);
+  }
+  // Unqualified: must resolve uniquely across all FROM tables.
+  ColumnRef found;
+  int matches = 0;
+  for (int t = 0; t < graph.num_tables(); ++t) {
+    int ord = graph.table_ref(t).table->FindColumn(name.column);
+    if (ord >= 0) {
+      found = ColumnRef(t, ord);
+      ++matches;
+    }
+  }
+  if (matches == 0) {
+    return Status::BindError("column " + name.column + " not found");
+  }
+  if (matches > 1) {
+    return Status::BindError("column " + name.column + " is ambiguous");
+  }
+  return found;
+}
+
+double Binder::LocalSelectivity(const ast::Predicate& pred, ColumnRef col,
+                                const QueryGraph& graph) const {
+  double ndv = std::max(1.0, graph.ColumnNdv(col));
+  const Histogram& hist =
+      graph.table_ref(col.table).table->column(col.column).histogram;
+  // Literal values map to a stable pseudo-position in the column's
+  // normalized domain; the histogram converts positions to selectivities.
+  // Subquery comparisons have no literal — use the domain midpoint.
+  double pos = pred.subquery != nullptr
+                   ? 0.5
+                   : Histogram::LiteralPosition(pred.literal.text);
+  switch (pred.op) {
+    case ast::CompareOp::kEq:
+      return std::clamp(hist.EqualitySelectivity(pos), 1e-9, 1.0);
+    case ast::CompareOp::kNe:
+      return 1.0 - std::clamp(hist.EqualitySelectivity(pos), 1e-9, 1.0);
+    case ast::CompareOp::kLt:
+    case ast::CompareOp::kLe:
+      return std::clamp(hist.LessThanSelectivity(pos), 0.02, 0.98);
+    case ast::CompareOp::kGt:
+    case ast::CompareOp::kGe:
+      return std::clamp(1.0 - hist.LessThanSelectivity(pos), 0.02, 0.98);
+    case ast::CompareOp::kBetween: {
+      double hi = Histogram::LiteralPosition(pred.literal2.text);
+      return std::clamp(hist.RangeSelectivity(std::min(pos, hi),
+                                              std::max(pos, hi)),
+                        0.02, 0.9);
+    }
+    case ast::CompareOp::kLike:
+      return 1.0 / 10.0;
+  }
+  (void)ndv;
+  return 0.1;
+}
+
+Status Binder::BindPredicate(const ast::Predicate& pred, bool left_outer,
+                             int null_side_ref, QueryGraph* graph) {
+  auto left = Resolve(pred.left, *graph);
+  if (!left.ok()) return left.status();
+  if (pred.subquery != nullptr) {
+    // Uncorrelated scalar subquery: its block is compiled independently;
+    // for THIS block it acts like a comparison with an (unknown) constant.
+    if (collected_blocks_ != nullptr) {
+      Binder sub_binder(catalog_, options_);
+      sub_binder.collected_blocks_ = collected_blocks_;
+      auto sub = sub_binder.Bind(*pred.subquery);
+      if (!sub.ok()) return sub.status();
+      collected_blocks_->push_back(std::move(sub).value());
+    }
+    LocalPredicate lp;
+    lp.column = *left;
+    lp.op = pred.op == ast::CompareOp::kEq ? LocalOp::kEq : LocalOp::kRange;
+    lp.selectivity = LocalSelectivity(pred, *left, *graph);
+    graph->AddLocalPredicate(lp);
+    return Status::OK();
+  }
+  if (pred.is_join) {
+    auto right = Resolve(pred.right, *graph);
+    if (!right.ok()) return right.status();
+    if (left->table == right->table) {
+      return Status::BindError("self-join predicates within one table ref "
+                               "are not supported: " +
+                               pred.left.ToString() + " = " +
+                               pred.right.ToString());
+    }
+    JoinPredicate jp;
+    jp.left = *left;
+    jp.right = *right;
+    if (left_outer && (left->table == null_side_ref ||
+                       right->table == null_side_ref)) {
+      jp.kind = JoinKind::kLeftOuter;
+      // Orient so that `right` is the null-producing side.
+      if (jp.left.table == null_side_ref) std::swap(jp.left, jp.right);
+    } else {
+      jp.kind = JoinKind::kInner;
+    }
+    jp.selectivity = 1.0 / std::max({graph->ColumnNdv(jp.left),
+                                     graph->ColumnNdv(jp.right), 1.0});
+    graph->AddJoinPredicate(jp);
+    return Status::OK();
+  }
+  LocalPredicate lp;
+  lp.column = *left;
+  switch (pred.op) {
+    case ast::CompareOp::kEq:
+    case ast::CompareOp::kNe:
+      lp.op = LocalOp::kEq;
+      break;
+    case ast::CompareOp::kLike:
+      lp.op = LocalOp::kLike;
+      break;
+    default:
+      lp.op = LocalOp::kRange;
+      break;
+  }
+  lp.selectivity = LocalSelectivity(pred, *left, *graph);
+  graph->AddLocalPredicate(lp);
+  return Status::OK();
+}
+
+StatusOr<QueryGraph> Binder::Bind(const ast::SelectStatement& stmt) {
+  QueryGraph graph;
+  alias_to_ref_.clear();
+
+  // Pass 1: register all table refs so ON/WHERE can see every alias.
+  struct PendingJoin {
+    const ast::JoinClause* clause;
+    int new_ref;
+  };
+  std::vector<PendingJoin> pending;
+  for (const ast::FromItem& item : stmt.from) {
+    auto add_ref = [&](const ast::TableRef& ref) -> StatusOr<int> {
+      const Table* t = catalog_.FindTable(ref.table_name);
+      if (t == nullptr) {
+        return Status::BindError("unknown table " + ref.table_name);
+      }
+      std::string alias = ref.alias.empty() ? ref.table_name : ref.alias;
+      if (alias_to_ref_.count(alias) > 0) {
+        return Status::BindError("duplicate table alias " + alias);
+      }
+      int id = graph.AddTableRef(t, alias);
+      alias_to_ref_[alias] = id;
+      return id;
+    };
+    auto base = add_ref(item.table);
+    if (!base.ok()) return base.status();
+    for (const ast::JoinClause& jc : item.joins) {
+      auto ref = add_ref(jc.table);
+      if (!ref.ok()) return ref.status();
+      pending.push_back(PendingJoin{&jc, ref.value()});
+    }
+  }
+
+  // Pass 2: bind ON conditions and WHERE conjuncts.
+  for (const PendingJoin& pj : pending) {
+    for (const ast::Predicate& pred : pj.clause->on) {
+      COTE_RETURN_NOT_OK(BindPredicate(pred, pj.clause->left_outer,
+                                       pj.new_ref, &graph));
+    }
+  }
+  for (const ast::Predicate& pred : stmt.where) {
+    COTE_RETURN_NOT_OK(
+        BindPredicate(pred, /*left_outer=*/false, /*null_side_ref=*/-1,
+                      &graph));
+  }
+
+  // GROUP BY / ORDER BY interest lists.
+  std::vector<ColumnRef> group_by;
+  for (const ast::ColumnName& name : stmt.group_by) {
+    auto c = Resolve(name, graph);
+    if (!c.ok()) return c.status();
+    group_by.push_back(*c);
+  }
+  if (!group_by.empty()) {
+    graph.SetGroupBy(std::move(group_by));
+    graph.set_has_aggregation(true);
+  }
+  std::vector<ColumnRef> order_by;
+  for (const ast::OrderItem& item : stmt.order_by) {
+    auto c = Resolve(item.column, graph);
+    if (!c.ok()) return c.status();
+    order_by.push_back(*c);
+  }
+  if (!order_by.empty()) graph.SetOrderBy(std::move(order_by));
+
+  std::vector<ColumnRef> select_cols;
+  for (const ast::SelectItem& item : stmt.select_list) {
+    if (item.agg != ast::AggFunc::kNone) graph.set_has_aggregation(true);
+    if (!item.star && !item.column.column.empty()) {
+      auto c = Resolve(item.column, graph);
+      if (!c.ok()) return c.status();
+      select_cols.push_back(*c);
+    }
+  }
+
+  // SELECT DISTINCT deduplicates on the select list — it plans exactly
+  // like a GROUP BY on those columns, so their orders become interesting.
+  if (stmt.distinct && graph.group_by().empty() && !select_cols.empty()) {
+    graph.SetGroupBy(std::move(select_cols));
+    graph.set_has_aggregation(true);
+  }
+
+  if (stmt.fetch_first > 0) graph.set_fetch_first(stmt.fetch_first);
+
+  if (options_.transitive_closure) graph.DeriveTransitiveClosure();
+  return graph;
+}
+
+}  // namespace cote

@@ -1,0 +1,128 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+
+#include "common/str_util.h"
+
+namespace cote {
+
+bool Token::IsKeyword(const char* kw) const {
+  return type == TokenType::kIdent && EqualsIgnoreCase(text, kw);
+}
+
+std::string Token::ToString() const {
+  switch (type) {
+    case TokenType::kIdent:
+      return "ident(" + text + ")";
+    case TokenType::kNumber:
+      return "num(" + text + ")";
+    case TokenType::kString:
+      return "str('" + text + "')";
+    case TokenType::kSymbol:
+      return "sym(" + text + ")";
+    case TokenType::kEnd:
+      return "<end>";
+  }
+  return "?";
+}
+
+StatusOr<std::vector<Token>> Lexer::Tokenize() {
+  std::vector<Token> tokens;
+  const std::string& s = input_;
+  size_t i = 0;
+  const size_t n = s.size();
+  while (i < n) {
+    char c = s[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && i + 1 < n && s[i + 1] == '-') {
+      while (i < n && s[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = static_cast<int>(i);
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(s[j])) ||
+                       s[j] == '_')) {
+        ++j;
+      }
+      tok.type = TokenType::kIdent;
+      tok.text = s.substr(i, j - i);
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(s[i + 1])))) {
+      size_t j = i;
+      bool seen_dot = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(s[j])) ||
+                       (s[j] == '.' && !seen_dot))) {
+        if (s[j] == '.') seen_dot = true;
+        ++j;
+      }
+      tok.type = TokenType::kNumber;
+      tok.text = s.substr(i, j - i);
+      i = j;
+    } else if (c == '\'') {
+      size_t j = i + 1;
+      std::string text;
+      bool closed = false;
+      while (j < n) {
+        if (s[j] == '\'') {
+          if (j + 1 < n && s[j + 1] == '\'') {  // escaped quote
+            text += '\'';
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        text += s[j];
+        ++j;
+      }
+      if (!closed) {
+        return Status::ParseError(
+            StrFormat("unterminated string literal at offset %zu", i));
+      }
+      tok.type = TokenType::kString;
+      tok.text = std::move(text);
+      i = j;
+    } else {
+      // Multi-char operators first.
+      static const char* kTwoChar[] = {"<=", ">=", "<>", "!="};
+      std::string two = s.substr(i, 2);
+      bool matched = false;
+      for (const char* op : kTwoChar) {
+        if (two == op) {
+          tok.type = TokenType::kSymbol;
+          tok.text = two == "!=" ? "<>" : two;
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        static const std::string kOneChar = "(),.*=<>+-/;";
+        if (kOneChar.find(c) == std::string::npos) {
+          return Status::ParseError(
+              StrFormat("unexpected character '%c' at offset %zu", c, i));
+        }
+        tok.type = TokenType::kSymbol;
+        tok.text = std::string(1, c);
+        ++i;
+      }
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = static_cast<int>(n);
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace cote

@@ -1,0 +1,28 @@
+#ifndef COTE_PARSER_LEXER_H_
+#define COTE_PARSER_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "parser/token.h"
+
+namespace cote {
+
+/// \brief Tokenizes SQL text into a flat token stream.
+///
+/// Comments (`-- ...` to end of line) and whitespace are skipped. The final
+/// token is always kEnd. Fails on unterminated strings and unknown bytes.
+class Lexer {
+ public:
+  explicit Lexer(std::string input) : input_(std::move(input)) {}
+
+  StatusOr<std::vector<Token>> Tokenize();
+
+ private:
+  std::string input_;
+};
+
+}  // namespace cote
+
+#endif  // COTE_PARSER_LEXER_H_

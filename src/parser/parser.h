@@ -1,0 +1,67 @@
+#ifndef COTE_PARSER_PARSER_H_
+#define COTE_PARSER_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "parser/ast.h"
+#include "parser/token.h"
+
+namespace cote {
+
+/// \brief Recursive-descent parser for the supported SQL subset.
+///
+/// Grammar (case-insensitive keywords):
+///
+///   select    := SELECT [DISTINCT] select_list FROM from_list
+///                [WHERE conj] [GROUP BY columns] [ORDER BY order_items] [;]
+///   select_list := '*' | item (',' item)*
+///   item      := column [AS ident]
+///              | (COUNT|SUM|AVG|MIN|MAX) '(' (column | '*') ')' [AS ident]
+///   from_list := from_item (',' from_item)*
+///   from_item := table_ref (join_clause)*
+///   join_clause := [LEFT [OUTER] | INNER] JOIN table_ref ON conj
+///   table_ref := ident [[AS] ident]
+///   conj      := pred (AND pred)*
+///   pred      := column '=' column
+///              | column cmp literal
+///              | column BETWEEN literal AND literal
+///              | column LIKE string
+///   column    := ident | ident '.' ident
+///
+/// Only the join graph, filters, GROUP BY and ORDER BY matter to the
+/// optimizer; expressions beyond the grammar are rejected with a
+/// ParseError that points at the offending token.
+class Parser {
+ public:
+  /// Parses one SELECT statement from `sql`.
+  static StatusOr<ast::SelectStatement> Parse(const std::string& sql);
+
+ private:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<ast::SelectStatement> ParseSelect(bool top_level);
+  Status ParseSelectList(ast::SelectStatement* stmt);
+  Status ParseFromList(ast::SelectStatement* stmt);
+  StatusOr<ast::TableRef> ParseTableRef();
+  StatusOr<std::vector<ast::Predicate>> ParseConjunction();
+  StatusOr<ast::Predicate> ParsePredicate();
+  StatusOr<ast::ColumnName> ParseColumn();
+  StatusOr<ast::Literal> ParseLiteral();
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_++]; }
+  bool AcceptKeyword(const char* kw);
+  bool AcceptSymbol(const char* sym);
+  Status ExpectKeyword(const char* kw);
+  Status ExpectSymbol(const char* sym);
+  Status ErrorAt(const Token& tok, const std::string& what) const;
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace cote
+
+#endif  // COTE_PARSER_PARSER_H_

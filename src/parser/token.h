@@ -1,0 +1,33 @@
+#ifndef COTE_PARSER_TOKEN_H_
+#define COTE_PARSER_TOKEN_H_
+
+#include <string>
+
+namespace cote {
+
+enum class TokenType {
+  kIdent,      ///< identifier or keyword (keywords matched case-insensitively)
+  kNumber,     ///< numeric literal
+  kString,     ///< 'quoted string'
+  kSymbol,     ///< punctuation: ( ) , . = < > <= >= <> * +
+  kEnd,        ///< end of input
+};
+
+/// \brief A lexed token with its source offset (for error messages).
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  int offset = 0;
+
+  bool IsSymbol(const char* s) const {
+    return type == TokenType::kSymbol && text == s;
+  }
+  /// Case-insensitive keyword check; only valid for identifiers.
+  bool IsKeyword(const char* kw) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace cote
+
+#endif  // COTE_PARSER_TOKEN_H_

@@ -1,0 +1,54 @@
+#ifndef COTE_QUERY_COLUMN_REF_H_
+#define COTE_QUERY_COLUMN_REF_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace cote {
+
+/// \brief A column of a specific table *reference* in a query.
+///
+/// `table` is the 0-based position of the table reference in the query's
+/// FROM list (NOT a catalog id: the same catalog table may appear several
+/// times under different aliases); `column` is the column ordinal within
+/// that table. ColumnRefs are the atoms from which physical properties
+/// (orders, partitions) are built, so they are kept small and hashable.
+struct ColumnRef {
+  int16_t table = -1;
+  int16_t column = -1;
+
+  ColumnRef() = default;
+  ColumnRef(int table_ref, int column_ordinal)
+      : table(static_cast<int16_t>(table_ref)),
+        column(static_cast<int16_t>(column_ordinal)) {}
+
+  bool valid() const { return table >= 0 && column >= 0; }
+
+  /// Dense 32-bit encoding; usable as a map key and as a canonical order.
+  uint32_t Encode() const {
+    return (static_cast<uint32_t>(static_cast<uint16_t>(table)) << 16) |
+           static_cast<uint16_t>(column);
+  }
+
+  bool operator==(const ColumnRef& o) const {
+    return table == o.table && column == o.column;
+  }
+  bool operator!=(const ColumnRef& o) const { return !(*this == o); }
+  bool operator<(const ColumnRef& o) const { return Encode() < o.Encode(); }
+
+  /// Debug rendering like "t2.c5".
+  std::string ToString() const {
+    return "t" + std::to_string(table) + ".c" + std::to_string(column);
+  }
+};
+
+struct ColumnRefHash {
+  size_t operator()(const ColumnRef& c) const {
+    return std::hash<uint32_t>()(c.Encode());
+  }
+};
+
+}  // namespace cote
+
+#endif  // COTE_QUERY_COLUMN_REF_H_

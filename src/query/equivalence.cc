@@ -1,0 +1,58 @@
+#include "query/equivalence.h"
+
+#include <algorithm>
+#include <map>
+
+namespace cote {
+
+uint32_t ColumnEquivalence::Root(uint32_t x) const {
+  auto it = parent_.find(x);
+  if (it == parent_.end()) return x;
+  // Path halving.
+  while (it->second != x) {
+    auto up = parent_.find(it->second);
+    if (up == parent_.end() || up->second == it->second) {
+      return it->second;
+    }
+    it->second = up->second;
+    x = up->second;
+    it = parent_.find(x);
+    if (it == parent_.end()) return x;
+  }
+  return x;
+}
+
+void ColumnEquivalence::AddEquivalence(ColumnRef a, ColumnRef b) {
+  uint32_t ka = a.Encode(), kb = b.Encode();
+  parent_.emplace(ka, ka);
+  parent_.emplace(kb, kb);
+  uint32_t ra = Root(ka), rb = Root(kb);
+  if (ra == rb) return;
+  // Keep the minimum encoding as the root so Find() is canonical.
+  uint32_t lo = std::min(ra, rb), hi = std::max(ra, rb);
+  parent_[hi] = lo;
+}
+
+ColumnRef ColumnEquivalence::Find(ColumnRef c) const {
+  uint32_t r = Root(c.Encode());
+  return ColumnRef(static_cast<int>(r >> 16), static_cast<int>(r & 0xffff));
+}
+
+std::vector<std::vector<ColumnRef>> ColumnEquivalence::Classes() const {
+  std::map<uint32_t, std::vector<ColumnRef>> by_root;
+  for (const auto& [key, unused] : parent_) {
+    (void)unused;
+    ColumnRef c(static_cast<int>(key >> 16), static_cast<int>(key & 0xffff));
+    by_root[Root(key)].push_back(c);
+  }
+  std::vector<std::vector<ColumnRef>> out;
+  for (auto& [root, members] : by_root) {
+    (void)root;
+    if (members.size() < 2) continue;
+    std::sort(members.begin(), members.end());
+    out.push_back(std::move(members));
+  }
+  return out;
+}
+
+}  // namespace cote

@@ -1,0 +1,47 @@
+#ifndef COTE_QUERY_EQUIVALENCE_H_
+#define COTE_QUERY_EQUIVALENCE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "query/column_ref.h"
+
+namespace cote {
+
+/// \brief Union-find over columns, built from applied equi-join predicates.
+///
+/// Join predicates make columns equivalent: after applying `R.a = S.a`, an
+/// order on `R.a` and an order on `S.a` denote the same physical property.
+/// The optimizer builds one instance per MEMO entry (from the predicates
+/// applied within that entry's table set) and canonicalizes property columns
+/// through it; the paper notes that "equivalence needs to be checked for
+/// each enumerated join" (§3.3).
+class ColumnEquivalence {
+ public:
+  ColumnEquivalence() = default;
+
+  /// Declares a ~ b.
+  void AddEquivalence(ColumnRef a, ColumnRef b);
+
+  /// Canonical representative of c's class (the minimum-encoded member).
+  /// Columns never added are their own representative.
+  ColumnRef Find(ColumnRef c) const;
+
+  bool Equivalent(ColumnRef a, ColumnRef b) const {
+    return Find(a) == Find(b);
+  }
+
+  /// All classes with at least two members, each sorted ascending.
+  std::vector<std::vector<ColumnRef>> Classes() const;
+
+ private:
+  uint32_t Root(uint32_t x) const;
+
+  // parent_[x] == x for roots. Roots are maintained as the class minimum so
+  // Find() is canonical without a second pass.
+  mutable std::unordered_map<uint32_t, uint32_t> parent_;
+};
+
+}  // namespace cote
+
+#endif  // COTE_QUERY_EQUIVALENCE_H_

@@ -1,0 +1,36 @@
+#ifndef COTE_QUERY_MULTI_BLOCK_H_
+#define COTE_QUERY_MULTI_BLOCK_H_
+
+#include <vector>
+
+#include "query/query_graph.h"
+
+namespace cote {
+
+/// \brief A query consisting of several independently optimized blocks.
+///
+/// Uncorrelated scalar subqueries each form their own block; the optimizer
+/// compiles every block with its own MEMO, and the total compilation time
+/// is (approximately) the sum over blocks — which is how the paper's
+/// per-block estimation framework extends to complex queries (§3.3).
+struct MultiBlockQuery {
+  QueryGraph main;
+  std::vector<QueryGraph> subquery_blocks;
+
+  /// All blocks, main first. Pointers remain valid while this object
+  /// lives and is not mutated.
+  std::vector<const QueryGraph*> AllBlocks() const {
+    std::vector<const QueryGraph*> out;
+    out.push_back(&main);
+    for (const QueryGraph& g : subquery_blocks) out.push_back(&g);
+    return out;
+  }
+
+  int num_blocks() const {
+    return 1 + static_cast<int>(subquery_blocks.size());
+  }
+};
+
+}  // namespace cote
+
+#endif  // COTE_QUERY_MULTI_BLOCK_H_

@@ -1,0 +1,73 @@
+#ifndef COTE_QUERY_PREDICATE_H_
+#define COTE_QUERY_PREDICATE_H_
+
+#include <string>
+
+#include "query/column_ref.h"
+
+namespace cote {
+
+/// Join semantics of an edge in the join graph.
+enum class JoinKind {
+  kInner,
+  /// LEFT OUTER JOIN: `left` belongs to the preserved side, `right` to the
+  /// null-producing side. Restricts which table sets may act as the outer
+  /// input during enumeration (the paper's §4 item 3).
+  kLeftOuter,
+};
+
+/// \brief An equi-join predicate `left = right` between two table refs.
+struct JoinPredicate {
+  ColumnRef left;
+  ColumnRef right;
+  JoinKind kind = JoinKind::kInner;
+  /// True if derived by transitive closure rather than written by the user.
+  /// Derived predicates are what create cycles in real join graphs (§2.2).
+  bool derived = false;
+  /// Estimated selectivity, typically 1/max(ndv(left), ndv(right)).
+  double selectivity = 0.1;
+
+  /// The side of the predicate inside table ref `t`, or invalid.
+  ColumnRef SideIn(int t) const {
+    if (left.table == t) return left;
+    if (right.table == t) return right;
+    return ColumnRef();
+  }
+
+  bool Connects(int t1, int t2) const {
+    return (left.table == t1 && right.table == t2) ||
+           (left.table == t2 && right.table == t1);
+  }
+
+  std::string ToString() const {
+    std::string s = left.ToString() + " = " + right.ToString();
+    if (kind == JoinKind::kLeftOuter) s += " [left-outer]";
+    if (derived) s += " [derived]";
+    return s;
+  }
+};
+
+/// Comparison operator of a local (single-table) predicate.
+enum class LocalOp {
+  kEq,     ///< column = literal
+  kRange,  ///< column </<=/>/>=/BETWEEN literal(s)
+  kLike,   ///< column LIKE pattern
+};
+
+/// \brief A single-table filter predicate with its estimated selectivity.
+struct LocalPredicate {
+  ColumnRef column;
+  LocalOp op = LocalOp::kEq;
+  double selectivity = 0.1;
+
+  std::string ToString() const {
+    const char* op_name = op == LocalOp::kEq     ? "="
+                          : op == LocalOp::kRange ? "range"
+                                                  : "like";
+    return column.ToString() + " " + op_name + " ?";
+  }
+};
+
+}  // namespace cote
+
+#endif  // COTE_QUERY_PREDICATE_H_

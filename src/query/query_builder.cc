@@ -1,0 +1,139 @@
+#include "query/query_builder.h"
+
+#include <algorithm>
+
+namespace cote {
+
+QueryBuilder& QueryBuilder::AddTable(const std::string& table_name,
+                                     const std::string& alias) {
+  if (!first_error_.ok()) return *this;
+  const Table* t = catalog_.FindTable(table_name);
+  if (t == nullptr) {
+    first_error_ = Status::NotFound("table " + table_name);
+    return *this;
+  }
+  std::string a = alias.empty() ? table_name : alias;
+  if (alias_to_ref_.count(a) > 0) {
+    first_error_ = Status::AlreadyExists("alias " + a);
+    return *this;
+  }
+  int ref = graph_.AddTableRef(t, a);
+  alias_to_ref_[a] = ref;
+  return *this;
+}
+
+StatusOr<ColumnRef> QueryBuilder::ResolveColumn(const std::string& alias,
+                                                const std::string& col) {
+  auto it = alias_to_ref_.find(alias);
+  if (it == alias_to_ref_.end()) {
+    return Status::NotFound("alias " + alias);
+  }
+  int ref = it->second;
+  int ord = graph_.table_ref(ref).table->FindColumn(col);
+  if (ord < 0) {
+    return Status::NotFound("column " + alias + "." + col);
+  }
+  return ColumnRef(ref, ord);
+}
+
+QueryBuilder& QueryBuilder::Join(const std::string& alias1,
+                                 const std::string& col1,
+                                 const std::string& alias2,
+                                 const std::string& col2, JoinKind kind) {
+  if (!first_error_.ok()) return *this;
+  auto a = ResolveColumn(alias1, col1);
+  auto b = ResolveColumn(alias2, col2);
+  if (!a.ok()) {
+    first_error_ = a.status();
+    return *this;
+  }
+  if (!b.ok()) {
+    first_error_ = b.status();
+    return *this;
+  }
+  JoinPredicate p;
+  p.left = *a;
+  p.right = *b;
+  p.kind = kind;
+  p.selectivity =
+      1.0 / std::max({graph_.ColumnNdv(*a), graph_.ColumnNdv(*b), 1.0});
+  graph_.AddJoinPredicate(p);
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Local(const std::string& alias,
+                                  const std::string& col, LocalOp op,
+                                  double selectivity) {
+  if (!first_error_.ok()) return *this;
+  auto c = ResolveColumn(alias, col);
+  if (!c.ok()) {
+    first_error_ = c.status();
+    return *this;
+  }
+  LocalPredicate p;
+  p.column = *c;
+  p.op = op;
+  p.selectivity = selectivity;
+  graph_.AddLocalPredicate(p);
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::OrderBy(
+    const std::vector<std::pair<std::string, std::string>>& cols) {
+  if (!first_error_.ok()) return *this;
+  std::vector<ColumnRef> refs;
+  for (const auto& [alias, col] : cols) {
+    auto c = ResolveColumn(alias, col);
+    if (!c.ok()) {
+      first_error_ = c.status();
+      return *this;
+    }
+    refs.push_back(*c);
+  }
+  graph_.SetOrderBy(std::move(refs));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::GroupBy(
+    const std::vector<std::pair<std::string, std::string>>& cols) {
+  if (!first_error_.ok()) return *this;
+  std::vector<ColumnRef> refs;
+  for (const auto& [alias, col] : cols) {
+    auto c = ResolveColumn(alias, col);
+    if (!c.ok()) {
+      first_error_ = c.status();
+      return *this;
+    }
+    refs.push_back(*c);
+  }
+  graph_.SetGroupBy(std::move(refs));
+  graph_.set_has_aggregation(true);
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::InnerOnly(const std::string& alias) {
+  if (!first_error_.ok()) return *this;
+  auto it = alias_to_ref_.find(alias);
+  if (it == alias_to_ref_.end()) {
+    first_error_ = Status::NotFound("alias " + alias);
+    return *this;
+  }
+  graph_.MarkInnerOnly(it->second);
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::WithTransitiveClosure() {
+  transitive_closure_ = true;
+  return *this;
+}
+
+StatusOr<QueryGraph> QueryBuilder::Build() {
+  if (!first_error_.ok()) return first_error_;
+  if (graph_.num_tables() == 0) {
+    return Status::InvalidArgument("query has no tables");
+  }
+  if (transitive_closure_) graph_.DeriveTransitiveClosure();
+  return std::move(graph_);
+}
+
+}  // namespace cote

@@ -1,0 +1,66 @@
+#ifndef COTE_QUERY_QUERY_BUILDER_H_
+#define COTE_QUERY_QUERY_BUILDER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "query/query_graph.h"
+
+namespace cote {
+
+/// \brief Programmatic QueryGraph construction by table/column names.
+///
+/// Used by the workload generators and by tests; the SQL binder offers the
+/// same result from SQL text. All methods record errors internally; the
+/// first error is reported by Build().
+///
+///   QueryBuilder qb(catalog);
+///   qb.AddTable("orders", "o").AddTable("customer", "c");
+///   qb.Join("o", "o_custkey", "c", "c_custkey");
+///   qb.Local("o", "o_orderdate", LocalOp::kRange, 0.3);
+///   qb.OrderBy({{"c", "c_name"}});
+///   StatusOr<QueryGraph> g = qb.Build();
+class QueryBuilder {
+ public:
+  explicit QueryBuilder(const Catalog& catalog) : catalog_(catalog) {}
+
+  QueryBuilder& AddTable(const std::string& table_name,
+                         const std::string& alias = "");
+
+  QueryBuilder& Join(const std::string& alias1, const std::string& col1,
+                     const std::string& alias2, const std::string& col2,
+                     JoinKind kind = JoinKind::kInner);
+
+  QueryBuilder& Local(const std::string& alias, const std::string& col,
+                      LocalOp op = LocalOp::kEq, double selectivity = 0.1);
+
+  QueryBuilder& OrderBy(
+      const std::vector<std::pair<std::string, std::string>>& cols);
+  QueryBuilder& GroupBy(
+      const std::vector<std::pair<std::string, std::string>>& cols);
+
+  QueryBuilder& InnerOnly(const std::string& alias);
+
+  /// Adds the implied predicates from transitive closure after all explicit
+  /// joins (call before Build if desired; Build does NOT do it implicitly).
+  QueryBuilder& WithTransitiveClosure();
+
+  StatusOr<QueryGraph> Build();
+
+ private:
+  StatusOr<ColumnRef> ResolveColumn(const std::string& alias,
+                                    const std::string& col);
+
+  const Catalog& catalog_;
+  QueryGraph graph_;
+  std::unordered_map<std::string, int> alias_to_ref_;
+  bool transitive_closure_ = false;
+  Status first_error_;
+};
+
+}  // namespace cote
+
+#endif  // COTE_QUERY_QUERY_BUILDER_H_

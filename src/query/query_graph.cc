@@ -1,0 +1,187 @@
+#include "query/query_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/str_util.h"
+
+namespace cote {
+
+int QueryGraph::AddTableRef(const Table* table, std::string alias) {
+  assert(table != nullptr);
+  assert(num_tables() < 64 && "TableSet supports at most 64 table refs");
+  QueryTableRef ref;
+  ref.table = table;
+  ref.alias = alias.empty() ? table->name() : std::move(alias);
+  tables_.push_back(std::move(ref));
+  global_equiv_valid_ = false;
+  return num_tables() - 1;
+}
+
+double QueryGraph::ColumnNdv(ColumnRef c) const {
+  const Table* t = tables_[c.table].table;
+  return t->column(c.column).ndv;
+}
+
+std::string QueryGraph::ColumnName(ColumnRef c) const {
+  const QueryTableRef& ref = tables_[c.table];
+  return ref.alias + "." + ref.table->column(c.column).name;
+}
+
+std::vector<int> QueryGraph::ConnectingPredicates(TableSet s,
+                                                  TableSet l) const {
+  std::vector<int> out;
+  for (size_t i = 0; i < join_preds_.size(); ++i) {
+    const JoinPredicate& p = join_preds_[i];
+    bool ls = s.Contains(p.left.table), rs = s.Contains(p.right.table);
+    bool ll = l.Contains(p.left.table), rl = l.Contains(p.right.table);
+    if ((ls && rl) || (rs && ll)) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+bool QueryGraph::AreConnected(TableSet s, TableSet l) const {
+  for (const JoinPredicate& p : join_preds_) {
+    bool ls = s.Contains(p.left.table), rs = s.Contains(p.right.table);
+    bool ll = l.Contains(p.left.table), rl = l.Contains(p.right.table);
+    if ((ls && rl) || (rs && ll)) return true;
+  }
+  return false;
+}
+
+bool QueryGraph::IsSubgraphConnected(TableSet s) const {
+  if (s.size() <= 1) return !s.empty();
+  TableSet reached = TableSet::Single(s.First());
+  bool grew = true;
+  while (grew && reached != s) {
+    grew = false;
+    for (const JoinPredicate& p : join_preds_) {
+      int a = p.left.table, b = p.right.table;
+      if (!s.Contains(a) || !s.Contains(b)) continue;
+      if (reached.Contains(a) && !reached.Contains(b)) {
+        reached = reached.With(b);
+        grew = true;
+      } else if (reached.Contains(b) && !reached.Contains(a)) {
+        reached = reached.With(a);
+        grew = true;
+      }
+    }
+  }
+  return reached == s;
+}
+
+TableSet QueryGraph::Neighbors(TableSet s) const {
+  TableSet out;
+  for (const JoinPredicate& p : join_preds_) {
+    bool ls = s.Contains(p.left.table), rs = s.Contains(p.right.table);
+    if (ls && !rs) out = out.With(p.right.table);
+    if (rs && !ls) out = out.With(p.left.table);
+  }
+  return out;
+}
+
+double QueryGraph::LocalSelectivity(int t) const {
+  double sel = 1.0;
+  for (const LocalPredicate& p : local_preds_) {
+    if (p.column.table == t) sel *= p.selectivity;
+  }
+  return sel;
+}
+
+const ColumnEquivalence& QueryGraph::GlobalEquivalence() const {
+  if (!global_equiv_valid_) {
+    global_equiv_ = ColumnEquivalence();
+    for (const JoinPredicate& p : join_preds_) {
+      if (p.kind == JoinKind::kInner) {
+        global_equiv_.AddEquivalence(p.left, p.right);
+      }
+    }
+    global_equiv_valid_ = true;
+  }
+  return global_equiv_;
+}
+
+int QueryGraph::DeriveTransitiveClosure() {
+  // Only inner-join predicates participate: equality does not transit
+  // through the null-producing side of an outer join.
+  ColumnEquivalence equiv;
+  for (const JoinPredicate& p : join_preds_) {
+    if (p.kind == JoinKind::kInner) equiv.AddEquivalence(p.left, p.right);
+  }
+  int added = 0;
+  for (const auto& cls : equiv.Classes()) {
+    for (size_t i = 0; i < cls.size(); ++i) {
+      for (size_t j = i + 1; j < cls.size(); ++j) {
+        ColumnRef a = cls[i], b = cls[j];
+        if (a.table == b.table) continue;  // no self-joins from closure
+        bool exists = false;
+        for (const JoinPredicate& p : join_preds_) {
+          if ((p.left == a && p.right == b) || (p.left == b && p.right == a)) {
+            exists = true;
+            break;
+          }
+        }
+        if (exists) continue;
+        JoinPredicate np;
+        np.left = a;
+        np.right = b;
+        np.kind = JoinKind::kInner;
+        np.derived = true;
+        np.selectivity = 1.0 / std::max({ColumnNdv(a), ColumnNdv(b), 1.0});
+        join_preds_.push_back(np);
+        ++added;
+      }
+    }
+  }
+  if (added > 0) global_equiv_valid_ = false;
+  return added;
+}
+
+bool QueryGraph::OuterEnabled(TableSet s) const {
+  bool full_query = (s == AllTables());
+  for (int t : s) {
+    if (tables_[t].inner_only && !full_query) return false;
+  }
+  for (const JoinPredicate& p : join_preds_) {
+    if (p.kind != JoinKind::kLeftOuter) continue;
+    // The null-producing side may not lead a join until its preserved
+    // partner has been joined in.
+    if (s.Contains(p.right.table) && !s.Contains(p.left.table)) return false;
+  }
+  return true;
+}
+
+bool QueryGraph::OuterJoinOrientationOk(TableSet s, TableSet l) const {
+  for (const JoinPredicate& p : join_preds_) {
+    if (p.kind != JoinKind::kLeftOuter) continue;
+    bool preserved_in_s = s.Contains(p.left.table);
+    bool null_in_l = l.Contains(p.right.table);
+    bool preserved_in_l = l.Contains(p.left.table);
+    bool null_in_s = s.Contains(p.right.table);
+    // If the predicate crosses the cut, the null-producing table must be in
+    // the inner input `l`.
+    if (preserved_in_s && null_in_s) continue;
+    if (preserved_in_l && null_in_l) continue;
+    if (preserved_in_s && null_in_l) continue;       // correct orientation
+    if (preserved_in_l && null_in_s) return false;   // reversed: illegal
+  }
+  return true;
+}
+
+std::string QueryGraph::ToString() const {
+  std::vector<std::string> parts;
+  for (int i = 0; i < num_tables(); ++i) {
+    parts.push_back(StrFormat("t%d=%s(%s)", i, tables_[i].alias.c_str(),
+                              tables_[i].table->name().c_str()));
+  }
+  std::string out = "tables: " + Join(parts, ", ") + "\n";
+  parts.clear();
+  for (const JoinPredicate& p : join_preds_) parts.push_back(p.ToString());
+  out += "joins: " + Join(parts, "; ") + "\n";
+  parts.clear();
+  for (const LocalPredicate& p : local_preds_) parts.push_back(p.ToString());
+  out += "locals: " + Join(parts, "; ");
+  return out;
+}
+
+}  // namespace cote

@@ -1,0 +1,135 @@
+#ifndef COTE_QUERY_QUERY_GRAPH_H_
+#define COTE_QUERY_QUERY_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/table.h"
+#include "common/table_set.h"
+#include "query/column_ref.h"
+#include "query/equivalence.h"
+#include "query/predicate.h"
+
+namespace cote {
+
+/// \brief One entry of a query's FROM list.
+struct QueryTableRef {
+  const Table* table = nullptr;
+  std::string alias;
+  /// True for table refs that can never serve as the outer input of a join
+  /// (correlated derived tables / subquery results, §4 item 3 of the paper).
+  bool inner_only = false;
+};
+
+/// \brief The bound, optimizer-facing representation of one query block.
+///
+/// A QueryGraph contains the FROM tables, the equi-join edges (possibly
+/// cyclic, possibly outer), local filter predicates with selectivities, and
+/// the ORDER BY / GROUP BY interest lists. It is produced either by the SQL
+/// binder or programmatically via QueryBuilder, and consumed by both the
+/// optimizer and the compilation-time estimator.
+class QueryGraph {
+ public:
+  QueryGraph() = default;
+
+  // ---- Construction -------------------------------------------------------
+
+  /// Appends a table reference; returns its index in the FROM list.
+  int AddTableRef(const Table* table, std::string alias);
+  void AddJoinPredicate(JoinPredicate pred) {
+    join_preds_.push_back(pred);
+  }
+  void AddLocalPredicate(LocalPredicate pred) {
+    local_preds_.push_back(pred);
+  }
+  void SetOrderBy(std::vector<ColumnRef> cols) { order_by_ = std::move(cols); }
+  void SetGroupBy(std::vector<ColumnRef> cols) { group_by_ = std::move(cols); }
+  void set_has_aggregation(bool v) { has_aggregation_ = v; }
+  void set_fetch_first(int64_t n) { fetch_first_ = n; }
+  void MarkInnerOnly(int table_ref) { tables_[table_ref].inner_only = true; }
+
+  /// Derives implied equality predicates through transitive closure of the
+  /// inner-join equivalence classes (`A.x=B.y ∧ B.y=C.z ⇒ A.x=C.z`). This is
+  /// what commercial systems do and it introduces cycles into the join graph
+  /// (§2.2). Returns the number of predicates added.
+  int DeriveTransitiveClosure();
+
+  // ---- Basic accessors ----------------------------------------------------
+
+  int num_tables() const { return static_cast<int>(tables_.size()); }
+  const QueryTableRef& table_ref(int i) const { return tables_[i]; }
+  TableSet AllTables() const { return TableSet::FirstN(num_tables()); }
+
+  const std::vector<JoinPredicate>& join_predicates() const {
+    return join_preds_;
+  }
+  const std::vector<LocalPredicate>& local_predicates() const {
+    return local_preds_;
+  }
+  const std::vector<ColumnRef>& order_by() const { return order_by_; }
+  const std::vector<ColumnRef>& group_by() const { return group_by_; }
+  bool has_aggregation() const { return has_aggregation_; }
+  /// FETCH FIRST n ROWS ONLY; -1 when absent. When set, the pipelinable
+  /// property (paper Table 1) becomes interesting: a plan that streams its
+  /// first rows without SORTs/hash builds can stop early.
+  int64_t fetch_first() const { return fetch_first_; }
+  bool wants_first_rows() const { return fetch_first_ > 0; }
+
+  /// NDV of a column, from catalog statistics.
+  double ColumnNdv(ColumnRef c) const;
+  /// Debug name like "l.l_orderkey".
+  std::string ColumnName(ColumnRef c) const;
+
+  // ---- Join-graph queries --------------------------------------------------
+
+  /// Indices (into join_predicates()) of predicates with one side in `s`
+  /// and the other in `l`.
+  std::vector<int> ConnectingPredicates(TableSet s, TableSet l) const;
+
+  /// True if at least one join predicate crosses the cut (s, l).
+  bool AreConnected(TableSet s, TableSet l) const;
+
+  /// True if the induced subgraph on `s` is connected (singletons are).
+  bool IsSubgraphConnected(TableSet s) const;
+
+  /// Tables outside `s` joined to some table inside `s`.
+  TableSet Neighbors(TableSet s) const;
+
+  /// Combined selectivity of all local predicates on table `t`.
+  double LocalSelectivity(int t) const;
+
+  /// Column equivalence induced by ALL inner-join predicates of the query.
+  const ColumnEquivalence& GlobalEquivalence() const;
+
+  // ---- Outer-join / eligibility --------------------------------------------
+
+  /// Whether the table set `s` may serve as the outer input of a join:
+  /// false if `s` contains the null-producing side of an outer join whose
+  /// preserved side is not yet in `s`, or contains an inner-only table while
+  /// not being the full query. Mirrors DB2's logical "outer enabled" mark.
+  bool OuterEnabled(TableSet s) const;
+
+  /// True if joining `s` (outer) with `l` (inner) is legal with respect to
+  /// outer-join constraints: any outer-join predicate crossing the cut must
+  /// have its null-producing table in `l`.
+  bool OuterJoinOrientationOk(TableSet s, TableSet l) const;
+
+  /// Debug rendering of the whole graph.
+  std::string ToString() const;
+
+ private:
+  std::vector<QueryTableRef> tables_;
+  std::vector<JoinPredicate> join_preds_;
+  std::vector<LocalPredicate> local_preds_;
+  std::vector<ColumnRef> order_by_;
+  std::vector<ColumnRef> group_by_;
+  bool has_aggregation_ = false;
+  int64_t fetch_first_ = -1;
+
+  mutable ColumnEquivalence global_equiv_;
+  mutable bool global_equiv_valid_ = false;
+};
+
+}  // namespace cote
+
+#endif  // COTE_QUERY_QUERY_GRAPH_H_

@@ -1,0 +1,333 @@
+#include "workload/workload.h"
+
+#include <cassert>
+
+#include "catalog/table.h"
+#include "common/str_util.h"
+
+namespace cote {
+
+std::shared_ptr<Catalog> MakeSyntheticCatalog(int num_tables) {
+  return MakeSyntheticCatalogEx(num_tables, /*indexes_per_table=*/1, "c0");
+}
+
+std::shared_ptr<Catalog> MakeSyntheticCatalogEx(
+    int num_tables, int indexes_per_table, const std::string& partition_col) {
+  auto catalog = std::make_shared<Catalog>();
+  // Row counts cycle through a spread so join directions matter.
+  const double kRows[] = {1000000, 50000, 200000, 10000, 500000,
+                          25000,   100000, 75000, 300000, 40000};
+  for (int i = 0; i < num_tables; ++i) {
+    double rows = kRows[i % 10] * (1 + i / 10);
+    TableBuilder b(StrFormat("T%d", i), rows);
+    // c0 is the "key-ish" column; c1..c4 are join columns with moderate
+    // NDV (so stacking several predicates between the same pair does not
+    // collapse cardinalities to ~0); c5..c7 serve ORDER BY / GROUP BY.
+    b.Col("c0", ColumnType::kBigInt, rows);
+    b.Col("c1", ColumnType::kInt, rows / 2);
+    b.Col("c2", ColumnType::kInt, 1000);
+    b.Col("c3", ColumnType::kInt, 500);
+    b.Col("c4", ColumnType::kInt, 100);
+    b.Col("c5", ColumnType::kInt, 50);
+    b.Col("c6", ColumnType::kDate, 2500);
+    b.Col("c7", ColumnType::kVarchar, 10000);
+    b.PrimaryKey({"c0"});
+    if (indexes_per_table >= 1) {
+      b.Idx(StrFormat("T%d_pk", i), {"c0"}, /*unique=*/true);
+    }
+    if (indexes_per_table >= 2) b.Idx(StrFormat("T%d_i1", i), {"c1"});
+    if (indexes_per_table >= 3) b.Idx(StrFormat("T%d_i2", i), {"c3"});
+    // "mix" staggers the partitioning key across tables (c1/c2), the
+    // design that makes several interesting partition values coexist.
+    if (partition_col == "mix") {
+      b.HashPartition({i % 2 == 0 ? "c1" : "c2"});
+    } else if (!partition_col.empty()) {
+      b.HashPartition({partition_col});
+    }
+    Status s = catalog->AddTable(b.Build());
+    assert(s.ok());
+    (void)s;
+  }
+  return catalog;
+}
+
+std::shared_ptr<Catalog> MakeRetailCatalog() {
+  auto catalog = std::make_shared<Catalog>();
+  auto add = [&catalog](Table t) {
+    Status s = catalog->AddTable(std::move(t));
+    assert(s.ok());
+    (void)s;
+  };
+
+  // Dimensions.
+  add(TableBuilder("store", 1000)
+          .Col("s_id", ColumnType::kInt, 1000)
+          .Col("s_region_id", ColumnType::kInt, 50)
+          .Col("s_city", ColumnType::kVarchar, 400)
+          .Col("s_size", ColumnType::kInt, 20)
+          .Col("s_open_date", ColumnType::kDate, 900)
+          .PrimaryKey({"s_id"})
+          .Idx("store_pk", {"s_id"}, true)
+          .Replicate()
+          .Build());
+  add(TableBuilder("region", 50)
+          .Col("r_id", ColumnType::kInt, 50)
+          .Col("r_name", ColumnType::kVarchar, 50)
+          .Col("r_country", ColumnType::kVarchar, 12)
+          .PrimaryKey({"r_id"})
+          .Idx("region_pk", {"r_id"}, true)
+          .Replicate()
+          .Build());
+  add(TableBuilder("product", 200000)
+          .Col("p_id", ColumnType::kInt, 200000)
+          .Col("p_category_id", ColumnType::kInt, 500)
+          .Col("p_brand_id", ColumnType::kInt, 2000)
+          .Col("p_name", ColumnType::kVarchar, 190000)
+          .Col("p_price", ColumnType::kDecimal, 8000)
+          .Col("p_intro_date", ColumnType::kDate, 3000)
+          .PrimaryKey({"p_id"})
+          .Idx("product_pk", {"p_id"}, true)
+          .Idx("product_cat", {"p_category_id", "p_id"})
+          .HashPartition({"p_id"})
+          .Build());
+  add(TableBuilder("category", 500)
+          .Col("cat_id", ColumnType::kInt, 500)
+          .Col("cat_name", ColumnType::kVarchar, 500)
+          .Col("cat_dept", ColumnType::kVarchar, 30)
+          .PrimaryKey({"cat_id"})
+          .Idx("category_pk", {"cat_id"}, true)
+          .Replicate()
+          .Build());
+  add(TableBuilder("brand", 2000)
+          .Col("b_id", ColumnType::kInt, 2000)
+          .Col("b_name", ColumnType::kVarchar, 2000)
+          .Col("b_vendor_id", ColumnType::kInt, 300)
+          .PrimaryKey({"b_id"})
+          .Idx("brand_pk", {"b_id"}, true)
+          .Replicate()
+          .Build());
+  add(TableBuilder("vendor", 300)
+          .Col("v_id", ColumnType::kInt, 300)
+          .Col("v_name", ColumnType::kVarchar, 300)
+          .Col("v_region_id", ColumnType::kInt, 50)
+          .PrimaryKey({"v_id"})
+          .Idx("vendor_pk", {"v_id"}, true)
+          .Replicate()
+          .Build());
+  add(TableBuilder("customer", 500000)
+          .Col("c_id", ColumnType::kInt, 500000)
+          .Col("c_region_id", ColumnType::kInt, 50)
+          .Col("c_segment", ColumnType::kVarchar, 8)
+          .Col("c_since", ColumnType::kDate, 4000)
+          .Col("c_city", ColumnType::kVarchar, 2000)
+          .PrimaryKey({"c_id"})
+          .Idx("customer_pk", {"c_id"}, true)
+          .Idx("customer_region", {"c_region_id", "c_id"})
+          .HashPartition({"c_id"})
+          .Build());
+  add(TableBuilder("calendar", 3650)
+          .Col("d_date", ColumnType::kDate, 3650)
+          .Col("d_month", ColumnType::kInt, 120)
+          .Col("d_quarter", ColumnType::kInt, 40)
+          .Col("d_year", ColumnType::kInt, 10)
+          .Col("d_weekday", ColumnType::kInt, 7)
+          .PrimaryKey({"d_date"})
+          .Idx("calendar_pk", {"d_date"}, true)
+          .Replicate()
+          .Build());
+  add(TableBuilder("promotion", 5000)
+          .Col("pr_id", ColumnType::kInt, 5000)
+          .Col("pr_product_id", ColumnType::kInt, 4500)
+          .Col("pr_start", ColumnType::kDate, 1200)
+          .Col("pr_type", ColumnType::kVarchar, 12)
+          .PrimaryKey({"pr_id"})
+          .Idx("promotion_pk", {"pr_id"}, true)
+          .Fk({"pr_product_id"}, "product", {"p_id"})
+          .Replicate()
+          .Build());
+  add(TableBuilder("warehouse", 200)
+          .Col("w_id", ColumnType::kInt, 200)
+          .Col("w_region_id", ColumnType::kInt, 50)
+          .Col("w_capacity", ColumnType::kInt, 150)
+          .PrimaryKey({"w_id"})
+          .Idx("warehouse_pk", {"w_id"}, true)
+          .Replicate()
+          .Build());
+
+  // Facts.
+  add(TableBuilder("sales", 10000000)
+          .Col("sl_id", ColumnType::kBigInt, 10000000)
+          .Col("sl_store_id", ColumnType::kInt, 1000)
+          .Col("sl_product_id", ColumnType::kInt, 200000)
+          .Col("sl_customer_id", ColumnType::kInt, 500000)
+          .Col("sl_date", ColumnType::kDate, 3650)
+          .Col("sl_promo_id", ColumnType::kInt, 5000)
+          .Col("sl_qty", ColumnType::kInt, 100)
+          .Col("sl_amount", ColumnType::kDecimal, 100000)
+          .PrimaryKey({"sl_id"})
+          .Idx("sales_pk", {"sl_id"}, true)
+          .Idx("sales_prod_date", {"sl_product_id", "sl_date"})
+          .Idx("sales_cust", {"sl_customer_id"})
+          .Fk({"sl_store_id"}, "store", {"s_id"})
+          .Fk({"sl_product_id"}, "product", {"p_id"})
+          .Fk({"sl_customer_id"}, "customer", {"c_id"})
+          .Fk({"sl_date"}, "calendar", {"d_date"})
+          .Fk({"sl_promo_id"}, "promotion", {"pr_id"})
+          .HashPartition({"sl_product_id"})
+          .Build());
+  add(TableBuilder("inventory", 4000000)
+          .Col("inv_warehouse_id", ColumnType::kInt, 200)
+          .Col("inv_product_id", ColumnType::kInt, 200000)
+          .Col("inv_date", ColumnType::kDate, 3650)
+          .Col("inv_qty", ColumnType::kInt, 1000)
+          .Idx("inventory_prod", {"inv_product_id", "inv_date"})
+          .Fk({"inv_warehouse_id"}, "warehouse", {"w_id"})
+          .Fk({"inv_product_id"}, "product", {"p_id"})
+          .Fk({"inv_date"}, "calendar", {"d_date"})
+          .HashPartition({"inv_product_id"})
+          .Build());
+  add(TableBuilder("shipments", 2000000)
+          .Col("sh_id", ColumnType::kBigInt, 2000000)
+          .Col("sh_warehouse_id", ColumnType::kInt, 200)
+          .Col("sh_store_id", ColumnType::kInt, 1000)
+          .Col("sh_product_id", ColumnType::kInt, 200000)
+          .Col("sh_date", ColumnType::kDate, 3650)
+          .Col("sh_qty", ColumnType::kInt, 500)
+          .PrimaryKey({"sh_id"})
+          .Idx("shipments_pk", {"sh_id"}, true)
+          .Fk({"sh_warehouse_id"}, "warehouse", {"w_id"})
+          .Fk({"sh_store_id"}, "store", {"s_id"})
+          .Fk({"sh_product_id"}, "product", {"p_id"})
+          .Fk({"sh_date"}, "calendar", {"d_date"})
+          .HashPartition({"sh_product_id"})
+          .Build());
+  add(TableBuilder("returns", 500000)
+          .Col("rt_id", ColumnType::kBigInt, 500000)
+          .Col("rt_sale_id", ColumnType::kBigInt, 480000)
+          .Col("rt_product_id", ColumnType::kInt, 150000)
+          .Col("rt_customer_id", ColumnType::kInt, 200000)
+          .Col("rt_date", ColumnType::kDate, 3650)
+          .Col("rt_reason", ColumnType::kVarchar, 25)
+          .PrimaryKey({"rt_id"})
+          .Idx("returns_pk", {"rt_id"}, true)
+          .Fk({"rt_sale_id"}, "sales", {"sl_id"})
+          .Fk({"rt_product_id"}, "product", {"p_id"})
+          .Fk({"rt_customer_id"}, "customer", {"c_id"})
+          .HashPartition({"rt_product_id"})
+          .Build());
+  return catalog;
+}
+
+std::shared_ptr<Catalog> MakeTpchCatalog() {
+  auto catalog = std::make_shared<Catalog>();
+  auto add = [&catalog](Table t) {
+    Status s = catalog->AddTable(std::move(t));
+    assert(s.ok());
+    (void)s;
+  };
+  add(TableBuilder("region", 5)
+          .Col("r_regionkey", ColumnType::kInt, 5)
+          .Col("r_name", ColumnType::kVarchar, 5)
+          .PrimaryKey({"r_regionkey"})
+          .Idx("region_pk", {"r_regionkey"}, true)
+          .Replicate()
+          .Build());
+  add(TableBuilder("nation", 25)
+          .Col("n_nationkey", ColumnType::kInt, 25)
+          .Col("n_name", ColumnType::kVarchar, 25)
+          .Col("n_regionkey", ColumnType::kInt, 5)
+          .PrimaryKey({"n_nationkey"})
+          .Idx("nation_pk", {"n_nationkey"}, true)
+          .Fk({"n_regionkey"}, "region", {"r_regionkey"})
+          .Replicate()
+          .Build());
+  add(TableBuilder("supplier", 10000)
+          .Col("s_suppkey", ColumnType::kInt, 10000)
+          .Col("s_nationkey", ColumnType::kInt, 25)
+          .Col("s_name", ColumnType::kVarchar, 10000)
+          .Col("s_acctbal", ColumnType::kDecimal, 9000)
+          .Col("s_address", ColumnType::kVarchar, 10000)
+          .Col("s_phone", ColumnType::kVarchar, 10000)
+          .Col("s_comment", ColumnType::kVarchar, 9900)
+          .PrimaryKey({"s_suppkey"})
+          .Idx("supplier_pk", {"s_suppkey"}, true)
+          .Fk({"s_nationkey"}, "nation", {"n_nationkey"})
+          .HashPartition({"s_suppkey"})
+          .Build());
+  add(TableBuilder("customer", 150000)
+          .Col("c_custkey", ColumnType::kInt, 150000)
+          .Col("c_nationkey", ColumnType::kInt, 25)
+          .Col("c_mktsegment", ColumnType::kVarchar, 5)
+          .Col("c_acctbal", ColumnType::kDecimal, 140000)
+          .Col("c_name", ColumnType::kVarchar, 150000)
+          .Col("c_address", ColumnType::kVarchar, 150000)
+          .Col("c_phone", ColumnType::kVarchar, 150000)
+          .PrimaryKey({"c_custkey"})
+          .Idx("customer_pk", {"c_custkey"}, true)
+          .Fk({"c_nationkey"}, "nation", {"n_nationkey"})
+          .HashPartition({"c_custkey"})
+          .Build());
+  add(TableBuilder("part", 200000)
+          .Col("p_partkey", ColumnType::kInt, 200000)
+          .Col("p_type", ColumnType::kVarchar, 150)
+          .Col("p_size", ColumnType::kInt, 50)
+          .Col("p_brand", ColumnType::kVarchar, 25)
+          .Col("p_mfgr", ColumnType::kVarchar, 5)
+          .Col("p_name", ColumnType::kVarchar, 199000)
+          .Col("p_container", ColumnType::kVarchar, 40)
+          .Col("p_retailprice", ColumnType::kDecimal, 20000)
+          .PrimaryKey({"p_partkey"})
+          .Idx("part_pk", {"p_partkey"}, true)
+          .HashPartition({"p_partkey"})
+          .Build());
+  add(TableBuilder("partsupp", 800000)
+          .Col("ps_partkey", ColumnType::kInt, 200000)
+          .Col("ps_suppkey", ColumnType::kInt, 10000)
+          .Col("ps_supplycost", ColumnType::kDecimal, 100000)
+          .Col("ps_availqty", ColumnType::kInt, 10000)
+          .Idx("partsupp_pk", {"ps_partkey", "ps_suppkey"}, true)
+          .Fk({"ps_partkey"}, "part", {"p_partkey"})
+          .Fk({"ps_suppkey"}, "supplier", {"s_suppkey"})
+          .HashPartition({"ps_partkey"})
+          .Build());
+  add(TableBuilder("orders", 1500000)
+          .Col("o_orderkey", ColumnType::kBigInt, 1500000)
+          .Col("o_custkey", ColumnType::kInt, 100000)
+          .Col("o_orderdate", ColumnType::kDate, 2400)
+          .Col("o_orderstatus", ColumnType::kVarchar, 3)
+          .Col("o_orderpriority", ColumnType::kVarchar, 5)
+          .Col("o_totalprice", ColumnType::kDecimal, 1400000)
+          .Col("o_shippriority", ColumnType::kInt, 3)
+          .Col("o_clerk", ColumnType::kVarchar, 1000)
+          .PrimaryKey({"o_orderkey"})
+          .Idx("orders_pk", {"o_orderkey"}, true)
+          .Idx("orders_cust", {"o_custkey", "o_orderdate"})
+          .Fk({"o_custkey"}, "customer", {"c_custkey"})
+          .HashPartition({"o_orderkey"})
+          .Build());
+  add(TableBuilder("lineitem", 6000000)
+          .Col("l_orderkey", ColumnType::kBigInt, 1500000)
+          .Col("l_partkey", ColumnType::kInt, 200000)
+          .Col("l_suppkey", ColumnType::kInt, 10000)
+          .Col("l_shipdate", ColumnType::kDate, 2500)
+          .Col("l_receiptdate", ColumnType::kDate, 2550)
+          .Col("l_commitdate", ColumnType::kDate, 2450)
+          .Col("l_quantity", ColumnType::kInt, 50)
+          .Col("l_extendedprice", ColumnType::kDecimal, 900000)
+          .Col("l_returnflag", ColumnType::kVarchar, 3)
+          .Col("l_linestatus", ColumnType::kVarchar, 2)
+          .Col("l_discount", ColumnType::kDecimal, 11)
+          .Col("l_tax", ColumnType::kDecimal, 9)
+          .Col("l_shipmode", ColumnType::kVarchar, 7)
+          .Col("l_shipinstruct", ColumnType::kVarchar, 4)
+          .Idx("lineitem_order", {"l_orderkey"})
+          .Idx("lineitem_part", {"l_partkey", "l_suppkey"})
+          .Fk({"l_orderkey"}, "orders", {"o_orderkey"})
+          .Fk({"l_partkey", "l_suppkey"}, "partsupp",
+              {"ps_partkey", "ps_suppkey"})
+          .HashPartition({"l_orderkey"})
+          .Build());
+  return catalog;
+}
+
+}  // namespace cote

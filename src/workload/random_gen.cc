@@ -1,0 +1,155 @@
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "query/query_builder.h"
+#include "workload/workload.h"
+
+namespace cote {
+
+namespace {
+
+struct ChosenRef {
+  const Table* table;
+  std::string alias;
+};
+
+/// FK edge between a chosen ref and a (possibly new) table.
+struct FkEdge {
+  const Table* from;     // table holding the FK
+  const Table* to;       // referenced table
+  std::vector<int> from_cols;
+  std::vector<std::string> to_cols;
+};
+
+std::vector<FkEdge> FkEdgesTouching(const Catalog& catalog,
+                                    const Table* table) {
+  std::vector<FkEdge> edges;
+  for (const ForeignKey& fk : table->foreign_keys()) {
+    const Table* ref = catalog.FindTable(fk.referenced_table);
+    if (ref != nullptr) {
+      edges.push_back(FkEdge{table, ref, fk.columns, fk.referenced_columns});
+    }
+  }
+  for (const auto& other : catalog.tables()) {
+    if (other.get() == table) continue;
+    for (const ForeignKey& fk : other->foreign_keys()) {
+      if (fk.referenced_table == table->name()) {
+        edges.push_back(
+            FkEdge{other.get(), table, fk.columns, fk.referenced_columns});
+      }
+    }
+  }
+  return edges;
+}
+
+}  // namespace
+
+Workload RandomWorkload(int num_queries, uint64_t seed) {
+  Workload w;
+  w.name = "random";
+  w.catalog = MakeRetailCatalog();
+  Rng rng(seed);
+
+  // Mirrors the DB2 robustness tool (§5): grow a query by repeatedly
+  // merging in another table, preferring FK->PK joins; occasionally add a
+  // second predicate between already-joined tables (cycles); sprinkle
+  // local predicates, GROUP BY and ORDER BY.
+  for (int q = 0; q < num_queries; ++q) {
+    int target_tables = 4 + static_cast<int>(rng.Uniform(8));  // 4..11
+    QueryBuilder qb(*w.catalog);
+    std::vector<ChosenRef> refs;
+
+    // Seed with a fact table so FK edges are plentiful.
+    const char* kFacts[] = {"sales", "inventory", "shipments", "returns"};
+    const Table* seed_table =
+        w.catalog->FindTable(kFacts[rng.Uniform(4)]);
+    refs.push_back(ChosenRef{seed_table, "q0"});
+    qb.AddTable(seed_table->name(), "q0");
+
+    int next_alias = 1;
+    int guard = 0;
+    while (static_cast<int>(refs.size()) < target_tables && guard++ < 100) {
+      // Copy: push_back below reallocates `refs`.
+      const ChosenRef anchor = refs[rng.Uniform(refs.size())];
+      std::vector<FkEdge> edges = FkEdgesTouching(*w.catalog, anchor.table);
+      if (edges.empty()) continue;
+      const FkEdge& e = edges[rng.Uniform(edges.size())];
+      const Table* other = e.from == anchor.table ? e.to : e.from;
+
+      std::string alias = StrFormat("q%d", next_alias++);
+      qb.AddTable(other->name(), alias);
+      refs.push_back(ChosenRef{other, alias});
+
+      const std::string& from_alias =
+          e.from == anchor.table ? anchor.alias : alias;
+      const std::string& to_alias =
+          e.from == anchor.table ? alias : anchor.alias;
+      for (size_t i = 0; i < e.from_cols.size(); ++i) {
+        qb.Join(from_alias, e.from->column(e.from_cols[i]).name, to_alias,
+                e.to_cols[i]);
+      }
+    }
+
+    // Extra predicate between two already-present refs (cycle) with
+    // probability ~1/2: mimics query merging.
+    if (refs.size() >= 3 && rng.Bernoulli(0.5)) {
+      const ChosenRef a = refs[rng.Uniform(refs.size())];
+      auto add_cycle_edge = [&]() {
+        for (const FkEdge& e : FkEdgesTouching(*w.catalog, a.table)) {
+          const Table* other = e.from == a.table ? e.to : e.from;
+          for (const ChosenRef& b : refs) {
+            if (b.table == other && b.alias != a.alias) {
+              const std::string& fa = e.from == a.table ? a.alias : b.alias;
+              const std::string& ta = e.from == a.table ? b.alias : a.alias;
+              qb.Join(fa, e.from->column(e.from_cols[0]).name, ta,
+                      e.to_cols[0]);
+              return;
+            }
+          }
+        }
+      };
+      add_cycle_edge();
+    }
+
+    // Local predicates (0..3), mild selectivities so cardinalities stay
+    // non-degenerate.
+    int num_local = static_cast<int>(rng.Uniform(4));
+    for (int i = 0; i < num_local; ++i) {
+      const ChosenRef& r = refs[rng.Uniform(refs.size())];
+      int col = static_cast<int>(rng.Uniform(r.table->num_columns()));
+      qb.Local(r.alias, r.table->column(col).name, LocalOp::kRange,
+               0.1 + 0.4 * rng.NextDouble());
+    }
+
+    // GROUP BY (0..3 columns) and ORDER BY (0..2).
+    int num_group = static_cast<int>(rng.Uniform(4));
+    std::vector<std::pair<std::string, std::string>> gb;
+    for (int i = 0; i < num_group; ++i) {
+      const ChosenRef& r = refs[rng.Uniform(refs.size())];
+      int col = static_cast<int>(rng.Uniform(r.table->num_columns()));
+      gb.emplace_back(r.alias, r.table->column(col).name);
+    }
+    if (!gb.empty()) qb.GroupBy(gb);
+    int num_order = static_cast<int>(rng.Uniform(3));
+    std::vector<std::pair<std::string, std::string>> ob;
+    for (int i = 0; i < num_order; ++i) {
+      const ChosenRef& r = refs[rng.Uniform(refs.size())];
+      int col = static_cast<int>(rng.Uniform(r.table->num_columns()));
+      ob.emplace_back(r.alias, r.table->column(col).name);
+    }
+    if (!ob.empty()) qb.OrderBy(ob);
+
+    qb.WithTransitiveClosure();
+    auto graph = qb.Build();
+    assert(graph.ok());
+    w.queries.push_back(std::move(graph).value());
+    w.labels.push_back(StrFormat("rnd%02d/%dt", q,
+                                 w.queries.back().num_tables()));
+  }
+  return w;
+}
+
+}  // namespace cote

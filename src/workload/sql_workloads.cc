@@ -1,0 +1,367 @@
+#include <cassert>
+
+#include "common/str_util.h"
+#include "parser/binder.h"
+#include "workload/workload.h"
+
+namespace cote {
+
+namespace {
+
+/// Parses + binds one SQL query (with transitive closure, as commercial
+/// systems derive implied predicates) and appends it to the workload.
+void AddSql(Workload* w, const std::string& label, const std::string& sql) {
+  auto graph = Binder::BindSql(*w->catalog, sql);
+  if (!graph.ok()) {
+    // Workload definitions are static; failing loudly at startup is the
+    // correct behaviour for a malformed query.
+    std::fprintf(stderr, "workload %s query %s failed to bind: %s\n",
+                 w->name.c_str(), label.c_str(),
+                 graph.status().ToString().c_str());
+    std::abort();
+  }
+  w->queries.push_back(std::move(graph).value());
+  w->labels.push_back(label);
+}
+
+}  // namespace
+
+Workload Real1Workload() {
+  Workload w;
+  w.name = "real1";
+  w.catalog = MakeRetailCatalog();
+
+  AddSql(&w, "R1.1", R"(
+    SELECT st.s_city, SUM(sl.sl_amount)
+    FROM sales sl, store st, region r, calendar d
+    WHERE sl.sl_store_id = st.s_id AND st.s_region_id = r.r_id
+      AND sl.sl_date = d.d_date AND d.d_year = 2002
+      AND r.r_country = 'US'
+    GROUP BY st.s_city
+    ORDER BY st.s_city)");
+
+  AddSql(&w, "R1.2", R"(
+    SELECT p.p_name, c.cat_name, SUM(sl.sl_qty)
+    FROM sales sl, product p, category c, brand b, vendor v
+    WHERE sl.sl_product_id = p.p_id AND p.p_category_id = c.cat_id
+      AND p.p_brand_id = b.b_id AND b.b_vendor_id = v.v_id
+      AND v.v_name LIKE 'Acme%'
+      AND p.p_price BETWEEN 10 AND 100
+    GROUP BY p.p_name, c.cat_name)");
+
+  AddSql(&w, "R1.3", R"(
+    SELECT cu.c_segment, d.d_quarter, SUM(sl.sl_amount), COUNT(*)
+    FROM sales sl
+         LEFT JOIN promotion pr ON sl.sl_promo_id = pr.pr_id,
+         customer cu, calendar d, region r
+    WHERE sl.sl_customer_id = cu.c_id AND sl.sl_date = d.d_date
+      AND cu.c_region_id = r.r_id AND r.r_name = 'West'
+      AND d.d_year >= 2001
+    GROUP BY cu.c_segment, d.d_quarter
+    ORDER BY cu.c_segment, d.d_quarter)");
+
+  AddSql(&w, "R1.4", R"(
+    SELECT wh.w_id, p.p_name, inv.inv_qty
+    FROM inventory inv, warehouse wh, product p, category c, region r
+    WHERE inv.inv_warehouse_id = wh.w_id AND inv.inv_product_id = p.p_id
+      AND p.p_category_id = c.cat_id AND wh.w_region_id = r.r_id
+      AND c.cat_dept = 'electronics' AND inv.inv_qty < 10
+    ORDER BY wh.w_id, p.p_name)");
+
+  AddSql(&w, "R1.5", R"(
+    SELECT st.s_city, wh.w_id, SUM(sh.sh_qty)
+    FROM shipments sh, warehouse wh, store st, product p, calendar d,
+         region r1, region r2
+    WHERE sh.sh_warehouse_id = wh.w_id AND sh.sh_store_id = st.s_id
+      AND sh.sh_product_id = p.p_id AND sh.sh_date = d.d_date
+      AND wh.w_region_id = r1.r_id AND st.s_region_id = r2.r_id
+      AND d.d_month BETWEEN 24 AND 36 AND p.p_price > 50
+    GROUP BY st.s_city, wh.w_id)");
+
+  AddSql(&w, "R1.6", R"(
+    SELECT rt.rt_reason, p.p_name, COUNT(*)
+    FROM returns rt, sales sl, product p, customer cu, calendar d
+    WHERE rt.rt_sale_id = sl.sl_id AND rt.rt_product_id = p.p_id
+      AND sl.sl_product_id = p.p_id AND rt.rt_customer_id = cu.c_id
+      AND sl.sl_date = d.d_date AND d.d_year = 2002
+      AND cu.c_segment = 'gold'
+    GROUP BY rt.rt_reason, p.p_name
+    ORDER BY rt.rt_reason)");
+
+  AddSql(&w, "R1.7", R"(
+    SELECT v.v_name, r.r_name, SUM(sl.sl_amount)
+    FROM sales sl, product p, brand b, vendor v, region r, store st
+    WHERE sl.sl_product_id = p.p_id AND p.p_brand_id = b.b_id
+      AND b.b_vendor_id = v.v_id AND v.v_region_id = r.r_id
+      AND sl.sl_store_id = st.s_id AND st.s_region_id = r.r_id
+      AND sl.sl_amount > 1000
+    GROUP BY v.v_name, r.r_name)");
+
+  AddSql(&w, "R1.8", R"(
+    SELECT d.d_year, c.cat_name, SUM(sl.sl_qty), SUM(inv.inv_qty)
+    FROM sales sl, inventory inv, product p, category c, calendar d,
+         warehouse wh
+    WHERE sl.sl_product_id = p.p_id AND inv.inv_product_id = p.p_id
+      AND p.p_category_id = c.cat_id AND sl.sl_date = d.d_date
+      AND inv.inv_date = d.d_date AND inv.inv_warehouse_id = wh.w_id
+      AND wh.w_capacity >= 50
+    GROUP BY d.d_year, c.cat_name
+    ORDER BY d.d_year)");
+
+  return w;
+}
+
+Workload Real2Workload() {
+  Workload w;
+  w.name = "real2";
+  w.catalog = MakeRetailCatalog();
+
+  AddSql(&w, "R2.01", R"(
+    SELECT st.s_id, SUM(sl.sl_amount)
+    FROM sales sl, store st
+    WHERE sl.sl_store_id = st.s_id AND st.s_size > 5
+    GROUP BY st.s_id ORDER BY st.s_id)");
+
+  AddSql(&w, "R2.02", R"(
+    SELECT cu.c_city, d.d_month, SUM(sl.sl_amount)
+    FROM sales sl, customer cu, calendar d
+    WHERE sl.sl_customer_id = cu.c_id AND sl.sl_date = d.d_date
+      AND cu.c_since >= DATE '2000-01-01'
+    GROUP BY cu.c_city, d.d_month)");
+
+  AddSql(&w, "R2.03", R"(
+    SELECT p.p_name, b.b_name, v.v_name
+    FROM product p, brand b, vendor v, category c
+    WHERE p.p_brand_id = b.b_id AND b.b_vendor_id = v.v_id
+      AND p.p_category_id = c.cat_id AND c.cat_dept = 'toys'
+    ORDER BY p.p_name, b.b_name)");
+
+  AddSql(&w, "R2.04", R"(
+    SELECT r.r_name, d.d_quarter, SUM(sl.sl_qty), COUNT(*)
+    FROM sales sl, store st, region r, calendar d, product p
+    WHERE sl.sl_store_id = st.s_id AND st.s_region_id = r.r_id
+      AND sl.sl_date = d.d_date AND sl.sl_product_id = p.p_id
+      AND p.p_intro_date > DATE '2001-06-01' AND d.d_year = 2002
+    GROUP BY r.r_name, d.d_quarter ORDER BY r.r_name)");
+
+  AddSql(&w, "R2.05", R"(
+    SELECT cu.c_segment, p.p_category_id, SUM(sl.sl_amount)
+    FROM sales sl
+         LEFT JOIN promotion pr ON sl.sl_promo_id = pr.pr_id,
+         customer cu, product p
+    WHERE sl.sl_customer_id = cu.c_id AND sl.sl_product_id = p.p_id
+      AND pr.pr_type = 'coupon'
+    GROUP BY cu.c_segment, p.p_category_id)");
+
+  AddSql(&w, "R2.06", R"(
+    SELECT wh.w_id, d.d_month, SUM(inv.inv_qty)
+    FROM inventory inv, warehouse wh, calendar d, product p, category c
+    WHERE inv.inv_warehouse_id = wh.w_id AND inv.inv_date = d.d_date
+      AND inv.inv_product_id = p.p_id AND p.p_category_id = c.cat_id
+      AND c.cat_name LIKE 'home%' AND d.d_year BETWEEN 2000 AND 2002
+    GROUP BY wh.w_id, d.d_month ORDER BY wh.w_id, d.d_month)");
+
+  AddSql(&w, "R2.07", R"(
+    SELECT sh.sh_id, wh.w_id, st.s_city
+    FROM shipments sh, warehouse wh, store st, region r
+    WHERE sh.sh_warehouse_id = wh.w_id AND sh.sh_store_id = st.s_id
+      AND wh.w_region_id = r.r_id AND st.s_region_id = r.r_id
+      AND sh.sh_qty > 100
+    ORDER BY sh.sh_id)");
+
+  AddSql(&w, "R2.08", R"(
+    SELECT p.p_name, SUM(rt.rt_id)
+    FROM returns rt, product p, brand b
+    WHERE rt.rt_product_id = p.p_id AND p.p_brand_id = b.b_id
+      AND b.b_name LIKE 'North%'
+    GROUP BY p.p_name)");
+
+  // The paper calls out one query with 14 tables, 21 local predicates and
+  // 9 GROUP BY columns overlapping the join columns; this is our stand-in.
+  AddSql(&w, "R2.09", R"(
+    SELECT r.r_name, st.s_region_id, cu.c_region_id, p.p_category_id,
+           b.b_vendor_id, d.d_year, wh.w_region_id, c.cat_dept,
+           pr.pr_type, SUM(sl.sl_amount), SUM(sh.sh_qty)
+    FROM sales sl, store st, product p, customer cu, calendar d,
+         promotion pr, category c, brand b, vendor v, region r,
+         warehouse wh, inventory inv, shipments sh, returns rt
+    WHERE sl.sl_store_id = st.s_id AND sl.sl_product_id = p.p_id
+      AND sl.sl_customer_id = cu.c_id AND sl.sl_date = d.d_date
+      AND sl.sl_promo_id = pr.pr_id AND p.p_category_id = c.cat_id
+      AND p.p_brand_id = b.b_id AND b.b_vendor_id = v.v_id
+      AND st.s_region_id = r.r_id AND cu.c_region_id = r.r_id
+      AND v.v_region_id = r.r_id AND inv.inv_product_id = p.p_id
+      AND inv.inv_warehouse_id = wh.w_id AND sh.sh_warehouse_id = wh.w_id
+      AND sh.sh_store_id = st.s_id AND sh.sh_product_id = p.p_id
+      AND rt.rt_sale_id = sl.sl_id AND rt.rt_product_id = p.p_id
+      AND rt.rt_customer_id = cu.c_id
+      AND st.s_size >= 3 AND st.s_open_date < DATE '2001-01-01'
+      AND p.p_price BETWEEN 5 AND 500 AND p.p_intro_date > DATE '1999-01-01'
+      AND cu.c_segment = 'gold' AND cu.c_since < DATE '2002-06-01'
+      AND d.d_year BETWEEN 2000 AND 2002 AND d.d_weekday < 6
+      AND pr.pr_type LIKE 'disc%' AND pr.pr_start >= DATE '2000-01-01'
+      AND c.cat_dept = 'grocery' AND c.cat_name LIKE 'fresh%'
+      AND b.b_name LIKE 'Best%' AND v.v_name LIKE 'Global%'
+      AND r.r_country = 'US' AND wh.w_capacity > 20
+      AND inv.inv_qty > 0 AND sh.sh_qty > 10
+      AND rt.rt_reason LIKE 'damage%' AND sl.sl_qty < 50
+      AND sl.sl_amount > 25
+    GROUP BY r.r_name, st.s_region_id, cu.c_region_id, p.p_category_id,
+             b.b_vendor_id, d.d_year, wh.w_region_id, c.cat_dept, pr.pr_type
+    ORDER BY r.r_name, d.d_year)");
+
+  AddSql(&w, "R2.10", R"(
+    SELECT d.d_year, SUM(sl.sl_amount)
+    FROM sales sl, calendar d, promotion pr
+    WHERE sl.sl_date = d.d_date AND sl.sl_promo_id = pr.pr_id
+      AND pr.pr_start BETWEEN DATE '2001-01-01' AND DATE '2001-12-31'
+    GROUP BY d.d_year)");
+
+  AddSql(&w, "R2.11", R"(
+    SELECT cu.c_id, cu.c_city, SUM(sl.sl_amount)
+    FROM sales sl, customer cu, region r, store st
+    WHERE sl.sl_customer_id = cu.c_id AND cu.c_region_id = r.r_id
+      AND sl.sl_store_id = st.s_id AND st.s_region_id = r.r_id
+      AND r.r_country = 'CA'
+    GROUP BY cu.c_id, cu.c_city ORDER BY cu.c_id)");
+
+  AddSql(&w, "R2.12", R"(
+    SELECT p.p_id, p.p_name, inv.inv_qty, sh.sh_qty
+    FROM product p
+         LEFT JOIN inventory inv ON inv.inv_product_id = p.p_id
+         LEFT JOIN shipments sh ON sh.sh_product_id = p.p_id,
+         category c
+    WHERE p.p_category_id = c.cat_id AND c.cat_dept = 'sports'
+    ORDER BY p.p_id)");
+
+  AddSql(&w, "R2.13", R"(
+    SELECT v.v_name, c.cat_name, d.d_quarter, SUM(sl.sl_qty)
+    FROM sales sl, product p, category c, brand b, vendor v, calendar d
+    WHERE sl.sl_product_id = p.p_id AND p.p_category_id = c.cat_id
+      AND p.p_brand_id = b.b_id AND b.b_vendor_id = v.v_id
+      AND sl.sl_date = d.d_date AND d.d_year >= 2001
+    GROUP BY v.v_name, c.cat_name, d.d_quarter
+    ORDER BY v.v_name, c.cat_name, d.d_quarter)");
+
+  AddSql(&w, "R2.14", R"(
+    SELECT st.s_id, st.s_city, COUNT(*)
+    FROM shipments sh, store st, product p, brand b
+    WHERE sh.sh_store_id = st.s_id AND sh.sh_product_id = p.p_id
+      AND p.p_brand_id = b.b_id AND b.b_name = 'Summit'
+      AND sh.sh_date >= DATE '2002-01-01'
+    GROUP BY st.s_id, st.s_city)");
+
+  AddSql(&w, "R2.15", R"(
+    SELECT rt.rt_reason, cu.c_segment, d.d_month, COUNT(*)
+    FROM returns rt, customer cu, calendar d, sales sl, store st
+    WHERE rt.rt_customer_id = cu.c_id AND rt.rt_date = d.d_date
+      AND rt.rt_sale_id = sl.sl_id AND sl.sl_store_id = st.s_id
+      AND sl.sl_customer_id = cu.c_id AND st.s_size > 2
+    GROUP BY rt.rt_reason, cu.c_segment, d.d_month)");
+
+  AddSql(&w, "R2.16", R"(
+    SELECT wh.w_id, r.r_name, SUM(inv.inv_qty), SUM(sh.sh_qty)
+    FROM inventory inv, shipments sh, warehouse wh, region r, calendar d
+    WHERE inv.inv_warehouse_id = wh.w_id AND sh.sh_warehouse_id = wh.w_id
+      AND wh.w_region_id = r.r_id AND inv.inv_date = d.d_date
+      AND sh.sh_date = d.d_date AND d.d_year = 2002
+    GROUP BY wh.w_id, r.r_name ORDER BY wh.w_id)");
+
+  AddSql(&w, "R2.17", R"(
+    SELECT p.p_name, d.d_year, SUM(sl.sl_amount), SUM(rt.rt_id)
+    FROM sales sl, returns rt, product p, calendar d, customer cu,
+         category c
+    WHERE rt.rt_sale_id = sl.sl_id AND sl.sl_product_id = p.p_id
+      AND rt.rt_product_id = p.p_id AND sl.sl_date = d.d_date
+      AND sl.sl_customer_id = cu.c_id AND rt.rt_customer_id = cu.c_id
+      AND p.p_category_id = c.cat_id AND c.cat_dept = 'apparel'
+    GROUP BY p.p_name, d.d_year ORDER BY p.p_name, d.d_year)");
+
+  return w;
+}
+
+Workload TpchWorkload() {
+  Workload w;
+  w.name = "tpch";
+  w.catalog = MakeTpchCatalog();
+
+  // Join cores of the 7 longest-compiling TPC-H queries (subqueries are
+  // flattened into the main block — our optimizer plans one block, as does
+  // the paper's framework, §3.3).
+  AddSql(&w, "Q2", R"(
+    SELECT s.s_acctbal, s.s_name, p.p_partkey
+    FROM part p, supplier s, partsupp ps, nation n, region r
+    WHERE p.p_partkey = ps.ps_partkey AND s.s_suppkey = ps.ps_suppkey
+      AND p.p_size = 15 AND p.p_type LIKE '%BRASS'
+      AND s.s_nationkey = n.n_nationkey AND n.n_regionkey = r.r_regionkey
+      AND r.r_name = 'EUROPE'
+    ORDER BY s.s_acctbal, s.s_name, p.p_partkey)");
+
+  AddSql(&w, "Q5", R"(
+    SELECT n.n_name, SUM(l.l_extendedprice)
+    FROM customer c, orders o, lineitem l, supplier s, nation n, region r
+    WHERE c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey
+      AND l.l_suppkey = s.s_suppkey AND c.c_nationkey = s.s_nationkey
+      AND s.s_nationkey = n.n_nationkey AND n.n_regionkey = r.r_regionkey
+      AND r.r_name = 'ASIA'
+      AND o.o_orderdate >= DATE '1994-01-01'
+      AND o.o_orderdate < DATE '1995-01-01'
+    GROUP BY n.n_name ORDER BY n.n_name)");
+
+  AddSql(&w, "Q7", R"(
+    SELECT n1.n_name, n2.n_name, SUM(l.l_extendedprice)
+    FROM supplier s, lineitem l, orders o, customer c,
+         nation n1, nation n2
+    WHERE s.s_suppkey = l.l_suppkey AND o.o_orderkey = l.l_orderkey
+      AND c.c_custkey = o.o_custkey AND s.s_nationkey = n1.n_nationkey
+      AND c.c_nationkey = n2.n_nationkey
+      AND l.l_shipdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+    GROUP BY n1.n_name, n2.n_name, l.l_shipdate
+    ORDER BY n1.n_name, n2.n_name)");
+
+  AddSql(&w, "Q8", R"(
+    SELECT o.o_orderdate, SUM(l.l_extendedprice)
+    FROM part p, supplier s, lineitem l, orders o, customer c,
+         nation n1, nation n2, region r
+    WHERE p.p_partkey = l.l_partkey AND s.s_suppkey = l.l_suppkey
+      AND l.l_orderkey = o.o_orderkey AND o.o_custkey = c.c_custkey
+      AND c.c_nationkey = n1.n_nationkey AND n1.n_regionkey = r.r_regionkey
+      AND s.s_nationkey = n2.n_nationkey AND r.r_name = 'AMERICA'
+      AND o.o_orderdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+      AND p.p_type = 'ECONOMY ANODIZED STEEL'
+    GROUP BY o.o_orderdate ORDER BY o.o_orderdate)");
+
+  AddSql(&w, "Q9", R"(
+    SELECT n.n_name, o.o_orderdate, SUM(l.l_extendedprice)
+    FROM part p, supplier s, lineitem l, partsupp ps, orders o, nation n
+    WHERE s.s_suppkey = l.l_suppkey AND ps.ps_suppkey = l.l_suppkey
+      AND ps.ps_partkey = l.l_partkey AND p.p_partkey = l.l_partkey
+      AND o.o_orderkey = l.l_orderkey AND s.s_nationkey = n.n_nationkey
+      AND p.p_type LIKE '%green%'
+    GROUP BY n.n_name, o.o_orderdate ORDER BY n.n_name)");
+
+  AddSql(&w, "Q10", R"(
+    SELECT c.c_custkey, c.c_acctbal, n.n_name, SUM(l.l_extendedprice)
+    FROM customer c, orders o, lineitem l, nation n
+    WHERE c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey
+      AND c.c_nationkey = n.n_nationkey
+      AND o.o_orderdate >= DATE '1993-10-01'
+      AND o.o_orderdate < DATE '1994-01-01'
+    GROUP BY c.c_custkey, c.c_acctbal, n.n_name
+    ORDER BY c.c_custkey)");
+
+  AddSql(&w, "Q21", R"(
+    SELECT s.s_name, COUNT(*)
+    FROM supplier s, lineitem l1, orders o, nation n,
+         lineitem l2, lineitem l3
+    WHERE s.s_suppkey = l1.l_suppkey AND o.o_orderkey = l1.l_orderkey
+      AND o.o_orderstatus = 'F' AND s.s_nationkey = n.n_nationkey
+      AND l2.l_orderkey = l1.l_orderkey AND l3.l_orderkey = l1.l_orderkey
+      AND l1.l_receiptdate > DATE '1995-01-01'
+      AND n.n_name = 'SAUDI ARABIA'
+    GROUP BY s.s_name ORDER BY s.s_name)");
+
+  return w;
+}
+
+}  // namespace cote

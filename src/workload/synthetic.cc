@@ -1,0 +1,144 @@
+#include <cassert>
+
+#include "common/str_util.h"
+#include "query/query_builder.h"
+#include "workload/workload.h"
+
+namespace cote {
+
+namespace {
+
+/// Join-column names used for the k predicates of an edge: the first
+/// predicate joins key columns (FK->PK-like), extras use the moderate-NDV
+/// columns so selectivities stay sane when stacked.
+const char* kJoinCols[] = {"c0", "c1", "c2", "c3", "c4"};
+
+/// Adds `num_preds` predicates between aliases a and b.
+void AddEdge(QueryBuilder* qb, const std::string& a, const std::string& b,
+             int num_preds) {
+  for (int p = 0; p < num_preds; ++p) {
+    qb->Join(a, kJoinCols[p], b, kJoinCols[p]);
+  }
+}
+
+/// ORDER BY / GROUP BY widths for query k (0-based) of a batch: the paper
+/// varies both within each batch.
+void AddInterest(QueryBuilder* qb, int k, int num_tables) {
+  const char* kSortCols[] = {"c5", "c6", "c7"};
+  int order_cols = k % 3;            // 0..2 ORDER BY columns
+  int group_cols = (k + 1) % 3;      // 0..2 GROUP BY columns
+  std::vector<std::pair<std::string, std::string>> ob, gb;
+  for (int i = 0; i < order_cols; ++i) {
+    ob.emplace_back(StrFormat("t%d", i % num_tables), kSortCols[i]);
+  }
+  for (int i = 0; i < group_cols; ++i) {
+    gb.emplace_back(StrFormat("t%d", (i + 1) % num_tables), kSortCols[i]);
+  }
+  if (!ob.empty()) qb->OrderBy(ob);
+  if (!gb.empty()) qb->GroupBy(gb);
+}
+
+Workload MakeShapeWorkload(const std::string& name, bool star) {
+  Workload w;
+  w.name = name;
+  w.catalog = MakeSyntheticCatalog(10);
+  // Three batches of five queries: 6, 8, 10 tables; within a batch the
+  // number of join predicates per edge varies 1..5 (§5, Synthetic
+  // Workloads). The join graph is identical within a batch — only the
+  // physical properties differ.
+  for (int num_tables : {6, 8, 10}) {
+    for (int k = 1; k <= 5; ++k) {
+      QueryBuilder qb(*w.catalog);
+      for (int t = 0; t < num_tables; ++t) {
+        qb.AddTable(StrFormat("T%d", t), StrFormat("t%d", t));
+      }
+      if (star) {
+        for (int t = 1; t < num_tables; ++t) AddEdge(&qb, "t0", StrFormat("t%d", t), k);
+      } else {
+        for (int t = 0; t + 1 < num_tables; ++t) {
+          AddEdge(&qb, StrFormat("t%d", t), StrFormat("t%d", t + 1), k);
+        }
+      }
+      AddInterest(&qb, k - 1, num_tables);
+      auto graph = qb.Build();
+      assert(graph.ok());
+      w.queries.push_back(std::move(graph).value());
+      w.labels.push_back(StrFormat("%dt/%dp", num_tables, k));
+    }
+  }
+  return w;
+}
+
+}  // namespace
+
+Workload LinearWorkload() { return MakeShapeWorkload("linear", /*star=*/false); }
+
+Workload StarWorkload() { return MakeShapeWorkload("star", /*star=*/true); }
+
+Workload CyclicWorkload() {
+  Workload w;
+  w.name = "cyclic";
+  w.catalog = MakeSyntheticCatalog(10);
+  // Chains closed into a cycle, plus one chord for the larger sizes: join
+  // graphs where analytic join counting is infeasible (§2.2).
+  for (int num_tables : {5, 6, 7, 8}) {
+    for (int k = 1; k <= 2; ++k) {
+      QueryBuilder qb(*w.catalog);
+      for (int t = 0; t < num_tables; ++t) {
+        qb.AddTable(StrFormat("T%d", t), StrFormat("t%d", t));
+      }
+      for (int t = 0; t < num_tables; ++t) {
+        AddEdge(&qb, StrFormat("t%d", t), StrFormat("t%d", (t + 1) % num_tables), k);
+      }
+      if (num_tables >= 7) AddEdge(&qb, "t0", StrFormat("t%d", num_tables / 2), 1);
+      AddInterest(&qb, k, num_tables);
+      auto graph = qb.Build();
+      assert(graph.ok());
+      w.queries.push_back(std::move(graph).value());
+      w.labels.push_back(StrFormat("%dt/%dp cycle", num_tables, k));
+    }
+  }
+  return w;
+}
+
+Workload TrainingWorkload() {
+  Workload w;
+  w.name = "training";
+  w.catalog = MakeSyntheticCatalog(10);
+  // A spread of shapes/sizes for regression: chains, stars and cycles of
+  // 3..9 tables with varying predicate and interest widths — deliberately
+  // different parameters from the evaluation batches.
+  int qnum = 0;
+  for (int num_tables = 3; num_tables <= 9; ++num_tables) {
+    for (int shape = 0; shape < 3; ++shape) {
+      int k = 1 + (qnum % 4);
+      QueryBuilder qb(*w.catalog);
+      for (int t = 0; t < num_tables; ++t) {
+        qb.AddTable(StrFormat("T%d", t), StrFormat("t%d", t));
+      }
+      if (shape == 0) {
+        for (int t = 0; t + 1 < num_tables; ++t) {
+          AddEdge(&qb, StrFormat("t%d", t), StrFormat("t%d", t + 1), k);
+        }
+      } else if (shape == 1) {
+        for (int t = 1; t < num_tables; ++t) {
+          AddEdge(&qb, "t0", StrFormat("t%d", t), k);
+        }
+      } else {
+        for (int t = 0; t < num_tables; ++t) {
+          AddEdge(&qb, StrFormat("t%d", t), StrFormat("t%d", (t + 1) % num_tables),
+                  1 + k / 2);
+        }
+      }
+      AddInterest(&qb, qnum, num_tables);
+      auto graph = qb.Build();
+      assert(graph.ok());
+      w.queries.push_back(std::move(graph).value());
+      w.labels.push_back(StrFormat("train%02d", qnum));
+      ++qnum;
+    }
+  }
+  return w;
+}
+
+}  // namespace cote

@@ -1,0 +1,92 @@
+#ifndef COTE_WORKLOAD_WORKLOAD_H_
+#define COTE_WORKLOAD_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "query/query_graph.h"
+
+namespace cote {
+
+/// \brief A named set of bound queries over a shared catalog.
+///
+/// The catalog is owned via shared_ptr because every QueryGraph holds
+/// Table* pointers into it.
+struct Workload {
+  std::string name;
+  std::shared_ptr<Catalog> catalog;
+  std::vector<QueryGraph> queries;
+  /// One short label per query (e.g. "6t/3p" or "Q21").
+  std::vector<std::string> labels;
+
+  int size() const { return static_cast<int>(queries.size()); }
+};
+
+// ---- Catalogs --------------------------------------------------------------
+
+/// Synthetic schema for the linear/star workloads: `num_tables` tables
+/// T0..T{n-1}, each with 8 integer columns c0..c7, an index and hash
+/// partitioning on c0, and row counts spread between 10K and 1M.
+std::shared_ptr<Catalog> MakeSyntheticCatalog(int num_tables);
+
+/// Physical-design variant of the synthetic schema, for the §5.4 policy
+/// experiments: `indexes_per_table` indexes on c0, (c1), (c2,c0);
+/// `partition_col` names the hash-partitioning column (joins use c0..c4,
+/// so partitioning on "c5" means nothing is partitioned usefully).
+std::shared_ptr<Catalog> MakeSyntheticCatalogEx(int num_tables,
+                                                int indexes_per_table,
+                                                const std::string& partition_col);
+
+/// Retail data-warehouse schema (fact tables sales/inventory/shipments +
+/// dimensions) used by the real1/real2/random workloads.
+std::shared_ptr<Catalog> MakeRetailCatalog();
+
+/// The TPC-H schema with SF-1 row counts.
+std::shared_ptr<Catalog> MakeTpchCatalog();
+
+// ---- Workloads (paper §5) ---------------------------------------------------
+
+/// 15 linear (chain) queries: 3 batches of 5 joining 6/8/10 tables; within
+/// a batch the number of join predicates per edge varies 1..5, and the
+/// ORDER BY / GROUP BY widths vary, so queries share a join graph but
+/// differ in interesting properties.
+Workload LinearWorkload();
+
+/// 15 star queries with the same batch structure (hub = T0).
+Workload StarWorkload();
+
+/// Extra shape: chains closed into cycles (transitive-closure-like graphs
+/// where join counting has no closed formula).
+Workload CyclicWorkload();
+
+/// Randomly generated queries over the retail schema, merging simpler
+/// queries and preferring FK->PK joins, as the DB2 robustness tool does.
+Workload RandomWorkload(int num_queries = 13, uint64_t seed = 42);
+
+/// 8 complex warehouse queries (simulated stand-in for the paper's first
+/// customer workload), written in SQL and compiled through the parser.
+Workload Real1Workload();
+
+/// 17 complex warehouse queries (stand-in for the second customer
+/// workload; includes a 14-table query with 21 local predicates and 9
+/// GROUP BY columns, mirroring the paper's description).
+Workload Real2Workload();
+
+/// The 7 longest-compiling TPC-H queries (join cores of Q2, Q5, Q7, Q8,
+/// Q9, Q10, Q21) — the subset the paper evaluates.
+Workload TpchWorkload();
+
+/// All 22 TPC-H queries as single-block join cores; correlated subqueries
+/// are rendered as uncorrelated scalar-subquery blocks (see
+/// src/workload/tpch_full.cc for the faithfulness notes).
+Workload TpchFullWorkload();
+
+/// Mixed training workload for calibrating the time model: a spread of
+/// shapes and sizes disjoint from the evaluation queries.
+Workload TrainingWorkload();
+
+}  // namespace cote
+
+#endif  // COTE_WORKLOAD_WORKLOAD_H_

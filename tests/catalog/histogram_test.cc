@@ -1,0 +1,104 @@
+#include "catalog/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/table.h"
+
+namespace cote {
+namespace {
+
+TEST(HistogramTest, Deterministic) {
+  Histogram a = Histogram::Synthesize(10000, 500, 32, 7);
+  Histogram b = Histogram::Synthesize(10000, 500, 32, 7);
+  ASSERT_EQ(a.num_buckets(), b.num_buckets());
+  for (int i = 0; i < a.num_buckets(); ++i) {
+    EXPECT_DOUBLE_EQ(a.boundary(i), b.boundary(i));
+    EXPECT_DOUBLE_EQ(a.row_fraction(i), b.row_fraction(i));
+  }
+  Histogram c = Histogram::Synthesize(10000, 500, 32, 8);
+  EXPECT_NE(a.row_fraction(0), c.row_fraction(0));
+}
+
+TEST(HistogramTest, WellFormed) {
+  Histogram h = Histogram::Synthesize(1000000, 2500, 32, 3);
+  EXPECT_EQ(h.num_buckets(), 32);
+  EXPECT_DOUBLE_EQ(h.boundary(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.boundary(32), 1.0);
+  double sum = 0;
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_LT(h.boundary(i), h.boundary(i + 1));
+    EXPECT_GT(h.row_fraction(i), 0);
+    sum += h.row_fraction(i);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(HistogramTest, CumulativeMonotone) {
+  Histogram h = Histogram::Synthesize(50000, 100, 16, 11);
+  double prev = 0;
+  for (double p = 0; p <= 1.0; p += 0.01) {
+    double cdf = h.LessThanSelectivity(p);
+    EXPECT_GE(cdf, prev - 1e-12);
+    EXPECT_GE(cdf, 0);
+    EXPECT_LE(cdf, 1);
+    prev = cdf;
+  }
+  EXPECT_DOUBLE_EQ(h.LessThanSelectivity(0), 0);
+  EXPECT_DOUBLE_EQ(h.LessThanSelectivity(1), 1);
+  EXPECT_DOUBLE_EQ(h.LessThanSelectivity(-1), 0);
+  EXPECT_DOUBLE_EQ(h.LessThanSelectivity(2), 1);
+}
+
+TEST(HistogramTest, RangeConsistentWithCdf) {
+  Histogram h = Histogram::Synthesize(50000, 100, 16, 13);
+  EXPECT_NEAR(h.RangeSelectivity(0.2, 0.7),
+              h.LessThanSelectivity(0.7) - h.LessThanSelectivity(0.2),
+              1e-12);
+  // Swapped bounds are normalized.
+  EXPECT_NEAR(h.RangeSelectivity(0.7, 0.2), h.RangeSelectivity(0.2, 0.7),
+              1e-12);
+  EXPECT_DOUBLE_EQ(h.RangeSelectivity(0.4, 0.4), 0);
+}
+
+TEST(HistogramTest, EqualityNearInverseNdv) {
+  Histogram h = Histogram::Synthesize(1000000, 1000, 32, 17);
+  for (double p : {0.05, 0.3, 0.77, 0.99}) {
+    double sel = h.EqualitySelectivity(p);
+    // Within an order of magnitude of the uniform 1/NDV.
+    EXPECT_GT(sel, 0.1 / 1000);
+    EXPECT_LT(sel, 10.0 / 1000);
+  }
+}
+
+TEST(HistogramTest, LiteralPositionStableAndSpread) {
+  double a = Histogram::LiteralPosition("1995-06-17");
+  EXPECT_DOUBLE_EQ(a, Histogram::LiteralPosition("1995-06-17"));
+  EXPECT_NE(a, Histogram::LiteralPosition("1995-06-18"));
+  for (const char* s : {"a", "b", "42", "", "long literal value"}) {
+    double p = Histogram::LiteralPosition(s);
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 1);
+  }
+}
+
+TEST(HistogramTest, TableBuilderAttachesHistograms) {
+  Table t = TableBuilder("t", 5000)
+                .Col("a", ColumnType::kInt, 100)
+                .Col("b", ColumnType::kInt, 100)
+                .Build();
+  EXPECT_EQ(t.column(0).histogram.num_buckets(), 32);
+  EXPECT_DOUBLE_EQ(t.column(0).histogram.ndv(), 100);
+  // Different columns get different (seeded-by-name) histograms.
+  EXPECT_NE(t.column(0).histogram.row_fraction(0),
+            t.column(1).histogram.row_fraction(0));
+  // Same schema rebuilt yields identical statistics.
+  Table t2 = TableBuilder("t", 5000)
+                 .Col("a", ColumnType::kInt, 100)
+                 .Col("b", ColumnType::kInt, 100)
+                 .Build();
+  EXPECT_DOUBLE_EQ(t.column(0).histogram.row_fraction(3),
+                   t2.column(0).histogram.row_fraction(3));
+}
+
+}  // namespace
+}  // namespace cote

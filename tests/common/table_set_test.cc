@@ -1,0 +1,83 @@
+#include "common/table_set.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace cote {
+namespace {
+
+TEST(TableSetTest, EmptyAndSingle) {
+  TableSet empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.size(), 0);
+
+  TableSet s = TableSet::Single(5);
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s.size(), 1);
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_EQ(s.First(), 5);
+}
+
+TEST(TableSetTest, FirstN) {
+  EXPECT_EQ(TableSet::FirstN(0).size(), 0);
+  EXPECT_EQ(TableSet::FirstN(3).bits(), 0b111u);
+  EXPECT_EQ(TableSet::FirstN(64).size(), 64);
+}
+
+TEST(TableSetTest, SetAlgebra) {
+  TableSet a = TableSet::Single(0).With(2).With(4);
+  TableSet b = TableSet::Single(2).With(3);
+  EXPECT_EQ(a.Union(b).size(), 4);
+  EXPECT_EQ(a.Intersect(b).size(), 1);
+  EXPECT_TRUE(a.Intersect(b).Contains(2));
+  EXPECT_EQ(a.Minus(b).size(), 2);
+  EXPECT_TRUE(a.Overlaps(b));
+  EXPECT_FALSE(a.Minus(b).Overlaps(b));
+  EXPECT_TRUE(a.Union(b).ContainsAll(a));
+  EXPECT_FALSE(a.ContainsAll(b));
+}
+
+TEST(TableSetTest, IterationInOrder) {
+  TableSet s = TableSet::Single(7).With(1).With(63).With(0);
+  std::vector<int> got;
+  for (int t : s) got.push_back(t);
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 7, 63}));
+}
+
+TEST(TableSetTest, ToStringFormat) {
+  EXPECT_EQ(TableSet().ToString(), "{}");
+  EXPECT_EQ(TableSet::Single(3).With(1).ToString(), "{1,3}");
+}
+
+TEST(TableSetTest, HashDistributesDistinctSets) {
+  TableSetHash h;
+  std::set<size_t> hashes;
+  for (uint64_t i = 1; i <= 256; ++i) hashes.insert(h(TableSet(i)));
+  // No collisions expected among 256 small masks with SplitMix finalizer.
+  EXPECT_EQ(hashes.size(), 256u);
+}
+
+// Property sweep: Union/Minus/Intersect are consistent with element
+// membership for all subsets of a small universe.
+class TableSetAlgebraTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TableSetAlgebraTest, UnionMinusIntersectConsistency) {
+  uint64_t bits = GetParam();
+  TableSet a(bits & 0b10110101u);
+  TableSet b(bits & 0b01101011u);
+  for (int t = 0; t < 8; ++t) {
+    EXPECT_EQ(a.Union(b).Contains(t), a.Contains(t) || b.Contains(t));
+    EXPECT_EQ(a.Intersect(b).Contains(t), a.Contains(t) && b.Contains(t));
+    EXPECT_EQ(a.Minus(b).Contains(t), a.Contains(t) && !b.Contains(t));
+  }
+  EXPECT_EQ(a.Union(b).size() + a.Intersect(b).size(), a.size() + b.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMasks, TableSetAlgebraTest,
+                         ::testing::Range(uint64_t{0}, uint64_t{256}));
+
+}  // namespace
+}  // namespace cote

@@ -1,0 +1,68 @@
+#include "common/timer.h"
+
+#include <gtest/gtest.h>
+
+#include "query/column_ref.h"
+
+namespace cote {
+namespace {
+
+TEST(StopWatchTest, MeasuresElapsedTime) {
+  StopWatch w;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i * 0.5;
+  EXPECT_GT(w.ElapsedMicros(), 0);
+  EXPECT_GT(w.ElapsedSeconds(), 0);
+  int64_t first = w.ElapsedMicros();
+  for (int i = 0; i < 100000; ++i) sink += i * 0.5;
+  EXPECT_GE(w.ElapsedMicros(), first);  // monotone
+  w.Restart();
+  EXPECT_LE(w.ElapsedMicros(), first + 1000000);
+}
+
+TEST(TimeAccumulatorTest, AccumulatesIntervals) {
+  TimeAccumulator acc;
+  EXPECT_EQ(acc.TotalNanos(), 0);
+  volatile double sink = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    acc.Start();
+    for (int i = 0; i < 50000; ++i) sink += i;
+    acc.Stop();
+  }
+  int64_t total = acc.TotalNanos();
+  EXPECT_GT(total, 0);
+  EXPECT_NEAR(acc.TotalSeconds(), total / 1e9, 1e-12);
+  EXPECT_NEAR(acc.TotalMicros(), total / 1e3, 1e-6);
+  acc.Reset();
+  EXPECT_EQ(acc.TotalNanos(), 0);
+}
+
+TEST(ScopedTimerTest, AddsScopeLifetime) {
+  TimeAccumulator acc;
+  {
+    ScopedTimer t(&acc);
+    volatile double sink = 0;
+    for (int i = 0; i < 50000; ++i) sink += i;
+  }
+  EXPECT_GT(acc.TotalNanos(), 0);
+  // Null accumulator is a no-op.
+  { ScopedTimer t(nullptr); }
+}
+
+TEST(ColumnRefTest, EncodeRoundTripAndOrdering) {
+  ColumnRef a(3, 7);
+  EXPECT_TRUE(a.valid());
+  EXPECT_FALSE(ColumnRef().valid());
+  EXPECT_EQ(a.Encode(), (3u << 16) | 7u);
+  EXPECT_EQ(a.ToString(), "t3.c7");
+  ColumnRef b(3, 8), c(4, 0);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, ColumnRef(3, 7));
+  EXPECT_NE(a, b);
+  ColumnRefHash h;
+  EXPECT_NE(h(a), h(b));
+}
+
+}  // namespace
+}  // namespace cote

@@ -1,0 +1,87 @@
+#include "core/join_count_baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "query/query_builder.h"
+#include "workload/workload.h"
+
+namespace cote {
+namespace {
+
+TEST(JoinCountBaselineTest, ClosedFormulasSmallCases) {
+  // Hand-checked values.
+  EXPECT_EQ(JoinCountBaseline::ChainJoins(2), 1);
+  EXPECT_EQ(JoinCountBaseline::ChainJoins(3), 4);
+  EXPECT_EQ(JoinCountBaseline::ChainJoins(4), 10);
+  EXPECT_EQ(JoinCountBaseline::ChainJoins(10), 165);
+
+  EXPECT_EQ(JoinCountBaseline::StarJoins(2), 1);
+  EXPECT_EQ(JoinCountBaseline::StarJoins(3), 4);
+  EXPECT_EQ(JoinCountBaseline::StarJoins(4), 12);
+  EXPECT_EQ(JoinCountBaseline::StarJoins(10), 9 * 256);
+
+  EXPECT_EQ(JoinCountBaseline::CliqueJoins(2), 1);
+  EXPECT_EQ(JoinCountBaseline::CliqueJoins(3), 6);
+  EXPECT_EQ(JoinCountBaseline::CliqueJoins(4), 25);
+
+  // Degenerate sizes.
+  EXPECT_EQ(JoinCountBaseline::ChainJoins(1), 0);
+  EXPECT_EQ(JoinCountBaseline::StarJoins(0), 0);
+  EXPECT_EQ(JoinCountBaseline::CliqueJoins(1), 0);
+}
+
+TEST(JoinCountBaselineTest, ChainEqualsStarForThreeTables) {
+  // A 3-chain and a 3-star are the same graph.
+  EXPECT_EQ(JoinCountBaseline::ChainJoins(3), JoinCountBaseline::StarJoins(3));
+}
+
+TEST(JoinCountBaselineTest, CountJoinsHandlesCycles) {
+  // The whole reason the paper reuses the enumerator: analytic counting is
+  // #P-complete for cyclic graphs, but the enumerator just counts.
+  Catalog catalog;
+  for (int i = 0; i < 4; ++i) {
+    TableBuilder b("T" + std::to_string(i), 1000);
+    b.Col("a", ColumnType::kInt, 100);
+    ASSERT_TRUE(catalog.AddTable(b.Build()).ok());
+  }
+  QueryBuilder qb(catalog);
+  for (int i = 0; i < 4; ++i) {
+    qb.AddTable("T" + std::to_string(i), "t" + std::to_string(i));
+  }
+  for (int i = 0; i < 4; ++i) {  // 4-cycle
+    qb.Join("t" + std::to_string(i), "a", "t" + std::to_string((i + 1) % 4),
+            "a");
+  }
+  auto g = qb.Build();
+  ASSERT_TRUE(g.ok());
+  EnumeratorOptions opt;
+  opt.cartesian_when_card_one = false;
+  EnumerationStats stats = JoinCountBaseline::CountJoins(*g, opt);
+  // 4-cycle: more joins than the 4-chain (10), fewer than the clique (25).
+  EXPECT_GT(stats.joins_unordered, JoinCountBaseline::ChainJoins(4));
+  EXPECT_LT(stats.joins_unordered, JoinCountBaseline::CliqueJoins(4));
+}
+
+TEST(JoinCountBaselineTest, EstimateSecondsLinear) {
+  EXPECT_DOUBLE_EQ(JoinCountBaseline::EstimateSeconds(100, 0.01), 1.0);
+  EXPECT_DOUBLE_EQ(JoinCountBaseline::EstimateSeconds(0, 0.01), 0.0);
+}
+
+TEST(JoinCountBaselineTest, JoinCountBlindToProperties) {
+  // The baseline's fatal flaw (§5.3): queries differing only in ORDER BY /
+  // predicate width have identical join counts.
+  Workload star = StarWorkload();
+  // Queries 0..4 form one batch: same tables, different properties.
+  EnumeratorOptions opt;
+  int64_t first =
+      JoinCountBaseline::CountJoins(star.queries[0], opt).joins_unordered;
+  for (int i = 1; i < 5; ++i) {
+    EXPECT_EQ(
+        JoinCountBaseline::CountJoins(star.queries[i], opt).joins_unordered,
+        first);
+  }
+}
+
+}  // namespace
+}  // namespace cote

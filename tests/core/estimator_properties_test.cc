@@ -1,0 +1,126 @@
+// Property sweeps over the estimator's structural invariants: estimates
+// must respond monotonically to anything that can only grow the search
+// space (more tables, more permissive inner limits, more interesting
+// properties), and must be exactly reproducible.
+
+#include <gtest/gtest.h>
+
+#include "core/estimator.h"
+#include "query/query_builder.h"
+#include "workload/workload.h"
+
+namespace cote {
+namespace {
+
+class EstimatorPropertiesTest : public ::testing::TestWithParam<int> {
+ protected:
+  EstimatorPropertiesTest() : catalog_(MakeSyntheticCatalog(10)) {}
+
+  QueryGraph Chain(int n, int order_cols = 0) {
+    QueryBuilder qb(*catalog_);
+    for (int i = 0; i < n; ++i) {
+      qb.AddTable("T" + std::to_string(i), "t" + std::to_string(i));
+    }
+    for (int i = 0; i + 1 < n; ++i) {
+      qb.Join("t" + std::to_string(i), "c1", "t" + std::to_string(i + 1),
+              "c1");
+    }
+    std::vector<std::pair<std::string, std::string>> ob;
+    const char* cols[] = {"c5", "c6", "c7"};
+    for (int i = 0; i < order_cols; ++i) ob.emplace_back("t0", cols[i]);
+    if (!ob.empty()) qb.OrderBy(ob);
+    auto g = qb.Build();
+    EXPECT_TRUE(g.ok());
+    return std::move(g).value();
+  }
+
+  JoinTypeCounts Estimate(const QueryGraph& g, int inner_limit = 64,
+                          bool parallel = false) {
+    OptimizerOptions o = parallel ? OptimizerOptions::Parallel(4)
+                                  : OptimizerOptions{};
+    o.enumeration.max_composite_inner = inner_limit;
+    TimeModel flat;
+    CompileTimeEstimator cote(flat, o);
+    return cote.Estimate(g).plan_estimates;
+  }
+
+  std::shared_ptr<Catalog> catalog_;
+};
+
+TEST_P(EstimatorPropertiesTest, MonotoneInTableCount) {
+  int n = GetParam();
+  if (n < 3) return;
+  JoinTypeCounts smaller = Estimate(Chain(n - 1));
+  JoinTypeCounts larger = Estimate(Chain(n));
+  for (int m = 0; m < kNumJoinMethods; ++m) {
+    EXPECT_GE(larger.counts[m], smaller.counts[m]) << "n=" << n;
+  }
+}
+
+TEST_P(EstimatorPropertiesTest, MonotoneInInnerLimit) {
+  int n = GetParam();
+  QueryGraph g = Chain(n);
+  int64_t prev = 0;
+  for (int limit : {1, 2, 3, 64}) {
+    int64_t total = Estimate(g, limit).total();
+    EXPECT_GE(total, prev) << "n=" << n << " limit=" << limit;
+    prev = total;
+  }
+}
+
+TEST_P(EstimatorPropertiesTest, MonotoneInOrderByWidth) {
+  int n = GetParam();
+  int64_t prev = 0;
+  for (int ob = 0; ob <= 3; ++ob) {
+    int64_t total = Estimate(Chain(n, ob)).total();
+    EXPECT_GE(total, prev) << "n=" << n << " order_cols=" << ob;
+    prev = total;
+  }
+}
+
+TEST_P(EstimatorPropertiesTest, ParallelAtLeastSerial) {
+  int n = GetParam();
+  QueryGraph g = Chain(n, 1);
+  EXPECT_GE(Estimate(g, 64, true).total(), Estimate(g, 64, false).total());
+}
+
+TEST_P(EstimatorPropertiesTest, ExactlyReproducible) {
+  int n = GetParam();
+  QueryGraph g = Chain(n, 2);
+  JoinTypeCounts a = Estimate(g);
+  JoinTypeCounts b = Estimate(g);
+  for (int m = 0; m < kNumJoinMethods; ++m) {
+    EXPECT_EQ(a.counts[m], b.counts[m]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ChainSizes, EstimatorPropertiesTest,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8));
+
+TEST(EstimatorPropertiesSingle, RandomSeedsSweepSerialHsjnExact) {
+  // Across arbitrary generated queries, the serial HSJN estimate stays
+  // exact whenever estimate-mode and normal-mode enumerate the same joins
+  // (it may differ only via the cardinality-heuristic divergence, §5.2).
+  TimeModel flat;
+  OptimizerOptions o;
+  o.enumeration.max_composite_inner = 2;
+  CompileTimeEstimator cote(flat, o);
+  Optimizer opt(o);
+  for (uint64_t seed : {1u, 22u, 333u}) {
+    Workload w = RandomWorkload(4, seed);
+    for (int i = 0; i < w.size(); ++i) {
+      auto r = opt.Optimize(w.queries[i]);
+      ASSERT_TRUE(r.ok());
+      CompileTimeEstimate est = cote.Estimate(w.queries[i]);
+      if (est.enumeration.joins_ordered ==
+          r->stats.enumeration.joins_ordered) {
+        EXPECT_EQ(est.plan_estimates.hsjn(),
+                  r->stats.join_plans_generated.hsjn())
+            << "seed=" << seed << " " << w.labels[i];
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cote

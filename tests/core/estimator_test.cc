@@ -1,0 +1,159 @@
+#include "core/estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/regression.h"
+#include "workload/workload.h"
+
+namespace cote {
+namespace {
+
+/// Shared expensive setup: calibrate one serial time model.
+class EstimatorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    training_ = new Workload(TrainingWorkload());
+    Optimizer opt(SerialOptions());
+    // Paper-faithful model: no intercept; relative weighting balances the
+    // wide spread of per-query compile times.
+    TimeModelCalibrator cal(/*with_intercept=*/false,
+                            /*relative_weighting=*/true);
+    for (const QueryGraph& q : training_->queries) {
+      auto r = opt.Optimize(q);
+      ASSERT_TRUE(r.ok());
+      cal.AddObservation(r->stats);
+    }
+    auto model = cal.Fit();
+    ASSERT_TRUE(model.ok());
+    model_ = new TimeModel(std::move(model).value());
+  }
+  static void TearDownTestSuite() {
+    delete training_;
+    delete model_;
+    training_ = nullptr;
+    model_ = nullptr;
+  }
+
+  static OptimizerOptions SerialOptions() {
+    OptimizerOptions o;
+    o.enumeration.max_composite_inner = 3;
+    return o;
+  }
+
+  static Workload* training_;
+  static TimeModel* model_;
+};
+
+Workload* EstimatorTest::training_ = nullptr;
+TimeModel* EstimatorTest::model_ = nullptr;
+
+TEST_F(EstimatorTest, CalibratedModelHasPositiveCoefficients) {
+  int positive = 0;
+  for (int m = 0; m < kNumJoinMethods; ++m) {
+    positive += (model_->ct[m] > 0);
+  }
+  EXPECT_GE(positive, 2) << model_->RatioString();
+}
+
+TEST_F(EstimatorTest, TimeEstimateTracksActualOnHeldOutQueries) {
+  // Held-out evaluation: linear workload, serial version (Figure 6 style).
+  Workload eval = LinearWorkload();
+  CompileTimeEstimator cote(*model_, SerialOptions());
+  Optimizer opt(SerialOptions());
+  double total_err = 0;
+  int n = 0;
+  for (const QueryGraph& q : eval.queries) {
+    auto r = opt.Optimize(q);
+    ASSERT_TRUE(r.ok());
+    CompileTimeEstimate est = cote.Estimate(q);
+    double actual = r->stats.total_seconds;
+    ASSERT_GT(actual, 0);
+    total_err += std::abs(est.estimated_seconds - actual) / actual;
+    ++n;
+  }
+  // Paper: ≤30% average error. Allow headroom for timing noise at
+  // millisecond scales (this is a wall-clock-based assertion).
+  EXPECT_LT(total_err / n, 0.50);
+}
+
+TEST_F(EstimatorTest, OverheadSmallFractionOfCompilation) {
+  // Figure 4's claim: estimation costs a few percent of compilation.
+  Workload eval = StarWorkload();
+  CompileTimeEstimator cote(*model_, SerialOptions());
+  Optimizer opt(SerialOptions());
+  double total_actual = 0, total_overhead = 0;
+  for (const QueryGraph& q : eval.queries) {
+    auto r = opt.Optimize(q);
+    ASSERT_TRUE(r.ok());
+    CompileTimeEstimate est = cote.Estimate(q);
+    total_actual += r->stats.total_seconds;
+    total_overhead += est.estimation_seconds;
+  }
+  EXPECT_LT(total_overhead / total_actual, 0.10)
+      << "overhead " << total_overhead << "s vs " << total_actual << "s";
+}
+
+TEST_F(EstimatorTest, EstimateIsDeterministic) {
+  Workload eval = LinearWorkload();
+  CompileTimeEstimator cote(*model_, SerialOptions());
+  CompileTimeEstimate a = cote.Estimate(eval.queries[0]);
+  CompileTimeEstimate b = cote.Estimate(eval.queries[0]);
+  for (int m = 0; m < kNumJoinMethods; ++m) {
+    EXPECT_EQ(a.plan_estimates.counts[m], b.plan_estimates.counts[m]);
+  }
+  EXPECT_DOUBLE_EQ(a.estimated_seconds, b.estimated_seconds);
+}
+
+TEST_F(EstimatorTest, SameJoinsEnumeratedAsOptimizer) {
+  // The core reuse claim (§3.1): plan-estimate mode enumerates the same
+  // joins as normal mode (up to cardinality-heuristic deviations, absent
+  // in this synthetic workload).
+  Workload eval = LinearWorkload();
+  CompileTimeEstimator cote(*model_, SerialOptions());
+  Optimizer opt(SerialOptions());
+  for (int i = 0; i < 5; ++i) {
+    const QueryGraph& q = eval.queries[i];
+    auto r = opt.Optimize(q);
+    ASSERT_TRUE(r.ok());
+    CompileTimeEstimate est = cote.Estimate(q);
+    EXPECT_EQ(est.enumeration.joins_unordered,
+              r->stats.enumeration.joins_unordered);
+    EXPECT_EQ(est.enumeration.joins_ordered,
+              r->stats.enumeration.joins_ordered);
+    EXPECT_EQ(est.enumeration.entries_created,
+              r->stats.enumeration.entries_created);
+  }
+}
+
+TEST_F(EstimatorTest, MemoryLowerBoundHolds) {
+  // §6.2: the property-list-based bound stays below (or near) the actual
+  // MEMO footprint, and correlates with it.
+  Workload eval = LinearWorkload();
+  CompileTimeEstimator cote(*model_, SerialOptions());
+  Optimizer opt(SerialOptions());
+  for (int i = 0; i < 8; ++i) {
+    const QueryGraph& q = eval.queries[i];
+    auto r = opt.Optimize(q);
+    ASSERT_TRUE(r.ok());
+    CompileTimeEstimate est = cote.Estimate(q);
+    EXPECT_GT(est.estimated_memo_bytes, 0);
+    // A *lower bound* modulo the per-plan size approximation: allow 1.5x.
+    EXPECT_LT(est.estimated_memo_bytes,
+              static_cast<int64_t>(r->stats.memo_bytes * 1.5) + 4096);
+  }
+}
+
+TEST_F(EstimatorTest, ParallelEstimatorUsesParallelCounter) {
+  Workload eval = LinearWorkload();
+  OptimizerOptions par = OptimizerOptions::Parallel(4);
+  par.enumeration.max_composite_inner = 3;
+  CompileTimeEstimator serial_cote(*model_, SerialOptions());
+  CompileTimeEstimator par_cote(*model_, par);
+  const QueryGraph& q = eval.queries[10];
+  // The parallel search space is larger: so are the plan estimates.
+  EXPECT_GT(par_cote.Estimate(q).plan_estimates.total(),
+            serial_cote.Estimate(q).plan_estimates.total());
+}
+
+}  // namespace
+}  // namespace cote

@@ -1,0 +1,99 @@
+// Reproduces the paper's Figure 3: a 3-way join A ⋈ B ⋈ C with
+// A.1 = B.1 and B.2 = C.2. Both variants enumerate the same 4 joins, but
+// adding "ORDER BY A.2" grows the number of plans stored in the MEMO from
+// 12 to 15 — the number of joins cannot see the difference, the number of
+// plans can.
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "optimizer/optimizer.h"
+#include "query/query_builder.h"
+
+namespace cote {
+namespace {
+
+class Fig3Test : public ::testing::Test {
+ protected:
+  Fig3Test() {
+    // Plain tables, no indexes (the figure's MEMO has scan + SORT plans
+    // only), sized so no Cartesian-product heuristics trigger.
+    for (const char* name : {"A", "B", "C"}) {
+      TableBuilder b(name, 10000);
+      b.Col("c1", ColumnType::kInt, 1000);
+      b.Col("c2", ColumnType::kInt, 1000);
+      EXPECT_TRUE(catalog_.AddTable(b.Build()).ok());
+    }
+  }
+
+  QueryGraph MakeQuery(bool with_order_by) {
+    QueryBuilder qb(catalog_);
+    qb.AddTable("A", "a").AddTable("B", "b").AddTable("C", "c");
+    qb.Join("a", "c1", "b", "c1");
+    qb.Join("b", "c2", "c", "c2");
+    if (with_order_by) qb.OrderBy({{"a", "c2"}});
+    auto g = qb.Build();
+    EXPECT_TRUE(g.ok());
+    return std::move(g).value();
+  }
+
+  OptimizeResult Optimize(const QueryGraph& g) {
+    Optimizer opt;
+    auto r = opt.Optimize(g);
+    EXPECT_TRUE(r.ok());
+    return std::move(r).value();
+  }
+
+  int PlansIn(const OptimizeResult& r, TableSet s) {
+    const MemoEntry* e = r.memo->Find(s);
+    return e == nullptr ? 0 : static_cast<int>(e->plans().size());
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(Fig3Test, BothQueriesHaveFourJoins) {
+  for (bool ob : {false, true}) {
+    OptimizeResult r = Optimize(MakeQuery(ob));
+    EXPECT_EQ(r.stats.enumeration.joins_unordered, 4);
+  }
+}
+
+TEST_F(Fig3Test, WithoutOrderByTwelvePlans) {
+  OptimizeResult r = Optimize(MakeQuery(false));
+  // Figure 3(a): A:[A.1,DC]=2, B:[B.1,B.2,DC]=3, C:[C.2,DC]=2,
+  // AB:[B.2,DC]=2, BC:[B.1,DC]=2, ABC:[DC]=1 — 12 plans.
+  EXPECT_EQ(PlansIn(r, TableSet::Single(0)), 2);
+  EXPECT_EQ(PlansIn(r, TableSet::Single(1)), 3);
+  EXPECT_EQ(PlansIn(r, TableSet::Single(2)), 2);
+  EXPECT_EQ(PlansIn(r, TableSet::Single(0).With(1)), 2);
+  EXPECT_EQ(PlansIn(r, TableSet::Single(1).With(2)), 2);
+  EXPECT_EQ(PlansIn(r, TableSet::FirstN(3)), 1);
+  EXPECT_EQ(r.stats.plans_stored, 12);
+}
+
+TEST_F(Fig3Test, WithOrderByFifteenPlans) {
+  OptimizeResult r = Optimize(MakeQuery(true));
+  // Figure 3(b): A gains A.2, AB gains A.2, ABC gains A.2 — 15 plans.
+  EXPECT_EQ(PlansIn(r, TableSet::Single(0)), 3);
+  EXPECT_EQ(PlansIn(r, TableSet::Single(1)), 3);
+  EXPECT_EQ(PlansIn(r, TableSet::Single(2)), 2);
+  EXPECT_EQ(PlansIn(r, TableSet::Single(0).With(1)), 3);
+  EXPECT_EQ(PlansIn(r, TableSet::Single(1).With(2)), 2);
+  EXPECT_EQ(PlansIn(r, TableSet::FirstN(3)), 2);
+  EXPECT_EQ(r.stats.plans_stored, 15);
+}
+
+TEST_F(Fig3Test, RetiredOrdersCollapseToDc) {
+  // In ABC every join-column order has retired: no stored plan may carry
+  // an order on a join column.
+  OptimizeResult r = Optimize(MakeQuery(false));
+  const MemoEntry* top = r.memo->Find(TableSet::FirstN(3));
+  ASSERT_NE(top, nullptr);
+  for (const Plan* p : top->plans()) {
+    EXPECT_TRUE(p->order.IsNone()) << p->order.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace cote

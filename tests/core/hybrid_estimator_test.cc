@@ -1,0 +1,69 @@
+#include "core/hybrid_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/binder.h"
+#include "workload/workload.h"
+
+namespace cote {
+namespace {
+
+class HybridEstimatorTest : public ::testing::Test {
+ protected:
+  HybridEstimatorTest() : catalog_(MakeTpchCatalog()) {
+    model_.ct[0] = model_.ct[1] = model_.ct[2] = 1e-6;
+  }
+
+  QueryGraph Bind(const std::string& sql) {
+    auto g = Binder::BindSql(*catalog_, sql);
+    EXPECT_TRUE(g.ok()) << g.status().ToString();
+    return std::move(g).value();
+  }
+
+  std::shared_ptr<Catalog> catalog_;
+  TimeModel model_;
+};
+
+TEST_F(HybridEstimatorTest, MissUsesCoteHitUsesMeasurement) {
+  HybridEstimator est(model_, OptimizerOptions{});
+  QueryGraph q = Bind(
+      "SELECT * FROM orders o, lineitem l WHERE o.o_orderkey = l.l_orderkey");
+
+  auto first = est.Estimate(q);
+  EXPECT_FALSE(first.from_cache);
+  EXPECT_GT(first.estimated_seconds, 0);
+  EXPECT_GT(first.cote.plan_estimates.total(), 0);
+
+  est.RecordMeasured(q, 0.123);
+  auto second = est.Estimate(q);
+  EXPECT_TRUE(second.from_cache);
+  EXPECT_DOUBLE_EQ(second.estimated_seconds, 0.123);
+  EXPECT_EQ(est.cache().hits(), 1);
+}
+
+TEST_F(HybridEstimatorTest, ParameterizedReuseHitsCache) {
+  HybridEstimator est(model_, OptimizerOptions{});
+  QueryGraph a =
+      Bind("SELECT * FROM orders o WHERE o.o_orderdate > DATE '1995-01-01'");
+  QueryGraph b =
+      Bind("SELECT * FROM orders o WHERE o.o_orderdate > DATE '1997-07-07'");
+  est.RecordMeasured(a, 0.5);
+  // Same statement shape, different constant: the measured time applies.
+  EXPECT_TRUE(est.Estimate(b).from_cache);
+}
+
+TEST_F(HybridEstimatorTest, AdHocWorkloadFallsBackToCote) {
+  HybridEstimator est(model_, OptimizerOptions{});
+  Workload w = RandomWorkload(8, 777);
+  int cote_used = 0;
+  for (const QueryGraph& q : w.queries) {
+    auto r = est.Estimate(q);
+    cote_used += !r.from_cache;
+    est.RecordMeasured(q, 0.01);
+  }
+  // Every distinct ad-hoc query misses (the paper's §1.2 point).
+  EXPECT_EQ(cote_used, w.size());
+}
+
+}  // namespace
+}  // namespace cote

@@ -1,0 +1,120 @@
+#include "core/meta_optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/memory_estimator.h"
+#include "core/regression.h"
+#include "workload/workload.h"
+
+namespace cote {
+namespace {
+
+TimeModel CalibratedModel() {
+  Optimizer opt;
+  TimeModelCalibrator cal;
+  Workload training = TrainingWorkload();
+  for (const QueryGraph& q : training.queries) {
+    auto r = opt.Optimize(q);
+    EXPECT_TRUE(r.ok());
+    cal.AddObservation(r->stats);
+  }
+  auto model = cal.Fit();
+  EXPECT_TRUE(model.ok());
+  return std::move(model).value();
+}
+
+TEST(MetaOptimizerTest, ReoptimizesWhenExecutionDwarfsCompilation) {
+  // Expensive queries (huge scans, seconds of estimated execution) easily
+  // justify a few ms of high-level optimization.
+  MetaOptimizerOptions opt;
+  opt.time_model = CalibratedModel();
+  MetaOptimizer mop(opt);
+
+  Workload w = LinearWorkload();
+  auto r = mop.Compile(w.queries[0]);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->reoptimized);
+  EXPECT_GT(r->low_exec_seconds, r->est_high_compile_seconds);
+  EXPECT_NE(r->chosen.best_plan, nullptr);
+}
+
+TEST(MetaOptimizerTest, KeepsLowPlanWhenCompilationDominates) {
+  // Force the decision the other way with a huge threshold-free compile
+  // estimate: a time model with absurd per-plan cost.
+  MetaOptimizerOptions opt;
+  opt.time_model.ct[0] = opt.time_model.ct[1] = opt.time_model.ct[2] = 1e3;
+  MetaOptimizer mop(opt);
+
+  Workload w = LinearWorkload();
+  auto r = mop.Compile(w.queries[0]);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->reoptimized);
+  EXPECT_NE(r->chosen.best_plan, nullptr);
+  EXPECT_GT(r->est_high_compile_seconds, r->low_exec_seconds);
+}
+
+TEST(MetaOptimizerTest, ThresholdShiftsDecision) {
+  MetaOptimizerOptions opt;
+  opt.time_model = CalibratedModel();
+  Workload w = LinearWorkload();
+
+  // Find the E/C ratio of a query, then set thresholds on each side of it.
+  MetaOptimizer probe(opt);
+  auto r = probe.Compile(w.queries[5]);
+  ASSERT_TRUE(r.ok());
+  double ratio = r->est_high_compile_seconds / r->low_exec_seconds;
+
+  MetaOptimizerOptions strict = opt;
+  strict.threshold = ratio * 0.5;  // C < 0.5·ratio·E fails
+  MetaOptimizerOptions lax = opt;
+  lax.threshold = ratio * 2.0;
+
+  auto rs = MetaOptimizer(strict).Compile(w.queries[5]);
+  auto rl = MetaOptimizer(lax).Compile(w.queries[5]);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_TRUE(rl.ok());
+  EXPECT_FALSE(rs->reoptimized);
+  EXPECT_TRUE(rl->reoptimized);
+}
+
+TEST(MetaOptimizerTest, HighPlanNoWorseThanLowWhenReoptimized) {
+  MetaOptimizerOptions opt;
+  opt.time_model = CalibratedModel();
+  MetaOptimizer mop(opt);
+  Workload w = StarWorkload();
+  for (int i : {0, 7}) {
+    auto r = mop.Compile(w.queries[i]);
+    ASSERT_TRUE(r.ok());
+    if (r->reoptimized) {
+      Optimizer low_opt(opt.low);
+      auto low = low_opt.Optimize(w.queries[i]);
+      ASSERT_TRUE(low.ok());
+      EXPECT_LE(r->chosen.stats.best_cost,
+                low->stats.best_cost * (1 + 1e-9));
+    }
+  }
+}
+
+TEST(MemoryEstimatorTest, BudgetGate) {
+  Workload w = LinearWorkload();
+  MemoryEstimator mem((OptimizerOptions()));
+  MemoryEstimate est = mem.Estimate(w.queries[14]);  // 10-table query
+  EXPECT_GT(est.estimated_bytes, 0);
+  EXPECT_GT(est.plan_slots, 0);
+  EXPECT_TRUE(mem.ExceedsBudget(w.queries[14], est.estimated_bytes / 2));
+  EXPECT_FALSE(mem.ExceedsBudget(w.queries[14], est.estimated_bytes * 2));
+}
+
+TEST(MemoryEstimatorTest, GrowsWithQuerySize) {
+  Workload w = LinearWorkload();
+  MemoryEstimator mem((OptimizerOptions()));
+  // Batches: queries 0 (6 tables), 5 (8 tables), 10 (10 tables).
+  int64_t b6 = mem.Estimate(w.queries[0]).estimated_bytes;
+  int64_t b8 = mem.Estimate(w.queries[5]).estimated_bytes;
+  int64_t b10 = mem.Estimate(w.queries[10]).estimated_bytes;
+  EXPECT_LT(b6, b8);
+  EXPECT_LT(b8, b10);
+}
+
+}  // namespace
+}  // namespace cote

@@ -1,0 +1,65 @@
+#include "core/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace cote {
+namespace {
+
+TimeModel Sample() {
+  TimeModel m;
+  m.ct[0] = 1.23456789e-6;
+  m.ct[1] = 9.87654321e-6;
+  m.ct[2] = 4.2e-7;
+  m.intercept = 3.14159e-4;
+  return m;
+}
+
+TEST(ModelIoTest, StringRoundTripExact) {
+  TimeModel m = Sample();
+  auto back = TimeModelFromString(TimeModelToString(m));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  for (int i = 0; i < kNumJoinMethods; ++i) {
+    EXPECT_DOUBLE_EQ(back->ct[i], m.ct[i]);
+  }
+  EXPECT_DOUBLE_EQ(back->intercept, m.intercept);
+}
+
+TEST(ModelIoTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/cote_model_test.txt";
+  TimeModel m = Sample();
+  ASSERT_TRUE(SaveTimeModel(path, m).ok());
+  auto back = LoadTimeModel(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  for (int i = 0; i < kNumJoinMethods; ++i) {
+    EXPECT_DOUBLE_EQ(back->ct[i], m.ct[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, RejectsBadInput) {
+  EXPECT_FALSE(TimeModelFromString("").ok());
+  EXPECT_FALSE(TimeModelFromString("not a model\n").ok());
+  EXPECT_FALSE(
+      TimeModelFromString("cote-time-model v1\nnljn 0x1p-20\n").ok());
+  EXPECT_FALSE(TimeModelFromString(
+                   "cote-time-model v1\nnljn 0x1p-20\nmgjn 0x1p-20\n"
+                   "hsjn 0x1p-20\nintercept 0x0p+0\nbogus 1\n")
+                   .ok());
+  EXPECT_FALSE(TimeModelFromString("cote-time-model v1\nnljn\n").ok());
+}
+
+TEST(ModelIoTest, LoadMissingFile) {
+  EXPECT_EQ(LoadTimeModel("/nonexistent/dir/model.txt").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ModelIoTest, ZeroModelRoundTrips) {
+  auto back = TimeModelFromString(TimeModelToString(TimeModel{}));
+  ASSERT_TRUE(back.ok());
+  EXPECT_DOUBLE_EQ(back->EstimateSeconds(JoinTypeCounts{}), 0.0);
+}
+
+}  // namespace
+}  // namespace cote

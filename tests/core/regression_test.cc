@@ -1,0 +1,171 @@
+#include "core/regression.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace cote {
+namespace {
+
+TEST(LeastSquaresTest, ExactFit) {
+  // y = 2a + 3b
+  std::vector<std::vector<double>> x{{1, 0}, {0, 1}, {1, 1}, {2, 1}};
+  std::vector<double> y{2, 3, 5, 7};
+  auto c = LeastSquares(x, y);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NEAR((*c)[0], 2.0, 1e-9);
+  EXPECT_NEAR((*c)[1], 3.0, 1e-9);
+}
+
+TEST(LeastSquaresTest, OverdeterminedNoisy) {
+  Rng rng(5);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    double a = rng.NextDouble() * 10, b = rng.NextDouble() * 10;
+    x.push_back({a, b, 1.0});
+    y.push_back(4 * a + 0.5 * b + 2 + (rng.NextDouble() - 0.5) * 0.01);
+  }
+  auto c = LeastSquares(x, y);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NEAR((*c)[0], 4.0, 0.01);
+  EXPECT_NEAR((*c)[1], 0.5, 0.01);
+  EXPECT_NEAR((*c)[2], 2.0, 0.05);
+}
+
+TEST(LeastSquaresTest, Degenerate) {
+  EXPECT_FALSE(LeastSquares({}, {}).ok());
+  EXPECT_FALSE(LeastSquares({{1, 2}}, {1}).ok());  // fewer rows than cols
+  // Rank deficiency: identical columns.
+  std::vector<std::vector<double>> x{{1, 1}, {2, 2}, {3, 3}};
+  EXPECT_FALSE(LeastSquares(x, {1, 2, 3}).ok());
+  // Ragged matrix.
+  EXPECT_FALSE(LeastSquares({{1, 2}, {1}}, {1, 2}).ok());
+}
+
+JoinTypeCounts Counts(int64_t n, int64_t m, int64_t h) {
+  JoinTypeCounts c;
+  c[JoinMethod::kNljn] = n;
+  c[JoinMethod::kMgjn] = m;
+  c[JoinMethod::kHsjn] = h;
+  return c;
+}
+
+TEST(TimeModelCalibratorTest, RecoversPlantedCoefficients) {
+  // Planted model: T = 2e-6*Pn + 5e-6*Pm + 4e-6*Ph + 1e-3.
+  TimeModelCalibrator cal;
+  Rng rng(7);
+  for (int i = 0; i < 40; ++i) {
+    int64_t n = 100 + static_cast<int64_t>(rng.Uniform(5000));
+    int64_t m = 50 + static_cast<int64_t>(rng.Uniform(3000));
+    int64_t h = 20 + static_cast<int64_t>(rng.Uniform(1000));
+    double t = 2e-6 * n + 5e-6 * m + 4e-6 * h + 1e-3;
+    cal.AddObservation(Counts(n, m, h), t);
+  }
+  auto model = cal.Fit();
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->ct[static_cast<int>(JoinMethod::kNljn)], 2e-6, 1e-8);
+  EXPECT_NEAR(model->ct[static_cast<int>(JoinMethod::kMgjn)], 5e-6, 1e-8);
+  EXPECT_NEAR(model->ct[static_cast<int>(JoinMethod::kHsjn)], 4e-6, 1e-8);
+  EXPECT_NEAR(model->intercept, 1e-3, 1e-5);
+  // Paper-style ratio string: Cm : Cn : Ch normalized by the smallest.
+  EXPECT_EQ(model->RatioString(), "2.5 : 1.0 : 2.0");
+}
+
+TEST(TimeModelCalibratorTest, NegativeCoefficientsClampedToZero) {
+  // Make HSJN counts anti-correlated with time: its coefficient would come
+  // out negative and must be dropped.
+  TimeModelCalibrator cal(/*with_intercept=*/false);
+  Rng rng(11);
+  for (int i = 0; i < 40; ++i) {
+    int64_t n = 100 + static_cast<int64_t>(rng.Uniform(5000));
+    int64_t m = 50 + static_cast<int64_t>(rng.Uniform(3000));
+    int64_t h = 6000 - n / 2;
+    double t = 2e-6 * n + 5e-6 * m;  // h contributes nothing
+    cal.AddObservation(Counts(n, m, h), t);
+  }
+  auto model = cal.Fit();
+  ASSERT_TRUE(model.ok());
+  for (int i = 0; i < kNumJoinMethods; ++i) {
+    EXPECT_GE(model->ct[i], 0.0);
+  }
+}
+
+TEST(TimeModelCalibratorTest, RelativeWeightingRecoversCoefficients) {
+  // With observations spanning 4 orders of magnitude, relative weighting
+  // must still recover an exact planted model...
+  TimeModelCalibrator cal(/*with_intercept=*/false,
+                          /*relative_weighting=*/true);
+  Rng rng(13);
+  for (int i = 0; i < 40; ++i) {
+    double scale = std::pow(10.0, static_cast<double>(rng.Uniform(5)));
+    int64_t n = static_cast<int64_t>((1 + rng.Uniform(9)) * scale);
+    int64_t m = static_cast<int64_t>((1 + rng.Uniform(9)) * scale);
+    int64_t h = static_cast<int64_t>((1 + rng.Uniform(9)) * scale);
+    cal.AddObservation(Counts(n, m, h), 2e-6 * n + 5e-6 * m + 4e-6 * h);
+  }
+  auto model = cal.Fit();
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->ct[static_cast<int>(JoinMethod::kNljn)], 2e-6, 1e-9);
+  EXPECT_NEAR(model->ct[static_cast<int>(JoinMethod::kMgjn)], 5e-6, 1e-9);
+  EXPECT_NEAR(model->ct[static_cast<int>(JoinMethod::kHsjn)], 4e-6, 1e-9);
+}
+
+TEST(TimeModelCalibratorTest, RelativeWeightingBalancesScales) {
+  // ...and, on a noisy mixed-scale set, must not let the huge queries
+  // dominate: small-query relative error should stay bounded.
+  auto make = [](bool weighted) {
+    TimeModelCalibrator cal(false, weighted);
+    Rng rng(17);
+    for (int i = 0; i < 60; ++i) {
+      bool big = i % 2 == 0;
+      double scale = big ? 1e5 : 10;
+      int64_t n = static_cast<int64_t>((1 + rng.Uniform(9)) * scale);
+      int64_t m = static_cast<int64_t>((1 + rng.Uniform(9)) * scale);
+      int64_t h = static_cast<int64_t>((1 + rng.Uniform(9)) * scale);
+      // Big queries have a 30% higher per-plan cost (systematic skew).
+      double f = big ? 1.3 : 1.0;
+      cal.AddObservation(Counts(n, m, h),
+                         f * (2e-6 * n + 5e-6 * m + 4e-6 * h));
+    }
+    return cal.Fit();
+  };
+  auto weighted = make(true);
+  auto unweighted = make(false);
+  ASSERT_TRUE(weighted.ok());
+  ASSERT_TRUE(unweighted.ok());
+  // Evaluate relative error on a small query.
+  JoinTypeCounts small = Counts(20, 20, 20);
+  double truth = 2e-6 * 20 + 5e-6 * 20 + 4e-6 * 20;
+  double werr = std::abs(weighted->EstimateSeconds(small) - truth) / truth;
+  double uerr = std::abs(unweighted->EstimateSeconds(small) - truth) / truth;
+  EXPECT_LT(werr, uerr + 1e-12);
+}
+
+TEST(TimeModelCalibratorTest, NeedsEnoughObservations) {
+  TimeModelCalibrator cal;
+  cal.AddObservation(Counts(1, 1, 1), 1.0);
+  EXPECT_FALSE(cal.Fit().ok());
+  EXPECT_EQ(cal.num_observations(), 1);
+}
+
+TEST(TimeModelTest, EstimateSeconds) {
+  TimeModel model;
+  model.ct[0] = 1e-6;
+  model.ct[1] = 2e-6;
+  model.ct[2] = 3e-6;
+  model.intercept = 0.5;
+  EXPECT_NEAR(model.EstimateSeconds(Counts(1000, 1000, 1000)),
+              0.5 + 6e-3, 1e-12);
+  EXPECT_EQ(TimeModel{}.EstimateSeconds(Counts(5, 5, 5)), 0.0);
+}
+
+TEST(TimeModelTest, RatioStringWithZeros) {
+  TimeModel model;  // all zero
+  EXPECT_EQ(model.RatioString(), "0 : 0 : 0");
+}
+
+}  // namespace
+}  // namespace cote

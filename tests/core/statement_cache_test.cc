@@ -1,0 +1,101 @@
+#include "core/statement_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/binder.h"
+#include "workload/workload.h"
+
+namespace cote {
+namespace {
+
+class StatementCacheTest : public ::testing::Test {
+ protected:
+  StatementCacheTest() : catalog_(MakeTpchCatalog()) {}
+
+  QueryGraph Bind(const std::string& sql) {
+    auto g = Binder::BindSql(*catalog_, sql);
+    EXPECT_TRUE(g.ok()) << g.status().ToString();
+    return std::move(g).value();
+  }
+
+  std::shared_ptr<Catalog> catalog_;
+};
+
+TEST_F(StatementCacheTest, HitOnIdenticalStatement) {
+  CompileTimeCache cache;
+  QueryGraph q = Bind(
+      "SELECT * FROM orders o, lineitem l WHERE o.o_orderkey = l.l_orderkey");
+  EXPECT_FALSE(cache.Lookup(q).has_value());
+  cache.Insert(q, 0.42);
+  auto hit = cache.Lookup(q);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(*hit, 0.42);
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+}
+
+TEST_F(StatementCacheTest, LiteralsDoNotChangeSignature) {
+  // Same statement shape with different constants compiles identically:
+  // the signature must match (§1.2's cache works for parameterized reuse).
+  QueryGraph a = Bind("SELECT * FROM orders o WHERE o.o_orderdate > 5");
+  QueryGraph b = Bind("SELECT * FROM orders o WHERE o.o_orderdate > 99");
+  EXPECT_EQ(CompileTimeCache::Signature(a), CompileTimeCache::Signature(b));
+}
+
+TEST_F(StatementCacheTest, StructuralChangesChangeSignature) {
+  QueryGraph base = Bind(
+      "SELECT * FROM orders o, lineitem l WHERE o.o_orderkey = l.l_orderkey");
+  QueryGraph extra_table = Bind(
+      "SELECT * FROM orders o, lineitem l, customer c "
+      "WHERE o.o_orderkey = l.l_orderkey AND c.c_custkey = o.o_custkey");
+  QueryGraph with_order = Bind(
+      "SELECT * FROM orders o, lineitem l WHERE o.o_orderkey = l.l_orderkey "
+      "ORDER BY o.o_orderdate");
+  QueryGraph with_limit = Bind(
+      "SELECT * FROM orders o, lineitem l WHERE o.o_orderkey = l.l_orderkey "
+      "LIMIT 5");
+  uint64_t s0 = CompileTimeCache::Signature(base);
+  EXPECT_NE(s0, CompileTimeCache::Signature(extra_table));
+  EXPECT_NE(s0, CompileTimeCache::Signature(with_order));
+  EXPECT_NE(s0, CompileTimeCache::Signature(with_limit));
+}
+
+TEST_F(StatementCacheTest, LruEviction) {
+  CompileTimeCache cache(/*capacity=*/2);
+  QueryGraph a = Bind("SELECT * FROM orders o");
+  QueryGraph b = Bind("SELECT * FROM lineitem l");
+  QueryGraph c = Bind("SELECT * FROM customer c");
+  cache.Insert(a, 1);
+  cache.Insert(b, 2);
+  EXPECT_TRUE(cache.Lookup(a).has_value());  // refreshes a
+  cache.Insert(c, 3);                        // evicts b (LRU)
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.Lookup(a).has_value());
+  EXPECT_FALSE(cache.Lookup(b).has_value());
+  EXPECT_TRUE(cache.Lookup(c).has_value());
+}
+
+TEST_F(StatementCacheTest, InsertUpdatesExisting) {
+  CompileTimeCache cache;
+  QueryGraph a = Bind("SELECT * FROM orders o");
+  cache.Insert(a, 1.0);
+  cache.Insert(a, 2.0);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_DOUBLE_EQ(*cache.Lookup(a), 2.0);
+}
+
+TEST_F(StatementCacheTest, UselessForAdHocWorkload) {
+  // The paper's motivation: ad-hoc queries never repeat, so the cache
+  // cannot help — every distinct random query misses.
+  CompileTimeCache cache;
+  Workload w = RandomWorkload(10, 99);
+  int hits = 0;
+  for (const QueryGraph& q : w.queries) {
+    if (cache.Lookup(q).has_value()) ++hits;
+    cache.Insert(q, 0.1);
+  }
+  EXPECT_EQ(hits, 0);
+}
+
+}  // namespace
+}  // namespace cote

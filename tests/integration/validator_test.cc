@@ -1,0 +1,115 @@
+// Deep invariant sweep: every plan the optimizer stores, for every query
+// of every workload, in serial and parallel mode, on both enumerators,
+// must satisfy the PlanValidator's structural invariants — including that
+// each MEMO entry's plan list is a true Pareto frontier.
+
+#include "optimizer/plan/plan_validator.h"
+
+#include <gtest/gtest.h>
+
+#include "optimizer/optimizer.h"
+#include "query/query_builder.h"
+#include "workload/workload.h"
+
+namespace cote {
+namespace {
+
+struct SweepCase {
+  std::string name;
+  Workload (*factory)();
+  bool parallel;
+  EnumeratorKind kind;
+};
+
+void PrintTo(const SweepCase& c, std::ostream* os) { *os << c.name; }
+
+class ValidatorSweepTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(ValidatorSweepTest, AllStoredPlansValid) {
+  const SweepCase& c = GetParam();
+  Workload w = c.factory();
+  OptimizerOptions options =
+      c.parallel ? OptimizerOptions::Parallel(4) : OptimizerOptions{};
+  options.enumeration.max_composite_inner = 2;
+  options.enumeration.kind = c.kind;
+  Optimizer opt(options);
+  for (int i = 0; i < w.size(); ++i) {
+    auto r = opt.Optimize(w.queries[i]);
+    ASSERT_TRUE(r.ok()) << w.labels[i];
+    PlanValidator validator(w.queries[i]);
+    Status plan_ok = validator.ValidatePlan(r->best_plan);
+    EXPECT_TRUE(plan_ok.ok()) << w.labels[i] << ": " << plan_ok.ToString();
+    Status memo_ok = validator.ValidateMemo(*r->memo);
+    EXPECT_TRUE(memo_ok.ok()) << w.labels[i] << ": " << memo_ok.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ValidatorSweepTest,
+    ::testing::Values(
+        SweepCase{"linear_serial", &LinearWorkload, false,
+                  EnumeratorKind::kBottomUp},
+        SweepCase{"star_serial", &StarWorkload, false,
+                  EnumeratorKind::kBottomUp},
+        SweepCase{"star_parallel", &StarWorkload, true,
+                  EnumeratorKind::kBottomUp},
+        SweepCase{"real1_parallel", &Real1Workload, true,
+                  EnumeratorKind::kBottomUp},
+        SweepCase{"tpch_serial", &TpchWorkload, false,
+                  EnumeratorKind::kBottomUp},
+        SweepCase{"tpch_topdown", &TpchWorkload, false,
+                  EnumeratorKind::kTopDown},
+        SweepCase{"cyclic_topdown_par", &CyclicWorkload, true,
+                  EnumeratorKind::kTopDown},
+        SweepCase{"random_parallel",
+                  [] { return RandomWorkload(6, 1234); }, true,
+                  EnumeratorKind::kBottomUp}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return info.param.name;
+    });
+
+TEST(PlanValidatorTest, CatchesBrokenPlans) {
+  Catalog catalog;
+  TableBuilder b("T0", 100);
+  b.Col("a", ColumnType::kInt, 10);
+  ASSERT_TRUE(catalog.AddTable(b.Build()).ok());
+  QueryBuilder qb(catalog);
+  qb.AddTable("T0", "t0");
+  auto g = qb.Build();
+  ASSERT_TRUE(g.ok());
+  PlanValidator validator(*g);
+
+  EXPECT_FALSE(validator.ValidatePlan(nullptr).ok());
+
+  Plan scan;
+  scan.op = OpType::kTableScan;
+  scan.tables = TableSet::Single(0);
+  scan.rows = 100;
+  scan.cost = 10;
+  EXPECT_TRUE(validator.ValidatePlan(&scan).ok());
+
+  Plan bad_rows = scan;
+  bad_rows.rows = 0;
+  EXPECT_FALSE(validator.ValidatePlan(&bad_rows).ok());
+
+  Plan bad_cost = scan;
+  bad_cost.cost = -1;
+  EXPECT_FALSE(validator.ValidatePlan(&bad_cost).ok());
+
+  Plan pipelinable_sort = scan;
+  pipelinable_sort.op = OpType::kSort;
+  pipelinable_sort.order = OrderProperty({ColumnRef(0, 0)});
+  pipelinable_sort.child = &scan;
+  pipelinable_sort.pipelinable = true;
+  EXPECT_FALSE(validator.ValidatePlan(&pipelinable_sort).ok());
+  pipelinable_sort.pipelinable = false;
+  EXPECT_TRUE(validator.ValidatePlan(&pipelinable_sort).ok());
+
+  Plan ordered_hsjn = scan;
+  ordered_hsjn.op = OpType::kHsjn;
+  ordered_hsjn.order = OrderProperty({ColumnRef(0, 0)});
+  EXPECT_FALSE(validator.ValidatePlan(&ordered_hsjn).ok());
+}
+
+}  // namespace
+}  // namespace cote

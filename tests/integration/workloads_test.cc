@@ -1,0 +1,172 @@
+// End-to-end checks over every shipped workload: all queries bind, all
+// optimize (serial and parallel), and the estimator runs within sane
+// bounds on each. This is the broad safety net under the benches.
+
+#include <gtest/gtest.h>
+
+#include "core/estimator.h"
+#include "optimizer/optimizer.h"
+#include "workload/workload.h"
+
+namespace cote {
+namespace {
+
+OptimizerOptions BenchOptions(bool parallel) {
+  OptimizerOptions o = parallel ? OptimizerOptions::Parallel(4)
+                                : OptimizerOptions{};
+  o.enumeration.max_composite_inner = 2;
+  return o;
+}
+
+class WorkloadCase {
+ public:
+  WorkloadCase(std::string name, Workload (*factory)())
+      : name_(std::move(name)), factory_(factory) {}
+  std::string name_;
+  Workload (*factory_)();
+};
+
+void PrintTo(const WorkloadCase& c, std::ostream* os) { *os << c.name_; }
+
+class WorkloadTest : public ::testing::TestWithParam<WorkloadCase> {};
+
+TEST_P(WorkloadTest, ShapeMatchesPaperDescription) {
+  Workload w = GetParam().factory_();
+  EXPECT_FALSE(w.queries.empty());
+  EXPECT_EQ(w.queries.size(), w.labels.size());
+  if (w.name == "linear" || w.name == "star") {
+    ASSERT_EQ(w.size(), 15);  // 3 batches of 5 (§5)
+    for (int b = 0; b < 3; ++b) {
+      int tables = 6 + 2 * b;
+      for (int k = 0; k < 5; ++k) {
+        EXPECT_EQ(w.queries[b * 5 + k].num_tables(), tables);
+      }
+    }
+  }
+  if (w.name == "real1") EXPECT_EQ(w.size(), 8);
+  if (w.name == "real2") {
+    EXPECT_EQ(w.size(), 17);
+    // The 14-table monster described in §5.
+    int max_tables = 0;
+    for (const QueryGraph& q : w.queries) {
+      max_tables = std::max(max_tables, q.num_tables());
+    }
+    EXPECT_EQ(max_tables, 14);
+  }
+  if (w.name == "tpch") EXPECT_EQ(w.size(), 7);
+  if (w.name == "tpch_full") EXPECT_EQ(w.size(), 22);
+}
+
+TEST_P(WorkloadTest, AllQueriesOptimizeSerial) {
+  Workload w = GetParam().factory_();
+  Optimizer opt(BenchOptions(false));
+  for (int i = 0; i < w.size(); ++i) {
+    auto r = opt.Optimize(w.queries[i]);
+    ASSERT_TRUE(r.ok()) << w.name << " " << w.labels[i] << ": "
+                        << r.status().ToString();
+    EXPECT_EQ(r->best_plan->tables, w.queries[i].AllTables());
+    if (w.queries[i].num_tables() > 1) {
+      EXPECT_GT(r->stats.join_plans_generated.total(), 0);
+    }
+  }
+}
+
+TEST_P(WorkloadTest, AllQueriesOptimizeParallel) {
+  Workload w = GetParam().factory_();
+  Optimizer opt(BenchOptions(true));
+  for (int i = 0; i < w.size(); ++i) {
+    auto r = opt.Optimize(w.queries[i]);
+    ASSERT_TRUE(r.ok()) << w.name << " " << w.labels[i];
+    EXPECT_EQ(r->best_plan->tables, w.queries[i].AllTables());
+  }
+}
+
+TEST_P(WorkloadTest, EstimatorRunsOnEveryQuery) {
+  Workload w = GetParam().factory_();
+  TimeModel flat;
+  flat.ct[0] = flat.ct[1] = flat.ct[2] = 1e-6;
+  CompileTimeEstimator cote(flat, BenchOptions(false));
+  for (int i = 0; i < w.size(); ++i) {
+    CompileTimeEstimate est = cote.Estimate(w.queries[i]);
+    if (w.queries[i].num_tables() > 1) {
+      EXPECT_GT(est.plan_estimates.total(), 0) << w.labels[i];
+      EXPECT_GT(est.estimated_seconds, 0) << w.labels[i];
+      EXPECT_GT(est.enumeration.joins_unordered, 0) << w.labels[i];
+    } else {
+      EXPECT_EQ(est.enumeration.entries_created, 1) << w.labels[i];
+    }
+  }
+}
+
+TEST_P(WorkloadTest, PlanEstimateAccuracyAggregate) {
+  // Figure 5-style check, aggregated: total estimated plans within a
+  // factor of total actual plans per join method.
+  Workload w = GetParam().factory_();
+  Optimizer opt(BenchOptions(false));
+  TimeModel flat;
+  CompileTimeEstimator cote(flat, BenchOptions(false));
+  JoinTypeCounts est_total, act_total;
+  for (const QueryGraph& q : w.queries) {
+    auto r = opt.Optimize(q);
+    ASSERT_TRUE(r.ok());
+    act_total += r->stats.join_plans_generated;
+    est_total += cote.Estimate(q).plan_estimates;
+  }
+  for (int m = 0; m < kNumJoinMethods; ++m) {
+    double est = static_cast<double>(est_total.counts[m]);
+    double act = static_cast<double>(act_total.counts[m]);
+    if (act < 10) continue;
+    double err = std::abs(est - act) / act;
+    EXPECT_LT(err, 0.5) << w.name << " "
+                        << JoinMethodName(static_cast<JoinMethod>(m))
+                        << " est=" << est << " act=" << act;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadTest,
+    ::testing::Values(
+        WorkloadCase("linear", &LinearWorkload),
+        WorkloadCase("star", &StarWorkload),
+        WorkloadCase("cyclic", &CyclicWorkload),
+        WorkloadCase("real1", &Real1Workload),
+        WorkloadCase("real2", &Real2Workload),
+        WorkloadCase("tpch", &TpchWorkload),
+        WorkloadCase("tpch_full", &TpchFullWorkload),
+        WorkloadCase("training", &TrainingWorkload),
+        WorkloadCase("random", [] { return RandomWorkload(6, 42); })),
+    [](const ::testing::TestParamInfo<WorkloadCase>& info) {
+      return info.param.name_;
+    });
+
+TEST(RandomWorkloadTest, SeedReproducible) {
+  Workload a = RandomWorkload(5, 7);
+  Workload b = RandomWorkload(5, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (int i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.queries[i].num_tables(), b.queries[i].num_tables());
+    EXPECT_EQ(a.queries[i].join_predicates().size(),
+              b.queries[i].join_predicates().size());
+  }
+  Workload c = RandomWorkload(5, 8);
+  bool any_diff = false;
+  for (int i = 0; i < a.size(); ++i) {
+    any_diff |= a.queries[i].num_tables() != c.queries[i].num_tables() ||
+                a.queries[i].join_predicates().size() !=
+                    c.queries[i].join_predicates().size();
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RandomWorkloadTest, PrefersFkJoins) {
+  Workload w = RandomWorkload(10, 123);
+  for (const QueryGraph& q : w.queries) {
+    EXPECT_GE(q.num_tables(), 2);
+    EXPECT_FALSE(q.join_predicates().empty());
+    // Connected (possibly through derived predicates).
+    EXPECT_TRUE(q.IsSubgraphConnected(q.AllTables()));
+  }
+}
+
+}  // namespace
+}  // namespace cote

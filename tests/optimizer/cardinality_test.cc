@@ -1,0 +1,130 @@
+#include "optimizer/cost/cardinality.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "query/query_builder.h"
+
+namespace cote {
+namespace {
+
+class CardinalityTest : public ::testing::Test {
+ protected:
+  CardinalityTest() {
+    EXPECT_TRUE(catalog_
+                    .AddTable(TableBuilder("fact", 100000)
+                                  .Col("f_id", ColumnType::kBigInt, 100000)
+                                  .Col("f_dim", ColumnType::kInt, 1000)
+                                  .Col("f_x", ColumnType::kInt, 10)
+                                  .PrimaryKey({"f_id"})
+                                  .Build())
+                    .ok());
+    EXPECT_TRUE(catalog_
+                    .AddTable(TableBuilder("dim", 1000)
+                                  .Col("d_id", ColumnType::kInt, 1000)
+                                  .Col("d_y", ColumnType::kInt, 10)
+                                  .PrimaryKey({"d_id"})
+                                  .Build())
+                    .ok());
+    EXPECT_TRUE(catalog_
+                    .AddTable(TableBuilder("other", 5000)
+                                  .Col("o_dim", ColumnType::kInt, 1000)
+                                  .Col("o_z", ColumnType::kInt, 10)
+                                  .Build())
+                    .ok());
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(CardinalityTest, BaseRowsApplyLocalSelectivity) {
+  QueryBuilder qb(catalog_);
+  qb.AddTable("fact", "f");
+  qb.Local("f", "f_x", LocalOp::kEq, 0.1);
+  auto g = qb.Build();
+  ASSERT_TRUE(g.ok());
+  CardinalityModel m(*g, true);
+  EXPECT_NEAR(m.BaseRows(0), 10000, 1e-6);
+}
+
+TEST_F(CardinalityTest, FkPkJoinPreservesFactRows) {
+  QueryBuilder qb(catalog_);
+  qb.AddTable("fact", "f").AddTable("dim", "d");
+  qb.Join("f", "f_dim", "d", "d_id");
+  auto g = qb.Build();
+  ASSERT_TRUE(g.ok());
+  CardinalityModel m(*g, true);
+  // 100000 * 1000 / max(1000,1000) = 100000.
+  EXPECT_NEAR(m.JoinRows(TableSet::FirstN(2)), 100000, 1);
+}
+
+TEST_F(CardinalityTest, KeyRefinementCapsResult) {
+  QueryBuilder qb(catalog_);
+  qb.AddTable("fact", "f").AddTable("dim", "d");
+  qb.Join("f", "f_dim", "d", "d_id");
+  // Extra filter on dim: refined estimate must not exceed fact rows.
+  qb.Local("d", "d_y", LocalOp::kEq, 0.5);
+  auto g = qb.Build();
+  ASSERT_TRUE(g.ok());
+  CardinalityModel refined(*g, true);
+  CardinalityModel simple(*g, false);
+  double r = refined.JoinRows(TableSet::FirstN(2));
+  double s = simple.JoinRows(TableSet::FirstN(2));
+  EXPECT_LE(r, s + 1e-9);        // refinement can only reduce
+  EXPECT_LE(r, 100000 * 0.5 + 1);  // capped at fact rows × dim filter
+}
+
+TEST_F(CardinalityTest, SimpleModelSkipsRefinement) {
+  QueryBuilder qb(catalog_);
+  qb.AddTable("fact", "f").AddTable("dim", "d");
+  qb.Join("f", "f_dim", "d", "d_id");
+  auto g = qb.Build();
+  ASSERT_TRUE(g.ok());
+  CardinalityModel simple(*g, false);
+  EXPECT_FALSE(simple.use_key_refinement());
+  // Raw: 1e5 * 1e3 * 1e-3 = 1e5 (same here since no extra filters).
+  EXPECT_NEAR(simple.JoinRows(TableSet::FirstN(2)), 100000, 1);
+}
+
+TEST_F(CardinalityTest, TransitiveClosureNotDoubleCounted) {
+  // Triangle f.f_dim = d.d_id = o.o_dim: the derived predicate must not
+  // multiply selectivity a third time.
+  QueryBuilder qb(catalog_);
+  qb.AddTable("fact", "f").AddTable("dim", "d").AddTable("other", "o");
+  qb.Join("f", "f_dim", "d", "d_id").Join("d", "d_id", "o", "o_dim");
+  qb.WithTransitiveClosure();
+  auto g = qb.Build();
+  ASSERT_TRUE(g.ok());
+  ASSERT_EQ(g->join_predicates().size(), 3u);  // 2 written + 1 derived
+  CardinalityModel m(*g, false);
+  // Spanning tree applies 2 of the 3 equivalent selectivities:
+  // 1e5 * 1e3 * 5e3 * 1e-3 * 1e-3 = 5e5.
+  EXPECT_NEAR(m.JoinRows(TableSet::FirstN(3)), 500000, 500000 * 0.01);
+}
+
+TEST_F(CardinalityTest, CachedResultsStable) {
+  QueryBuilder qb(catalog_);
+  qb.AddTable("fact", "f").AddTable("dim", "d");
+  qb.Join("f", "f_dim", "d", "d_id");
+  auto g = qb.Build();
+  ASSERT_TRUE(g.ok());
+  CardinalityModel m(*g, true);
+  double first = m.JoinRows(TableSet::FirstN(2));
+  double second = m.JoinRows(TableSet::FirstN(2));
+  EXPECT_DOUBLE_EQ(first, second);
+}
+
+TEST_F(CardinalityTest, NeverBelowFloor) {
+  QueryBuilder qb(catalog_);
+  qb.AddTable("dim", "d").AddTable("other", "o");
+  qb.Join("d", "d_id", "o", "o_dim");
+  qb.Local("d", "d_y", LocalOp::kEq, 1e-9);
+  qb.Local("o", "o_z", LocalOp::kEq, 1e-9);
+  auto g = qb.Build();
+  ASSERT_TRUE(g.ok());
+  CardinalityModel m(*g, true);
+  EXPECT_GT(m.JoinRows(TableSet::FirstN(2)), 0);
+}
+
+}  // namespace
+}  // namespace cote

@@ -1,0 +1,113 @@
+#include "optimizer/cost/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace cote {
+namespace {
+
+Table MakeTable(double rows) {
+  TableBuilder b("t", rows);
+  b.Col("a", ColumnType::kInt, rows);
+  b.Idx("t_a", {"a"}, true);
+  return b.Build();
+}
+
+TEST(CostModelTest, ScanCostGrowsWithTableSize) {
+  CostModel m{CostParams{}};
+  Table small = MakeTable(1000), big = MakeTable(1000000);
+  EXPECT_LT(m.TableScan(small, 1000), m.TableScan(big, 1000000));
+  EXPECT_GT(m.TableScan(small, 1000), 0);
+}
+
+TEST(CostModelTest, SelectiveIndexScanBeatsTableScan) {
+  CostModel m{CostParams{}};
+  Table t = MakeTable(1000000);
+  double scan = m.TableScan(t, 1000000);
+  double iscan = m.IndexScan(t, t.indexes()[0], /*match=*/0.0001, 100);
+  EXPECT_LT(iscan, scan);
+}
+
+TEST(CostModelTest, UnselectiveIndexScanLosesToTableScan) {
+  CostModel m{CostParams{}};
+  Table t = MakeTable(1000000);
+  double scan = m.TableScan(t, 1000000);
+  double iscan = m.IndexScan(t, t.indexes()[0], /*match=*/1.0, 1000000);
+  EXPECT_GT(iscan, scan);
+}
+
+TEST(CostModelTest, SortSuperlinear) {
+  CostModel m{CostParams{}};
+  double s1 = m.Sort(1000, 1);
+  double s10 = m.Sort(10000, 1);
+  EXPECT_GT(s10, 10 * s1);  // n log n
+  EXPECT_GT(m.Sort(1000, 4), m.Sort(1000, 1));  // wider keys cost more
+}
+
+TEST(CostModelTest, JoinCostsIncludeInputCosts) {
+  CostModel m{CostParams{}};
+  double inputs = 500 + 300;
+  EXPECT_GT(m.Nljn(1000, 500, 2000, 300), inputs);
+  EXPECT_GT(m.Mgjn(1000, 500, 2000, 300, 1500), inputs);
+  EXPECT_GT(m.Hsjn(1000, 500, 2000, 300, 1500), inputs);
+}
+
+TEST(CostModelTest, HashJoinSpillPenalty) {
+  CostParams p;
+  p.buffer_pages = 10;  // tiny memory: 10k build rows no longer fit
+  CostModel small_mem{p};
+  CostModel big_mem{CostParams{}};
+  double with_spill = small_mem.Hsjn(1000, 0, 10000, 0, 1000);
+  double without = big_mem.Hsjn(1000, 0, 10000, 0, 1000);
+  EXPECT_GT(with_spill, without);
+}
+
+TEST(CostModelTest, ParallelismReducesLocalWork) {
+  CostParams serial;
+  CostParams par = serial;
+  par.num_nodes = 4;
+  Table t = MakeTable(1000000);
+  EXPECT_LT(CostModel{par}.TableScan(t, 1000000),
+            CostModel{serial}.TableScan(t, 1000000));
+}
+
+TEST(CostModelTest, NetworkCosts) {
+  CostParams p;
+  p.num_nodes = 4;
+  CostModel m{p};
+  EXPECT_GT(m.Repartition(100000), 0);
+  // Broadcasting to all nodes moves more data than repartitioning.
+  EXPECT_GT(m.Replicate(100000), m.Repartition(100000));
+  // Serial configuration moves nothing.
+  CostModel serial{CostParams{}};
+  EXPECT_DOUBLE_EQ(serial.Repartition(100000), 0 +
+                   100000 * CostParams{}.cpu_row_cost * 0.2);
+}
+
+TEST(CostModelTest, GroupByVariants) {
+  CostModel m{CostParams{}};
+  EXPECT_GT(m.GroupBySort(100000, 100), 0);
+  EXPECT_GT(m.GroupByHash(100000, 100), 0);
+  // Sort-based grouping of unsorted input dominates hash for large inputs.
+  EXPECT_GT(m.GroupBySort(1000000, 10), m.GroupByHash(1000000, 10));
+}
+
+TEST(CostModelTest, CostToSeconds) {
+  CostParams p;
+  p.seconds_per_cost_unit = 0.5;
+  CostModel m{p};
+  EXPECT_DOUBLE_EQ(m.CostToSeconds(4.0), 2.0);
+}
+
+TEST(CostModelTest, HistogramFactorNearOne) {
+  CostModel m{CostParams{}};
+  double f = m.HistogramJoinFactor(1e6, 1e5, 5);
+  EXPECT_GT(f, 0.99);
+  EXPECT_LT(f, 1.1);
+  // Disabled histograms yield exactly 1.
+  CostParams p;
+  p.histogram_buckets = 0;
+  EXPECT_DOUBLE_EQ(CostModel{p}.HistogramJoinFactor(1e6, 1e5, 5), 1.0);
+}
+
+}  // namespace
+}  // namespace cote

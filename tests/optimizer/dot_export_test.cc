@@ -1,0 +1,69 @@
+#include "optimizer/plan/dot_export.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "optimizer/optimizer.h"
+#include "parser/binder.h"
+#include "workload/workload.h"
+
+namespace cote {
+namespace {
+
+class DotExportTest : public ::testing::Test {
+ protected:
+  DotExportTest() : catalog_(MakeTpchCatalog()) {}
+  std::shared_ptr<Catalog> catalog_;
+};
+
+TEST_F(DotExportTest, QueryGraphNodesAndEdges) {
+  auto g = Binder::BindSql(*catalog_,
+                           "SELECT * FROM orders o LEFT JOIN lineitem l "
+                           "ON o.o_orderkey = l.l_orderkey");
+  ASSERT_TRUE(g.ok());
+  std::string dot = QueryGraphToDot(*g);
+  EXPECT_NE(dot.find("graph join_graph {"), std::string::npos);
+  EXPECT_NE(dot.find("t0 [label=\"o"), std::string::npos);
+  EXPECT_NE(dot.find("t1 [label=\"l"), std::string::npos);
+  EXPECT_NE(dot.find("t0 -- t1"), std::string::npos);
+  // Outer join styled with direction toward the null-producing side.
+  EXPECT_NE(dot.find("dir=forward"), std::string::npos);
+  EXPECT_EQ(dot.find("style=dashed];"), std::string::npos);  // no derived
+}
+
+TEST_F(DotExportTest, DerivedPredicatesDashed) {
+  auto g = Binder::BindSql(*catalog_,
+                           "SELECT * FROM supplier s, lineitem l, partsupp ps "
+                           "WHERE s.s_suppkey = l.l_suppkey "
+                           "AND ps.ps_suppkey = l.l_suppkey");
+  ASSERT_TRUE(g.ok());
+  std::string dot = QueryGraphToDot(*g);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+TEST_F(DotExportTest, PlanTreeWellFormed) {
+  auto g = Binder::BindSql(*catalog_,
+                           "SELECT * FROM orders o, lineitem l "
+                           "WHERE o.o_orderkey = l.l_orderkey "
+                           "ORDER BY o.o_orderdate");
+  ASSERT_TRUE(g.ok());
+  Optimizer opt;
+  auto r = opt.Optimize(*g);
+  ASSERT_TRUE(r.ok());
+  std::string dot = PlanToDot(r->best_plan);
+  EXPECT_NE(dot.find("digraph plan {"), std::string::npos);
+  EXPECT_NE(dot.find("n0 [label="), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  // Balanced braces; one node line per plan node reachable from the root.
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+}
+
+TEST_F(DotExportTest, NullPlanHandled) {
+  std::string dot = PlanToDot(nullptr);
+  EXPECT_NE(dot.find("digraph plan {"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cote

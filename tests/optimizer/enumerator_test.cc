@@ -1,0 +1,290 @@
+#include "optimizer/enumerator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "catalog/catalog.h"
+#include "core/join_count_baseline.h"
+#include "query/query_builder.h"
+
+namespace cote {
+namespace {
+
+std::shared_ptr<Catalog> MakeCatalog(int n) {
+  auto catalog = std::make_shared<Catalog>();
+  for (int i = 0; i < n; ++i) {
+    TableBuilder b("T" + std::to_string(i), 1000);
+    b.Col("a", ColumnType::kInt, 100).Col("b", ColumnType::kInt, 100);
+    EXPECT_TRUE(catalog->AddTable(b.Build()).ok());
+  }
+  return catalog;
+}
+
+QueryGraph MakeShape(const Catalog& catalog, int n, const std::string& shape) {
+  QueryBuilder qb(catalog);
+  for (int i = 0; i < n; ++i) {
+    qb.AddTable("T" + std::to_string(i), "t" + std::to_string(i));
+  }
+  if (shape == "chain") {
+    for (int i = 0; i + 1 < n; ++i) {
+      qb.Join("t" + std::to_string(i), "a", "t" + std::to_string(i + 1), "a");
+    }
+  } else if (shape == "star") {
+    for (int i = 1; i < n; ++i) {
+      qb.Join("t0", "a", "t" + std::to_string(i), "a");
+    }
+  } else {  // clique
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        qb.Join("t" + std::to_string(i), "a", "t" + std::to_string(j), "b");
+      }
+    }
+  }
+  auto g = qb.Build();
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+EnumeratorOptions FullBushy() {
+  EnumeratorOptions o;
+  o.cartesian_when_card_one = false;  // pure connectivity-driven DP
+  return o;
+}
+
+/// Recording visitor for structural assertions.
+class RecordingVisitor : public JoinVisitor {
+ public:
+  void InitializeEntry(TableSet s) override { entries.push_back(s); }
+  double EntryCardinality(TableSet s) override {
+    (void)s;
+    return 1000;  // never card-1: Cartesian heuristic stays off
+  }
+  void OnJoin(TableSet outer, TableSet inner, const std::vector<int>& preds,
+              bool cartesian) override {
+    joins.push_back({outer, inner});
+    pred_counts.push_back(static_cast<int>(preds.size()));
+    cartesians.push_back(cartesian);
+  }
+
+  std::vector<TableSet> entries;
+  std::vector<std::pair<TableSet, TableSet>> joins;
+  std::vector<int> pred_counts;
+  std::vector<bool> cartesians;
+};
+
+// ---- Closed-formula property sweeps (validates both the enumerator and
+// the Ono-Lohman baseline formulas against each other).
+
+class ShapeCountTest
+    : public ::testing::TestWithParam<std::tuple<int, std::string>> {};
+
+TEST_P(ShapeCountTest, MatchesClosedFormula) {
+  auto [n, shape] = GetParam();
+  auto catalog = MakeCatalog(n);
+  QueryGraph g = MakeShape(*catalog, n, shape);
+  EnumerationStats stats = JoinCountBaseline::CountJoins(g, FullBushy());
+  int64_t expected = shape == "chain" ? JoinCountBaseline::ChainJoins(n)
+                     : shape == "star" ? JoinCountBaseline::StarJoins(n)
+                                       : JoinCountBaseline::CliqueJoins(n);
+  EXPECT_EQ(stats.joins_unordered, expected) << shape << " n=" << n;
+  // No outer joins: every unordered pair emits both orientations.
+  EXPECT_EQ(stats.joins_ordered, 2 * expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ShapeCountTest,
+    ::testing::Combine(::testing::Values(2, 3, 4, 5, 6, 7, 8, 9, 10),
+                       ::testing::Values(std::string("chain"),
+                                         std::string("star"),
+                                         std::string("clique"))));
+
+TEST(EnumeratorTest, EntriesAreConnectedSubgraphs) {
+  auto catalog = MakeCatalog(5);
+  QueryGraph g = MakeShape(*catalog, 5, "chain");
+  RecordingVisitor v;
+  JoinEnumerator e(g, FullBushy());
+  e.Run(&v);
+  for (TableSet s : v.entries) {
+    EXPECT_TRUE(g.IsSubgraphConnected(s)) << s.ToString();
+  }
+  // Chain of 5: connected subsets = 5 singletons + 4+3+2+1 intervals.
+  EXPECT_EQ(v.entries.size(), 15u);
+}
+
+TEST(EnumeratorTest, EntriesInitializedBeforeTheirJoins) {
+  // Every OnJoin must see existing entries for outer, inner, AND the
+  // joined set — and each entry is initialized exactly once.
+  class OrderCheckingVisitor : public JoinVisitor {
+   public:
+    void InitializeEntry(TableSet s) override {
+      EXPECT_EQ(std::find(seen.begin(), seen.end(), s), seen.end())
+          << "double init of " << s.ToString();
+      seen.push_back(s);
+    }
+    double EntryCardinality(TableSet s) override {
+      (void)s;
+      return 1000;
+    }
+    void OnJoin(TableSet outer, TableSet inner, const std::vector<int>&,
+                bool) override {
+      auto has = [&](TableSet s) {
+        return std::find(seen.begin(), seen.end(), s) != seen.end();
+      };
+      EXPECT_TRUE(has(outer));
+      EXPECT_TRUE(has(inner));
+      EXPECT_TRUE(has(outer.Union(inner)));
+    }
+    std::vector<TableSet> seen;
+  };
+  auto catalog = MakeCatalog(4);
+  QueryGraph g = MakeShape(*catalog, 4, "star");
+  OrderCheckingVisitor v;
+  JoinEnumerator e(g, FullBushy());
+  e.Run(&v);
+  EXPECT_FALSE(v.seen.empty());
+}
+
+TEST(EnumeratorTest, CompositeInnerLimit) {
+  auto catalog = MakeCatalog(6);
+  QueryGraph g = MakeShape(*catalog, 6, "chain");
+  for (int limit : {1, 2, 3}) {
+    EnumeratorOptions opt = FullBushy();
+    opt.max_composite_inner = limit;
+    RecordingVisitor v;
+    JoinEnumerator e(g, opt);
+    e.Run(&v);
+    for (const auto& [outer, inner] : v.joins) {
+      (void)outer;
+      EXPECT_LE(inner.size(), limit);
+    }
+    // The final entry must still be reachable (left-deep always works on
+    // connected graphs).
+    EXPECT_NE(std::find(v.entries.begin(), v.entries.end(),
+                        TableSet::FirstN(6)),
+              v.entries.end());
+  }
+}
+
+TEST(EnumeratorTest, LeftDeepCountsForChain) {
+  // With inner limit 1 a chain of n has exactly sum over interval lengths
+  // of (ways to extend by one end) joins: intervals [i,j] built from
+  // [i+1,j] or [i,j-1] => (n-1) + 2*(number of intervals of length >= 3)…
+  // simpler: count distinct (interval, removed-end) pairs.
+  auto catalog = MakeCatalog(6);
+  const int n = 6;
+  QueryGraph g = MakeShape(*catalog, n, "chain");
+  EnumeratorOptions opt = FullBushy();
+  opt.max_composite_inner = 1;
+  EnumerationStats stats = JoinCountBaseline::CountJoins(g, opt);
+  int64_t expected = 0;
+  for (int len = 2; len <= n; ++len) {
+    int intervals = n - len + 1;
+    expected += intervals * (len == 2 ? 1 : 2);  // extend left or right end
+  }
+  EXPECT_EQ(stats.joins_unordered, expected);
+}
+
+TEST(EnumeratorTest, DisconnectedGraphWithoutCartesianNeverCompletes) {
+  auto catalog = MakeCatalog(4);
+  QueryBuilder qb(*catalog);
+  qb.AddTable("T0", "t0").AddTable("T1", "t1").AddTable("T2", "t2");
+  qb.Join("t0", "a", "t1", "a");  // t2 disconnected
+  auto g = qb.Build();
+  ASSERT_TRUE(g.ok());
+  RecordingVisitor v;
+  JoinEnumerator e(*g, FullBushy());
+  e.Run(&v);
+  EXPECT_EQ(std::find(v.entries.begin(), v.entries.end(), TableSet::FirstN(3)),
+            v.entries.end());
+}
+
+TEST(EnumeratorTest, CartesianWhenCardOne) {
+  auto catalog = MakeCatalog(4);
+  QueryBuilder qb(*catalog);
+  qb.AddTable("T0", "t0").AddTable("T1", "t1").AddTable("T2", "t2");
+  qb.Join("t0", "a", "t1", "a");
+  auto g = qb.Build();
+  ASSERT_TRUE(g.ok());
+
+  // A visitor whose cardinality model reports 1 row for t2.
+  class CardOneVisitor : public RecordingVisitor {
+   public:
+    double EntryCardinality(TableSet s) override {
+      return s == TableSet::Single(2) ? 1.0 : 1000.0;
+    }
+  };
+  CardOneVisitor v;
+  EnumeratorOptions opt;
+  opt.cartesian_when_card_one = true;
+  JoinEnumerator e(*g, opt);
+  e.Run(&v);
+  // The Cartesian product with t2 makes the full query reachable.
+  EXPECT_NE(std::find(v.entries.begin(), v.entries.end(), TableSet::FirstN(3)),
+            v.entries.end());
+  bool saw_cartesian = false;
+  for (bool c : v.cartesians) saw_cartesian |= c;
+  EXPECT_TRUE(saw_cartesian);
+}
+
+TEST(EnumeratorTest, AllowAllCartesianCompletesDisconnected) {
+  auto catalog = MakeCatalog(3);
+  QueryBuilder qb(*catalog);
+  qb.AddTable("T0", "t0").AddTable("T1", "t1");
+  auto g = qb.Build();  // no predicates at all
+  ASSERT_TRUE(g.ok());
+  EnumeratorOptions opt;
+  opt.allow_all_cartesian = true;
+  RecordingVisitor v;
+  JoinEnumerator e(*g, opt);
+  e.Run(&v);
+  EXPECT_NE(std::find(v.entries.begin(), v.entries.end(), TableSet::FirstN(2)),
+            v.entries.end());
+}
+
+TEST(EnumeratorTest, OuterJoinRestrictsEmissions) {
+  auto catalog = MakeCatalog(3);
+  QueryBuilder qb(*catalog);
+  qb.AddTable("T0", "t0").AddTable("T1", "t1");
+  qb.Join("t0", "a", "t1", "a", JoinKind::kLeftOuter);
+  auto g = qb.Build();
+  ASSERT_TRUE(g.ok());
+  RecordingVisitor v;
+  JoinEnumerator e(*g, FullBushy());
+  e.Run(&v);
+  // Only (t0 outer, t1 inner) is legal.
+  ASSERT_EQ(v.joins.size(), 1u);
+  EXPECT_EQ(v.joins[0].first, TableSet::Single(0));
+  EXPECT_EQ(v.joins[0].second, TableSet::Single(1));
+}
+
+TEST(EnumeratorTest, MultiPredicateJoinReportsAllPredicates) {
+  auto catalog = MakeCatalog(2);
+  QueryBuilder qb(*catalog);
+  qb.AddTable("T0", "t0").AddTable("T1", "t1");
+  qb.Join("t0", "a", "t1", "a").Join("t0", "b", "t1", "b");
+  auto g = qb.Build();
+  ASSERT_TRUE(g.ok());
+  RecordingVisitor v;
+  JoinEnumerator e(*g, FullBushy());
+  e.Run(&v);
+  ASSERT_EQ(v.pred_counts.size(), 2u);  // two orientations
+  EXPECT_EQ(v.pred_counts[0], 2);
+}
+
+TEST(EnumeratorTest, SingleTableQuery) {
+  auto catalog = MakeCatalog(1);
+  QueryBuilder qb(*catalog);
+  qb.AddTable("T0", "t0");
+  auto g = qb.Build();
+  ASSERT_TRUE(g.ok());
+  RecordingVisitor v;
+  JoinEnumerator e(*g, FullBushy());
+  EnumerationStats stats = e.Run(&v);
+  EXPECT_EQ(stats.entries_created, 1);
+  EXPECT_EQ(stats.joins_ordered, 0);
+}
+
+}  // namespace
+}  // namespace cote

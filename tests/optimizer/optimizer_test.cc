@@ -1,0 +1,180 @@
+#include "optimizer/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "optimizer/greedy_optimizer.h"
+#include "query/query_builder.h"
+#include "parser/binder.h"
+#include "workload/workload.h"
+
+namespace cote {
+namespace {
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  OptimizerTest() : catalog_(MakeTpchCatalog()) {}
+
+  QueryGraph Bind(const std::string& sql) {
+    auto g = Binder::BindSql(*catalog_, sql);
+    EXPECT_TRUE(g.ok()) << g.status().ToString();
+    return std::move(g).value();
+  }
+
+  std::shared_ptr<Catalog> catalog_;
+};
+
+TEST_F(OptimizerTest, EmptyQueryRejected) {
+  Optimizer opt;
+  QueryGraph empty;
+  EXPECT_EQ(opt.Optimize(empty).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(OptimizerTest, FindsPlanForComplexQuery) {
+  QueryGraph g = Bind(
+      "SELECT * FROM customer c, orders o, lineitem l, nation n "
+      "WHERE c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey "
+      "AND c.c_nationkey = n.n_nationkey");
+  Optimizer opt;
+  auto r = opt.Optimize(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->best_plan->tables, g.AllTables());
+  EXPECT_GT(r->stats.best_cost, 0);
+  EXPECT_GT(r->stats.total_seconds, 0);
+}
+
+TEST_F(OptimizerTest, OrderByHonoredByFinalPlan) {
+  QueryGraph g = Bind(
+      "SELECT * FROM orders o, lineitem l "
+      "WHERE o.o_orderkey = l.l_orderkey ORDER BY o.o_orderdate");
+  Optimizer opt;
+  auto r = opt.Optimize(g);
+  ASSERT_TRUE(r.ok());
+  const MemoEntry* top = r->memo->Find(g.AllTables());
+  OrderProperty ob =
+      OrderProperty(g.order_by()).Canonicalize(top->equivalence());
+  EXPECT_TRUE(r->best_plan->order.SatisfiesPrefix(ob))
+      << PrintPlan(r->best_plan);
+}
+
+TEST_F(OptimizerTest, AggregationPlanned) {
+  QueryGraph g = Bind(
+      "SELECT n.n_name, COUNT(*) FROM supplier s, nation n "
+      "WHERE s.s_nationkey = n.n_nationkey GROUP BY n.n_name");
+  Optimizer opt;
+  auto r = opt.Optimize(g);
+  ASSERT_TRUE(r.ok());
+  // The top of the plan must be an aggregation (possibly under a sort).
+  const Plan* p = r->best_plan;
+  if (p->op == OpType::kSort) p = p->child;
+  EXPECT_TRUE(p->op == OpType::kGroupBySort || p->op == OpType::kGroupByHash);
+  EXPECT_LE(p->rows, 25.0 + 1);  // at most |nation| groups
+}
+
+TEST_F(OptimizerTest, CheaperLevelsSearchLess) {
+  QueryGraph g = Bind(
+      "SELECT * FROM customer c, orders o, lineitem l, supplier s, nation n "
+      "WHERE c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey "
+      "AND l.l_suppkey = s.s_suppkey AND s.s_nationkey = n.n_nationkey");
+  OptimizerOptions bushy;
+  OptimizerOptions left_deep;
+  left_deep.enumeration.max_composite_inner = 1;
+  Optimizer ob(bushy), old(left_deep);
+  auto rb = ob.Optimize(g);
+  auto rl = old.Optimize(g);
+  ASSERT_TRUE(rb.ok());
+  ASSERT_TRUE(rl.ok());
+  EXPECT_LT(rl->stats.enumeration.joins_ordered,
+            rb->stats.enumeration.joins_ordered);
+  EXPECT_LT(rl->stats.join_plans_generated.total(),
+            rb->stats.join_plans_generated.total());
+  // Bushy search can only improve (or match) the plan.
+  EXPECT_LE(rb->stats.best_cost, rl->stats.best_cost * (1 + 1e-9));
+}
+
+TEST_F(OptimizerTest, GreedyLevelProducesValidPlanFast) {
+  QueryGraph g = Bind(
+      "SELECT * FROM customer c, orders o, lineitem l, supplier s, nation n "
+      "WHERE c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey "
+      "AND l.l_suppkey = s.s_suppkey AND s.s_nationkey = n.n_nationkey");
+  OptimizerOptions low;
+  low.level = OptimizationLevel::kLow;
+  Optimizer greedy(low);
+  auto r = greedy.Optimize(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->best_plan->tables, g.AllTables());
+
+  // Greedy never beats exhaustive DP.
+  Optimizer high;
+  auto rh = high.Optimize(g);
+  ASSERT_TRUE(rh.ok());
+  EXPECT_LE(rh->stats.best_cost, r->stats.best_cost * (1 + 1e-9));
+}
+
+TEST_F(OptimizerTest, StatsPhaseTimesSumBelowTotal) {
+  QueryGraph g = Bind(
+      "SELECT * FROM customer c, orders o, lineitem l "
+      "WHERE c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey");
+  Optimizer opt;
+  auto r = opt.Optimize(g);
+  ASSERT_TRUE(r.ok());
+  const OptimizeStats& st = r->stats;
+  double parts = st.gen_seconds[0] + st.gen_seconds[1] + st.gen_seconds[2] +
+                 st.save_seconds + st.init_seconds + st.enum_seconds;
+  EXPECT_LE(parts, st.total_seconds * 1.05);
+  EXPECT_GE(st.other_seconds(), 0);
+  EXPECT_GT(st.memo_entries, 0);
+  EXPECT_GT(st.memo_bytes, 0);
+  EXPECT_EQ(st.plans_stored, r->memo->plans_stored());
+}
+
+TEST_F(OptimizerTest, ParallelFacadeWiresNodeCount) {
+  QueryGraph g = Bind(
+      "SELECT * FROM orders o, lineitem l WHERE o.o_orderkey = l.l_orderkey");
+  Optimizer opt(OptimizerOptions::Parallel(4));
+  auto r = opt.Optimize(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r->best_plan->partition.kind(), PartitionProperty::Kind::kSerial);
+}
+
+TEST_F(OptimizerTest, DeterministicAcrossRuns) {
+  QueryGraph g = Bind(
+      "SELECT * FROM customer c, orders o, lineitem l "
+      "WHERE c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey");
+  Optimizer opt;
+  auto r1 = opt.Optimize(g);
+  auto r2 = opt.Optimize(g);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_DOUBLE_EQ(r1->stats.best_cost, r2->stats.best_cost);
+  EXPECT_EQ(r1->stats.join_plans_generated.total(),
+            r2->stats.join_plans_generated.total());
+  EXPECT_EQ(r1->stats.plans_stored, r2->stats.plans_stored);
+}
+
+TEST(GreedyOptimizerTest, HandlesDisconnectedGraphWithCartesian) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .AddTable(TableBuilder("a", 100)
+                                .Col("x", ColumnType::kInt, 10)
+                                .Build())
+                  .ok());
+  ASSERT_TRUE(catalog
+                  .AddTable(TableBuilder("b", 200)
+                                .Col("y", ColumnType::kInt, 10)
+                                .Build())
+                  .ok());
+  QueryBuilder qb(catalog);
+  qb.AddTable("a").AddTable("b");  // no predicate: forced Cartesian
+  auto g = qb.Build();
+  ASSERT_TRUE(g.ok());
+  OptimizerOptions low;
+  low.level = OptimizationLevel::kLow;
+  Optimizer greedy(low);
+  auto r = greedy.Optimize(*g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->best_plan->tables, TableSet::FirstN(2));
+}
+
+}  // namespace
+}  // namespace cote

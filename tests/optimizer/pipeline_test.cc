@@ -1,0 +1,141 @@
+// Tests for the pipelinable physical property (paper Table 1): interesting
+// for first-n-rows queries; destroyed by SORTs, hash-join builds and hash
+// aggregation; propagated by streaming operators.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "optimizer/optimizer.h"
+#include "parser/binder.h"
+#include "workload/workload.h"
+
+namespace cote {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  PipelineTest() : catalog_(MakeTpchCatalog()) {}
+
+  QueryGraph Bind(const std::string& sql) {
+    auto g = Binder::BindSql(*catalog_, sql);
+    EXPECT_TRUE(g.ok()) << g.status().ToString();
+    return std::move(g).value();
+  }
+
+  std::shared_ptr<Catalog> catalog_;
+};
+
+TEST_F(PipelineTest, ParserAcceptsFetchFirstAndLimit) {
+  QueryGraph g1 = Bind("SELECT * FROM orders o FETCH FIRST 10 ROWS ONLY");
+  EXPECT_EQ(g1.fetch_first(), 10);
+  EXPECT_TRUE(g1.wants_first_rows());
+  QueryGraph g2 = Bind("SELECT * FROM orders o LIMIT 25");
+  EXPECT_EQ(g2.fetch_first(), 25);
+  QueryGraph g3 = Bind("SELECT * FROM orders o");
+  EXPECT_FALSE(g3.wants_first_rows());
+}
+
+TEST_F(PipelineTest, ScansPipelineSortsDoNot) {
+  QueryGraph g = Bind(
+      "SELECT * FROM orders o, lineitem l WHERE o.o_orderkey = l.l_orderkey "
+      "FETCH FIRST 10 ROWS ONLY");
+  Optimizer opt;
+  auto r = opt.Optimize(g);
+  ASSERT_TRUE(r.ok());
+  for (const MemoEntry* e : r->memo->entries_in_order()) {
+    for (const Plan* p : e->plans()) {
+      std::function<void(const Plan*)> walk = [&](const Plan* q) {
+        if (q == nullptr) return;
+        switch (q->op) {
+          case OpType::kTableScan:
+          case OpType::kIndexScan:
+            EXPECT_TRUE(q->pipelinable);
+            break;
+          case OpType::kSort:
+          case OpType::kHsjn:
+            EXPECT_FALSE(q->pipelinable);
+            break;
+          case OpType::kNljn:
+          case OpType::kMgjn:
+            EXPECT_EQ(q->pipelinable,
+                      q->child->pipelinable && q->inner->pipelinable);
+            break;
+          default:
+            break;
+        }
+        walk(q->child);
+        walk(q->inner);
+      };
+      walk(p);
+    }
+  }
+}
+
+TEST_F(PipelineTest, PipelinableKeptAsParetoDimensionOnlyForFirstRows) {
+  const char* base =
+      "SELECT * FROM orders o, lineitem l WHERE o.o_orderkey = l.l_orderkey";
+  QueryGraph plain = Bind(base);
+  QueryGraph topn = Bind(std::string(base) + " FETCH FIRST 5 ROWS ONLY");
+  Optimizer opt;
+  auto r1 = opt.Optimize(plain);
+  auto r2 = opt.Optimize(topn);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  // Tracking one more property can only grow the MEMO (§3.2: properties
+  // violate the principle of optimality and multiply kept plans).
+  EXPECT_GE(r2->stats.plans_stored, r1->stats.plans_stored);
+}
+
+TEST_F(PipelineTest, FirstRowsPrefersPipelinablePlan) {
+  // Join on keys with matching indexes: a fully pipelined NLJN/MGJN plan
+  // exists; with FETCH FIRST it must win over the hash join even though
+  // the hash join is cheaper for the full result.
+  QueryGraph topn = Bind(
+      "SELECT * FROM orders o, lineitem l WHERE o.o_orderkey = l.l_orderkey "
+      "FETCH FIRST 10 ROWS ONLY");
+  Optimizer opt;
+  auto r = opt.Optimize(topn);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->best_plan->pipelinable) << PrintPlan(r->best_plan);
+
+  QueryGraph plain = Bind(
+      "SELECT * FROM orders o, lineitem l WHERE o.o_orderkey = l.l_orderkey");
+  auto rp = opt.Optimize(plain);
+  ASSERT_TRUE(rp.ok());
+  // Without FETCH FIRST the full-result optimum is chosen on raw cost.
+  EXPECT_GE(r->best_plan->cost, rp->best_plan->cost - 1e-9);
+}
+
+TEST_F(PipelineTest, GroupByHashBreaksPipeline) {
+  QueryGraph g = Bind(
+      "SELECT o.o_custkey, COUNT(*) FROM orders o GROUP BY o.o_custkey "
+      "FETCH FIRST 3 ROWS ONLY");
+  Optimizer opt;
+  auto r = opt.Optimize(g);
+  ASSERT_TRUE(r.ok());
+  const Plan* p = r->best_plan;
+  if (p->op == OpType::kSort) p = p->child;
+  if (p->op == OpType::kGroupByHash) {
+    EXPECT_FALSE(p->pipelinable);
+  }
+}
+
+TEST_F(PipelineTest, SerialPlanCountsUnchangedByFetchFirst) {
+  // Plan *generation* is property-blind; FETCH FIRST changes pruning and
+  // final choice, not the generated count per join — so the COTE needs no
+  // extra work for it (§3: only kept plans multiply).
+  const char* base =
+      "SELECT * FROM customer c, orders o, lineitem l "
+      "WHERE c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey";
+  Optimizer opt;
+  auto r1 = opt.Optimize(Bind(base));
+  auto r2 = opt.Optimize(Bind(std::string(base) + " LIMIT 7"));
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->stats.join_plans_generated.total(),
+            r2->stats.join_plans_generated.total());
+}
+
+}  // namespace
+}  // namespace cote

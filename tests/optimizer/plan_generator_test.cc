@@ -1,0 +1,259 @@
+#include "optimizer/plan_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "catalog/catalog.h"
+#include "optimizer/optimizer.h"
+#include "query/query_builder.h"
+
+namespace cote {
+namespace {
+
+std::shared_ptr<Catalog> MakeCatalog(bool with_indexes) {
+  auto catalog = std::make_shared<Catalog>();
+  for (int i = 0; i < 5; ++i) {
+    TableBuilder b("T" + std::to_string(i), 10000 * (i + 1));
+    b.Col("a", ColumnType::kInt, 1000).Col("b", ColumnType::kInt, 100);
+    b.Col("c", ColumnType::kInt, 10);
+    if (with_indexes) b.Idx("idx_a" + std::to_string(i), {"a"});
+    b.HashPartition({"a"});
+    EXPECT_TRUE(catalog->AddTable(b.Build()).ok());
+  }
+  return catalog;
+}
+
+QueryGraph Chain(const Catalog& catalog, int n, bool order_by = false) {
+  QueryBuilder qb(catalog);
+  for (int i = 0; i < n; ++i) {
+    qb.AddTable("T" + std::to_string(i), "t" + std::to_string(i));
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    qb.Join("t" + std::to_string(i), "a", "t" + std::to_string(i + 1), "a");
+  }
+  if (order_by) qb.OrderBy({{"t0", "b"}});
+  auto g = qb.Build();
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+OptimizeResult Optimize(const QueryGraph& g, OptimizerOptions opt = {}) {
+  Optimizer optimizer(opt);
+  auto r = optimizer.Optimize(g);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(PlanGeneratorTest, SingleTablePlans) {
+  auto catalog = MakeCatalog(true);
+  QueryBuilder qb(*catalog);
+  qb.AddTable("T0", "t0");
+  auto g = qb.Build();
+  ASSERT_TRUE(g.ok());
+  OptimizeResult r = Optimize(*g);
+  EXPECT_TRUE(r.best_plan->op == OpType::kTableScan ||
+              r.best_plan->op == OpType::kIndexScan);
+  EXPECT_GT(r.stats.scan_plans, 0);
+  EXPECT_EQ(r.stats.join_plans_generated.total(), 0);
+}
+
+TEST(PlanGeneratorTest, TwoWayJoinGeneratesAllThreeMethods) {
+  auto catalog = MakeCatalog(false);
+  QueryGraph g = Chain(*catalog, 2);
+  OptimizeResult r = Optimize(g);
+  const JoinTypeCounts& c = r.stats.join_plans_generated;
+  EXPECT_GT(c.nljn(), 0);
+  EXPECT_GT(c.mgjn(), 0);
+  EXPECT_GT(c.hsjn(), 0);
+  EXPECT_TRUE(r.best_plan->IsJoin());
+}
+
+TEST(PlanGeneratorTest, SerialHsjnExactlyTwiceJoins) {
+  // HSJN propagates no property: exactly one plan per ordered emission —
+  // twice the unordered join count (§5.2, exact in the serial version).
+  auto catalog = MakeCatalog(true);
+  for (int n : {2, 3, 4, 5}) {
+    QueryGraph g = Chain(*catalog, n);
+    OptimizeResult r = Optimize(g);
+    EXPECT_EQ(r.stats.join_plans_generated.hsjn(),
+              r.stats.enumeration.joins_ordered);
+    EXPECT_EQ(r.stats.enumeration.joins_ordered,
+              2 * r.stats.enumeration.joins_unordered);
+  }
+}
+
+TEST(PlanGeneratorTest, HsjnOutputCarriesNoOrder) {
+  auto catalog = MakeCatalog(true);
+  QueryGraph g = Chain(*catalog, 3);
+  OptimizeResult r = Optimize(g);
+  for (const MemoEntry* e : r.memo->entries_in_order()) {
+    for (const Plan* p : e->plans()) {
+      if (p->op == OpType::kHsjn) EXPECT_TRUE(p->order.IsNone());
+    }
+  }
+}
+
+TEST(PlanGeneratorTest, NljnPropagatesOuterOrder) {
+  auto catalog = MakeCatalog(true);
+  // ORDER BY t0.b keeps a t0-ordered plan interesting all the way up.
+  QueryGraph g = Chain(*catalog, 3, /*order_by=*/true);
+  OptimizeResult r = Optimize(g);
+  const MemoEntry* top = r.memo->Find(g.AllTables());
+  ASSERT_NE(top, nullptr);
+  bool found_ordered = false;
+  for (const Plan* p : top->plans()) {
+    if (p->op == OpType::kNljn &&
+        p->order.SatisfiesPrefix(OrderProperty({ColumnRef(0, 1)}))) {
+      found_ordered = true;
+    }
+  }
+  EXPECT_TRUE(found_ordered);
+}
+
+TEST(PlanGeneratorTest, OrderByIncreasesPlansStored) {
+  // Figure 3's point: adding ORDER BY increases stored plans though the
+  // join graph is unchanged.
+  auto catalog = MakeCatalog(false);
+  QueryGraph without = Chain(*catalog, 3, false);
+  QueryGraph with = Chain(*catalog, 3, true);
+  OptimizeResult r1 = Optimize(without);
+  OptimizeResult r2 = Optimize(with);
+  EXPECT_EQ(r1.stats.enumeration.joins_unordered,
+            r2.stats.enumeration.joins_unordered);
+  EXPECT_GT(r2.stats.plans_stored, r1.stats.plans_stored);
+  EXPECT_GT(r2.stats.join_plans_generated.total(),
+            r1.stats.join_plans_generated.total());
+}
+
+TEST(PlanGeneratorTest, EagerSortEnforcersAtBaseTables) {
+  auto catalog = MakeCatalog(false);  // no indexes: orders need SORTs
+  QueryGraph g = Chain(*catalog, 2);
+  OptimizeResult r = Optimize(g);
+  const MemoEntry* t0 = r.memo->Find(TableSet::Single(0));
+  ASSERT_NE(t0, nullptr);
+  bool has_sort = false;
+  for (const Plan* p : t0->plans()) has_sort |= (p->op == OpType::kSort);
+  EXPECT_TRUE(has_sort);
+  EXPECT_GT(r.stats.enforcer_plans, 0);
+}
+
+TEST(PlanGeneratorTest, LazyOrderPolicyGeneratesFewerPlans) {
+  auto catalog = MakeCatalog(false);
+  QueryGraph g = Chain(*catalog, 4);
+  OptimizerOptions eager;
+  OptimizerOptions lazy;
+  lazy.plangen.eager_orders = false;
+  OptimizeResult re = Optimize(g, eager);
+  OptimizeResult rl = Optimize(g, lazy);
+  // The eager policy generates a larger search space (§3.2).
+  EXPECT_GT(re.stats.join_plans_generated.total(),
+            rl.stats.join_plans_generated.total());
+  // Both find a complete plan.
+  EXPECT_NE(re.best_plan, nullptr);
+  EXPECT_NE(rl.best_plan, nullptr);
+}
+
+TEST(PlanGeneratorTest, BestPlanTreeIsWellFormed) {
+  auto catalog = MakeCatalog(true);
+  QueryGraph g = Chain(*catalog, 5);
+  OptimizeResult r = Optimize(g);
+  // Walk the tree: joins have two children covering disjoint table sets.
+  std::function<void(const Plan*)> check = [&](const Plan* p) {
+    ASSERT_NE(p, nullptr);
+    EXPECT_GT(p->rows, 0);
+    EXPECT_GE(p->cost, 0);
+    if (p->IsJoin()) {
+      ASSERT_NE(p->child, nullptr);
+      ASSERT_NE(p->inner, nullptr);
+      EXPECT_FALSE(p->child->tables.Overlaps(p->inner->tables));
+      EXPECT_EQ(p->child->tables.Union(p->inner->tables), p->tables);
+      EXPECT_GE(p->cost, p->child->cost);
+      check(p->child);
+      check(p->inner);
+    } else if (p->child != nullptr) {
+      EXPECT_EQ(p->child->tables, p->tables);
+      check(p->child);
+    }
+  };
+  check(r.best_plan);
+  EXPECT_EQ(r.best_plan->tables, g.AllTables());
+}
+
+TEST(PlanGeneratorTest, PilotPassPrunesExpensivePlans) {
+  auto catalog = MakeCatalog(true);
+  QueryGraph g = Chain(*catalog, 4);
+  OptimizeResult base = Optimize(g);
+
+  OptimizerOptions opt;
+  opt.plangen.pilot_pass = true;
+  opt.plangen.pilot_cost = base.stats.best_cost * 1.2;
+  OptimizeResult pruned = Optimize(g, opt);
+  EXPECT_GT(pruned.stats.pruned_by_pilot, 0);
+  // Pruning must not change the winner (cost within noise of each other).
+  EXPECT_NEAR(pruned.stats.best_cost, base.stats.best_cost,
+              base.stats.best_cost * 1e-9);
+}
+
+TEST(PlanGeneratorTest, RedundantNljnKnobAddsPlans) {
+  auto catalog = MakeCatalog(true);
+  QueryGraph g = Chain(*catalog, 3);
+  OptimizerOptions normal;
+  OptimizerOptions redundant;
+  redundant.plangen.redundant_nljn_inner = true;
+  int64_t n1 = Optimize(g, normal).stats.join_plans_generated.nljn();
+  int64_t n2 = Optimize(g, redundant).stats.join_plans_generated.nljn();
+  EXPECT_GT(n2, n1);
+}
+
+// ---- Parallel planning ----------------------------------------------------
+
+TEST(PlanGeneratorTest, ParallelPlansCarryPartitions) {
+  auto catalog = MakeCatalog(true);
+  QueryGraph g = Chain(*catalog, 3);
+  OptimizeResult r = Optimize(g, OptimizerOptions::Parallel(4));
+  const MemoEntry* top = r.memo->Find(g.AllTables());
+  ASSERT_NE(top, nullptr);
+  for (const Plan* p : top->plans()) {
+    EXPECT_NE(p->partition.kind(), PartitionProperty::Kind::kSerial);
+  }
+}
+
+TEST(PlanGeneratorTest, ParallelGeneratesMorePlansThanSerial) {
+  auto catalog = MakeCatalog(true);
+  QueryGraph g = Chain(*catalog, 4);
+  OptimizeResult serial = Optimize(g);
+  OptimizeResult parallel = Optimize(g, OptimizerOptions::Parallel(4));
+  EXPECT_GE(parallel.stats.join_plans_generated.total(),
+            serial.stats.join_plans_generated.total());
+}
+
+TEST(PlanGeneratorTest, RepartitionEnforcersAppearWhenKeysMismatch) {
+  // Join on column b while tables are partitioned on a: both sides must be
+  // repartitioned (the DB2 heuristic, §4).
+  auto catalog = MakeCatalog(false);
+  QueryBuilder qb(*catalog);
+  qb.AddTable("T0", "t0").AddTable("T1", "t1");
+  qb.Join("t0", "b", "t1", "b");
+  auto g = qb.Build();
+  ASSERT_TRUE(g.ok());
+  OptimizeResult r = Optimize(*g, OptimizerOptions::Parallel(4));
+  bool saw_move = false;
+  for (const MemoEntry* e : r.memo->entries_in_order()) {
+    for (const Plan* p : e->plans()) {
+      std::function<void(const Plan*)> walk = [&](const Plan* q) {
+        if (q == nullptr) return;
+        if (q->op == OpType::kRepartition || q->op == OpType::kReplicate) {
+          saw_move = true;
+        }
+        walk(q->child);
+        walk(q->inner);
+      };
+      walk(p);
+    }
+  }
+  EXPECT_TRUE(saw_move);
+}
+
+}  // namespace
+}  // namespace cote

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "optimizer/optimizer.h"
+#include "parser/binder.h"
+#include "workload/workload.h"
+
+namespace cote {
+namespace {
+
+TEST(PlanPrintTest, DescribeContainsKeyFacts) {
+  Plan p;
+  p.op = OpType::kMgjn;
+  p.tables = TableSet::Single(0).With(2);
+  p.rows = 42.5;
+  p.cost = 10.25;
+  p.order = OrderProperty({ColumnRef(0, 1)});
+  std::string d = p.Describe();
+  EXPECT_NE(d.find("MGJN"), std::string::npos);
+  EXPECT_NE(d.find("{0,2}"), std::string::npos);
+  EXPECT_NE(d.find("42.5"), std::string::npos);
+  EXPECT_NE(d.find("(t0.c1)"), std::string::npos);
+  // Serial partition omitted from output.
+  EXPECT_EQ(d.find("part="), std::string::npos);
+
+  p.partition = PartitionProperty::Replicated();
+  EXPECT_NE(p.Describe().find("part=replicated"), std::string::npos);
+}
+
+TEST(PlanPrintTest, TreeIndentation) {
+  auto catalog = MakeTpchCatalog();
+  auto g = Binder::BindSql(
+      *catalog,
+      "SELECT * FROM orders o, lineitem l WHERE o.o_orderkey = l.l_orderkey");
+  ASSERT_TRUE(g.ok());
+  Optimizer opt;
+  auto r = opt.Optimize(*g);
+  ASSERT_TRUE(r.ok());
+  std::string out = PrintPlan(r->best_plan);
+  // One line per node, children indented by two spaces.
+  EXPECT_GE(std::count(out.begin(), out.end(), '\n'), 3);
+  EXPECT_NE(out.find("\n  "), std::string::npos);
+}
+
+TEST(PlanPrintTest, NullPlan) {
+  EXPECT_EQ(PrintPlan(nullptr), "(null)\n");
+}
+
+TEST(PlanPrintTest, OpTypeNamesComplete) {
+  for (OpType op : {OpType::kTableScan, OpType::kIndexScan, OpType::kSort,
+                    OpType::kRepartition, OpType::kReplicate, OpType::kNljn,
+                    OpType::kMgjn, OpType::kHsjn, OpType::kGroupBySort,
+                    OpType::kGroupByHash}) {
+    EXPECT_STRNE(OpTypeName(op), "?");
+  }
+}
+
+}  // namespace
+}  // namespace cote

@@ -1,0 +1,32 @@
+// Asserts the paper's Table 2: how each join method propagates the order
+// and partition properties (NLJN full / MGJN partial / HSJN none for
+// orders; full for partitions).
+
+#include <gtest/gtest.h>
+
+#include "optimizer/join_method.h"
+
+namespace cote {
+namespace {
+
+TEST(Table2Test, OrderPropagationClasses) {
+  EXPECT_EQ(OrderPropagation(JoinMethod::kNljn), Propagation::kFull);
+  EXPECT_EQ(OrderPropagation(JoinMethod::kMgjn), Propagation::kPartial);
+  EXPECT_EQ(OrderPropagation(JoinMethod::kHsjn), Propagation::kNone);
+}
+
+TEST(Table2Test, PartitionPropagationIsFullForAllMethods) {
+  for (JoinMethod m :
+       {JoinMethod::kNljn, JoinMethod::kMgjn, JoinMethod::kHsjn}) {
+    EXPECT_EQ(PartitionPropagation(m), Propagation::kFull);
+  }
+}
+
+TEST(Table2Test, MethodNames) {
+  EXPECT_STREQ(JoinMethodName(JoinMethod::kNljn), "NLJN");
+  EXPECT_STREQ(JoinMethodName(JoinMethod::kMgjn), "MGJN");
+  EXPECT_STREQ(JoinMethodName(JoinMethod::kHsjn), "HSJN");
+}
+
+}  // namespace
+}  // namespace cote

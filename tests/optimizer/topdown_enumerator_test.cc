@@ -1,0 +1,169 @@
+// The top-down (transformation-style) enumerator must explore exactly the
+// same search space as the bottom-up DP enumerator — only the relative
+// order of joins may differ, which §3.1 of the paper argues is irrelevant
+// to compilation complexity. These tests verify join-set equality, full
+// optimizer equivalence, and estimator equivalence across both kinds.
+
+#include "optimizer/topdown_enumerator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "core/estimator.h"
+#include "optimizer/optimizer.h"
+#include "query/query_builder.h"
+#include "workload/workload.h"
+
+namespace cote {
+namespace {
+
+/// Collects the join multiset as canonical (outer, inner) pairs.
+class CollectingVisitor : public JoinVisitor {
+ public:
+  explicit CollectingVisitor(const QueryGraph& graph)
+      : card_(graph, false) {}
+
+  void InitializeEntry(TableSet s) override { entries.insert(s.bits()); }
+  double EntryCardinality(TableSet s) override { return card_.JoinRows(s); }
+  void OnJoin(TableSet outer, TableSet inner, const std::vector<int>& preds,
+              bool cartesian) override {
+    joins.insert({outer.bits(), inner.bits(),
+                  static_cast<uint64_t>(preds.size()),
+                  cartesian ? uint64_t{1} : uint64_t{0}});
+  }
+
+  std::set<uint64_t> entries;
+  std::set<std::tuple<uint64_t, uint64_t, uint64_t, uint64_t>> joins;
+
+ private:
+  CardinalityModel card_;
+};
+
+class EnumeratorEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(EnumeratorEquivalenceTest, SameJoinSetOnEveryWorkloadQuery) {
+  auto [workload_id, inner_limit] = GetParam();
+  Workload w = workload_id == 0   ? LinearWorkload()
+               : workload_id == 1 ? StarWorkload()
+               : workload_id == 2 ? CyclicWorkload()
+                                  : Real1Workload();
+  EnumeratorOptions bottom_up;
+  bottom_up.max_composite_inner = inner_limit;
+  EnumeratorOptions top_down = bottom_up;
+  top_down.kind = EnumeratorKind::kTopDown;
+
+  for (int i = 0; i < w.size(); ++i) {
+    CollectingVisitor vb(w.queries[i]), vt(w.queries[i]);
+    EnumerationStats sb = RunEnumeration(w.queries[i], bottom_up, &vb);
+    EnumerationStats st = RunEnumeration(w.queries[i], top_down, &vt);
+    EXPECT_EQ(vb.entries, vt.entries) << w.labels[i];
+    EXPECT_EQ(vb.joins, vt.joins) << w.labels[i];
+    EXPECT_EQ(sb.joins_unordered, st.joins_unordered) << w.labels[i];
+    EXPECT_EQ(sb.joins_ordered, st.joins_ordered) << w.labels[i];
+    EXPECT_EQ(sb.entries_created, st.entries_created) << w.labels[i];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkloadsAndLimits, EnumeratorEquivalenceTest,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(1, 2, 64)));
+
+TEST(TopDownEnumeratorTest, FullOptimizerEquivalence) {
+  // The plan generator run by either enumerator must produce the same
+  // plan counts, stored plans, and best cost.
+  Workload w = StarWorkload();
+  OptimizerOptions bu;
+  bu.enumeration.max_composite_inner = 2;
+  OptimizerOptions td = bu;
+  td.enumeration.kind = EnumeratorKind::kTopDown;
+  Optimizer ob(bu), ot(td);
+  for (int i : {0, 4, 7, 12}) {
+    auto rb = ob.Optimize(w.queries[i]);
+    auto rt = ot.Optimize(w.queries[i]);
+    ASSERT_TRUE(rb.ok());
+    ASSERT_TRUE(rt.ok());
+    EXPECT_DOUBLE_EQ(rb->stats.best_cost, rt->stats.best_cost)
+        << w.labels[i];
+    for (int m = 0; m < kNumJoinMethods; ++m) {
+      EXPECT_EQ(rb->stats.join_plans_generated.counts[m],
+                rt->stats.join_plans_generated.counts[m])
+          << w.labels[i] << " method " << m;
+    }
+    EXPECT_EQ(rb->stats.plans_stored, rt->stats.plans_stored);
+    EXPECT_EQ(rb->stats.memo_entries, rt->stats.memo_entries);
+  }
+}
+
+TEST(TopDownEnumeratorTest, EstimatorEquivalence) {
+  // The COTE gives identical plan estimates on either enumerator — the
+  // framework carries over to top-down optimizers (§6.2).
+  Workload w = CyclicWorkload();
+  TimeModel model;
+  model.ct[0] = model.ct[1] = model.ct[2] = 1e-6;
+  OptimizerOptions bu;
+  OptimizerOptions td;
+  td.enumeration.kind = EnumeratorKind::kTopDown;
+  CompileTimeEstimator cb(model, bu), ct(model, td);
+  for (int i = 0; i < w.size(); ++i) {
+    CompileTimeEstimate eb = cb.Estimate(w.queries[i]);
+    CompileTimeEstimate et = ct.Estimate(w.queries[i]);
+    for (int m = 0; m < kNumJoinMethods; ++m) {
+      EXPECT_EQ(eb.plan_estimates.counts[m], et.plan_estimates.counts[m])
+          << w.labels[i];
+    }
+    EXPECT_EQ(eb.plan_slots, et.plan_slots) << w.labels[i];
+  }
+}
+
+TEST(TopDownEnumeratorTest, OuterJoinEligibilityRespected) {
+  Catalog catalog;
+  for (int i = 0; i < 3; ++i) {
+    TableBuilder b("T" + std::to_string(i), 1000);
+    b.Col("a", ColumnType::kInt, 100);
+    ASSERT_TRUE(catalog.AddTable(b.Build()).ok());
+  }
+  QueryBuilder qb(catalog);
+  qb.AddTable("T0", "t0").AddTable("T1", "t1").AddTable("T2", "t2");
+  qb.Join("t0", "a", "t1", "a", JoinKind::kLeftOuter);
+  qb.Join("t1", "a", "t2", "a");
+  auto g = qb.Build();
+  ASSERT_TRUE(g.ok());
+
+  EnumeratorOptions td;
+  td.kind = EnumeratorKind::kTopDown;
+  CollectingVisitor v(*g);
+  RunEnumeration(*g, td, &v);
+  // No join may have the null-producing side leading without t0.
+  for (const auto& [outer, inner, preds, cart] : v.joins) {
+    (void)preds;
+    (void)cart;
+    TableSet o(outer);
+    (void)inner;
+    EXPECT_TRUE(g->OuterEnabled(o)) << o.ToString();
+  }
+}
+
+TEST(TopDownEnumeratorTest, SingleTableQuery) {
+  Catalog catalog;
+  TableBuilder b("T0", 100);
+  b.Col("a", ColumnType::kInt, 10);
+  ASSERT_TRUE(catalog.AddTable(b.Build()).ok());
+  QueryBuilder qb(catalog);
+  qb.AddTable("T0", "t0");
+  auto g = qb.Build();
+  ASSERT_TRUE(g.ok());
+  EnumeratorOptions td;
+  td.kind = EnumeratorKind::kTopDown;
+  CollectingVisitor v(*g);
+  EnumerationStats st = RunEnumeration(*g, td, &v);
+  EXPECT_EQ(st.entries_created, 1);
+  EXPECT_EQ(st.joins_ordered, 0);
+}
+
+}  // namespace
+}  // namespace cote

@@ -1,0 +1,170 @@
+#include "parser/binder.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/workload.h"
+
+namespace cote {
+namespace {
+
+class BinderTest : public ::testing::Test {
+ protected:
+  BinderTest() : catalog_(MakeTpchCatalog()) {}
+
+  QueryGraph Bind(const std::string& sql, BinderOptions opts = {}) {
+    auto g = Binder::BindSql(*catalog_, sql, opts);
+    EXPECT_TRUE(g.ok()) << g.status().ToString();
+    return g.ok() ? std::move(g).value() : QueryGraph{};
+  }
+
+  Status BindError(const std::string& sql) {
+    return Binder::BindSql(*catalog_, sql).status();
+  }
+
+  std::shared_ptr<Catalog> catalog_;
+};
+
+TEST_F(BinderTest, ResolvesQualifiedColumns) {
+  QueryGraph g = Bind(
+      "SELECT o.o_orderkey FROM orders o, lineitem l "
+      "WHERE o.o_orderkey = l.l_orderkey");
+  EXPECT_EQ(g.num_tables(), 2);
+  ASSERT_EQ(g.join_predicates().size(), 1u);
+  const JoinPredicate& p = g.join_predicates()[0];
+  EXPECT_EQ(g.ColumnName(p.left), "o.o_orderkey");
+  EXPECT_EQ(g.ColumnName(p.right), "l.l_orderkey");
+}
+
+TEST_F(BinderTest, ResolvesUnqualifiedUniqueColumn) {
+  QueryGraph g = Bind("SELECT o_orderkey FROM orders WHERE o_orderdate > 5");
+  EXPECT_EQ(g.local_predicates().size(), 1u);
+}
+
+TEST_F(BinderTest, AmbiguousUnqualifiedRejected) {
+  // o_orderkey vs l_orderkey don't collide, but both tables have no shared
+  // names; use two copies of the same table instead.
+  Status s = BindError(
+      "SELECT o_orderkey FROM orders a, orders b "
+      "WHERE a.o_orderkey = b.o_custkey");
+  EXPECT_EQ(s.code(), StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, UnknownTableAndColumn) {
+  EXPECT_EQ(BindError("SELECT x FROM nope").code(), StatusCode::kBindError);
+  EXPECT_EQ(BindError("SELECT o.nope_col FROM orders o").code(),
+            StatusCode::kBindError);
+  EXPECT_EQ(BindError("SELECT z.o_orderkey FROM orders o").code(),
+            StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, DuplicateAliasRejected) {
+  EXPECT_EQ(BindError("SELECT * FROM orders o, lineitem o").code(),
+            StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, SelectivityFromStatistics) {
+  QueryGraph g = Bind(
+      "SELECT * FROM orders o WHERE o.o_orderkey = 7 AND o.o_orderdate > 5 "
+      "AND o.o_orderpriority LIKE 'x%' AND o.o_custkey BETWEEN 1 AND 9");
+  ASSERT_EQ(g.local_predicates().size(), 4u);
+  // Equality on a 1.5M-value key: histogram-derived, near 1/NDV.
+  EXPECT_GT(g.local_predicates()[0].selectivity, 1e-8);
+  EXPECT_LT(g.local_predicates()[0].selectivity, 1e-5);
+  // Range and BETWEEN: histogram fractions within the clamped band.
+  EXPECT_GE(g.local_predicates()[1].selectivity, 0.02);
+  EXPECT_LE(g.local_predicates()[1].selectivity, 0.98);
+  EXPECT_NEAR(g.local_predicates()[2].selectivity, 0.1, 1e-12);  // LIKE
+  EXPECT_GE(g.local_predicates()[3].selectivity, 0.02);
+  EXPECT_LE(g.local_predicates()[3].selectivity, 0.9);
+}
+
+TEST_F(BinderTest, SelectivityDeterministicAcrossBinds) {
+  const char* sql =
+      "SELECT * FROM orders o WHERE o.o_orderdate > DATE '1995-06-17'";
+  QueryGraph a = Bind(sql);
+  QueryGraph b = Bind(sql);
+  ASSERT_EQ(a.local_predicates().size(), 1u);
+  EXPECT_DOUBLE_EQ(a.local_predicates()[0].selectivity,
+                   b.local_predicates()[0].selectivity);
+}
+
+TEST_F(BinderTest, DifferentLiteralsDifferentRangeSelectivity) {
+  QueryGraph a = Bind(
+      "SELECT * FROM orders o WHERE o.o_orderdate > DATE '1992-01-01'");
+  QueryGraph b = Bind(
+      "SELECT * FROM orders o WHERE o.o_orderdate > DATE '1998-10-10'");
+  // Pseudo-positions differ, so the histogram yields different fractions.
+  EXPECT_NE(a.local_predicates()[0].selectivity,
+            b.local_predicates()[0].selectivity);
+}
+
+TEST_F(BinderTest, JoinSelectivityUsesMaxNdv) {
+  QueryGraph g = Bind(
+      "SELECT * FROM orders o, lineitem l WHERE o.o_orderkey = l.l_orderkey",
+      BinderOptions{.transitive_closure = false});
+  ASSERT_EQ(g.join_predicates().size(), 1u);
+  EXPECT_NEAR(g.join_predicates()[0].selectivity, 1.0 / 1500000, 1e-12);
+}
+
+TEST_F(BinderTest, LeftOuterJoinOrientation) {
+  QueryGraph g = Bind(
+      "SELECT * FROM orders o LEFT JOIN lineitem l "
+      "ON o.o_orderkey = l.l_orderkey");
+  ASSERT_EQ(g.join_predicates().size(), 1u);
+  const JoinPredicate& p = g.join_predicates()[0];
+  EXPECT_EQ(p.kind, JoinKind::kLeftOuter);
+  // Right side is the null-producing (newly joined) table.
+  EXPECT_EQ(g.table_ref(p.right.table).alias, "l");
+}
+
+TEST_F(BinderTest, TransitiveClosureAddsDerivedPredicates) {
+  BinderOptions no_tc{.transitive_closure = false};
+  QueryGraph without = Bind(
+      "SELECT * FROM customer c, orders o, nation n "
+      "WHERE c.c_custkey = o.o_custkey AND c.c_nationkey = n.n_nationkey",
+      no_tc);
+  EXPECT_EQ(without.join_predicates().size(), 2u);
+
+  QueryGraph with = Bind(
+      "SELECT * FROM supplier s, lineitem l, partsupp ps "
+      "WHERE s.s_suppkey = l.l_suppkey AND ps.ps_suppkey = l.l_suppkey");
+  // s_suppkey = ps_suppkey is implied: 2 written + 1 derived.
+  EXPECT_EQ(with.join_predicates().size(), 3u);
+  EXPECT_TRUE(with.join_predicates()[2].derived);
+}
+
+TEST_F(BinderTest, GroupByOrderByAndAggregation) {
+  QueryGraph g = Bind(
+      "SELECT n.n_name, SUM(l.l_extendedprice) FROM lineitem l, supplier s, "
+      "nation n WHERE l.l_suppkey = s.s_suppkey AND "
+      "s.s_nationkey = n.n_nationkey "
+      "GROUP BY n.n_name ORDER BY n.n_name");
+  EXPECT_TRUE(g.has_aggregation());
+  EXPECT_EQ(g.group_by().size(), 1u);
+  EXPECT_EQ(g.order_by().size(), 1u);
+  EXPECT_EQ(g.group_by()[0], g.order_by()[0]);
+}
+
+TEST_F(BinderTest, AggregationWithoutGroupBy) {
+  QueryGraph g = Bind("SELECT COUNT(*) FROM orders o");
+  EXPECT_TRUE(g.has_aggregation());
+  EXPECT_TRUE(g.group_by().empty());
+}
+
+TEST_F(BinderTest, SelfJoinPredicateWithinOneRefRejected) {
+  EXPECT_EQ(
+      BindError("SELECT * FROM orders o WHERE o.o_orderkey = o.o_custkey")
+          .code(),
+      StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, SelfJoinAcrossTwoRefsAllowed) {
+  QueryGraph g = Bind(
+      "SELECT * FROM lineitem l1, lineitem l2 "
+      "WHERE l1.l_orderkey = l2.l_orderkey");
+  EXPECT_EQ(g.num_tables(), 2);
+  EXPECT_EQ(g.join_predicates().size(), 1u);
+}
+
+}  // namespace
+}  // namespace cote

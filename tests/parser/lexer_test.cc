@@ -1,0 +1,80 @@
+#include "parser/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace cote {
+namespace {
+
+std::vector<Token> Lex(const std::string& s) {
+  Lexer lexer(s);
+  auto tokens = lexer.Tokenize();
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  return tokens.ok() ? std::move(tokens).value() : std::vector<Token>{};
+}
+
+TEST(LexerTest, EmptyInput) {
+  auto tokens = Lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, IdentifiersAndKeywords) {
+  auto tokens = Lex("SELECT foo _bar b2z");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_TRUE(tokens[0].IsKeyword("select"));
+  EXPECT_TRUE(tokens[0].IsKeyword("SELECT"));
+  EXPECT_EQ(tokens[1].text, "foo");
+  EXPECT_EQ(tokens[2].text, "_bar");
+  EXPECT_EQ(tokens[3].text, "b2z");
+}
+
+TEST(LexerTest, Numbers) {
+  auto tokens = Lex("42 3.14 .5");
+  EXPECT_EQ(tokens[0].text, "42");
+  EXPECT_EQ(tokens[1].text, "3.14");
+  EXPECT_EQ(tokens[2].text, ".5");
+  EXPECT_EQ(tokens[0].type, TokenType::kNumber);
+}
+
+TEST(LexerTest, Strings) {
+  auto tokens = Lex("'hello' 'it''s' '%BRASS'");
+  EXPECT_EQ(tokens[0].text, "hello");
+  EXPECT_EQ(tokens[1].text, "it's");
+  EXPECT_EQ(tokens[2].text, "%BRASS");
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+}
+
+TEST(LexerTest, Symbols) {
+  auto tokens = Lex("( ) , . * = < > <= >= <> != ;");
+  EXPECT_TRUE(tokens[0].IsSymbol("("));
+  EXPECT_TRUE(tokens[8].IsSymbol("<="));
+  EXPECT_TRUE(tokens[9].IsSymbol(">="));
+  EXPECT_TRUE(tokens[10].IsSymbol("<>"));
+  EXPECT_TRUE(tokens[11].IsSymbol("<>"));  // != normalized
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto tokens = Lex("a -- comment to end\nb");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(LexerTest, OffsetsTracked) {
+  auto tokens = Lex("ab cd");
+  EXPECT_EQ(tokens[0].offset, 0);
+  EXPECT_EQ(tokens[1].offset, 3);
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  Lexer lexer("'oops");
+  EXPECT_EQ(lexer.Tokenize().status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, UnknownCharacterFails) {
+  Lexer lexer("a @ b");
+  EXPECT_EQ(lexer.Tokenize().status().code(), StatusCode::kParseError);
+}
+
+}  // namespace
+}  // namespace cote

@@ -1,0 +1,118 @@
+// Multi-block queries: uncorrelated scalar subqueries parse into separate
+// blocks, bind recursively, and estimates sum over blocks (§3.3).
+
+#include <gtest/gtest.h>
+
+#include "core/estimator.h"
+#include "parser/binder.h"
+#include "parser/parser.h"
+#include "workload/workload.h"
+
+namespace cote {
+namespace {
+
+class SubqueryTest : public ::testing::Test {
+ protected:
+  SubqueryTest() : catalog_(MakeTpchCatalog()) {}
+  std::shared_ptr<Catalog> catalog_;
+};
+
+TEST_F(SubqueryTest, ParserBuildsNestedStatement) {
+  auto stmt = Parser::Parse(
+      "SELECT * FROM orders o WHERE o.o_custkey = "
+      "(SELECT MAX(c.c_custkey) FROM customer c WHERE c.c_acctbal > 100)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ(stmt->where.size(), 1u);
+  ASSERT_NE(stmt->where[0].subquery, nullptr);
+  EXPECT_EQ(stmt->where[0].subquery->from.size(), 1u);
+  EXPECT_EQ(stmt->where[0].subquery->from[0].table.table_name, "customer");
+}
+
+TEST_F(SubqueryTest, NestedSubqueriesParse) {
+  auto stmt = Parser::Parse(
+      "SELECT * FROM orders o WHERE o.o_custkey = "
+      "(SELECT MIN(c.c_custkey) FROM customer c WHERE c.c_nationkey = "
+      "(SELECT MAX(n.n_nationkey) FROM nation n))");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_NE(stmt->where[0].subquery, nullptr);
+  EXPECT_NE(stmt->where[0].subquery->where[0].subquery, nullptr);
+}
+
+TEST_F(SubqueryTest, UnclosedSubqueryRejected) {
+  auto stmt = Parser::Parse(
+      "SELECT * FROM orders o WHERE o.o_custkey = "
+      "(SELECT c.c_custkey FROM customer c");
+  EXPECT_FALSE(stmt.ok());
+}
+
+TEST_F(SubqueryTest, BindMultiCollectsBlocks) {
+  auto bound = Binder::BindSqlMulti(*catalog_, R"(
+      SELECT * FROM orders o, lineitem l
+      WHERE o.o_orderkey = l.l_orderkey
+        AND o.o_custkey = (SELECT MAX(c.c_custkey) FROM customer c, nation n
+                           WHERE c.c_nationkey = n.n_nationkey
+                             AND n.n_name = 'FRANCE'))");
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  EXPECT_EQ(bound->num_blocks(), 2);
+  EXPECT_EQ(bound->main.num_tables(), 2);
+  ASSERT_EQ(bound->subquery_blocks.size(), 1u);
+  EXPECT_EQ(bound->subquery_blocks[0].num_tables(), 2);
+  // The outer block sees the subquery as a local predicate.
+  EXPECT_EQ(bound->main.local_predicates().size(), 1u);
+}
+
+TEST_F(SubqueryTest, BindSingleBlockDropsSubqueryButStillBinds) {
+  auto g = Binder::BindSql(*catalog_,
+                           "SELECT * FROM orders o WHERE o.o_custkey = "
+                           "(SELECT MAX(c.c_custkey) FROM customer c)");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_tables(), 1);
+  EXPECT_EQ(g->local_predicates().size(), 1u);
+}
+
+TEST_F(SubqueryTest, NestedBlocksAllCollected) {
+  auto bound = Binder::BindSqlMulti(*catalog_, R"(
+      SELECT * FROM orders o WHERE o.o_custkey =
+        (SELECT MIN(c.c_custkey) FROM customer c WHERE c.c_nationkey =
+          (SELECT MAX(n.n_nationkey) FROM nation n)))");
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  EXPECT_EQ(bound->num_blocks(), 3);
+}
+
+TEST_F(SubqueryTest, EstimateSumsOverBlocks) {
+  auto bound = Binder::BindSqlMulti(*catalog_, R"(
+      SELECT * FROM orders o, lineitem l
+      WHERE o.o_orderkey = l.l_orderkey
+        AND o.o_custkey = (SELECT MAX(c.c_custkey) FROM customer c, nation n
+                           WHERE c.c_nationkey = n.n_nationkey))");
+  ASSERT_TRUE(bound.ok());
+  TimeModel model;
+  model.ct[0] = model.ct[1] = model.ct[2] = 1e-6;
+  CompileTimeEstimator cote(model, OptimizerOptions{});
+
+  CompileTimeEstimate total = cote.Estimate(*bound);
+  CompileTimeEstimate main = cote.Estimate(bound->main);
+  CompileTimeEstimate sub = cote.Estimate(bound->subquery_blocks[0]);
+  EXPECT_EQ(total.plan_estimates.total(),
+            main.plan_estimates.total() + sub.plan_estimates.total());
+  EXPECT_NEAR(total.estimated_seconds,
+              main.estimated_seconds + sub.estimated_seconds, 1e-12);
+  EXPECT_EQ(total.enumeration.joins_unordered,
+            main.enumeration.joins_unordered +
+                sub.enumeration.joins_unordered);
+}
+
+TEST_F(SubqueryTest, DistinctPlansLikeGroupBy) {
+  auto plain = Binder::BindSql(
+      *catalog_, "SELECT c.c_nationkey FROM customer c");
+  auto distinct = Binder::BindSql(
+      *catalog_, "SELECT DISTINCT c.c_nationkey FROM customer c");
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(distinct.ok());
+  EXPECT_FALSE(plain->has_aggregation());
+  EXPECT_TRUE(distinct->has_aggregation());
+  EXPECT_EQ(distinct->group_by().size(), 1u);
+}
+
+}  // namespace
+}  // namespace cote

@@ -1,0 +1,92 @@
+#include "query/equivalence.h"
+
+#include <gtest/gtest.h>
+
+namespace cote {
+namespace {
+
+TEST(EquivalenceTest, UnknownColumnsAreTheirOwnClass) {
+  ColumnEquivalence eq;
+  ColumnRef a(0, 1);
+  EXPECT_EQ(eq.Find(a), a);
+  EXPECT_FALSE(eq.Equivalent(a, ColumnRef(0, 2)));
+  EXPECT_TRUE(eq.Equivalent(a, a));
+}
+
+TEST(EquivalenceTest, SimplePair) {
+  ColumnEquivalence eq;
+  ColumnRef a(0, 0), b(1, 0);
+  eq.AddEquivalence(a, b);
+  EXPECT_TRUE(eq.Equivalent(a, b));
+  // Representative is the minimum-encoded member.
+  EXPECT_EQ(eq.Find(a), a);
+  EXPECT_EQ(eq.Find(b), a);
+}
+
+TEST(EquivalenceTest, TransitiveChains) {
+  ColumnEquivalence eq;
+  ColumnRef a(0, 0), b(1, 0), c(2, 0), d(3, 0);
+  eq.AddEquivalence(c, d);
+  eq.AddEquivalence(a, b);
+  eq.AddEquivalence(b, c);
+  EXPECT_TRUE(eq.Equivalent(a, d));
+  EXPECT_EQ(eq.Find(d), a);
+  EXPECT_EQ(eq.Classes().size(), 1u);
+  EXPECT_EQ(eq.Classes()[0].size(), 4u);
+}
+
+TEST(EquivalenceTest, DisjointClasses) {
+  ColumnEquivalence eq;
+  eq.AddEquivalence(ColumnRef(0, 0), ColumnRef(1, 0));
+  eq.AddEquivalence(ColumnRef(2, 5), ColumnRef(3, 5));
+  EXPECT_FALSE(eq.Equivalent(ColumnRef(0, 0), ColumnRef(2, 5)));
+  auto classes = eq.Classes();
+  ASSERT_EQ(classes.size(), 2u);
+  EXPECT_EQ(classes[0].size(), 2u);
+  EXPECT_EQ(classes[1].size(), 2u);
+}
+
+TEST(EquivalenceTest, IdempotentAdds) {
+  ColumnEquivalence eq;
+  ColumnRef a(0, 0), b(1, 0);
+  eq.AddEquivalence(a, b);
+  eq.AddEquivalence(a, b);
+  eq.AddEquivalence(b, a);
+  EXPECT_EQ(eq.Classes().size(), 1u);
+  EXPECT_EQ(eq.Classes()[0].size(), 2u);
+}
+
+TEST(EquivalenceTest, ClassesSortedAscending) {
+  ColumnEquivalence eq;
+  eq.AddEquivalence(ColumnRef(5, 0), ColumnRef(2, 0));
+  eq.AddEquivalence(ColumnRef(2, 0), ColumnRef(7, 3));
+  auto classes = eq.Classes();
+  ASSERT_EQ(classes.size(), 1u);
+  EXPECT_EQ(classes[0][0], ColumnRef(2, 0));
+  EXPECT_EQ(classes[0][1], ColumnRef(5, 0));
+  EXPECT_EQ(classes[0][2], ColumnRef(7, 3));
+}
+
+// Property sweep: merging stars of varying size always yields a single
+// class whose representative is the minimum.
+class EquivalenceStarTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EquivalenceStarTest, StarMerge) {
+  int n = GetParam();
+  ColumnEquivalence eq;
+  ColumnRef hub(3, 2);
+  for (int i = 0; i < n; ++i) {
+    eq.AddEquivalence(hub, ColumnRef(4 + i, 0));
+  }
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(eq.Find(ColumnRef(4 + i, 0)), hub);
+  }
+  EXPECT_EQ(eq.Classes().size(), 1u);
+  EXPECT_EQ(eq.Classes()[0].size(), static_cast<size_t>(n + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EquivalenceStarTest,
+                         ::testing::Values(1, 2, 5, 10, 30));
+
+}  // namespace
+}  // namespace cote

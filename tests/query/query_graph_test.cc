@@ -1,0 +1,202 @@
+#include "query/query_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "query/query_builder.h"
+
+namespace cote {
+namespace {
+
+std::shared_ptr<Catalog> MakeCatalog(int n) {
+  auto catalog = std::make_shared<Catalog>();
+  for (int i = 0; i < n; ++i) {
+    TableBuilder b("T" + std::to_string(i), 1000 * (i + 1));
+    b.Col("a", ColumnType::kInt, 100).Col("b", ColumnType::kInt, 50);
+    b.Col("c", ColumnType::kInt, 10);
+    EXPECT_TRUE(catalog->AddTable(b.Build()).ok());
+  }
+  return catalog;
+}
+
+class QueryGraphTest : public ::testing::Test {
+ protected:
+  QueryGraphTest() : catalog_(MakeCatalog(5)) {}
+
+  /// Chain t0-t1-t2-t3-t4 on column a.
+  QueryGraph Chain(int n) {
+    QueryBuilder qb(*catalog_);
+    for (int i = 0; i < n; ++i) {
+      qb.AddTable("T" + std::to_string(i), "t" + std::to_string(i));
+    }
+    for (int i = 0; i + 1 < n; ++i) {
+      qb.Join("t" + std::to_string(i), "a", "t" + std::to_string(i + 1), "a");
+    }
+    auto g = qb.Build();
+    EXPECT_TRUE(g.ok());
+    return std::move(g).value();
+  }
+
+  std::shared_ptr<Catalog> catalog_;
+};
+
+TEST_F(QueryGraphTest, BasicAccessors) {
+  QueryGraph g = Chain(3);
+  EXPECT_EQ(g.num_tables(), 3);
+  EXPECT_EQ(g.AllTables(), TableSet::FirstN(3));
+  EXPECT_EQ(g.join_predicates().size(), 2u);
+  EXPECT_EQ(g.ColumnName(ColumnRef(1, 0)), "t1.a");
+  EXPECT_DOUBLE_EQ(g.ColumnNdv(ColumnRef(0, 0)), 100);
+}
+
+TEST_F(QueryGraphTest, ConnectingPredicates) {
+  QueryGraph g = Chain(4);
+  auto preds01 = g.ConnectingPredicates(TableSet::Single(0), TableSet::Single(1));
+  EXPECT_EQ(preds01.size(), 1u);
+  auto preds03 = g.ConnectingPredicates(TableSet::Single(0), TableSet::Single(3));
+  EXPECT_TRUE(preds03.empty());
+  // {0,1} vs {2,3} are connected through the 1-2 edge.
+  EXPECT_TRUE(g.AreConnected(TableSet::FirstN(2),
+                             TableSet::Single(2).With(3)));
+  EXPECT_FALSE(g.AreConnected(TableSet::Single(0), TableSet::Single(2)));
+}
+
+TEST_F(QueryGraphTest, SubgraphConnectivity) {
+  QueryGraph g = Chain(4);
+  EXPECT_TRUE(g.IsSubgraphConnected(TableSet::Single(2)));
+  EXPECT_TRUE(g.IsSubgraphConnected(TableSet::FirstN(4)));
+  EXPECT_TRUE(g.IsSubgraphConnected(TableSet::Single(1).With(2)));
+  EXPECT_FALSE(g.IsSubgraphConnected(TableSet::Single(0).With(2)));
+  EXPECT_FALSE(g.IsSubgraphConnected(TableSet()));
+}
+
+TEST_F(QueryGraphTest, Neighbors) {
+  QueryGraph g = Chain(4);
+  EXPECT_EQ(g.Neighbors(TableSet::Single(0)), TableSet::Single(1));
+  EXPECT_EQ(g.Neighbors(TableSet::Single(1).With(2)),
+            TableSet::Single(0).With(3));
+  EXPECT_EQ(g.Neighbors(TableSet::FirstN(4)), TableSet());
+}
+
+TEST_F(QueryGraphTest, LocalSelectivityMultiplies) {
+  QueryBuilder qb(*catalog_);
+  qb.AddTable("T0", "t0");
+  qb.Local("t0", "a", LocalOp::kEq, 0.5);
+  qb.Local("t0", "b", LocalOp::kRange, 0.2);
+  auto g = qb.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_DOUBLE_EQ(g->LocalSelectivity(0), 0.1);
+}
+
+TEST_F(QueryGraphTest, TransitiveClosureAddsCycleEdge) {
+  // a chain t0.a = t1.a, t1.a = t2.a implies t0.a = t2.a.
+  QueryGraph g = Chain(3);
+  EXPECT_EQ(g.join_predicates().size(), 2u);
+  int added = g.DeriveTransitiveClosure();
+  EXPECT_EQ(added, 1);
+  EXPECT_EQ(g.join_predicates().size(), 3u);
+  EXPECT_TRUE(g.join_predicates()[2].derived);
+  // Now {0,2} are directly connected: a cycle exists.
+  EXPECT_TRUE(g.AreConnected(TableSet::Single(0), TableSet::Single(2)));
+  // Idempotent.
+  EXPECT_EQ(g.DeriveTransitiveClosure(), 0);
+}
+
+TEST_F(QueryGraphTest, GlobalEquivalenceMergesJoinColumns) {
+  QueryGraph g = Chain(3);
+  const ColumnEquivalence& eq = g.GlobalEquivalence();
+  EXPECT_TRUE(eq.Equivalent(ColumnRef(0, 0), ColumnRef(2, 0)));
+  EXPECT_FALSE(eq.Equivalent(ColumnRef(0, 0), ColumnRef(0, 1)));
+}
+
+TEST_F(QueryGraphTest, OuterEnabledRestrictsNullSide) {
+  QueryBuilder qb(*catalog_);
+  qb.AddTable("T0", "t0").AddTable("T1", "t1").AddTable("T2", "t2");
+  qb.Join("t0", "a", "t1", "a", JoinKind::kLeftOuter);  // t1 null-producing
+  qb.Join("t1", "b", "t2", "b");
+  auto g = qb.Build();
+  ASSERT_TRUE(g.ok());
+  // t1 alone (or with t2) cannot lead a join until t0 is in.
+  EXPECT_FALSE(g->OuterEnabled(TableSet::Single(1)));
+  EXPECT_FALSE(g->OuterEnabled(TableSet::Single(1).With(2)));
+  EXPECT_TRUE(g->OuterEnabled(TableSet::Single(0)));
+  EXPECT_TRUE(g->OuterEnabled(TableSet::FirstN(2)));
+  EXPECT_TRUE(g->OuterEnabled(TableSet::FirstN(3)));
+}
+
+TEST_F(QueryGraphTest, OuterJoinOrientation) {
+  QueryBuilder qb(*catalog_);
+  qb.AddTable("T0", "t0").AddTable("T1", "t1");
+  qb.Join("t0", "a", "t1", "a", JoinKind::kLeftOuter);
+  auto g = qb.Build();
+  ASSERT_TRUE(g.ok());
+  // Preserved side must be the outer when the predicate crosses the cut.
+  EXPECT_TRUE(g->OuterJoinOrientationOk(TableSet::Single(0),
+                                        TableSet::Single(1)));
+  EXPECT_FALSE(g->OuterJoinOrientationOk(TableSet::Single(1),
+                                         TableSet::Single(0)));
+}
+
+TEST_F(QueryGraphTest, InnerOnlyTableNotOuterEnabled) {
+  QueryBuilder qb(*catalog_);
+  qb.AddTable("T0", "t0").AddTable("T1", "t1");
+  qb.Join("t0", "a", "t1", "a");
+  qb.InnerOnly("t1");
+  auto g = qb.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(g->OuterEnabled(TableSet::Single(1)));
+  EXPECT_TRUE(g->OuterEnabled(TableSet::Single(0)));
+  // The full query result is always usable.
+  EXPECT_TRUE(g->OuterEnabled(TableSet::FirstN(2)));
+}
+
+TEST_F(QueryGraphTest, OuterJoinPredicateExcludedFromClosure) {
+  QueryBuilder qb(*catalog_);
+  qb.AddTable("T0", "t0").AddTable("T1", "t1").AddTable("T2", "t2");
+  qb.Join("t0", "a", "t1", "a", JoinKind::kLeftOuter);
+  qb.Join("t1", "a", "t2", "a");
+  auto g = qb.Build();
+  ASSERT_TRUE(g.ok());
+  // Equality does not transit through the null-producing side.
+  EXPECT_EQ(g->DeriveTransitiveClosure(), 0);
+}
+
+TEST_F(QueryGraphTest, BuilderErrors) {
+  {
+    QueryBuilder qb(*catalog_);
+    qb.AddTable("NOPE");
+    EXPECT_EQ(qb.Build().status().code(), StatusCode::kNotFound);
+  }
+  {
+    QueryBuilder qb(*catalog_);
+    qb.AddTable("T0", "x").AddTable("T1", "x");
+    EXPECT_EQ(qb.Build().status().code(), StatusCode::kAlreadyExists);
+  }
+  {
+    QueryBuilder qb(*catalog_);
+    qb.AddTable("T0", "t0");
+    qb.Join("t0", "a", "t9", "a");
+    EXPECT_FALSE(qb.Build().ok());
+  }
+  {
+    QueryBuilder qb(*catalog_);
+    EXPECT_EQ(qb.Build().status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST_F(QueryGraphTest, GroupByOrderBySetters) {
+  QueryBuilder qb(*catalog_);
+  qb.AddTable("T0", "t0").AddTable("T1", "t1");
+  qb.Join("t0", "a", "t1", "a");
+  qb.GroupBy({{"t0", "b"}, {"t1", "c"}});
+  qb.OrderBy({{"t0", "c"}});
+  auto g = qb.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->has_aggregation());
+  EXPECT_EQ(g->group_by().size(), 2u);
+  EXPECT_EQ(g->order_by().size(), 1u);
+  EXPECT_EQ(g->order_by()[0], ColumnRef(0, 2));
+}
+
+}  // namespace
+}  // namespace cote

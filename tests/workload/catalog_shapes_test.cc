@@ -1,0 +1,128 @@
+// Integrity sweeps over every shipped catalog: index keys in range,
+// foreign keys resolvable with matching arity, partition keys valid,
+// statistics sane. These guard the workload definitions the benches use.
+
+#include <gtest/gtest.h>
+
+#include "workload/workload.h"
+
+namespace cote {
+namespace {
+
+class CatalogCase {
+ public:
+  CatalogCase(std::string name, std::shared_ptr<Catalog> (*factory)())
+      : name_(std::move(name)), factory_(factory) {}
+  std::string name_;
+  std::shared_ptr<Catalog> (*factory_)();
+};
+
+void PrintTo(const CatalogCase& c, std::ostream* os) { *os << c.name_; }
+
+class CatalogShapeTest : public ::testing::TestWithParam<CatalogCase> {};
+
+TEST_P(CatalogShapeTest, StatisticsSane) {
+  auto catalog = GetParam().factory_();
+  ASSERT_GT(catalog->num_tables(), 0);
+  for (const auto& t : catalog->tables()) {
+    EXPECT_GT(t->row_count(), 0) << t->name();
+    EXPECT_GE(t->pages(), 1) << t->name();
+    EXPECT_GT(t->num_columns(), 0) << t->name();
+    for (const Column& c : t->columns()) {
+      EXPECT_GT(c.ndv, 0) << t->name() << "." << c.name;
+      EXPECT_LE(c.ndv, t->row_count() + 0.5) << t->name() << "." << c.name;
+    }
+  }
+}
+
+TEST_P(CatalogShapeTest, IndexKeysValid) {
+  auto catalog = GetParam().factory_();
+  for (const auto& t : catalog->tables()) {
+    for (const Index& idx : t->indexes()) {
+      EXPECT_FALSE(idx.key_columns.empty()) << idx.name;
+      for (int col : idx.key_columns) {
+        EXPECT_GE(col, 0) << idx.name;
+        EXPECT_LT(col, t->num_columns()) << idx.name;
+      }
+      if (idx.unique && idx.key_columns.size() == 1) {
+        // Unique single-column index implies key-level NDV.
+        EXPECT_GE(t->column(idx.key_columns[0]).ndv, t->row_count() - 0.5)
+            << idx.name;
+      }
+    }
+  }
+}
+
+TEST_P(CatalogShapeTest, ForeignKeysResolve) {
+  auto catalog = GetParam().factory_();
+  for (const auto& t : catalog->tables()) {
+    for (const ForeignKey& fk : t->foreign_keys()) {
+      const Table* ref = catalog->FindTable(fk.referenced_table);
+      ASSERT_NE(ref, nullptr)
+          << t->name() << " references missing " << fk.referenced_table;
+      ASSERT_EQ(fk.columns.size(), fk.referenced_columns.size());
+      for (size_t i = 0; i < fk.columns.size(); ++i) {
+        EXPECT_LT(fk.columns[i], t->num_columns());
+        EXPECT_GE(ref->FindColumn(fk.referenced_columns[i]), 0)
+            << fk.referenced_table << "." << fk.referenced_columns[i];
+      }
+    }
+  }
+}
+
+TEST_P(CatalogShapeTest, PartitioningValid) {
+  auto catalog = GetParam().factory_();
+  for (const auto& t : catalog->tables()) {
+    const PartitioningSpec& spec = t->partitioning();
+    if (spec.kind == PartitionKind::kHash) {
+      EXPECT_FALSE(spec.key_columns.empty()) << t->name();
+      for (int col : spec.key_columns) {
+        EXPECT_GE(col, 0);
+        EXPECT_LT(col, t->num_columns());
+      }
+    } else {
+      EXPECT_TRUE(spec.key_columns.empty()) << t->name();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCatalogs, CatalogShapeTest,
+    ::testing::Values(CatalogCase("retail", &MakeRetailCatalog),
+                      CatalogCase("tpch", &MakeTpchCatalog),
+                      CatalogCase("synthetic",
+                                  [] { return MakeSyntheticCatalog(10); })),
+    [](const ::testing::TestParamInfo<CatalogCase>& info) {
+      return info.param.name_;
+    });
+
+TEST(TpchCatalogTest, RowCountsMatchSf1) {
+  auto catalog = MakeTpchCatalog();
+  EXPECT_DOUBLE_EQ(catalog->FindTable("lineitem")->row_count(), 6000000);
+  EXPECT_DOUBLE_EQ(catalog->FindTable("orders")->row_count(), 1500000);
+  EXPECT_DOUBLE_EQ(catalog->FindTable("customer")->row_count(), 150000);
+  EXPECT_DOUBLE_EQ(catalog->FindTable("nation")->row_count(), 25);
+  EXPECT_DOUBLE_EQ(catalog->FindTable("region")->row_count(), 5);
+}
+
+TEST(RetailCatalogTest, SmallDimensionsReplicated) {
+  auto catalog = MakeRetailCatalog();
+  for (const char* dim : {"region", "calendar", "store", "warehouse"}) {
+    EXPECT_EQ(catalog->FindTable(dim)->partitioning().kind,
+              PartitionKind::kReplicated)
+        << dim;
+  }
+  for (const char* fact : {"sales", "inventory", "shipments", "returns"}) {
+    EXPECT_EQ(catalog->FindTable(fact)->partitioning().kind,
+              PartitionKind::kHash)
+        << fact;
+  }
+}
+
+TEST(RetailCatalogTest, HasFourteenTables) {
+  // real2's big query uses every table once (the paper's 14-table query).
+  EXPECT_EQ(MakeRetailCatalog()->num_tables(), 14);
+}
+
+}  // namespace
+}  // namespace cote
