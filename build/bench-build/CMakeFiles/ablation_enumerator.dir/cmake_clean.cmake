@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_enumerator"
+  "../bench/ablation_enumerator.pdb"
+  "CMakeFiles/ablation_enumerator.dir/ablation_enumerator.cc.o"
+  "CMakeFiles/ablation_enumerator.dir/ablation_enumerator.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_enumerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

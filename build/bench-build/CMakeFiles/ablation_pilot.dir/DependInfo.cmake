@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_pilot.cc" "bench-build/CMakeFiles/ablation_pilot.dir/ablation_pilot.cc.o" "gcc" "bench-build/CMakeFiles/ablation_pilot.dir/ablation_pilot.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/cote_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cote_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cote_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/cote_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/cote_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/cote_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/cote_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cote_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

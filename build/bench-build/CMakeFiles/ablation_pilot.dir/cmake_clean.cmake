@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_pilot"
+  "../bench/ablation_pilot.pdb"
+  "CMakeFiles/ablation_pilot.dir/ablation_pilot.cc.o"
+  "CMakeFiles/ablation_pilot.dir/ablation_pilot.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pilot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

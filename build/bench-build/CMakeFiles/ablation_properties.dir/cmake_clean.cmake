@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_properties"
+  "../bench/ablation_properties.pdb"
+  "CMakeFiles/ablation_properties.dir/ablation_properties.cc.o"
+  "CMakeFiles/ablation_properties.dir/ablation_properties.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

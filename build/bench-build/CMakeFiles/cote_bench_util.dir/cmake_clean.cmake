@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cote_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/cote_bench_util.dir/bench_util.cc.o.d"
+  "libcote_bench_util.a"
+  "libcote_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cote_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_overhead"
+  "../bench/fig4_overhead.pdb"
+  "CMakeFiles/fig4_overhead.dir/fig4_overhead.cc.o"
+  "CMakeFiles/fig4_overhead.dir/fig4_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_plan_accuracy"
+  "../bench/fig5_plan_accuracy.pdb"
+  "CMakeFiles/fig5_plan_accuracy.dir/fig5_plan_accuracy.cc.o"
+  "CMakeFiles/fig5_plan_accuracy.dir/fig5_plan_accuracy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_plan_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_time_accuracy"
+  "../bench/fig6_time_accuracy.pdb"
+  "CMakeFiles/fig6_time_accuracy.dir/fig6_time_accuracy.cc.o"
+  "CMakeFiles/fig6_time_accuracy.dir/fig6_time_accuracy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_time_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

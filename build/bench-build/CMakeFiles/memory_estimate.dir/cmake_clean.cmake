@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/memory_estimate"
+  "../bench/memory_estimate.pdb"
+  "CMakeFiles/memory_estimate.dir/memory_estimate.cc.o"
+  "CMakeFiles/memory_estimate.dir/memory_estimate.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/multilevel"
+  "../bench/multilevel.pdb"
+  "CMakeFiles/multilevel.dir/multilevel.cc.o"
+  "CMakeFiles/multilevel.dir/multilevel.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multilevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/policy_effects"
+  "../bench/policy_effects.pdb"
+  "CMakeFiles/policy_effects.dir/policy_effects.cc.o"
+  "CMakeFiles/policy_effects.dir/policy_effects.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_effects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

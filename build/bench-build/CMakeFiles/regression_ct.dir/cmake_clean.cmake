@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/regression_ct"
+  "../bench/regression_ct.pdb"
+  "CMakeFiles/regression_ct.dir/regression_ct.cc.o"
+  "CMakeFiles/regression_ct.dir/regression_ct.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regression_ct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cote_shell.dir/cote_shell.cpp.o"
+  "CMakeFiles/cote_shell.dir/cote_shell.cpp.o.d"
+  "cote_shell"
+  "cote_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cote_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meta_optimizer_demo.dir/meta_optimizer_demo.cpp.o"
+  "CMakeFiles/meta_optimizer_demo.dir/meta_optimizer_demo.cpp.o.d"
+  "meta_optimizer_demo"
+  "meta_optimizer_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meta_optimizer_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_advisor.dir/workload_advisor.cpp.o"
+  "CMakeFiles/workload_advisor.dir/workload_advisor.cpp.o.d"
+  "workload_advisor"
+  "workload_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cote_catalog.dir/catalog.cc.o"
+  "CMakeFiles/cote_catalog.dir/catalog.cc.o.d"
+  "CMakeFiles/cote_catalog.dir/histogram.cc.o"
+  "CMakeFiles/cote_catalog.dir/histogram.cc.o.d"
+  "CMakeFiles/cote_catalog.dir/table.cc.o"
+  "CMakeFiles/cote_catalog.dir/table.cc.o.d"
+  "libcote_catalog.a"
+  "libcote_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cote_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

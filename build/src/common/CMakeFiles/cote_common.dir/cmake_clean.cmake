@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cote_common.dir/status.cc.o"
+  "CMakeFiles/cote_common.dir/status.cc.o.d"
+  "CMakeFiles/cote_common.dir/str_util.cc.o"
+  "CMakeFiles/cote_common.dir/str_util.cc.o.d"
+  "libcote_common.a"
+  "libcote_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cote_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

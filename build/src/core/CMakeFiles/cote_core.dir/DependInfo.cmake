@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/estimator.cc" "src/core/CMakeFiles/cote_core.dir/estimator.cc.o" "gcc" "src/core/CMakeFiles/cote_core.dir/estimator.cc.o.d"
+  "/root/repo/src/core/join_count_baseline.cc" "src/core/CMakeFiles/cote_core.dir/join_count_baseline.cc.o" "gcc" "src/core/CMakeFiles/cote_core.dir/join_count_baseline.cc.o.d"
+  "/root/repo/src/core/meta_optimizer.cc" "src/core/CMakeFiles/cote_core.dir/meta_optimizer.cc.o" "gcc" "src/core/CMakeFiles/cote_core.dir/meta_optimizer.cc.o.d"
+  "/root/repo/src/core/model_io.cc" "src/core/CMakeFiles/cote_core.dir/model_io.cc.o" "gcc" "src/core/CMakeFiles/cote_core.dir/model_io.cc.o.d"
+  "/root/repo/src/core/multilevel.cc" "src/core/CMakeFiles/cote_core.dir/multilevel.cc.o" "gcc" "src/core/CMakeFiles/cote_core.dir/multilevel.cc.o.d"
+  "/root/repo/src/core/plan_counter.cc" "src/core/CMakeFiles/cote_core.dir/plan_counter.cc.o" "gcc" "src/core/CMakeFiles/cote_core.dir/plan_counter.cc.o.d"
+  "/root/repo/src/core/regression.cc" "src/core/CMakeFiles/cote_core.dir/regression.cc.o" "gcc" "src/core/CMakeFiles/cote_core.dir/regression.cc.o.d"
+  "/root/repo/src/core/statement_cache.cc" "src/core/CMakeFiles/cote_core.dir/statement_cache.cc.o" "gcc" "src/core/CMakeFiles/cote_core.dir/statement_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/optimizer/CMakeFiles/cote_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/cote_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/cote_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cote_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

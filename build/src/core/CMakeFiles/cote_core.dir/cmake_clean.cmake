@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cote_core.dir/estimator.cc.o"
+  "CMakeFiles/cote_core.dir/estimator.cc.o.d"
+  "CMakeFiles/cote_core.dir/join_count_baseline.cc.o"
+  "CMakeFiles/cote_core.dir/join_count_baseline.cc.o.d"
+  "CMakeFiles/cote_core.dir/meta_optimizer.cc.o"
+  "CMakeFiles/cote_core.dir/meta_optimizer.cc.o.d"
+  "CMakeFiles/cote_core.dir/model_io.cc.o"
+  "CMakeFiles/cote_core.dir/model_io.cc.o.d"
+  "CMakeFiles/cote_core.dir/multilevel.cc.o"
+  "CMakeFiles/cote_core.dir/multilevel.cc.o.d"
+  "CMakeFiles/cote_core.dir/plan_counter.cc.o"
+  "CMakeFiles/cote_core.dir/plan_counter.cc.o.d"
+  "CMakeFiles/cote_core.dir/regression.cc.o"
+  "CMakeFiles/cote_core.dir/regression.cc.o.d"
+  "CMakeFiles/cote_core.dir/statement_cache.cc.o"
+  "CMakeFiles/cote_core.dir/statement_cache.cc.o.d"
+  "libcote_core.a"
+  "libcote_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cote_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

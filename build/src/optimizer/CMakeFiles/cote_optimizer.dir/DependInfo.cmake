@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optimizer/cost/cardinality.cc" "src/optimizer/CMakeFiles/cote_optimizer.dir/cost/cardinality.cc.o" "gcc" "src/optimizer/CMakeFiles/cote_optimizer.dir/cost/cardinality.cc.o.d"
+  "/root/repo/src/optimizer/cost/cost_model.cc" "src/optimizer/CMakeFiles/cote_optimizer.dir/cost/cost_model.cc.o" "gcc" "src/optimizer/CMakeFiles/cote_optimizer.dir/cost/cost_model.cc.o.d"
+  "/root/repo/src/optimizer/enumerator.cc" "src/optimizer/CMakeFiles/cote_optimizer.dir/enumerator.cc.o" "gcc" "src/optimizer/CMakeFiles/cote_optimizer.dir/enumerator.cc.o.d"
+  "/root/repo/src/optimizer/greedy_optimizer.cc" "src/optimizer/CMakeFiles/cote_optimizer.dir/greedy_optimizer.cc.o" "gcc" "src/optimizer/CMakeFiles/cote_optimizer.dir/greedy_optimizer.cc.o.d"
+  "/root/repo/src/optimizer/memo.cc" "src/optimizer/CMakeFiles/cote_optimizer.dir/memo.cc.o" "gcc" "src/optimizer/CMakeFiles/cote_optimizer.dir/memo.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/optimizer/CMakeFiles/cote_optimizer.dir/optimizer.cc.o" "gcc" "src/optimizer/CMakeFiles/cote_optimizer.dir/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/plan/dot_export.cc" "src/optimizer/CMakeFiles/cote_optimizer.dir/plan/dot_export.cc.o" "gcc" "src/optimizer/CMakeFiles/cote_optimizer.dir/plan/dot_export.cc.o.d"
+  "/root/repo/src/optimizer/plan/plan.cc" "src/optimizer/CMakeFiles/cote_optimizer.dir/plan/plan.cc.o" "gcc" "src/optimizer/CMakeFiles/cote_optimizer.dir/plan/plan.cc.o.d"
+  "/root/repo/src/optimizer/plan/plan_validator.cc" "src/optimizer/CMakeFiles/cote_optimizer.dir/plan/plan_validator.cc.o" "gcc" "src/optimizer/CMakeFiles/cote_optimizer.dir/plan/plan_validator.cc.o.d"
+  "/root/repo/src/optimizer/plan_generator.cc" "src/optimizer/CMakeFiles/cote_optimizer.dir/plan_generator.cc.o" "gcc" "src/optimizer/CMakeFiles/cote_optimizer.dir/plan_generator.cc.o.d"
+  "/root/repo/src/optimizer/properties/interesting_orders.cc" "src/optimizer/CMakeFiles/cote_optimizer.dir/properties/interesting_orders.cc.o" "gcc" "src/optimizer/CMakeFiles/cote_optimizer.dir/properties/interesting_orders.cc.o.d"
+  "/root/repo/src/optimizer/properties/order_property.cc" "src/optimizer/CMakeFiles/cote_optimizer.dir/properties/order_property.cc.o" "gcc" "src/optimizer/CMakeFiles/cote_optimizer.dir/properties/order_property.cc.o.d"
+  "/root/repo/src/optimizer/properties/partition_property.cc" "src/optimizer/CMakeFiles/cote_optimizer.dir/properties/partition_property.cc.o" "gcc" "src/optimizer/CMakeFiles/cote_optimizer.dir/properties/partition_property.cc.o.d"
+  "/root/repo/src/optimizer/topdown_enumerator.cc" "src/optimizer/CMakeFiles/cote_optimizer.dir/topdown_enumerator.cc.o" "gcc" "src/optimizer/CMakeFiles/cote_optimizer.dir/topdown_enumerator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/cote_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/cote_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cote_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cote_optimizer.dir/cost/cardinality.cc.o"
+  "CMakeFiles/cote_optimizer.dir/cost/cardinality.cc.o.d"
+  "CMakeFiles/cote_optimizer.dir/cost/cost_model.cc.o"
+  "CMakeFiles/cote_optimizer.dir/cost/cost_model.cc.o.d"
+  "CMakeFiles/cote_optimizer.dir/enumerator.cc.o"
+  "CMakeFiles/cote_optimizer.dir/enumerator.cc.o.d"
+  "CMakeFiles/cote_optimizer.dir/greedy_optimizer.cc.o"
+  "CMakeFiles/cote_optimizer.dir/greedy_optimizer.cc.o.d"
+  "CMakeFiles/cote_optimizer.dir/memo.cc.o"
+  "CMakeFiles/cote_optimizer.dir/memo.cc.o.d"
+  "CMakeFiles/cote_optimizer.dir/optimizer.cc.o"
+  "CMakeFiles/cote_optimizer.dir/optimizer.cc.o.d"
+  "CMakeFiles/cote_optimizer.dir/plan/dot_export.cc.o"
+  "CMakeFiles/cote_optimizer.dir/plan/dot_export.cc.o.d"
+  "CMakeFiles/cote_optimizer.dir/plan/plan.cc.o"
+  "CMakeFiles/cote_optimizer.dir/plan/plan.cc.o.d"
+  "CMakeFiles/cote_optimizer.dir/plan/plan_validator.cc.o"
+  "CMakeFiles/cote_optimizer.dir/plan/plan_validator.cc.o.d"
+  "CMakeFiles/cote_optimizer.dir/plan_generator.cc.o"
+  "CMakeFiles/cote_optimizer.dir/plan_generator.cc.o.d"
+  "CMakeFiles/cote_optimizer.dir/properties/interesting_orders.cc.o"
+  "CMakeFiles/cote_optimizer.dir/properties/interesting_orders.cc.o.d"
+  "CMakeFiles/cote_optimizer.dir/properties/order_property.cc.o"
+  "CMakeFiles/cote_optimizer.dir/properties/order_property.cc.o.d"
+  "CMakeFiles/cote_optimizer.dir/properties/partition_property.cc.o"
+  "CMakeFiles/cote_optimizer.dir/properties/partition_property.cc.o.d"
+  "CMakeFiles/cote_optimizer.dir/topdown_enumerator.cc.o"
+  "CMakeFiles/cote_optimizer.dir/topdown_enumerator.cc.o.d"
+  "libcote_optimizer.a"
+  "libcote_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cote_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

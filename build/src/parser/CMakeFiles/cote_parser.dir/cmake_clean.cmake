@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cote_parser.dir/binder.cc.o"
+  "CMakeFiles/cote_parser.dir/binder.cc.o.d"
+  "CMakeFiles/cote_parser.dir/lexer.cc.o"
+  "CMakeFiles/cote_parser.dir/lexer.cc.o.d"
+  "CMakeFiles/cote_parser.dir/parser.cc.o"
+  "CMakeFiles/cote_parser.dir/parser.cc.o.d"
+  "libcote_parser.a"
+  "libcote_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cote_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

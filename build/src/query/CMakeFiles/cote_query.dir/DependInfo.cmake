@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/equivalence.cc" "src/query/CMakeFiles/cote_query.dir/equivalence.cc.o" "gcc" "src/query/CMakeFiles/cote_query.dir/equivalence.cc.o.d"
+  "/root/repo/src/query/query_builder.cc" "src/query/CMakeFiles/cote_query.dir/query_builder.cc.o" "gcc" "src/query/CMakeFiles/cote_query.dir/query_builder.cc.o.d"
+  "/root/repo/src/query/query_graph.cc" "src/query/CMakeFiles/cote_query.dir/query_graph.cc.o" "gcc" "src/query/CMakeFiles/cote_query.dir/query_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/catalog/CMakeFiles/cote_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cote_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

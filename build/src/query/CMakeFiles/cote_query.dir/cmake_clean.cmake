@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cote_query.dir/equivalence.cc.o"
+  "CMakeFiles/cote_query.dir/equivalence.cc.o.d"
+  "CMakeFiles/cote_query.dir/query_builder.cc.o"
+  "CMakeFiles/cote_query.dir/query_builder.cc.o.d"
+  "CMakeFiles/cote_query.dir/query_graph.cc.o"
+  "CMakeFiles/cote_query.dir/query_graph.cc.o.d"
+  "libcote_query.a"
+  "libcote_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cote_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

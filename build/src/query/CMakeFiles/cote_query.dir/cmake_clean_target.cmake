@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcote_query.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/catalogs.cc" "src/workload/CMakeFiles/cote_workload.dir/catalogs.cc.o" "gcc" "src/workload/CMakeFiles/cote_workload.dir/catalogs.cc.o.d"
+  "/root/repo/src/workload/random_gen.cc" "src/workload/CMakeFiles/cote_workload.dir/random_gen.cc.o" "gcc" "src/workload/CMakeFiles/cote_workload.dir/random_gen.cc.o.d"
+  "/root/repo/src/workload/sql_workloads.cc" "src/workload/CMakeFiles/cote_workload.dir/sql_workloads.cc.o" "gcc" "src/workload/CMakeFiles/cote_workload.dir/sql_workloads.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/workload/CMakeFiles/cote_workload.dir/synthetic.cc.o" "gcc" "src/workload/CMakeFiles/cote_workload.dir/synthetic.cc.o.d"
+  "/root/repo/src/workload/tpch_full.cc" "src/workload/CMakeFiles/cote_workload.dir/tpch_full.cc.o" "gcc" "src/workload/CMakeFiles/cote_workload.dir/tpch_full.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parser/CMakeFiles/cote_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/cote_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/cote_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cote_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

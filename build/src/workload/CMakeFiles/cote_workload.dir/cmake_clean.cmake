@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cote_workload.dir/catalogs.cc.o"
+  "CMakeFiles/cote_workload.dir/catalogs.cc.o.d"
+  "CMakeFiles/cote_workload.dir/random_gen.cc.o"
+  "CMakeFiles/cote_workload.dir/random_gen.cc.o.d"
+  "CMakeFiles/cote_workload.dir/sql_workloads.cc.o"
+  "CMakeFiles/cote_workload.dir/sql_workloads.cc.o.d"
+  "CMakeFiles/cote_workload.dir/synthetic.cc.o"
+  "CMakeFiles/cote_workload.dir/synthetic.cc.o.d"
+  "CMakeFiles/cote_workload.dir/tpch_full.cc.o"
+  "CMakeFiles/cote_workload.dir/tpch_full.cc.o.d"
+  "libcote_workload.a"
+  "libcote_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cote_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/baseline_test.cc" "tests/CMakeFiles/core_test.dir/core/baseline_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/baseline_test.cc.o.d"
+  "/root/repo/tests/core/estimator_properties_test.cc" "tests/CMakeFiles/core_test.dir/core/estimator_properties_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/estimator_properties_test.cc.o.d"
+  "/root/repo/tests/core/estimator_test.cc" "tests/CMakeFiles/core_test.dir/core/estimator_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/estimator_test.cc.o.d"
+  "/root/repo/tests/core/fig3_example_test.cc" "tests/CMakeFiles/core_test.dir/core/fig3_example_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/fig3_example_test.cc.o.d"
+  "/root/repo/tests/core/hybrid_estimator_test.cc" "tests/CMakeFiles/core_test.dir/core/hybrid_estimator_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/hybrid_estimator_test.cc.o.d"
+  "/root/repo/tests/core/meta_optimizer_test.cc" "tests/CMakeFiles/core_test.dir/core/meta_optimizer_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/meta_optimizer_test.cc.o.d"
+  "/root/repo/tests/core/model_io_test.cc" "tests/CMakeFiles/core_test.dir/core/model_io_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/model_io_test.cc.o.d"
+  "/root/repo/tests/core/multilevel_test.cc" "tests/CMakeFiles/core_test.dir/core/multilevel_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/multilevel_test.cc.o.d"
+  "/root/repo/tests/core/plan_counter_test.cc" "tests/CMakeFiles/core_test.dir/core/plan_counter_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/plan_counter_test.cc.o.d"
+  "/root/repo/tests/core/policy_test.cc" "tests/CMakeFiles/core_test.dir/core/policy_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/policy_test.cc.o.d"
+  "/root/repo/tests/core/regression_test.cc" "tests/CMakeFiles/core_test.dir/core/regression_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/regression_test.cc.o.d"
+  "/root/repo/tests/core/statement_cache_test.cc" "tests/CMakeFiles/core_test.dir/core/statement_cache_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/statement_cache_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cote_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cote_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/cote_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/cote_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/cote_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/cote_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cote_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

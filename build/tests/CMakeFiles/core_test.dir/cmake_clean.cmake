@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/baseline_test.cc.o"
+  "CMakeFiles/core_test.dir/core/baseline_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/estimator_properties_test.cc.o"
+  "CMakeFiles/core_test.dir/core/estimator_properties_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/estimator_test.cc.o"
+  "CMakeFiles/core_test.dir/core/estimator_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/fig3_example_test.cc.o"
+  "CMakeFiles/core_test.dir/core/fig3_example_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/hybrid_estimator_test.cc.o"
+  "CMakeFiles/core_test.dir/core/hybrid_estimator_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/meta_optimizer_test.cc.o"
+  "CMakeFiles/core_test.dir/core/meta_optimizer_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/model_io_test.cc.o"
+  "CMakeFiles/core_test.dir/core/model_io_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/multilevel_test.cc.o"
+  "CMakeFiles/core_test.dir/core/multilevel_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/plan_counter_test.cc.o"
+  "CMakeFiles/core_test.dir/core/plan_counter_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/policy_test.cc.o"
+  "CMakeFiles/core_test.dir/core/policy_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/regression_test.cc.o"
+  "CMakeFiles/core_test.dir/core/regression_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/statement_cache_test.cc.o"
+  "CMakeFiles/core_test.dir/core/statement_cache_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/optimizer/cardinality_test.cc" "tests/CMakeFiles/optimizer_test.dir/optimizer/cardinality_test.cc.o" "gcc" "tests/CMakeFiles/optimizer_test.dir/optimizer/cardinality_test.cc.o.d"
+  "/root/repo/tests/optimizer/cost_model_test.cc" "tests/CMakeFiles/optimizer_test.dir/optimizer/cost_model_test.cc.o" "gcc" "tests/CMakeFiles/optimizer_test.dir/optimizer/cost_model_test.cc.o.d"
+  "/root/repo/tests/optimizer/dot_export_test.cc" "tests/CMakeFiles/optimizer_test.dir/optimizer/dot_export_test.cc.o" "gcc" "tests/CMakeFiles/optimizer_test.dir/optimizer/dot_export_test.cc.o.d"
+  "/root/repo/tests/optimizer/enumerator_test.cc" "tests/CMakeFiles/optimizer_test.dir/optimizer/enumerator_test.cc.o" "gcc" "tests/CMakeFiles/optimizer_test.dir/optimizer/enumerator_test.cc.o.d"
+  "/root/repo/tests/optimizer/interesting_orders_test.cc" "tests/CMakeFiles/optimizer_test.dir/optimizer/interesting_orders_test.cc.o" "gcc" "tests/CMakeFiles/optimizer_test.dir/optimizer/interesting_orders_test.cc.o.d"
+  "/root/repo/tests/optimizer/memo_test.cc" "tests/CMakeFiles/optimizer_test.dir/optimizer/memo_test.cc.o" "gcc" "tests/CMakeFiles/optimizer_test.dir/optimizer/memo_test.cc.o.d"
+  "/root/repo/tests/optimizer/optimizer_test.cc" "tests/CMakeFiles/optimizer_test.dir/optimizer/optimizer_test.cc.o" "gcc" "tests/CMakeFiles/optimizer_test.dir/optimizer/optimizer_test.cc.o.d"
+  "/root/repo/tests/optimizer/order_property_test.cc" "tests/CMakeFiles/optimizer_test.dir/optimizer/order_property_test.cc.o" "gcc" "tests/CMakeFiles/optimizer_test.dir/optimizer/order_property_test.cc.o.d"
+  "/root/repo/tests/optimizer/partition_property_test.cc" "tests/CMakeFiles/optimizer_test.dir/optimizer/partition_property_test.cc.o" "gcc" "tests/CMakeFiles/optimizer_test.dir/optimizer/partition_property_test.cc.o.d"
+  "/root/repo/tests/optimizer/pipeline_test.cc" "tests/CMakeFiles/optimizer_test.dir/optimizer/pipeline_test.cc.o" "gcc" "tests/CMakeFiles/optimizer_test.dir/optimizer/pipeline_test.cc.o.d"
+  "/root/repo/tests/optimizer/plan_generator_test.cc" "tests/CMakeFiles/optimizer_test.dir/optimizer/plan_generator_test.cc.o" "gcc" "tests/CMakeFiles/optimizer_test.dir/optimizer/plan_generator_test.cc.o.d"
+  "/root/repo/tests/optimizer/plan_print_test.cc" "tests/CMakeFiles/optimizer_test.dir/optimizer/plan_print_test.cc.o" "gcc" "tests/CMakeFiles/optimizer_test.dir/optimizer/plan_print_test.cc.o.d"
+  "/root/repo/tests/optimizer/propagation_test.cc" "tests/CMakeFiles/optimizer_test.dir/optimizer/propagation_test.cc.o" "gcc" "tests/CMakeFiles/optimizer_test.dir/optimizer/propagation_test.cc.o.d"
+  "/root/repo/tests/optimizer/topdown_enumerator_test.cc" "tests/CMakeFiles/optimizer_test.dir/optimizer/topdown_enumerator_test.cc.o" "gcc" "tests/CMakeFiles/optimizer_test.dir/optimizer/topdown_enumerator_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cote_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cote_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/cote_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/cote_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/cote_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/cote_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cote_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

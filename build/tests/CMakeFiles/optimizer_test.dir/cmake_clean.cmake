@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_test.dir/optimizer/cardinality_test.cc.o"
+  "CMakeFiles/optimizer_test.dir/optimizer/cardinality_test.cc.o.d"
+  "CMakeFiles/optimizer_test.dir/optimizer/cost_model_test.cc.o"
+  "CMakeFiles/optimizer_test.dir/optimizer/cost_model_test.cc.o.d"
+  "CMakeFiles/optimizer_test.dir/optimizer/dot_export_test.cc.o"
+  "CMakeFiles/optimizer_test.dir/optimizer/dot_export_test.cc.o.d"
+  "CMakeFiles/optimizer_test.dir/optimizer/enumerator_test.cc.o"
+  "CMakeFiles/optimizer_test.dir/optimizer/enumerator_test.cc.o.d"
+  "CMakeFiles/optimizer_test.dir/optimizer/interesting_orders_test.cc.o"
+  "CMakeFiles/optimizer_test.dir/optimizer/interesting_orders_test.cc.o.d"
+  "CMakeFiles/optimizer_test.dir/optimizer/memo_test.cc.o"
+  "CMakeFiles/optimizer_test.dir/optimizer/memo_test.cc.o.d"
+  "CMakeFiles/optimizer_test.dir/optimizer/optimizer_test.cc.o"
+  "CMakeFiles/optimizer_test.dir/optimizer/optimizer_test.cc.o.d"
+  "CMakeFiles/optimizer_test.dir/optimizer/order_property_test.cc.o"
+  "CMakeFiles/optimizer_test.dir/optimizer/order_property_test.cc.o.d"
+  "CMakeFiles/optimizer_test.dir/optimizer/partition_property_test.cc.o"
+  "CMakeFiles/optimizer_test.dir/optimizer/partition_property_test.cc.o.d"
+  "CMakeFiles/optimizer_test.dir/optimizer/pipeline_test.cc.o"
+  "CMakeFiles/optimizer_test.dir/optimizer/pipeline_test.cc.o.d"
+  "CMakeFiles/optimizer_test.dir/optimizer/plan_generator_test.cc.o"
+  "CMakeFiles/optimizer_test.dir/optimizer/plan_generator_test.cc.o.d"
+  "CMakeFiles/optimizer_test.dir/optimizer/plan_print_test.cc.o"
+  "CMakeFiles/optimizer_test.dir/optimizer/plan_print_test.cc.o.d"
+  "CMakeFiles/optimizer_test.dir/optimizer/propagation_test.cc.o"
+  "CMakeFiles/optimizer_test.dir/optimizer/propagation_test.cc.o.d"
+  "CMakeFiles/optimizer_test.dir/optimizer/topdown_enumerator_test.cc.o"
+  "CMakeFiles/optimizer_test.dir/optimizer/topdown_enumerator_test.cc.o.d"
+  "optimizer_test"
+  "optimizer_test.pdb"
+  "optimizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
