@@ -1,0 +1,254 @@
+// Enumeration-core throughput bench (BENCH_enum.json).
+//
+// Measures throughput of the enumeration core in isolation (a null
+// visitor) and of its two real consumers — plan-estimate mode (COTE's
+// plan counter) and normal-mode optimization — on linear / star / random
+// join graphs at n = 8..18 tables. Emits machine-readable JSON so runs
+// before/after an optimizer change can be compared (see EXPERIMENTS.md,
+// "Enumeration throughput").
+//
+// Usage:
+//   enum_throughput [--label NAME] [--out FILE] [--max-n N]
+//
+// The label names the run inside the JSON (e.g. "baseline" for a
+// pre-change build, "current" afterwards); BENCH_enum.json in the repo
+// root keeps one run per label under "runs".
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "common/timer.h"
+#include "core/estimator.h"
+#include "optimizer/enumerator.h"
+#include "query/query_builder.h"
+
+namespace cote {
+namespace {
+
+// A single run never repeats a config longer than this; a config whose
+// single-shot latency exceeds kSkipSeconds stops the n-sweep for its
+// (workload, mode) pair — the skip is reported, not silent.
+constexpr double kTargetSeconds = 0.25;
+constexpr double kSkipSeconds = 5.0;
+constexpr int kMaxReps = 40;
+
+const char* kJoinCols[] = {"c0", "c1", "c2", "c3", "c4"};
+
+// Pure-enumeration visitor: no plan or counting work, and a constant
+// cardinality large enough that the cartesian-when-card-one heuristic
+// never fires. "enumerate" mode drives this to isolate the enumeration
+// core (existence checks, split iteration, predicate lookup) from the
+// per-join visitor cost the other two modes include.
+class NullVisitor : public JoinVisitor {
+ public:
+  void InitializeEntry(TableSet) override {}
+  double EntryCardinality(TableSet) override { return 1e18; }
+  void OnJoin(TableSet, TableSet, const std::vector<int>&, bool) override {}
+};
+
+QueryGraph MakeQuery(const Catalog& catalog, const std::string& shape,
+                     int n) {
+  QueryBuilder qb(catalog);
+  for (int t = 0; t < n; ++t) {
+    qb.AddTable(StrFormat("T%d", t), StrFormat("t%d", t));
+  }
+  auto edge = [&](int a, int b, int e) {
+    qb.Join(StrFormat("t%d", a), kJoinCols[e % 5], StrFormat("t%d", b),
+            kJoinCols[e % 5]);
+  };
+  if (shape == "linear") {
+    for (int t = 0; t + 1 < n; ++t) edge(t, t + 1, t);
+  } else if (shape == "star") {
+    for (int t = 1; t < n; ++t) edge(0, t, t - 1);
+  } else {  // random: spanning tree + n/3 extra chords, seeded per n
+    Rng rng(0x5eedULL + static_cast<uint64_t>(n));
+    std::vector<std::pair<int, int>> edges;
+    for (int t = 1; t < n; ++t) {
+      edges.emplace_back(
+          static_cast<int>(rng.Uniform(static_cast<uint64_t>(t))), t);
+    }
+    for (int extra = 0; extra < n / 3; ++extra) {
+      int a = static_cast<int>(rng.Uniform(static_cast<uint64_t>(n)));
+      int b = static_cast<int>(rng.Uniform(static_cast<uint64_t>(n)));
+      if (a == b) continue;
+      auto e = std::minmax(a, b);
+      if (std::find(edges.begin(), edges.end(),
+                    std::make_pair(e.first, e.second)) != edges.end()) {
+        continue;
+      }
+      edges.emplace_back(e.first, e.second);
+    }
+    for (size_t i = 0; i < edges.size(); ++i) {
+      edge(edges[i].first, edges[i].second, static_cast<int>(i));
+    }
+  }
+  // A little property pressure so plan counting / generation is realistic.
+  qb.OrderBy({{"t0", "c5"}});
+  qb.GroupBy({{"t1", "c6"}});
+  auto g = qb.Build();
+  if (!g.ok()) {
+    std::fprintf(stderr, "query build failed (%s, n=%d): %s\n",
+                 shape.c_str(), n, g.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(g).value();
+}
+
+struct Sample {
+  std::string workload;
+  std::string mode;  // "enumerate" | "estimate" | "optimize"
+  int n = 0;
+  int reps = 0;
+  double queries_per_sec = 0;
+  double joins_per_sec = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  int64_t joins_ordered = 0;
+  int64_t entries = 0;
+};
+
+double Percentile(std::vector<double> v, double q) {
+  std::sort(v.begin(), v.end());
+  size_t idx = static_cast<size_t>(q * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+/// Times `body` (which returns the joins_ordered/entries of one run)
+/// adaptively: one probe run sizes the repeat count toward kTargetSeconds.
+template <typename Body>
+Sample Measure(const std::string& workload, const std::string& mode, int n,
+               Body&& body) {
+  Sample s;
+  s.workload = workload;
+  s.mode = mode;
+  s.n = n;
+
+  StopWatch probe;
+  EnumerationStats stats = body();
+  double first = probe.ElapsedSeconds();
+  s.joins_ordered = stats.joins_ordered;
+  s.entries = stats.entries_created;
+
+  int reps = 1;
+  if (first < kTargetSeconds) {
+    reps = std::min(kMaxReps,
+                    1 + static_cast<int>(kTargetSeconds / std::max(first, 1e-7)));
+  }
+  std::vector<double> lat;
+  lat.push_back(first);
+  double total = first;
+  for (int i = 1; i < reps; ++i) {
+    StopWatch t;
+    body();
+    double sec = t.ElapsedSeconds();
+    lat.push_back(sec);
+    total += sec;
+  }
+  s.reps = reps;
+  s.queries_per_sec = static_cast<double>(reps) / total;
+  s.joins_per_sec =
+      static_cast<double>(stats.joins_ordered) * static_cast<double>(reps) /
+      total;
+  s.p50_ms = Percentile(lat, 0.5) * 1e3;
+  s.p95_ms = Percentile(lat, 0.95) * 1e3;
+  return s;
+}
+
+void WriteJson(const std::string& path, const std::string& label,
+               const std::vector<Sample>& samples) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::abort();
+  }
+  std::fprintf(f, "{\n  \"label\": \"%s\",\n  \"results\": [\n",
+               label.c_str());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    std::fprintf(
+        f,
+        "    {\"workload\": \"%s\", \"mode\": \"%s\", \"n\": %d, "
+        "\"reps\": %d, \"queries_per_sec\": %.3f, \"joins_per_sec\": %.1f, "
+        "\"p50_ms\": %.4f, \"p95_ms\": %.4f, \"joins_ordered\": %lld, "
+        "\"entries\": %lld}%s\n",
+        s.workload.c_str(), s.mode.c_str(), s.n, s.reps, s.queries_per_sec,
+        s.joins_per_sec, s.p50_ms, s.p95_ms,
+        static_cast<long long>(s.joins_ordered),
+        static_cast<long long>(s.entries), i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+}  // namespace cote
+
+int main(int argc, char** argv) {
+  using namespace cote;
+  std::string label = "current";
+  std::string out = "BENCH_enum.json";
+  int max_n = 18;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--label") == 0 && i + 1 < argc) {
+      label = argv[++i];
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else if (std::strcmp(argv[i], "--max-n") == 0 && i + 1 < argc) {
+      max_n = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--label NAME] [--out FILE] [--max-n N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  bench::Section("Enumeration-core throughput (label: " + label + ")");
+  OptimizerOptions options = bench::SerialOptions();
+  TimeModel zero_model;  // throughput only; no time conversion needed
+  CompileTimeEstimator estimator(zero_model, options);
+  Optimizer optimizer(options);
+
+  std::vector<Sample> samples;
+  for (const std::string workload : {"linear", "star", "random"}) {
+    for (const std::string mode : {"enumerate", "estimate", "optimize"}) {
+      bool skipped = false;
+      for (int n = 8; n <= max_n; ++n) {
+        if (skipped) break;
+        auto catalog = MakeSyntheticCatalog(n);
+        QueryGraph q = MakeQuery(*catalog, workload, n);
+        Sample s = Measure(workload, mode, n, [&]() {
+          if (mode == "enumerate") {
+            NullVisitor null_visitor;
+            return RunEnumeration(q, options.enumeration, &null_visitor);
+          }
+          if (mode == "estimate") {
+            return estimator.Estimate(q).enumeration;
+          }
+          return bench::MustOptimize(optimizer, q, workload).stats.enumeration;
+        });
+        samples.push_back(s);
+        std::printf(
+            "%-7s %-9s n=%-3d reps=%-3d %10.2f q/s %14.0f joins/s "
+            "p50=%9.3fms p95=%9.3fms\n",
+            workload.c_str(), mode.c_str(), n, s.reps, s.queries_per_sec,
+            s.joins_per_sec, s.p50_ms, s.p95_ms);
+        if (s.p50_ms / 1e3 > kSkipSeconds) {
+          std::printf("%-7s %-9s n>%-3d skipped (single run > %.0fs)\n",
+                      workload.c_str(), mode.c_str(), n, kSkipSeconds);
+          skipped = true;
+        }
+      }
+    }
+  }
+  WriteJson(out, label, samples);
+  std::printf("\nwrote %s (%zu samples)\n", out.c_str(), samples.size());
+  return 0;
+}

@@ -13,20 +13,26 @@ PlanCounter::PlanCounter(const QueryGraph& graph,
       card_(cardinality),
       options_(options) {}
 
+FlatSetIndex& PlanCounter::EntryIndex() const {
+  if (!index_.has_value()) index_.emplace(graph_.num_tables());
+  return *index_;
+}
+
 PlanCounter::EntryState& PlanCounter::State(TableSet s) {
-  return states_[s.bits()];
+  bool created = false;
+  const int32_t idx = EntryIndex().FindOrInsert(s.bits(), &created);
+  if (created) states_.emplace_back();
+  return states_[idx];
 }
 
 const PlanCounter::EntryState* PlanCounter::FindState(TableSet s) const {
-  auto it = states_.find(s.bits());
-  return it == states_.end() ? nullptr : &it->second;
+  const int32_t idx = EntryIndex().Find(s.bits());
+  return idx < 0 ? nullptr : &states_[idx];
 }
 
 double PlanCounter::EntryCardinality(TableSet s) {
-  auto it = states_.find(s.bits());
-  if (it != states_.end() && it->second.cardinality >= 0) {
-    return it->second.cardinality;
-  }
+  const int32_t idx = EntryIndex().Find(s.bits());
+  if (idx >= 0) return MemoizedJoinRows(card_, s, &states_[idx].cardinality);
   return card_.JoinRows(s);
 }
 
@@ -34,12 +40,14 @@ void PlanCounter::InitializeEntry(TableSet s) {
   EntryState& state = State(s);
   // Logical properties, computed once per entry (equivalence is needed to
   // canonicalize and dedupe property values — §3.3: "equivalence needs to
-  // be checked for each enumerated join").
-  for (const JoinPredicate& p : graph_.join_predicates()) {
+  // be checked for each enumerated join"). The internal-predicate gather
+  // walks only the set's own edges, in the ascending index order the old
+  // full-list scan produced.
+  graph_.InternalPredicates(s, &pred_scratch_);
+  for (int pi : pred_scratch_) {
+    const JoinPredicate& p = graph_.join_predicates()[pi];
     if (p.kind != JoinKind::kInner) continue;
-    if (s.Contains(p.left.table) && s.Contains(p.right.table)) {
-      state.equiv.AddEquivalence(p.left, p.right);
-    }
+    state.equiv.AddEquivalence(p.left, p.right);
   }
   state.cardinality = card_.JoinRows(s);
   if (s.size() > 1) return;
@@ -148,11 +156,16 @@ void PlanCounter::PropagatePartitions(const EntryState& from, TableSet j,
   }
 }
 
-std::vector<PartitionProperty> PlanCounter::JoinPartitions(
-    const EntryState& s, const EntryState& l,
-    const std::vector<ColumnRef>& jcols, const EntryState& j) const {
-  if (!options_.parallel) return {PartitionProperty::Serial()};
-  std::vector<PartitionProperty> out;
+void PlanCounter::JoinPartitions(const EntryState& s, const EntryState& l,
+                                 const std::vector<ColumnRef>& jcols,
+                                 const EntryState& j,
+                                 std::vector<PartitionProperty>* out_vec) const {
+  std::vector<PartitionProperty>& out = *out_vec;
+  out.clear();
+  if (!options_.parallel) {
+    out.push_back(PartitionProperty::Serial());
+    return;
+  }
   auto add = [&out](const PartitionProperty& p) {
     if (std::find(out.begin(), out.end(), p) == out.end()) out.push_back(p);
   };
@@ -176,7 +189,6 @@ std::vector<PartitionProperty> PlanCounter::JoinPartitions(
   // both sides are repartitioned, creating a new partition value (§4).
   if (out.empty() && !jcols.empty()) add(PartitionProperty::Hash(jcols));
   if (out.empty()) add(PartitionProperty::SingleNode());
-  return out;
 }
 
 void PlanCounter::OnJoin(TableSet outer, TableSet inner,
@@ -238,30 +250,30 @@ void PlanCounter::OnJoin(TableSet outer, TableSet inner,
   // ---- accumulate_plans(): per-join-method plan counting (Table 3).
 
   // J-canonical join column representatives.
-  std::vector<ColumnRef> jcols;
+  jcols_.clear();
   for (int pi : pred_indices) {
     ColumnRef rep = j.equiv.Find(graph_.join_predicates()[pi].left);
-    if (std::find(jcols.begin(), jcols.end(), rep) == jcols.end()) {
-      jcols.push_back(rep);
+    if (std::find(jcols_.begin(), jcols_.end(), rep) == jcols_.end()) {
+      jcols_.push_back(rep);
     }
   }
-  std::vector<PartitionProperty> jparts = JoinPartitions(s, l, jcols, j);
+  JoinPartitions(s, l, jcols_, j, &jparts_);
   bool fresh_target =
-      options_.parallel && jparts.size() == 1 && !jcols.empty() &&
-      jparts[0] == PartitionProperty::Hash(jcols) &&
+      options_.parallel && jparts_.size() == 1 && !jcols_.empty() &&
+      jparts_[0] == PartitionProperty::Hash(jcols_) &&
       [&] {
         for (const EntryState* e : {&s, &l}) {
           for (const PartitionProperty& p : e->partitions) {
-            if (p.Canonicalize(j.equiv) == jparts[0]) return false;
+            if (p.Canonicalize(j.equiv) == jparts_[0]) return false;
           }
         }
         return true;
       }();
   if (fresh_target) {
     // The new partition value becomes interesting for the joined entry.
-    if (std::find(j.partitions.begin(), j.partitions.end(), jparts[0]) ==
+    if (std::find(j.partitions.begin(), j.partitions.end(), jparts_[0]) ==
         j.partitions.end()) {
-      j.partitions.push_back(jparts[0]);
+      j.partitions.push_back(jparts_[0]);
     }
   }
 
@@ -313,7 +325,7 @@ void PlanCounter::OnJoin(TableSet outer, TableSet inner,
           colocated |=
               canon.kind() == PartitionProperty::Kind::kReplicated ||
               (canon.kind() == PartitionProperty::Kind::kHash &&
-               canon.KeysSubsetOf(jcols));
+               canon.KeysSubsetOf(jcols_));
         }
         if (!colocated) continue;
       }
@@ -323,7 +335,7 @@ void PlanCounter::OnJoin(TableSet outer, TableSet inner,
   }
 
   const int64_t colocation_alternatives =
-      options_.parallel ? static_cast<int64_t>(jparts.size()) + 1 : 1;
+      options_.parallel ? static_cast<int64_t>(jparts_.size()) + 1 : 1;
   estimated_[JoinMethod::kNljn] +=
       (outer_orders + 1) * (colocation_alternatives + inl_variant);
 
@@ -332,51 +344,55 @@ void PlanCounter::OnJoin(TableSet outer, TableSet inner,
   // MGJN: partial propagation — listp = interesting orders from the inputs
   // matching the join columns; listc = coverage (orders subsuming a listp
   // member, §3.3/§4 item 2).
-  auto add_order = [](std::vector<OrderProperty>* v, const OrderProperty& o) {
-    if (std::find(v->begin(), v->end(), o) == v->end()) v->push_back(o);
-  };
-  // Canonicalize each input order once; classify into listp afterwards.
-  std::vector<OrderProperty> canon_inputs;
-  canon_inputs.reserve(s.orders.size() + l.orders.size());
+  //
+  // Canonicalize each input order once (deduped); listp_/listc_ hold
+  // indices into canon_inputs_, so dedupe is index identity and the
+  // OrderProperty values are never copied again.
+  canon_inputs_.clear();
   for (const EntryState* e : {&s, &l}) {
     for (const OrderProperty& o : e->orders) {
-      add_order(&canon_inputs, o.Canonicalize(j.equiv));
+      OrderProperty canon = o.Canonicalize(j.equiv);
+      if (std::find(canon_inputs_.begin(), canon_inputs_.end(), canon) ==
+          canon_inputs_.end()) {
+        canon_inputs_.push_back(std::move(canon));
+      }
     }
   }
-  std::vector<OrderProperty> listp;
-  for (const OrderProperty& canon : canon_inputs) {
+  listp_.clear();
+  for (int i = 0; i < static_cast<int>(canon_inputs_.size()); ++i) {
+    const OrderProperty& canon = canon_inputs_[i];
     // Propagatable by MGJN: every column of the order is a join column.
     bool all_join_cols = !canon.IsNone();
     for (const ColumnRef& c : canon.columns()) {
-      if (std::find(jcols.begin(), jcols.end(), c) == jcols.end()) {
+      if (std::find(jcols_.begin(), jcols_.end(), c) == jcols_.end()) {
         all_join_cols = false;
         break;
       }
     }
-    if (all_join_cols) add_order(&listp, canon);
+    if (all_join_cols) listp_.push_back(i);
   }
-  std::vector<OrderProperty> listc;
-  for (const OrderProperty& canon : canon_inputs) {
-    for (const OrderProperty& p : listp) {
-      if (p.StrictlySubsumedBy(canon)) {
-        add_order(&listc, canon);
+  listc_.clear();
+  for (int i = 0; i < static_cast<int>(canon_inputs_.size()); ++i) {
+    for (int p : listp_) {
+      if (canon_inputs_[p].StrictlySubsumedBy(canon_inputs_[i])) {
+        listc_.push_back(i);
         break;
       }
     }
   }
-  // |listp ∪ listc| — listc was deduped against itself; exclude overlaps.
-  int64_t merge_variants = static_cast<int64_t>(listp.size());
-  for (const OrderProperty& o : listc) {
-    if (std::find(listp.begin(), listp.end(), o) == listp.end()) {
+  // |listp ∪ listc| — both are index sets into the deduped inputs.
+  int64_t merge_variants = static_cast<int64_t>(listp_.size());
+  for (int i : listc_) {
+    if (std::find(listp_.begin(), listp_.end(), i) == listp_.end()) {
       ++merge_variants;
     }
   }
   estimated_[JoinMethod::kMgjn] +=
-      merge_variants * static_cast<int64_t>(jparts.size());
+      merge_variants * static_cast<int64_t>(jparts_.size());
 
   // HSJN: no order propagation — one plan per co-location alternative,
   // plus the broadcast-inner variant in parallel mode.
-  estimated_[JoinMethod::kHsjn] += static_cast<int64_t>(jparts.size());
+  estimated_[JoinMethod::kHsjn] += static_cast<int64_t>(jparts_.size());
   if (options_.parallel) {
     bool outer_all_replicated = true;
     for (const PartitionProperty& p : s.partitions) {
@@ -393,8 +409,7 @@ void PlanCounter::OnJoin(TableSet outer, TableSet inner,
 
 int64_t PlanCounter::TotalPlanSlots() const {
   int64_t total = 0;
-  for (const auto& [bits, state] : states_) {
-    (void)bits;
+  for (const EntryState& state : states_) {
     int64_t orders = static_cast<int64_t>(state.orders.size()) + 1;
     int64_t parts =
         options_.parallel

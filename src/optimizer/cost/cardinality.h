@@ -44,6 +44,16 @@ class CardinalityModel {
   mutable std::unordered_map<uint64_t, double> cache_;
 };
 
+/// Memoize-on-entry helper shared by normal mode and estimate mode (§4
+/// item 5): both visitors cache JoinRows(s) in their per-entry state the
+/// first time the entry's cardinality is consulted. `*slot` is the
+/// caller's per-entry cache field; negative means "not yet computed".
+inline double MemoizedJoinRows(const CardinalityModel& model, TableSet s,
+                               double* slot) {
+  if (*slot < 0) *slot = model.JoinRows(s);
+  return *slot;
+}
+
 }  // namespace cote
 
 #endif  // COTE_OPTIMIZER_COST_CARDINALITY_H_

@@ -6,79 +6,132 @@
 namespace cote {
 
 namespace {
-constexpr double kCardOneEpsilon = 1e-9;
-}  // namespace
 
-EnumerationStats JoinEnumerator::Run(JoinVisitor* visitor) {
+constexpr double kCardOneEpsilon = 1e-9;
+
+/// Above this table count the existence bitmap (2^n bytes) stops being
+/// cheap; fall back to hashing. Enumeration itself is O(3^n), so queries
+/// past this point are outside DP range anyway.
+constexpr int kFlatExistsMaxTables = 20;
+
+/// The enumeration loop, parameterized over the subset-existence set so
+/// the n <= kFlatExistsMaxTables case runs on a flat bitmap (a lookup is
+/// one byte load) without a branch in the inner loop.
+///
+/// Behavioral invariants versus the original skip-scan implementation
+/// (guarded by the golden-equivalence tests):
+///  * masks of each size are visited in ascending numeric order — Gosper's
+///    hack produces exactly that sequence, touching C(n,k) masks instead
+///    of filtering all 2^n by popcount;
+///  * splits of a mask are visited with the set's lowest table forced into
+///    `sub`, in descending numeric order of `sub` — iterating sub' over
+///    the submasks of mask^low and OR-ing the low bit back enumerates the
+///    same sequence with half the iterations;
+///  * predicate indices are delivered in ascending order (the
+///    QueryGraph fast path sorts its per-pair gather), into one scratch
+///    vector reused across all splits.
+template <typename ExistsFn, typename InsertFn>
+EnumerationStats RunBottomUp(const QueryGraph& graph,
+                             const EnumeratorOptions& options,
+                             JoinVisitor* visitor, ExistsFn exists,
+                             InsertFn insert) {
   EnumerationStats stats;
-  const int n = graph_.num_tables();
-  std::unordered_set<uint64_t> exists;
+  const int n = graph.num_tables();
 
   // Base-table entries always exist.
   for (int t = 0; t < n; ++t) {
     TableSet s = TableSet::Single(t);
-    exists.insert(s.bits());
+    insert(s.bits());
     visitor->InitializeEntry(s);
     ++stats.entries_created;
   }
   if (n == 1) return stats;
 
   const uint64_t all = TableSet::FirstN(n).bits();
+  std::vector<int> preds;  // scratch, reused for every split
 
-  // Bottom-up over set sizes. For each size, scan all masks of that size;
-  // for each, scan its submask splits. Total work is O(3^n) mask pairs,
-  // fine for the table counts DP enumeration can handle at all.
+  // Bottom-up over set sizes; per size, per mask, over its submask splits.
+  // Total work stays O(3^n) split pairs — the fast path removes the
+  // per-pair constant (hash probes, allocation, predicate-list scans).
   for (int size = 2; size <= n; ++size) {
-    for (uint64_t mask = 1; mask <= all; ++mask) {
-      if (std::popcount(mask) != size) continue;
+    uint64_t mask = size == 64 ? ~uint64_t{0} : (uint64_t{1} << size) - 1;
+    while (true) {
       TableSet ts(mask);
       const uint64_t low = mask & (~mask + 1);  // lowest set bit
+      const uint64_t rest_bits = mask ^ low;
       bool entry_exists = false;
 
-      for (uint64_t sub = (mask - 1) & mask; sub != 0;
-           sub = (sub - 1) & mask) {
-        // Visit each unordered split once: keep the side holding the
-        // lowest table of the set.
-        if ((sub & low) == 0) continue;
-        uint64_t rest = mask & ~sub;
-        if (exists.count(sub) == 0 || exists.count(rest) == 0) continue;
-
-        TableSet s(sub), l(rest);
-        std::vector<int> preds = graph_.ConnectingPredicates(s, l);
-        bool cartesian = preds.empty();
-        if (cartesian) {
-          bool allowed =
-              options_.allow_all_cartesian ||
-              (options_.cartesian_when_card_one &&
-               (visitor->EntryCardinality(s) <= 1.0 + kCardOneEpsilon ||
-                visitor->EntryCardinality(l) <= 1.0 + kCardOneEpsilon));
-          if (!allowed) continue;
-        }
-
-        // Ordered emissions (outer, inner).
-        bool emitted = false;
-        auto try_emit = [&](TableSet outer, TableSet inner) {
-          if (inner.size() > options_.max_composite_inner) return;
-          if (!graph_.OuterEnabled(outer)) return;
-          if (!graph_.OuterJoinOrientationOk(outer, inner)) return;
-          if (!emitted && !entry_exists) {
-            // First join for this entry: create it before reporting.
-            exists.insert(mask);
-            visitor->InitializeEntry(ts);
-            ++stats.entries_created;
-            entry_exists = true;
+      // Visit each unordered split once: `sub` always holds the lowest
+      // table. sub2 runs over the proper submasks of mask^low (descending,
+      // down to and including 0, excluding mask^low itself so `rest` is
+      // never empty).
+      for (uint64_t sub2 = (rest_bits - 1) & rest_bits;;
+           sub2 = (sub2 - 1) & rest_bits) {
+        const uint64_t sub = sub2 | low;
+        const uint64_t rest = rest_bits ^ sub2;
+        if (exists(sub) && exists(rest)) {
+          TableSet s(sub), l(rest);
+          graph.ConnectingPredicates(s, l, &preds);
+          const bool cartesian = preds.empty();
+          bool allowed = true;
+          if (cartesian) {
+            allowed =
+                options.allow_all_cartesian ||
+                (options.cartesian_when_card_one &&
+                 (visitor->EntryCardinality(s) <= 1.0 + kCardOneEpsilon ||
+                  visitor->EntryCardinality(l) <= 1.0 + kCardOneEpsilon));
           }
-          emitted = true;
-          visitor->OnJoin(outer, inner, preds, cartesian);
-          ++stats.joins_ordered;
-        };
-        try_emit(s, l);
-        try_emit(l, s);
-        if (emitted) ++stats.joins_unordered;
+          if (allowed) {
+            // Ordered emissions (outer, inner).
+            bool emitted = false;
+            auto try_emit = [&](TableSet outer, TableSet inner) {
+              if (inner.size() > options.max_composite_inner) return;
+              if (!graph.OuterEnabled(outer)) return;
+              if (!graph.OuterJoinOrientationOk(outer, inner)) return;
+              if (!emitted && !entry_exists) {
+                // First join for this entry: create it before reporting.
+                insert(mask);
+                visitor->InitializeEntry(ts);
+                ++stats.entries_created;
+                entry_exists = true;
+              }
+              emitted = true;
+              visitor->OnJoin(outer, inner, preds, cartesian);
+              ++stats.joins_ordered;
+            };
+            try_emit(s, l);
+            try_emit(l, s);
+            if (emitted) ++stats.joins_unordered;
+          }
+        }
+        if (sub2 == 0) break;
       }
+
+      // Gosper's hack: the next mask with the same popcount.
+      const uint64_t carry = mask + low;
+      if (carry < mask || carry > all) break;  // wrapped or size exhausted
+      mask = carry | (((mask ^ carry) >> 2) / low);
     }
   }
   return stats;
+}
+
+}  // namespace
+
+EnumerationStats JoinEnumerator::Run(JoinVisitor* visitor) {
+  const int n = graph_.num_tables();
+  if (n <= kFlatExistsMaxTables) {
+    std::vector<uint8_t> exists(size_t{1} << n, 0);
+    return RunBottomUp(
+        graph_, options_, visitor,
+        [&exists](uint64_t bits) { return exists[bits] != 0; },
+        [&exists](uint64_t bits) { exists[bits] = 1; });
+  }
+  std::unordered_set<uint64_t> exists;
+  return RunBottomUp(
+      graph_, options_, visitor,
+      [&exists](uint64_t bits) { return exists.count(bits) != 0; },
+      [&exists](uint64_t bits) { exists.insert(bits); });
 }
 
 }  // namespace cote

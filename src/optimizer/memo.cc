@@ -4,14 +4,23 @@
 
 namespace cote {
 
-MemoEntry::MemoEntry(TableSet set, const QueryGraph& graph) : set_(set) {
+MemoEntry::MemoEntry(TableSet set, const QueryGraph& graph)
+    : MemoEntry(set, graph, nullptr) {}
+
+MemoEntry::MemoEntry(TableSet set, const QueryGraph& graph,
+                     std::vector<int>* pred_scratch)
+    : set_(set) {
+  std::vector<int> local;
+  if (pred_scratch == nullptr) pred_scratch = &local;
   // Logical properties computed once per entry: column equivalence from the
-  // inner predicates applied inside the set, and outer-eligibility.
-  for (const JoinPredicate& p : graph.join_predicates()) {
+  // inner predicates applied inside the set, and outer-eligibility. The
+  // internal-predicate gather walks only the set's own edges (ascending
+  // index order, matching the original full-list scan).
+  graph.InternalPredicates(set, pred_scratch);
+  for (int pi : *pred_scratch) {
+    const JoinPredicate& p = graph.join_predicates()[pi];
     if (p.kind != JoinKind::kInner) continue;
-    if (set.Contains(p.left.table) && set.Contains(p.right.table)) {
-      equiv_.AddEquivalence(p.left, p.right);
-    }
+    equiv_.AddEquivalence(p.left, p.right);
   }
   outer_enabled_ = graph.OuterEnabled(set);
 }
@@ -36,28 +45,29 @@ const Plan* MemoEntry::CheapestSatisfying(
   return best;
 }
 
+FlatSetIndex& Memo::Index() const {
+  if (!index_.has_value()) index_.emplace(graph_.num_tables());
+  return *index_;
+}
+
 MemoEntry* Memo::GetOrCreate(TableSet s, bool* created) {
-  auto it = entries_.find(s.bits());
-  if (it != entries_.end()) {
-    if (created != nullptr) *created = false;
-    return it->second.get();
-  }
-  auto entry = std::make_unique<MemoEntry>(s, graph_);
-  MemoEntry* raw = entry.get();
-  entries_.emplace(s.bits(), std::move(entry));
-  creation_order_.push_back(raw);
-  if (created != nullptr) *created = true;
-  return raw;
+  bool fresh = false;
+  const int32_t idx = Index().FindOrInsert(s.bits(), &fresh);
+  if (created != nullptr) *created = fresh;
+  if (!fresh) return creation_order_[idx];
+  entry_arena_.emplace_back(s, graph_, &pred_scratch_);
+  creation_order_.push_back(&entry_arena_.back());
+  return creation_order_[idx];
 }
 
 MemoEntry* Memo::Find(TableSet s) {
-  auto it = entries_.find(s.bits());
-  return it == entries_.end() ? nullptr : it->second.get();
+  const int32_t idx = Index().Find(s.bits());
+  return idx < 0 ? nullptr : creation_order_[idx];
 }
 
 const MemoEntry* Memo::Find(TableSet s) const {
-  auto it = entries_.find(s.bits());
-  return it == entries_.end() ? nullptr : it->second.get();
+  const int32_t idx = Index().Find(s.bits());
+  return idx < 0 ? nullptr : creation_order_[idx];
 }
 
 Plan* Memo::NewPlan() {

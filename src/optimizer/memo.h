@@ -2,10 +2,10 @@
 #define COTE_OPTIMIZER_MEMO_H_
 
 #include <deque>
-#include <memory>
-#include <unordered_map>
+#include <optional>
 #include <vector>
 
+#include "common/flat_set_index.h"
 #include "common/table_set.h"
 #include "common/timer.h"
 #include "optimizer/plan/plan.h"
@@ -23,6 +23,11 @@ namespace cote {
 class MemoEntry {
  public:
   MemoEntry(TableSet set, const QueryGraph& graph);
+  /// Arena-construction path (used by Memo through the deque allocator,
+  /// hence public): `pred_scratch` (may be null) is a reusable buffer for
+  /// the internal-predicate gather.
+  MemoEntry(TableSet set, const QueryGraph& graph,
+            std::vector<int>* pred_scratch);
 
   TableSet set() const { return set_; }
   const ColumnEquivalence& equivalence() const { return equiv_; }
@@ -32,6 +37,8 @@ class MemoEntry {
   /// Cached output cardinality; negative until set by the visitor.
   double cardinality() const { return cardinality_; }
   void set_cardinality(double c) { cardinality_ = c; }
+  /// Writable cache slot for MemoizedJoinRows (negative = not computed).
+  double* mutable_cardinality() { return &cardinality_; }
 
   const std::vector<const Plan*>& plans() const { return plans_; }
 
@@ -62,6 +69,12 @@ class MemoEntry {
 /// whose order and partition are at least as general. The "plan saving"
 /// time the paper's Figure 2 charges at 16% is exactly the time spent in
 /// Insert(), which callers may measure via the save timer.
+///
+/// Entry lookup is flat (FlatSetIndex): for queries of up to 20 tables
+/// the table-set mask indexes a dense int32 array directly, so the
+/// Find() on the enumeration hot path is one load; entries themselves are
+/// arena-allocated in a deque (stable pointers, no per-entry heap
+/// allocation).
 class Memo {
  public:
   explicit Memo(const QueryGraph& graph) : graph_(graph) {}
@@ -79,7 +92,9 @@ class Memo {
   /// Inserts with pruning; returns true if the plan survived.
   bool Insert(MemoEntry* entry, Plan* plan);
 
-  int64_t num_entries() const { return static_cast<int64_t>(entries_.size()); }
+  int64_t num_entries() const {
+    return static_cast<int64_t>(creation_order_.size());
+  }
   int64_t plans_allocated() const { return plans_allocated_; }
   int64_t plans_stored() const;
 
@@ -93,10 +108,17 @@ class Memo {
   }
 
  private:
+  /// The set index is sized from graph_.num_tables(), so it is built on
+  /// first use rather than at construction (callers may construct the
+  /// Memo before the graph is final).
+  FlatSetIndex& Index() const;
+
   const QueryGraph& graph_;
-  std::unordered_map<uint64_t, std::unique_ptr<MemoEntry>> entries_;
+  mutable std::optional<FlatSetIndex> index_;
+  std::deque<MemoEntry> entry_arena_;
   std::vector<MemoEntry*> creation_order_;
   std::deque<Plan> arena_;
+  std::vector<int> pred_scratch_;
   int64_t plans_allocated_ = 0;
 };
 

@@ -38,10 +38,7 @@ OrderProperty PlanGenerator::OutputOrder(const OrderProperty& order,
 
 double PlanGenerator::EntryCardinality(TableSet s) {
   MemoEntry* e = memo_->Find(s);
-  if (e != nullptr) {
-    if (e->cardinality() < 0) e->set_cardinality(card_.JoinRows(s));
-    return e->cardinality();
-  }
+  if (e != nullptr) return MemoizedJoinRows(card_, s, e->mutable_cardinality());
   return card_.JoinRows(s);
 }
 
@@ -296,7 +293,7 @@ void PlanGenerator::OnJoin(TableSet outer, TableSet inner,
   MemoEntry* l = memo_->Find(inner);
   MemoEntry* j = memo_->Find(outer.Union(inner));
   assert(s != nullptr && l != nullptr && j != nullptr);
-  if (j->cardinality() < 0) j->set_cardinality(card_.JoinRows(j->set()));
+  MemoizedJoinRows(card_, j->set(), j->mutable_cardinality());
 
   // Merge-join candidates, oriented per side, deduped by their canonical
   // merge order (transitive-closure predicates often alias each other).

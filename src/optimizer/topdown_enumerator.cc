@@ -4,19 +4,48 @@ namespace cote {
 
 namespace {
 constexpr double kCardOneEpsilon = 1e-9;
+constexpr int kFlatExploredMaxTables = 20;
 }  // namespace
+
+bool TopDownEnumerator::Lookup(uint64_t bits, bool* constructible) const {
+  if (!explored_flat_.empty()) {
+    if (explored_flat_[bits] == 0) return false;
+    *constructible = constructible_flat_[bits] != 0;
+    return true;
+  }
+  auto it = explored_.find(bits);
+  if (it == explored_.end()) return false;
+  *constructible = it->second;
+  return true;
+}
+
+void TopDownEnumerator::Store(uint64_t bits, bool constructible) {
+  if (!explored_flat_.empty()) {
+    explored_flat_[bits] = 1;
+    constructible_flat_[bits] = constructible ? 1 : 0;
+    return;
+  }
+  explored_[bits] = constructible;
+}
 
 EnumerationStats TopDownEnumerator::Run(JoinVisitor* visitor) {
   EnumerationStats stats;
-  explored_.clear();
   const int n = graph_.num_tables();
+  explored_.clear();
+  if (n <= kFlatExploredMaxTables) {
+    explored_flat_.assign(size_t{1} << n, 0);
+    constructible_flat_.assign(size_t{1} << n, 0);
+  } else {
+    explored_flat_.clear();
+    constructible_flat_.clear();
+  }
 
   // Base-table entries exist unconditionally (as in the bottom-up
   // enumerator, where they are created before any join).
   for (int t = 0; t < n; ++t) {
     TableSet s = TableSet::Single(t);
     visitor->InitializeEntry(s);
-    explored_[s.bits()] = true;
+    Store(s.bits(), true);
     ++stats.entries_created;
   }
   if (n <= 1) return stats;
@@ -27,57 +56,63 @@ EnumerationStats TopDownEnumerator::Run(JoinVisitor* visitor) {
 
 bool TopDownEnumerator::Explore(TableSet s, JoinVisitor* visitor,
                                 EnumerationStats* stats) {
-  auto it = explored_.find(s.bits());
-  if (it != explored_.end()) return it->second;
+  bool memoized;
+  if (Lookup(s.bits(), &memoized)) return memoized;
   // Mark in-progress as false; splits are strictly smaller so there is no
   // true cycle, but this keeps accidental re-entry harmless.
-  explored_[s.bits()] = false;
+  Store(s.bits(), false);
 
   const uint64_t mask = s.bits();
   const uint64_t low = mask & (~mask + 1);
+  const uint64_t rest_bits = mask ^ low;
   bool constructible = false;
 
-  for (uint64_t sub = (mask - 1) & mask; sub != 0; sub = (sub - 1) & mask) {
-    if ((sub & low) == 0) continue;  // visit each unordered split once
-    TableSet a(sub), b(mask & ~sub);
+  // Visit each unordered split once: `a` always holds the lowest table
+  // (sub2 runs over the proper submasks of mask^low, descending — the
+  // same sequence, with half the iterations, as filtering all submasks).
+  for (uint64_t sub2 = (rest_bits - 1) & rest_bits;;
+       sub2 = (sub2 - 1) & rest_bits) {
+    TableSet a(sub2 | low), b(rest_bits ^ sub2);
 
     // Explore both sides unconditionally so subset coverage matches the
     // bottom-up enumerator even when one side is not constructible.
     bool a_ok = Explore(a, visitor, stats);
     bool b_ok = Explore(b, visitor, stats);
-    if (!a_ok || !b_ok) continue;
-
-    std::vector<int> preds = graph_.ConnectingPredicates(a, b);
-    bool cartesian = preds.empty();
-    if (cartesian) {
-      bool allowed =
-          options_.allow_all_cartesian ||
-          (options_.cartesian_when_card_one &&
-           (visitor->EntryCardinality(a) <= 1.0 + kCardOneEpsilon ||
-            visitor->EntryCardinality(b) <= 1.0 + kCardOneEpsilon));
-      if (!allowed) continue;
-    }
-
-    bool emitted = false;
-    auto try_emit = [&](TableSet outer, TableSet inner) {
-      if (inner.size() > options_.max_composite_inner) return;
-      if (!graph_.OuterEnabled(outer)) return;
-      if (!graph_.OuterJoinOrientationOk(outer, inner)) return;
-      if (!constructible) {
-        visitor->InitializeEntry(s);
-        explored_[s.bits()] = true;
-        ++stats->entries_created;
-        constructible = true;
+    if (a_ok && b_ok) {
+      graph_.ConnectingPredicates(a, b, &preds_);
+      bool cartesian = preds_.empty();
+      bool allowed = true;
+      if (cartesian) {
+        allowed =
+            options_.allow_all_cartesian ||
+            (options_.cartesian_when_card_one &&
+             (visitor->EntryCardinality(a) <= 1.0 + kCardOneEpsilon ||
+              visitor->EntryCardinality(b) <= 1.0 + kCardOneEpsilon));
       }
-      emitted = true;
-      visitor->OnJoin(outer, inner, preds, cartesian);
-      ++stats->joins_ordered;
-    };
-    try_emit(a, b);
-    try_emit(b, a);
-    if (emitted) ++stats->joins_unordered;
+      if (allowed) {
+        bool emitted = false;
+        auto try_emit = [&](TableSet outer, TableSet inner) {
+          if (inner.size() > options_.max_composite_inner) return;
+          if (!graph_.OuterEnabled(outer)) return;
+          if (!graph_.OuterJoinOrientationOk(outer, inner)) return;
+          if (!constructible) {
+            visitor->InitializeEntry(s);
+            Store(s.bits(), true);
+            ++stats->entries_created;
+            constructible = true;
+          }
+          emitted = true;
+          visitor->OnJoin(outer, inner, preds_, cartesian);
+          ++stats->joins_ordered;
+        };
+        try_emit(a, b);
+        try_emit(b, a);
+        if (emitted) ++stats->joins_unordered;
+      }
+    }
+    if (sub2 == 0) break;
   }
-  explored_[s.bits()] = constructible;
+  Store(s.bits(), constructible);
   return constructible;
 }
 

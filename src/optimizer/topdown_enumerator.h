@@ -45,10 +45,23 @@ class TopDownEnumerator {
   /// predicate or an admissible Cartesian product). Memoized.
   bool Explore(TableSet s, JoinVisitor* visitor, EnumerationStats* stats);
 
+  /// Memoization accessors backed by flat byte arrays for small queries
+  /// (one load per probe) and by the hash map beyond that.
+  bool Lookup(uint64_t bits, bool* constructible) const;
+  void Store(uint64_t bits, bool constructible);
+
   const QueryGraph& graph_;
   EnumeratorOptions options_;
-  /// Memoized constructibility per subset; presence implies explored.
+  /// Flat memoization for n <= 20: explored flag and constructibility per
+  /// subset mask. Empty (unused) when the query is larger.
+  std::vector<uint8_t> explored_flat_;
+  std::vector<uint8_t> constructible_flat_;
+  /// Hash fallback for very large queries; presence implies explored.
   std::unordered_map<uint64_t, bool> explored_;
+  /// Scratch for connecting-predicate gathering; safe to reuse across the
+  /// recursion because it is only live between the child Explore() calls
+  /// of one split and that split's emissions.
+  std::vector<int> preds_;
 };
 
 }  // namespace cote

@@ -15,7 +15,44 @@ int QueryGraph::AddTableRef(const Table* table, std::string alias) {
   ref.alias = alias.empty() ? table->name() : std::move(alias);
   tables_.push_back(std::move(ref));
   global_equiv_valid_ = false;
+  adj_.valid = false;
   return num_tables() - 1;
+}
+
+void QueryGraph::EnsureAdjacency() const {
+  if (adj_.valid) return;
+  const int n = num_tables();
+  const int num_preds = static_cast<int>(join_preds_.size());
+  adj_.adj.assign(static_cast<size_t>(n), 0);
+  adj_.pair_offset.assign(static_cast<size_t>(n) * n + 1, 0);
+  adj_.pair_preds.assign(static_cast<size_t>(num_preds), 0);
+  adj_.inner_only_mask = 0;
+  adj_.outer_pred_indices.clear();
+
+  for (int t = 0; t < n; ++t) {
+    if (tables_[t].inner_only) adj_.inner_only_mask |= uint64_t{1} << t;
+  }
+  // Counting pass, then prefix sums, then a stable fill — predicate
+  // indices stay ascending within each table pair because the fill scans
+  // the predicate list in order.
+  for (int i = 0; i < num_preds; ++i) {
+    const JoinPredicate& p = join_preds_[i];
+    int a = p.left.table, b = p.right.table;
+    adj_.adj[a] |= uint64_t{1} << b;
+    adj_.adj[b] |= uint64_t{1} << a;
+    ++adj_.pair_offset[PairKey(a, b) + 1];
+    if (p.kind == JoinKind::kLeftOuter) adj_.outer_pred_indices.push_back(i);
+  }
+  for (size_t k = 1; k < adj_.pair_offset.size(); ++k) {
+    adj_.pair_offset[k] += adj_.pair_offset[k - 1];
+  }
+  std::vector<int32_t> cursor(adj_.pair_offset.begin(),
+                              adj_.pair_offset.end() - 1);
+  for (int i = 0; i < num_preds; ++i) {
+    const JoinPredicate& p = join_preds_[i];
+    adj_.pair_preds[cursor[PairKey(p.left.table, p.right.table)]++] = i;
+  }
+  adj_.valid = true;
 }
 
 double QueryGraph::ColumnNdv(ColumnRef c) const {
@@ -31,53 +68,89 @@ std::string QueryGraph::ColumnName(ColumnRef c) const {
 std::vector<int> QueryGraph::ConnectingPredicates(TableSet s,
                                                   TableSet l) const {
   std::vector<int> out;
-  for (size_t i = 0; i < join_preds_.size(); ++i) {
-    const JoinPredicate& p = join_preds_[i];
-    bool ls = s.Contains(p.left.table), rs = s.Contains(p.right.table);
-    bool ll = l.Contains(p.left.table), rl = l.Contains(p.right.table);
-    if ((ls && rl) || (rs && ll)) out.push_back(static_cast<int>(i));
-  }
+  ConnectingPredicates(s, l, &out);
   return out;
 }
 
+void QueryGraph::ConnectingPredicates(TableSet s, TableSet l,
+                                      std::vector<int>* out) const {
+  out->clear();
+  if (s.Overlaps(l)) {
+    // Degenerate (never hit by the enumerator, whose splits are disjoint):
+    // keep the original cut semantics with a direct scan.
+    for (size_t i = 0; i < join_preds_.size(); ++i) {
+      const JoinPredicate& p = join_preds_[i];
+      bool ls = s.Contains(p.left.table), rs = s.Contains(p.right.table);
+      bool ll = l.Contains(p.left.table), rl = l.Contains(p.right.table);
+      if ((ls && rl) || (rs && ll)) out->push_back(static_cast<int>(i));
+    }
+    return;
+  }
+  EnsureAdjacency();
+  const uint64_t lbits = l.bits();
+  for (int a : s) {
+    for (int b : TableSet(adj_.adj[a] & lbits)) {
+      const int key = PairKey(a, b);
+      for (int32_t i = adj_.pair_offset[key]; i < adj_.pair_offset[key + 1];
+           ++i) {
+        out->push_back(adj_.pair_preds[i]);
+      }
+    }
+  }
+  // Ascending predicate order is part of the contract (merge-candidate
+  // construction depends on it); crossing lists are tiny, so this sort is
+  // effectively a couple of swaps.
+  std::sort(out->begin(), out->end());
+}
+
+void QueryGraph::InternalPredicates(TableSet s, std::vector<int>* out) const {
+  EnsureAdjacency();
+  out->clear();
+  const uint64_t sbits = s.bits();
+  for (int a : s) {
+    // Only pairs (a, b) with a < b, so each internal edge is seen once.
+    uint64_t higher = adj_.adj[a] & sbits & ~((uint64_t{2} << a) - 1);
+    for (int b : TableSet(higher)) {
+      const int key = PairKey(a, b);
+      for (int32_t i = adj_.pair_offset[key]; i < adj_.pair_offset[key + 1];
+           ++i) {
+        out->push_back(adj_.pair_preds[i]);
+      }
+    }
+  }
+  std::sort(out->begin(), out->end());
+}
+
 bool QueryGraph::AreConnected(TableSet s, TableSet l) const {
-  for (const JoinPredicate& p : join_preds_) {
-    bool ls = s.Contains(p.left.table), rs = s.Contains(p.right.table);
-    bool ll = l.Contains(p.left.table), rl = l.Contains(p.right.table);
-    if ((ls && rl) || (rs && ll)) return true;
+  EnsureAdjacency();
+  const uint64_t lbits = l.bits();
+  for (int a : s) {
+    if ((adj_.adj[a] & lbits) != 0) return true;
   }
   return false;
 }
 
 bool QueryGraph::IsSubgraphConnected(TableSet s) const {
   if (s.size() <= 1) return !s.empty();
-  TableSet reached = TableSet::Single(s.First());
-  bool grew = true;
-  while (grew && reached != s) {
-    grew = false;
-    for (const JoinPredicate& p : join_preds_) {
-      int a = p.left.table, b = p.right.table;
-      if (!s.Contains(a) || !s.Contains(b)) continue;
-      if (reached.Contains(a) && !reached.Contains(b)) {
-        reached = reached.With(b);
-        grew = true;
-      } else if (reached.Contains(b) && !reached.Contains(a)) {
-        reached = reached.With(a);
-        grew = true;
-      }
-    }
+  EnsureAdjacency();
+  const uint64_t sbits = s.bits();
+  uint64_t reached = sbits & (~sbits + 1);  // lowest table of the set
+  uint64_t frontier = reached;
+  while (frontier != 0) {
+    uint64_t next = 0;
+    for (int t : TableSet(frontier)) next |= adj_.adj[t];
+    next &= sbits & ~reached;
+    reached |= next;
+    frontier = next;
   }
-  return reached == s;
+  return reached == sbits;
 }
 
 TableSet QueryGraph::Neighbors(TableSet s) const {
-  TableSet out;
-  for (const JoinPredicate& p : join_preds_) {
-    bool ls = s.Contains(p.left.table), rs = s.Contains(p.right.table);
-    if (ls && !rs) out = out.With(p.right.table);
-    if (rs && !ls) out = out.With(p.left.table);
-  }
-  return out;
+  EnsureAdjacency();
+  uint64_t out = 0;
+  for (int a : s) out |= adj_.adj[a];
+  return TableSet(out & ~s.bits());
 }
 
 double QueryGraph::LocalSelectivity(int t) const {
@@ -138,12 +211,12 @@ int QueryGraph::DeriveTransitiveClosure() {
 }
 
 bool QueryGraph::OuterEnabled(TableSet s) const {
-  bool full_query = (s == AllTables());
-  for (int t : s) {
-    if (tables_[t].inner_only && !full_query) return false;
+  EnsureAdjacency();
+  if ((adj_.inner_only_mask & s.bits()) != 0 && s != AllTables()) {
+    return false;
   }
-  for (const JoinPredicate& p : join_preds_) {
-    if (p.kind != JoinKind::kLeftOuter) continue;
+  for (int pi : adj_.outer_pred_indices) {
+    const JoinPredicate& p = join_preds_[pi];
     // The null-producing side may not lead a join until its preserved
     // partner has been joined in.
     if (s.Contains(p.right.table) && !s.Contains(p.left.table)) return false;
@@ -152,8 +225,9 @@ bool QueryGraph::OuterEnabled(TableSet s) const {
 }
 
 bool QueryGraph::OuterJoinOrientationOk(TableSet s, TableSet l) const {
-  for (const JoinPredicate& p : join_preds_) {
-    if (p.kind != JoinKind::kLeftOuter) continue;
+  EnsureAdjacency();
+  for (int pi : adj_.outer_pred_indices) {
+    const JoinPredicate& p = join_preds_[pi];
     bool preserved_in_s = s.Contains(p.left.table);
     bool null_in_l = l.Contains(p.right.table);
     bool preserved_in_l = l.Contains(p.left.table);

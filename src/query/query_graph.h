@@ -38,6 +38,7 @@ class QueryGraph {
   int AddTableRef(const Table* table, std::string alias);
   void AddJoinPredicate(JoinPredicate pred) {
     join_preds_.push_back(pred);
+    adj_.valid = false;
   }
   void AddLocalPredicate(LocalPredicate pred) {
     local_preds_.push_back(pred);
@@ -46,7 +47,10 @@ class QueryGraph {
   void SetGroupBy(std::vector<ColumnRef> cols) { group_by_ = std::move(cols); }
   void set_has_aggregation(bool v) { has_aggregation_ = v; }
   void set_fetch_first(int64_t n) { fetch_first_ = n; }
-  void MarkInnerOnly(int table_ref) { tables_[table_ref].inner_only = true; }
+  void MarkInnerOnly(int table_ref) {
+    tables_[table_ref].inner_only = true;
+    adj_.valid = false;
+  }
 
   /// Derives implied equality predicates through transitive closure of the
   /// inner-join equivalence classes (`A.x=B.y ∧ B.y=C.z ⇒ A.x=C.z`). This is
@@ -86,6 +90,19 @@ class QueryGraph {
   /// and the other in `l`.
   std::vector<int> ConnectingPredicates(TableSet s, TableSet l) const;
 
+  /// Allocation-free overload for the enumeration hot path: clears `*out`
+  /// and fills it with the connecting predicate indices in ascending
+  /// order. Uses the precomputed per-table-pair predicate lists, so the
+  /// cost is proportional to |s| plus the number of crossing edges — not
+  /// to the total predicate count.
+  void ConnectingPredicates(TableSet s, TableSet l, std::vector<int>* out)
+      const;
+
+  /// Indices (ascending) of predicates with BOTH sides inside `s` — the
+  /// predicates applied within a MEMO entry (used to derive the entry's
+  /// column equivalence without scanning the whole predicate list).
+  void InternalPredicates(TableSet s, std::vector<int>* out) const;
+
   /// True if at least one join predicate crosses the cut (s, l).
   bool AreConnected(TableSet s, TableSet l) const;
 
@@ -118,6 +135,25 @@ class QueryGraph {
   std::string ToString() const;
 
  private:
+  /// Precomputed join-graph adjacency (built lazily, invalidated whenever
+  /// tables or predicates change). `adj[t]` is the neighbor bitmask of
+  /// table t; the per-table-pair predicate indices live in a CSR layout
+  /// (`pair_offset` indexes by a*n+b with a < b into `pair_preds`), so
+  /// connectivity queries are bitwise operations and predicate lookups
+  /// touch only the crossing pairs.
+  struct AdjacencyCache {
+    bool valid = false;
+    std::vector<uint64_t> adj;
+    std::vector<int32_t> pair_offset;
+    std::vector<int32_t> pair_preds;
+    uint64_t inner_only_mask = 0;
+    std::vector<int> outer_pred_indices;  ///< kLeftOuter predicate indices
+  };
+  void EnsureAdjacency() const;
+  int PairKey(int a, int b) const {
+    return (a < b ? a : b) * num_tables() + (a < b ? b : a);
+  }
+
   std::vector<QueryTableRef> tables_;
   std::vector<JoinPredicate> join_preds_;
   std::vector<LocalPredicate> local_preds_;
@@ -128,6 +164,7 @@ class QueryGraph {
 
   mutable ColumnEquivalence global_equiv_;
   mutable bool global_equiv_valid_ = false;
+  mutable AdjacencyCache adj_;
 };
 
 }  // namespace cote

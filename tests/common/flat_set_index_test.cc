@@ -1,0 +1,56 @@
+#include "common/flat_set_index.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cote {
+namespace {
+
+TEST(FlatSetIndexTest, DenseAssignsInsertionOrderIndices) {
+  FlatSetIndex idx(8);  // dense mode
+  bool created = false;
+  EXPECT_EQ(idx.FindOrInsert(0b101, &created), 0);
+  EXPECT_TRUE(created);
+  EXPECT_EQ(idx.FindOrInsert(0b11, &created), 1);
+  EXPECT_TRUE(created);
+  EXPECT_EQ(idx.FindOrInsert(0b101, &created), 0);
+  EXPECT_FALSE(created);
+  EXPECT_EQ(idx.size(), 2);
+  EXPECT_EQ(idx.Find(0b101), 0);
+  EXPECT_EQ(idx.Find(0b11), 1);
+  EXPECT_EQ(idx.Find(0b1), -1);
+}
+
+TEST(FlatSetIndexTest, HashedModeMatchesDenseSemantics) {
+  FlatSetIndex idx(40);  // beyond kDenseMaxTables: open addressing
+  bool created = false;
+  std::vector<uint64_t> keys;
+  // Enough insertions to force several growth/rehash rounds.
+  for (uint64_t i = 0; i < 5000; ++i) {
+    uint64_t key = (i + 1) * 0x9e3779b97f4a7c15ULL;  // non-zero, distinct
+    EXPECT_EQ(idx.FindOrInsert(key, &created), static_cast<int32_t>(i));
+    EXPECT_TRUE(created);
+    keys.push_back(key);
+  }
+  EXPECT_EQ(idx.size(), 5000);
+  for (uint64_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(idx.Find(keys[i]), static_cast<int32_t>(i));
+    EXPECT_EQ(idx.FindOrInsert(keys[i], &created), static_cast<int32_t>(i));
+    EXPECT_FALSE(created);
+  }
+  EXPECT_EQ(idx.Find(0x1234567890ULL), -1);
+}
+
+TEST(FlatSetIndexTest, DenseBoundaryIsTwentyTables) {
+  // 2^20 masks stay dense; lookups at the top of the range work.
+  FlatSetIndex idx(FlatSetIndex::kDenseMaxTables);
+  bool created = false;
+  const uint64_t top = (uint64_t{1} << FlatSetIndex::kDenseMaxTables) - 1;
+  EXPECT_EQ(idx.FindOrInsert(top, &created), 0);
+  EXPECT_EQ(idx.Find(top), 0);
+  EXPECT_EQ(idx.Find(1), -1);
+}
+
+}  // namespace
+}  // namespace cote

@@ -47,6 +47,37 @@ TEST(TableSetTest, IterationInOrder) {
   EXPECT_EQ(got, (std::vector<int>{0, 1, 7, 63}));
 }
 
+TEST(TableSetTest, IterationEmptyAndSingleton) {
+  // begin() == end() on the empty set: the loop body never runs.
+  for (int t : TableSet()) {
+    FAIL() << "empty set yielded element " << t;
+  }
+  EXPECT_EQ(TableSet().begin(), TableSet().end());
+
+  TableSet s = TableSet::Single(42);
+  auto it = s.begin();
+  EXPECT_NE(it, s.end());
+  EXPECT_EQ(*it, 42);
+  EXPECT_EQ(++it, s.end());
+}
+
+TEST(TableSetTest, IteratorMatchesFirstAndContains) {
+  // Sweep all 8-table subsets: iteration visits exactly the members, in
+  // increasing order, starting at First().
+  for (uint64_t bits = 1; bits < 256; ++bits) {
+    TableSet s(bits);
+    EXPECT_EQ(*s.begin(), s.First());
+    int count = 0, prev = -1;
+    for (int t : s) {
+      EXPECT_TRUE(s.Contains(t));
+      EXPECT_GT(t, prev);
+      prev = t;
+      ++count;
+    }
+    EXPECT_EQ(count, s.size());
+  }
+}
+
 TEST(TableSetTest, ToStringFormat) {
   EXPECT_EQ(TableSet().ToString(), "{}");
   EXPECT_EQ(TableSet::Single(3).With(1).ToString(), "{1,3}");
