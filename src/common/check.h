@@ -1,0 +1,143 @@
+#ifndef COTE_COMMON_CHECK_H_
+#define COTE_COMMON_CHECK_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <type_traits>
+
+/// \file
+/// Contract macros for trust boundaries, and overflow-guarded bitmask
+/// helpers for the enumeration fast path.
+///
+/// COTE_CHECK* are always on, in every build type: they guard boundaries
+/// whose violation would corrupt the MEMO / enumeration state (mode
+/// switches, arena index ranges, mask widths at construction time). They
+/// print the failed condition with both operand values and abort.
+///
+/// COTE_DCHECK* compile out under NDEBUG (Release / RelWithDebInfo): they
+/// sit on per-lookup hot paths (FlatSetIndex::Find, TableSet::Contains)
+/// where even a predictable branch is measurable at O(3^n) call rates.
+/// `tools/run_checks.sh` exercises them via a Debug sanitizer cycle.
+///
+/// Both families are usable inside constexpr functions: when the
+/// condition holds, the failing branch is not evaluated; when a constant
+/// evaluation reaches a failing check, compilation fails — which is the
+/// strongest diagnostic available.
+
+namespace cote {
+namespace check_internal {
+
+inline void PrintValue(long long v) { std::fprintf(stderr, "%lld", v); }
+inline void PrintValue(unsigned long long v) {
+  std::fprintf(stderr, "%llu", v);
+}
+inline void PrintValue(double v) { std::fprintf(stderr, "%.17g", v); }
+inline void PrintValue(const void* v) { std::fprintf(stderr, "%p", v); }
+
+template <typename T>
+void Print(const T& v) {
+  if constexpr (std::is_floating_point_v<T>) {
+    PrintValue(static_cast<double>(v));
+  } else if constexpr (std::is_pointer_v<T>) {
+    PrintValue(static_cast<const void*>(v));
+  } else if constexpr (std::is_enum_v<T>) {
+    PrintValue(static_cast<long long>(v));
+  } else if constexpr (std::is_signed_v<T>) {
+    PrintValue(static_cast<long long>(v));
+  } else {
+    PrintValue(static_cast<unsigned long long>(v));
+  }
+}
+
+[[noreturn]] inline void Fail(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "COTE_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+template <typename A, typename B>
+[[noreturn]] void FailOp(const char* file, int line, const char* expr,
+                         const A& a, const B& b) {
+  std::fprintf(stderr, "COTE_CHECK failed: %s (", expr);
+  Print(a);
+  std::fprintf(stderr, " vs ");
+  Print(b);
+  std::fprintf(stderr, ") at %s:%d\n", file, line);
+  std::abort();
+}
+
+}  // namespace check_internal
+}  // namespace cote
+
+#define COTE_CHECK(cond)                                            \
+  ((cond) ? static_cast<void>(0)                                    \
+          : ::cote::check_internal::Fail(__FILE__, __LINE__, #cond))
+
+#define COTE_CHECK_OP_IMPL(op, a, b)                                       \
+  do {                                                                     \
+    const auto& cote_check_a_ = (a);                                       \
+    const auto& cote_check_b_ = (b);                                       \
+    if (!(cote_check_a_ op cote_check_b_)) {                               \
+      ::cote::check_internal::FailOp(__FILE__, __LINE__,                   \
+                                     #a " " #op " " #b, cote_check_a_,     \
+                                     cote_check_b_);                       \
+    }                                                                      \
+  } while (false)
+
+#define COTE_CHECK_EQ(a, b) COTE_CHECK_OP_IMPL(==, a, b)
+#define COTE_CHECK_NE(a, b) COTE_CHECK_OP_IMPL(!=, a, b)
+#define COTE_CHECK_LT(a, b) COTE_CHECK_OP_IMPL(<, a, b)
+#define COTE_CHECK_LE(a, b) COTE_CHECK_OP_IMPL(<=, a, b)
+#define COTE_CHECK_GT(a, b) COTE_CHECK_OP_IMPL(>, a, b)
+#define COTE_CHECK_GE(a, b) COTE_CHECK_OP_IMPL(>=, a, b)
+
+#ifdef NDEBUG
+#define COTE_DCHECK(cond) static_cast<void>(0)
+#define COTE_DCHECK_EQ(a, b) static_cast<void>(0)
+#define COTE_DCHECK_NE(a, b) static_cast<void>(0)
+#define COTE_DCHECK_LT(a, b) static_cast<void>(0)
+#define COTE_DCHECK_LE(a, b) static_cast<void>(0)
+#define COTE_DCHECK_GT(a, b) static_cast<void>(0)
+#define COTE_DCHECK_GE(a, b) static_cast<void>(0)
+#else
+#define COTE_DCHECK(cond) COTE_CHECK(cond)
+#define COTE_DCHECK_EQ(a, b) COTE_CHECK_EQ(a, b)
+#define COTE_DCHECK_NE(a, b) COTE_CHECK_NE(a, b)
+#define COTE_DCHECK_LT(a, b) COTE_CHECK_LT(a, b)
+#define COTE_DCHECK_LE(a, b) COTE_CHECK_LE(a, b)
+#define COTE_DCHECK_GT(a, b) COTE_CHECK_GT(a, b)
+#define COTE_DCHECK_GE(a, b) COTE_CHECK_GE(a, b)
+#endif
+
+namespace cote {
+
+/// Overflow-guarded bitmask helpers. `uint64_t{1} << n` is undefined for
+/// n >= 64 and `(1 << n) - 1` additionally wraps for n == 64; every mask
+/// construction in the enumeration core funnels through these so the
+/// width contract is stated (and, in debug builds, enforced) in exactly
+/// one place.
+
+/// The mask {0, 1, ..., n-1}; n must be in [0, 64]. MaskFirstN(64) is the
+/// full mask — the case the naive shift gets undefined.
+constexpr uint64_t MaskFirstN(int n) {
+  COTE_DCHECK_GE(n, 0);
+  COTE_DCHECK_LE(n, 64);
+  return n >= 64 ? ~uint64_t{0} : (uint64_t{1} << n) - 1;
+}
+
+/// The single-bit mask for position i; i must be in [0, 64).
+constexpr uint64_t BitAt(int i) {
+  COTE_DCHECK_GE(i, 0);
+  COTE_DCHECK_LT(i, 64);
+  return uint64_t{1} << i;
+}
+
+/// Lowest set bit of x (x & -x without the signed-negation reading).
+constexpr uint64_t LowestBit(uint64_t x) { return x & (~x + 1); }
+
+/// True iff x has exactly one bit set.
+constexpr bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+}  // namespace cote
+
+#endif  // COTE_COMMON_CHECK_H_

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/check.h"
 #include "common/table_set.h"
 
 namespace cote {
@@ -26,8 +27,13 @@ class FlatSetIndex {
   static constexpr int kDenseMaxTables = 20;
 
   explicit FlatSetIndex(int num_tables) {
+    // Trust boundary: the dense/hashed mode switch. A table count outside
+    // [0, 64] means the caller's query graph is corrupt; a silent clamp
+    // here would turn that into wrong lookups later.
+    COTE_CHECK_GE(num_tables, 0);
+    COTE_CHECK_LE(num_tables, 64);
     if (num_tables <= kDenseMaxTables) {
-      dense_.assign(size_t{1} << (num_tables < 0 ? 0 : num_tables), -1);
+      dense_.assign(size_t{1} << num_tables, -1);
     } else {
       keys_.assign(kInitialSlots, 0);
       vals_.assign(kInitialSlots, -1);
@@ -37,7 +43,11 @@ class FlatSetIndex {
   /// Index previously assigned to `bits`, or -1. `bits` must be non-zero
   /// and, in dense mode, within the table count given at construction.
   int32_t Find(uint64_t bits) const {
-    if (!dense_.empty()) return dense_[bits];
+    COTE_DCHECK_NE(bits, uint64_t{0});
+    if (!dense_.empty()) {
+      COTE_DCHECK_LT(bits, dense_.size());
+      return dense_[bits];
+    }
     size_t i = Slot(bits);
     while (keys_[i] != 0) {
       if (keys_[i] == bits) return vals_[i];
@@ -49,7 +59,9 @@ class FlatSetIndex {
   /// Existing index of `bits`, or the next dense index if absent;
   /// `*created` reports which happened.
   int32_t FindOrInsert(uint64_t bits, bool* created) {
+    COTE_DCHECK_NE(bits, uint64_t{0});
     if (!dense_.empty()) {
+      COTE_DCHECK_LT(bits, dense_.size());
       int32_t& slot = dense_[bits];
       *created = slot < 0;
       if (slot < 0) slot = count_++;

@@ -2,9 +2,10 @@
 #define COTE_COMMON_TABLE_SET_H_
 
 #include <bit>
-#include <cassert>
 #include <cstdint>
 #include <string>
+
+#include "common/check.h"
 
 namespace cote {
 
@@ -19,17 +20,14 @@ class TableSet {
   constexpr TableSet() : bits_(0) {}
   constexpr explicit TableSet(uint64_t bits) : bits_(bits) {}
 
-  /// The singleton set {table}.
+  /// The singleton set {table}; `table` must be in [0, 64).
   static constexpr TableSet Single(int table) {
-    assert(table >= 0 && table < 64);
-    return TableSet(uint64_t{1} << table);
+    return TableSet(BitAt(table));
   }
 
-  /// The set {0, 1, ..., n-1}.
+  /// The set {0, 1, ..., n-1}; `n` must be in [0, 64].
   static constexpr TableSet FirstN(int n) {
-    assert(n >= 0 && n <= 64);
-    return n == 64 ? TableSet(~uint64_t{0})
-                   : TableSet((uint64_t{1} << n) - 1);
+    return TableSet(MaskFirstN(n));
   }
 
   constexpr uint64_t bits() const { return bits_; }
@@ -37,6 +35,8 @@ class TableSet {
   constexpr int size() const { return std::popcount(bits_); }
 
   constexpr bool Contains(int table) const {
+    COTE_DCHECK_GE(table, 0);
+    COTE_DCHECK_LT(table, 64);
     return (bits_ >> table) & 1;
   }
   constexpr bool ContainsAll(TableSet other) const {
@@ -61,7 +61,7 @@ class TableSet {
 
   /// Index of the lowest-numbered table in the set. Set must be non-empty.
   constexpr int First() const {
-    assert(!empty());
+    COTE_DCHECK(!empty());
     return std::countr_zero(bits_);
   }
 

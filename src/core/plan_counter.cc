@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/check.h"
+
 namespace cote {
 
 PlanCounter::PlanCounter(const QueryGraph& graph,
@@ -14,20 +16,31 @@ PlanCounter::PlanCounter(const QueryGraph& graph,
       options_(options) {}
 
 FlatSetIndex& PlanCounter::EntryIndex() const {
+  // hotpath-ok: lazily built once per query, then read-only probes
   if (!index_.has_value()) index_.emplace(graph_.num_tables());
   return *index_;
 }
 
 PlanCounter::EntryState& PlanCounter::State(TableSet s) {
+  COTE_DCHECK(!s.empty());
+  COTE_DCHECK(graph_.AllTables().ContainsAll(s));
   bool created = false;
   const int32_t idx = EntryIndex().FindOrInsert(s.bits(), &created);
-  if (created) states_.emplace_back();
+  if (created) {
+    // The index hands out dense ids in insertion order, so a fresh id must
+    // land exactly one past the end of the state arena.
+    COTE_CHECK_EQ(static_cast<size_t>(idx), states_.size());
+    states_.emplace_back();
+  }
+  COTE_DCHECK_LT(static_cast<size_t>(idx), states_.size());
   return states_[idx];
 }
 
 const PlanCounter::EntryState* PlanCounter::FindState(TableSet s) const {
   const int32_t idx = EntryIndex().Find(s.bits());
-  return idx < 0 ? nullptr : &states_[idx];
+  if (idx < 0) return nullptr;
+  COTE_DCHECK_LT(static_cast<size_t>(idx), states_.size());
+  return &states_[idx];
 }
 
 double PlanCounter::EntryCardinality(TableSet s) {
@@ -57,8 +70,10 @@ void PlanCounter::InitializeEntry(TableSet s) {
   //
   // Orders use the eager policy (§4 item 1): the precomputed interesting
   // orders applicable to this table seed the list.
-  for (const OrderInterest* interest : interesting_.ActiveInterests(s)) {
-    OrderProperty o = interest->order.Canonicalize(state.equiv);
+  interesting_.ActiveInterests(s, &active_scratch_);
+  for (const OrderInterest* interest : active_scratch_) {
+    interest->order.CanonicalizeInto(state.equiv, &canon_order_scratch_);
+    const OrderProperty& o = canon_order_scratch_;
     if (o.IsNone()) continue;
     if (std::find(state.orders.begin(), state.orders.end(), o) ==
         state.orders.end()) {
@@ -71,10 +86,15 @@ void PlanCounter::InitializeEntry(TableSet s) {
   // the source of coverage plans); the eager initialization includes them.
   const Table* base_table = graph_.table_ref(s.First()).table;
   for (const Index& idx : base_table->indexes()) {
-    std::vector<ColumnRef> cols;
-    for (int ord : idx.key_columns) cols.emplace_back(s.First(), ord);
-    OrderProperty o = OrderProperty(cols).Canonicalize(state.equiv);
-    if (o.IsNone() || !interesting_.Useful(o, s, state.equiv)) continue;
+    cols_scratch_.clear();
+    for (int ord : idx.key_columns) cols_scratch_.emplace_back(s.First(), ord);
+    raw_order_scratch_.Assign(cols_scratch_);
+    raw_order_scratch_.CanonicalizeInto(state.equiv, &canon_order_scratch_);
+    const OrderProperty& o = canon_order_scratch_;
+    if (o.IsNone() ||
+        !interesting_.Useful(o, s, state.equiv, &interest_scratch_)) {
+      continue;
+    }
     if (std::find(state.orders.begin(), state.orders.end(), o) ==
         state.orders.end()) {
       state.orders.push_back(o);
@@ -82,23 +102,32 @@ void PlanCounter::InitializeEntry(TableSet s) {
   }
 
   // Partitions use the lazy policy: only the physical partitioning of the
-  // base table seeds the list (§4, parallel version).
+  // base table seeds the list (§4, parallel version). Seeding dedupes like
+  // every other list push so that re-running enumeration over the same
+  // counter stays idempotent (the un-guarded push was a latent bug: a
+  // second run would duplicate every base-table partition value).
   if (options_.parallel) {
     const int t = s.First();
     const Table* table = graph_.table_ref(t).table;
     const PartitioningSpec& spec = table->partitioning();
+    auto seed = [&state](PartitionProperty p) {
+      if (std::find(state.partitions.begin(), state.partitions.end(), p) ==
+          state.partitions.end()) {
+        state.partitions.push_back(std::move(p));
+      }
+    };
     switch (spec.kind) {
       case PartitionKind::kHash: {
-        std::vector<ColumnRef> cols;
-        for (int ord : spec.key_columns) cols.emplace_back(t, ord);
-        state.partitions.push_back(PartitionProperty::Hash(std::move(cols)));
+        cols_scratch_.clear();
+        for (int ord : spec.key_columns) cols_scratch_.emplace_back(t, ord);
+        seed(PartitionProperty::Hash(cols_scratch_));
         break;
       }
       case PartitionKind::kReplicated:
-        state.partitions.push_back(PartitionProperty::Replicated());
+        seed(PartitionProperty::Replicated());
         break;
       case PartitionKind::kSingleNode:
-        state.partitions.push_back(PartitionProperty::SingleNode());
+        seed(PartitionProperty::SingleNode());
         break;
     }
   }
@@ -121,20 +150,29 @@ void PlanCounter::InitializeEntry(TableSet s) {
     PartitionProperty base = options_.parallel && !state.partitions.empty()
                                  ? state.partitions[0]
                                  : PartitionProperty::Serial();
-    state.compound.emplace_back(OrderProperty::None(), base);
-    for (const OrderProperty& o : state.orders) {
-      state.compound.emplace_back(o, base);
-    }
+    // Deduped for the same idempotence reason as the partition seeding.
+    auto seed = [&state](const OrderProperty& o, const PartitionProperty& p) {
+      auto pair = std::make_pair(o, p);
+      if (std::find(state.compound.begin(), state.compound.end(), pair) ==
+          state.compound.end()) {
+        state.compound.push_back(std::move(pair));
+      }
+    };
+    seed(OrderProperty::None(), base);
+    for (const OrderProperty& o : state.orders) seed(o, base);
   }
 }
 
 void PlanCounter::PropagateOrders(const EntryState& from, TableSet j,
                                   EntryState* to) {
   for (const OrderProperty& o : from.orders) {
-    OrderProperty canon = o.Canonicalize(to->equiv);
+    o.CanonicalizeInto(to->equiv, &canon_order_scratch_);
+    const OrderProperty& canon = canon_order_scratch_;
     if (canon.IsNone()) continue;
     // Retired by the join, or not interesting above `j`?
-    if (!interesting_.Useful(canon, j, to->equiv)) continue;
+    if (!interesting_.Useful(canon, j, to->equiv, &interest_scratch_)) {
+      continue;
+    }
     // Equivalent to a property already in the list?
     if (std::find(to->orders.begin(), to->orders.end(), canon) !=
         to->orders.end()) {
@@ -148,7 +186,8 @@ void PlanCounter::PropagatePartitions(const EntryState& from, TableSet j,
                                       EntryState* to) {
   (void)j;
   for (const PartitionProperty& p : from.partitions) {
-    PartitionProperty canon = p.Canonicalize(to->equiv);
+    p.CanonicalizeInto(to->equiv, &part_scratch_);
+    const PartitionProperty& canon = part_scratch_;
     if (std::find(to->partitions.begin(), to->partitions.end(), canon) ==
         to->partitions.end()) {
       to->partitions.push_back(canon);
@@ -159,7 +198,7 @@ void PlanCounter::PropagatePartitions(const EntryState& from, TableSet j,
 void PlanCounter::JoinPartitions(const EntryState& s, const EntryState& l,
                                  const std::vector<ColumnRef>& jcols,
                                  const EntryState& j,
-                                 std::vector<PartitionProperty>* out_vec) const {
+                                 std::vector<PartitionProperty>* out_vec) {
   std::vector<PartitionProperty>& out = *out_vec;
   out.clear();
   if (!options_.parallel) {
@@ -171,7 +210,8 @@ void PlanCounter::JoinPartitions(const EntryState& s, const EntryState& l,
   };
   for (const EntryState* e : {&s, &l}) {
     for (const PartitionProperty& p : e->partitions) {
-      PartitionProperty canon = p.Canonicalize(j.equiv);
+      p.CanonicalizeInto(j.equiv, &part_scratch_);
+      const PartitionProperty& canon = part_scratch_;
       if (canon.kind() == PartitionProperty::Kind::kHash &&
           canon.KeysSubsetOf(jcols)) {
         add(canon);
@@ -194,6 +234,9 @@ void PlanCounter::JoinPartitions(const EntryState& s, const EntryState& l,
 void PlanCounter::OnJoin(TableSet outer, TableSet inner,
                          const std::vector<int>& pred_indices,
                          bool cartesian) {
+  COTE_DCHECK(!outer.empty());
+  COTE_DCHECK(!inner.empty());
+  COTE_DCHECK(!outer.Overlaps(inner));
   EntryState& s = State(outer);
   EntryState& l = State(inner);
   TableSet jset = outer.Union(inner);
@@ -264,7 +307,8 @@ void PlanCounter::OnJoin(TableSet outer, TableSet inner,
       [&] {
         for (const EntryState* e : {&s, &l}) {
           for (const PartitionProperty& p : e->partitions) {
-            if (p.Canonicalize(j.equiv) == jparts_[0]) return false;
+            p.CanonicalizeInto(j.equiv, &part_scratch_);
+            if (part_scratch_ == jparts_[0]) return false;
           }
         }
         return true;
@@ -287,16 +331,18 @@ void PlanCounter::OnJoin(TableSet outer, TableSet inner,
       options_.parallel) {
     // Distinct order components among the compound pairs (None included
     // via retired-order pairs) — compound values pair each with the same
-    // partition alternatives.
-    std::vector<OrderProperty> distinct;
-    distinct.push_back(OrderProperty::None());
+    // partition alternatives. distinct_orders_ is per-call scratch; a
+    // local vector here would allocate once per enumerated join.
+    distinct_orders_.clear();
+    distinct_orders_.push_back(OrderProperty::None());
     for (const auto& [o, pt] : s.compound) {
       (void)pt;
-      if (std::find(distinct.begin(), distinct.end(), o) == distinct.end()) {
-        distinct.push_back(o);
+      if (std::find(distinct_orders_.begin(), distinct_orders_.end(), o) ==
+          distinct_orders_.end()) {
+        distinct_orders_.push_back(o);
       }
     }
-    outer_orders = static_cast<int64_t>(distinct.size()) - 1;
+    outer_orders = static_cast<int64_t>(distinct_orders_.size()) - 1;
   } else {
     outer_orders = static_cast<int64_t>(s.orders.size());
   }
@@ -321,7 +367,8 @@ void PlanCounter::OnJoin(TableSet outer, TableSet inner,
       if (options_.parallel) {
         bool colocated = false;
         for (const PartitionProperty& p : l.partitions) {
-          PartitionProperty canon = p.Canonicalize(j.equiv);
+          p.CanonicalizeInto(j.equiv, &part_scratch_);
+          const PartitionProperty& canon = part_scratch_;
           colocated |=
               canon.kind() == PartitionProperty::Kind::kReplicated ||
               (canon.kind() == PartitionProperty::Kind::kHash &&
@@ -347,19 +394,30 @@ void PlanCounter::OnJoin(TableSet outer, TableSet inner,
   //
   // Canonicalize each input order once (deduped); listp_/listc_ hold
   // indices into canon_inputs_, so dedupe is index identity and the
-  // OrderProperty values are never copied again.
-  canon_inputs_.clear();
+  // OrderProperty values are never copied again. canon_inputs_ is
+  // size-tracked scratch: slots persist across calls (clear() would free
+  // each element's column buffer), CanonicalizeInto rewrites them in
+  // place, and num_canon bounds the live prefix.
+  int num_canon = 0;
   for (const EntryState* e : {&s, &l}) {
     for (const OrderProperty& o : e->orders) {
-      OrderProperty canon = o.Canonicalize(j.equiv);
-      if (std::find(canon_inputs_.begin(), canon_inputs_.end(), canon) ==
-          canon_inputs_.end()) {
-        canon_inputs_.push_back(std::move(canon));
+      if (num_canon == static_cast<int>(canon_inputs_.size())) {
+        canon_inputs_.emplace_back();
       }
+      OrderProperty& slot = canon_inputs_[num_canon];
+      o.CanonicalizeInto(j.equiv, &slot);
+      bool dup = false;
+      for (int i = 0; i < num_canon; ++i) {
+        if (canon_inputs_[i] == slot) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) ++num_canon;
     }
   }
   listp_.clear();
-  for (int i = 0; i < static_cast<int>(canon_inputs_.size()); ++i) {
+  for (int i = 0; i < num_canon; ++i) {
     const OrderProperty& canon = canon_inputs_[i];
     // Propagatable by MGJN: every column of the order is a join column.
     bool all_join_cols = !canon.IsNone();
@@ -372,7 +430,7 @@ void PlanCounter::OnJoin(TableSet outer, TableSet inner,
     if (all_join_cols) listp_.push_back(i);
   }
   listc_.clear();
-  for (int i = 0; i < static_cast<int>(canon_inputs_.size()); ++i) {
+  for (int i = 0; i < num_canon; ++i) {
     for (int p : listp_) {
       if (canon_inputs_[p].StrictlySubsumedBy(canon_inputs_[i])) {
         listc_.push_back(i);

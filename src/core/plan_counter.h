@@ -113,7 +113,7 @@ class PlanCounter : public JoinVisitor {
   void JoinPartitions(const EntryState& s, const EntryState& l,
                       const std::vector<ColumnRef>& jcols,
                       const EntryState& j,
-                      std::vector<PartitionProperty>* out) const;
+                      std::vector<PartitionProperty>* out);
 
   const QueryGraph& graph_;
   const InterestingOrders& interesting_;
@@ -136,8 +136,19 @@ class PlanCounter : public JoinVisitor {
   std::vector<ColumnRef> jcols_;
   std::vector<PartitionProperty> jparts_;
   std::vector<OrderProperty> canon_inputs_;
+  std::vector<OrderProperty> distinct_orders_;
   std::vector<int> listp_;
   std::vector<int> listc_;
+  // Property-canonicalization scratch: CanonicalizeInto / the scratch
+  // Useful overload rewrite these in place, so a steady-state run (every
+  // entry and property value already seen) touches no heap at all —
+  // the invariant tests/optimizer/hotpath_alloc_test.cc locks in.
+  std::vector<const OrderInterest*> active_scratch_;
+  std::vector<ColumnRef> cols_scratch_;
+  OrderProperty raw_order_scratch_;
+  OrderProperty canon_order_scratch_;
+  OrderProperty interest_scratch_;
+  PartitionProperty part_scratch_;
 };
 
 }  // namespace cote

@@ -3,6 +3,8 @@
 #include <bit>
 #include <unordered_set>
 
+#include "common/check.h"
+
 namespace cote {
 
 namespace {
@@ -34,7 +36,7 @@ template <typename ExistsFn, typename InsertFn>
 EnumerationStats RunBottomUp(const QueryGraph& graph,
                              const EnumeratorOptions& options,
                              JoinVisitor* visitor, ExistsFn exists,
-                             InsertFn insert) {
+                             InsertFn insert, std::vector<int>& preds) {
   EnumerationStats stats;
   const int n = graph.num_tables();
 
@@ -48,7 +50,6 @@ EnumerationStats RunBottomUp(const QueryGraph& graph,
   if (n == 1) return stats;
 
   const uint64_t all = TableSet::FirstN(n).bits();
-  std::vector<int> preds;  // scratch, reused for every split
 
   // Bottom-up over set sizes; per size, per mask, over its submask splits.
   // Total work stays O(3^n) split pairs — the fast path removes the
@@ -57,7 +58,7 @@ EnumerationStats RunBottomUp(const QueryGraph& graph,
     uint64_t mask = size == 64 ? ~uint64_t{0} : (uint64_t{1} << size) - 1;
     while (true) {
       TableSet ts(mask);
-      const uint64_t low = mask & (~mask + 1);  // lowest set bit
+      const uint64_t low = LowestBit(mask);
       const uint64_t rest_bits = mask ^ low;
       bool entry_exists = false;
 
@@ -69,6 +70,8 @@ EnumerationStats RunBottomUp(const QueryGraph& graph,
            sub2 = (sub2 - 1) & rest_bits) {
         const uint64_t sub = sub2 | low;
         const uint64_t rest = rest_bits ^ sub2;
+        COTE_DCHECK_EQ(sub & rest, uint64_t{0});
+        COTE_DCHECK_EQ(sub | rest, mask);
         if (exists(sub) && exists(rest)) {
           TableSet s(sub), l(rest);
           graph.ConnectingPredicates(s, l, &preds);
@@ -119,19 +122,25 @@ EnumerationStats RunBottomUp(const QueryGraph& graph,
 }  // namespace
 
 EnumerationStats JoinEnumerator::Run(JoinVisitor* visitor) {
+  COTE_CHECK(visitor != nullptr);
   const int n = graph_.num_tables();
+  COTE_CHECK_LE(n, 64);
   if (n <= kFlatExistsMaxTables) {
-    std::vector<uint8_t> exists(size_t{1} << n, 0);
+    // assign() reuses the buffer's capacity, so from the second run on
+    // (same enumerator, same graph) the flat path allocates nothing.
+    exists_.assign(size_t{1} << n, 0);
     return RunBottomUp(
         graph_, options_, visitor,
-        [&exists](uint64_t bits) { return exists[bits] != 0; },
-        [&exists](uint64_t bits) { exists[bits] = 1; });
+        [this](uint64_t bits) { return exists_[bits] != 0; },
+        [this](uint64_t bits) { exists_[bits] = 1; }, preds_);
   }
+  // hotpath-ok: documented hashed fallback for n > 20, outside DP range
   std::unordered_set<uint64_t> exists;
   return RunBottomUp(
       graph_, options_, visitor,
       [&exists](uint64_t bits) { return exists.count(bits) != 0; },
-      [&exists](uint64_t bits) { exists.insert(bits); });
+      // hotpath-ok: hashed-fallback existence insert (n > 20 only)
+      [&exists](uint64_t bits) { exists.insert(bits); }, preds_);
 }
 
 }  // namespace cote

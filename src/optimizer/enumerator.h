@@ -94,12 +94,19 @@ class JoinEnumerator {
   JoinEnumerator(const QueryGraph& graph, const EnumeratorOptions& options)
       : graph_(graph), options_(options) {}
 
-  /// Runs the full enumeration, driving `visitor`.
+  /// Runs the full enumeration, driving `visitor`. May be called more than
+  /// once; after the first run the enumerator reuses its scratch buffers,
+  /// so repeat runs on flat-mode queries perform no heap allocation (the
+  /// property hotpath_alloc_test locks in).
   EnumerationStats Run(JoinVisitor* visitor);
 
  private:
   const QueryGraph& graph_;
   EnumeratorOptions options_;
+  /// Scratch reused across runs: the subset-existence bitmap (flat mode)
+  /// and the connecting-predicate gather buffer.
+  std::vector<uint8_t> exists_;
+  std::vector<int> preds_;
 };
 
 /// Runs whichever enumerator `options.kind` selects (bottom-up DP or

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/check.h"
+
 namespace cote {
 
 MemoEntry::MemoEntry(TableSet set, const QueryGraph& graph)
@@ -46,15 +48,23 @@ const Plan* MemoEntry::CheapestSatisfying(
 }
 
 FlatSetIndex& Memo::Index() const {
+  // hotpath-ok: lazily built once per query, then read-only probes
   if (!index_.has_value()) index_.emplace(graph_.num_tables());
   return *index_;
 }
 
 MemoEntry* Memo::GetOrCreate(TableSet s, bool* created) {
+  // Trust boundary of the flat MEMO: the set must be a non-empty subset of
+  // the query's tables, or the dense index lookup is out of range.
+  COTE_DCHECK(!s.empty());
+  COTE_DCHECK(graph_.AllTables().ContainsAll(s));
   bool fresh = false;
   const int32_t idx = Index().FindOrInsert(s.bits(), &fresh);
   if (created != nullptr) *created = fresh;
   if (!fresh) return creation_order_[idx];
+  // A fresh index extends the arena by exactly one slot; any gap means the
+  // index and the arena have diverged.
+  COTE_CHECK_EQ(static_cast<size_t>(idx), creation_order_.size());
   entry_arena_.emplace_back(s, graph_, &pred_scratch_);
   creation_order_.push_back(&entry_arena_.back());
   return creation_order_[idx];
@@ -62,12 +72,16 @@ MemoEntry* Memo::GetOrCreate(TableSet s, bool* created) {
 
 MemoEntry* Memo::Find(TableSet s) {
   const int32_t idx = Index().Find(s.bits());
-  return idx < 0 ? nullptr : creation_order_[idx];
+  if (idx < 0) return nullptr;
+  COTE_DCHECK_LT(static_cast<size_t>(idx), creation_order_.size());
+  return creation_order_[idx];
 }
 
 const MemoEntry* Memo::Find(TableSet s) const {
   const int32_t idx = Index().Find(s.bits());
-  return idx < 0 ? nullptr : creation_order_[idx];
+  if (idx < 0) return nullptr;
+  COTE_DCHECK_LT(static_cast<size_t>(idx), creation_order_.size());
+  return creation_order_[idx];
 }
 
 Plan* Memo::NewPlan() {
@@ -77,6 +91,8 @@ Plan* Memo::NewPlan() {
 }
 
 bool Memo::Insert(MemoEntry* entry, Plan* plan) {
+  COTE_DCHECK(entry != nullptr);
+  COTE_DCHECK(plan != nullptr);
   // Dominance: q dominates p if q is no more expensive and q's properties
   // are at least as general (q's order prefix-satisfies p's, q's partition
   // satisfies p's requirement, and — for first-rows queries, where the

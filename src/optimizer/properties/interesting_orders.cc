@@ -99,21 +99,34 @@ bool InterestingOrders::ActiveFor(const OrderInterest& i, TableSet s) const {
 std::vector<const OrderInterest*> InterestingOrders::ActiveInterests(
     TableSet s) const {
   std::vector<const OrderInterest*> out;
-  for (const OrderInterest& i : interests_) {
-    if (ActiveFor(i, s)) out.push_back(&i);
-  }
+  ActiveInterests(s, &out);
   return out;
+}
+
+void InterestingOrders::ActiveInterests(
+    TableSet s, std::vector<const OrderInterest*>* out) const {
+  out->clear();
+  for (const OrderInterest& i : interests_) {
+    if (ActiveFor(i, s)) out->push_back(&i);
+  }
 }
 
 bool InterestingOrders::Useful(const OrderProperty& order, TableSet s,
                                const ColumnEquivalence& equiv) const {
+  OrderProperty canon_scratch;
+  return Useful(order, s, equiv, &canon_scratch);
+}
+
+bool InterestingOrders::Useful(const OrderProperty& order, TableSet s,
+                               const ColumnEquivalence& equiv,
+                               OrderProperty* canon_scratch) const {
   if (order.IsNone()) return false;
   for (const OrderInterest& i : interests_) {
     if (!ActiveFor(i, s)) continue;
-    OrderProperty canonical = i.order.Canonicalize(equiv);
+    i.order.CanonicalizeInto(equiv, canon_scratch);
     bool satisfied = (i.source == OrderSource::kGroupBy)
-                         ? order.SatisfiesSet(canonical)
-                         : order.SatisfiesPrefix(canonical);
+                         ? order.SatisfiesSet(*canon_scratch)
+                         : order.SatisfiesPrefix(*canon_scratch);
     if (satisfied) return true;
   }
   return false;

@@ -57,12 +57,24 @@ class InterestingOrders {
   /// The interests active for entry `s`.
   std::vector<const OrderInterest*> ActiveInterests(TableSet s) const;
 
+  /// Allocation-free variant: fills `*out` (cleared first), reusing its
+  /// capacity. For per-entry calls on the estimate-mode hot path.
+  void ActiveInterests(TableSet s,
+                       std::vector<const OrderInterest*>* out) const;
+
   /// True if a plan ordered by (canonical) `order` is worth keeping in the
   /// MEMO entry `s`: the order satisfies at least one active interest,
   /// under that interest's coverage semantics. Orders useless for every
   /// remaining operation are "retired" and collapse to DC.
   bool Useful(const OrderProperty& order, TableSet s,
               const ColumnEquivalence& equiv) const;
+
+  /// Allocation-free variant: canonicalizes each candidate interest into
+  /// `*canon_scratch` (which must not alias `order`) instead of a fresh
+  /// temporary. For per-join calls on the estimate-mode hot path.
+  bool Useful(const OrderProperty& order, TableSet s,
+              const ColumnEquivalence& equiv,
+              OrderProperty* canon_scratch) const;
 
  private:
   const QueryGraph& graph_;

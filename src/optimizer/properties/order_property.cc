@@ -7,15 +7,21 @@
 namespace cote {
 
 OrderProperty OrderProperty::Canonicalize(const ColumnEquivalence& equiv) const {
-  std::vector<ColumnRef> out;
-  out.reserve(columns_.size());
+  OrderProperty out;
+  CanonicalizeInto(equiv, &out);
+  return out;
+}
+
+void OrderProperty::CanonicalizeInto(const ColumnEquivalence& equiv,
+                                     OrderProperty* out) const {
+  std::vector<ColumnRef>& out_cols = out->columns_;
+  out_cols.clear();
   for (const ColumnRef& c : columns_) {
     ColumnRef rep = equiv.Find(c);
-    if (std::find(out.begin(), out.end(), rep) == out.end()) {
-      out.push_back(rep);
+    if (std::find(out_cols.begin(), out_cols.end(), rep) == out_cols.end()) {
+      out_cols.push_back(rep);
     }
   }
-  return OrderProperty(std::move(out));
 }
 
 bool OrderProperty::SatisfiesPrefix(const OrderProperty& required) const {

@@ -24,6 +24,10 @@ class OrderProperty {
 
   static OrderProperty None() { return OrderProperty(); }
 
+  /// Replaces the column list by copy, reusing this property's buffer
+  /// capacity (scratch-object reuse on the estimate-mode hot path).
+  void Assign(const std::vector<ColumnRef>& columns) { columns_ = columns; }
+
   const std::vector<ColumnRef>& columns() const { return columns_; }
   bool IsNone() const { return columns_.empty(); }
   int size() const { return static_cast<int>(columns_.size()); }
@@ -37,6 +41,14 @@ class OrderProperty {
   /// drops repeated columns (a column equivalent to an earlier one adds no
   /// ordering information).
   OrderProperty Canonicalize(const ColumnEquivalence& equiv) const;
+
+  /// Allocation-free variant for the estimate-mode hot path: writes the
+  /// canonical form into `*out`, reusing its column buffer's capacity.
+  /// `out` must not alias `this`. Canonicalizing into a reused scratch
+  /// OrderProperty performs no heap allocation in steady state — the
+  /// property hotpath_alloc_test locks in.
+  void CanonicalizeInto(const ColumnEquivalence& equiv,
+                        OrderProperty* out) const;
 
   /// True if rows ordered by *this* also satisfy `required` (prefix
   /// semantics): `required` must be a prefix of this order. This is the

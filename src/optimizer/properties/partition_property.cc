@@ -17,11 +17,21 @@ PartitionProperty PartitionProperty::Hash(std::vector<ColumnRef> columns) {
 
 PartitionProperty PartitionProperty::Canonicalize(
     const ColumnEquivalence& equiv) const {
-  if (kind_ != Kind::kHash) return *this;
-  std::vector<ColumnRef> cols;
-  cols.reserve(columns_.size());
-  for (const ColumnRef& c : columns_) cols.push_back(equiv.Find(c));
-  return Hash(std::move(cols));
+  PartitionProperty out;
+  CanonicalizeInto(equiv, &out);
+  return out;
+}
+
+void PartitionProperty::CanonicalizeInto(const ColumnEquivalence& equiv,
+                                         PartitionProperty* out) const {
+  out->kind_ = kind_;
+  std::vector<ColumnRef>& out_cols = out->columns_;
+  out_cols.clear();
+  if (kind_ != Kind::kHash) return;
+  for (const ColumnRef& c : columns_) out_cols.push_back(equiv.Find(c));
+  std::sort(out_cols.begin(), out_cols.end());
+  out_cols.erase(std::unique(out_cols.begin(), out_cols.end()),
+                 out_cols.end());
 }
 
 bool PartitionProperty::Satisfies(const PartitionProperty& required) const {

@@ -49,6 +49,12 @@ class PartitionProperty {
   /// Rewrites key columns through the equivalence relation and re-sorts.
   PartitionProperty Canonicalize(const ColumnEquivalence& equiv) const;
 
+  /// Allocation-free variant for the estimate-mode hot path: writes the
+  /// canonical form into `*out`, reusing its key buffer's capacity.
+  /// `out` must not alias `this`.
+  void CanonicalizeInto(const ColumnEquivalence& equiv,
+                        PartitionProperty* out) const;
+
   /// True if this distribution can serve as `required` without data
   /// movement. Replicated serves any hash requirement; single-node rows
   /// are trivially "co-partitioned" with anything on that node.

@@ -1,5 +1,7 @@
 #include "optimizer/topdown_enumerator.h"
 
+#include "common/check.h"
+
 namespace cote {
 
 namespace {
@@ -8,7 +10,9 @@ constexpr int kFlatExploredMaxTables = 20;
 }  // namespace
 
 bool TopDownEnumerator::Lookup(uint64_t bits, bool* constructible) const {
+  COTE_DCHECK_NE(bits, uint64_t{0});
   if (!explored_flat_.empty()) {
+    COTE_DCHECK_LT(bits, explored_flat_.size());
     if (explored_flat_[bits] == 0) return false;
     *constructible = constructible_flat_[bits] != 0;
     return true;
@@ -20,7 +24,9 @@ bool TopDownEnumerator::Lookup(uint64_t bits, bool* constructible) const {
 }
 
 void TopDownEnumerator::Store(uint64_t bits, bool constructible) {
+  COTE_DCHECK_NE(bits, uint64_t{0});
   if (!explored_flat_.empty()) {
+    COTE_DCHECK_LT(bits, explored_flat_.size());
     explored_flat_[bits] = 1;
     constructible_flat_[bits] = constructible ? 1 : 0;
     return;
@@ -29,8 +35,10 @@ void TopDownEnumerator::Store(uint64_t bits, bool constructible) {
 }
 
 EnumerationStats TopDownEnumerator::Run(JoinVisitor* visitor) {
+  COTE_CHECK(visitor != nullptr);
   EnumerationStats stats;
   const int n = graph_.num_tables();
+  COTE_CHECK_LE(n, 64);
   explored_.clear();
   if (n <= kFlatExploredMaxTables) {
     explored_flat_.assign(size_t{1} << n, 0);
@@ -62,8 +70,9 @@ bool TopDownEnumerator::Explore(TableSet s, JoinVisitor* visitor,
   // true cycle, but this keeps accidental re-entry harmless.
   Store(s.bits(), false);
 
+  COTE_DCHECK(s.size() >= 2);
   const uint64_t mask = s.bits();
-  const uint64_t low = mask & (~mask + 1);
+  const uint64_t low = LowestBit(mask);
   const uint64_t rest_bits = mask ^ low;
   bool constructible = false;
 

@@ -24,8 +24,13 @@ uint32_t ColumnEquivalence::Root(uint32_t x) const {
 
 void ColumnEquivalence::AddEquivalence(ColumnRef a, ColumnRef b) {
   uint32_t ka = a.Encode(), kb = b.Encode();
-  parent_.emplace(ka, ka);
-  parent_.emplace(kb, kb);
+  // Probe before emplace: libstdc++'s unordered_map::emplace allocates the
+  // node before checking for a duplicate key, and this runs once per
+  // internal predicate per MEMO entry on the estimate-mode hot path.
+  // hotpath-ok: guarded insert — fires only the first time a key is seen
+  if (parent_.find(ka) == parent_.end()) parent_.emplace(ka, ka);
+  // hotpath-ok: guarded insert — fires only the first time a key is seen
+  if (parent_.find(kb) == parent_.end()) parent_.emplace(kb, kb);
   uint32_t ra = Root(ka), rb = Root(kb);
   if (ra == rb) return;
   // Keep the minimum encoding as the root so Find() is canonical.

@@ -1,15 +1,17 @@
 #include "query/query_graph.h"
 
 #include <algorithm>
-#include <cassert>
 
+#include "common/check.h"
 #include "common/str_util.h"
 
 namespace cote {
 
 int QueryGraph::AddTableRef(const Table* table, std::string alias) {
-  assert(table != nullptr);
-  assert(num_tables() < 64 && "TableSet supports at most 64 table refs");
+  // Always-on: TableSet supports at most 64 table refs, and every bitmask
+  // downstream (adjacency, MEMO index, enumeration) relies on it.
+  COTE_CHECK(table != nullptr);
+  COTE_CHECK_LT(num_tables(), 64);
   QueryTableRef ref;
   ref.table = table;
   ref.alias = alias.empty() ? table->name() : std::move(alias);
@@ -30,7 +32,7 @@ void QueryGraph::EnsureAdjacency() const {
   adj_.outer_pred_indices.clear();
 
   for (int t = 0; t < n; ++t) {
-    if (tables_[t].inner_only) adj_.inner_only_mask |= uint64_t{1} << t;
+    if (tables_[t].inner_only) adj_.inner_only_mask |= BitAt(t);
   }
   // Counting pass, then prefix sums, then a stable fill — predicate
   // indices stay ascending within each table pair because the fill scans
@@ -38,8 +40,13 @@ void QueryGraph::EnsureAdjacency() const {
   for (int i = 0; i < num_preds; ++i) {
     const JoinPredicate& p = join_preds_[i];
     int a = p.left.table, b = p.right.table;
-    adj_.adj[a] |= uint64_t{1} << b;
-    adj_.adj[b] |= uint64_t{1} << a;
+    // Predicates referencing tables outside the FROM list would corrupt
+    // the CSR layout; catch them here, once, when the cache is built.
+    COTE_CHECK(a >= 0 && a < n);
+    COTE_CHECK(b >= 0 && b < n);
+    COTE_CHECK_NE(a, b);
+    adj_.adj[a] |= BitAt(b);
+    adj_.adj[b] |= BitAt(a);
     ++adj_.pair_offset[PairKey(a, b) + 1];
     if (p.kind == JoinKind::kLeftOuter) adj_.outer_pred_indices.push_back(i);
   }

@@ -1,0 +1,101 @@
+#ifndef COTE_TESTS_COMMON_ALLOC_GUARD_H_
+#define COTE_TESTS_COMMON_ALLOC_GUARD_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+/// \file
+/// Counting operator-new hook: the runtime half of the hot-path purity
+/// contract (the static half is tools/hotpath_lint.py).
+///
+/// Usage: exactly one translation unit in the test binary defines
+/// COTE_ALLOC_GUARD_IMPLEMENT before including this header; that TU gets
+/// the replacement global operator new/delete definitions, which count
+/// every heap allocation in the process. Tests then bracket a region with
+/// AllocationCounter and assert on delta().
+///
+/// The hook counts — it never fails by itself — so it is safe to link
+/// into a binary that also runs ordinary allocating tests.
+
+namespace cote {
+namespace testing {
+
+inline std::atomic<int64_t>& GlobalAllocCount() {
+  static std::atomic<int64_t> count{0};
+  return count;
+}
+
+/// Counts heap allocations performed between construction (or Reset())
+/// and delta().
+class AllocationCounter {
+ public:
+  AllocationCounter() : start_(GlobalAllocCount().load()) {}
+  void Reset() { start_ = GlobalAllocCount().load(); }
+  int64_t delta() const { return GlobalAllocCount().load() - start_; }
+
+ private:
+  int64_t start_;
+};
+
+}  // namespace testing
+}  // namespace cote
+
+#ifdef COTE_ALLOC_GUARD_IMPLEMENT
+
+namespace {
+void* CountedAlloc(std::size_t size) {
+  cote::testing::GlobalAllocCount().fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* CountedAllocAligned(std::size_t size, std::size_t align) {
+  cote::testing::GlobalAllocCount().fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = align;
+  void* p = std::aligned_alloc(align, (size + align - 1) / align * align);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  cote::testing::GlobalAllocCount().fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  cote::testing::GlobalAllocCount().fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return CountedAllocAligned(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return CountedAllocAligned(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#endif  // COTE_ALLOC_GUARD_IMPLEMENT
+
+#endif  // COTE_TESTS_COMMON_ALLOC_GUARD_H_

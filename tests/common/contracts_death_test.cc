@@ -1,0 +1,67 @@
+// Death tests for the COTE contract macros (src/common/check.h) at the
+// trust boundaries they guard. The always-on COTE_CHECKs fire in every
+// build type; the COTE_DCHECK tests compile out under NDEBUG (the default
+// RelWithDebInfo build) and are skipped there — tools/run_checks.sh runs
+// them for real in its Debug sanitizer cycle.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "common/flat_set_index.h"
+#include "common/table_set.h"
+
+namespace cote {
+namespace {
+
+using ContractsDeathTest = ::testing::Test;
+
+TEST(ContractsDeathTest, FlatSetIndexRejectsOverWideUniverse) {
+  // Always-on boundary CHECK: the index sizes bitmask-keyed storage, so a
+  // universe wider than 64 tables would shift out of range.
+  EXPECT_DEATH(FlatSetIndex(65), "COTE_CHECK failed");
+  EXPECT_DEATH(FlatSetIndex(-1), "COTE_CHECK failed");
+}
+
+#ifndef NDEBUG
+
+TEST(ContractsDeathTest, FlatSetIndexRejectsEmptyKey) {
+  // Key 0 is the dense sentinel for "absent"; probing with it would
+  // silently report a phantom entry.
+  FlatSetIndex index(8);
+  EXPECT_DEATH(index.Find(0), "COTE_CHECK failed");
+  bool created = false;
+  EXPECT_DEATH(index.FindOrInsert(0, &created), "COTE_CHECK failed");
+}
+
+TEST(ContractsDeathTest, FlatSetIndexRejectsKeyOutsideDenseUniverse) {
+  // In dense mode the key indexes a 2^n array directly; a set containing
+  // a table >= n would read past it.
+  FlatSetIndex index(8);
+  EXPECT_DEATH(index.Find(uint64_t{1} << 9), "COTE_CHECK failed");
+}
+
+TEST(ContractsDeathTest, TableSetRejectsOverWidthIndices) {
+  TableSet s = TableSet::FirstN(4);
+  EXPECT_DEATH(s.Contains(64), "COTE_CHECK failed");
+  EXPECT_DEATH(s.Contains(-1), "COTE_CHECK failed");
+  EXPECT_DEATH(TableSet::Single(64), "COTE_CHECK failed");
+}
+
+TEST(ContractsDeathTest, EmptySetHasNoFirstTable) {
+  TableSet empty;
+  EXPECT_DEATH(empty.First(), "COTE_CHECK failed");
+}
+
+#else  // NDEBUG
+
+TEST(ContractsDeathTest, DebugOnlyContractsCompiledOut) {
+  GTEST_SKIP() << "COTE_DCHECK contracts compile out under NDEBUG; "
+                  "tools/run_checks.sh exercises them in a Debug build.";
+}
+
+#endif  // NDEBUG
+
+}  // namespace
+}  // namespace cote

@@ -10,11 +10,11 @@ namespace {
 TEST(StopWatchTest, MeasuresElapsedTime) {
   StopWatch w;
   volatile double sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += i * 0.5;
+  for (int i = 0; i < 100000; ++i) sink = sink + i * 0.5;
   EXPECT_GT(w.ElapsedMicros(), 0);
   EXPECT_GT(w.ElapsedSeconds(), 0);
   int64_t first = w.ElapsedMicros();
-  for (int i = 0; i < 100000; ++i) sink += i * 0.5;
+  for (int i = 0; i < 100000; ++i) sink = sink + i * 0.5;
   EXPECT_GE(w.ElapsedMicros(), first);  // monotone
   w.Restart();
   EXPECT_LE(w.ElapsedMicros(), first + 1000000);
@@ -26,7 +26,7 @@ TEST(TimeAccumulatorTest, AccumulatesIntervals) {
   volatile double sink = 0;
   for (int rep = 0; rep < 3; ++rep) {
     acc.Start();
-    for (int i = 0; i < 50000; ++i) sink += i;
+    for (int i = 0; i < 50000; ++i) sink = sink + i;
     acc.Stop();
   }
   int64_t total = acc.TotalNanos();
@@ -42,7 +42,7 @@ TEST(ScopedTimerTest, AddsScopeLifetime) {
   {
     ScopedTimer t(&acc);
     volatile double sink = 0;
-    for (int i = 0; i < 50000; ++i) sink += i;
+    for (int i = 0; i < 50000; ++i) sink = sink + i;
   }
   EXPECT_GT(acc.TotalNanos(), 0);
   // Null accumulator is a no-op.

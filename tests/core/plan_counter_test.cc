@@ -194,6 +194,36 @@ TEST(PlanCounterTest, RespectsEnumeratorKnobs) {
   EXPECT_LT(Count(g, {}, left_deep).total(), Count(g, {}, bushy).total());
 }
 
+TEST(PlanCounterTest, ReRunningEnumerationIsIdempotent) {
+  // Regression: InitializeEntry's base-table partition / compound seeding
+  // used un-guarded pushes, so driving the same counter through a second
+  // enumeration run duplicated every seeded value and inflated the
+  // second run's counts. All list pushes must dedupe (set semantics).
+  auto catalog = MakeCatalog();
+  QueryGraph g = Chain(*catalog, 5, /*preds_per_edge=*/2, /*order_by=*/true);
+  for (MultiPropertyMode mode :
+       {MultiPropertyMode::kSeparate, MultiPropertyMode::kCompound}) {
+    PlanCounterOptions copt;
+    copt.parallel = true;
+    copt.eager_partitions = true;
+    copt.multi_property = mode;
+    CardinalityModel card(g, false);
+    InterestingOrders interesting(g);
+    PlanCounter counter(g, interesting, card, copt);
+    JoinEnumerator enumerator(g, {});
+    enumerator.Run(&counter);
+    const int64_t slots1 = counter.TotalPlanSlots();
+    const int64_t nljn1 = counter.estimated_plans().nljn();
+    const int64_t mgjn1 = counter.estimated_plans().mgjn();
+    enumerator.Run(&counter);
+    // Property lists are quiescent: the MEMO-size proxy must not move,
+    // and the second run must accumulate exactly the same plan counts.
+    EXPECT_EQ(counter.TotalPlanSlots(), slots1);
+    EXPECT_EQ(counter.estimated_plans().nljn(), 2 * nljn1);
+    EXPECT_EQ(counter.estimated_plans().mgjn(), 2 * mgjn1);
+  }
+}
+
 TEST(PlanCounterTest, CartesianJoinsCountNljnOnly) {
   auto catalog = MakeCatalog();
   QueryBuilder qb(*catalog);

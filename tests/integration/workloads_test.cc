@@ -43,7 +43,9 @@ TEST_P(WorkloadTest, ShapeMatchesPaperDescription) {
       }
     }
   }
-  if (w.name == "real1") EXPECT_EQ(w.size(), 8);
+  if (w.name == "real1") {
+    EXPECT_EQ(w.size(), 8);
+  }
   if (w.name == "real2") {
     EXPECT_EQ(w.size(), 17);
     // The 14-table monster described in §5.
@@ -53,8 +55,12 @@ TEST_P(WorkloadTest, ShapeMatchesPaperDescription) {
     }
     EXPECT_EQ(max_tables, 14);
   }
-  if (w.name == "tpch") EXPECT_EQ(w.size(), 7);
-  if (w.name == "tpch_full") EXPECT_EQ(w.size(), 22);
+  if (w.name == "tpch") {
+    EXPECT_EQ(w.size(), 7);
+  }
+  if (w.name == "tpch_full") {
+    EXPECT_EQ(w.size(), 22);
+  }
 }
 
 TEST_P(WorkloadTest, AllQueriesOptimizeSerial) {

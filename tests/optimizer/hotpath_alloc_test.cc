@@ -1,0 +1,182 @@
+// Runtime half of the hot-path purity contract (the static half is
+// tools/hotpath_lint.py): after one warm-up enumeration, re-running the
+// same enumeration must perform ZERO heap allocations — every buffer the
+// hot path touches is scratch whose capacity survives across runs.
+//
+// Covered modes (n = 12, the paper's DP sweet spot, on three shapes):
+//  * estimate mode: JoinEnumerator driving a PlanCounter with default
+//    options (serial, kSeparate) — the configuration whose per-join cost
+//    the paper's estimator charges;
+//  * pure enumeration: JoinEnumerator driving a do-nothing visitor, which
+//    isolates the enumeration substrate itself.
+//
+// The test uses the counting operator-new hook from
+// tests/common/alloc_guard.h; this TU provides the hook's definitions, so
+// this file must stay in its own test binary.
+
+#define COTE_ALLOC_GUARD_IMPLEMENT
+#include "tests/common/alloc_guard.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/rng.h"
+#include "core/plan_counter.h"
+#include "optimizer/cost/cardinality.h"
+#include "optimizer/enumerator.h"
+#include "optimizer/properties/interesting_orders.h"
+#include "query/query_builder.h"
+
+namespace cote {
+namespace {
+
+constexpr int kNumTables = 12;
+
+std::shared_ptr<Catalog> MakeCatalog(int n) {
+  auto catalog = std::make_shared<Catalog>();
+  for (int i = 0; i < n; ++i) {
+    TableBuilder b("T" + std::to_string(i), 1000 + 37 * i);
+    b.Col("a", ColumnType::kInt, 100)
+        .Col("b", ColumnType::kInt, 50)
+        .Col("c", ColumnType::kInt, 25);
+    EXPECT_TRUE(catalog->AddTable(b.Build()).ok());
+  }
+  return catalog;
+}
+
+// Same shape generator as the golden-equivalence tests, so the zero-alloc
+// property is proven on the exact graphs whose outputs are pinned.
+QueryGraph MakeShape(const Catalog& catalog, const std::string& shape,
+                     int n) {
+  QueryBuilder qb(catalog);
+  for (int i = 0; i < n; ++i) {
+    qb.AddTable("T" + std::to_string(i), "t" + std::to_string(i));
+  }
+  const char* cols[] = {"a", "b", "c"};
+  auto edge = [&](int x, int y, int e) {
+    qb.Join("t" + std::to_string(x), cols[e % 3], "t" + std::to_string(y),
+            cols[e % 3]);
+  };
+  if (shape == "linear") {
+    for (int i = 0; i + 1 < n; ++i) edge(i, i + 1, i);
+  } else if (shape == "star") {
+    for (int i = 1; i < n; ++i) edge(0, i, i - 1);
+  } else {  // random
+    Rng rng(0xc0feULL + static_cast<uint64_t>(n));
+    for (int i = 1; i < n; ++i) {
+      edge(static_cast<int>(rng.Uniform(static_cast<uint64_t>(i))), i, i);
+    }
+    for (int extra = 0; extra < n / 2; ++extra) {
+      int a = static_cast<int>(rng.Uniform(static_cast<uint64_t>(n)));
+      int b = static_cast<int>(rng.Uniform(static_cast<uint64_t>(n)));
+      if (a != b) edge(std::min(a, b), std::max(a, b), extra);
+    }
+  }
+  qb.OrderBy({{"t0", "b"}});
+  qb.GroupBy({{"t1", "c"}});
+  auto g = qb.Build();
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+/// Visitor that does nothing: isolates the enumeration substrate.
+class NullVisitor : public JoinVisitor {
+ public:
+  void InitializeEntry(TableSet) override {}
+  double EntryCardinality(TableSet) override { return 1000.0; }
+  void OnJoin(TableSet, TableSet, const std::vector<int>&, bool) override {}
+};
+
+// The hook must actually be linked in, otherwise every zero-delta below
+// would be vacuous.
+TEST(AllocGuard, CountsHeapAllocations) {
+  testing::AllocationCounter alloc;
+  auto* v = new std::vector<int>(64);
+  EXPECT_GT(alloc.delta(), 0);
+  delete v;
+}
+
+class HotpathAllocTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(HotpathAllocTest, EstimateModeSteadyStateAllocatesNothing) {
+  auto catalog = MakeCatalog(kNumTables);
+  QueryGraph g = MakeShape(*catalog, GetParam(), kNumTables);
+  InterestingOrders interesting(g);
+  CardinalityModel card(g, /*use_key_refinement=*/false);
+
+  EnumeratorOptions opt;
+  opt.max_composite_inner = 2;  // the paper's DP limit
+  PlanCounter counter(g, interesting, card, PlanCounterOptions{});
+  JoinEnumerator enumerator(g, opt);
+
+  // Warm-up: builds the MEMO index, entry states, property lists, the
+  // cardinality cache, and every scratch buffer's capacity.
+  EnumerationStats first = enumerator.Run(&counter);
+  const int64_t nljn1 = counter.estimated_plans().nljn();
+  const int64_t mgjn1 = counter.estimated_plans().mgjn();
+  const int64_t hsjn1 = counter.estimated_plans().hsjn();
+
+  testing::AllocationCounter alloc;
+  EnumerationStats second = enumerator.Run(&counter);
+  EXPECT_EQ(alloc.delta(), 0)
+      << "estimate-mode steady state performed heap allocations";
+
+  // The steady-state run must also be behaviorally identical: same join
+  // sequence (stats equal) and exactly-doubled accumulated plan counts.
+  EXPECT_EQ(second.entries_created, first.entries_created);
+  EXPECT_EQ(second.joins_unordered, first.joins_unordered);
+  EXPECT_EQ(second.joins_ordered, first.joins_ordered);
+  EXPECT_EQ(counter.estimated_plans().nljn(), 2 * nljn1);
+  EXPECT_EQ(counter.estimated_plans().mgjn(), 2 * mgjn1);
+  EXPECT_EQ(counter.estimated_plans().hsjn(), 2 * hsjn1);
+}
+
+TEST_P(HotpathAllocTest, NullVisitorSteadyStateAllocatesNothing) {
+  auto catalog = MakeCatalog(kNumTables);
+  QueryGraph g = MakeShape(*catalog, GetParam(), kNumTables);
+
+  EnumeratorOptions opt;
+  opt.max_composite_inner = 2;
+  NullVisitor visitor;
+  JoinEnumerator enumerator(g, opt);
+
+  EnumerationStats first = enumerator.Run(&visitor);
+  testing::AllocationCounter alloc;
+  EnumerationStats second = enumerator.Run(&visitor);
+  EXPECT_EQ(alloc.delta(), 0)
+      << "pure enumeration steady state performed heap allocations";
+  EXPECT_EQ(second.entries_created, first.entries_created);
+  EXPECT_EQ(second.joins_unordered, first.joins_unordered);
+  EXPECT_EQ(second.joins_ordered, first.joins_ordered);
+}
+
+TEST(HotpathAllocFullBushyTest, LinearFullBushySteadyStateAllocatesNothing) {
+  auto catalog = MakeCatalog(kNumTables);
+  QueryGraph g = MakeShape(*catalog, "linear", kNumTables);
+  InterestingOrders interesting(g);
+  CardinalityModel card(g, /*use_key_refinement=*/false);
+
+  EnumeratorOptions opt;
+  opt.max_composite_inner = 64;  // full bushy search space
+  PlanCounter counter(g, interesting, card, PlanCounterOptions{});
+  JoinEnumerator enumerator(g, opt);
+
+  enumerator.Run(&counter);
+  testing::AllocationCounter alloc;
+  enumerator.Run(&counter);
+  EXPECT_EQ(alloc.delta(), 0)
+      << "full-bushy estimate-mode steady state performed heap allocations";
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, HotpathAllocTest,
+                         ::testing::Values("linear", "star", "random"),
+                         [](const ::testing::TestParamInfo<const char*>& i) {
+                           return std::string(i.param);
+                         });
+
+}  // namespace
+}  // namespace cote

@@ -89,7 +89,9 @@ TEST(PlanGeneratorTest, HsjnOutputCarriesNoOrder) {
   OptimizeResult r = Optimize(g);
   for (const MemoEntry* e : r.memo->entries_in_order()) {
     for (const Plan* p : e->plans()) {
-      if (p->op == OpType::kHsjn) EXPECT_TRUE(p->order.IsNone());
+      if (p->op == OpType::kHsjn) {
+        EXPECT_TRUE(p->order.IsNone());
+      }
     }
   }
 }

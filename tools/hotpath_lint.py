@@ -1,0 +1,353 @@
+#!/usr/bin/env python3
+"""Hot-path purity linter for the COTE enumeration core.
+
+PR 1 made the enumeration hot path allocation- and hash-free; this check
+keeps it that way. It parses the hot-path translation units, locates the
+functions that run once per enumerated join (or per MEMO probe), and
+fails on constructs that would reintroduce per-join heap traffic:
+
+  * `new` expressions and `std::function` objects anywhere in a hot
+    function;
+  * construction of node-based / hashed containers (`std::unordered_map`,
+    `std::unordered_set`, `std::map`, `std::set`) anywhere in a hot
+    function;
+  * container growth calls (`push_back`, `emplace_back`, `emplace`,
+    `insert`, `resize`, `assign`, `reserve`) whose receiver is not a
+    registered scratch buffer, entry-state list, or arena;
+  * declarations of local standard containers inside loops of a hot
+    function.
+
+Escape hatch: a line (or its predecessor) carrying `// hotpath-ok: <why>`
+is exempt — the reason is mandatory and reviewed like any comment. The
+linter also fails if a configured hot function disappears, so a rename
+cannot silently turn the check off.
+
+Runtime counterpart: tests/optimizer/hotpath_alloc_test.cc asserts zero
+steady-state allocations with a counting operator-new hook; this file is
+the static half of that contract.
+
+Usage: tools/hotpath_lint.py [--repo-root PATH]
+Exit status: 0 clean, 1 violations, 2 configuration/parse errors.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# ---------------------------------------------------------------------------
+# Configuration: the hot path, and what is allowed to grow.
+
+# Per file: the functions that run per enumerated join / per probe.
+# Matching is by unqualified name on a definition at file scope.
+HOT_FUNCTIONS = {
+    "src/optimizer/enumerator.cc": [
+        "RunBottomUp",
+        "Run",  # JoinEnumerator::Run
+    ],
+    "src/optimizer/topdown_enumerator.cc": [
+        "Lookup",
+        "Store",
+        "Run",
+        "Explore",
+    ],
+    "src/core/plan_counter.cc": [
+        "EntryIndex",
+        "State",
+        "FindState",
+        "EntryCardinality",
+        "InitializeEntry",
+        "PropagateOrders",
+        "PropagatePartitions",
+        "JoinPartitions",
+        "OnJoin",
+    ],
+    # Property canonicalization runs per enumerated join (via
+    # PropagateOrders / Useful), so its Into-variants are hot too.
+    "src/optimizer/properties/order_property.cc": [
+        "CanonicalizeInto",
+    ],
+    "src/optimizer/properties/partition_property.cc": [
+        "CanonicalizeInto",
+    ],
+    "src/optimizer/properties/interesting_orders.cc": [
+        "ActiveInterests",
+        "Useful",
+    ],
+    # Union-find: Root runs per canonicalized column; AddEquivalence runs
+    # per internal predicate per entry (quiescent after the first run).
+    "src/query/equivalence.cc": [
+        "Root",
+        "AddEquivalence",
+    ],
+    "src/optimizer/memo.cc": [
+        "Index",
+        "GetOrCreate",
+        "Find",
+        "NewPlan",
+        "Insert",
+    ],
+    "src/query/query_graph.cc": [
+        "ConnectingPredicates",
+        "InternalPredicates",
+        "AreConnected",
+        "IsSubgraphConnected",
+        "Neighbors",
+        "OuterEnabled",
+        "OuterJoinOrientationOk",
+    ],
+}
+
+# Receivers allowed to call growth methods inside hot functions.
+ALLOWED_RECEIVERS = {
+    # Scratch buffers: cleared per call, capacity retained across calls.
+    "out", "out_cols", "preds", "preds_", "pred_scratch", "pred_scratch_",
+    "jcols_", "jparts_", "canon_inputs_", "listp_", "listc_",
+    "distinct_orders_", "exists_", "cols_scratch_", "active_scratch_",
+    # Entry-state property lists: grow only while new distinct property
+    # values appear, so they are quiescent in steady state (and the
+    # dedupe before every push is part of the Table 3 algorithm).
+    "orders", "partitions", "compound",
+    # Arenas and per-run structures: amortized growth by design (deque
+    # arenas for entries/plans, flat bitmaps sized once per run).
+    "plans", "plans_", "entry_arena_", "creation_order_", "arena_",
+    "states_", "explored_flat_", "constructible_flat_",
+}
+
+BANNED_ANYWHERE = [
+    (re.compile(r"\bnew\b(?!\s*\()?"), "operator new in a hot function"),
+    (re.compile(r"\bstd::unordered_map\s*<"), "std::unordered_map in a hot function"),
+    (re.compile(r"\bstd::unordered_set\s*<"), "std::unordered_set in a hot function"),
+    (re.compile(r"\bstd::map\s*<"), "std::map in a hot function"),
+    (re.compile(r"\bstd::set\s*<"), "std::set in a hot function"),
+    (re.compile(r"\bstd::function\s*<"), "std::function in a hot function"),
+    (re.compile(r"\bstd::make_unique\s*<|\bstd::make_shared\s*<"),
+     "heap-owning smart pointer in a hot function"),
+]
+
+GROWTH_CALL = re.compile(
+    r"([A-Za-z_][A-Za-z0-9_]*(?:\s*(?:\.|->)\s*[A-Za-z_][A-Za-z0-9_]*)*)"
+    r"\s*(?:\.|->)\s*"
+    r"(push_back|emplace_back|emplace|insert|resize|assign|reserve)\s*\(")
+
+LOCAL_CONTAINER_IN_LOOP = re.compile(
+    r"\bstd::(?:vector|string|deque|list)\s*<[^;]*>\s+[A-Za-z_]"
+    r"|\bstd::string\s+[A-Za-z_]")
+
+ANNOTATION = re.compile(r"//\s*hotpath-ok\s*:\s*\S")
+
+FUNC_DEF = re.compile(
+    r"^(?!\s*//)[A-Za-z_][\w:<>,&*\s]*?\b(?:[A-Za-z_][A-Za-z0-9_]*::)?"
+    r"(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*\([^;]*$|"
+    r"^(?!\s*//)[A-Za-z_][\w:<>,&*\s]*?\b(?:[A-Za-z_][A-Za-z0-9_]*::)?"
+    r"(?P<name2>[A-Za-z_][A-Za-z0-9_]*)\s*\(.*\)\s*(?:const)?\s*\{")
+
+
+def strip_comments_and_strings(line):
+    """Removes // comments, string and char literals (keeps structure)."""
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n and line[i] != quote:
+                if line[i] == "\\":
+                    i += 1
+                i += 1
+            out.append(quote)
+            i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+class Violation:
+    def __init__(self, path, line_no, func, message, text):
+        self.path = path
+        self.line_no = line_no
+        self.func = func
+        self.message = message
+        self.text = text.strip()
+
+    def __str__(self):
+        return (f"{self.path}:{self.line_no}: [{self.func}] {self.message}\n"
+                f"    {self.text}")
+
+
+def find_functions(lines, wanted):
+    """Yields (name, start_idx, end_idx) for wanted function definitions.
+
+    Brace-counting parser: a definition is a column-0 line (the style the
+    codebase is written in — statements are always indented) mentioning
+    `name(` whose statement ends with `{` rather than `;`.
+    """
+    spans = []
+    i = 0
+    n = len(lines)
+    while i < n:
+        stripped = strip_comments_and_strings(lines[i])
+        matched = None
+        at_col0 = bool(lines[i]) and not lines[i][0].isspace() and \
+            not lines[i].startswith(("}", "#", "//", "/*"))
+        if at_col0:
+            for name in wanted:
+                if re.search(r"\b%s\s*\(" % re.escape(name), stripped) and \
+                        not re.match(r"\s*(?:if|for|while|switch|return)\b",
+                                     stripped):
+                    matched = name
+                    break
+        if matched is not None:
+            # Scan forward to the first '{' or ';' that closes the
+            # declarator (at paren depth 0).
+            j = i
+            paren = 0
+            body_start = None
+            is_decl_only = False
+            while j < n:
+                s = strip_comments_and_strings(lines[j])
+                for k, ch in enumerate(s):
+                    if ch == "(":
+                        paren += 1
+                    elif ch == ")":
+                        paren -= 1
+                    elif ch == ";" and paren == 0:
+                        is_decl_only = True
+                        break
+                    elif ch == "{" and paren == 0:
+                        body_start = (j, k)
+                        break
+                if body_start or is_decl_only:
+                    break
+                j += 1
+            if is_decl_only or body_start is None:
+                i += 1
+                continue
+            # Brace-count from body_start to the matching close.
+            bj, bk = body_start
+            brace = 0
+            end = None
+            for jj in range(bj, n):
+                s = strip_comments_and_strings(lines[jj])
+                start_k = bk if jj == bj else 0
+                for ch in s[start_k:]:
+                    if ch == "{":
+                        brace += 1
+                    elif ch == "}":
+                        brace -= 1
+                        if brace == 0:
+                            end = jj
+                            break
+                if end is not None:
+                    break
+            if end is None:
+                raise RuntimeError(
+                    f"unbalanced braces scanning function '{matched}'")
+            spans.append((matched, i, end))
+            i = end + 1
+            continue
+        i += 1
+    return spans
+
+
+def lint_function(path, lines, name, start, end):
+    violations = []
+    # Loop depth tracking within the function body.
+    loop_depth_stack = []  # brace depths at which a loop body began
+    brace = 0
+    pending_loop = False
+    for idx in range(start, end + 1):
+        raw = lines[idx]
+        stripped = strip_comments_and_strings(raw)
+        annotated = (ANNOTATION.search(raw) or
+                     (idx > 0 and ANNOTATION.search(lines[idx - 1])))
+
+        in_loop = len(loop_depth_stack) > 0
+        if not annotated:
+            for pattern, message in BANNED_ANYWHERE:
+                if pattern.search(stripped):
+                    violations.append(
+                        Violation(path, idx + 1, name, message, raw))
+            for m in GROWTH_CALL.finditer(stripped):
+                receiver = re.split(r"\s*(?:\.|->)\s*", m.group(1))[-1]
+                base = re.split(r"\s*(?:\.|->)\s*", m.group(1))[0]
+                if receiver not in ALLOWED_RECEIVERS and \
+                        base not in ALLOWED_RECEIVERS:
+                    violations.append(Violation(
+                        path, idx + 1, name,
+                        f"growth call {m.group(2)}() on non-scratch "
+                        f"receiver '{m.group(1)}'", raw))
+            if in_loop and LOCAL_CONTAINER_IN_LOOP.search(stripped):
+                violations.append(Violation(
+                    path, idx + 1, name,
+                    "local standard container declared inside a loop", raw))
+
+        if re.search(r"\b(?:for|while)\s*\(", stripped) or \
+                re.search(r"\bdo\s*\{", stripped):
+            pending_loop = True
+        for ch in stripped:
+            if ch == "{":
+                brace += 1
+                if pending_loop:
+                    loop_depth_stack.append(brace)
+                    pending_loop = False
+            elif ch == "}":
+                if loop_depth_stack and loop_depth_stack[-1] == brace:
+                    loop_depth_stack.pop()
+                brace -= 1
+    return violations
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repo-root", default=None,
+                        help="repository root (default: parent of tools/)")
+    args = parser.parse_args()
+    root = Path(args.repo_root) if args.repo_root else \
+        Path(__file__).resolve().parent.parent
+
+    all_violations = []
+    config_errors = []
+    for rel, wanted in HOT_FUNCTIONS.items():
+        path = root / rel
+        if not path.exists():
+            config_errors.append(f"hot-path file missing: {rel}")
+            continue
+        lines = path.read_text().splitlines()
+        try:
+            spans = find_functions(lines, wanted)
+        except RuntimeError as e:
+            config_errors.append(f"{rel}: {e}")
+            continue
+        found = {name for name, _, _ in spans}
+        for name in wanted:
+            if name not in found:
+                config_errors.append(
+                    f"{rel}: configured hot function '{name}' not found "
+                    f"(renamed? update tools/hotpath_lint.py)")
+        for name, start, end in spans:
+            all_violations.extend(lint_function(rel, lines, name, start, end))
+
+    for err in config_errors:
+        print(f"hotpath_lint: config error: {err}", file=sys.stderr)
+    for v in all_violations:
+        print(v, file=sys.stderr)
+    if config_errors:
+        return 2
+    if all_violations:
+        print(f"hotpath_lint: {len(all_violations)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print(f"hotpath_lint: clean "
+          f"({sum(len(v) for v in HOT_FUNCTIONS.values())} hot functions "
+          f"across {len(HOT_FUNCTIONS)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,139 @@
+#!/usr/bin/env bash
+# Tier-2 gate for the COTE repo: one driver that runs every static and
+# dynamic check this codebase ships. Exits non-zero if any gate fails.
+#
+#   1. warnings-as-errors build      (-DCOTE_WERROR=ON, src/ scope)
+#   2. full test suite               (ctest on the werror build)
+#   3. clang-format check            (--dry-run -Werror; skipped w/ notice
+#                                     if clang-format is not installed)
+#   4. clang-tidy                    (.clang-tidy profile over src/;
+#                                     skipped w/ notice if not installed)
+#   5. hot-path purity lint          (tools/hotpath_lint.py)
+#   6. Debug + ASan/UBSan cycle      (-DCOTE_SANITIZE=address,undefined;
+#                                     Debug so COTE_DCHECK contracts and
+#                                     their death tests run for real)
+#
+# Usage: tools/run_checks.sh [--skip-san] [--jobs N]
+#   --skip-san   skip the (slow) sanitizer configure/build/test cycle
+#   --jobs N     parallelism for builds and ctest (default: nproc)
+#
+# Build trees live under build-checks/ (werror) and build-checks-san/
+# (sanitized Debug); both are disposable and gitignored.
+
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+SKIP_SAN=0
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --skip-san) SKIP_SAN=1 ;;
+    --jobs) shift; JOBS="$1" ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+FAILURES=0
+note()  { printf '\n== %s\n' "$*"; }
+fail()  { printf 'run_checks: FAIL: %s\n' "$*" >&2; FAILURES=$((FAILURES+1)); }
+skip()  { printf 'run_checks: SKIP: %s\n' "$*"; }
+
+# ---- 1. warnings-as-errors build ------------------------------------------
+note "[1/6] warnings-as-errors build (COTE_WERROR=ON)"
+WERROR_DIR="$ROOT/build-checks"
+if cmake -S "$ROOT" -B "$WERROR_DIR" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCOTE_WERROR=ON >/dev/null \
+   && cmake --build "$WERROR_DIR" -j "$JOBS" >/dev/null; then
+  echo "werror build: OK"
+else
+  fail "werror build (re-run: cmake --build $WERROR_DIR -j $JOBS)"
+fi
+
+# ---- 2. full test suite ----------------------------------------------------
+note "[2/6] full test suite (ctest)"
+if [ -f "$WERROR_DIR/CTestTestfile.cmake" ]; then
+  if (cd "$WERROR_DIR" && ctest -j "$JOBS" --output-on-failure \
+        >ctest.log 2>&1); then
+    echo "ctest: OK ($(grep -c 'Passed' "$WERROR_DIR/ctest.log" || true) passed)"
+  else
+    tail -40 "$WERROR_DIR/ctest.log"
+    fail "ctest (full log: $WERROR_DIR/ctest.log)"
+  fi
+else
+  fail "ctest: no test tree in $WERROR_DIR (werror build failed?)"
+fi
+
+# ---- 3. clang-format (check-only; never reformats) -------------------------
+note "[3/6] clang-format --dry-run -Werror"
+if command -v clang-format >/dev/null 2>&1; then
+  FMT_FILES="$(cd "$ROOT" && git ls-files 'src/*.h' 'src/*.cc' \
+               'tests/*.h' 'tests/*.cc' 'bench/*.cc' 'examples/*.cpp')"
+  if (cd "$ROOT" && echo "$FMT_FILES" | xargs clang-format --dry-run -Werror); then
+    echo "clang-format: OK"
+  else
+    fail "clang-format (files diverge from .clang-format; do NOT bulk-reformat — fix the lines you touched)"
+  fi
+else
+  skip "clang-format not installed; .clang-format profile not enforced here"
+fi
+
+# ---- 4. clang-tidy ---------------------------------------------------------
+note "[4/6] clang-tidy (.clang-tidy profile over src/)"
+if command -v clang-tidy >/dev/null 2>&1; then
+  # The werror tree has a compilation database when configured with
+  # CMAKE_EXPORT_COMPILE_COMMANDS; generate it on demand.
+  cmake -S "$ROOT" -B "$WERROR_DIR" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    >/dev/null
+  TIDY_SRCS="$(cd "$ROOT" && git ls-files 'src/*.cc')"
+  if (cd "$ROOT" && echo "$TIDY_SRCS" | \
+        xargs clang-tidy -p "$WERROR_DIR" --quiet); then
+    echo "clang-tidy: OK"
+  else
+    fail "clang-tidy"
+  fi
+else
+  skip "clang-tidy not installed; .clang-tidy profile not enforced here"
+fi
+
+# ---- 5. hot-path purity lint ----------------------------------------------
+note "[5/6] hot-path purity lint (tools/hotpath_lint.py)"
+if python3 "$ROOT/tools/hotpath_lint.py" --repo-root "$ROOT"; then
+  echo "hotpath_lint: OK"
+else
+  fail "hotpath_lint"
+fi
+
+# ---- 6. Debug + ASan/UBSan cycle ------------------------------------------
+# Debug (no NDEBUG) turns the COTE_DCHECK contracts on, so this cycle is
+# the one that actually executes the debug-only death tests; the
+# sanitizers vet the bit-twiddling enumeration fast path.
+if [ "$SKIP_SAN" = 1 ]; then
+  note "[6/6] sanitizer cycle"
+  skip "sanitizer cycle (--skip-san)"
+else
+  note "[6/6] Debug + ASan/UBSan cycle (COTE_SANITIZE=address,undefined)"
+  SAN_DIR="$ROOT/build-checks-san"
+  if cmake -S "$ROOT" -B "$SAN_DIR" -DCMAKE_BUILD_TYPE=Debug \
+        -DCOTE_SANITIZE=address,undefined >/dev/null \
+     && cmake --build "$SAN_DIR" -j "$JOBS" >/dev/null; then
+    if (cd "$SAN_DIR" && ctest -j "$JOBS" --output-on-failure \
+          >ctest.log 2>&1); then
+      echo "sanitized Debug ctest: OK"
+    else
+      tail -40 "$SAN_DIR/ctest.log"
+      fail "sanitized Debug ctest (full log: $SAN_DIR/ctest.log)"
+    fi
+  else
+    fail "sanitized Debug build"
+  fi
+fi
+
+# ---------------------------------------------------------------------------
+printf '\n'
+if [ "$FAILURES" -gt 0 ]; then
+  echo "run_checks: $FAILURES gate(s) FAILED"
+  exit 1
+fi
+echo "run_checks: all gates passed"
