@@ -5,6 +5,7 @@
 
 #include "bench/bench_util.h"
 #include "core/join_count_baseline.h"
+#include "session/compilation_context.h"
 
 namespace cote {
 namespace {
@@ -48,9 +49,14 @@ BENCHMARK(BM_FullOptimize)->Arg(0)->Arg(5)->Arg(10);
 
 void BM_CardinalityModel(benchmark::State& state) {
   const QueryGraph& q = Star().queries[10];
+  CompilationContext ctx{bench::SerialOptions()};
   for (auto _ : state) {
-    CardinalityModel card(q, true);
-    double rows = card.JoinRows(q.AllTables());
+    // Invalidate between iterations so each one measures a cold model
+    // build (the session's warm reuse would otherwise hide the cost
+    // being benchmarked).
+    ctx.Invalidate();
+    ctx.Reset(q);
+    double rows = ctx.refined_cardinality().JoinRows(q.AllTables());
     benchmark::DoNotOptimize(rows);
   }
 }

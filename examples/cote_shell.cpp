@@ -16,10 +16,10 @@
 #include <iostream>
 #include <string>
 
-#include "core/estimator.h"
 #include "core/model_io.h"
 #include "core/regression.h"
 #include "parser/binder.h"
+#include "session/session.h"
 #include "workload/workload.h"
 
 using namespace cote;  // NOLINT — example code
@@ -47,11 +47,11 @@ struct ShellState {
 
 TimeModel Calibrate(const OptimizerOptions& options) {
   Workload training = TrainingWorkload();
-  Optimizer opt(options);
+  CompilationSession session(options);
   TimeModelCalibrator cal(/*with_intercept=*/false,
                           /*relative_weighting=*/true);
   for (const QueryGraph& q : training.queries) {
-    auto r = opt.Optimize(q);
+    auto r = session.Optimize(q);
     if (r.ok()) cal.AddObservation(r->stats);
   }
   auto model = cal.Fit();
@@ -110,14 +110,15 @@ void RunSql(ShellState* state, const std::string& sql) {
     std::printf("error: %s\n", bound.status().ToString().c_str());
     return;
   }
-  OptimizerOptions options = state->Options();
-  Optimizer optimizer(options);
+  // One session per statement: plan mode for every block, then estimate
+  // mode over the same warm context.
+  CompilationSession session(state->Options());
 
   double actual = 0;
   const Plan* main_plan = nullptr;
   std::shared_ptr<Memo> keepalive;
   for (const QueryGraph* block : bound->AllBlocks()) {
-    auto r = optimizer.Optimize(*block);
+    auto r = session.Optimize(*block);
     if (!r.ok()) {
       std::printf("error: %s\n", r.status().ToString().c_str());
       return;
@@ -129,8 +130,7 @@ void RunSql(ShellState* state, const std::string& sql) {
     }
   }
 
-  CompileTimeEstimator cote(state->Model(), options);
-  CompileTimeEstimate est = cote.Estimate(*bound);
+  CompileTimeEstimate est = session.Estimate(*bound, state->Model());
 
   std::printf("%s", PrintPlan(main_plan).c_str());
   if (bound->num_blocks() > 1) {

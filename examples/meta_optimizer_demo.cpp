@@ -12,6 +12,7 @@
 
 #include "core/meta_optimizer.h"
 #include "core/regression.h"
+#include "session/session.h"
 #include "workload/workload.h"
 
 using namespace cote;  // NOLINT — example code
@@ -19,7 +20,7 @@ using namespace cote;  // NOLINT — example code
 int main() {
   // Calibrate the compile-time model once (per release, per machine).
   Workload training = TrainingWorkload();
-  Optimizer high((OptimizerOptions()));
+  CompilationSession high{OptimizerOptions()};
   TimeModelCalibrator calibrator;
   for (const QueryGraph& q : training.queries) {
     auto r = high.Optimize(q);

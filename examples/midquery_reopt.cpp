@@ -12,9 +12,9 @@
 
 #include <cstdio>
 
-#include "core/estimator.h"
 #include "core/regression.h"
 #include "parser/binder.h"
+#include "session/session.h"
 #include "workload/workload.h"
 
 using namespace cote;  // NOLINT — example code
@@ -22,19 +22,20 @@ using namespace cote;  // NOLINT — example code
 int main() {
   auto catalog = MakeTpchCatalog();
   OptimizerOptions options;
-  Optimizer opt(options);
+  CompilationSession session(options);
 
   // Calibrate the COTE.
   Workload training = TrainingWorkload();
   TimeModelCalibrator calibrator;
   for (const QueryGraph& q : training.queries) {
-    auto r = opt.Optimize(q);
+    auto r = session.Optimize(q);
     if (r.ok()) calibrator.AddObservation(r->stats);
   }
   auto model = calibrator.Fit();
   if (!model.ok()) return 1;
-  CompileTimeEstimator cote(*model, options);
-  CostModel cost_model(options.cost);
+  // The execution-cost pricing uses the session's own cost model — the
+  // one the plans below were compiled with.
+  const CostModel& cost_model = session.context().cost_model();
 
   // Checkpoint scenarios: execution pauses, re-costs the REMAINING work of
   // the current plan with the cardinalities observed so far, and decides.
@@ -75,11 +76,11 @@ int main() {
   for (const Scenario& sc : scenarios) {
     auto graph = Binder::BindSql(*catalog, sc.sql);
     if (!graph.ok()) return 1;
-    auto compiled = opt.Optimize(*graph);
+    auto compiled = session.Optimize(*graph);
     if (!compiled.ok()) return 1;
     double full_exec = cost_model.CostToSeconds(compiled->best_plan->cost);
     double remaining = full_exec * 0.8 * sc.blowup;  // 80% of work left
-    CompileTimeEstimate est = cote.Estimate(*graph);
+    CompileTimeEstimate est = session.Estimate(*graph, *model);
     bool reoptimize = est.estimated_seconds < 0.1 * remaining;
     std::printf("%-30s %16.5f %16.5f %12s\n", sc.what, remaining,
                 est.estimated_seconds,

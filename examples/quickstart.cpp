@@ -6,10 +6,9 @@
 
 #include <cstdio>
 
-#include "core/estimator.h"
 #include "core/regression.h"
-#include "optimizer/optimizer.h"
 #include "parser/binder.h"
+#include "session/session.h"
 #include "workload/workload.h"
 
 using namespace cote;  // NOLINT — example code
@@ -36,11 +35,13 @@ int main() {
   }
   std::printf("query graph:\n%s\n\n", graph->ToString().c_str());
 
-  // 3. Optimize at the high (dynamic programming) level.
+  // 3. Optimize at the high (dynamic programming) level. One
+  // CompilationSession serves both compilation modes (optimize and
+  // estimate) and keeps its models warm across every call below.
   OptimizerOptions options;
   options.enumeration.max_composite_inner = 3;
-  Optimizer optimizer(options);
-  auto result = optimizer.Optimize(*graph);
+  CompilationSession session(options);
+  auto result = session.Optimize(*graph);
   if (!result.ok()) {
     std::fprintf(stderr, "optimize failed: %s\n",
                  result.status().ToString().c_str());
@@ -64,7 +65,7 @@ int main() {
   Workload training = TrainingWorkload();
   TimeModelCalibrator calibrator;
   for (const QueryGraph& q : training.queries) {
-    auto r = optimizer.Optimize(q);
+    auto r = session.Optimize(q);
     if (r.ok()) calibrator.AddObservation(r->stats);
   }
   auto model = calibrator.Fit();
@@ -75,8 +76,7 @@ int main() {
   }
   std::printf("time model Cm:Cn:Ch = %s\n", model->RatioString().c_str());
 
-  CompileTimeEstimator cote(*model, options);
-  CompileTimeEstimate est = cote.Estimate(*graph);
+  CompileTimeEstimate est = session.Estimate(*graph, *model);
   std::printf(
       "COTE: estimated plans NLJN=%lld MGJN=%lld HSJN=%lld\n"
       "      estimated compile time %.3f ms (actual was %.3f ms)\n"
@@ -87,5 +87,19 @@ int main() {
       est.estimated_seconds * 1e3, st.total_seconds * 1e3,
       est.estimation_seconds * 1e3,
       100.0 * est.estimation_seconds / st.total_seconds);
+
+  // 5. The session kept score: every compile and estimate above went
+  // through its staged pipeline.
+  const CompilationStats& cs = session.stats();
+  std::printf(
+      "\nsession: %lld compiles, %lld estimates, %lld rebinds, %lld warm\n"
+      "last run stages (ms): bind %.3f  enumerate %.3f  complete %.3f  "
+      "finalize %.3f\n",
+      static_cast<long long>(cs.plans_compiled),
+      static_cast<long long>(cs.estimates_run),
+      static_cast<long long>(cs.context_rebinds),
+      static_cast<long long>(cs.warm_resets), cs.last_stages.bind * 1e3,
+      cs.last_stages.enumerate * 1e3, cs.last_stages.complete * 1e3,
+      cs.last_stages.finalize * 1e3);
   return 0;
 }

@@ -11,8 +11,8 @@
 
 #include <cstdio>
 
-#include "core/estimator.h"
 #include "core/regression.h"
+#include "session/session.h"
 #include "workload/workload.h"
 
 using namespace cote;  // NOLINT — example code
@@ -21,12 +21,16 @@ int main() {
   OptimizerOptions options;
   options.enumeration.max_composite_inner = 3;
 
+  // One session carries the whole advisor run: the calibration compiles,
+  // the cheap forecasting pass, and the real tuning compiles all reuse its
+  // warm models and arenas.
+  CompilationSession session(options);
+
   // Calibrate (once per installation).
   Workload training = TrainingWorkload();
-  Optimizer opt(options);
   TimeModelCalibrator calibrator;
   for (const QueryGraph& q : training.queries) {
-    auto r = opt.Optimize(q);
+    auto r = session.Optimize(q);
     if (r.ok()) calibrator.AddObservation(r->stats);
   }
   auto model = calibrator.Fit();
@@ -34,14 +38,12 @@ int main() {
     std::fprintf(stderr, "calibration failed\n");
     return 1;
   }
-  CompileTimeEstimator cote(*model, options);
-
   // Phase 1 — forecast: estimate every query cheaply, before real work.
   Workload w = Real2Workload();
   std::vector<double> per_query(w.size());
   double forecast_total = 0, forecast_cost = 0;
   for (int i = 0; i < w.size(); ++i) {
-    CompileTimeEstimate est = cote.Estimate(w.queries[i]);
+    CompileTimeEstimate est = session.Estimate(w.queries[i], *model);
     per_query[i] = est.estimated_seconds;
     forecast_total += est.estimated_seconds;
     forecast_cost += est.estimation_seconds;
@@ -59,7 +61,7 @@ int main() {
   // tool reports progress against the forecast.
   double done_pred = 0, done_actual = 0;
   for (int i = 0; i < w.size(); ++i) {
-    auto r = opt.Optimize(w.queries[i]);
+    auto r = session.Optimize(w.queries[i]);
     if (!r.ok()) {
       std::fprintf(stderr, "compile failed\n");
       return 1;

@@ -1,6 +1,7 @@
 #ifndef COTE_COMMON_FLAT_SET_INDEX_H_
 #define COTE_COMMON_FLAT_SET_INDEX_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -84,6 +85,31 @@ class FlatSetIndex {
   }
 
   int32_t size() const { return count_; }
+
+  /// Re-keys the index for a (possibly different) table count without
+  /// releasing storage: the dense array / hash slots are overwritten in
+  /// place, so a reset to the same-or-smaller table count performs no heap
+  /// allocation. This is what lets a session-owned PlanCounter rebind to a
+  /// new query while staying allocation-steady across a workload.
+  void Reset(int num_tables) {
+    COTE_CHECK_GE(num_tables, 0);
+    COTE_CHECK_LE(num_tables, 64);
+    count_ = 0;
+    if (num_tables <= kDenseMaxTables) {
+      keys_.clear();
+      vals_.clear();
+      dense_.assign(size_t{1} << num_tables, -1);
+    } else {
+      dense_.clear();
+      if (keys_.empty()) {
+        keys_.assign(kInitialSlots, 0);
+        vals_.assign(kInitialSlots, -1);
+      } else {
+        std::fill(keys_.begin(), keys_.end(), uint64_t{0});
+        std::fill(vals_.begin(), vals_.end(), int32_t{-1});
+      }
+    }
+  }
 
  private:
   static constexpr size_t kInitialSlots = 1024;  // power of two

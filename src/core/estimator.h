@@ -1,30 +1,15 @@
 #ifndef COTE_CORE_ESTIMATOR_H_
 #define COTE_CORE_ESTIMATOR_H_
 
-#include "core/plan_counter.h"
 #include "core/time_model.h"
 #include "optimizer/optimizer.h"
 #include "query/multi_block.h"
+#include "session/session.h"
 
 namespace cote {
 
-/// \brief Everything one estimation run produces.
-struct CompileTimeEstimate {
-  /// Estimated number of join plans per join method (what Figure 5 plots
-  /// against the instrumented actuals).
-  JoinTypeCounts plan_estimates;
-  /// Join counts seen during estimation (from the reused enumerator).
-  EnumerationStats enumeration;
-  /// Estimated compilation time via the linear time model (Figure 6).
-  double estimated_seconds = 0;
-  /// Wall time this estimate itself took — the overhead Figure 4 compares
-  /// against the actual compilation time.
-  double estimation_seconds = 0;
-  /// §6.2: lower bound of MEMO memory at this level, from the interesting
-  /// property list lengths × bytes per stored plan.
-  int64_t estimated_memo_bytes = 0;
-  int64_t plan_slots = 0;
-};
+// CompileTimeEstimate moved to session/compilation_stats.h (both pipeline
+// modes speak it); it is re-exported here unchanged for existing callers.
 
 /// \brief The COTE: compilation-time estimator (the paper's contribution).
 ///
@@ -38,29 +23,42 @@ struct CompileTimeEstimate {
 ///   CompileTimeEstimator cote(time_model, options);
 ///   CompileTimeEstimate est = cote.Estimate(graph);
 ///   // est.estimated_seconds ≈ Optimizer(options).Optimize(graph) time
+///
+/// Internally a thin veneer over an estimate-mode CompilationSession: the
+/// counter, models, and arenas stay warm across Estimate() calls, so
+/// estimating a workload through one estimator is allocation-steady while
+/// producing exactly the per-query-construction numbers.
 class CompileTimeEstimator {
  public:
   /// `optimizer_options` describe the optimization level whose compilation
   /// time is being estimated (the "high" level in the meta-optimizer).
   CompileTimeEstimator(const TimeModel& time_model,
                        const OptimizerOptions& optimizer_options,
-                       const PlanCounterOptions& counter_options = {});
+                       const PlanCounterOptions& counter_options = {})
+      : time_model_(time_model),
+        session_(optimizer_options, counter_options) {}
 
-  CompileTimeEstimate Estimate(const QueryGraph& graph) const;
+  CompileTimeEstimate Estimate(const QueryGraph& graph) const {
+    return session_.Estimate(graph, time_model_);
+  }
 
   /// Multi-block queries (§3.3): each block is optimized with its own
   /// MEMO, so the estimates (plans, time, memory) sum over the blocks.
-  CompileTimeEstimate Estimate(const MultiBlockQuery& query) const;
+  CompileTimeEstimate Estimate(const MultiBlockQuery& query) const {
+    return session_.Estimate(query, time_model_);
+  }
 
   const TimeModel& time_model() const { return time_model_; }
 
   /// Bytes charged per plan slot in the memory lower bound.
-  static constexpr int64_t kBytesPerPlan = sizeof(Plan);
+  static constexpr int64_t kBytesPerPlan = CompileTimeEstimate::kBytesPerPlan;
 
  private:
   TimeModel time_model_;
-  OptimizerOptions opt_options_;
-  PlanCounterOptions counter_options_;
+  /// Pointer constness is not at play here — the member is mutable: a
+  /// const Estimate() is pure in its *results* while the session reuses
+  /// warm state underneath.
+  mutable CompilationSession session_;
 };
 
 }  // namespace cote

@@ -1,6 +1,7 @@
 #include "core/join_count_baseline.h"
 
 #include "optimizer/cost/cardinality.h"
+#include "session/compilation_context.h"
 
 namespace cote {
 
@@ -8,11 +9,11 @@ namespace {
 
 /// Counting-only visitor: provides cardinalities for the Cartesian
 /// heuristic but records nothing — the enumerator's own stats carry the
-/// join counts.
+/// join counts. The cardinality model is borrowed from a compilation
+/// context (models are built only in the session layer).
 class CountingVisitor : public JoinVisitor {
  public:
-  explicit CountingVisitor(const QueryGraph& graph)
-      : card_(graph, /*use_key_refinement=*/false) {}
+  explicit CountingVisitor(const CardinalityModel& card) : card_(card) {}
 
   void InitializeEntry(TableSet s) override { (void)s; }
   double EntryCardinality(TableSet s) override { return card_.JoinRows(s); }
@@ -26,7 +27,7 @@ class CountingVisitor : public JoinVisitor {
   }
 
  private:
-  CardinalityModel card_;
+  const CardinalityModel& card_;
 };
 
 }  // namespace
@@ -52,8 +53,12 @@ int64_t JoinCountBaseline::CliqueJoins(int n) {
 
 EnumerationStats JoinCountBaseline::CountJoins(
     const QueryGraph& graph, const EnumeratorOptions& options) {
-  CountingVisitor visitor(graph);
-  return RunEnumeration(graph, options, &visitor);
+  OptimizerOptions opt;
+  opt.enumeration = options;
+  CompilationContext ctx(std::move(opt));
+  ctx.Reset(graph);
+  CountingVisitor visitor(ctx.simple_cardinality());
+  return ctx.Enumerate(&visitor);
 }
 
 }  // namespace cote

@@ -5,7 +5,10 @@
 namespace cote {
 
 MetaOptimizer::MetaOptimizer(MetaOptimizerOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)),
+      low_session_(options_.low),
+      high_session_(options_.high),
+      estimator_(options_.time_model, options_.high) {}
 
 StatusOr<MetaOptimizeResult> MetaOptimizer::Compile(
     const QueryGraph& graph) const {
@@ -13,25 +16,24 @@ StatusOr<MetaOptimizeResult> MetaOptimizer::Compile(
   MetaOptimizeResult result;
 
   // 1. Low-level optimization: fast, always runs.
-  Optimizer low(options_.low);
-  auto low_result = low.Optimize(graph);
+  auto low_result = low_session_.Optimize(graph);
   if (!low_result.ok()) return low_result.status();
 
-  // 2. E: estimated execution time of the low plan.
-  CostModel cost(options_.high.cost);
+  // 2. E: estimated execution time of the low plan, priced with the
+  // high-level session's cost model (the environment reoptimization
+  // would target).
+  const CostModel& cost = high_session_.context().cost_model();
   result.low_exec_seconds = cost.CostToSeconds(low_result->best_plan->cost);
 
   // 3. C: estimated compilation time at the high level.
-  CompileTimeEstimator cote(options_.time_model, options_.high);
-  result.estimate = cote.Estimate(graph);
+  result.estimate = estimator_.Estimate(graph);
   result.est_high_compile_seconds = result.estimate.estimated_seconds;
 
   // 4. Decide: reoptimize only if high-level compilation is cheap relative
   // to the potential execution win (E > C / threshold).
   if (result.est_high_compile_seconds <
       options_.threshold * result.low_exec_seconds) {
-    Optimizer high(options_.high);
-    auto high_result = high.Optimize(graph);
+    auto high_result = high_session_.Optimize(graph);
     if (!high_result.ok()) return high_result.status();
     result.chosen = std::move(high_result).value();
     result.reoptimized = true;

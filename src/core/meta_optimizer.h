@@ -3,6 +3,7 @@
 
 #include "core/estimator.h"
 #include "optimizer/optimizer.h"
+#include "session/session.h"
 
 namespace cote {
 
@@ -38,6 +39,10 @@ struct MetaOptimizeResult {
 /// the high-level compilation time with the COTE; if the query would
 /// finish executing (on the low plan) before high-level optimization would
 /// even complete, keep the low plan — otherwise recompile high.
+///
+/// Holds one CompilationSession per level (plus the estimator's own), so
+/// a meta-optimizer driving a workload keeps all three warm across
+/// Compile() calls instead of rebuilding models per query.
 class MetaOptimizer {
  public:
   explicit MetaOptimizer(MetaOptimizerOptions options = {});
@@ -46,6 +51,11 @@ class MetaOptimizer {
 
  private:
   MetaOptimizerOptions options_;
+  // Mutable: Compile() is const in its results; the sessions underneath
+  // reuse warm arenas across calls.
+  mutable CompilationSession low_session_;
+  mutable CompilationSession high_session_;
+  CompileTimeEstimator estimator_;
 };
 
 }  // namespace cote

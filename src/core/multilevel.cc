@@ -51,14 +51,10 @@ MultiLevelEstimator::MultiLevelEstimator(
     const TimeModel& time_model, OptimizerOptions base_options,
     std::vector<int> inner_limits, const PlanCounterOptions& counter_options)
     : time_model_(time_model),
-      base_options_(std::move(base_options)),
       inner_limits_(std::move(inner_limits)),
-      counter_options_(counter_options) {
+      session_(std::move(base_options), counter_options) {
   assert(!inner_limits_.empty());
   assert(std::is_sorted(inner_limits_.begin(), inner_limits_.end()));
-  counter_options_.parallel =
-      base_options_.num_nodes > 1 || base_options_.plangen.parallel;
-  counter_options_.eager_partitions = base_options_.plangen.eager_partitions;
 }
 
 MultiLevelEstimator::Result MultiLevelEstimator::Estimate(
@@ -66,18 +62,24 @@ MultiLevelEstimator::Result MultiLevelEstimator::Estimate(
   StopWatch watch;
   Result result;
 
-  CardinalityModel simple_card(graph, /*use_key_refinement=*/false);
-  InterestingOrders interesting(graph);
+  // The session context supplies the per-query models and the counter
+  // options reconciled with the optimizer configuration; the N per-level
+  // counters themselves are this estimator's own (they share one
+  // enumeration pass, which no single session counter can express).
+  CompilationContext& ctx = session_.context();
+  ctx.Reset(graph);
+  const CardinalityModel& simple_card = ctx.simple_cardinality();
+  const InterestingOrders& interesting = ctx.interesting_orders();
 
   std::vector<std::unique_ptr<PlanCounter>> counters;
   for (size_t i = 0; i < inner_limits_.size(); ++i) {
     counters.push_back(std::make_unique<PlanCounter>(
-        graph, interesting, simple_card, counter_options_));
+        graph, interesting, simple_card, ctx.counter_options()));
   }
   DemuxVisitor demux(std::move(counters), inner_limits_);
 
   // Enumerate once, at the highest (most permissive) level.
-  EnumeratorOptions enum_opts = base_options_.enumeration;
+  EnumeratorOptions enum_opts = ctx.options().enumeration;
   enum_opts.max_composite_inner = inner_limits_.back();
   RunEnumeration(graph, enum_opts, &demux);
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/estimator.h"
+#include "session/session.h"
 
 namespace cote {
 
@@ -43,9 +44,12 @@ class MultiLevelEstimator {
 
  private:
   TimeModel time_model_;
-  OptimizerOptions base_options_;
   std::vector<int> inner_limits_;
-  PlanCounterOptions counter_options_;
+  /// Source of the per-query models (simple cardinality, interesting
+  /// orders) and of the reconciled counter options; the per-level
+  /// counters are built on top of it. Mutable: Estimate() is const in
+  /// its results while the context rebinds underneath.
+  mutable CompilationSession session_;
 };
 
 }  // namespace cote

@@ -10,43 +10,60 @@ PlanCounter::PlanCounter(const QueryGraph& graph,
                          const InterestingOrders& interesting,
                          const CardinalityModel& cardinality,
                          const PlanCounterOptions& options)
-    : graph_(graph),
-      interesting_(interesting),
-      card_(cardinality),
+    : graph_(&graph),
+      interesting_(&interesting),
+      card_(&cardinality),
       options_(options) {}
 
+void PlanCounter::Rebind(const QueryGraph& graph,
+                         const InterestingOrders& interesting,
+                         const CardinalityModel& cardinality) {
+  graph_ = &graph;
+  interesting_ = &interesting;
+  card_ = &cardinality;
+  estimated_ = JoinTypeCounts{};
+  // Recycle the arena: clear the live prefix in place (capacity retained)
+  // and re-key the set index for the new table count. Slots past
+  // live_states_ were already cleared by an earlier rebind.
+  for (size_t i = 0; i < live_states_; ++i) states_[i].Clear();
+  live_states_ = 0;
+  if (index_.has_value()) index_->Reset(graph.num_tables());
+}
+
 FlatSetIndex& PlanCounter::EntryIndex() const {
-  // hotpath-ok: lazily built once per query, then read-only probes
-  if (!index_.has_value()) index_.emplace(graph_.num_tables());
+  // hotpath-ok: lazily built once per session, then rebound in place
+  if (!index_.has_value()) index_.emplace(graph_->num_tables());
   return *index_;
 }
 
 PlanCounter::EntryState& PlanCounter::State(TableSet s) {
   COTE_DCHECK(!s.empty());
-  COTE_DCHECK(graph_.AllTables().ContainsAll(s));
+  COTE_DCHECK(graph_->AllTables().ContainsAll(s));
   bool created = false;
   const int32_t idx = EntryIndex().FindOrInsert(s.bits(), &created);
   if (created) {
     // The index hands out dense ids in insertion order, so a fresh id must
-    // land exactly one past the end of the state arena.
-    COTE_CHECK_EQ(static_cast<size_t>(idx), states_.size());
-    states_.emplace_back();
+    // land exactly one past the end of the live prefix — either a recycled
+    // (cleared) arena slot or a brand-new one.
+    COTE_CHECK_EQ(static_cast<size_t>(idx), live_states_);
+    if (live_states_ == states_.size()) states_.emplace_back();
+    ++live_states_;
   }
-  COTE_DCHECK_LT(static_cast<size_t>(idx), states_.size());
+  COTE_DCHECK_LT(static_cast<size_t>(idx), live_states_);
   return states_[idx];
 }
 
 const PlanCounter::EntryState* PlanCounter::FindState(TableSet s) const {
   const int32_t idx = EntryIndex().Find(s.bits());
   if (idx < 0) return nullptr;
-  COTE_DCHECK_LT(static_cast<size_t>(idx), states_.size());
+  COTE_DCHECK_LT(static_cast<size_t>(idx), live_states_);
   return &states_[idx];
 }
 
 double PlanCounter::EntryCardinality(TableSet s) {
   const int32_t idx = EntryIndex().Find(s.bits());
-  if (idx >= 0) return MemoizedJoinRows(card_, s, &states_[idx].cardinality);
-  return card_.JoinRows(s);
+  if (idx >= 0) return MemoizedJoinRows(*card_, s, &states_[idx].cardinality);
+  return card_->JoinRows(s);
 }
 
 void PlanCounter::InitializeEntry(TableSet s) {
@@ -56,13 +73,13 @@ void PlanCounter::InitializeEntry(TableSet s) {
   // be checked for each enumerated join"). The internal-predicate gather
   // walks only the set's own edges, in the ascending index order the old
   // full-list scan produced.
-  graph_.InternalPredicates(s, &pred_scratch_);
+  graph_->InternalPredicates(s, &pred_scratch_);
   for (int pi : pred_scratch_) {
-    const JoinPredicate& p = graph_.join_predicates()[pi];
+    const JoinPredicate& p = graph_->join_predicates()[pi];
     if (p.kind != JoinKind::kInner) continue;
     state.equiv.AddEquivalence(p.left, p.right);
   }
-  state.cardinality = card_.JoinRows(s);
+  state.cardinality = card_->JoinRows(s);
   if (s.size() > 1) return;
 
   // initialize(): populate the interesting property lists of single-table
@@ -70,7 +87,7 @@ void PlanCounter::InitializeEntry(TableSet s) {
   //
   // Orders use the eager policy (§4 item 1): the precomputed interesting
   // orders applicable to this table seed the list.
-  interesting_.ActiveInterests(s, &active_scratch_);
+  interesting_->ActiveInterests(s, &active_scratch_);
   for (const OrderInterest* interest : active_scratch_) {
     interest->order.CanonicalizeInto(state.equiv, &canon_order_scratch_);
     const OrderProperty& o = canon_order_scratch_;
@@ -84,7 +101,7 @@ void PlanCounter::InitializeEntry(TableSet s) {
   // Natural orders delivered by index scans also live in the MEMO when
   // they remain useful (an index order subsuming an interesting order is
   // the source of coverage plans); the eager initialization includes them.
-  const Table* base_table = graph_.table_ref(s.First()).table;
+  const Table* base_table = graph_->table_ref(s.First()).table;
   for (const Index& idx : base_table->indexes()) {
     cols_scratch_.clear();
     for (int ord : idx.key_columns) cols_scratch_.emplace_back(s.First(), ord);
@@ -92,7 +109,7 @@ void PlanCounter::InitializeEntry(TableSet s) {
     raw_order_scratch_.CanonicalizeInto(state.equiv, &canon_order_scratch_);
     const OrderProperty& o = canon_order_scratch_;
     if (o.IsNone() ||
-        !interesting_.Useful(o, s, state.equiv, &interest_scratch_)) {
+        !interesting_->Useful(o, s, state.equiv, &interest_scratch_)) {
       continue;
     }
     if (std::find(state.orders.begin(), state.orders.end(), o) ==
@@ -108,7 +125,7 @@ void PlanCounter::InitializeEntry(TableSet s) {
   // second run would duplicate every base-table partition value).
   if (options_.parallel) {
     const int t = s.First();
-    const Table* table = graph_.table_ref(t).table;
+    const Table* table = graph_->table_ref(t).table;
     const PartitioningSpec& spec = table->partitioning();
     auto seed = [&state](PartitionProperty p) {
       if (std::find(state.partitions.begin(), state.partitions.end(), p) ==
@@ -134,7 +151,7 @@ void PlanCounter::InitializeEntry(TableSet s) {
 
   if (options_.parallel && options_.eager_partitions) {
     const int t = s.First();
-    for (const JoinPredicate& pred : graph_.join_predicates()) {
+    for (const JoinPredicate& pred : graph_->join_predicates()) {
       ColumnRef side = pred.SideIn(t);
       if (!side.valid()) continue;
       PartitionProperty target =
@@ -170,7 +187,7 @@ void PlanCounter::PropagateOrders(const EntryState& from, TableSet j,
     const OrderProperty& canon = canon_order_scratch_;
     if (canon.IsNone()) continue;
     // Retired by the join, or not interesting above `j`?
-    if (!interesting_.Useful(canon, j, to->equiv, &interest_scratch_)) {
+    if (!interesting_->Useful(canon, j, to->equiv, &interest_scratch_)) {
       continue;
     }
     // Equivalent to a property already in the list?
@@ -276,7 +293,7 @@ void PlanCounter::OnJoin(TableSet outer, TableSet inner,
         for (const auto& [o, pt] : e->compound) {
           OrderProperty canon_o = o.Canonicalize(j.equiv);
           if (!canon_o.IsNone() &&
-              !interesting_.Useful(canon_o, jset, j.equiv)) {
+              !interesting_->Useful(canon_o, jset, j.equiv)) {
             canon_o = OrderProperty::None();  // component retired
           }
           PartitionProperty canon_p = pt.Canonicalize(j.equiv);
@@ -295,7 +312,7 @@ void PlanCounter::OnJoin(TableSet outer, TableSet inner,
   // J-canonical join column representatives.
   jcols_.clear();
   for (int pi : pred_indices) {
-    ColumnRef rep = j.equiv.Find(graph_.join_predicates()[pi].left);
+    ColumnRef rep = j.equiv.Find(graph_->join_predicates()[pi].left);
     if (std::find(jcols_.begin(), jcols_.end(), rep) == jcols_.end()) {
       jcols_.push_back(rep);
     }
@@ -352,13 +369,13 @@ void PlanCounter::OnJoin(TableSet outer, TableSet inner,
   int64_t inl_variant = 0;
   if (inner.size() == 1 && !pred_indices.empty()) {
     const int t = inner.First();
-    const Table* table = graph_.table_ref(t).table;
+    const Table* table = graph_->table_ref(t).table;
     for (const Index& idx : table->indexes()) {
       if (idx.key_columns.empty()) continue;
       ColumnRef leading(t, idx.key_columns[0]);
       bool leads_join = false;
       for (int pi : pred_indices) {
-        if (graph_.join_predicates()[pi].SideIn(t) == leading) {
+        if (graph_->join_predicates()[pi].SideIn(t) == leading) {
           leads_join = true;
           break;
         }
@@ -467,7 +484,10 @@ void PlanCounter::OnJoin(TableSet outer, TableSet inner,
 
 int64_t PlanCounter::TotalPlanSlots() const {
   int64_t total = 0;
-  for (const EntryState& state : states_) {
+  // Only the live prefix: slots past live_states_ are recycled capacity
+  // left over from a larger query before a Rebind.
+  for (size_t i = 0; i < live_states_; ++i) {
+    const EntryState& state = states_[i];
     int64_t orders = static_cast<int64_t>(state.orders.size()) + 1;
     int64_t parts =
         options_.parallel
@@ -476,7 +496,7 @@ int64_t PlanCounter::TotalPlanSlots() const {
             : 1;
     // First-rows queries keep the pipelinable property as an extra Pareto
     // dimension, roughly doubling the distinct property combinations.
-    int64_t pipeline = graph_.wants_first_rows() ? 2 : 1;
+    int64_t pipeline = graph_->wants_first_rows() ? 2 : 1;
     total += orders * parts * pipeline;
   }
   return total;

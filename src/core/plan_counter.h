@@ -73,6 +73,20 @@ class PlanCounter : public JoinVisitor {
   // Results ----------------------------------------------------------------
   const JoinTypeCounts& estimated_plans() const { return estimated_; }
 
+  /// Zeroes the per-run plan counts (entry property state is untouched).
+  /// A session calls this before every estimate run so a warm re-run over
+  /// saturated entry states reports exactly the fresh-run counts.
+  void ResetCounts() { estimated_ = JoinTypeCounts{}; }
+
+  /// Retargets the counter at another query: drops all entry state and
+  /// counts, then points at the new graph/orders/cardinality. The state
+  /// arena, set index, and every scratch buffer keep their storage, so a
+  /// rebind to a same-or-smaller query performs only the per-entry list
+  /// rebuild — the session layer's cross-query allocation-steady
+  /// guarantee rests on this.
+  void Rebind(const QueryGraph& graph, const InterestingOrders& interesting,
+              const CardinalityModel& cardinality);
+
   /// Property-list state of one MEMO entry.
   struct EntryState {
     ColumnEquivalence equiv;
@@ -87,6 +101,21 @@ class PlanCounter : public JoinVisitor {
     bool propagated = false;
     uint64_t first_outer_bits = 0;
     uint64_t first_inner_bits = 0;
+
+    /// Returns the state to its just-constructed condition while keeping
+    /// the capacity of every property list (vector clear() retains
+    /// storage; the equivalence keeps its bucket array), so a recycled
+    /// arena slot rebuilds without re-growing.
+    void Clear() {
+      equiv.Clear();
+      cardinality = -1;
+      orders.clear();
+      partitions.clear();
+      compound.clear();
+      propagated = false;
+      first_outer_bits = 0;
+      first_inner_bits = 0;
+    }
   };
 
   const EntryState* FindState(TableSet s) const;
@@ -95,7 +124,7 @@ class PlanCounter : public JoinVisitor {
   /// proxy used by the §6.2 memory estimator.
   int64_t TotalPlanSlots() const;
 
-  int64_t num_entries() const { return static_cast<int64_t>(states_.size()); }
+  int64_t num_entries() const { return static_cast<int64_t>(live_states_); }
 
  private:
   /// Built on first use (sized from graph_.num_tables()).
@@ -115,18 +144,23 @@ class PlanCounter : public JoinVisitor {
                       const EntryState& j,
                       std::vector<PartitionProperty>* out);
 
-  const QueryGraph& graph_;
-  const InterestingOrders& interesting_;
-  const CardinalityModel& card_;
+  // Pointers (never null) rather than references so Rebind can retarget
+  // the counter; the constructor still takes references.
+  const QueryGraph* graph_;
+  const InterestingOrders* interesting_;
+  const CardinalityModel* card_;
   PlanCounterOptions options_;
 
   JoinTypeCounts estimated_;
   /// Per-entry state lives in a deque arena (stable references across
   /// growth) addressed through the flat set index: for n <= 20 a state
   /// lookup on the enumeration hot path is one array load instead of a
-  /// hash probe.
+  /// hash probe. After a Rebind the arena outlives the index's dense ids:
+  /// `live_states_` bounds the prefix in use, and slots past it are
+  /// cleared recycled capacity.
   mutable std::optional<FlatSetIndex> index_;
   std::deque<EntryState> states_;
+  size_t live_states_ = 0;
   std::vector<int> pred_scratch_;
   // OnJoin scratch (cleared per call, capacity retained): the counting
   // loop runs once per enumerated join, so freshly allocating these

@@ -2,6 +2,8 @@
 
 #include <functional>
 
+#include "session/session.h"
+
 namespace cote {
 
 namespace {
@@ -63,6 +65,16 @@ void CompileTimeCache::Insert(const QueryGraph& graph, double seconds) {
     map_.erase(lru_.back().signature);
     lru_.pop_back();
   }
+}
+
+StatusOr<double> CompileTimeCache::CompileThrough(CompilationSession* session,
+                                                 const QueryGraph& graph) {
+  if (std::optional<double> cached = Lookup(graph)) return *cached;
+  StatusOr<OptimizeResult> result = session->Optimize(graph);
+  if (!result.ok()) return result.status();
+  double seconds = result->stats.total_seconds;
+  Insert(graph, seconds);
+  return seconds;
 }
 
 }  // namespace cote

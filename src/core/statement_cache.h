@@ -6,9 +6,12 @@
 #include <optional>
 #include <unordered_map>
 
+#include "common/status.h"
 #include "query/query_graph.h"
 
 namespace cote {
+
+class CompilationSession;
 
 /// \brief The straightforward alternative the paper dismisses (§1.2):
 /// cache the measured compilation time of each compiled statement and
@@ -37,6 +40,14 @@ class CompileTimeCache {
 
   /// Records the measured compile time of a statement.
   void Insert(const QueryGraph& graph, double seconds);
+
+  /// Compile-through: returns the cached compile time on a hit; on a miss
+  /// compiles `graph` through `session` (plan mode), inserts the measured
+  /// time under the statement's signature, and returns it. The session's
+  /// warm context makes this the natural shape for a cache sitting in
+  /// front of a batch compiler.
+  StatusOr<double> CompileThrough(CompilationSession* session,
+                                  const QueryGraph& graph);
 
   int64_t hits() const { return hits_; }
   int64_t misses() const { return misses_; }

@@ -1,0 +1,113 @@
+#include "optimizer/completion.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cote {
+
+const Plan* CompleteQuery(const QueryGraph& graph, Memo* memo, MemoEntry* top,
+                          const CostModel& cost) {
+  // For first-n-rows queries the pipelinable property pays off here: a
+  // pipelinable plan only executes the fraction of its input needed to
+  // produce n rows, so plans are compared on that discounted cost.
+  auto effective_cost = [&graph](const Plan* p) {
+    if (!graph.wants_first_rows() || !p->pipelinable) return p->cost;
+    double fraction = static_cast<double>(graph.fetch_first()) /
+                      std::max(p->rows, 1.0);
+    return p->cost * std::clamp(fraction, 0.01, 1.0);
+  };
+  const Plan* best = top->Cheapest();
+  if (graph.wants_first_rows() && !graph.has_aggregation()) {
+    for (const Plan* p : top->plans()) {
+      if (effective_cost(p) < effective_cost(best)) best = p;
+    }
+  }
+
+  if (graph.has_aggregation()) {
+    const auto& gb = graph.group_by();
+    double in_rows = top->cardinality();
+    double out_rows = in_rows;
+    if (!gb.empty()) {
+      double groups = 1.0;
+      for (const ColumnRef& c : gb) groups *= graph.ColumnNdv(c);
+      out_rows = std::min(in_rows, std::max(1.0, groups));
+    }
+    // Two group-by plans per aggregation: sort-based and hash-based (§3).
+    OrderProperty gb_order =
+        OrderProperty(gb).Canonicalize(top->equivalence());
+    const Plan* sorted_in = nullptr;
+    for (const Plan* p : top->plans()) {
+      if (gb.empty() || p->order.SatisfiesSet(gb_order)) {
+        if (sorted_in == nullptr || p->cost < sorted_in->cost) sorted_in = p;
+      }
+    }
+    double sort_based_cost;
+    const Plan* sort_child;
+    if (sorted_in != nullptr) {
+      sort_based_cost = sorted_in->cost + cost.GroupBySort(in_rows, out_rows);
+      sort_child = sorted_in;
+    } else {
+      sort_based_cost = best->cost + cost.Sort(in_rows, gb_order.size()) +
+                        cost.GroupBySort(in_rows, out_rows);
+      sort_child = best;
+    }
+    double hash_based_cost = best->cost + cost.GroupByHash(in_rows, out_rows);
+
+    Plan* agg = memo->NewPlan();
+    agg->tables = graph.AllTables();
+    agg->rows = out_rows;
+    if (sort_based_cost <= hash_based_cost) {
+      agg->op = OpType::kGroupBySort;
+      agg->cost = sort_based_cost;
+      agg->child = sort_child;
+      agg->order = sort_child->order;
+      // Streams when the input was already sorted (no extra SORT).
+      agg->pipelinable = (sorted_in != nullptr) && sort_child->pipelinable;
+    } else {
+      agg->op = OpType::kGroupByHash;
+      agg->cost = hash_based_cost;
+      agg->child = best;
+      agg->order = OrderProperty::None();
+      agg->pipelinable = false;  // hash aggregation materializes
+    }
+    agg->partition = agg->child->partition;
+    best = agg;
+  }
+
+  if (!graph.order_by().empty()) {
+    OrderProperty ob =
+        OrderProperty(graph.order_by()).Canonicalize(top->equivalence());
+    if (!best->order.SatisfiesPrefix(ob)) {
+      // Prefer a naturally ordered top plan when no aggregation intervened.
+      const Plan* ordered = graph.has_aggregation()
+                                ? nullptr
+                                : top->CheapestSatisfying(
+                                      ob, PartitionProperty::Serial());
+      if (ordered != nullptr && ordered->cost < best->cost + 1e-12) {
+        best = ordered;
+      } else {
+        Plan* sort = memo->NewPlan();
+        sort->op = OpType::kSort;
+        sort->tables = graph.AllTables();
+        sort->rows = best->rows;
+        sort->cost = best->cost + cost.Sort(best->rows, ob.size());
+        sort->order = ob;
+        sort->partition = best->partition;
+        sort->pipelinable = false;
+        sort->child = best;
+        best = sort;
+      }
+    }
+  }
+
+  return best;
+}
+
+int64_t CountCompletionPlans(const QueryGraph& graph) {
+  int64_t plans = 0;
+  if (graph.has_aggregation()) plans += 2;  // sort-based + hash-based
+  if (!graph.order_by().empty()) plans += 1;  // final SORT enforcer
+  return plans;
+}
+
+}  // namespace cote

@@ -1,0 +1,34 @@
+#ifndef COTE_OPTIMIZER_COMPLETION_H_
+#define COTE_OPTIMIZER_COMPLETION_H_
+
+#include <cstdint>
+
+#include "optimizer/cost/cost_model.h"
+#include "optimizer/memo.h"
+#include "query/query_graph.h"
+
+namespace cote {
+
+/// Query completion — the "other" compilation work that follows join
+/// enumeration: the first-rows preference, aggregation planning (sort-
+/// vs hash-based group by), and the final ORDER BY enforcer. Formerly
+/// inlined in Optimizer::OptimizeHigh; now one pipeline stage with two
+/// modes, mirroring the paper's visitor split (§3.1): plan mode builds
+/// the completion plans on top of the enumerated MEMO, estimate mode
+/// merely counts the candidates plan mode would consider.
+
+/// Plan mode. `top` is the MEMO entry for the full table set and must
+/// hold at least one plan; enforcer plans are allocated from `memo`.
+/// Returns the completed best plan.
+const Plan* CompleteQuery(const QueryGraph& graph, Memo* memo, MemoEntry* top,
+                          const CostModel& cost);
+
+/// Estimate mode: the number of completion plans plan mode would consider
+/// for this query — two group-by candidates (sort- and hash-based) when
+/// the query aggregates, plus one final-sort candidate when it orders.
+/// Allocation-free (a pure counting stage, in the style of Table 3).
+int64_t CountCompletionPlans(const QueryGraph& graph);
+
+}  // namespace cote
+
+#endif  // COTE_OPTIMIZER_COMPLETION_H_

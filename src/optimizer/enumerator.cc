@@ -123,21 +123,22 @@ EnumerationStats RunBottomUp(const QueryGraph& graph,
 
 EnumerationStats JoinEnumerator::Run(JoinVisitor* visitor) {
   COTE_CHECK(visitor != nullptr);
-  const int n = graph_.num_tables();
+  const int n = graph_->num_tables();
   COTE_CHECK_LE(n, 64);
   if (n <= kFlatExistsMaxTables) {
     // assign() reuses the buffer's capacity, so from the second run on
-    // (same enumerator, same graph) the flat path allocates nothing.
+    // (same enumerator, same-or-smaller graph) the flat path allocates
+    // nothing.
     exists_.assign(size_t{1} << n, 0);
     return RunBottomUp(
-        graph_, options_, visitor,
+        *graph_, options_, visitor,
         [this](uint64_t bits) { return exists_[bits] != 0; },
         [this](uint64_t bits) { exists_[bits] = 1; }, preds_);
   }
   // hotpath-ok: documented hashed fallback for n > 20, outside DP range
   std::unordered_set<uint64_t> exists;
   return RunBottomUp(
-      graph_, options_, visitor,
+      *graph_, options_, visitor,
       [&exists](uint64_t bits) { return exists.count(bits) != 0; },
       // hotpath-ok: hashed-fallback existence insert (n > 20 only)
       [&exists](uint64_t bits) { exists.insert(bits); }, preds_);

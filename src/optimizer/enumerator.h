@@ -92,7 +92,7 @@ class JoinVisitor {
 class JoinEnumerator {
  public:
   JoinEnumerator(const QueryGraph& graph, const EnumeratorOptions& options)
-      : graph_(graph), options_(options) {}
+      : graph_(&graph), options_(options) {}
 
   /// Runs the full enumeration, driving `visitor`. May be called more than
   /// once; after the first run the enumerator reuses its scratch buffers,
@@ -100,8 +100,16 @@ class JoinEnumerator {
   /// property hotpath_alloc_test locks in).
   EnumerationStats Run(JoinVisitor* visitor);
 
+  /// Retargets the enumerator at another query while keeping the scratch
+  /// buffers (a session-owned enumerator reuses them across a workload;
+  /// a rebind to a same-or-smaller table count performs no allocation).
+  void Rebind(const QueryGraph& graph, const EnumeratorOptions& options) {
+    graph_ = &graph;
+    options_ = options;
+  }
+
  private:
-  const QueryGraph& graph_;
+  const QueryGraph* graph_;
   EnumeratorOptions options_;
   /// Scratch reused across runs: the subset-existence bitmap (flat mode)
   /// and the connecting-predicate gather buffer.

@@ -1,191 +1,24 @@
 #include "optimizer/optimizer.h"
 
-#include <algorithm>
-#include <cmath>
-
-#include "common/timer.h"
-#include "optimizer/greedy_optimizer.h"
-#include "optimizer/properties/interesting_orders.h"
+#include "session/session.h"
 
 namespace cote {
 
-Optimizer::Optimizer(OptimizerOptions options) : options_(std::move(options)) {
-  // Keep the cost model and plan generation consistent with num_nodes.
-  if (options_.num_nodes > 1) {
-    options_.plangen.parallel = true;
-    options_.cost.num_nodes = options_.num_nodes;
-  } else if (options_.plangen.parallel && options_.cost.num_nodes <= 1) {
-    options_.cost.num_nodes = 4;
-    options_.num_nodes = 4;
-  }
-}
+// This TU is deliberately thin: the actual staged compilation — bind,
+// enumerate, complete, finalize — lives in src/session/pipeline.cc, and
+// the models it consults live in the session's CompilationContext. The
+// Optimizer type survives as the stable public facade (and keeps its
+// session warm across Optimize() calls).
+
+Optimizer::Optimizer(OptimizerOptions options)
+    : session_(std::make_unique<CompilationSession>(std::move(options))) {}
+
+Optimizer::~Optimizer() = default;
+Optimizer::Optimizer(Optimizer&&) noexcept = default;
+Optimizer& Optimizer::operator=(Optimizer&&) noexcept = default;
 
 StatusOr<OptimizeResult> Optimizer::Optimize(const QueryGraph& graph) const {
-  if (graph.num_tables() == 0) {
-    return Status::InvalidArgument("query has no tables");
-  }
-  return options_.level == OptimizationLevel::kLow ? OptimizeLow(graph)
-                                                   : OptimizeHigh(graph);
-}
-
-StatusOr<OptimizeResult> Optimizer::OptimizeLow(const QueryGraph& graph) const {
-  StopWatch watch;
-  OptimizeResult result;
-  result.memo = std::make_shared<Memo>(graph);
-  CostModel cost(options_.cost);
-  CardinalityModel card(graph, /*use_key_refinement=*/true);
-  GreedyOptimizer greedy(graph, cost, card, result.memo.get());
-  result.best_plan = greedy.Run();
-  if (result.best_plan == nullptr) {
-    return Status::Internal("greedy optimizer produced no plan");
-  }
-  result.stats.best_cost = result.best_plan->cost;
-  result.stats.plans_stored = 0;
-  result.stats.total_seconds = watch.ElapsedSeconds();
-  return result;
-}
-
-StatusOr<OptimizeResult> Optimizer::OptimizeHigh(
-    const QueryGraph& graph) const {
-  StopWatch watch;
-  OptimizeResult result;
-  result.memo = std::make_shared<Memo>(graph);
-  Memo* memo = result.memo.get();
-
-  CostModel cost(options_.cost);
-  CardinalityModel card(graph, /*use_key_refinement=*/true);
-  InterestingOrders interesting(graph);
-  PlanGenerator generator(graph, memo, cost, card, interesting,
-                          options_.plangen);
-
-  StopWatch enum_watch;
-  result.stats.enumeration =
-      RunEnumeration(graph, options_.enumeration, &generator);
-  double run_seconds = enum_watch.ElapsedSeconds();
-
-  MemoEntry* top = memo->Find(graph.AllTables());
-  if (top == nullptr || top->Cheapest() == nullptr) {
-    return Status::Internal(
-        "no complete plan: join graph is disconnected and Cartesian "
-        "products are disabled");
-  }
-
-  // ---- Query completion ("other" work: aggregation and final ordering).
-  //
-  // For first-n-rows queries the pipelinable property pays off here: a
-  // pipelinable plan only executes the fraction of its input needed to
-  // produce n rows, so plans are compared on that discounted cost.
-  auto effective_cost = [&graph](const Plan* p) {
-    if (!graph.wants_first_rows() || !p->pipelinable) return p->cost;
-    double fraction = static_cast<double>(graph.fetch_first()) /
-                      std::max(p->rows, 1.0);
-    return p->cost * std::clamp(fraction, 0.01, 1.0);
-  };
-  const Plan* best = top->Cheapest();
-  if (graph.wants_first_rows() && !graph.has_aggregation()) {
-    for (const Plan* p : top->plans()) {
-      if (effective_cost(p) < effective_cost(best)) best = p;
-    }
-  }
-
-  if (graph.has_aggregation()) {
-    const auto& gb = graph.group_by();
-    double in_rows = top->cardinality();
-    double out_rows = in_rows;
-    if (!gb.empty()) {
-      double groups = 1.0;
-      for (const ColumnRef& c : gb) groups *= graph.ColumnNdv(c);
-      out_rows = std::min(in_rows, std::max(1.0, groups));
-    }
-    // Two group-by plans per aggregation: sort-based and hash-based (§3).
-    OrderProperty gb_order =
-        OrderProperty(gb).Canonicalize(top->equivalence());
-    const Plan* sorted_in = nullptr;
-    for (const Plan* p : top->plans()) {
-      if (gb.empty() || p->order.SatisfiesSet(gb_order)) {
-        if (sorted_in == nullptr || p->cost < sorted_in->cost) sorted_in = p;
-      }
-    }
-    double sort_based_cost;
-    const Plan* sort_child;
-    if (sorted_in != nullptr) {
-      sort_based_cost = sorted_in->cost + cost.GroupBySort(in_rows, out_rows);
-      sort_child = sorted_in;
-    } else {
-      sort_based_cost = best->cost + cost.Sort(in_rows, gb_order.size()) +
-                        cost.GroupBySort(in_rows, out_rows);
-      sort_child = best;
-    }
-    double hash_based_cost = best->cost + cost.GroupByHash(in_rows, out_rows);
-
-    Plan* agg = memo->NewPlan();
-    agg->tables = graph.AllTables();
-    agg->rows = out_rows;
-    if (sort_based_cost <= hash_based_cost) {
-      agg->op = OpType::kGroupBySort;
-      agg->cost = sort_based_cost;
-      agg->child = sort_child;
-      agg->order = sort_child->order;
-      // Streams when the input was already sorted (no extra SORT).
-      agg->pipelinable = (sorted_in != nullptr) && sort_child->pipelinable;
-    } else {
-      agg->op = OpType::kGroupByHash;
-      agg->cost = hash_based_cost;
-      agg->child = best;
-      agg->order = OrderProperty::None();
-      agg->pipelinable = false;  // hash aggregation materializes
-    }
-    agg->partition = agg->child->partition;
-    best = agg;
-  }
-
-  if (!graph.order_by().empty()) {
-    OrderProperty ob =
-        OrderProperty(graph.order_by()).Canonicalize(top->equivalence());
-    if (!best->order.SatisfiesPrefix(ob)) {
-      // Prefer a naturally ordered top plan when no aggregation intervened.
-      const Plan* ordered = graph.has_aggregation()
-                                ? nullptr
-                                : top->CheapestSatisfying(
-                                      ob, PartitionProperty::Serial());
-      if (ordered != nullptr && ordered->cost < best->cost + 1e-12) {
-        best = ordered;
-      } else {
-        Plan* sort = memo->NewPlan();
-        sort->op = OpType::kSort;
-        sort->tables = graph.AllTables();
-        sort->rows = best->rows;
-        sort->cost = best->cost + cost.Sort(best->rows, ob.size());
-        sort->order = ob;
-        sort->partition = best->partition;
-        sort->pipelinable = false;
-        sort->child = best;
-        best = sort;
-      }
-    }
-  }
-
-  result.best_plan = best;
-
-  // ---- Statistics.
-  OptimizeStats& st = result.stats;
-  st.join_plans_generated = generator.join_plans_generated();
-  st.enforcer_plans = generator.enforcer_plans();
-  st.scan_plans = generator.scan_plans();
-  st.pruned_by_pilot = generator.pruned_by_pilot();
-  st.plans_stored = memo->plans_stored();
-  st.memo_entries = memo->num_entries();
-  st.memo_bytes = memo->ApproxMemoryBytes();
-  st.best_cost = best->cost;
-  for (int m = 0; m < kNumJoinMethods; ++m) {
-    st.gen_seconds[m] =
-        generator.gen_time(static_cast<JoinMethod>(m)).TotalSeconds();
-  }
-  st.save_seconds = generator.save_time().TotalSeconds();
-  st.init_seconds = generator.init_time().TotalSeconds();
-  st.enum_seconds = std::max(0.0, run_seconds - generator.visitor_seconds());
-  st.total_seconds = watch.ElapsedSeconds();
-  return result;
+  return session_->Optimize(graph);
 }
 
 }  // namespace cote

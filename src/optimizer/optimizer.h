@@ -36,6 +36,31 @@ struct OptimizerOptions {
     o.num_nodes = nodes;
     return o;
   }
+
+  /// Reconciles the three parallelism knobs (num_nodes, plangen.parallel,
+  /// cost.num_nodes) so the cost model and plan generation agree on the
+  /// node count. Called once when a CompilationSession adopts the options,
+  /// so the optimize and estimate paths see identical configurations.
+  ///
+  /// Rules (pinned by OptimizerOptionsTest):
+  ///  * num_nodes > 1 wins: it switches parallel plan generation on and
+  ///    propagates the node count into the cost model;
+  ///  * plangen.parallel set without any node count (num_nodes <= 1 and
+  ///    cost.num_nodes <= 1) defaults BOTH node counts to 4 — the paper's
+  ///    experimental configuration;
+  ///  * quirk, kept deliberately: plangen.parallel with cost.num_nodes > 1
+  ///    but num_nodes <= 1 leaves num_nodes at 1 and trusts the cost
+  ///    model's count — callers who set cost.num_nodes directly have
+  ///    already chosen their environment.
+  void Normalize() {
+    if (num_nodes > 1) {
+      plangen.parallel = true;
+      cost.num_nodes = num_nodes;
+    } else if (plangen.parallel && cost.num_nodes <= 1) {
+      cost.num_nodes = 4;
+      num_nodes = 4;
+    }
+  }
 };
 
 /// \brief Result of one compilation: the chosen plan plus instrumentation.
@@ -47,6 +72,8 @@ struct OptimizeResult {
   std::shared_ptr<Memo> memo;
 };
 
+class CompilationSession;
+
 /// \brief The full query optimizer facade.
 ///
 /// Usage:
@@ -56,17 +83,28 @@ struct OptimizeResult {
 /// Optimize() runs base-plan generation, DP join enumeration with plan
 /// generation (or the greedy pass at kLow), and query completion (final
 /// sort / group-by planning), and reports detailed per-phase statistics.
+///
+/// Internally this is a thin veneer over a private CompilationSession
+/// (src/session/): the session keeps the cost/cardinality models and
+/// scratch state warm across Optimize() calls, so compiling a workload
+/// through one Optimizer is cheaper than fresh construction per query
+/// while producing bit-identical plans and stats. Like the rest of the
+/// library, an Optimizer is not thread-safe.
 class Optimizer {
  public:
   explicit Optimizer(OptimizerOptions options = {});
+  ~Optimizer();
+  Optimizer(Optimizer&&) noexcept;
+  Optimizer& operator=(Optimizer&&) noexcept;
 
   StatusOr<OptimizeResult> Optimize(const QueryGraph& graph) const;
 
  private:
-  StatusOr<OptimizeResult> OptimizeHigh(const QueryGraph& graph) const;
-  StatusOr<OptimizeResult> OptimizeLow(const QueryGraph& graph) const;
-
-  OptimizerOptions options_;
+  // Owned via pointer: optimizer.h cannot include session/session.h (the
+  // session layer's types are defined in terms of OptimizerOptions).
+  // Pointer constness is shallow, so const Optimize() can drive the
+  // stateful session — the statefulness is pure reuse, not behavior.
+  std::unique_ptr<CompilationSession> session_;
 };
 
 }  // namespace cote

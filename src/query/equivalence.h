@@ -34,6 +34,11 @@ class ColumnEquivalence {
   /// All classes with at least two members, each sorted ascending.
   std::vector<std::vector<ColumnRef>> Classes() const;
 
+  /// Forgets every equivalence. Bucket storage is retained, so an instance
+  /// embedded in reusable per-entry state can be cleared on a session
+  /// rebind without churning the allocator on the next build-up.
+  void Clear() { parent_.clear(); }
+
  private:
   uint32_t Root(uint32_t x) const;
 

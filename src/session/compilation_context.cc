@@ -1,0 +1,166 @@
+#include "session/compilation_context.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace cote {
+
+namespace {
+
+/// SplitMix64 finalizer: cheap, allocation-free, good avalanche — the
+/// fingerprint is a change detector, not a security boundary.
+uint64_t SplitMix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t Mix(uint64_t h, uint64_t v) { return SplitMix(h ^ SplitMix(v)); }
+
+/// Doubles are fingerprinted by bit pattern: any selectivity change —
+/// however small — must force a cold rebind (stale cardinalities are the
+/// hazard this fingerprint exists to prevent).
+uint64_t DoubleBits(double d) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+uint64_t MixColumn(uint64_t h, const ColumnRef& c) {
+  return Mix(h, c.Encode());
+}
+
+}  // namespace
+
+CompilationContext::CompilationContext(OptimizerOptions options,
+                                       PlanCounterOptions counter_options)
+    : options_((options.Normalize(), std::move(options))),
+      counter_options_(counter_options),
+      cost_(options_.cost) {
+  // The counter must model the same environment the optimizer plans for
+  // (moved here from CompileTimeEstimator so every estimate path agrees).
+  counter_options_.parallel =
+      options_.num_nodes > 1 || options_.plangen.parallel;
+  counter_options_.eager_partitions = options_.plangen.eager_partitions;
+}
+
+bool CompilationContext::Reset(const QueryGraph& graph) {
+  const uint64_t fp = Fingerprint(graph);
+  if (graph_ == &graph && fp == fingerprint_) {
+    ++stats_.warm_resets;
+    return true;
+  }
+  graph_ = &graph;
+  fingerprint_ = fp;
+  refined_card_.reset();
+  simple_card_.reset();
+  interesting_.reset();
+  // Counter and enumerator are kept alive (their arenas are the point of
+  // the session); the cleared flags make the accessors Rebind() them to
+  // the new query on first use.
+  counter_bound_ = false;
+  enumerator_bound_ = false;
+  ++stats_.context_rebinds;
+  return false;
+}
+
+void CompilationContext::Invalidate() {
+  graph_ = nullptr;
+  fingerprint_ = 0;
+  refined_card_.reset();
+  simple_card_.reset();
+  interesting_.reset();
+  counter_.reset();
+  enumerator_.reset();
+  counter_bound_ = false;
+  enumerator_bound_ = false;
+}
+
+const QueryGraph& CompilationContext::graph() const {
+  COTE_CHECK(graph_ != nullptr);
+  return *graph_;
+}
+
+const CardinalityModel& CompilationContext::refined_cardinality() {
+  if (!refined_card_) {
+    refined_card_.emplace(graph(), /*use_key_refinement=*/true);
+  }
+  return *refined_card_;
+}
+
+const CardinalityModel& CompilationContext::simple_cardinality() {
+  // Estimate mode uses the simple model: no key/FD refinement, exactly
+  // like the paper's prototype (§4/§5.2).
+  if (!simple_card_) {
+    simple_card_.emplace(graph(), /*use_key_refinement=*/false);
+  }
+  return *simple_card_;
+}
+
+const InterestingOrders& CompilationContext::interesting_orders() {
+  if (!interesting_) interesting_.emplace(graph());
+  return *interesting_;
+}
+
+PlanCounter& CompilationContext::counter() {
+  if (!counter_) {
+    counter_.emplace(graph(), interesting_orders(), simple_cardinality(),
+                     counter_options_);
+    counter_bound_ = true;
+  } else if (!counter_bound_) {
+    counter_->Rebind(graph(), interesting_orders(), simple_cardinality());
+    counter_bound_ = true;
+  }
+  return *counter_;
+}
+
+JoinEnumerator& CompilationContext::enumerator() {
+  if (!enumerator_) {
+    enumerator_.emplace(graph(), options_.enumeration);
+  } else if (!enumerator_bound_) {
+    enumerator_->Rebind(graph(), options_.enumeration);
+  }
+  enumerator_bound_ = true;
+  return *enumerator_;
+}
+
+EnumerationStats CompilationContext::Enumerate(JoinVisitor* visitor) {
+  if (options_.enumeration.kind == EnumeratorKind::kBottomUp) {
+    return enumerator().Run(visitor);
+  }
+  return RunEnumeration(graph(), options_.enumeration, visitor);
+}
+
+std::shared_ptr<Memo> CompilationContext::NewMemo() {
+  return std::make_shared<Memo>(graph());
+}
+
+uint64_t CompilationContext::Fingerprint(const QueryGraph& graph) {
+  uint64_t h = SplitMix(static_cast<uint64_t>(graph.num_tables()));
+  for (int t = 0; t < graph.num_tables(); ++t) {
+    const QueryTableRef& ref = graph.table_ref(t);
+    h = Mix(h, reinterpret_cast<uintptr_t>(ref.table));
+    h = Mix(h, ref.inner_only ? 1u : 2u);
+  }
+  for (const JoinPredicate& p : graph.join_predicates()) {
+    h = MixColumn(h, p.left);
+    h = MixColumn(h, p.right);
+    h = Mix(h, static_cast<uint64_t>(static_cast<int>(p.kind)));
+    h = Mix(h, p.derived ? 1u : 2u);
+    h = Mix(h, DoubleBits(p.selectivity));
+  }
+  for (const LocalPredicate& p : graph.local_predicates()) {
+    h = MixColumn(h, p.column);
+    h = Mix(h, static_cast<uint64_t>(static_cast<int>(p.op)));
+    h = Mix(h, DoubleBits(p.selectivity));
+  }
+  for (const ColumnRef& c : graph.group_by()) h = MixColumn(h, c);
+  for (const ColumnRef& c : graph.order_by()) h = MixColumn(h, c);
+  h = Mix(h, graph.has_aggregation() ? 1u : 2u);
+  h = Mix(h, static_cast<uint64_t>(graph.fetch_first()));
+  return h;
+}
+
+}  // namespace cote

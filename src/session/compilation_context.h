@@ -1,0 +1,133 @@
+#ifndef COTE_SESSION_COMPILATION_CONTEXT_H_
+#define COTE_SESSION_COMPILATION_CONTEXT_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "core/plan_counter.h"
+#include "optimizer/cost/cardinality.h"
+#include "optimizer/cost/cost_model.h"
+#include "optimizer/enumerator.h"
+#include "optimizer/memo.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/properties/interesting_orders.h"
+#include "query/query_graph.h"
+#include "session/compilation_stats.h"
+
+namespace cote {
+
+/// \brief Per-query compilation state with cross-query arena reuse.
+///
+/// The context is the single owner of every model the pipeline consults —
+/// the cost model (options-lifetime), the refined and simple cardinality
+/// models, the interesting-order analysis, the session enumerator, and the
+/// estimate-mode plan counter — plus the unified CompilationStats. Nothing
+/// outside src/session/ constructs these models directly; callers obtain
+/// them here so the optimize and estimate paths are guaranteed to see the
+/// same configuration.
+///
+/// Reset(graph) binds the context to a query. Rebinding to a *different*
+/// query drops the per-query models but keeps every arena and scratch
+/// buffer (the counter's entry-state deque, the enumerator's bitmaps, the
+/// flat set index), so batch runs over a workload are allocation-steady:
+/// after the largest query has been seen, later binds of same-or-smaller
+/// queries grow nothing. Re-binding the *same* query (same object, same
+/// content fingerprint) is a warm no-op that additionally keeps the
+/// counter's saturated property lists — the cross-query extension of the
+/// zero-steady-state-allocation invariant hotpath_alloc_test pins.
+class CompilationContext {
+ public:
+  /// Adopts (and normalizes — see OptimizerOptions::Normalize) the
+  /// optimizer configuration. `counter_options` seeds the estimate-mode
+  /// counter; its parallel / eager-partition knobs are reconciled with the
+  /// optimizer options so the counter models the environment the
+  /// optimizer plans for.
+  explicit CompilationContext(OptimizerOptions options,
+                              PlanCounterOptions counter_options = {});
+
+  CompilationContext(const CompilationContext&) = delete;
+  CompilationContext& operator=(const CompilationContext&) = delete;
+
+  /// Binds the context to `graph` (the pipeline's bind stage). Returns
+  /// true for a warm no-op — same graph object whose content fingerprint
+  /// is unchanged — in which case every lazily built model survives.
+  ///
+  /// Caveat: the fingerprint covers the graph's own content (tables,
+  /// predicates with their selectivities, grouping/ordering, fetch-first)
+  /// via the catalog Table pointers; mutating catalog *statistics* in
+  /// place between binds of the same graph is not detected.
+  bool Reset(const QueryGraph& graph);
+
+  /// Drops all per-query bindings so the next Reset is cold. Benchmarks
+  /// that want fresh-model timings per iteration use this.
+  void Invalidate();
+
+  const OptimizerOptions& options() const { return options_; }
+  const PlanCounterOptions& counter_options() const {
+    return counter_options_;
+  }
+
+  /// The bound query; dies if no Reset() happened yet.
+  const QueryGraph& graph() const;
+
+  // Lazily materialized components, all bound to graph(). ----------------
+
+  /// Options-lifetime: depends only on CostParams, never rebound.
+  const CostModel& cost_model() const { return cost_; }
+  /// Plan-mode cardinality (key/FD refinement on).
+  const CardinalityModel& refined_cardinality();
+  /// Estimate-mode cardinality (no refinement — the paper's prototype).
+  const CardinalityModel& simple_cardinality();
+  const InterestingOrders& interesting_orders();
+  /// Estimate-mode visitor, bound to simple_cardinality(); warm across
+  /// binds of the same query (ResetCounts() is the caller's job).
+  PlanCounter& counter();
+  /// Session-owned bottom-up enumerator (scratch reused across queries).
+  JoinEnumerator& enumerator();
+
+  /// Runs join enumeration for the bound query over `visitor`, through
+  /// the session enumerator when the options select bottom-up search and
+  /// through the top-down dispatcher otherwise.
+  EnumerationStats Enumerate(JoinVisitor* visitor);
+
+  /// Fresh plan-mode MEMO for the bound query. Plan-mode memos are
+  /// per-compile by design: ownership passes to the OptimizeResult, which
+  /// may outlive the session.
+  std::shared_ptr<Memo> NewMemo();
+
+  CompilationStats& stats() { return stats_; }
+  const CompilationStats& stats() const { return stats_; }
+
+ private:
+  /// Content hash of everything compilation output depends on: table
+  /// identities and flags, join/local predicates (columns, kind, derived,
+  /// selectivity bit patterns), grouping, ordering, aggregation,
+  /// fetch-first.
+  static uint64_t Fingerprint(const QueryGraph& graph);
+
+  OptimizerOptions options_;
+  PlanCounterOptions counter_options_;
+  CostModel cost_;
+
+  const QueryGraph* graph_ = nullptr;
+  uint64_t fingerprint_ = 0;
+
+  // Per-query components. The optionals are reset on a cold bind and
+  // rebuilt on first use; counter/enumerator instead Rebind() in place so
+  // their arenas survive (the bound_ flags track whether that happened
+  // for the current query yet).
+  std::optional<CardinalityModel> refined_card_;
+  std::optional<CardinalityModel> simple_card_;
+  std::optional<InterestingOrders> interesting_;
+  std::optional<PlanCounter> counter_;
+  std::optional<JoinEnumerator> enumerator_;
+  bool counter_bound_ = false;
+  bool enumerator_bound_ = false;
+
+  CompilationStats stats_;
+};
+
+}  // namespace cote
+
+#endif  // COTE_SESSION_COMPILATION_CONTEXT_H_

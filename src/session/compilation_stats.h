@@ -1,0 +1,79 @@
+#ifndef COTE_SESSION_COMPILATION_STATS_H_
+#define COTE_SESSION_COMPILATION_STATS_H_
+
+#include <cstdint>
+
+#include "optimizer/enumerator.h"
+#include "optimizer/plan/plan.h"
+#include "optimizer/stats.h"
+
+namespace cote {
+
+/// \brief Everything one estimation run produces.
+///
+/// Lives in the session layer (rather than core/estimator.h, its original
+/// home) because both halves of the compilation pipeline speak it: the
+/// estimate-mode pipeline fills it in, and CompileTimeEstimator re-exports
+/// it unchanged for existing callers.
+struct CompileTimeEstimate {
+  /// Estimated number of join plans per join method (what Figure 5 plots
+  /// against the instrumented actuals).
+  JoinTypeCounts plan_estimates;
+  /// Join counts seen during estimation (from the reused enumerator).
+  EnumerationStats enumeration;
+  /// Estimated compilation time via the linear time model (Figure 6).
+  double estimated_seconds = 0;
+  /// Wall time this estimate itself took — the overhead Figure 4 compares
+  /// against the actual compilation time.
+  double estimation_seconds = 0;
+  /// §6.2: lower bound of MEMO memory at this level, from the interesting
+  /// property list lengths × bytes per stored plan.
+  int64_t estimated_memo_bytes = 0;
+  int64_t plan_slots = 0;
+  /// Estimate-mode counterpart of the completion stage: how many
+  /// completion plans (group-by candidates, final sort) plan mode would
+  /// consider on top of the join plans. Kept out of plan_estimates so the
+  /// §3.5 join-count regression inputs are untouched.
+  int64_t completion_plans = 0;
+
+  /// Bytes charged per plan slot in the memory lower bound.
+  static constexpr int64_t kBytesPerPlan = sizeof(Plan);
+};
+
+/// Wall time of the four pipeline stages of one compile or estimate.
+struct StageSeconds {
+  double bind = 0;      ///< context reset, model (re)binding
+  double enumerate = 0; ///< join enumeration + visitor work
+  double complete = 0;  ///< query completion (plans or the count)
+  double finalize = 0;  ///< stats fill / time-model conversion
+  double Total() const { return bind + enumerate + complete + finalize; }
+};
+
+/// \brief Unified instrumentation of one CompilationSession.
+///
+/// Accumulates across every Optimize()/Estimate() issued through the
+/// session, so batch drivers get per-stage timing and reuse counters
+/// without instrumenting each call themselves.
+struct CompilationStats {
+  StageSeconds last_stages;        ///< stages of the most recent run
+  StageSeconds cumulative_stages;  ///< sums over the session lifetime
+  int64_t plans_compiled = 0;      ///< plan-mode runs completed
+  int64_t estimates_run = 0;       ///< estimate-mode runs completed
+  /// Cold binds: the context had to retarget its models at a new query.
+  int64_t context_rebinds = 0;
+  /// Warm binds: same graph object with an unchanged content fingerprint,
+  /// so every model and the counter's saturated state were kept.
+  int64_t warm_resets = 0;
+
+  void RecordStages(const StageSeconds& s) {
+    last_stages = s;
+    cumulative_stages.bind += s.bind;
+    cumulative_stages.enumerate += s.enumerate;
+    cumulative_stages.complete += s.complete;
+    cumulative_stages.finalize += s.finalize;
+  }
+};
+
+}  // namespace cote
+
+#endif  // COTE_SESSION_COMPILATION_STATS_H_

@@ -1,0 +1,156 @@
+#include "session/pipeline.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+#include "optimizer/completion.h"
+#include "optimizer/greedy_optimizer.h"
+
+namespace cote {
+
+StatusOr<OptimizeResult> CompilationPipeline::CompilePlan(
+    const QueryGraph& graph) {
+  if (graph.num_tables() == 0) {
+    return Status::InvalidArgument("query has no tables");
+  }
+  return ctx_->options().level == OptimizationLevel::kLow ? PlanLow(graph)
+                                                          : PlanHigh(graph);
+}
+
+StatusOr<OptimizeResult> CompilationPipeline::PlanLow(
+    const QueryGraph& graph) {
+  StopWatch watch;
+  StageSeconds stages;
+  StopWatch stage;
+
+  // ---- Bind.
+  ctx_->Reset(graph);
+  OptimizeResult result;
+  result.memo = ctx_->NewMemo();
+  const CostModel& cost = ctx_->cost_model();
+  const CardinalityModel& card = ctx_->refined_cardinality();
+  stages.bind = stage.ElapsedSeconds();
+
+  // ---- Enumerate (the greedy pass is kLow's degenerate "enumeration":
+  // one join order, no properties).
+  stage.Restart();
+  GreedyOptimizer greedy(graph, cost, card, result.memo.get());
+  result.best_plan = greedy.Run();
+  stages.enumerate = stage.ElapsedSeconds();
+  if (result.best_plan == nullptr) {
+    return Status::Internal("greedy optimizer produced no plan");
+  }
+
+  // ---- Complete: kLow skips query completion by design (single plan, no
+  // enforcers) — pinned by the golden equivalence tests.
+
+  // ---- Finalize.
+  stage.Restart();
+  result.stats.best_cost = result.best_plan->cost;
+  result.stats.plans_stored = 0;
+  result.stats.total_seconds = watch.ElapsedSeconds();
+  stages.finalize = stage.ElapsedSeconds();
+  ctx_->stats().RecordStages(stages);
+  ++ctx_->stats().plans_compiled;
+  return result;
+}
+
+StatusOr<OptimizeResult> CompilationPipeline::PlanHigh(
+    const QueryGraph& graph) {
+  StopWatch watch;
+  StageSeconds stages;
+  StopWatch stage;
+
+  // ---- Bind.
+  ctx_->Reset(graph);
+  OptimizeResult result;
+  result.memo = ctx_->NewMemo();
+  Memo* memo = result.memo.get();
+  const CostModel& cost = ctx_->cost_model();
+  const CardinalityModel& card = ctx_->refined_cardinality();
+  const InterestingOrders& interesting = ctx_->interesting_orders();
+  PlanGenerator generator(graph, memo, cost, card, interesting,
+                          ctx_->options().plangen);
+  stages.bind = stage.ElapsedSeconds();
+
+  // ---- Enumerate.
+  StopWatch enum_watch;
+  result.stats.enumeration = ctx_->Enumerate(&generator);
+  double run_seconds = enum_watch.ElapsedSeconds();
+  stages.enumerate = run_seconds;
+
+  MemoEntry* top = memo->Find(graph.AllTables());
+  if (top == nullptr || top->Cheapest() == nullptr) {
+    return Status::Internal(
+        "no complete plan: join graph is disconnected and Cartesian "
+        "products are disabled");
+  }
+
+  // ---- Complete ("other" work: aggregation and final ordering).
+  stage.Restart();
+  result.best_plan = CompleteQuery(graph, memo, top, cost);
+  stages.complete = stage.ElapsedSeconds();
+
+  // ---- Finalize: statistics.
+  stage.Restart();
+  OptimizeStats& st = result.stats;
+  st.join_plans_generated = generator.join_plans_generated();
+  st.enforcer_plans = generator.enforcer_plans();
+  st.scan_plans = generator.scan_plans();
+  st.pruned_by_pilot = generator.pruned_by_pilot();
+  st.plans_stored = memo->plans_stored();
+  st.memo_entries = memo->num_entries();
+  st.memo_bytes = memo->ApproxMemoryBytes();
+  st.best_cost = result.best_plan->cost;
+  for (int m = 0; m < kNumJoinMethods; ++m) {
+    st.gen_seconds[m] =
+        generator.gen_time(static_cast<JoinMethod>(m)).TotalSeconds();
+  }
+  st.save_seconds = generator.save_time().TotalSeconds();
+  st.init_seconds = generator.init_time().TotalSeconds();
+  st.enum_seconds = std::max(0.0, run_seconds - generator.visitor_seconds());
+  st.total_seconds = watch.ElapsedSeconds();
+  stages.finalize = stage.ElapsedSeconds();
+  ctx_->stats().RecordStages(stages);
+  ++ctx_->stats().plans_compiled;
+  return result;
+}
+
+CompileTimeEstimate CompilationPipeline::CompileEstimate(
+    const QueryGraph& graph, const TimeModel& time_model) {
+  StopWatch watch;
+  StageSeconds stages;
+  StopWatch stage;
+  CompileTimeEstimate out;
+
+  // ---- Bind: warm when the same query was just estimated (no heap
+  // traffic past the first estimate — the session alloc test's subject).
+  ctx_->Reset(graph);
+  PlanCounter& counter = ctx_->counter();
+  counter.ResetCounts();
+  stages.bind = stage.ElapsedSeconds();
+
+  // ---- Enumerate (plan-counting visitor — §3.1's other half).
+  stage.Restart();
+  out.enumeration = ctx_->Enumerate(&counter);
+  stages.enumerate = stage.ElapsedSeconds();
+
+  // ---- Complete, counted: what plan mode's completion stage would add.
+  stage.Restart();
+  out.completion_plans = CountCompletionPlans(graph);
+  stages.complete = stage.ElapsedSeconds();
+
+  // ---- Finalize: counts → seconds via the §3.5 time model.
+  stage.Restart();
+  out.plan_estimates = counter.estimated_plans();
+  out.estimated_seconds = time_model.EstimateSeconds(out.plan_estimates);
+  out.plan_slots = counter.TotalPlanSlots();
+  out.estimated_memo_bytes = out.plan_slots * CompileTimeEstimate::kBytesPerPlan;
+  out.estimation_seconds = watch.ElapsedSeconds();
+  stages.finalize = stage.ElapsedSeconds();
+  ctx_->stats().RecordStages(stages);
+  ++ctx_->stats().estimates_run;
+  return out;
+}
+
+}  // namespace cote

@@ -1,0 +1,53 @@
+#ifndef COTE_SESSION_PIPELINE_H_
+#define COTE_SESSION_PIPELINE_H_
+
+#include "common/status.h"
+#include "core/time_model.h"
+#include "optimizer/optimizer.h"
+#include "session/compilation_context.h"
+#include "session/compilation_stats.h"
+
+namespace cote {
+
+/// \brief The staged compilation pipeline: bind → enumerate → complete →
+/// finalize.
+///
+/// Both compilation modes run the same four stages over the shared
+/// CompilationContext — the paper's visitor symmetry (§3.1) lifted to the
+/// whole compile:
+///
+///   stage      | plan mode                    | estimate mode
+///   -----------+------------------------------+---------------------------
+///   bind       | context reset, models        | context reset, counter
+///   enumerate  | joins → PlanGenerator        | joins → PlanCounter
+///   complete   | CompleteQuery (group-by/sort | CountCompletionPlans
+///              | enforcer plans)              | (the same plans, counted)
+///   finalize   | OptimizeStats fill           | TimeModel conversion
+///
+/// Per-stage wall times land in the context's CompilationStats.
+class CompilationPipeline {
+ public:
+  /// `context` must outlive the pipeline; the pipeline itself is
+  /// stateless between calls.
+  explicit CompilationPipeline(CompilationContext* context)
+      : ctx_(context) {}
+
+  /// Plan mode. Bit-identical results and stats to the pre-session
+  /// Optimizer (the golden equivalence tests are the oracle).
+  StatusOr<OptimizeResult> CompilePlan(const QueryGraph& graph);
+
+  /// Estimate mode. Allocation-free in steady state: a warm context bind
+  /// plus a saturated counter re-run touch no heap.
+  CompileTimeEstimate CompileEstimate(const QueryGraph& graph,
+                                      const TimeModel& time_model);
+
+ private:
+  StatusOr<OptimizeResult> PlanLow(const QueryGraph& graph);
+  StatusOr<OptimizeResult> PlanHigh(const QueryGraph& graph);
+
+  CompilationContext* ctx_;
+};
+
+}  // namespace cote
+
+#endif  // COTE_SESSION_PIPELINE_H_

@@ -1,0 +1,23 @@
+#include "session/session.h"
+
+namespace cote {
+
+CompileTimeEstimate CompilationSession::Estimate(const MultiBlockQuery& query,
+                                                 const TimeModel& time_model) {
+  CompileTimeEstimate total;
+  for (const QueryGraph* block : query.AllBlocks()) {
+    CompileTimeEstimate e = Estimate(*block, time_model);
+    total.plan_estimates += e.plan_estimates;
+    total.enumeration.joins_unordered += e.enumeration.joins_unordered;
+    total.enumeration.joins_ordered += e.enumeration.joins_ordered;
+    total.enumeration.entries_created += e.enumeration.entries_created;
+    total.estimated_seconds += e.estimated_seconds;
+    total.estimation_seconds += e.estimation_seconds;
+    total.estimated_memo_bytes += e.estimated_memo_bytes;
+    total.plan_slots += e.plan_slots;
+    total.completion_plans += e.completion_plans;
+  }
+  return total;
+}
+
+}  // namespace cote

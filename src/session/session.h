@@ -1,0 +1,71 @@
+#ifndef COTE_SESSION_SESSION_H_
+#define COTE_SESSION_SESSION_H_
+
+#include "common/status.h"
+#include "core/time_model.h"
+#include "optimizer/optimizer.h"
+#include "query/multi_block.h"
+#include "session/compilation_context.h"
+#include "session/compilation_stats.h"
+#include "session/pipeline.h"
+
+namespace cote {
+
+/// \brief One query-compilation session: the single entry point through
+/// which everything in this library compiles or estimates a query.
+///
+///   CompilationSession session(options);
+///   StatusOr<OptimizeResult> plan = session.Optimize(graph);   // plan mode
+///   CompileTimeEstimate est = session.Estimate(graph, model);  // §3 mode
+///
+/// The session owns a CompilationContext (models, arenas, stats) and
+/// drives the staged CompilationPipeline over it. Compiling a workload
+/// through one session reuses the context's arenas across queries —
+/// allocation-steady batch runs — and repeated estimates of the *same*
+/// query are warm: zero steady-state allocations, enforced by
+/// tests/session/session_alloc_test.cc. Results are bit-identical to
+/// per-query construction throughout (the golden equivalence tests are
+/// the oracle). Not thread-safe; use one session per thread.
+class CompilationSession {
+ public:
+  explicit CompilationSession(OptimizerOptions options = {},
+                              PlanCounterOptions counter_options = {})
+      : context_(std::move(options), counter_options),
+        pipeline_(&context_) {}
+
+  // Not copyable/movable: the pipeline holds a pointer into the context.
+  CompilationSession(const CompilationSession&) = delete;
+  CompilationSession& operator=(const CompilationSession&) = delete;
+
+  /// Plan mode: full compilation to an executable plan.
+  StatusOr<OptimizeResult> Optimize(const QueryGraph& graph) {
+    return pipeline_.CompilePlan(graph);
+  }
+
+  /// Estimate mode: the paper's plan-counting pass; `time_model` converts
+  /// join-plan counts to seconds (§3.5).
+  CompileTimeEstimate Estimate(const QueryGraph& graph,
+                               const TimeModel& time_model) {
+    return pipeline_.CompileEstimate(graph, time_model);
+  }
+
+  /// Multi-block queries (§3.3): each block is optimized with its own
+  /// MEMO, so the estimates (plans, time, memory) sum over the blocks.
+  CompileTimeEstimate Estimate(const MultiBlockQuery& query,
+                               const TimeModel& time_model);
+
+  /// The models and options behind this session — the only sanctioned way
+  /// to reach the cost/cardinality models outside src/session/.
+  CompilationContext& context() { return context_; }
+  const CompilationContext& context() const { return context_; }
+
+  const CompilationStats& stats() const { return context_.stats(); }
+
+ private:
+  CompilationContext context_;
+  CompilationPipeline pipeline_;
+};
+
+}  // namespace cote
+
+#endif  // COTE_SESSION_SESSION_H_

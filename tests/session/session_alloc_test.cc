@@ -1,0 +1,103 @@
+// Runtime half of the session layer's cross-query reuse contract: the
+// second estimate-mode compile of the same query through one
+// CompilationSession performs ZERO heap allocations. This extends the
+// within-one-query invariant of tests/optimizer/hotpath_alloc_test.cc
+// ("warm enumerator re-run allocates nothing") across the whole pipeline:
+// bind (warm reset) → counter reset → enumerate → completion count →
+// time-model finalize.
+//
+// Own test binary: COTE_ALLOC_GUARD_IMPLEMENT must define the counting
+// global operator new/delete in exactly one executable.
+
+#define COTE_ALLOC_GUARD_IMPLEMENT
+#include "tests/common/alloc_guard.h"
+
+#include <gtest/gtest.h>
+
+#include "session/session.h"
+#include "workload/workload.h"
+
+namespace cote {
+namespace {
+
+OptimizerOptions SmallOptions() {
+  OptimizerOptions o;
+  o.enumeration.max_composite_inner = 3;
+  return o;
+}
+
+class SessionAllocTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  static Workload MakeWorkload(const std::string& which) {
+    if (which == "star") return StarWorkload();
+    if (which == "linear") return LinearWorkload();
+    return RandomWorkload(/*num_queries=*/6, /*seed=*/7);
+  }
+};
+
+TEST_P(SessionAllocTest, SecondEstimateOfSameQueryAllocatesNothing) {
+  Workload w = MakeWorkload(GetParam());
+  const QueryGraph& q = w.queries[w.queries.size() / 2];
+  TimeModel model;
+  CompilationSession session(SmallOptions());
+
+  CompileTimeEstimate cold = session.Estimate(q, model);
+
+  testing::AllocationCounter counter;
+  CompileTimeEstimate warm = session.Estimate(q, model);
+  EXPECT_EQ(counter.delta(), 0)
+      << "steady-state estimate through a warm session must not allocate";
+
+  // The warm run must be indistinguishable from the cold one.
+  for (int m = 0; m < kNumJoinMethods; ++m) {
+    EXPECT_EQ(cold.plan_estimates.counts[m], warm.plan_estimates.counts[m]);
+  }
+  EXPECT_EQ(cold.enumeration.joins_ordered, warm.enumeration.joins_ordered);
+  EXPECT_EQ(cold.plan_slots, warm.plan_slots);
+  EXPECT_EQ(cold.completion_plans, warm.completion_plans);
+  EXPECT_DOUBLE_EQ(cold.estimated_seconds, warm.estimated_seconds);
+  EXPECT_EQ(session.stats().warm_resets, 1);
+  EXPECT_EQ(session.stats().context_rebinds, 1);
+}
+
+TEST_P(SessionAllocTest, WarmEstimatesStayAllocationFreeAcrossRepeats) {
+  Workload w = MakeWorkload(GetParam());
+  const QueryGraph& q = w.queries[w.queries.size() / 2];
+  TimeModel model;
+  CompilationSession session(SmallOptions());
+  session.Estimate(q, model);
+
+  testing::AllocationCounter counter;
+  for (int i = 0; i < 5; ++i) session.Estimate(q, model);
+  EXPECT_EQ(counter.delta(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SessionAllocTest,
+                         ::testing::Values("linear", "star", "random"));
+
+TEST(SessionAllocSteadyTest, CrossQueryRebindReusesArenas) {
+  // Alternating between two queries is not allocation-*free* (entry
+  // property lists are rebuilt per cold bind), but it must be allocation-
+  // *steady*: once both queries have been seen, a further round allocates
+  // no more than the round before it — the arenas stopped growing.
+  Workload w = StarWorkload();
+  const QueryGraph& a = w.queries[4];
+  const QueryGraph& b = w.queries[9];
+  TimeModel model;
+  CompilationSession session(SmallOptions());
+  session.Estimate(a, model);
+  session.Estimate(b, model);
+
+  testing::AllocationCounter first_round;
+  session.Estimate(a, model);
+  session.Estimate(b, model);
+  int64_t first = first_round.delta();
+
+  testing::AllocationCounter second_round;
+  session.Estimate(a, model);
+  session.Estimate(b, model);
+  EXPECT_LE(second_round.delta(), first);
+}
+
+}  // namespace
+}  // namespace cote

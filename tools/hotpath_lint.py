@@ -62,6 +62,26 @@ HOT_FUNCTIONS = {
         "JoinPartitions",
         "OnJoin",
     ],
+    # Session layer: these run once per compile, and the warm path
+    # (repeat estimate of the same query) must stay allocation-free —
+    # tests/session/session_alloc_test.cc is the runtime half.
+    "src/session/compilation_context.cc": [
+        "Reset",
+        "Fingerprint",
+        "Enumerate",
+    ],
+    "src/session/pipeline.cc": [
+        "CompileEstimate",
+    ],
+    "src/session/session.cc": [
+        "Estimate",  # multi-block aggregation loop
+    ],
+    # Query completion: runs once per plan-mode compile; its counting twin
+    # runs once per estimate and must never touch the heap.
+    "src/optimizer/completion.cc": [
+        "CompleteQuery",
+        "CountCompletionPlans",
+    ],
     # Property canonicalization runs per enumerated join (via
     # PropagateOrders / Useful), so its Into-variants are hot too.
     "src/optimizer/properties/order_property.cc": [

@@ -105,6 +105,22 @@ else
   fail "hotpath_lint"
 fi
 
+# The session layer owns the warm compile path, so every src/session/ TU
+# must be registered in the lint manifest — new session code cannot dodge
+# the purity check by simply not being listed.
+MISSING_SESSION=""
+for f in "$ROOT"/src/session/*.cc; do
+  rel="src/session/$(basename "$f")"
+  if ! grep -q "\"$rel\"" "$ROOT/tools/hotpath_lint.py"; then
+    MISSING_SESSION="$MISSING_SESSION $rel"
+  fi
+done
+if [ -n "$MISSING_SESSION" ]; then
+  fail "hotpath_lint manifest is missing session TU(s):$MISSING_SESSION"
+else
+  echo "session lint manifest coverage: OK"
+fi
+
 # ---- 6. Debug + ASan/UBSan cycle ------------------------------------------
 # Debug (no NDEBUG) turns the COTE_DCHECK contracts on, so this cycle is
 # the one that actually executes the debug-only death tests; the
