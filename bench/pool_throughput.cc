@@ -1,0 +1,156 @@
+// Session-pool batch throughput bench (BENCH_pool.json).
+//
+// Compiles the same replicated random-workload batch through SessionPool
+// at worker counts 1, 2, 4, 8 (both plan mode and §3 estimate mode) and
+// reports wall time, summed busy time and the achieved speedup
+// (busy / wall). The N=1 pool runs the drain loop inline, so it doubles
+// as the serial baseline; scaling_vs_1 relates each N's wall clock to it.
+//
+// Speedup is bounded by the machine: on a single-core container every N
+// collapses to ~1x wall-clock (the workers time-slice one CPU), which the
+// JSON records honestly via "hardware_threads". On such a machine
+// busy / wall overstates — a descheduled worker's StopWatch keeps
+// accruing wall time — so read scaling_vs_1 there, not speedup. See
+// EXPERIMENTS.md, "Session-pool scaling".
+//
+// Usage:
+//   pool_throughput [--label NAME] [--out FILE] [--reps N]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "session/session_pool.h"
+#include "workload/workload.h"
+
+namespace cote {
+namespace {
+
+struct Sample {
+  std::string mode;  // "compile" | "estimate"
+  int workers = 0;
+  size_t batch = 0;
+  double wall_seconds = 0;
+  double busy_seconds = 0;
+  double speedup = 0;       // busy / wall, from BatchStats
+  double scaling_vs_1 = 0;  // wall(N=1) / wall(N)
+  double queries_per_sec = 0;
+  int64_t plans = 0;  // plans compiled (compile) or estimates (estimate)
+};
+
+void WriteJson(const std::string& path, const std::string& label,
+               const std::vector<Sample>& samples) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::abort();
+  }
+  std::fprintf(f,
+               "{\n  \"label\": \"%s\",\n  \"hardware_threads\": %u,\n"
+               "  \"results\": [\n",
+               label.c_str(), std::thread::hardware_concurrency());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    std::fprintf(
+        f,
+        "    {\"mode\": \"%s\", \"workers\": %d, \"batch\": %zu, "
+        "\"wall_seconds\": %.6f, \"busy_seconds\": %.6f, "
+        "\"speedup\": %.3f, \"scaling_vs_1\": %.3f, "
+        "\"queries_per_sec\": %.2f, \"plans\": %lld}%s\n",
+        s.mode.c_str(), s.workers, s.batch, s.wall_seconds, s.busy_seconds,
+        s.speedup, s.scaling_vs_1, s.queries_per_sec,
+        static_cast<long long>(s.plans), i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+}  // namespace cote
+
+int main(int argc, char** argv) {
+  using namespace cote;
+  std::string label = "current";
+  std::string out = "BENCH_pool.json";
+  int reps = 8;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--label") == 0 && i + 1 < argc) {
+      label = argv[++i];
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--label NAME] [--out FILE] [--reps N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  bench::Section("Session-pool batch throughput (label: " + label + ")");
+  std::printf("hardware threads: %u\n\n", std::thread::hardware_concurrency());
+
+  OptimizerOptions options = bench::SerialOptions();
+  TimeModel zero_model;  // throughput only; no time conversion needed
+
+  // The batch: the 13-query random workload replicated so every worker
+  // count has plenty of queue to drain.
+  Workload w = RandomWorkload(13, 42);
+  std::vector<const QueryGraph*> batch;
+  for (int r = 0; r < reps; ++r) {
+    for (const QueryGraph& q : w.queries) batch.push_back(&q);
+  }
+
+  std::vector<Sample> samples;
+  for (const std::string mode : {"compile", "estimate"}) {
+    double wall_at_1 = 0;
+    for (int workers : {1, 2, 4, 8}) {
+      SessionPool pool(workers, options);
+      Sample s;
+      s.mode = mode;
+      s.workers = workers;
+      s.batch = batch.size();
+      if (mode == "compile") {
+        pool.CompileBatch(batch);  // warm every session's arenas
+        BatchOptimizeResult r = pool.CompileBatch(batch);
+        for (const auto& item : r.results) {
+          if (!item.ok()) {
+            std::fprintf(stderr, "compile failed: %s\n",
+                         item.status().ToString().c_str());
+            return 1;
+          }
+        }
+        s.wall_seconds = r.stats.wall_seconds;
+        s.busy_seconds = r.stats.busy_seconds;
+        s.speedup = r.stats.Speedup();
+        s.plans = r.stats.merged.plans_compiled;
+      } else {
+        pool.EstimateBatch(batch, zero_model);
+        BatchEstimateResult r = pool.EstimateBatch(batch, zero_model);
+        s.wall_seconds = r.stats.wall_seconds;
+        s.busy_seconds = r.stats.busy_seconds;
+        s.speedup = r.stats.Speedup();
+        s.plans = r.stats.merged.estimates_run;
+      }
+      if (workers == 1) wall_at_1 = s.wall_seconds;
+      s.scaling_vs_1 =
+          s.wall_seconds > 0 ? wall_at_1 / s.wall_seconds : 0;
+      s.queries_per_sec =
+          s.wall_seconds > 0
+              ? static_cast<double>(batch.size()) / s.wall_seconds
+              : 0;
+      samples.push_back(s);
+      std::printf(
+          "%-8s N=%d batch=%-4zu wall=%8.4fs busy=%8.4fs "
+          "speedup=%5.2fx vs1=%5.2fx %8.1f q/s\n",
+          mode.c_str(), workers, batch.size(), s.wall_seconds,
+          s.busy_seconds, s.speedup, s.scaling_vs_1, s.queries_per_sec);
+    }
+  }
+  WriteJson(out, label, samples);
+  std::printf("\nwrote %s (%zu samples)\n", out.c_str(), samples.size());
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "core/statement_cache.h"
 
+#include <cstring>
 #include <functional>
 
 #include "session/session.h"
@@ -13,25 +14,46 @@ inline void Mix(uint64_t* h, uint64_t v) {
   *h ^= v + 0x9e3779b97f4a7c15ULL + (*h << 12) + (*h >> 4);
 }
 
+/// Selectivities enter the signature by bit pattern, exactly like
+/// CompilationContext::Fingerprint: any selectivity difference — however
+/// small — changes what the optimizer costs, so reusing a cached time
+/// across it would be a stale read.
+inline uint64_t DoubleBits(double d) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
 }  // namespace
 
 uint64_t CompileTimeCache::Signature(const QueryGraph& graph) {
   uint64_t h = 0xc07e5eed;
   std::hash<std::string> shash;
+  // Each list section mixes its length before its elements, so an element
+  // sliding across a section boundary (e.g. a column moving from GROUP BY
+  // to ORDER BY) cannot reproduce another query's mix sequence.
+  Mix(&h, static_cast<uint64_t>(graph.num_tables()));
   for (int t = 0; t < graph.num_tables(); ++t) {
     Mix(&h, shash(graph.table_ref(t).table->name()));
     Mix(&h, graph.table_ref(t).inner_only ? 7 : 3);
   }
+  Mix(&h, graph.join_predicates().size());
   for (const JoinPredicate& p : graph.join_predicates()) {
     Mix(&h, p.left.Encode());
     Mix(&h, p.right.Encode());
     Mix(&h, static_cast<uint64_t>(p.kind));
+    Mix(&h, p.derived ? 0xd1 : 0xd2);
+    Mix(&h, DoubleBits(p.selectivity));
   }
+  Mix(&h, graph.local_predicates().size());
   for (const LocalPredicate& p : graph.local_predicates()) {
     Mix(&h, p.column.Encode());
     Mix(&h, static_cast<uint64_t>(p.op));
+    Mix(&h, DoubleBits(p.selectivity));
   }
+  Mix(&h, graph.group_by().size());
   for (const ColumnRef& c : graph.group_by()) Mix(&h, c.Encode() * 2654435761u);
+  Mix(&h, graph.order_by().size());
   for (const ColumnRef& c : graph.order_by()) Mix(&h, c.Encode() * 40503u);
   Mix(&h, graph.wants_first_rows() ? 0xf17c4 : 0);
   Mix(&h, graph.has_aggregation() ? 0xa66 : 0);
@@ -40,12 +62,13 @@ uint64_t CompileTimeCache::Signature(const QueryGraph& graph) {
 
 std::optional<double> CompileTimeCache::Lookup(const QueryGraph& graph) {
   uint64_t sig = Signature(graph);
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(sig);
   if (it == map_.end()) {
-    ++misses_;
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
-  ++hits_;
+  hits_.fetch_add(1, std::memory_order_relaxed);
   // Refresh recency.
   lru_.splice(lru_.begin(), lru_, it->second);
   return it->second->seconds;
@@ -53,6 +76,7 @@ std::optional<double> CompileTimeCache::Lookup(const QueryGraph& graph) {
 
 void CompileTimeCache::Insert(const QueryGraph& graph, double seconds) {
   uint64_t sig = Signature(graph);
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(sig);
   if (it != map_.end()) {
     it->second->seconds = seconds;

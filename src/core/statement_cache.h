@@ -1,8 +1,10 @@
 #ifndef COTE_CORE_STATEMENT_CACHE_H_
 #define COTE_CORE_STATEMENT_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 
@@ -22,15 +24,28 @@ class CompilationSession;
 /// bench `statement_cache` quantifies exactly that.
 ///
 /// The cache is keyed by a structural signature of the bound query: table
-/// identities, join predicates (columns + kind), local predicate columns
-/// and operators, GROUP BY / ORDER BY columns and first-rows marker —
-/// but NOT literal values, so `c_city = 'A'` and `c_city = 'B'` share an
-/// entry (their compilations are identical in shape).
+/// identities, join predicates (columns + kind + derived flag +
+/// selectivity bit pattern), local predicate columns, operators and
+/// selectivity bit patterns, GROUP BY / ORDER BY columns, section
+/// lengths, and the first-rows marker. Literal *text* is not hashed, but
+/// the binder derives selectivities from literals, so two statements
+/// share an entry exactly when their compilations see identical inputs —
+/// `c LIKE 'A%'` and `c LIKE 'B%'` match (same 1/10 selectivity) while
+/// range predicates over different literals usually do not. Hashing the
+/// selectivity bit patterns mirrors CompilationContext::Fingerprint; the
+/// looser literal-blind signature returned stale compile times for
+/// queries differing only in selectivity.
 ///
-/// Eviction is LRU. Not thread-safe (like the rest of the library).
+/// Eviction is LRU. Thread-safe: a single mutex guards the map and the
+/// recency list (the critical sections are a hash probe and a splice), and
+/// the hit/miss counters are atomic — the SessionPool's workers share one
+/// cache while compiling a batch.
 class CompileTimeCache {
  public:
-  explicit CompileTimeCache(size_t capacity = 1024) : capacity_(capacity) {}
+  /// `capacity` is clamped to at least 1: a zero-capacity cache would
+  /// evict every entry in the same Insert() that added it.
+  explicit CompileTimeCache(size_t capacity = 1024)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
 
   /// Structural signature; stable across runs.
   static uint64_t Signature(const QueryGraph& graph);
@@ -45,13 +60,20 @@ class CompileTimeCache {
   /// compiles `graph` through `session` (plan mode), inserts the measured
   /// time under the statement's signature, and returns it. The session's
   /// warm context makes this the natural shape for a cache sitting in
-  /// front of a batch compiler.
+  /// front of a batch compiler. The compile itself runs outside the cache
+  /// lock; concurrent callers must use distinct sessions (sessions are
+  /// single-threaded), and two workers racing on the same signature both
+  /// compile, with the later Insert refreshing the entry — benign for a
+  /// cache of measurements.
   StatusOr<double> CompileThrough(CompilationSession* session,
                                   const QueryGraph& graph);
 
-  int64_t hits() const { return hits_; }
-  int64_t misses() const { return misses_; }
-  size_t size() const { return map_.size(); }
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+  }
   size_t capacity() const { return capacity_; }
 
  private:
@@ -60,11 +82,13 @@ class CompileTimeCache {
     double seconds;
   };
 
-  size_t capacity_;
-  std::list<Entry> lru_;  // front = most recent
-  std::unordered_map<uint64_t, std::list<Entry>::iterator> map_;
-  int64_t hits_ = 0;
-  int64_t misses_ = 0;
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recent; guarded by mu_
+  std::unordered_map<uint64_t, std::list<Entry>::iterator>
+      map_;  // guarded by mu_
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
 };
 
 }  // namespace cote

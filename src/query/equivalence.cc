@@ -38,6 +38,12 @@ void ColumnEquivalence::AddEquivalence(ColumnRef a, ColumnRef b) {
   parent_[hi] = lo;
 }
 
+void ColumnEquivalence::Flatten() {
+  // Root() only path-halves entries it traverses; it never inserts or
+  // erases, so mutating values while iterating is safe.
+  for (auto& [key, parent] : parent_) parent = Root(key);
+}
+
 ColumnRef ColumnEquivalence::Find(ColumnRef c) const {
   uint32_t r = Root(c.Encode());
   return ColumnRef(static_cast<int>(r >> 16), static_cast<int>(r & 0xffff));

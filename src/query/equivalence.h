@@ -34,6 +34,12 @@ class ColumnEquivalence {
   /// All classes with at least two members, each sorted ascending.
   std::vector<std::vector<ColumnRef>> Classes() const;
 
+  /// Points every member directly at its root. After flattening (and until
+  /// the next AddEquivalence) Find/Root are pure reads — path halving never
+  /// fires — so a flattened instance may be shared across threads. Called
+  /// on the query graph's global equivalence when its lazy build completes.
+  void Flatten();
+
   /// Forgets every equivalence. Bucket storage is retained, so an instance
   /// embedded in reusable per-entry state can be cleared on a session
   /// rebind without churning the allocator on the next build-up.

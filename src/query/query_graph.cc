@@ -16,13 +16,17 @@ int QueryGraph::AddTableRef(const Table* table, std::string alias) {
   ref.table = table;
   ref.alias = alias.empty() ? table->name() : std::move(alias);
   tables_.push_back(std::move(ref));
-  global_equiv_valid_ = false;
-  adj_.valid = false;
+  global_equiv_valid_.Store(false);
+  adj_valid_.Store(false);
   return num_tables() - 1;
 }
 
 void QueryGraph::EnsureAdjacency() const {
-  if (adj_.valid) return;
+  if (adj_valid_.Load()) return;
+  // Cold cache: build under the graph's mutex so concurrent const readers
+  // (e.g. pool workers compiling the same graph) serialize here once.
+  std::lock_guard<std::mutex> lock(cache_mu_.mu);
+  if (adj_valid_.Load()) return;
   const int n = num_tables();
   const int num_preds = static_cast<int>(join_preds_.size());
   adj_.adj.assign(static_cast<size_t>(n), 0);
@@ -59,7 +63,7 @@ void QueryGraph::EnsureAdjacency() const {
     const JoinPredicate& p = join_preds_[i];
     adj_.pair_preds[cursor[PairKey(p.left.table, p.right.table)]++] = i;
   }
-  adj_.valid = true;
+  adj_valid_.Store(true);
 }
 
 double QueryGraph::ColumnNdv(ColumnRef c) const {
@@ -169,14 +173,19 @@ double QueryGraph::LocalSelectivity(int t) const {
 }
 
 const ColumnEquivalence& QueryGraph::GlobalEquivalence() const {
-  if (!global_equiv_valid_) {
+  if (global_equiv_valid_.Load()) return global_equiv_;
+  std::lock_guard<std::mutex> lock(cache_mu_.mu);
+  if (!global_equiv_valid_.Load()) {
     global_equiv_ = ColumnEquivalence();
     for (const JoinPredicate& p : join_preds_) {
       if (p.kind == JoinKind::kInner) {
         global_equiv_.AddEquivalence(p.left, p.right);
       }
     }
-    global_equiv_valid_ = true;
+    // Flattened so warm Find() lookups never path-halve — the shared
+    // instance stays write-free under concurrent readers.
+    global_equiv_.Flatten();
+    global_equiv_valid_.Store(true);
   }
   return global_equiv_;
 }
@@ -213,7 +222,12 @@ int QueryGraph::DeriveTransitiveClosure() {
       }
     }
   }
-  if (added > 0) global_equiv_valid_ = false;
+  if (added > 0) {
+    global_equiv_valid_.Store(false);
+    // The new derived predicates are join edges too: the adjacency CSR
+    // must pick them up (it previously went stale here).
+    adj_valid_.Store(false);
+  }
   return added;
 }
 

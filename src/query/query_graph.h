@@ -1,6 +1,8 @@
 #ifndef COTE_QUERY_QUERY_GRAPH_H_
 #define COTE_QUERY_QUERY_GRAPH_H_
 
+#include <atomic>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -28,6 +30,14 @@ struct QueryTableRef {
 /// the ORDER BY / GROUP BY interest lists. It is produced either by the SQL
 /// binder or programmatically via QueryBuilder, and consumed by both the
 /// optimizer and the compilation-time estimator.
+///
+/// Thread safety: concurrent const access from multiple threads is safe —
+/// the lazy adjacency / global-equivalence caches are built under an
+/// internal per-graph mutex with double-checked atomic valid flags, and
+/// the global equivalence is flattened at build so warm lookups are pure
+/// reads. (A SessionPool batch may contain the same graph pointer many
+/// times.) Mutating a graph while any other thread accesses it is a data
+/// race, as for any container.
 class QueryGraph {
  public:
   QueryGraph() = default;
@@ -38,7 +48,8 @@ class QueryGraph {
   int AddTableRef(const Table* table, std::string alias);
   void AddJoinPredicate(JoinPredicate pred) {
     join_preds_.push_back(pred);
-    adj_.valid = false;
+    adj_valid_.Store(false);
+    global_equiv_valid_.Store(false);
   }
   void AddLocalPredicate(LocalPredicate pred) {
     local_preds_.push_back(pred);
@@ -49,7 +60,7 @@ class QueryGraph {
   void set_fetch_first(int64_t n) { fetch_first_ = n; }
   void MarkInnerOnly(int table_ref) {
     tables_[table_ref].inner_only = true;
-    adj_.valid = false;
+    adj_valid_.Store(false);
   }
 
   /// Derives implied equality predicates through transitive closure of the
@@ -142,7 +153,6 @@ class QueryGraph {
   /// connectivity queries are bitwise operations and predicate lookups
   /// touch only the crossing pairs.
   struct AdjacencyCache {
-    bool valid = false;
     std::vector<uint64_t> adj;
     std::vector<int32_t> pair_offset;
     std::vector<int32_t> pair_preds;
@@ -162,9 +172,35 @@ class QueryGraph {
   bool has_aggregation_ = false;
   int64_t fetch_first_ = -1;
 
+  /// Copyable atomic valid flag for a lazy cache. Acquire/release pairs
+  /// with the cache build under cache_mu_, so a reader that loads true is
+  /// guaranteed to see the completed cache. Copying a graph copies the
+  /// flag's value (copying while another thread accesses the source is a
+  /// race, like any container copy).
+  struct CacheFlag {
+    std::atomic<bool> v{false};
+    CacheFlag() = default;
+    CacheFlag(const CacheFlag& o) : v(o.Load()) {}
+    CacheFlag& operator=(const CacheFlag& o) {
+      Store(o.Load());
+      return *this;
+    }
+    bool Load() const { return v.load(std::memory_order_acquire); }
+    void Store(bool b) { v.store(b, std::memory_order_release); }
+  };
+  /// Mutex serializing lazy-cache builds. Copies get a fresh mutex.
+  struct CacheMutex {
+    mutable std::mutex mu;
+    CacheMutex() = default;
+    CacheMutex(const CacheMutex&) {}
+    CacheMutex& operator=(const CacheMutex&) { return *this; }
+  };
+
   mutable ColumnEquivalence global_equiv_;
-  mutable bool global_equiv_valid_ = false;
+  mutable CacheFlag global_equiv_valid_;
   mutable AdjacencyCache adj_;
+  mutable CacheFlag adj_valid_;
+  mutable CacheMutex cache_mu_;
 };
 
 }  // namespace cote

@@ -44,12 +44,14 @@ StatusOr<OptimizeResult> CompilationPipeline::PlanLow(
   // ---- Complete: kLow skips query completion by design (single plan, no
   // enforcers) — pinned by the golden equivalence tests.
 
-  // ---- Finalize.
+  // ---- Finalize. The stage timer stops before the total is read: every
+  // stage interval lies inside the total window, so the per-stage sum can
+  // never exceed total_seconds (pinned by StageSumNeverExceedsTotal).
   stage.Restart();
   result.stats.best_cost = result.best_plan->cost;
   result.stats.plans_stored = 0;
-  result.stats.total_seconds = watch.ElapsedSeconds();
   stages.finalize = stage.ElapsedSeconds();
+  result.stats.total_seconds = watch.ElapsedSeconds();
   ctx_->stats().RecordStages(stages);
   ++ctx_->stats().plans_compiled;
   return result;
@@ -109,8 +111,9 @@ StatusOr<OptimizeResult> CompilationPipeline::PlanHigh(
   st.save_seconds = generator.save_time().TotalSeconds();
   st.init_seconds = generator.init_time().TotalSeconds();
   st.enum_seconds = std::max(0.0, run_seconds - generator.visitor_seconds());
-  st.total_seconds = watch.ElapsedSeconds();
+  // Stage timer stops before the total snapshot; see PlanLow.
   stages.finalize = stage.ElapsedSeconds();
+  st.total_seconds = watch.ElapsedSeconds();
   ctx_->stats().RecordStages(stages);
   ++ctx_->stats().plans_compiled;
   return result;
@@ -146,8 +149,9 @@ CompileTimeEstimate CompilationPipeline::CompileEstimate(
   out.estimated_seconds = time_model.EstimateSeconds(out.plan_estimates);
   out.plan_slots = counter.TotalPlanSlots();
   out.estimated_memo_bytes = out.plan_slots * CompileTimeEstimate::kBytesPerPlan;
-  out.estimation_seconds = watch.ElapsedSeconds();
+  // Stage timer stops before the total snapshot; see PlanLow.
   stages.finalize = stage.ElapsedSeconds();
+  out.estimation_seconds = watch.ElapsedSeconds();
   ctx_->stats().RecordStages(stages);
   ++ctx_->stats().estimates_run;
   return out;

@@ -20,4 +20,30 @@ CompileTimeEstimate CompilationSession::Estimate(const MultiBlockQuery& query,
   return total;
 }
 
+std::vector<StatusOr<OptimizeResult>> CompilationSession::CompileBatch(
+    const std::vector<const QueryGraph*>& queries) {
+  std::vector<StatusOr<OptimizeResult>> results;
+  results.reserve(queries.size());
+  for (const QueryGraph* q : queries) {
+    if (q == nullptr) {
+      results.push_back(Status::InvalidArgument("null query in batch"));
+    } else {
+      results.push_back(Optimize(*q));
+    }
+  }
+  return results;
+}
+
+std::vector<CompileTimeEstimate> CompilationSession::EstimateBatch(
+    const std::vector<const QueryGraph*>& queries,
+    const TimeModel& time_model) {
+  std::vector<CompileTimeEstimate> results;
+  results.reserve(queries.size());
+  for (const QueryGraph* q : queries) {
+    results.push_back(q == nullptr ? CompileTimeEstimate{}
+                                   : Estimate(*q, time_model));
+  }
+  return results;
+}
+
 }  // namespace cote

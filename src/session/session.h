@@ -1,6 +1,8 @@
 #ifndef COTE_SESSION_SESSION_H_
 #define COTE_SESSION_SESSION_H_
 
+#include <vector>
+
 #include "common/status.h"
 #include "core/time_model.h"
 #include "optimizer/optimizer.h"
@@ -53,6 +55,19 @@ class CompilationSession {
   /// MEMO, so the estimates (plans, time, memory) sum over the blocks.
   CompileTimeEstimate Estimate(const MultiBlockQuery& query,
                                const TimeModel& time_model);
+
+  /// Serial batch: compiles each query in input order through this one
+  /// session (null pointers yield a Status at their index). This is the
+  /// single-threaded reference a SessionPool batch must be bit-identical
+  /// to.
+  std::vector<StatusOr<OptimizeResult>> CompileBatch(
+      const std::vector<const QueryGraph*>& queries);
+
+  /// Serial estimate batch, input order; null pointers yield the all-zero
+  /// estimate.
+  std::vector<CompileTimeEstimate> EstimateBatch(
+      const std::vector<const QueryGraph*>& queries,
+      const TimeModel& time_model);
 
   /// The models and options behind this session — the only sanctioned way
   /// to reach the cost/cardinality models outside src/session/.

@@ -34,12 +34,28 @@ TEST_F(StatementCacheTest, HitOnIdenticalStatement) {
   EXPECT_EQ(cache.misses(), 1);
 }
 
-TEST_F(StatementCacheTest, LiteralsDoNotChangeSignature) {
-  // Same statement shape with different constants compiles identically:
-  // the signature must match (§1.2's cache works for parameterized reuse).
+TEST_F(StatementCacheTest, LiteralsWithEqualSelectivityShareSignature) {
+  // Statements whose compilations see identical inputs share an entry
+  // (§1.2's cache works for parameterized reuse). LIKE predicates carry a
+  // fixed 1/10 selectivity regardless of the pattern, so only the literal
+  // text differs — and literal text is not part of the signature.
+  QueryGraph a = Bind("SELECT * FROM orders o WHERE o.o_clerk LIKE 'a%'");
+  QueryGraph b = Bind("SELECT * FROM orders o WHERE o.o_clerk LIKE 'b%'");
+  ASSERT_DOUBLE_EQ(a.local_predicates()[0].selectivity,
+                   b.local_predicates()[0].selectivity);
+  EXPECT_EQ(CompileTimeCache::Signature(a), CompileTimeCache::Signature(b));
+}
+
+TEST_F(StatementCacheTest, RangeLiteralsChangeSelectivityAndSignature) {
+  // Regression: the binder derives a different selectivity from each range
+  // literal, and the optimizer costs plans with it — the old signature
+  // ignored selectivity, so these two collided and the cache returned a
+  // stale compile time for whichever was compiled second.
   QueryGraph a = Bind("SELECT * FROM orders o WHERE o.o_orderdate > 5");
   QueryGraph b = Bind("SELECT * FROM orders o WHERE o.o_orderdate > 99");
-  EXPECT_EQ(CompileTimeCache::Signature(a), CompileTimeCache::Signature(b));
+  ASSERT_NE(a.local_predicates()[0].selectivity,
+            b.local_predicates()[0].selectivity);
+  EXPECT_NE(CompileTimeCache::Signature(a), CompileTimeCache::Signature(b));
 }
 
 TEST_F(StatementCacheTest, StructuralChangesChangeSignature) {
@@ -82,6 +98,106 @@ TEST_F(StatementCacheTest, InsertUpdatesExisting) {
   cache.Insert(a, 2.0);
   EXPECT_EQ(cache.size(), 1u);
   EXPECT_DOUBLE_EQ(*cache.Lookup(a), 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Signature collision regressions. These graphs are built directly (not
+// through the binder) so a single field can be varied in isolation; each
+// pair collided under the pre-fix Signature.
+
+class SignatureCollisionTest : public ::testing::Test {
+ protected:
+  SignatureCollisionTest() : catalog_(MakeSyntheticCatalog(2)) {}
+
+  /// T0 join T1 on c0 with one local predicate on t0.c1; the callback
+  /// tweaks one field of the otherwise-identical query before the
+  /// predicates are installed and the signature is taken.
+  template <typename Tweak>
+  uint64_t SignatureOf(const Tweak& tweak) {
+    QueryGraph g;
+    g.AddTableRef(catalog_->FindTable("T0"), "t0");
+    g.AddTableRef(catalog_->FindTable("T1"), "t1");
+    JoinPredicate jp;
+    jp.left = ColumnRef(0, 0);
+    jp.right = ColumnRef(1, 0);
+    jp.selectivity = 0.1;
+    LocalPredicate lp;
+    lp.column = ColumnRef(0, 1);
+    lp.selectivity = 0.1;
+    tweak(&g, &jp, &lp);
+    g.AddJoinPredicate(jp);
+    g.AddLocalPredicate(lp);
+    return CompileTimeCache::Signature(g);
+  }
+
+  std::shared_ptr<Catalog> catalog_;
+};
+
+using G = QueryGraph;
+using JP = JoinPredicate;
+using LP = LocalPredicate;
+
+TEST_F(SignatureCollisionTest, JoinSelectivityChangesSignature) {
+  uint64_t base = SignatureOf([](G*, JP*, LP*) {});
+  uint64_t tweaked =
+      SignatureOf([](G*, JP* jp, LP*) { jp->selectivity = 0.25; });
+  EXPECT_NE(base, tweaked);
+}
+
+TEST_F(SignatureCollisionTest, DerivedFlagChangesSignature) {
+  uint64_t base = SignatureOf([](G*, JP*, LP*) {});
+  uint64_t tweaked = SignatureOf([](G*, JP* jp, LP*) { jp->derived = true; });
+  EXPECT_NE(base, tweaked);
+}
+
+TEST_F(SignatureCollisionTest, LocalSelectivityChangesSignature) {
+  uint64_t base = SignatureOf([](G*, JP*, LP*) {});
+  uint64_t tweaked =
+      SignatureOf([](G*, JP*, LP* lp) { lp->selectivity = 0.9; });
+  EXPECT_NE(base, tweaked);
+}
+
+TEST_F(SignatureCollisionTest, SectionBoundaryShiftChangesSignature) {
+  // t0.c0 encodes to 0, so its GROUP BY mix (0 * 2654435761) and ORDER BY
+  // mix (0 * 40503) produced the same value in the same sequence position
+  // under the pre-fix hash: GROUP BY t0.c0 and ORDER BY t0.c0 collided.
+  // The per-section length delimiters tell them apart.
+  uint64_t grouped = SignatureOf(
+      [](G* g, JP*, LP*) { g->SetGroupBy({ColumnRef(0, 0)}); });
+  uint64_t ordered = SignatureOf(
+      [](G* g, JP*, LP*) { g->SetOrderBy({ColumnRef(0, 0)}); });
+  EXPECT_NE(grouped, ordered);
+}
+
+// ---------------------------------------------------------------------------
+// Capacity edge cases.
+
+TEST_F(StatementCacheTest, ZeroCapacityIsClampedToOne) {
+  // Regression: capacity 0 used to evict the entry Insert() had just
+  // added, so the cache could never hold anything.
+  CompileTimeCache cache(/*capacity=*/0);
+  EXPECT_EQ(cache.capacity(), 1u);
+  QueryGraph a = Bind("SELECT * FROM orders o");
+  cache.Insert(a, 1.5);
+  EXPECT_EQ(cache.size(), 1u);
+  auto hit = cache.Lookup(a);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(*hit, 1.5);
+}
+
+TEST_F(StatementCacheTest, CapacityOneReinsertStaysConsistent) {
+  CompileTimeCache cache(/*capacity=*/1);
+  QueryGraph a = Bind("SELECT * FROM orders o");
+  QueryGraph b = Bind("SELECT * FROM lineitem l");
+  for (int round = 0; round < 3; ++round) {
+    cache.Insert(a, 1.0 + round);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_DOUBLE_EQ(*cache.Lookup(a), 1.0 + round);
+  }
+  cache.Insert(b, 9.0);  // evicts a
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_FALSE(cache.Lookup(a).has_value());
+  EXPECT_DOUBLE_EQ(*cache.Lookup(b), 9.0);
 }
 
 TEST_F(StatementCacheTest, UselessForAdHocWorkload) {

@@ -214,6 +214,48 @@ TEST(CompilationSessionTest, EstimateCountsCompletionPlans) {
   EXPECT_EQ(session.Estimate(*join, model).completion_plans, 0);
 }
 
+TEST(CompilationSessionTest, StageSumNeverExceedsTotal) {
+  // Regression: the finalize stage's timer used to stop *after* the total
+  // was snapshotted, so bind+enumerate+complete+finalize could exceed the
+  // recorded total. The pool's per-stage fraction reporting relies on
+  // this invariant. (Holds exactly despite microsecond truncation: each
+  // stage interval lies inside the total window and truncation is
+  // subadditive.)
+  Workload w = StarWorkload();
+  TimeModel model;
+  CompilationSession session(SmallOptions());
+  for (size_t i = 3; i <= 6; ++i) {
+    auto r = session.Optimize(w.queries[i]);
+    ASSERT_TRUE(r.ok());
+    EXPECT_LE(session.stats().last_stages.Total(), r->stats.total_seconds);
+    CompileTimeEstimate e = session.Estimate(w.queries[i], model);
+    EXPECT_LE(session.stats().last_stages.Total(), e.estimation_seconds);
+  }
+  OptimizerOptions low = SmallOptions();
+  low.level = OptimizationLevel::kLow;
+  CompilationSession low_session(low);
+  auto r = low_session.Optimize(w.queries[3]);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(low_session.stats().last_stages.Total(), r->stats.total_seconds);
+}
+
+TEST(CompilationSessionTest, SerialBatchMatchesLoop) {
+  Workload w = LinearWorkload();
+  std::vector<const QueryGraph*> qs;
+  for (size_t i = 2; i <= 5; ++i) qs.push_back(&w.queries[i]);
+  CompilationSession batch_session(SmallOptions());
+  auto batch = batch_session.CompileBatch(qs);
+  ASSERT_EQ(batch.size(), qs.size());
+  CompilationSession loop_session(SmallOptions());
+  for (size_t i = 0; i < qs.size(); ++i) {
+    auto expected = loop_session.Optimize(*qs[i]);
+    ASSERT_TRUE(expected.ok() && batch[i].ok());
+    ExpectSameOptimize(*batch[i], *expected);
+  }
+  EXPECT_EQ(batch_session.stats().plans_compiled,
+            static_cast<int64_t>(qs.size()));
+}
+
 TEST(CompilationSessionTest, StatementCacheCompileThrough) {
   Workload w = LinearWorkload();
   const QueryGraph& q = w.queries[3];

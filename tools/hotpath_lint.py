@@ -76,6 +76,14 @@ HOT_FUNCTIONS = {
     "src/session/session.cc": [
         "Estimate",  # multi-block aggregation loop
     ],
+    # Session pool: these run once per claimed batch item (CompileOne /
+    # EstimateOne) or once per worker at merge time; keeping them pure
+    # keeps the batch path's heap traffic identical to the serial loop's.
+    "src/session/session_pool.cc": [
+        "CompileOne",
+        "EstimateOne",
+        "MergeDelta",
+    ],
     # Query completion: runs once per plan-mode compile; its counting twin
     # runs once per estimate and must never touch the heap.
     "src/optimizer/completion.cc": [

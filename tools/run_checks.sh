@@ -12,13 +12,18 @@
 #   6. Debug + ASan/UBSan cycle      (-DCOTE_SANITIZE=address,undefined;
 #                                     Debug so COTE_DCHECK contracts and
 #                                     their death tests run for real)
+#   7. TSan cycle                    (-DCOTE_SANITIZE=thread over the
+#                                     session tests: vets the pool's queue
+#                                     cursor, stats merge and the shared
+#                                     statement cache)
 #
 # Usage: tools/run_checks.sh [--skip-san] [--jobs N]
-#   --skip-san   skip the (slow) sanitizer configure/build/test cycle
+#   --skip-san   skip the (slow) sanitizer configure/build/test cycles
 #   --jobs N     parallelism for builds and ctest (default: nproc)
 #
-# Build trees live under build-checks/ (werror) and build-checks-san/
-# (sanitized Debug); both are disposable and gitignored.
+# Build trees live under build-checks/ (werror), build-checks-san/
+# (sanitized Debug) and build-checks-tsan/; all are disposable and
+# gitignored.
 
 set -u
 
@@ -41,7 +46,7 @@ fail()  { printf 'run_checks: FAIL: %s\n' "$*" >&2; FAILURES=$((FAILURES+1)); }
 skip()  { printf 'run_checks: SKIP: %s\n' "$*"; }
 
 # ---- 1. warnings-as-errors build ------------------------------------------
-note "[1/6] warnings-as-errors build (COTE_WERROR=ON)"
+note "[1/7] warnings-as-errors build (COTE_WERROR=ON)"
 WERROR_DIR="$ROOT/build-checks"
 if cmake -S "$ROOT" -B "$WERROR_DIR" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DCOTE_WERROR=ON >/dev/null \
@@ -52,7 +57,7 @@ else
 fi
 
 # ---- 2. full test suite ----------------------------------------------------
-note "[2/6] full test suite (ctest)"
+note "[2/7] full test suite (ctest)"
 if [ -f "$WERROR_DIR/CTestTestfile.cmake" ]; then
   if (cd "$WERROR_DIR" && ctest -j "$JOBS" --output-on-failure \
         >ctest.log 2>&1); then
@@ -66,7 +71,7 @@ else
 fi
 
 # ---- 3. clang-format (check-only; never reformats) -------------------------
-note "[3/6] clang-format --dry-run -Werror"
+note "[3/7] clang-format --dry-run -Werror"
 if command -v clang-format >/dev/null 2>&1; then
   FMT_FILES="$(cd "$ROOT" && git ls-files 'src/*.h' 'src/*.cc' \
                'tests/*.h' 'tests/*.cc' 'bench/*.cc' 'examples/*.cpp')"
@@ -80,7 +85,7 @@ else
 fi
 
 # ---- 4. clang-tidy ---------------------------------------------------------
-note "[4/6] clang-tidy (.clang-tidy profile over src/)"
+note "[4/7] clang-tidy (.clang-tidy profile over src/)"
 if command -v clang-tidy >/dev/null 2>&1; then
   # The werror tree has a compilation database when configured with
   # CMAKE_EXPORT_COMPILE_COMMANDS; generate it on demand.
@@ -98,7 +103,7 @@ else
 fi
 
 # ---- 5. hot-path purity lint ----------------------------------------------
-note "[5/6] hot-path purity lint (tools/hotpath_lint.py)"
+note "[5/7] hot-path purity lint (tools/hotpath_lint.py)"
 if python3 "$ROOT/tools/hotpath_lint.py" --repo-root "$ROOT"; then
   echo "hotpath_lint: OK"
 else
@@ -126,10 +131,10 @@ fi
 # the one that actually executes the debug-only death tests; the
 # sanitizers vet the bit-twiddling enumeration fast path.
 if [ "$SKIP_SAN" = 1 ]; then
-  note "[6/6] sanitizer cycle"
+  note "[6/7] sanitizer cycle"
   skip "sanitizer cycle (--skip-san)"
 else
-  note "[6/6] Debug + ASan/UBSan cycle (COTE_SANITIZE=address,undefined)"
+  note "[6/7] Debug + ASan/UBSan cycle (COTE_SANITIZE=address,undefined)"
   SAN_DIR="$ROOT/build-checks-san"
   if cmake -S "$ROOT" -B "$SAN_DIR" -DCMAKE_BUILD_TYPE=Debug \
         -DCOTE_SANITIZE=address,undefined >/dev/null \
@@ -143,6 +148,36 @@ else
     fi
   else
     fail "sanitized Debug build"
+  fi
+fi
+
+# ---- 7. TSan cycle over the session layer ----------------------------------
+# The pool's only synchronization points are the queue cursor, the stats
+# merge at join, and the mutex-guarded statement cache; running the session
+# tests (pool determinism, stress, shared-cache contention) under
+# ThreadSanitizer vets all three. Only session_test is built — the full
+# suite under TSan would be prohibitively slow and single-threaded tests
+# have nothing for TSan to find.
+if [ "$SKIP_SAN" = 1 ]; then
+  note "[7/7] TSan cycle"
+  skip "TSan cycle (--skip-san)"
+else
+  note "[7/7] ThreadSanitizer cycle (COTE_SANITIZE=thread, tests/session)"
+  TSAN_DIR="$ROOT/build-checks-tsan"
+  if cmake -S "$ROOT" -B "$TSAN_DIR" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCOTE_SANITIZE=thread >/dev/null \
+     && cmake --build "$TSAN_DIR" -j "$JOBS" --target session_test >/dev/null; then
+    # -R Session hits the session fixtures; unbuilt targets only register
+    # lowercase *_NOT_BUILT placeholders, which the regex cannot match.
+    if (cd "$TSAN_DIR" && ctest -j "$JOBS" -R 'Session' --output-on-failure \
+          >ctest.log 2>&1); then
+      echo "TSan session ctest: OK"
+    else
+      tail -40 "$TSAN_DIR/ctest.log"
+      fail "TSan session ctest (full log: $TSAN_DIR/ctest.log)"
+    fi
+  else
+    fail "TSan build"
   fi
 fi
 
