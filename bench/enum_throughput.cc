@@ -3,9 +3,12 @@
 // Measures throughput of the enumeration core in isolation (a null
 // visitor) and of its two real consumers — plan-estimate mode (COTE's
 // plan counter) and normal-mode optimization — on linear / star / random
-// join graphs at n = 8..18 tables. Emits machine-readable JSON so runs
-// before/after an optimizer change can be compared (see EXPERIMENTS.md,
-// "Enumeration throughput").
+// join graphs at n = 8..18 tables, plus a "governed" mode: the estimate
+// path with an armed-but-untripped resource budget, whose delta against
+// "estimate" is the total cost of cooperative cancellation (charges +
+// amortized checkpoints). Emits machine-readable JSON so runs before/after
+// an optimizer change can be compared (see EXPERIMENTS.md, "Enumeration
+// throughput" and "Budget overhead").
 //
 // Usage:
 //   enum_throughput [--label NAME] [--out FILE] [--max-n N]
@@ -28,6 +31,7 @@
 #include "core/estimator.h"
 #include "optimizer/enumerator.h"
 #include "query/query_builder.h"
+#include "session/session.h"
 
 namespace cote {
 namespace {
@@ -103,7 +107,7 @@ QueryGraph MakeQuery(const Catalog& catalog, const std::string& shape,
 
 struct Sample {
   std::string workload;
-  std::string mode;  // "enumerate" | "estimate" | "optimize"
+  std::string mode;  // "enumerate" | "estimate" | "governed" | "optimize"
   int n = 0;
   int reps = 0;
   double queries_per_sec = 0;
@@ -215,10 +219,21 @@ int main(int argc, char** argv) {
   TimeModel zero_model;  // throughput only; no time conversion needed
   CompileTimeEstimator estimator(zero_model, options);
   Optimizer optimizer(options);
+  // "governed": identical estimate pipeline, but with a budget armed at
+  // limits no bench query can reach — every per-entry/per-plan charge and
+  // every amortized checkpoint (incl. deadline sampling) runs, none trips.
+  // estimate vs governed medians = the governance overhead EXPERIMENTS.md
+  // tracks (<2% acceptance bar).
+  CompilationSession governed_session(options);
+  ResourceLimits generous;
+  generous.deadline_seconds = 3600.0;
+  generous.max_memo_entries = int64_t{1} << 50;
+  generous.max_plans = int64_t{1} << 50;
 
   std::vector<Sample> samples;
   for (const std::string workload : {"linear", "star", "random"}) {
-    for (const std::string mode : {"enumerate", "estimate", "optimize"}) {
+    for (const std::string mode :
+         {"enumerate", "estimate", "governed", "optimize"}) {
       bool skipped = false;
       for (int n = 8; n <= max_n; ++n) {
         if (skipped) break;
@@ -231,6 +246,10 @@ int main(int argc, char** argv) {
           }
           if (mode == "estimate") {
             return estimator.Estimate(q).enumeration;
+          }
+          if (mode == "governed") {
+            return governed_session.Estimate(q, zero_model, generous)
+                .enumeration;
           }
           return bench::MustOptimize(optimizer, q, workload).stats.enumeration;
         });

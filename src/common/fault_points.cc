@@ -1,0 +1,27 @@
+#include "common/fault_points.h"
+
+namespace cote {
+
+namespace fault_internal {
+// The context pointer is published before the function pointer (release)
+// and the consult loads the function first (acquire), so a hook never
+// observes a stale context.
+std::atomic<FaultHookFn> hook_fn{nullptr};
+std::atomic<void*> hook_ctx{nullptr};
+}  // namespace fault_internal
+
+void InstallFaultHook(FaultHookFn fn, void* ctx) {
+  fault_internal::hook_ctx.store(ctx, std::memory_order_relaxed);
+  fault_internal::hook_fn.store(fn, std::memory_order_release);
+}
+
+void ClearFaultHook() {
+  fault_internal::hook_fn.store(nullptr, std::memory_order_release);
+  fault_internal::hook_ctx.store(nullptr, std::memory_order_relaxed);
+}
+
+bool FaultHookInstalled() {
+  return fault_internal::hook_fn.load(std::memory_order_acquire) != nullptr;
+}
+
+}  // namespace cote

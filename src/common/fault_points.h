@@ -1,0 +1,56 @@
+#ifndef COTE_COMMON_FAULT_POINTS_H_
+#define COTE_COMMON_FAULT_POINTS_H_
+
+#include <atomic>
+
+#include "common/status.h"
+
+namespace cote {
+
+/// \brief Process-global fault-injection registry.
+///
+/// Production code ships only this registry: named fault points the
+/// compilation pipeline consults at its stage boundaries. With no hook
+/// installed — the production state — a consult is one relaxed atomic
+/// load and an OK return; the points sit at the four stage boundaries,
+/// never on the per-join hot path. The deterministic scripting harness
+/// that makes consults fail (tests/common/fault_injection.h) is linked
+/// into test binaries only.
+///
+/// `subject` identifies what is being compiled (the pipeline passes the
+/// QueryGraph address), so a script can target one query of a SessionPool
+/// batch regardless of which worker claims it.
+using FaultHookFn = Status (*)(void* ctx, const char* point,
+                               const void* subject);
+
+/// Installs the process-wide hook. Install/clear must not race with
+/// running compiles: tests install before issuing work and clear after
+/// joining it (thread creation/join provides the ordering).
+void InstallFaultHook(FaultHookFn fn, void* ctx);
+void ClearFaultHook();
+bool FaultHookInstalled();
+
+namespace fault_internal {
+extern std::atomic<FaultHookFn> hook_fn;
+extern std::atomic<void*> hook_ctx;
+}  // namespace fault_internal
+
+/// Consults the hook at a named fault point; OK when no hook is installed
+/// (one relaxed load) or when the installed hook declines to inject.
+inline Status ConsultFaultPoint(const char* point, const void* subject) {
+  FaultHookFn fn = fault_internal::hook_fn.load(std::memory_order_acquire);
+  if (fn == nullptr) return Status::OK();
+  return fn(fault_internal::hook_ctx.load(std::memory_order_relaxed), point,
+            subject);
+}
+
+/// Fault points the plan-mode pipeline consults, one per stage boundary
+/// (kLow compiles skip "plan.complete" — that stage does not run there).
+inline constexpr char kFaultPlanBind[] = "plan.bind";
+inline constexpr char kFaultPlanEnumerate[] = "plan.enumerate";
+inline constexpr char kFaultPlanComplete[] = "plan.complete";
+inline constexpr char kFaultPlanFinalize[] = "plan.finalize";
+
+}  // namespace cote
+
+#endif  // COTE_COMMON_FAULT_POINTS_H_

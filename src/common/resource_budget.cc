@@ -1,0 +1,67 @@
+#include "common/resource_budget.h"
+
+#include "common/str_util.h"
+
+namespace cote {
+
+void ResourceBudget::Arm(const ResourceLimits& limits) {
+  limits_ = limits;
+  armed_ = !limits.Unlimited();
+  has_deadline_ = limits.deadline_seconds > 0;
+  tripped_ = BudgetLimit::kNone;
+  checkpoints_ = 0;
+  entries_ = 0;
+  plans_ = 0;
+  if (has_deadline_) {
+    deadline_ =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(limits.deadline_seconds));
+  }
+}
+
+void ResourceBudget::Disarm() {
+  limits_ = ResourceLimits{};
+  armed_ = false;
+  has_deadline_ = false;
+  tripped_ = BudgetLimit::kNone;
+  checkpoints_ = 0;
+  entries_ = 0;
+  plans_ = 0;
+}
+
+bool ResourceBudget::CheckDeadlineSlow() {
+  if (std::chrono::steady_clock::now() >= deadline_) {
+    Trip(BudgetLimit::kDeadline);
+    return true;
+  }
+  return false;
+}
+
+Status ResourceBudget::TripStatus() const {
+  switch (tripped_) {
+    case BudgetLimit::kNone:
+      return Status::OK();
+    case BudgetLimit::kDeadline:
+      return Status::DeadlineExceeded(StrFormat(
+          "compilation deadline of %gs exceeded after %lld checkpoints",
+          limits_.deadline_seconds, static_cast<long long>(checkpoints_)));
+    case BudgetLimit::kMemoEntries:
+      return Status::ResourceExhausted(StrFormat(
+          "MEMO-entry budget of %lld exceeded (%lld entries created)",
+          static_cast<long long>(limits_.max_memo_entries),
+          static_cast<long long>(entries_)));
+    case BudgetLimit::kPlans:
+      return Status::ResourceExhausted(
+          StrFormat("plan budget of %lld exceeded (%lld plans charged)",
+                    static_cast<long long>(limits_.max_plans),
+                    static_cast<long long>(plans_)));
+    case BudgetLimit::kCheckpoints:
+      return Status::ResourceExhausted(
+          StrFormat("checkpoint budget of %lld reached",
+                    static_cast<long long>(limits_.max_checkpoints)));
+  }
+  return Status::Internal("unknown budget limit");
+}
+
+}  // namespace cote

@@ -1,0 +1,175 @@
+#ifndef COTE_COMMON_RESOURCE_BUDGET_H_
+#define COTE_COMMON_RESOURCE_BUDGET_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace cote {
+
+/// Pipeline-stage vocabulary shared by the resource-governance layer: a
+/// degraded result records the stage it was abandoned in, and the stage
+/// observer (session/pipeline.h) reports events in the same terms. Lives
+/// here rather than in the session layer because OptimizeResult (below
+/// the session in the include graph) carries a CompileStage.
+enum class CompileStage {
+  kNone = 0,
+  kBind,
+  kEnumerate,
+  kComplete,
+  kFinalize,
+};
+
+/// Which limit of a ResourceBudget tripped first.
+enum class BudgetLimit {
+  kNone = 0,
+  kDeadline,     ///< wall-clock deadline passed
+  kMemoEntries,  ///< MEMO-entry cap exceeded
+  kPlans,        ///< plan-count cap exceeded
+  kCheckpoints,  ///< cooperative-check cap reached (deterministic work cap)
+};
+
+/// What the plan-mode pipeline does when a budget trips mid-compile.
+enum class BudgetAction {
+  /// Degrade gracefully: fall back to the greedy optimizer for this query
+  /// and return ok() with OptimizeResult::degraded = true.
+  kGreedyFallback,
+  /// Fail the compile with the budget's Status (kDeadlineExceeded or
+  /// kResourceExhausted).
+  kFail,
+};
+
+/// \brief Per-query resource limits.
+///
+/// Zero/negative values mean "unlimited"; a fully unlimited ResourceLimits
+/// arms nothing, so compiling with it is bit-identical to compiling with
+/// no limits at all (pinned by the governance equivalence tests).
+struct ResourceLimits {
+  /// Wall-clock deadline for the compile, in seconds (<= 0: none). The
+  /// clock is sampled every ResourceBudget::kDeadlineStride-th cooperative
+  /// checkpoint, so the overshoot past the deadline is bounded by one
+  /// sampling stride of mask batches.
+  double deadline_seconds = 0;
+  /// Cap on MEMO entries created during enumeration (<= 0: none). Trips
+  /// once the count *exceeds* the cap.
+  int64_t max_memo_entries = 0;
+  /// Cap on plans generated (plan mode) or counted (estimate mode)
+  /// (<= 0: none). Trips once the count *exceeds* the cap.
+  int64_t max_plans = 0;
+  /// Cap on cooperative checkpoints (<= 0: none); trips *at* the Nth
+  /// check. Checkpoints are a deterministic proxy for enumeration work
+  /// (one per mask batch), which makes this the fault-injection knob:
+  /// "trip at the Nth cooperative check" is exact and repeatable, unlike
+  /// a wall-clock deadline.
+  int64_t max_checkpoints = 0;
+  /// Plan-mode policy when a limit trips. Estimate mode has no Status
+  /// channel, so it always returns a partial estimate flagged degraded.
+  BudgetAction on_trip = BudgetAction::kGreedyFallback;
+
+  bool Unlimited() const {
+    return deadline_seconds <= 0 && max_memo_entries <= 0 && max_plans <= 0 &&
+           max_checkpoints <= 0;
+  }
+};
+
+/// \brief Cooperatively checked per-query compile budget.
+///
+/// Owned by the CompilationContext; the pipeline arms it per governed
+/// compile. Two kinds of call sites feed it:
+///
+///  * chargers — the enumerators charge each MEMO entry they create, the
+///    plan-mode MEMO charges each plan it allocates, and the plan counter
+///    charges each counted plan. Charging is integer bookkeeping that only
+///    raises the tripped flag; it never cancels anything by itself.
+///  * checkpoints — Checkpoint() is the single cooperative cancellation
+///    point, called once per enumeration mask batch. It observes the
+///    tripped flag, enforces the checkpoint cap, and samples the deadline
+///    clock every kDeadlineStride checks, so the per-mask cost is a
+///    couple of integer compares (the <2% bench budget in EXPERIMENTS.md).
+///
+/// Everything is allocation-free and stays within the hot-path lint; the
+/// armed-but-untripped path performs no heap traffic (session_alloc_test).
+class ResourceBudget {
+ public:
+  /// Deadline sampling stride: the clock is read at checkpoints 1,
+  /// 1 + kDeadlineStride, ... — early first sample, then amortized.
+  static constexpr int64_t kDeadlineStride = 64;
+
+  ResourceBudget() = default;
+  ResourceBudget(const ResourceBudget&) = delete;
+  ResourceBudget& operator=(const ResourceBudget&) = delete;
+
+  /// Arms the budget for one compile: adopts `limits`, zeroes all charge
+  /// counters, and starts the deadline clock. A fully unlimited `limits`
+  /// leaves the budget disarmed.
+  void Arm(const ResourceLimits& limits);
+  /// Returns to the unarmed state (no limits, no charges).
+  void Disarm();
+
+  bool armed() const { return armed_; }
+  bool tripped() const { return tripped_ != BudgetLimit::kNone; }
+  BudgetLimit tripped_limit() const { return tripped_; }
+  const ResourceLimits& limits() const { return limits_; }
+  int64_t checkpoints() const { return checkpoints_; }
+  int64_t entries_charged() const { return entries_; }
+  int64_t plans_charged() const { return plans_; }
+
+  /// Charges `n` MEMO entries against the entry cap.
+  void ChargeEntries(int64_t n) {
+    entries_ += n;
+    if (limits_.max_memo_entries > 0 && entries_ > limits_.max_memo_entries) {
+      Trip(BudgetLimit::kMemoEntries);
+    }
+  }
+
+  /// Charges `n` generated/counted plans against the plan cap.
+  void ChargePlans(int64_t n) {
+    plans_ += n;
+    if (limits_.max_plans > 0 && plans_ > limits_.max_plans) {
+      Trip(BudgetLimit::kPlans);
+    }
+  }
+
+  /// The cooperative cancellation point. Returns true once the budget is
+  /// exhausted; the caller stops enumerating (the overshoot is whatever
+  /// the current mask batch emitted since the previous check).
+  bool Checkpoint() {
+    ++checkpoints_;
+    if (tripped_ != BudgetLimit::kNone) return true;
+    if (limits_.max_checkpoints > 0 &&
+        checkpoints_ >= limits_.max_checkpoints) {
+      Trip(BudgetLimit::kCheckpoints);
+      return true;
+    }
+    if (has_deadline_ && (checkpoints_ % kDeadlineStride) == 1) {
+      return CheckDeadlineSlow();
+    }
+    return false;
+  }
+
+  /// Maps the tripped limit to its error Status: kDeadlineExceeded for the
+  /// deadline, kResourceExhausted for the count caps; OK if not tripped.
+  Status TripStatus() const;
+
+ private:
+  /// First limit to trip wins; later trips never overwrite it.
+  void Trip(BudgetLimit limit) {
+    if (tripped_ == BudgetLimit::kNone) tripped_ = limit;
+  }
+  /// Cold half of Checkpoint(): reads the clock, trips on expiry.
+  bool CheckDeadlineSlow();
+
+  ResourceLimits limits_;
+  bool armed_ = false;
+  bool has_deadline_ = false;
+  BudgetLimit tripped_ = BudgetLimit::kNone;
+  int64_t checkpoints_ = 0;
+  int64_t entries_ = 0;
+  int64_t plans_ = 0;
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+}  // namespace cote
+
+#endif  // COTE_COMMON_RESOURCE_BUDGET_H_

@@ -24,6 +24,10 @@ const char* CodeName(StatusCode code) {
       return "ParseError";
     case StatusCode::kBindError:
       return "BindError";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -20,6 +20,12 @@ enum class StatusCode {
   kInternal,
   kParseError,
   kBindError,
+  /// A per-query compilation deadline (ResourceLimits::deadline_seconds)
+  /// passed before the compile finished.
+  kDeadlineExceeded,
+  /// A countable per-query resource cap (MEMO entries, plans, cooperative
+  /// checkpoints) was exhausted before the compile finished.
+  kResourceExhausted,
 };
 
 /// \brief Result of an operation that can fail.
@@ -56,6 +62,12 @@ class Status {
   }
   static Status BindError(std::string msg) {
     return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,5 +1,8 @@
 #include "core/meta_optimizer.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/timer.h"
 
 namespace cote {
@@ -33,7 +36,11 @@ StatusOr<MetaOptimizeResult> MetaOptimizer::Compile(
   // to the potential execution win (E > C / threshold).
   if (result.est_high_compile_seconds <
       options_.threshold * result.low_exec_seconds) {
-    auto high_result = high_session_.Optimize(graph);
+    StatusOr<OptimizeResult> high_result = [&] {
+      if (!options_.govern_high) return high_session_.Optimize(graph);
+      result.high_limits = DeriveLimits(result.estimate);
+      return high_session_.Optimize(graph, result.high_limits);
+    }();
     if (!high_result.ok()) return high_result.status();
     result.chosen = std::move(high_result).value();
     result.reoptimized = true;
@@ -43,6 +50,22 @@ StatusOr<MetaOptimizeResult> MetaOptimizer::Compile(
   }
   result.total_seconds = watch.ElapsedSeconds();
   return result;
+}
+
+ResourceLimits MetaOptimizer::DeriveLimits(
+    const CompileTimeEstimate& estimate) const {
+  const double headroom = options_.budget_headroom;
+  ResourceLimits limits;
+  limits.deadline_seconds =
+      std::max(1e-3, headroom * estimate.estimated_seconds);
+  limits.max_memo_entries = std::max<int64_t>(
+      64, std::llround(headroom *
+                       static_cast<double>(estimate.enumeration.entries_created)));
+  limits.max_plans = std::max<int64_t>(
+      256, std::llround(headroom *
+                        static_cast<double>(estimate.plan_estimates.total() +
+                                            estimate.completion_plans)));
+  return limits;
 }
 
 }  // namespace cote

@@ -16,6 +16,16 @@ struct MetaOptimizerOptions {
   /// estimated high-level compilation time and E the estimated execution
   /// time of the low-level plan. 1.0 is the paper's plain comparison.
   double threshold = 1.0;
+  /// Govern the high-level recompile with limits derived from the COTE
+  /// estimate (DeriveLimits): the estimate that justified reoptimization
+  /// also bounds it, so an under-estimated query degrades to the greedy
+  /// plan instead of stalling compilation indefinitely.
+  bool govern_high = false;
+  /// Headroom factor of the derived limits: the high compile may spend up
+  /// to this multiple of each estimated quantity (time, entries, plans)
+  /// before tripping. Generous by default — the budget is a runaway guard,
+  /// not a scheduler.
+  double budget_headroom = 8.0;
 
   MetaOptimizerOptions() {
     low.level = OptimizationLevel::kLow;
@@ -31,6 +41,10 @@ struct MetaOptimizeResult {
   double est_high_compile_seconds = 0;  ///< C: COTE estimate for high level
   CompileTimeEstimate estimate;
   double total_seconds = 0;  ///< low compile + estimation (+ high compile)
+  /// The limits the high-level recompile ran under (all-unlimited when
+  /// govern_high is off or the high level did not run). Whether the
+  /// compile actually tripped them is chosen.degraded.
+  ResourceLimits high_limits;
 };
 
 /// \brief A simple meta-optimizer (MOP): chooses the optimization level.
@@ -48,6 +62,16 @@ class MetaOptimizer {
   explicit MetaOptimizer(MetaOptimizerOptions options = {});
 
   StatusOr<MetaOptimizeResult> Compile(const QueryGraph& graph) const;
+
+  /// Budget for a high-level compile, derived from its COTE estimate with
+  /// `budget_headroom` slack: deadline = headroom × estimated seconds
+  /// (floored at 1ms — an estimate of ~0 must not trip instantly), entry
+  /// cap = headroom × estimated entries (floor 64), plan cap = headroom ×
+  /// (estimated join plans + completion plans) (floor 256). The closing of
+  /// the paper's loop: the COTE predicts the compile, so a compile that
+  /// blows far past its own prediction is exactly the runaway the
+  /// governance layer exists to stop.
+  ResourceLimits DeriveLimits(const CompileTimeEstimate& estimate) const;
 
  private:
   MetaOptimizerOptions options_;

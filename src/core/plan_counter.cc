@@ -400,8 +400,8 @@ void PlanCounter::OnJoin(TableSet outer, TableSet inner,
 
   const int64_t colocation_alternatives =
       options_.parallel ? static_cast<int64_t>(jparts_.size()) + 1 : 1;
-  estimated_[JoinMethod::kNljn] +=
-      (outer_orders + 1) * (colocation_alternatives + inl_variant);
+  AddPlans(JoinMethod::kNljn,
+           (outer_orders + 1) * (colocation_alternatives + inl_variant));
 
   if (cartesian) return;  // no MGJN/HSJN for cross products
 
@@ -462,12 +462,12 @@ void PlanCounter::OnJoin(TableSet outer, TableSet inner,
       ++merge_variants;
     }
   }
-  estimated_[JoinMethod::kMgjn] +=
-      merge_variants * static_cast<int64_t>(jparts_.size());
+  AddPlans(JoinMethod::kMgjn,
+           merge_variants * static_cast<int64_t>(jparts_.size()));
 
   // HSJN: no order propagation — one plan per co-location alternative,
   // plus the broadcast-inner variant in parallel mode.
-  estimated_[JoinMethod::kHsjn] += static_cast<int64_t>(jparts_.size());
+  AddPlans(JoinMethod::kHsjn, static_cast<int64_t>(jparts_.size()));
   if (options_.parallel) {
     bool outer_all_replicated = true;
     for (const PartitionProperty& p : s.partitions) {
@@ -477,9 +477,14 @@ void PlanCounter::OnJoin(TableSet outer, TableSet inner,
       }
     }
     if (!outer_all_replicated || s.partitions.empty()) {
-      estimated_[JoinMethod::kHsjn] += 1;
+      AddPlans(JoinMethod::kHsjn, 1);
     }
   }
+}
+
+void PlanCounter::AddPlans(JoinMethod method, int64_t count) {
+  estimated_[method] += count;
+  if (budget_ != nullptr) budget_->ChargePlans(count);
 }
 
 int64_t PlanCounter::TotalPlanSlots() const {

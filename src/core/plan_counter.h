@@ -78,6 +78,12 @@ class PlanCounter : public JoinVisitor {
   /// saturated entry states reports exactly the fresh-run counts.
   void ResetCounts() { estimated_ = JoinTypeCounts{}; }
 
+  /// Attaches a resource budget: every counted plan is charged against it,
+  /// so a plan cap trips in estimate mode at the same semantic point as in
+  /// plan mode (plans the generator *would* create). Null detaches; the
+  /// budget must outlive every governed run.
+  void set_budget(ResourceBudget* budget) { budget_ = budget; }
+
   /// Retargets the counter at another query: drops all entry state and
   /// counts, then points at the new graph/orders/cardinality. The state
   /// arena, set index, and every scratch buffer keep their storage, so a
@@ -129,6 +135,9 @@ class PlanCounter : public JoinVisitor {
  private:
   /// Built on first use (sized from graph_.num_tables()).
   FlatSetIndex& EntryIndex() const;
+  /// The single accumulation funnel of OnJoin: adds `count` plans of
+  /// `method` and charges an attached budget.
+  void AddPlans(JoinMethod method, int64_t count);
   EntryState& State(TableSet s);
   void PropagateOrders(const EntryState& from, TableSet j, EntryState* to);
   void PropagatePartitions(const EntryState& from, TableSet j,
@@ -152,6 +161,8 @@ class PlanCounter : public JoinVisitor {
   PlanCounterOptions options_;
 
   JoinTypeCounts estimated_;
+  /// Optional governance: non-null while an estimate run is governed.
+  ResourceBudget* budget_ = nullptr;
   /// Per-entry state lives in a deque arena (stable references across
   /// growth) addressed through the flat set index: for n <= 20 a state
   /// lookup on the enumeration hot path is one array load instead of a

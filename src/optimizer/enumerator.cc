@@ -36,7 +36,8 @@ template <typename ExistsFn, typename InsertFn>
 EnumerationStats RunBottomUp(const QueryGraph& graph,
                              const EnumeratorOptions& options,
                              JoinVisitor* visitor, ExistsFn exists,
-                             InsertFn insert, std::vector<int>& preds) {
+                             InsertFn insert, std::vector<int>& preds,
+                             ResourceBudget* budget) {
   EnumerationStats stats;
   const int n = graph.num_tables();
 
@@ -46,6 +47,7 @@ EnumerationStats RunBottomUp(const QueryGraph& graph,
     insert(s.bits());
     visitor->InitializeEntry(s);
     ++stats.entries_created;
+    if (budget != nullptr) budget->ChargeEntries(1);
   }
   if (n == 1) return stats;
 
@@ -57,6 +59,9 @@ EnumerationStats RunBottomUp(const QueryGraph& graph,
   for (int size = 2; size <= n; ++size) {
     uint64_t mask = size == 64 ? ~uint64_t{0} : (uint64_t{1} << size) - 1;
     while (true) {
+      // Cooperative cancellation, once per mask batch: the overshoot past
+      // a tripped budget is at most one mask's worth of splits.
+      if (budget != nullptr && budget->Checkpoint()) return stats;
       TableSet ts(mask);
       const uint64_t low = LowestBit(mask);
       const uint64_t rest_bits = mask ^ low;
@@ -96,6 +101,7 @@ EnumerationStats RunBottomUp(const QueryGraph& graph,
                 insert(mask);
                 visitor->InitializeEntry(ts);
                 ++stats.entries_created;
+                if (budget != nullptr) budget->ChargeEntries(1);
                 entry_exists = true;
               }
               emitted = true;
@@ -121,7 +127,8 @@ EnumerationStats RunBottomUp(const QueryGraph& graph,
 
 }  // namespace
 
-EnumerationStats JoinEnumerator::Run(JoinVisitor* visitor) {
+EnumerationStats JoinEnumerator::Run(JoinVisitor* visitor,
+                                     ResourceBudget* budget) {
   COTE_CHECK(visitor != nullptr);
   const int n = graph_->num_tables();
   COTE_CHECK_LE(n, 64);
@@ -133,7 +140,7 @@ EnumerationStats JoinEnumerator::Run(JoinVisitor* visitor) {
     return RunBottomUp(
         *graph_, options_, visitor,
         [this](uint64_t bits) { return exists_[bits] != 0; },
-        [this](uint64_t bits) { exists_[bits] = 1; }, preds_);
+        [this](uint64_t bits) { exists_[bits] = 1; }, preds_, budget);
   }
   // hotpath-ok: documented hashed fallback for n > 20, outside DP range
   std::unordered_set<uint64_t> exists;
@@ -141,7 +148,7 @@ EnumerationStats JoinEnumerator::Run(JoinVisitor* visitor) {
       *graph_, options_, visitor,
       [&exists](uint64_t bits) { return exists.count(bits) != 0; },
       // hotpath-ok: hashed-fallback existence insert (n > 20 only)
-      [&exists](uint64_t bits) { exists.insert(bits); }, preds_);
+      [&exists](uint64_t bits) { exists.insert(bits); }, preds_, budget);
 }
 
 }  // namespace cote

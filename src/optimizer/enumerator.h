@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/resource_budget.h"
 #include "common/table_set.h"
 #include "query/query_graph.h"
 
@@ -98,7 +99,12 @@ class JoinEnumerator {
   /// once; after the first run the enumerator reuses its scratch buffers,
   /// so repeat runs on flat-mode queries perform no heap allocation (the
   /// property hotpath_alloc_test locks in).
-  EnumerationStats Run(JoinVisitor* visitor);
+  ///
+  /// A non-null `budget` makes the run cooperative: every entry created is
+  /// charged, and one Checkpoint() per mask batch stops the enumeration
+  /// early once the budget trips (the stats then cover the prefix that
+  /// ran). Null — the default — keeps the hot path untouched.
+  EnumerationStats Run(JoinVisitor* visitor, ResourceBudget* budget = nullptr);
 
   /// Retargets the enumerator at another query while keeping the scratch
   /// buffers (a session-owned enumerator reuses them across a workload;
@@ -118,10 +124,12 @@ class JoinEnumerator {
 };
 
 /// Runs whichever enumerator `options.kind` selects (bottom-up DP or
-/// top-down memoized recursion) over `visitor`.
+/// top-down memoized recursion) over `visitor`, optionally governed by
+/// `budget` (see JoinEnumerator::Run).
 EnumerationStats RunEnumeration(const QueryGraph& graph,
                                 const EnumeratorOptions& options,
-                                JoinVisitor* visitor);
+                                JoinVisitor* visitor,
+                                ResourceBudget* budget = nullptr);
 
 }  // namespace cote
 

@@ -86,6 +86,7 @@ const MemoEntry* Memo::Find(TableSet s) const {
 
 Plan* Memo::NewPlan() {
   ++plans_allocated_;
+  if (budget_ != nullptr) budget_->ChargePlans(1);
   arena_.emplace_back();
   return &arena_.back();
 }

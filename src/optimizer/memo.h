@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/flat_set_index.h"
+#include "common/resource_budget.h"
 #include "common/table_set.h"
 #include "common/timer.h"
 #include "optimizer/plan/plan.h"
@@ -86,8 +87,16 @@ class Memo {
   MemoEntry* Find(TableSet s);
   const MemoEntry* Find(TableSet s) const;
 
-  /// Allocates a plan node from the arena (counted as "generated").
+  /// Allocates a plan node from the arena (counted as "generated");
+  /// charges an attached budget.
   Plan* NewPlan();
+
+  /// Attaches a resource budget charged one plan per NewPlan() call
+  /// (plans *generated*, the paper's Figure 5 quantity — pruning happens
+  /// after generation, so stored-plan counts would undercharge). Null
+  /// detaches. The pipeline must detach before handing the memo to a
+  /// result, because results outlive the budget.
+  void set_budget(ResourceBudget* budget) { budget_ = budget; }
 
   /// Inserts with pruning; returns true if the plan survived.
   bool Insert(MemoEntry* entry, Plan* plan);
@@ -120,6 +129,9 @@ class Memo {
   std::deque<Plan> arena_;
   std::vector<int> pred_scratch_;
   int64_t plans_allocated_ = 0;
+  /// Optional governance; never owned, cleared by the pipeline before the
+  /// memo escapes into an OptimizeResult.
+  ResourceBudget* budget_ = nullptr;
 };
 
 }  // namespace cote

@@ -3,6 +3,7 @@
 
 #include <memory>
 
+#include "common/resource_budget.h"
 #include "common/status.h"
 #include "optimizer/cost/cost_model.h"
 #include "optimizer/enumerator.h"
@@ -70,6 +71,14 @@ struct OptimizeResult {
   /// Owns every plan (including best_plan); keep it alive while plans are
   /// inspected. Shared so results are cheap to copy around benches.
   std::shared_ptr<Memo> memo;
+  /// Resource governance outcome: true when a budget tripped mid-compile
+  /// and the session fell back to the greedy (kLow-style) join order. The
+  /// result is still a valid executable plan — just not the DP optimum.
+  bool degraded = false;
+  /// Which limit tripped (kNone when not degraded) and in which pipeline
+  /// stage the trip was detected.
+  BudgetLimit tripped_limit = BudgetLimit::kNone;
+  CompileStage degraded_stage = CompileStage::kNone;
 };
 
 class CompilationSession;

@@ -34,9 +34,11 @@ void TopDownEnumerator::Store(uint64_t bits, bool constructible) {
   explored_[bits] = constructible;
 }
 
-EnumerationStats TopDownEnumerator::Run(JoinVisitor* visitor) {
+EnumerationStats TopDownEnumerator::Run(JoinVisitor* visitor,
+                                        ResourceBudget* budget) {
   COTE_CHECK(visitor != nullptr);
   EnumerationStats stats;
+  budget_ = budget;
   const int n = graph_.num_tables();
   COTE_CHECK_LE(n, 64);
   explored_.clear();
@@ -55,15 +57,24 @@ EnumerationStats TopDownEnumerator::Run(JoinVisitor* visitor) {
     visitor->InitializeEntry(s);
     Store(s.bits(), true);
     ++stats.entries_created;
+    if (budget_ != nullptr) budget_->ChargeEntries(1);
   }
-  if (n <= 1) return stats;
+  if (n <= 1) {
+    budget_ = nullptr;
+    return stats;
+  }
 
   Explore(graph_.AllTables(), visitor, &stats);
+  budget_ = nullptr;
   return stats;
 }
 
 bool TopDownEnumerator::Explore(TableSet s, JoinVisitor* visitor,
                                 EnumerationStats* stats) {
+  // Cooperative cancellation, once per explored subset: a tripped budget
+  // reports the subset as unconstructible, which unwinds the recursion
+  // without emitting further joins.
+  if (budget_ != nullptr && budget_->Checkpoint()) return false;
   bool memoized;
   if (Lookup(s.bits(), &memoized)) return memoized;
   // Mark in-progress as false; splits are strictly smaller so there is no
@@ -81,6 +92,7 @@ bool TopDownEnumerator::Explore(TableSet s, JoinVisitor* visitor,
   // same sequence, with half the iterations, as filtering all submasks).
   for (uint64_t sub2 = (rest_bits - 1) & rest_bits;;
        sub2 = (sub2 - 1) & rest_bits) {
+    if (budget_ != nullptr && budget_->tripped()) break;
     TableSet a(sub2 | low), b(rest_bits ^ sub2);
 
     // Explore both sides unconditionally so subset coverage matches the
@@ -108,6 +120,7 @@ bool TopDownEnumerator::Explore(TableSet s, JoinVisitor* visitor,
             visitor->InitializeEntry(s);
             Store(s.bits(), true);
             ++stats->entries_created;
+            if (budget_ != nullptr) budget_->ChargeEntries(1);
             constructible = true;
           }
           emitted = true;
@@ -127,13 +140,13 @@ bool TopDownEnumerator::Explore(TableSet s, JoinVisitor* visitor,
 
 EnumerationStats RunEnumeration(const QueryGraph& graph,
                                 const EnumeratorOptions& options,
-                                JoinVisitor* visitor) {
+                                JoinVisitor* visitor, ResourceBudget* budget) {
   if (options.kind == EnumeratorKind::kTopDown) {
     TopDownEnumerator enumerator(graph, options);
-    return enumerator.Run(visitor);
+    return enumerator.Run(visitor, budget);
   }
   JoinEnumerator enumerator(graph, options);
-  return enumerator.Run(visitor);
+  return enumerator.Run(visitor, budget);
 }
 
 }  // namespace cote

@@ -36,8 +36,11 @@ class TopDownEnumerator {
       : graph_(graph), options_(options) {}
 
   /// Runs the exploration from the full table set; returns the same
-  /// statistics the bottom-up enumerator reports.
-  EnumerationStats Run(JoinVisitor* visitor);
+  /// statistics the bottom-up enumerator reports. A non-null `budget`
+  /// makes the run cooperative exactly as in JoinEnumerator::Run: entries
+  /// are charged as they are created and one Checkpoint() per Explore()
+  /// call stops the recursion early once the budget trips.
+  EnumerationStats Run(JoinVisitor* visitor, ResourceBudget* budget = nullptr);
 
  private:
   /// Explores subset `s`; returns whether it is constructible (a single
@@ -52,6 +55,9 @@ class TopDownEnumerator {
 
   const QueryGraph& graph_;
   EnumeratorOptions options_;
+  /// Active budget for the current Run(), or null when ungoverned. Only
+  /// valid during Run(); cleared before it returns.
+  ResourceBudget* budget_ = nullptr;
   /// Flat memoization for n <= 20: explored flag and constructibility per
   /// subset mask. Empty (unused) when the query is larger.
   std::vector<uint8_t> explored_flat_;

@@ -66,6 +66,18 @@ bool CompilationContext::Reset(const QueryGraph& graph) {
   return false;
 }
 
+void CompilationContext::AbandonBinding() {
+  graph_ = nullptr;
+  fingerprint_ = 0;
+  refined_card_.reset();
+  simple_card_.reset();
+  interesting_.reset();
+  // Counter and enumerator objects survive (arena reuse); the cleared
+  // flags force a Rebind on next use, which drops all their entry state.
+  counter_bound_ = false;
+  enumerator_bound_ = false;
+}
+
 void CompilationContext::Invalidate() {
   graph_ = nullptr;
   fingerprint_ = 0;
@@ -126,11 +138,12 @@ JoinEnumerator& CompilationContext::enumerator() {
   return *enumerator_;
 }
 
-EnumerationStats CompilationContext::Enumerate(JoinVisitor* visitor) {
+EnumerationStats CompilationContext::Enumerate(JoinVisitor* visitor,
+                                               ResourceBudget* budget) {
   if (options_.enumeration.kind == EnumeratorKind::kBottomUp) {
-    return enumerator().Run(visitor);
+    return enumerator().Run(visitor, budget);
   }
-  return RunEnumeration(graph(), options_.enumeration, visitor);
+  return RunEnumeration(graph(), options_.enumeration, visitor, budget);
 }
 
 std::shared_ptr<Memo> CompilationContext::NewMemo() {

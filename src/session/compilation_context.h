@@ -63,6 +63,15 @@ class CompilationContext {
   /// that want fresh-model timings per iteration use this.
   void Invalidate();
 
+  /// Post-failure cleanup: drops the binding to the current query (graph
+  /// pointer, fingerprint, per-query models) but — unlike Invalidate() —
+  /// keeps the counter and enumerator objects, so their arenas survive.
+  /// The pipeline calls this after a degraded or failed compile, leaving
+  /// the context exactly as a cold Rebind would: the next query compiles
+  /// bit-identically to a fresh session (partial state from the aborted
+  /// run can never leak into a later result).
+  void AbandonBinding();
+
   const OptimizerOptions& options() const { return options_; }
   const PlanCounterOptions& counter_options() const {
     return counter_options_;
@@ -88,8 +97,10 @@ class CompilationContext {
 
   /// Runs join enumeration for the bound query over `visitor`, through
   /// the session enumerator when the options select bottom-up search and
-  /// through the top-down dispatcher otherwise.
-  EnumerationStats Enumerate(JoinVisitor* visitor);
+  /// through the top-down dispatcher otherwise. A non-null `budget` makes
+  /// the run cooperative (see JoinEnumerator::Run).
+  EnumerationStats Enumerate(JoinVisitor* visitor,
+                             ResourceBudget* budget = nullptr);
 
   /// Fresh plan-mode MEMO for the bound query. Plan-mode memos are
   /// per-compile by design: ownership passes to the OptimizeResult, which
@@ -98,6 +109,12 @@ class CompilationContext {
 
   CompilationStats& stats() { return stats_; }
   const CompilationStats& stats() const { return stats_; }
+
+  /// The session's resource budget: armed by the pipeline per governed
+  /// compile, disarmed (a no-op at every checkpoint) otherwise. Owned here
+  /// so it lives as long as everything that may hold a pointer to it.
+  ResourceBudget& budget() { return budget_; }
+  const ResourceBudget& budget() const { return budget_; }
 
  private:
   /// Content hash of everything compilation output depends on: table
@@ -126,6 +143,7 @@ class CompilationContext {
   bool enumerator_bound_ = false;
 
   CompilationStats stats_;
+  ResourceBudget budget_;
 };
 
 }  // namespace cote

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "common/resource_budget.h"
 #include "optimizer/enumerator.h"
 #include "optimizer/plan/plan.h"
 #include "optimizer/stats.h"
@@ -35,6 +36,12 @@ struct CompileTimeEstimate {
   /// consider on top of the join plans. Kept out of plan_estimates so the
   /// §3.5 join-count regression inputs are untouched.
   int64_t completion_plans = 0;
+  /// Resource governance outcome: true when a budget tripped mid-estimate,
+  /// in which case the counts and the derived seconds/bytes cover only the
+  /// enumeration prefix that ran (a lower bound on the full query).
+  bool degraded = false;
+  BudgetLimit tripped_limit = BudgetLimit::kNone;
+  CompileStage degraded_stage = CompileStage::kNone;
 
   /// Bytes charged per plan slot in the memory lower bound.
   static constexpr int64_t kBytesPerPlan = sizeof(Plan);
@@ -64,6 +71,9 @@ struct CompilationStats {
   /// Warm binds: same graph object with an unchanged content fingerprint,
   /// so every model and the counter's saturated state were kept.
   int64_t warm_resets = 0;
+  /// Runs (plan or estimate mode) that tripped a resource budget and
+  /// finished degraded rather than completing the full DP search.
+  int64_t degraded_runs = 0;
 
   void RecordStages(const StageSeconds& s) {
     last_stages = s;

@@ -1,7 +1,9 @@
 #include "session/pipeline.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "common/fault_points.h"
 #include "common/timer.h"
 #include "optimizer/completion.h"
 #include "optimizer/greedy_optimizer.h"
@@ -13,8 +15,21 @@ StatusOr<OptimizeResult> CompilationPipeline::CompilePlan(
   if (graph.num_tables() == 0) {
     return Status::InvalidArgument("query has no tables");
   }
-  return ctx_->options().level == OptimizationLevel::kLow ? PlanLow(graph)
-                                                          : PlanHigh(graph);
+  return ctx_->options().level == OptimizationLevel::kLow
+             ? PlanLow(graph)
+             : PlanHigh(graph, nullptr);
+}
+
+StatusOr<OptimizeResult> CompilationPipeline::CompilePlan(
+    const QueryGraph& graph, const ResourceLimits& limits) {
+  if (graph.num_tables() == 0) {
+    return Status::InvalidArgument("query has no tables");
+  }
+  // kLow ignores the budget by design (see the header): the greedy pass is
+  // itself the degraded mode and runs in polynomial time.
+  return ctx_->options().level == OptimizationLevel::kLow
+             ? PlanLow(graph)
+             : PlanHigh(graph, &limits);
 }
 
 StatusOr<OptimizeResult> CompilationPipeline::PlanLow(
@@ -30,6 +45,11 @@ StatusOr<OptimizeResult> CompilationPipeline::PlanLow(
   const CostModel& cost = ctx_->cost_model();
   const CardinalityModel& card = ctx_->refined_cardinality();
   stages.bind = stage.ElapsedSeconds();
+  Notify(CompileStage::kBind, stages.bind, /*estimate_mode=*/false);
+  if (Status fault = ConsultFaultPoint(kFaultPlanBind, &graph); !fault.ok()) {
+    ctx_->AbandonBinding();
+    return fault;
+  }
 
   // ---- Enumerate (the greedy pass is kLow's degenerate "enumeration":
   // one join order, no properties).
@@ -37,8 +57,15 @@ StatusOr<OptimizeResult> CompilationPipeline::PlanLow(
   GreedyOptimizer greedy(graph, cost, card, result.memo.get());
   result.best_plan = greedy.Run();
   stages.enumerate = stage.ElapsedSeconds();
+  Notify(CompileStage::kEnumerate, stages.enumerate, /*estimate_mode=*/false);
   if (result.best_plan == nullptr) {
+    ctx_->AbandonBinding();
     return Status::Internal("greedy optimizer produced no plan");
+  }
+  if (Status fault = ConsultFaultPoint(kFaultPlanEnumerate, &graph);
+      !fault.ok()) {
+    ctx_->AbandonBinding();
+    return fault;
   }
 
   // ---- Complete: kLow skips query completion by design (single plan, no
@@ -52,16 +79,29 @@ StatusOr<OptimizeResult> CompilationPipeline::PlanLow(
   result.stats.plans_stored = 0;
   stages.finalize = stage.ElapsedSeconds();
   result.stats.total_seconds = watch.ElapsedSeconds();
+  Notify(CompileStage::kFinalize, stages.finalize, /*estimate_mode=*/false);
+  if (Status fault = ConsultFaultPoint(kFaultPlanFinalize, &graph);
+      !fault.ok()) {
+    ctx_->AbandonBinding();
+    return fault;
+  }
   ctx_->stats().RecordStages(stages);
   ++ctx_->stats().plans_compiled;
   return result;
 }
 
 StatusOr<OptimizeResult> CompilationPipeline::PlanHigh(
-    const QueryGraph& graph) {
+    const QueryGraph& graph, const ResourceLimits* limits) {
   StopWatch watch;
   StageSeconds stages;
   StopWatch stage;
+
+  // A fresh budget per compile; fully unlimited limits arm nothing, so
+  // `armed` stays null and every downstream path is the ungoverned one.
+  ResourceBudget& budget = ctx_->budget();
+  budget.Disarm();
+  if (limits != nullptr) budget.Arm(*limits);
+  ResourceBudget* armed = budget.armed() ? &budget : nullptr;
 
   // ---- Bind.
   ctx_->Reset(graph);
@@ -74,15 +114,40 @@ StatusOr<OptimizeResult> CompilationPipeline::PlanHigh(
   PlanGenerator generator(graph, memo, cost, card, interesting,
                           ctx_->options().plangen);
   stages.bind = stage.ElapsedSeconds();
+  Notify(CompileStage::kBind, stages.bind, /*estimate_mode=*/false);
+  if (Status fault = ConsultFaultPoint(kFaultPlanBind, &graph); !fault.ok()) {
+    ctx_->AbandonBinding();
+    return fault;
+  }
 
-  // ---- Enumerate.
+  // ---- Enumerate. The memo charges each generated plan while armed; the
+  // pointer is cleared before any path lets the memo escape into the
+  // result (which can outlive the session-owned budget).
   StopWatch enum_watch;
-  result.stats.enumeration = ctx_->Enumerate(&generator);
+  memo->set_budget(armed);
+  result.stats.enumeration = ctx_->Enumerate(&generator, armed);
+  memo->set_budget(nullptr);
   double run_seconds = enum_watch.ElapsedSeconds();
   stages.enumerate = run_seconds;
+  Notify(CompileStage::kEnumerate, stages.enumerate, /*estimate_mode=*/false);
+  if (Status fault = ConsultFaultPoint(kFaultPlanEnumerate, &graph);
+      !fault.ok()) {
+    ctx_->AbandonBinding();
+    return fault;
+  }
+
+  if (armed != nullptr && armed->tripped()) {
+    if (limits->on_trip == BudgetAction::kFail) {
+      Status trip = armed->TripStatus();
+      ctx_->AbandonBinding();
+      return trip;
+    }
+    return DegradeToGreedy(graph, watch, &stages, &result);
+  }
 
   MemoEntry* top = memo->Find(graph.AllTables());
   if (top == nullptr || top->Cheapest() == nullptr) {
+    ctx_->AbandonBinding();
     return Status::Internal(
         "no complete plan: join graph is disconnected and Cartesian "
         "products are disabled");
@@ -92,6 +157,12 @@ StatusOr<OptimizeResult> CompilationPipeline::PlanHigh(
   stage.Restart();
   result.best_plan = CompleteQuery(graph, memo, top, cost);
   stages.complete = stage.ElapsedSeconds();
+  Notify(CompileStage::kComplete, stages.complete, /*estimate_mode=*/false);
+  if (Status fault = ConsultFaultPoint(kFaultPlanComplete, &graph);
+      !fault.ok()) {
+    ctx_->AbandonBinding();
+    return fault;
+  }
 
   // ---- Finalize: statistics.
   stage.Restart();
@@ -114,47 +185,157 @@ StatusOr<OptimizeResult> CompilationPipeline::PlanHigh(
   // Stage timer stops before the total snapshot; see PlanLow.
   stages.finalize = stage.ElapsedSeconds();
   st.total_seconds = watch.ElapsedSeconds();
+  Notify(CompileStage::kFinalize, stages.finalize, /*estimate_mode=*/false);
+  // The finalize fault fires before the run is recorded, so a failed
+  // compile never counts as a completed one.
+  if (Status fault = ConsultFaultPoint(kFaultPlanFinalize, &graph);
+      !fault.ok()) {
+    ctx_->AbandonBinding();
+    return fault;
+  }
   ctx_->stats().RecordStages(stages);
   ++ctx_->stats().plans_compiled;
   return result;
 }
 
+StatusOr<OptimizeResult> CompilationPipeline::DegradeToGreedy(
+    const QueryGraph& graph, StopWatch& watch, StageSeconds* stages,
+    OptimizeResult* result) {
+  ResourceBudget& budget = ctx_->budget();
+  StopWatch stage;
+
+  // Greedy fallback, charged to the enumerate stage (it replaces the cut
+  // enumeration): a fresh memo, because the partial DP memo may have been
+  // abandoned mid-entry and its plans must not leak into the result.
+  result->memo = ctx_->NewMemo();
+  GreedyOptimizer greedy(graph, ctx_->cost_model(),
+                         ctx_->refined_cardinality(), result->memo.get());
+  result->best_plan = greedy.Run();
+  stages->enumerate += stage.ElapsedSeconds();
+  if (result->best_plan == nullptr) {
+    ctx_->AbandonBinding();
+    return Status::Internal("greedy fallback produced no plan");
+  }
+
+  // ---- Complete: skipped, exactly as in every kLow compile (single
+  // plan, no enforcers) — so no kComplete stage event fires either.
+
+  // ---- Finalize: stats in kLow shape (the DP counters would describe
+  // the abandoned partial run, not the returned plan), except the
+  // enumeration counters, which faithfully cover the prefix that ran.
+  stage.Restart();
+  result->degraded = true;
+  result->tripped_limit = budget.tripped_limit();
+  result->degraded_stage = CompileStage::kEnumerate;
+  result->stats.best_cost = result->best_plan->cost;
+  result->stats.plans_stored = 0;
+  stages->finalize = stage.ElapsedSeconds();
+  result->stats.total_seconds = watch.ElapsedSeconds();
+  Notify(CompileStage::kFinalize, stages->finalize, /*estimate_mode=*/false);
+  ctx_->stats().RecordStages(*stages);
+  ++ctx_->stats().plans_compiled;
+  ++ctx_->stats().degraded_runs;
+  // Drop the binding: the next compile — any query, this session — starts
+  // cold and produces bit-identical output to a fresh session's.
+  ctx_->AbandonBinding();
+  return std::move(*result);
+}
+
 CompileTimeEstimate CompilationPipeline::CompileEstimate(
     const QueryGraph& graph, const TimeModel& time_model) {
+  return EstimateImpl(graph, time_model, nullptr);
+}
+
+CompileTimeEstimate CompilationPipeline::CompileEstimate(
+    const QueryGraph& graph, const TimeModel& time_model,
+    const ResourceLimits& limits) {
+  return EstimateImpl(graph, time_model, &limits);
+}
+
+CompileTimeEstimate CompilationPipeline::EstimateImpl(
+    const QueryGraph& graph, const TimeModel& time_model,
+    const ResourceLimits* limits) {
   StopWatch watch;
   StageSeconds stages;
   StopWatch stage;
   CompileTimeEstimate out;
 
+  ResourceBudget& budget = ctx_->budget();
+  budget.Disarm();
+  if (limits != nullptr) budget.Arm(*limits);
+  ResourceBudget* armed = budget.armed() ? &budget : nullptr;
+
   // ---- Bind: warm when the same query was just estimated (no heap
   // traffic past the first estimate — the session alloc test's subject).
+  // No fault points in estimate mode: CompileEstimate has no Status
+  // channel, and inventing one for injection would govern the tail
+  // wagging the dog.
   ctx_->Reset(graph);
   PlanCounter& counter = ctx_->counter();
   counter.ResetCounts();
   stages.bind = stage.ElapsedSeconds();
+  Notify(CompileStage::kBind, stages.bind, /*estimate_mode=*/true);
 
-  // ---- Enumerate (plan-counting visitor — §3.1's other half).
+  // ---- Enumerate (plan-counting visitor — §3.1's other half). The
+  // counter charges each counted plan while armed.
   stage.Restart();
-  out.enumeration = ctx_->Enumerate(&counter);
+  counter.set_budget(armed);
+  out.enumeration = ctx_->Enumerate(&counter, armed);
+  counter.set_budget(nullptr);
   stages.enumerate = stage.ElapsedSeconds();
+  Notify(CompileStage::kEnumerate, stages.enumerate, /*estimate_mode=*/true);
 
-  // ---- Complete, counted: what plan mode's completion stage would add.
-  stage.Restart();
-  out.completion_plans = CountCompletionPlans(graph);
-  stages.complete = stage.ElapsedSeconds();
+  const bool tripped = armed != nullptr && armed->tripped();
+  if (!tripped) {
+    // ---- Complete, counted: what plan mode's completion stage would add.
+    // A tripped run skips it (and its stage event), mirroring plan mode's
+    // degraded path.
+    stage.Restart();
+    out.completion_plans = CountCompletionPlans(graph);
+    stages.complete = stage.ElapsedSeconds();
+    Notify(CompileStage::kComplete, stages.complete, /*estimate_mode=*/true);
+  }
 
-  // ---- Finalize: counts → seconds via the §3.5 time model.
+  // ---- Finalize: counts → seconds via the §3.5 time model. For a
+  // tripped run the counts cover only the enumeration prefix, so the
+  // derived seconds/bytes are lower bounds — flagged by `degraded`.
   stage.Restart();
   out.plan_estimates = counter.estimated_plans();
   out.estimated_seconds = time_model.EstimateSeconds(out.plan_estimates);
   out.plan_slots = counter.TotalPlanSlots();
   out.estimated_memo_bytes = out.plan_slots * CompileTimeEstimate::kBytesPerPlan;
+  if (tripped) {
+    out.degraded = true;
+    out.tripped_limit = budget.tripped_limit();
+    out.degraded_stage = CompileStage::kEnumerate;
+  }
   // Stage timer stops before the total snapshot; see PlanLow.
   stages.finalize = stage.ElapsedSeconds();
   out.estimation_seconds = watch.ElapsedSeconds();
+  Notify(CompileStage::kFinalize, stages.finalize, /*estimate_mode=*/true);
   ctx_->stats().RecordStages(stages);
   ++ctx_->stats().estimates_run;
+  if (tripped) {
+    ++ctx_->stats().degraded_runs;
+    // The counter's entry state covers a cut-off run; abandoning the
+    // binding forces a cold rebuild so the next estimate (same query or
+    // not) matches a fresh session bit for bit.
+    ctx_->AbandonBinding();
+  }
   return out;
+}
+
+void CompilationPipeline::Notify(CompileStage stage, double seconds,
+                                 bool estimate_mode) {
+  if (observer_ == nullptr) return;
+  const ResourceBudget& budget = ctx_->budget();
+  StageEvent event;
+  event.stage = stage;
+  event.seconds = seconds;
+  event.estimate_mode = estimate_mode;
+  event.budget_tripped = budget.tripped();
+  event.tripped_limit = budget.tripped_limit();
+  observer_(observer_ctx_, event);
 }
 
 }  // namespace cote

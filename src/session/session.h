@@ -44,6 +44,16 @@ class CompilationSession {
     return pipeline_.CompilePlan(graph);
   }
 
+  /// Plan mode under resource governance: the compile is cancelled
+  /// cooperatively once `limits` trips, then either degrades to the
+  /// greedy plan (BudgetAction::kGreedyFallback, the default — ok() with
+  /// OptimizeResult::degraded set) or fails with the budget's Status.
+  /// Unlimited limits behave exactly like the ungoverned overload.
+  StatusOr<OptimizeResult> Optimize(const QueryGraph& graph,
+                                    const ResourceLimits& limits) {
+    return pipeline_.CompilePlan(graph, limits);
+  }
+
   /// Estimate mode: the paper's plan-counting pass; `time_model` converts
   /// join-plan counts to seconds (§3.5).
   CompileTimeEstimate Estimate(const QueryGraph& graph,
@@ -51,10 +61,25 @@ class CompilationSession {
     return pipeline_.CompileEstimate(graph, time_model);
   }
 
+  /// Governed estimate: a tripped limit ends the counting run early and
+  /// returns the partial counts flagged CompileTimeEstimate::degraded.
+  CompileTimeEstimate Estimate(const QueryGraph& graph,
+                               const TimeModel& time_model,
+                               const ResourceLimits& limits) {
+    return pipeline_.CompileEstimate(graph, time_model, limits);
+  }
+
   /// Multi-block queries (§3.3): each block is optimized with its own
   /// MEMO, so the estimates (plans, time, memory) sum over the blocks.
   CompileTimeEstimate Estimate(const MultiBlockQuery& query,
                                const TimeModel& time_model);
+
+  /// Governed multi-block estimate: `limits` applies per block (each block
+  /// re-arms the budget); `degraded` is set if any block tripped, carrying
+  /// the first tripped block's limit and stage.
+  CompileTimeEstimate Estimate(const MultiBlockQuery& query,
+                               const TimeModel& time_model,
+                               const ResourceLimits& limits);
 
   /// Serial batch: compiles each query in input order through this one
   /// session (null pointers yield a Status at their index). This is the
@@ -63,11 +88,29 @@ class CompilationSession {
   std::vector<StatusOr<OptimizeResult>> CompileBatch(
       const std::vector<const QueryGraph*>& queries);
 
+  /// Governed serial batch: `limits` applies per query, so one runaway
+  /// query degrades (or fails) alone while the rest of the batch compiles
+  /// normally — per-index isolation, pinned by the governance tests.
+  std::vector<StatusOr<OptimizeResult>> CompileBatch(
+      const std::vector<const QueryGraph*>& queries,
+      const ResourceLimits& limits);
+
   /// Serial estimate batch, input order; null pointers yield the all-zero
   /// estimate.
   std::vector<CompileTimeEstimate> EstimateBatch(
       const std::vector<const QueryGraph*>& queries,
       const TimeModel& time_model);
+
+  /// Governed serial estimate batch (per-query limits, as above).
+  std::vector<CompileTimeEstimate> EstimateBatch(
+      const std::vector<const QueryGraph*>& queries,
+      const TimeModel& time_model, const ResourceLimits& limits);
+
+  /// Installs (or removes, with fn = nullptr) a per-stage observer on the
+  /// underlying pipeline; see CompilationPipeline::SetStageObserver.
+  void SetStageObserver(StageObserverFn fn, void* ctx) {
+    pipeline_.SetStageObserver(fn, ctx);
+  }
 
   /// The models and options behind this session — the only sanctioned way
   /// to reach the cost/cardinality models outside src/session/.

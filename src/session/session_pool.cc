@@ -12,25 +12,29 @@ namespace {
 
 /// Runs once per claimed plan-mode query: the pool's per-item hot path.
 /// Everything it touches is worker-private (the session) or this item's
-/// own output slot, so workers never share mutable state.
+/// own output slot, so workers never share mutable state. `limits` null
+/// means ungoverned; non-null arms the worker session's budget per query.
 void CompileOne(CompilationSession* session, const QueryGraph* query,
-                StatusOr<OptimizeResult>* out) {
+                const ResourceLimits* limits, StatusOr<OptimizeResult>* out) {
   if (query == nullptr) {
     *out = Status::InvalidArgument("null query in batch");
     return;
   }
-  *out = session->Optimize(*query);
+  *out = limits == nullptr ? session->Optimize(*query)
+                           : session->Optimize(*query, *limits);
 }
 
 /// Estimate-mode twin of CompileOne; a null query yields the all-zero
 /// estimate (estimates have no Status channel, matching the serial API).
 void EstimateOne(CompilationSession* session, const QueryGraph* query,
-                 const TimeModel& time_model, CompileTimeEstimate* out) {
+                 const TimeModel& time_model, const ResourceLimits* limits,
+                 CompileTimeEstimate* out) {
   if (query == nullptr) {
     *out = CompileTimeEstimate{};
     return;
   }
-  *out = session->Estimate(*query, time_model);
+  *out = limits == nullptr ? session->Estimate(*query, time_model)
+                           : session->Estimate(*query, time_model, *limits);
 }
 
 /// Folds worker w's CompilationStats delta for this batch (after - before)
@@ -58,6 +62,7 @@ void MergeDelta(const CompilationStats& after, const CompilationStats& before,
   merged.estimates_run += after.estimates_run - before.estimates_run;
   merged.context_rebinds += slice.context_rebinds;
   merged.warm_resets += slice.warm_resets;
+  merged.degraded_runs += after.degraded_runs - before.degraded_runs;
 }
 
 }  // namespace
@@ -141,8 +146,26 @@ BatchOptimizeResult SessionPool::CompileBatch(
   const QueryGraph* const* qs = queries.data();
   out.stats = RunBatch(queries.size(),
                        [results, qs](CompilationSession* session, size_t i) {
-                         CompileOne(session, qs[i], &results[i]);
+                         CompileOne(session, qs[i], nullptr, &results[i]);
                        });
+  return out;
+}
+
+BatchOptimizeResult SessionPool::CompileBatch(
+    const std::vector<const QueryGraph*>& queries,
+    const ResourceLimits& limits) {
+  BatchOptimizeResult out{
+      std::vector<StatusOr<OptimizeResult>>(
+          queries.size(), Status::Internal("query was not compiled")),
+      BatchStats{}};
+  StatusOr<OptimizeResult>* results = out.results.data();
+  const QueryGraph* const* qs = queries.data();
+  const ResourceLimits* lim = &limits;
+  out.stats =
+      RunBatch(queries.size(),
+               [results, qs, lim](CompilationSession* session, size_t i) {
+                 CompileOne(session, qs[i], lim, &results[i]);
+               });
   return out;
 }
 
@@ -156,7 +179,23 @@ BatchEstimateResult SessionPool::EstimateBatch(
   out.stats = RunBatch(
       queries.size(),
       [results, qs, &time_model](CompilationSession* session, size_t i) {
-        EstimateOne(session, qs[i], time_model, &results[i]);
+        EstimateOne(session, qs[i], time_model, nullptr, &results[i]);
+      });
+  return out;
+}
+
+BatchEstimateResult SessionPool::EstimateBatch(
+    const std::vector<const QueryGraph*>& queries,
+    const TimeModel& time_model, const ResourceLimits& limits) {
+  BatchEstimateResult out;
+  out.results.resize(queries.size());
+  CompileTimeEstimate* results = out.results.data();
+  const QueryGraph* const* qs = queries.data();
+  const ResourceLimits* lim = &limits;
+  out.stats = RunBatch(
+      queries.size(),
+      [results, qs, &time_model, lim](CompilationSession* session, size_t i) {
+        EstimateOne(session, qs[i], time_model, lim, &results[i]);
       });
   return out;
 }

@@ -104,11 +104,25 @@ class SessionPool {
   BatchOptimizeResult CompileBatch(
       const std::vector<const QueryGraph*>& queries);
 
+  /// Governed plan batch: `limits` applies per query (each compile re-arms
+  /// its worker's budget), so a runaway query degrades or fails at its own
+  /// index while every other result is bit-identical to the ungoverned
+  /// batch — per-index isolation under concurrency.
+  BatchOptimizeResult CompileBatch(
+      const std::vector<const QueryGraph*>& queries,
+      const ResourceLimits& limits);
+
   /// Estimate-compiles the batch (§3 mode); results in input order. Null
   /// pointers yield a default (all-zero) estimate.
   BatchEstimateResult EstimateBatch(
       const std::vector<const QueryGraph*>& queries,
       const TimeModel& time_model);
+
+  /// Governed estimate batch (per-query limits; tripped queries come back
+  /// flagged degraded at their index).
+  BatchEstimateResult EstimateBatch(
+      const std::vector<const QueryGraph*>& queries,
+      const TimeModel& time_model, const ResourceLimits& limits);
 
   int num_workers() const { return static_cast<int>(sessions_.size()); }
 

@@ -1,0 +1,101 @@
+#ifndef COTE_TESTS_COMMON_FAULT_INJECTION_H_
+#define COTE_TESTS_COMMON_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/fault_points.h"
+#include "common/status.h"
+
+/// \file
+/// Deterministic fault scripting over the production fault registry
+/// (src/common/fault_points.h) — test binaries only. Production code
+/// carries just the registry; this harness is what makes a consult fail.
+
+namespace cote {
+namespace testing {
+
+/// \brief RAII fault script: installs itself as the process-wide hook on
+/// construction, clears it on destruction, so a test can never leak an
+/// armed hook into later tests (one live script at a time).
+///
+/// Rules match on (point, subject, occurrence):
+///
+///   script.FailAt(kFaultPlanBind, &graph, Status::Internal("boom"));
+///
+/// fails the first bind-stage consult for exactly that query and no
+/// other. `occurrence` N fails the Nth matching consult (1-based);
+/// 0 fails every matching consult. A null subject matches any query —
+/// the per-query form is what lets a SessionPool batch fail at fixed
+/// *input indices* regardless of which worker claims them.
+///
+/// Thread-safe: pool workers consult concurrently, so all mutable state
+/// is mutex-guarded. (Only the test path pays the lock; production code
+/// with no hook installed takes the lock-free null-check path.)
+class FaultScript {
+ public:
+  FaultScript() { InstallFaultHook(&FaultScript::Hook, this); }
+  ~FaultScript() { ClearFaultHook(); }
+  FaultScript(const FaultScript&) = delete;
+  FaultScript& operator=(const FaultScript&) = delete;
+
+  /// Adds one rule: fail the `occurrence`-th consult of `point` whose
+  /// subject is `subject` (null: any) with `status`. Occurrences count
+  /// per rule, only over matching consults.
+  void FailAt(const char* point, const void* subject, Status status,
+              int64_t occurrence = 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    rules_.push_back(Rule{point, subject, std::move(status), occurrence, 0});
+  }
+
+  /// Total consults seen (all points, injected or not) / faults injected.
+  int64_t consults() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return consults_;
+  }
+  int64_t injected() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return injected_;
+  }
+
+ private:
+  struct Rule {
+    std::string point;
+    const void* subject;
+    Status status;
+    int64_t occurrence;  ///< 1-based; 0 = every matching consult
+    int64_t seen;        ///< matching consults so far
+  };
+
+  static Status Hook(void* ctx, const char* point, const void* subject) {
+    return static_cast<FaultScript*>(ctx)->Consult(point, subject);
+  }
+
+  Status Consult(const char* point, const void* subject) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++consults_;
+    for (Rule& r : rules_) {
+      if (r.point != point) continue;
+      if (r.subject != nullptr && r.subject != subject) continue;
+      ++r.seen;
+      if (r.occurrence == 0 || r.seen == r.occurrence) {
+        ++injected_;
+        return r.status;
+      }
+    }
+    return Status::OK();
+  }
+
+  mutable std::mutex mu_;
+  std::vector<Rule> rules_;
+  int64_t consults_ = 0;
+  int64_t injected_ = 0;
+};
+
+}  // namespace testing
+}  // namespace cote
+
+#endif  // COTE_TESTS_COMMON_FAULT_INJECTION_H_

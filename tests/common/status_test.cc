@@ -28,6 +28,31 @@ TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
   EXPECT_EQ(Status::BindError("x").code(), StatusCode::kBindError);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(StatusTest, GovernanceCodesPrintTheirNames) {
+  EXPECT_EQ(Status::DeadlineExceeded("compile budget: 2ms past").ToString(),
+            "DeadlineExceeded: compile budget: 2ms past");
+  EXPECT_EQ(Status::ResourceExhausted("memo entries: 65 > 64").ToString(),
+            "ResourceExhausted: memo entries: 65 > 64");
+}
+
+StatusOr<int> Exhausted() { return Status::ResourceExhausted("cap"); }
+
+TEST(StatusOrTest, GovernanceStatusPropagatesThroughStatusOr) {
+  StatusOr<int> v = Exhausted();
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kResourceExhausted);
+  Status s = [] {
+    COTE_RETURN_NOT_OK(Exhausted().status());
+    return Status::OK();
+  }();
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(s.message(), "cap");
 }
 
 TEST(StatusOrTest, HoldsValue) {

@@ -75,6 +75,28 @@ TEST_P(SessionAllocTest, WarmEstimatesStayAllocationFreeAcrossRepeats) {
 INSTANTIATE_TEST_SUITE_P(Shapes, SessionAllocTest,
                          ::testing::Values("linear", "star", "random"));
 
+TEST(SessionAllocSteadyTest, ArmedUntrippedBudgetAllocatesNothing) {
+  // The governance hot path — Arm, per-entry/per-plan charges, amortized
+  // checkpoints with deadline sampling — adds ZERO heap allocations to a
+  // warm estimate. The budget is session-owned POD state; tripping (not
+  // exercised here) only ever flips a flag.
+  Workload w = StarWorkload();
+  const QueryGraph& q = w.queries[w.queries.size() / 2];
+  TimeModel model;
+  ResourceLimits generous;
+  generous.deadline_seconds = 3600.0;
+  generous.max_memo_entries = int64_t{1} << 50;
+  generous.max_plans = int64_t{1} << 50;
+  CompilationSession session(SmallOptions());
+  session.Estimate(q, model, generous);
+
+  testing::AllocationCounter counter;
+  CompileTimeEstimate warm = session.Estimate(q, model, generous);
+  EXPECT_EQ(counter.delta(), 0)
+      << "an armed-but-untripped budget must stay allocation-free";
+  EXPECT_FALSE(warm.degraded);
+}
+
 TEST(SessionAllocSteadyTest, CrossQueryRebindReusesArenas) {
   // Alternating between two queries is not allocation-*free* (entry
   // property lists are rebuilt per cold bind), but it must be allocation-

@@ -61,6 +61,14 @@ HOT_FUNCTIONS = {
         "PropagatePartitions",
         "JoinPartitions",
         "OnJoin",
+        "AddPlans",  # per-join accumulation funnel, charges the budget
+    ],
+    # Resource governance: the slow half of ResourceBudget::Checkpoint()
+    # runs once per deadline stride inside the enumeration loop. (The fast
+    # half and the charge methods are inline in the header; their runtime
+    # proof is session_alloc_test's armed-budget case.)
+    "src/common/resource_budget.cc": [
+        "CheckDeadlineSlow",
     ],
     # Session layer: these run once per compile, and the warm path
     # (repeat estimate of the same query) must stay allocation-free —
@@ -72,9 +80,12 @@ HOT_FUNCTIONS = {
     ],
     "src/session/pipeline.cc": [
         "CompileEstimate",
+        "EstimateImpl",  # the estimate path proper (arming + checkpoints)
+        "Notify",        # stage observer dispatch: raw fn pointer, no heap
     ],
     "src/session/session.cc": [
-        "Estimate",  # multi-block aggregation loop
+        "Estimate",   # multi-block aggregation loop
+        "FoldBlock",  # per-block estimate fold (degraded-flag propagation)
     ],
     # Session pool: these run once per claimed batch item (CompileOne /
     # EstimateOne) or once per worker at merge time; keeping them pure

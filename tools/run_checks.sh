@@ -11,11 +11,15 @@
 #   5. hot-path purity lint          (tools/hotpath_lint.py)
 #   6. Debug + ASan/UBSan cycle      (-DCOTE_SANITIZE=address,undefined;
 #                                     Debug so COTE_DCHECK contracts and
-#                                     their death tests run for real)
+#                                     their death tests run for real — this
+#                                     is also where the fault-injection
+#                                     suite's error paths run sanitized)
 #   7. TSan cycle                    (-DCOTE_SANITIZE=thread over the
-#                                     session tests: vets the pool's queue
-#                                     cursor, stats merge and the shared
-#                                     statement cache)
+#                                     session + fault-injection tests: vets
+#                                     the pool's queue cursor, stats merge,
+#                                     the shared statement cache, per-query
+#                                     budget re-arming and the fault hook's
+#                                     install/consult protocol)
 #
 # Usage: tools/run_checks.sh [--skip-san] [--jobs N]
 #   --skip-san   skip the (slow) sanitizer configure/build/test cycles
@@ -152,12 +156,15 @@ else
 fi
 
 # ---- 7. TSan cycle over the session layer ----------------------------------
-# The pool's only synchronization points are the queue cursor, the stats
-# merge at join, and the mutex-guarded statement cache; running the session
-# tests (pool determinism, stress, shared-cache contention) under
-# ThreadSanitizer vets all three. Only session_test is built — the full
-# suite under TSan would be prohibitively slow and single-threaded tests
-# have nothing for TSan to find.
+# The pool's synchronization points are the queue cursor, the stats merge
+# at join, the mutex-guarded statement cache, and (new with governance) the
+# worker-local budget re-arm per claimed query plus the fault hook's
+# release/acquire install-consult pair; running the session tests (pool
+# determinism, stress, shared-cache contention) and the fault-injection
+# suite (SessionFaultTest / SessionPoolFaultTest fixtures — scripted pool
+# faults under concurrency) vets all of them. Only these two targets are
+# built — the full suite under TSan would be prohibitively slow and
+# single-threaded tests have nothing for TSan to find.
 if [ "$SKIP_SAN" = 1 ]; then
   note "[7/7] TSan cycle"
   skip "TSan cycle (--skip-san)"
@@ -166,7 +173,8 @@ else
   TSAN_DIR="$ROOT/build-checks-tsan"
   if cmake -S "$ROOT" -B "$TSAN_DIR" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DCOTE_SANITIZE=thread >/dev/null \
-     && cmake --build "$TSAN_DIR" -j "$JOBS" --target session_test >/dev/null; then
+     && cmake --build "$TSAN_DIR" -j "$JOBS" \
+          --target session_test fault_injection_test >/dev/null; then
     # -R Session hits the session fixtures; unbuilt targets only register
     # lowercase *_NOT_BUILT placeholders, which the regex cannot match.
     if (cd "$TSAN_DIR" && ctest -j "$JOBS" -R 'Session' --output-on-failure \
