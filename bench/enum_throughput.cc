@@ -12,6 +12,14 @@
 //
 // Usage:
 //   enum_throughput [--label NAME] [--out FILE] [--max-n N]
+//                   [--par-workers N]
+//
+// --par-workers N > 1 turns on the rank-parallel bottom-up enumerator for
+// every session-driven mode (estimate / governed / optimize; "enumerate"
+// drives the raw serial core and is unaffected) and adds per-cell
+// wall/Σbusy accounting to the JSON so a 1-CPU box is reported honestly:
+// there, wall ≈ Σbusy + merge/coordination overhead, and (wall − Σbusy)
+// is the merge-overhead bound EXPERIMENTS.md tracks — not a speedup.
 //
 // The label names the run inside the JSON (e.g. "baseline" for a
 // pre-change build, "current" afterwards); BENCH_enum.json in the repo
@@ -22,6 +30,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -38,9 +47,14 @@ namespace {
 
 // A single run never repeats a config longer than this; a config whose
 // single-shot latency exceeds kSkipSeconds stops the n-sweep for its
-// (workload, mode) pair — the skip is reported, not silent.
+// (workload, mode) pair — the skip is reported, not silent. Every
+// reported cell runs at least kMinReps reps (single-rep cells were the
+// −6%..+10% noise outliers in earlier runs); the one exception is a cell
+// whose first rep already exceeds kSkipSeconds — it ends its sweep and is
+// recorded honestly as reps=1 rather than tripling a multi-second run.
 constexpr double kTargetSeconds = 0.25;
 constexpr double kSkipSeconds = 5.0;
+constexpr int kMinReps = 3;
 constexpr int kMaxReps = 40;
 
 const char* kJoinCols[] = {"c0", "c1", "c2", "c3", "c4"};
@@ -116,6 +130,18 @@ struct Sample {
   double p95_ms = 0;
   int64_t joins_ordered = 0;
   int64_t entries = 0;
+  // Wall clock summed over all reps, and the in-rank worker busy time
+  // summed over all reps and workers (0 when the cell ran serially).
+  // On a 1-CPU box wall ≈ busy + merge/coordination, so busy/wall there
+  // bounds merge overhead, not speedup — see the BENCH_pool.json note.
+  double wall_seconds = 0;
+  double busy_seconds = 0;
+};
+
+/// What one timed rep hands back to Measure().
+struct RunResult {
+  EnumerationStats stats;
+  double busy_seconds = 0;
 };
 
 double Percentile(std::vector<double> v, double q) {
@@ -135,25 +161,31 @@ Sample Measure(const std::string& workload, const std::string& mode, int n,
   s.n = n;
 
   StopWatch probe;
-  EnumerationStats stats = body();
+  RunResult first_run = body();
   double first = probe.ElapsedSeconds();
+  const EnumerationStats& stats = first_run.stats;
   s.joins_ordered = stats.joins_ordered;
   s.entries = stats.entries_created;
 
-  int reps = 1;
+  int reps = kMinReps;
   if (first < kTargetSeconds) {
     reps = std::min(kMaxReps,
                     1 + static_cast<int>(kTargetSeconds / std::max(first, 1e-7)));
+    reps = std::max(reps, kMinReps);
+  } else if (first > kSkipSeconds) {
+    reps = 1;  // this cell ends its sweep; record the single rep honestly
   }
   std::vector<double> lat;
   lat.push_back(first);
   double total = first;
+  double busy = first_run.busy_seconds;
   for (int i = 1; i < reps; ++i) {
     StopWatch t;
-    body();
+    RunResult r = body();
     double sec = t.ElapsedSeconds();
     lat.push_back(sec);
     total += sec;
+    busy += r.busy_seconds;
   }
   s.reps = reps;
   s.queries_per_sec = static_cast<double>(reps) / total;
@@ -162,18 +194,23 @@ Sample Measure(const std::string& workload, const std::string& mode, int n,
       total;
   s.p50_ms = Percentile(lat, 0.5) * 1e3;
   s.p95_ms = Percentile(lat, 0.95) * 1e3;
+  s.wall_seconds = total;
+  s.busy_seconds = busy;
   return s;
 }
 
 void WriteJson(const std::string& path, const std::string& label,
-               const std::vector<Sample>& samples) {
+               int par_workers, const std::vector<Sample>& samples) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
     std::abort();
   }
-  std::fprintf(f, "{\n  \"label\": \"%s\",\n  \"results\": [\n",
-               label.c_str());
+  std::fprintf(f,
+               "{\n  \"label\": \"%s\",\n  \"hardware_threads\": %u,\n"
+               "  \"par_workers\": %d,\n  \"results\": [\n",
+               label.c_str(), std::thread::hardware_concurrency(),
+               par_workers);
   for (size_t i = 0; i < samples.size(); ++i) {
     const Sample& s = samples[i];
     std::fprintf(
@@ -181,11 +218,13 @@ void WriteJson(const std::string& path, const std::string& label,
         "    {\"workload\": \"%s\", \"mode\": \"%s\", \"n\": %d, "
         "\"reps\": %d, \"queries_per_sec\": %.3f, \"joins_per_sec\": %.1f, "
         "\"p50_ms\": %.4f, \"p95_ms\": %.4f, \"joins_ordered\": %lld, "
-        "\"entries\": %lld}%s\n",
+        "\"entries\": %lld, \"wall_seconds\": %.6f, "
+        "\"busy_seconds\": %.6f}%s\n",
         s.workload.c_str(), s.mode.c_str(), s.n, s.reps, s.queries_per_sec,
         s.joins_per_sec, s.p50_ms, s.p95_ms,
         static_cast<long long>(s.joins_ordered),
-        static_cast<long long>(s.entries), i + 1 < samples.size() ? "," : "");
+        static_cast<long long>(s.entries), s.wall_seconds, s.busy_seconds,
+        i + 1 < samples.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -199,6 +238,7 @@ int main(int argc, char** argv) {
   std::string label = "current";
   std::string out = "BENCH_enum.json";
   int max_n = 18;
+  int par_workers = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--label") == 0 && i + 1 < argc) {
       label = argv[++i];
@@ -206,16 +246,21 @@ int main(int argc, char** argv) {
       out = argv[++i];
     } else if (std::strcmp(argv[i], "--max-n") == 0 && i + 1 < argc) {
       max_n = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--par-workers") == 0 && i + 1 < argc) {
+      par_workers = std::atoi(argv[++i]);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--label NAME] [--out FILE] [--max-n N]\n",
+                   "usage: %s [--label NAME] [--out FILE] [--max-n N] "
+                   "[--par-workers N]\n",
                    argv[0]);
       return 2;
     }
   }
 
-  bench::Section("Enumeration-core throughput (label: " + label + ")");
+  bench::Section("Enumeration-core throughput (label: " + label +
+                 ", par_workers: " + std::to_string(par_workers) + ")");
   OptimizerOptions options = bench::SerialOptions();
+  options.parallel_workers = par_workers;
   TimeModel zero_model;  // throughput only; no time conversion needed
   CompileTimeEstimator estimator(zero_model, options);
   Optimizer optimizer(options);
@@ -239,19 +284,22 @@ int main(int argc, char** argv) {
         if (skipped) break;
         auto catalog = MakeSyntheticCatalog(n);
         QueryGraph q = MakeQuery(*catalog, workload, n);
-        Sample s = Measure(workload, mode, n, [&]() {
+        Sample s = Measure(workload, mode, n, [&]() -> RunResult {
           if (mode == "enumerate") {
             NullVisitor null_visitor;
-            return RunEnumeration(q, options.enumeration, &null_visitor);
+            return {RunEnumeration(q, options.enumeration, &null_visitor), 0};
           }
           if (mode == "estimate") {
-            return estimator.Estimate(q).enumeration;
+            CompileTimeEstimate est = estimator.Estimate(q);
+            return {est.enumeration, est.enumeration_busy_seconds};
           }
           if (mode == "governed") {
-            return governed_session.Estimate(q, zero_model, generous)
-                .enumeration;
+            CompileTimeEstimate est =
+                governed_session.Estimate(q, zero_model, generous);
+            return {est.enumeration, est.enumeration_busy_seconds};
           }
-          return bench::MustOptimize(optimizer, q, workload).stats.enumeration;
+          OptimizeResult r = bench::MustOptimize(optimizer, q, workload);
+          return {r.stats.enumeration, r.stats.enumeration_busy_seconds};
         });
         samples.push_back(s);
         std::printf(
@@ -267,7 +315,7 @@ int main(int argc, char** argv) {
       }
     }
   }
-  WriteJson(out, label, samples);
+  WriteJson(out, label, par_workers, samples);
   std::printf("\nwrote %s (%zu samples)\n", out.c_str(), samples.size());
   return 0;
 }

@@ -148,6 +148,27 @@ class ResourceBudget {
     return false;
   }
 
+  /// Folds one parallel-enumeration shard's charge deltas into this (the
+  /// master) budget. Shards charge private budgets during a rank — no
+  /// shared mutable state on the hot path — and the coordinator folds each
+  /// shard's per-rank delta here at the rank barrier. Count caps are thus
+  /// enforced globally at rank granularity (a shard whose private count
+  /// alone exceeds a cap still trips mid-rank and cancels the team); the
+  /// shard's own trip, recorded strictly earlier, wins over any cap the
+  /// folded totals newly exceed.
+  void FoldShardCharges(int64_t entries, int64_t plans, int64_t checkpoints,
+                        BudgetLimit shard_trip) {
+    if (!armed_) return;
+    if (shard_trip != BudgetLimit::kNone) Trip(shard_trip);
+    checkpoints_ += checkpoints;
+    if (limits_.max_checkpoints > 0 &&
+        checkpoints_ >= limits_.max_checkpoints) {
+      Trip(BudgetLimit::kCheckpoints);
+    }
+    ChargeEntries(entries);
+    ChargePlans(plans);
+  }
+
   /// Maps the tripped limit to its error Status: kDeadlineExceeded for the
   /// deadline, kResourceExhausted for the count caps; OK if not tripped.
   Status TripStatus() const;

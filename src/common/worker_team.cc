@@ -1,0 +1,67 @@
+#include "common/worker_team.h"
+
+#include "common/check.h"
+
+namespace cote {
+
+WorkerTeam::WorkerTeam(int workers) : workers_(workers) {
+  COTE_CHECK(workers >= 1);
+  threads_.reserve(static_cast<size_t>(workers_ - 1));
+  for (int i = 1; i < workers_; ++i) {
+    threads_.emplace_back([this, i] { ThreadMain(i); });
+  }
+}
+
+WorkerTeam::~WorkerTeam() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  round_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerTeam::Run(TaskFn fn, void* ctx) {
+  if (workers_ == 1) {
+    fn(ctx, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = fn;
+    ctx_ = ctx;
+    pending_ = workers_ - 1;
+    ++round_;
+  }
+  round_cv_.notify_all();
+  fn(ctx, 0);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void WorkerTeam::ThreadMain(int index) {
+  uint64_t seen_round = 0;
+  for (;;) {
+    TaskFn fn;
+    void* ctx;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      round_cv_.wait(lock, [this, seen_round] {
+        return shutdown_ || round_ != seen_round;
+      });
+      if (shutdown_) return;
+      seen_round = round_;
+      fn = fn_;
+      ctx = ctx_;
+    }
+    fn(ctx, index);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+      if (pending_ > 0) continue;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace cote

@@ -1,0 +1,63 @@
+#ifndef COTE_COMMON_WORKER_TEAM_H_
+#define COTE_COMMON_WORKER_TEAM_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cote {
+
+/// \brief Persistent worker threads with a barrier-style dispatch round.
+///
+/// A team of `workers` logical workers backed by `workers - 1` persistent
+/// threads; the caller's thread acts as worker 0 so a one-worker team runs
+/// inline with zero synchronization. Run() hands every worker the same
+/// task function and blocks until all of them return — the mutex hand-off
+/// on both sides of the round is the happens-before edge that lets workers
+/// publish results with plain (unsynchronized) writes, which is exactly
+/// the discipline the parallel enumerator's rank barrier needs: all
+/// rank-(k-1) shard state written before the barrier is visible to every
+/// worker after it.
+///
+/// The task is a plain function pointer plus context (same style as the
+/// session layer's StageObserverFn) so dispatch stays allocation-free.
+/// Threads are spawned once in the constructor and parked on a condition
+/// variable between rounds; the destructor shuts them down. Reusable by
+/// any fan-out/barrier consumer (e.g. SessionPool-style batch drivers).
+class WorkerTeam {
+ public:
+  using TaskFn = void (*)(void* ctx, int worker);
+
+  explicit WorkerTeam(int workers);
+  ~WorkerTeam();
+
+  WorkerTeam(const WorkerTeam&) = delete;
+  WorkerTeam& operator=(const WorkerTeam&) = delete;
+
+  int workers() const { return workers_; }
+
+  /// Runs fn(ctx, w) for every worker w in [0, workers), worker 0 on the
+  /// calling thread, and returns once all have finished. Not reentrant:
+  /// one round at a time.
+  void Run(TaskFn fn, void* ctx);
+
+ private:
+  void ThreadMain(int index);
+
+  const int workers_;
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable round_cv_;  // workers wait here between rounds
+  std::condition_variable done_cv_;   // the caller waits here during one
+  TaskFn fn_ = nullptr;
+  void* ctx_ = nullptr;
+  uint64_t round_ = 0;
+  int pending_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace cote
+
+#endif  // COTE_COMMON_WORKER_TEAM_H_

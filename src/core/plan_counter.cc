@@ -27,6 +27,8 @@ void PlanCounter::Rebind(const QueryGraph& graph,
   // live_states_ were already cleared by an earlier rebind.
   for (size_t i = 0; i < live_states_; ++i) states_[i].Clear();
   live_states_ = 0;
+  shard_current_bits_ = 0;
+  created_masks_.clear();
   if (index_.has_value()) index_->Reset(graph.num_tables());
 }
 
@@ -39,6 +41,23 @@ FlatSetIndex& PlanCounter::EntryIndex() const {
 PlanCounter::EntryState& PlanCounter::State(TableSet s) {
   COTE_DCHECK(!s.empty());
   COTE_DCHECK(graph_->AllTables().ContainsAll(s));
+  if (parent_ != nullptr) {
+    // Shard mode: within a rank this shard only ever writes the state of
+    // the mask it is currently filling, so state lookup is a one-slot
+    // cache over a sequentially claimed arena — no index, no sharing.
+    if (live_states_ > 0 && s.bits() == shard_current_bits_) {
+      return states_[live_states_ - 1];
+    }
+    if (live_states_ == states_.size()) states_.emplace_back();
+    EntryState& state = states_[live_states_];
+    // Recycled slots hold whatever AdoptShardRank swapped out of the
+    // parent (stale on a warm rerun), so always clear on claim.
+    state.Clear();
+    ++live_states_;
+    shard_current_bits_ = s.bits();
+    created_masks_.push_back(s.bits());
+    return state;
+  }
   bool created = false;
   const int32_t idx = EntryIndex().FindOrInsert(s.bits(), &created);
   if (created) {
@@ -61,9 +80,51 @@ const PlanCounter::EntryState* PlanCounter::FindState(TableSet s) const {
 }
 
 double PlanCounter::EntryCardinality(TableSet s) {
+  if (parent_ != nullptr) {
+    // Shard mode: the enumerator only asks about lower-rank sets, whose
+    // merged parent state (when present) always has its cardinality set
+    // by InitializeEntry — a pure read, safe across workers.
+    const EntryState* state = parent_->FindState(s);
+    if (state != nullptr && state->cardinality >= 0) return state->cardinality;
+    return card_->JoinRows(s);
+  }
   const int32_t idx = EntryIndex().Find(s.bits());
   if (idx >= 0) return MemoizedJoinRows(*card_, s, &states_[idx].cardinality);
   return card_->JoinRows(s);
+}
+
+const PlanCounter::EntryState& PlanCounter::InputState(TableSet s) {
+  if (parent_ != nullptr) {
+    const EntryState* state = parent_->FindState(s);
+    COTE_DCHECK(state != nullptr);
+    return *state;
+  }
+  return State(s);
+}
+
+void PlanCounter::AdoptShardRank(PlanCounter* shard) {
+  for (size_t i = 0; i < shard->created_masks_.size(); ++i) {
+    bool created = false;
+    const int32_t idx =
+        EntryIndex().FindOrInsert(shard->created_masks_[i], &created);
+    if (created) {
+      // Cold run: the adopted mask extends the dense-id space by exactly
+      // one slot, in the serial creation order (State() discipline).
+      COTE_CHECK_EQ(static_cast<size_t>(idx), live_states_);
+      if (live_states_ == states_.size()) states_.emplace_back();
+      ++live_states_;
+    }
+    // Warm rerun: the slot already exists and the shard rebuilt equal
+    // content, so replacing it is the parallel analogue of the serial
+    // warm rerun's idempotent re-push. Swap (not move) so both sides
+    // keep their list capacity.
+    std::swap(states_[idx], shard->states_[i]);
+  }
+  shard->created_masks_.clear();
+  shard->live_states_ = 0;
+  shard->shard_current_bits_ = 0;
+  estimated_ += shard->estimated_;
+  shard->estimated_ = JoinTypeCounts{};
 }
 
 void PlanCounter::InitializeEntry(TableSet s) {
@@ -254,8 +315,8 @@ void PlanCounter::OnJoin(TableSet outer, TableSet inner,
   COTE_DCHECK(!outer.empty());
   COTE_DCHECK(!inner.empty());
   COTE_DCHECK(!outer.Overlaps(inner));
-  EntryState& s = State(outer);
-  EntryState& l = State(inner);
+  const EntryState& s = InputState(outer);
+  const EntryState& l = InputState(inner);
   TableSet jset = outer.Union(inner);
   EntryState& j = State(jset);
 

@@ -93,6 +93,35 @@ class PlanCounter : public JoinVisitor {
   void Rebind(const QueryGraph& graph, const InterestingOrders& interesting,
               const CardinalityModel& cardinality);
 
+  // ---- Parallel enumeration support ---------------------------------
+  //
+  // In shard mode (BindShard) this counter is one worker's private view
+  // of a parent counter during a parallel rank: lookups of lower-rank
+  // entries resolve read-only through the parent (complete up to rank k-1
+  // under the rank-barrier invariant), while the entry being filled lives
+  // in the shard's own arena. The shard therefore touches no shared
+  // mutable state inside a rank; at the barrier the coordinator calls
+  // parent.AdoptShardRank(shard) for every shard in worker order, which
+  // replays the serial dense-id creation order exactly (worker slices are
+  // contiguous in ascending mask order).
+
+  /// Puts this counter in shard mode, resolving input entries through
+  /// `parent`. Pass nullptr to return to the normal (serial) mode.
+  void BindShard(const PlanCounter* parent) {
+    parent_ = parent;
+    shard_current_bits_ = 0;
+    created_masks_.clear();
+  }
+
+  /// Coordinator-side half of the rank barrier: adopts every entry state
+  /// `shard` created during the rank just finished (swapping the state
+  /// into this counter's arena at its serial dense id) and folds the
+  /// shard's per-rank plan counts. On a warm re-estimate the target slot
+  /// already exists and is simply replaced — the shard rebuilt the
+  /// identical state, by the same dedupe-idempotence that makes serial
+  /// warm reruns exact.
+  void AdoptShardRank(PlanCounter* shard);
+
   /// Property-list state of one MEMO entry.
   struct EntryState {
     ColumnEquivalence equiv;
@@ -139,6 +168,10 @@ class PlanCounter : public JoinVisitor {
   /// `method` and charges an attached budget.
   void AddPlans(JoinMethod method, int64_t count);
   EntryState& State(TableSet s);
+  /// Read-only state of a join *input* (strictly lower rank than the
+  /// entry being filled): the parent's merged state in shard mode, the
+  /// local state otherwise.
+  const EntryState& InputState(TableSet s);
   void PropagateOrders(const EntryState& from, TableSet j, EntryState* to);
   void PropagatePartitions(const EntryState& from, TableSet j,
                            EntryState* to);
@@ -163,6 +196,15 @@ class PlanCounter : public JoinVisitor {
   JoinTypeCounts estimated_;
   /// Optional governance: non-null while an estimate run is governed.
   ResourceBudget* budget_ = nullptr;
+  /// Shard mode (BindShard): the parent counter input lookups fall back
+  /// to. The states_ deque then serves as a per-rank arena — slots are
+  /// claimed sequentially per new mask and drained by AdoptShardRank.
+  const PlanCounter* parent_ = nullptr;
+  /// One-slot cache key for the mask this shard is currently filling
+  /// (its state is states_[live_states_ - 1]).
+  uint64_t shard_current_bits_ = 0;
+  /// Masks created this rank, in creation (= ascending mask) order.
+  std::vector<uint64_t> created_masks_;
   /// Per-entry state lives in a deque arena (stable references across
   /// growth) addressed through the flat set index: for n <= 20 a state
   /// lookup on the enumeration hot path is one array load instead of a

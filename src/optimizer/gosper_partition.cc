@@ -1,0 +1,66 @@
+#include "optimizer/gosper_partition.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/check.h"
+
+namespace cote {
+namespace {
+
+// Pascal's triangle up to C(20, k); entries with k > n stay zero, which
+// the unranking scan relies on (C(b, k) == 0 whenever b < k).
+constexpr auto kBinomial = [] {
+  std::array<std::array<int64_t, kGosperPartitionMaxTables + 1>,
+             kGosperPartitionMaxTables + 1>
+      b{};
+  for (int n = 0; n <= kGosperPartitionMaxTables; ++n) {
+    b[n][0] = 1;
+    for (int k = 1; k <= n; ++k) {
+      b[n][k] = b[n - 1][k - 1] + b[n - 1][k];
+    }
+  }
+  return b;
+}();
+
+}  // namespace
+
+int64_t GosperRankSize(int n, int k) {
+  COTE_CHECK(n >= 0 && n <= kGosperPartitionMaxTables);
+  COTE_CHECK(k >= 0 && k <= n);
+  return kBinomial[n][k];
+}
+
+uint64_t GosperUnrank(int n, int k, int64_t m) {
+  COTE_CHECK(k >= 1 && k <= n && n <= kGosperPartitionMaxTables);
+  COTE_DCHECK(m >= 0 && m < kBinomial[n][k]);
+  uint64_t mask = 0;
+  for (int b = n - 1; b >= 0 && k > 0; --b) {
+    // Colex combinadic: bit b is set exactly when at least C(b, k) masks
+    // of popcount k fit strictly below it.
+    const int64_t below = kBinomial[b][k];
+    if (below <= m) {
+      mask |= uint64_t{1} << b;
+      m -= below;
+      --k;
+    }
+  }
+  COTE_DCHECK_EQ(k, 0);
+  COTE_DCHECK_EQ(m, 0);
+  return mask;
+}
+
+GosperSlice PartitionGosperRank(int n, int k, int worker, int num_workers) {
+  COTE_CHECK(num_workers >= 1);
+  COTE_CHECK(worker >= 0 && worker < num_workers);
+  const int64_t total = GosperRankSize(n, k);
+  const int64_t base = total / num_workers;
+  const int64_t remainder = total % num_workers;
+  const int64_t begin =
+      worker * base + std::min<int64_t>(worker, remainder);
+  const int64_t count = base + (worker < remainder ? 1 : 0);
+  if (count == 0) return GosperSlice{};
+  return GosperSlice{GosperUnrank(n, k, begin), count};
+}
+
+}  // namespace cote

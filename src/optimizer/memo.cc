@@ -92,13 +92,16 @@ Plan* Memo::NewPlan() {
 }
 
 bool Memo::Insert(MemoEntry* entry, Plan* plan) {
+  return InsertPruned(graph_.wants_first_rows(), entry, plan);
+}
+
+bool Memo::InsertPruned(bool track_pipeline, MemoEntry* entry, Plan* plan) {
   COTE_DCHECK(entry != nullptr);
   COTE_DCHECK(plan != nullptr);
   // Dominance: q dominates p if q is no more expensive and q's properties
   // are at least as general (q's order prefix-satisfies p's, q's partition
   // satisfies p's requirement, and — for first-rows queries, where the
   // pipelinable property is interesting — q pipelines whenever p does).
-  const bool track_pipeline = graph_.wants_first_rows();
   auto dominates = [track_pipeline](const Plan* q, const Plan* p) {
     return q->cost <= p->cost && q->order.SatisfiesPrefix(p->order) &&
            q->partition.Satisfies(p->partition) &&
@@ -115,6 +118,79 @@ bool Memo::Insert(MemoEntry* entry, Plan* plan) {
               plans.end());
   plans.push_back(plan);
   return true;
+}
+
+Memo::~Memo() = default;
+
+void Memo::PrepareShards(int count) {
+  while (static_cast<int>(shards_.size()) < count) {
+    shards_.push_back(std::make_unique<MemoShard>(this));
+  }
+}
+
+void Memo::AdoptShardRank() {
+  for (const std::unique_ptr<MemoShard>& shard : shards_) {
+    for (MemoEntry* e : shard->created_) {
+      bool fresh = false;
+      const int32_t idx = Index().FindOrInsert(e->set().bits(), &fresh);
+      // Workers own disjoint mask slices and the memo is complete only up
+      // to the previous rank, so every adopted entry is new; the dense id
+      // must extend the creation order by exactly one slot — the same
+      // discipline GetOrCreate enforces on the serial path, which is what
+      // makes the merged id layout bit-identical to a serial run.
+      COTE_CHECK(fresh);
+      COTE_CHECK_EQ(static_cast<size_t>(idx), creation_order_.size());
+      creation_order_.push_back(e);
+    }
+    shard->created_.clear();
+    shard->current_ = nullptr;
+    plans_allocated_ += shard->plans_allocated_;
+    shard->plans_allocated_ = 0;
+  }
+}
+
+MemoEntry* MemoShard::GetOrCreate(TableSet s, bool* created) {
+  COTE_DCHECK(!s.empty());
+  if (current_ != nullptr && current_->set_.bits() == s.bits()) {
+    if (created != nullptr) *created = false;
+    return current_;
+  }
+  // Lower-rank sets were adopted by the parent at an earlier rank barrier.
+  MemoEntry* existing = parent_->Find(s);
+  if (existing != nullptr) {
+    if (created != nullptr) *created = false;
+    return existing;
+  }
+  if (created != nullptr) *created = true;
+  entry_arena_.emplace_back(s, parent_->graph_, &pred_scratch_);
+  created_.push_back(&entry_arena_.back());
+  current_ = created_.back();
+  return current_;
+}
+
+MemoEntry* MemoShard::Find(TableSet s) {
+  if (current_ != nullptr && current_->set_.bits() == s.bits()) {
+    return current_;
+  }
+  return parent_->Find(s);
+}
+
+const MemoEntry* MemoShard::Find(TableSet s) const {
+  if (current_ != nullptr && current_->set_.bits() == s.bits()) {
+    return current_;
+  }
+  return static_cast<const Memo*>(parent_)->Find(s);
+}
+
+Plan* MemoShard::NewPlan() {
+  ++plans_allocated_;
+  if (budget_ != nullptr) budget_->ChargePlans(1);
+  arena_.emplace_back();
+  return &arena_.back();
+}
+
+bool MemoShard::Insert(MemoEntry* entry, Plan* plan) {
+  return Memo::InsertPruned(parent_->graph_.wants_first_rows(), entry, plan);
 }
 
 int64_t Memo::plans_stored() const {

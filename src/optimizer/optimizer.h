@@ -30,6 +30,15 @@ struct OptimizerOptions {
   /// Number of shared-nothing nodes; > 1 selects parallel planning.
   int num_nodes = 1;
 
+  /// Worker threads for the bottom-up join enumeration itself (orthogonal
+  /// to num_nodes, which parallelizes the *planned* execution). 1 compiles
+  /// through the exact serial code path; > 1 partitions each popcount rank
+  /// across a worker team (see optimizer/parallel_enumerator.h) with plan
+  /// choice bit-identical to serial. Applies only to kBottomUp enumeration
+  /// of queries with 2..kGosperPartitionMaxTables tables; everything else
+  /// silently runs serial.
+  int parallel_workers = 1;
+
   /// Convenience factory for the parallel configuration used throughout
   /// the paper's experiments (4 logical nodes).
   static OptimizerOptions Parallel(int nodes = 4) {
@@ -61,6 +70,7 @@ struct OptimizerOptions {
       cost.num_nodes = 4;
       num_nodes = 4;
     }
+    if (parallel_workers < 1) parallel_workers = 1;
   }
 };
 

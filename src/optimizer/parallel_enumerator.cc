@@ -1,0 +1,208 @@
+#include "optimizer/parallel_enumerator.h"
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "optimizer/gosper_partition.h"
+
+namespace cote {
+
+namespace {
+// Same Cartesian-product tolerance as the serial enumerator.
+constexpr double kCardOneEpsilon = 1e-9;
+}  // namespace
+
+ParallelEnumerator::ParallelEnumerator(int workers)
+    : workers_(workers), team_(workers) {
+  COTE_CHECK(workers >= 1);
+  for (int w = 0; w < workers_; ++w) {
+    budgets_.emplace_back();
+    slots_.emplace_back();
+  }
+}
+
+void ParallelEnumerator::RankThunk(void* ctx, int worker) {
+  static_cast<ParallelEnumerator*>(ctx)->RunRankSlice(worker);
+}
+
+void ParallelEnumerator::RunRankSlice(int worker) {
+  const GosperSlice slice =
+      PartitionGosperRank(rank_n_, rank_k_, worker, workers_);
+  if (slice.count == 0) return;
+  StopWatch watch;
+  WorkerSlot& slot = slots_[worker];
+  EnumerationStats& stats = slot.stats;
+  std::vector<int>& preds = slot.preds;
+  JoinVisitor* visitor = rank_sharded_->Shard(worker);
+  ResourceBudget* budget = rank_armed_ ? &budgets_[worker] : nullptr;
+  const QueryGraph& graph = *rank_graph_;
+  const EnumeratorOptions& options = *rank_options_;
+
+  // The body below is the serial RunBottomUp mask/split loop verbatim
+  // (enumerator.cc), with three parallel deltas: the mask sequence is the
+  // worker's contiguous Gosper slice instead of the whole rank, the
+  // cancel flag is polled once per mask, and charges go to the private
+  // worker budget. Everything order-sensitive — split sequence, predicate
+  // gather, emission gating — is unchanged, which is what keeps the
+  // merged result bit-identical to a serial run.
+  uint64_t mask = slice.first_mask;
+  int64_t remaining = slice.count;
+  while (true) {
+    if (cancel_.load(std::memory_order_relaxed)) break;
+    if (budget != nullptr && budget->Checkpoint()) {
+      // Cooperative team unwind: every other worker stops at its next
+      // mask poll, so the overshoot is at most one mask per worker.
+      cancel_.store(true, std::memory_order_relaxed);
+      break;
+    }
+    TableSet ts(mask);
+    const uint64_t low = LowestBit(mask);
+    const uint64_t rest_bits = mask ^ low;
+    bool entry_exists = false;
+
+    for (uint64_t sub2 = (rest_bits - 1) & rest_bits;;
+         sub2 = (sub2 - 1) & rest_bits) {
+      const uint64_t sub = sub2 | low;
+      const uint64_t rest = rest_bits ^ sub2;
+      COTE_DCHECK_EQ(sub & rest, uint64_t{0});
+      COTE_DCHECK_EQ(sub | rest, mask);
+      // Lower-rank reads of the shared bitmap: complete and immutable
+      // during this rank (rank-k writes touch only rank-k bytes).
+      if (exists_[sub] != 0 && exists_[rest] != 0) {
+        TableSet s(sub), l(rest);
+        graph.ConnectingPredicates(s, l, &preds);
+        const bool cartesian = preds.empty();
+        bool allowed = true;
+        if (cartesian) {
+          allowed =
+              options.allow_all_cartesian ||
+              (options.cartesian_when_card_one &&
+               (visitor->EntryCardinality(s) <= 1.0 + kCardOneEpsilon ||
+                visitor->EntryCardinality(l) <= 1.0 + kCardOneEpsilon));
+        }
+        if (allowed) {
+          bool emitted = false;
+          auto try_emit = [&](TableSet outer, TableSet inner) {
+            if (inner.size() > options.max_composite_inner) return;
+            if (!graph.OuterEnabled(outer)) return;
+            if (!graph.OuterJoinOrientationOk(outer, inner)) return;
+            if (!emitted && !entry_exists) {
+              exists_[mask] = 1;
+              visitor->InitializeEntry(ts);
+              ++stats.entries_created;
+              if (budget != nullptr) budget->ChargeEntries(1);
+              entry_exists = true;
+            }
+            emitted = true;
+            visitor->OnJoin(outer, inner, preds, cartesian);
+            ++stats.joins_ordered;
+          };
+          try_emit(s, l);
+          try_emit(l, s);
+          if (emitted) ++stats.joins_unordered;
+        }
+      }
+      if (sub2 == 0) break;
+    }
+
+    if (--remaining == 0) break;
+    const uint64_t carry = mask + low;
+    mask = carry | (((mask ^ carry) >> 2) / low);
+  }
+  slot.busy_seconds += watch.ElapsedSeconds();
+}
+
+void ParallelEnumerator::FoldBudgets(ResourceBudget* master) {
+  if (master == nullptr || !master->armed()) return;
+  for (int w = 0; w < workers_; ++w) {
+    ResourceBudget& b = budgets_[w];
+    WorkerSlot& slot = slots_[w];
+    master->FoldShardCharges(b.entries_charged() - slot.prev_entries,
+                             b.plans_charged() - slot.prev_plans,
+                             b.checkpoints() - slot.prev_checkpoints,
+                             b.tripped_limit());
+    slot.prev_entries = b.entries_charged();
+    slot.prev_plans = b.plans_charged();
+    slot.prev_checkpoints = b.checkpoints();
+  }
+}
+
+ParallelEnumerationResult ParallelEnumerator::Run(
+    const QueryGraph& graph, const EnumeratorOptions& options,
+    ShardedVisitor* sharded, ResourceBudget* budget) {
+  COTE_CHECK(sharded != nullptr);
+  const int n = graph.num_tables();
+  COTE_CHECK(n >= 1 && n <= kGosperPartitionMaxTables);
+
+  ParallelEnumerationResult result;
+  result.workers = workers_;
+  // assign() reuses capacity, as in the serial enumerator's flat path.
+  exists_.assign(size_t{1} << n, 0);
+  cancel_.store(false, std::memory_order_relaxed);
+  const bool governed = budget != nullptr && budget->armed();
+  rank_armed_ = governed;
+  for (int w = 0; w < workers_; ++w) {
+    WorkerSlot& slot = slots_[w];
+    slot.stats = EnumerationStats{};
+    slot.busy_seconds = 0;
+    slot.prev_entries = 0;
+    slot.prev_plans = 0;
+    slot.prev_checkpoints = 0;
+    // Worker deadlines start here rather than at the master's Arm() — a
+    // few microseconds of extra allowance, bounded by this call's prefix.
+    if (governed) {
+      budgets_[w].Arm(budget->limits());
+    } else {
+      budgets_[w].Disarm();
+    }
+    sharded->SetShardBudget(w, governed ? &budgets_[w] : nullptr);
+  }
+  rank_graph_ = &graph;
+  rank_options_ = &options;
+  rank_sharded_ = sharded;
+  rank_n_ = n;
+
+  // ---- Rank 1: singleton entries, inline on the coordinator through
+  // shard 0 (the serial enumerator's base-table loop; no checkpoints).
+  {
+    StopWatch watch;
+    JoinVisitor* v0 = sharded->Shard(0);
+    WorkerSlot& slot0 = slots_[0];
+    for (int t = 0; t < n; ++t) {
+      TableSet s = TableSet::Single(t);
+      exists_[s.bits()] = 1;
+      v0->InitializeEntry(s);
+      ++slot0.stats.entries_created;
+      if (governed) budgets_[0].ChargeEntries(1);
+    }
+    slot0.busy_seconds += watch.ElapsedSeconds();
+  }
+  sharded->MergeRank();
+  FoldBudgets(budget);
+
+  // ---- Ranks 2..n: dispatch slices, then merge at the barrier. The
+  // merge runs even on a cancelled rank so partial shard state (counts,
+  // created entries) is adopted before the caller sees the memo/counter.
+  if (!(governed && budget->tripped())) {
+    for (int k = 2; k <= n; ++k) {
+      rank_k_ = k;
+      team_.Run(&ParallelEnumerator::RankThunk, this);
+      sharded->MergeRank();
+      FoldBudgets(budget);
+      if ((governed && budget->tripped()) ||
+          cancel_.load(std::memory_order_relaxed)) {
+        break;
+      }
+    }
+  }
+
+  for (int w = 0; w < workers_; ++w) {
+    sharded->SetShardBudget(w, nullptr);
+    result.stats.joins_unordered += slots_[w].stats.joins_unordered;
+    result.stats.joins_ordered += slots_[w].stats.joins_ordered;
+    result.stats.entries_created += slots_[w].stats.entries_created;
+    result.busy_seconds += slots_[w].busy_seconds;
+  }
+  return result;
+}
+
+}  // namespace cote

@@ -5,7 +5,8 @@
 
 namespace cote {
 
-PlanGenerator::PlanGenerator(const QueryGraph& graph, Memo* memo,
+template <typename MemoT>
+PlanGeneratorT<MemoT>::PlanGeneratorT(const QueryGraph& graph, MemoT* memo,
                              const CostModel& cost_model,
                              const CardinalityModel& cardinality,
                              const InterestingOrders& interesting,
@@ -17,7 +18,8 @@ PlanGenerator::PlanGenerator(const QueryGraph& graph, Memo* memo,
       interesting_(interesting),
       options_(options) {}
 
-bool PlanGenerator::SavePlan(MemoEntry* entry, Plan* plan) {
+template <typename MemoT>
+bool PlanGeneratorT<MemoT>::SavePlan(MemoEntry* entry, Plan* plan) {
   if (options_.pilot_pass && plan->cost > options_.pilot_cost) {
     ++pruned_by_pilot_;
     return false;
@@ -26,7 +28,8 @@ bool PlanGenerator::SavePlan(MemoEntry* entry, Plan* plan) {
   return memo_->Insert(entry, plan);
 }
 
-OrderProperty PlanGenerator::OutputOrder(const OrderProperty& order,
+template <typename MemoT>
+OrderProperty PlanGeneratorT<MemoT>::OutputOrder(const OrderProperty& order,
                                          const MemoEntry& j) const {
   if (order.IsNone()) return order;
   OrderProperty canonical = order.Canonicalize(j.equivalence());
@@ -36,13 +39,15 @@ OrderProperty PlanGenerator::OutputOrder(const OrderProperty& order,
   return OrderProperty::None();  // retired: collapses to DC
 }
 
-double PlanGenerator::EntryCardinality(TableSet s) {
+template <typename MemoT>
+double PlanGeneratorT<MemoT>::EntryCardinality(TableSet s) {
   MemoEntry* e = memo_->Find(s);
   if (e != nullptr) return MemoizedJoinRows(card_, s, e->mutable_cardinality());
   return card_.JoinRows(s);
 }
 
-void PlanGenerator::InitializeEntry(TableSet s) {
+template <typename MemoT>
+void PlanGeneratorT<MemoT>::InitializeEntry(TableSet s) {
   ScopedTimer timer(&init_time_);
   MemoEntry* entry = memo_->GetOrCreate(s);
   entry->set_cardinality(card_.JoinRows(s));
@@ -158,7 +163,8 @@ void PlanGenerator::InitializeEntry(TableSet s) {
   }
 }
 
-const Plan* PlanGenerator::InputPlan(MemoEntry* e, const OrderProperty& order,
+template <typename MemoT>
+const Plan* PlanGeneratorT<MemoT>::InputPlan(MemoEntry* e, const OrderProperty& order,
                                      const PartitionProperty& partition) {
   // 1. Natural plan satisfying both requirements.
   const Plan* best = e->CheapestSatisfying(order, partition);
@@ -241,11 +247,13 @@ const Plan* PlanGenerator::InputPlan(MemoEntry* e, const OrderProperty& order,
   return best;
 }
 
-const Plan* PlanGenerator::ReplicatedInput(MemoEntry* e) {
+template <typename MemoT>
+const Plan* PlanGeneratorT<MemoT>::ReplicatedInput(MemoEntry* e) {
   return InputPlan(e, OrderProperty::None(), PartitionProperty::Replicated());
 }
 
-std::vector<PartitionProperty> PlanGenerator::JoinPartitions(
+template <typename MemoT>
+std::vector<PartitionProperty> PlanGeneratorT<MemoT>::JoinPartitions(
     const MemoEntry& s, const MemoEntry& l,
     const std::vector<ColumnRef>& jcols, const MemoEntry& j) const {
   if (!options_.parallel) return {PartitionProperty::Serial()};
@@ -283,7 +291,8 @@ std::vector<PartitionProperty> PlanGenerator::JoinPartitions(
   return out;
 }
 
-void PlanGenerator::OnJoin(TableSet outer, TableSet inner,
+template <typename MemoT>
+void PlanGeneratorT<MemoT>::OnJoin(TableSet outer, TableSet inner,
                            const std::vector<int>& pred_indices,
                            bool cartesian) {
   ScopedTimer timer(&on_join_time_);
@@ -347,7 +356,8 @@ std::vector<ColumnRef> CanonicalJoinColumns(const QueryGraph& graph,
 
 }  // namespace
 
-const Plan* PlanGenerator::IndexProbeInner(
+template <typename MemoT>
+const Plan* PlanGeneratorT<MemoT>::IndexProbeInner(
     const MemoEntry& l, const std::vector<int>& preds) const {
   if (l.set().size() != 1 || preds.empty()) return nullptr;
   const int t = l.set().First();
@@ -365,7 +375,8 @@ const Plan* PlanGenerator::IndexProbeInner(
   return nullptr;
 }
 
-void PlanGenerator::GenerateNljn(MemoEntry* s, MemoEntry* l, MemoEntry* j,
+template <typename MemoT>
+void PlanGeneratorT<MemoT>::GenerateNljn(MemoEntry* s, MemoEntry* l, MemoEntry* j,
                                  const std::vector<int>& preds) {
   std::vector<Plan*> plans;
   {
@@ -484,7 +495,8 @@ void PlanGenerator::GenerateNljn(MemoEntry* s, MemoEntry* l, MemoEntry* j,
   for (Plan* p : plans) SavePlan(j, p);
 }
 
-void PlanGenerator::GenerateMgjn(MemoEntry* s, MemoEntry* l, MemoEntry* j,
+template <typename MemoT>
+void PlanGeneratorT<MemoT>::GenerateMgjn(MemoEntry* s, MemoEntry* l, MemoEntry* j,
                                  const std::vector<MergeCandidate>& candidates) {
   std::vector<Plan*> plans;
   {
@@ -548,7 +560,8 @@ void PlanGenerator::GenerateMgjn(MemoEntry* s, MemoEntry* l, MemoEntry* j,
   for (Plan* p : plans) SavePlan(j, p);
 }
 
-void PlanGenerator::GenerateHsjn(MemoEntry* s, MemoEntry* l, MemoEntry* j,
+template <typename MemoT>
+void PlanGeneratorT<MemoT>::GenerateHsjn(MemoEntry* s, MemoEntry* l, MemoEntry* j,
                                  const std::vector<int>& preds) {
   std::vector<Plan*> plans;
   {
@@ -589,5 +602,11 @@ void PlanGenerator::GenerateHsjn(MemoEntry* s, MemoEntry* l, MemoEntry* j,
   }
   for (Plan* p : plans) SavePlan(j, p);
 }
+
+// The two memo flavors the pipeline drives: the serial Memo (the alias
+// PlanGenerator, codegen-identical to the pre-template class) and the
+// per-worker MemoShard of the parallel enumerator.
+template class PlanGeneratorT<Memo>;
+template class PlanGeneratorT<MemoShard>;
 
 }  // namespace cote

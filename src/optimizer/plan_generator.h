@@ -50,13 +50,21 @@ struct PlanGenOptions {
 /// generation path and each MEMO insertion is timed so compilation time
 /// can be attributed per join method (Figure 2) and regressed into the
 /// per-plan-type coefficients Ct (§3.5).
-class PlanGenerator : public JoinVisitor {
+///
+/// Templated on the memo flavor so the parallel enumerator can run the
+/// *same generation code* against a per-worker MemoShard: MemoT supplies
+/// Find / GetOrCreate / NewPlan / Insert. The serial alias PlanGenerator
+/// (= PlanGeneratorT<Memo>) is what the serial pipeline instantiates —
+/// byte-for-byte the pre-template behavior. Definitions live in
+/// plan_generator.cc behind explicit instantiations for both flavors.
+template <typename MemoT>
+class PlanGeneratorT : public JoinVisitor {
  public:
-  PlanGenerator(const QueryGraph& graph, Memo* memo,
-                const CostModel& cost_model,
-                const CardinalityModel& cardinality,
-                const InterestingOrders& interesting,
-                const PlanGenOptions& options);
+  PlanGeneratorT(const QueryGraph& graph, MemoT* memo,
+                 const CostModel& cost_model,
+                 const CardinalityModel& cardinality,
+                 const InterestingOrders& interesting,
+                 const PlanGenOptions& options);
 
   // JoinVisitor interface -----------------------------------------------
   void InitializeEntry(TableSet s) override;
@@ -130,7 +138,7 @@ class PlanGenerator : public JoinVisitor {
       const std::vector<ColumnRef>& jcols, const MemoEntry& j) const;
 
   const QueryGraph& graph_;
-  Memo* memo_;
+  MemoT* memo_;
   const CostModel& cost_;
   const CardinalityModel& card_;
   const InterestingOrders& interesting_;
@@ -146,6 +154,9 @@ class PlanGenerator : public JoinVisitor {
   TimeAccumulator init_time_;
   TimeAccumulator on_join_time_;
 };
+
+/// The serial plan generator every existing caller uses.
+using PlanGenerator = PlanGeneratorT<Memo>;
 
 }  // namespace cote
 

@@ -52,6 +52,13 @@ struct OptimizeStats {
   double init_seconds = 0;   ///< base-table plans + logical properties
   double enum_seconds = 0;   ///< pure enumeration (Run minus visitor time)
 
+  /// Worker threads the enumeration actually ran with (1 = serial path).
+  int parallel_workers = 1;
+  /// Σ over workers of in-rank busy time; 0 in a serial run. On one
+  /// hardware thread this approaches total enumeration wall time — the
+  /// wall/busy gap is the dispatch + rank-merge overhead.
+  double enumeration_busy_seconds = 0;
+
   double other_seconds() const {
     double accounted = gen_seconds[0] + gen_seconds[1] + gen_seconds[2] +
                        save_seconds + init_seconds + enum_seconds;

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "optimizer/gosper_partition.h"
 
 namespace cote {
 
@@ -62,6 +63,7 @@ bool CompilationContext::Reset(const QueryGraph& graph) {
   // the new query on first use.
   counter_bound_ = false;
   enumerator_bound_ = false;
+  shard_counters_bound_ = false;
   ++stats_.context_rebinds;
   return false;
 }
@@ -76,6 +78,7 @@ void CompilationContext::AbandonBinding() {
   // flags force a Rebind on next use, which drops all their entry state.
   counter_bound_ = false;
   enumerator_bound_ = false;
+  shard_counters_bound_ = false;
 }
 
 void CompilationContext::Invalidate() {
@@ -88,6 +91,12 @@ void CompilationContext::Invalidate() {
   enumerator_.reset();
   counter_bound_ = false;
   enumerator_bound_ = false;
+  // The parallel enumerator (worker team) survives — it holds no query
+  // state beyond the reusable bitmap — but the shard counters and their
+  // graph-referencing cardinality models are dropped with the rest.
+  shard_counters_.clear();
+  shard_simple_cards_.clear();
+  shard_counters_bound_ = false;
 }
 
 const QueryGraph& CompilationContext::graph() const {
@@ -136,6 +145,48 @@ JoinEnumerator& CompilationContext::enumerator() {
   }
   enumerator_bound_ = true;
   return *enumerator_;
+}
+
+int CompilationContext::EffectiveParallelWorkers() const {
+  if (options_.parallel_workers <= 1) return 1;
+  if (options_.enumeration.kind != EnumeratorKind::kBottomUp) return 1;
+  const int n = graph().num_tables();
+  // Single-table queries have no rank to split; above the flat-bitmap
+  // ceiling the Gosper partitioner's binomial table does not reach.
+  if (n < 2 || n > kGosperPartitionMaxTables) return 1;
+  return options_.parallel_workers;
+}
+
+ParallelEnumerator& CompilationContext::parallel_enumerator() {
+  COTE_CHECK(options_.parallel_workers > 1);
+  if (!parallel_enum_) parallel_enum_.emplace(options_.parallel_workers);
+  return *parallel_enum_;
+}
+
+PlanCounter& CompilationContext::shard_counter(int w) {
+  if (!shard_counters_bound_) {
+    const int workers = options_.parallel_workers;
+    // Per-worker simple models: CardinalityModel memoizes internally
+    // without synchronization, so workers must not share one. Rebuilt
+    // per cold bind (they reference the bound graph).
+    shard_simple_cards_.clear();
+    for (int i = 0; i < workers; ++i) {
+      shard_simple_cards_.emplace_back(graph(), /*use_key_refinement=*/false);
+    }
+    for (int i = 0; i < workers; ++i) {
+      if (static_cast<size_t>(i) < shard_counters_.size()) {
+        shard_counters_[static_cast<size_t>(i)].Rebind(
+            graph(), interesting_orders(), shard_simple_cards_[i]);
+      } else {
+        shard_counters_.emplace_back(graph(), interesting_orders(),
+                                     shard_simple_cards_[i],
+                                     counter_options_);
+      }
+    }
+    for (PlanCounter& c : shard_counters_) c.BindShard(&counter());
+    shard_counters_bound_ = true;
+  }
+  return shard_counters_[static_cast<size_t>(w)];
 }
 
 EnumerationStats CompilationContext::Enumerate(JoinVisitor* visitor,

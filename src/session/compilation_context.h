@@ -2,6 +2,7 @@
 #define COTE_SESSION_COMPILATION_CONTEXT_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <optional>
 
@@ -11,6 +12,7 @@
 #include "optimizer/enumerator.h"
 #include "optimizer/memo.h"
 #include "optimizer/optimizer.h"
+#include "optimizer/parallel_enumerator.h"
 #include "optimizer/properties/interesting_orders.h"
 #include "query/query_graph.h"
 #include "session/compilation_stats.h"
@@ -95,6 +97,27 @@ class CompilationContext {
   /// Session-owned bottom-up enumerator (scratch reused across queries).
   JoinEnumerator& enumerator();
 
+  // Parallel enumeration (options_.parallel_workers > 1). --------------
+
+  /// Workers the bound query's enumeration will actually use: the
+  /// configured parallel_workers when the eligibility gate passes
+  /// (bottom-up search, 2..kGosperPartitionMaxTables tables), 1 — the
+  /// exact serial code path — otherwise.
+  int EffectiveParallelWorkers() const;
+
+  /// Session-owned rank-parallel enumerator (persistent worker team,
+  /// bitmap reused across queries). Only call when
+  /// options().parallel_workers > 1.
+  ParallelEnumerator& parallel_enumerator();
+
+  /// Worker w's private estimate-mode counter, in shard mode against
+  /// counter(). First use after a cold bind (re)builds all shard
+  /// counters and their per-worker simple cardinality models (workers
+  /// must not share one model: its memoization cache is unguarded);
+  /// warm binds reuse everything, keeping warm estimates
+  /// allocation-steady once each worker's cache has saturated.
+  PlanCounter& shard_counter(int w);
+
   /// Runs join enumeration for the bound query over `visitor`, through
   /// the session enumerator when the options select bottom-up search and
   /// through the top-down dispatcher otherwise. A non-null `budget` makes
@@ -141,6 +164,16 @@ class CompilationContext {
   std::optional<JoinEnumerator> enumerator_;
   bool counter_bound_ = false;
   bool enumerator_bound_ = false;
+
+  // Parallel-enumeration state. The enumerator (worker team + bitmap) is
+  // options-lifetime; the shard counters Rebind in place across queries
+  // (arena reuse, like counter_), while their cardinality models — which
+  // reference the bound graph — are rebuilt per cold bind. Deques: both
+  // types are non-movable.
+  std::optional<ParallelEnumerator> parallel_enum_;
+  std::deque<CardinalityModel> shard_simple_cards_;
+  std::deque<PlanCounter> shard_counters_;
+  bool shard_counters_bound_ = false;
 
   CompilationStats stats_;
   ResourceBudget budget_;

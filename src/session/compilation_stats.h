@@ -27,6 +27,10 @@ struct CompileTimeEstimate {
   /// Wall time this estimate itself took — the overhead Figure 4 compares
   /// against the actual compilation time.
   double estimation_seconds = 0;
+  /// Worker threads the counting enumeration ran with (1 = serial path).
+  int parallel_workers = 1;
+  /// Σ over workers of in-rank busy time; 0 in a serial run.
+  double enumeration_busy_seconds = 0;
   /// §6.2: lower bound of MEMO memory at this level, from the interesting
   /// property list lengths × bytes per stored plan.
   int64_t estimated_memo_bytes = 0;

@@ -1,14 +1,133 @@
 #include "session/pipeline.h"
 
 #include <algorithm>
+#include <deque>
+#include <optional>
 #include <utility>
 
 #include "common/fault_points.h"
 #include "common/timer.h"
 #include "optimizer/completion.h"
 #include "optimizer/greedy_optimizer.h"
+#include "optimizer/parallel_enumerator.h"
 
 namespace cote {
+
+namespace {
+
+/// Plan-mode sharded visitor: one PlanGeneratorT<MemoShard> per worker,
+/// each generating into a private memo shard with a private
+/// refined-cardinality model (CardinalityModel memoizes internally
+/// without synchronization, so workers must not share one). Per-compile,
+/// like the serial PlanGenerator; the memo owns its shards, so merged
+/// entries and plans share the result's lifetime.
+class ShardedPlanGeneration : public ShardedVisitor {
+ public:
+  ShardedPlanGeneration(const QueryGraph& graph, Memo* memo,
+                        const CostModel& cost,
+                        const InterestingOrders& interesting,
+                        const PlanGenOptions& options, int workers)
+      : memo_(memo) {
+    memo_->PrepareShards(workers);
+    for (int w = 0; w < workers; ++w) {
+      cards_.emplace_back(graph, /*use_key_refinement=*/true);
+    }
+    for (int w = 0; w < workers; ++w) {
+      gens_.emplace_back(graph, memo_->shard(w), cost,
+                         cards_[static_cast<size_t>(w)], interesting,
+                         options);
+    }
+  }
+
+  JoinVisitor* Shard(int worker) override {
+    return &gens_[static_cast<size_t>(worker)];
+  }
+  void SetShardBudget(int worker, ResourceBudget* budget) override {
+    memo_->shard(worker)->set_budget(budget);
+  }
+  void MergeRank() override { memo_->AdoptShardRank(); }
+
+  // Σ over workers: the parallel run's equivalents of the serial
+  // generator's counters and timers (each is worker-private during the
+  // run, so the sums are exact, not racy snapshots).
+  JoinTypeCounts join_plans_generated() const {
+    JoinTypeCounts total;
+    for (const auto& g : gens_) total += g.join_plans_generated();
+    return total;
+  }
+  int64_t enforcer_plans() const {
+    int64_t n = 0;
+    for (const auto& g : gens_) n += g.enforcer_plans();
+    return n;
+  }
+  int64_t scan_plans() const {
+    int64_t n = 0;
+    for (const auto& g : gens_) n += g.scan_plans();
+    return n;
+  }
+  int64_t pruned_by_pilot() const {
+    int64_t n = 0;
+    for (const auto& g : gens_) n += g.pruned_by_pilot();
+    return n;
+  }
+  double gen_seconds(JoinMethod m) const {
+    double s = 0;
+    for (const auto& g : gens_) s += g.gen_time(m).TotalSeconds();
+    return s;
+  }
+  double save_seconds() const {
+    double s = 0;
+    for (const auto& g : gens_) s += g.save_time().TotalSeconds();
+    return s;
+  }
+  double init_seconds() const {
+    double s = 0;
+    for (const auto& g : gens_) s += g.init_time().TotalSeconds();
+    return s;
+  }
+  double visitor_seconds() const {
+    double s = 0;
+    for (const auto& g : gens_) s += g.visitor_seconds();
+    return s;
+  }
+
+ private:
+  Memo* memo_;
+  std::deque<CardinalityModel> cards_;  // non-movable; deque for stability
+  std::deque<PlanGeneratorT<MemoShard>> gens_;
+};
+
+/// Estimate-mode sharded visitor over the context's session-owned shard
+/// counters (arena reuse across queries — warm estimates stay
+/// allocation-steady). MergeRank adopts in worker order, replaying the
+/// serial entry-creation order.
+class ShardedPlanCounting : public ShardedVisitor {
+ public:
+  ShardedPlanCounting(CompilationContext* ctx, int workers)
+      : ctx_(ctx), workers_(workers) {
+    // Materialize every shard counter up front: worker threads must not
+    // hit the lazy build path concurrently.
+    for (int w = 0; w < workers_; ++w) ctx_->shard_counter(w);
+  }
+
+  JoinVisitor* Shard(int worker) override {
+    return &ctx_->shard_counter(worker);
+  }
+  void SetShardBudget(int worker, ResourceBudget* budget) override {
+    ctx_->shard_counter(worker).set_budget(budget);
+  }
+  void MergeRank() override {
+    for (int w = 0; w < workers_; ++w) {
+      ctx_->counter().AdoptShardRank(&ctx_->shard_counter(w));
+    }
+  }
+
+ private:
+  CompilationContext* ctx_;
+  int workers_;
+};
+
+}  // namespace
 
 StatusOr<OptimizeResult> CompilationPipeline::CompilePlan(
     const QueryGraph& graph) {
@@ -122,10 +241,26 @@ StatusOr<OptimizeResult> CompilationPipeline::PlanHigh(
 
   // ---- Enumerate. The memo charges each generated plan while armed; the
   // pointer is cleared before any path lets the memo escape into the
-  // result (which can outlive the session-owned budget).
+  // result (which can outlive the session-owned budget). With
+  // parallel_workers > 1 and an eligible query the rank-parallel
+  // enumerator runs instead, generating through per-worker memo shards
+  // (plans charged to per-worker budgets, folded at rank barriers);
+  // otherwise this is the exact serial code path.
   StopWatch enum_watch;
+  const int par_workers = ctx_->EffectiveParallelWorkers();
+  std::optional<ShardedPlanGeneration> sharded;
+  double busy_seconds = 0;
   memo->set_budget(armed);
-  result.stats.enumeration = ctx_->Enumerate(&generator, armed);
+  if (par_workers > 1) {
+    sharded.emplace(graph, memo, cost, interesting,
+                    ctx_->options().plangen, par_workers);
+    ParallelEnumerationResult par = ctx_->parallel_enumerator().Run(
+        graph, ctx_->options().enumeration, &*sharded, armed);
+    result.stats.enumeration = par.stats;
+    busy_seconds = par.busy_seconds;
+  } else {
+    result.stats.enumeration = ctx_->Enumerate(&generator, armed);
+  }
   memo->set_budget(nullptr);
   double run_seconds = enum_watch.ElapsedSeconds();
   stages.enumerate = run_seconds;
@@ -164,24 +299,43 @@ StatusOr<OptimizeResult> CompilationPipeline::PlanHigh(
     return fault;
   }
 
-  // ---- Finalize: statistics.
+  // ---- Finalize: statistics. The parallel branch reads the Σ-accessors
+  // of the sharded visitor; every summed counter and timer is the exact
+  // quantity the serial generator reports (worker-private during the
+  // run), so the two branches fill identical fields the same way.
   stage.Restart();
   OptimizeStats& st = result.stats;
-  st.join_plans_generated = generator.join_plans_generated();
-  st.enforcer_plans = generator.enforcer_plans();
-  st.scan_plans = generator.scan_plans();
-  st.pruned_by_pilot = generator.pruned_by_pilot();
+  if (sharded.has_value()) {
+    st.join_plans_generated = sharded->join_plans_generated();
+    st.enforcer_plans = sharded->enforcer_plans();
+    st.scan_plans = sharded->scan_plans();
+    st.pruned_by_pilot = sharded->pruned_by_pilot();
+    for (int m = 0; m < kNumJoinMethods; ++m) {
+      st.gen_seconds[m] = sharded->gen_seconds(static_cast<JoinMethod>(m));
+    }
+    st.save_seconds = sharded->save_seconds();
+    st.init_seconds = sharded->init_seconds();
+    st.enum_seconds = std::max(0.0, run_seconds - sharded->visitor_seconds());
+    st.parallel_workers = par_workers;
+    st.enumeration_busy_seconds = busy_seconds;
+  } else {
+    st.join_plans_generated = generator.join_plans_generated();
+    st.enforcer_plans = generator.enforcer_plans();
+    st.scan_plans = generator.scan_plans();
+    st.pruned_by_pilot = generator.pruned_by_pilot();
+    for (int m = 0; m < kNumJoinMethods; ++m) {
+      st.gen_seconds[m] =
+          generator.gen_time(static_cast<JoinMethod>(m)).TotalSeconds();
+    }
+    st.save_seconds = generator.save_time().TotalSeconds();
+    st.init_seconds = generator.init_time().TotalSeconds();
+    st.enum_seconds =
+        std::max(0.0, run_seconds - generator.visitor_seconds());
+  }
   st.plans_stored = memo->plans_stored();
   st.memo_entries = memo->num_entries();
   st.memo_bytes = memo->ApproxMemoryBytes();
   st.best_cost = result.best_plan->cost;
-  for (int m = 0; m < kNumJoinMethods; ++m) {
-    st.gen_seconds[m] =
-        generator.gen_time(static_cast<JoinMethod>(m)).TotalSeconds();
-  }
-  st.save_seconds = generator.save_time().TotalSeconds();
-  st.init_seconds = generator.init_time().TotalSeconds();
-  st.enum_seconds = std::max(0.0, run_seconds - generator.visitor_seconds());
   // Stage timer stops before the total snapshot; see PlanLow.
   stages.finalize = stage.ElapsedSeconds();
   st.total_seconds = watch.ElapsedSeconds();
@@ -277,10 +431,24 @@ CompileTimeEstimate CompilationPipeline::EstimateImpl(
   Notify(CompileStage::kBind, stages.bind, /*estimate_mode=*/true);
 
   // ---- Enumerate (plan-counting visitor — §3.1's other half). The
-  // counter charges each counted plan while armed.
+  // counter charges each counted plan while armed. With
+  // parallel_workers > 1 and an eligible query the rank-parallel
+  // enumerator counts through per-worker shard counters (adopted into
+  // `counter` at every rank barrier, so the merged counts and entry
+  // states are bit-identical to serial); otherwise the exact serial path.
   stage.Restart();
+  const int par_workers = ctx_->EffectiveParallelWorkers();
   counter.set_budget(armed);
-  out.enumeration = ctx_->Enumerate(&counter, armed);
+  if (par_workers > 1) {
+    ShardedPlanCounting sharded(ctx_, par_workers);
+    ParallelEnumerationResult par = ctx_->parallel_enumerator().Run(
+        graph, ctx_->options().enumeration, &sharded, armed);
+    out.enumeration = par.stats;
+    out.parallel_workers = par_workers;
+    out.enumeration_busy_seconds = par.busy_seconds;
+  } else {
+    out.enumeration = ctx_->Enumerate(&counter, armed);
+  }
   counter.set_budget(nullptr);
   stages.enumerate = stage.ElapsedSeconds();
   Notify(CompileStage::kEnumerate, stages.enumerate, /*estimate_mode=*/true);

@@ -1,0 +1,156 @@
+// Boundary tests of the Gosper-rank partitioner (satellite of the
+// parallel-enumerator PR): worker slices must exactly tile every rank in
+// ascending mask order — no matter how the rank size and worker count
+// divide — because the rank-barrier merge replays slices in worker order
+// and any gap, overlap, or misordering would silently break the
+// bit-identical-to-serial guarantee.
+
+#include "optimizer/gosper_partition.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace cote {
+namespace {
+
+int Popcount(uint64_t x) {
+  int n = 0;
+  for (; x != 0; x &= x - 1) ++n;
+  return n;
+}
+
+/// All rank-k masks of an n-bit universe via Gosper's hack — the exact
+/// iteration the serial enumerator performs.
+std::vector<uint64_t> GosperSequence(int n, int k) {
+  std::vector<uint64_t> masks;
+  if (k < 1 || k > n) return masks;
+  const uint64_t limit = uint64_t{1} << n;
+  uint64_t mask = (uint64_t{1} << k) - 1;
+  while (mask < limit) {
+    masks.push_back(mask);
+    const uint64_t low = mask & (~mask + 1);
+    const uint64_t carry = mask + low;
+    if (carry >= limit) break;
+    mask = carry | (((mask ^ carry) >> 2) / low);
+  }
+  return masks;
+}
+
+TEST(GosperRankSizeTest, MatchesIterationCounts) {
+  for (int n = 1; n <= 12; ++n) {
+    for (int k = 1; k <= n; ++k) {
+      EXPECT_EQ(GosperRankSize(n, k),
+                static_cast<int64_t>(GosperSequence(n, k).size()))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(GosperUnrankTest, ReproducesTheFullSequence) {
+  for (int n = 1; n <= 10; ++n) {
+    for (int k = 1; k <= n; ++k) {
+      const std::vector<uint64_t> seq = GosperSequence(n, k);
+      for (int64_t m = 0; m < static_cast<int64_t>(seq.size()); ++m) {
+        EXPECT_EQ(GosperUnrank(n, k, m), seq[static_cast<size_t>(m)])
+            << "n=" << n << " k=" << k << " m=" << m;
+      }
+    }
+  }
+}
+
+TEST(GosperUnrankTest, CeilingWidthSpotChecks) {
+  const int n = kGosperPartitionMaxTables;
+  for (int k = 1; k <= n; ++k) {
+    // First and last mask of every rank at the n=20 ceiling: the first
+    // rank-k mask is the low k bits, the last is the high k bits.
+    const int64_t total = GosperRankSize(n, k);
+    EXPECT_EQ(GosperUnrank(n, k, 0), (uint64_t{1} << k) - 1);
+    EXPECT_EQ(GosperUnrank(n, k, total - 1),
+              ((uint64_t{1} << k) - 1) << (n - k));
+  }
+  // C(20, 10) = 184756, the widest rank at the ceiling.
+  EXPECT_EQ(GosperRankSize(n, 10), 184756);
+}
+
+/// Collects worker slices of one rank and checks they tile the Gosper
+/// sequence: ascending within and across workers, disjoint, complete.
+void CheckTiling(int n, int k, int workers) {
+  const std::vector<uint64_t> seq = GosperSequence(n, k);
+  std::vector<uint64_t> tiled;
+  int64_t last_count = GosperRankSize(n, k) + 1;
+  for (int w = 0; w < workers; ++w) {
+    const GosperSlice slice = PartitionGosperRank(n, k, w, workers);
+    // Remainder masks go to the lowest-numbered workers: counts are
+    // non-increasing in w and differ by at most one.
+    EXPECT_LE(slice.count, last_count) << "n=" << n << " k=" << k;
+    last_count = slice.count;
+    uint64_t mask = slice.first_mask;
+    for (int64_t i = 0; i < slice.count; ++i) {
+      EXPECT_EQ(Popcount(mask), k);
+      tiled.push_back(mask);
+      const uint64_t low = mask & (~mask + 1);
+      const uint64_t carry = mask + low;
+      if (i + 1 < slice.count) {
+        mask = carry | (((mask ^ carry) >> 2) / low);
+      }
+    }
+  }
+  ASSERT_EQ(tiled.size(), seq.size()) << "n=" << n << " k=" << k;
+  for (size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(tiled[i], seq[i]) << "n=" << n << " k=" << k << " i=" << i;
+  }
+}
+
+TEST(PartitionGosperRankTest, TilesEveryRankExactly) {
+  for (int n : {2, 3, 5, 8, 11}) {
+    for (int k = 1; k <= n; ++k) {
+      for (int workers : {1, 2, 3, 4, 7, 8}) CheckTiling(n, k, workers);
+    }
+  }
+}
+
+TEST(PartitionGosperRankTest, FewerMasksThanWorkers) {
+  // Rank of 3 masks (n=3, k=2) split 8 ways: workers 0..2 get one mask
+  // each, workers 3..7 get empty slices.
+  const int n = 3, k = 2, workers = 8;
+  ASSERT_EQ(GosperRankSize(n, k), 3);
+  for (int w = 0; w < workers; ++w) {
+    const GosperSlice slice = PartitionGosperRank(n, k, w, workers);
+    if (w < 3) {
+      EXPECT_EQ(slice.count, 1);
+      EXPECT_EQ(slice.first_mask, GosperUnrank(n, k, w));
+    } else {
+      EXPECT_EQ(slice.count, 0);
+    }
+  }
+  CheckTiling(n, k, workers);
+}
+
+TEST(PartitionGosperRankTest, SingleMaskRanks) {
+  // Popcount-1 of a 1-bit universe and popcount-n ranks hold one mask:
+  // worker 0 gets it, everyone else an empty slice.
+  for (int n : {1, 4, kGosperPartitionMaxTables}) {
+    for (int workers : {1, 2, 8}) {
+      ASSERT_EQ(GosperRankSize(n, n), 1);
+      const GosperSlice first = PartitionGosperRank(n, n, 0, workers);
+      EXPECT_EQ(first.count, 1);
+      EXPECT_EQ(first.first_mask, (uint64_t{1} << n) - 1);
+      for (int w = 1; w < workers; ++w) {
+        EXPECT_EQ(PartitionGosperRank(n, n, w, workers).count, 0);
+      }
+    }
+  }
+}
+
+TEST(PartitionGosperRankTest, CeilingRankTiling) {
+  // The n=20 ceiling with an uneven split: C(20,3) = 1140 masks over 7
+  // workers (1140 = 7*162 + 6 — six workers carry a remainder mask).
+  CheckTiling(kGosperPartitionMaxTables, 3, 7);
+  CheckTiling(kGosperPartitionMaxTables, 1, 3);
+  CheckTiling(kGosperPartitionMaxTables, 19, 4);
+}
+
+}  // namespace
+}  // namespace cote

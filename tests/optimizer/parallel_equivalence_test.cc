@@ -1,0 +1,232 @@
+// Golden equivalence for the rank-parallel enumerator.
+//
+// The parallel bottom-up enumerator (optimizer/parallel_enumerator.h)
+// must be *behaviorally invisible* at every worker count: identical
+// EnumerationStats, identical per-join-method counts in estimate mode,
+// and — in plan mode — a bit-identical MEMO (entry creation order, plan
+// lists, costs) and best plan. The goldens are the same 18 cases
+// enumerator_equivalence_test.cc pins against the pre-rewrite serial
+// enumerator (kept in sync by hand; regenerate there); the serial run is
+// additionally used as a direct oracle for plan mode, which has no
+// golden table.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/rng.h"
+#include "core/time_model.h"
+#include "query/query_builder.h"
+#include "session/session.h"
+
+namespace cote {
+namespace {
+
+std::shared_ptr<Catalog> MakeCatalog(int n) {
+  auto catalog = std::make_shared<Catalog>();
+  for (int i = 0; i < n; ++i) {
+    TableBuilder b("T" + std::to_string(i), 1000 + 37 * i);
+    b.Col("a", ColumnType::kInt, 100)
+        .Col("b", ColumnType::kInt, 50)
+        .Col("c", ColumnType::kInt, 25);
+    EXPECT_TRUE(catalog->AddTable(b.Build()).ok());
+  }
+  return catalog;
+}
+
+/// Same shapes as enumerator_equivalence_test.cc (kept in sync by hand).
+QueryGraph MakeShape(const Catalog& catalog, const std::string& shape,
+                     int n) {
+  QueryBuilder qb(catalog);
+  for (int i = 0; i < n; ++i) {
+    qb.AddTable("T" + std::to_string(i), "t" + std::to_string(i));
+  }
+  const char* cols[] = {"a", "b", "c"};
+  auto edge = [&](int x, int y, int e) {
+    qb.Join("t" + std::to_string(x), cols[e % 3], "t" + std::to_string(y),
+            cols[e % 3]);
+  };
+  if (shape == "linear") {
+    for (int i = 0; i + 1 < n; ++i) edge(i, i + 1, i);
+  } else if (shape == "star") {
+    for (int i = 1; i < n; ++i) edge(0, i, i - 1);
+  } else if (shape == "cyclic") {
+    for (int i = 0; i < n; ++i) edge(i, (i + 1) % n, i);
+    if (n >= 7) edge(0, n / 2, 1);
+  } else {  // random
+    Rng rng(0xc0feULL + static_cast<uint64_t>(n));
+    for (int i = 1; i < n; ++i) {
+      edge(static_cast<int>(rng.Uniform(static_cast<uint64_t>(i))), i, i);
+    }
+    for (int extra = 0; extra < n / 2; ++extra) {
+      int a = static_cast<int>(rng.Uniform(static_cast<uint64_t>(n)));
+      int b = static_cast<int>(rng.Uniform(static_cast<uint64_t>(n)));
+      if (a != b) edge(std::min(a, b), std::max(a, b), extra);
+    }
+  }
+  qb.OrderBy({{"t0", "b"}});
+  qb.GroupBy({{"t1", "c"}});
+  auto g = qb.Build();
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+struct GoldenCase {
+  const char* shape;
+  int n;
+  int max_composite_inner;
+  int64_t entries_created;
+  int64_t joins_unordered;
+  int64_t joins_ordered;
+  int64_t nljn;
+  int64_t mgjn;
+  int64_t hsjn;
+};
+
+// The 18 cases of enumerator_equivalence_test.cc (same values).
+const GoldenCase kGoldens[] = {
+    {"linear", 4, 2, 10, 10, 18, 58, 18, 18},
+    {"linear", 8, 2, 36, 74, 98, 310, 98, 98},
+    {"linear", 12, 2, 78, 202, 242, 754, 242, 242},
+    {"linear", 14, 2, 105, 290, 338, 1048, 338, 338},
+    {"linear", 10, 64, 55, 165, 330, 1026, 330, 330},
+    {"star", 4, 2, 11, 12, 21, 65, 21, 21},
+    {"star", 8, 2, 135, 448, 497, 1977, 497, 497},
+    {"star", 12, 2, 2059, 11264, 11385, 48957, 11385, 11385},
+    {"star", 14, 2, 8205, 53248, 53417, 234591, 53417, 53417},
+    {"star", 10, 64, 521, 2304, 4608, 14720, 4608, 4608},
+    {"cyclic", 5, 2, 21, 40, 60, 218, 70, 60},
+    {"cyclic", 8, 2, 93, 351, 400, 1786, 501, 400},
+    {"cyclic", 10, 2, 191, 857, 914, 4654, 1116, 914},
+    {"cyclic", 8, 64, 93, 400, 800, 3168, 1074, 800},
+    {"random", 8, 2, 90, 331, 386, 2128, 666, 386},
+    {"random", 12, 2, 838, 5337, 5465, 32167, 8212, 5465},
+    {"random", 14, 2, 3102, 24688, 24905, 174695, 41425, 24905},
+    {"random", 10, 64, 345, 2592, 5184, 26700, 9818, 5184},
+};
+
+const int kWorkerCounts[] = {1, 2, 4, 8};
+
+class ParallelGoldenEquivalenceTest
+    : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(ParallelGoldenEquivalenceTest, EstimateMatchesGoldensAtEveryWorkerCount) {
+  const GoldenCase& gc = GetParam();
+  auto catalog = MakeCatalog(gc.n);
+  QueryGraph g = MakeShape(*catalog, gc.shape, gc.n);
+  const TimeModel tm;
+
+  for (int workers : kWorkerCounts) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    OptimizerOptions opts;
+    opts.enumeration.max_composite_inner = gc.max_composite_inner;
+    opts.parallel_workers = workers;
+    CompilationSession session(opts);
+    CompileTimeEstimate est = session.Estimate(g, tm);
+
+    EXPECT_EQ(est.enumeration.entries_created, gc.entries_created);
+    EXPECT_EQ(est.enumeration.joins_unordered, gc.joins_unordered);
+    EXPECT_EQ(est.enumeration.joins_ordered, gc.joins_ordered);
+    EXPECT_EQ(est.plan_estimates.nljn(), gc.nljn);
+    EXPECT_EQ(est.plan_estimates.mgjn(), gc.mgjn);
+    EXPECT_EQ(est.plan_estimates.hsjn(), gc.hsjn);
+    EXPECT_EQ(est.parallel_workers, workers);
+    if (workers == 1) {
+      // parallel_workers = 1 is the exact serial code path: no team, no
+      // shards, no busy accounting.
+      EXPECT_EQ(est.enumeration_busy_seconds, 0.0);
+    } else {
+      EXPECT_GT(est.enumeration_busy_seconds, 0.0);
+    }
+
+    // Warm re-estimate through the same session: the shard counters are
+    // reused (arena reuse) and must reproduce the counts exactly.
+    CompileTimeEstimate warm = session.Estimate(g, tm);
+    EXPECT_EQ(warm.enumeration.entries_created, gc.entries_created);
+    EXPECT_EQ(warm.enumeration.joins_unordered, gc.joins_unordered);
+    EXPECT_EQ(warm.enumeration.joins_ordered, gc.joins_ordered);
+    EXPECT_EQ(warm.plan_estimates.nljn(), gc.nljn);
+    EXPECT_EQ(warm.plan_estimates.mgjn(), gc.mgjn);
+    EXPECT_EQ(warm.plan_estimates.hsjn(), gc.hsjn);
+    EXPECT_EQ(warm.plan_slots, est.plan_slots);
+  }
+}
+
+TEST_P(ParallelGoldenEquivalenceTest, PlanModeBitIdenticalToSerial) {
+  const GoldenCase& gc = GetParam();
+  auto catalog = MakeCatalog(gc.n);
+  QueryGraph g = MakeShape(*catalog, gc.shape, gc.n);
+
+  OptimizerOptions serial_opts;
+  serial_opts.enumeration.max_composite_inner = gc.max_composite_inner;
+  CompilationSession serial_session(serial_opts);
+  StatusOr<OptimizeResult> serial = serial_session.Optimize(g);
+  ASSERT_TRUE(serial.ok());
+  const OptimizeResult& s = serial.value();
+  EXPECT_EQ(s.stats.parallel_workers, 1);
+  EXPECT_EQ(s.stats.enumeration.entries_created, gc.entries_created);
+
+  for (int workers : kWorkerCounts) {
+    if (workers == 1) continue;  // the serial run above *is* workers=1
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    OptimizerOptions opts = serial_opts;
+    opts.parallel_workers = workers;
+    CompilationSession session(opts);
+    StatusOr<OptimizeResult> parallel = session.Optimize(g);
+    ASSERT_TRUE(parallel.ok());
+    const OptimizeResult& p = parallel.value();
+
+    // Identical enumeration and generation counters.
+    EXPECT_EQ(p.stats.enumeration.entries_created, gc.entries_created);
+    EXPECT_EQ(p.stats.enumeration.joins_unordered, gc.joins_unordered);
+    EXPECT_EQ(p.stats.enumeration.joins_ordered, gc.joins_ordered);
+    for (int m = 0; m < kNumJoinMethods; ++m) {
+      EXPECT_EQ(p.stats.join_plans_generated.counts[m],
+                s.stats.join_plans_generated.counts[m]);
+    }
+    EXPECT_EQ(p.stats.enforcer_plans, s.stats.enforcer_plans);
+    EXPECT_EQ(p.stats.scan_plans, s.stats.scan_plans);
+    EXPECT_EQ(p.stats.plans_stored, s.stats.plans_stored);
+    EXPECT_EQ(p.stats.memo_entries, s.stats.memo_entries);
+    EXPECT_EQ(p.stats.memo_bytes, s.stats.memo_bytes);
+    EXPECT_EQ(p.stats.parallel_workers, workers);
+
+    // Bit-identical plan choice.
+    ASSERT_NE(p.best_plan, nullptr);
+    EXPECT_EQ(p.best_plan->cost, s.best_plan->cost);
+    EXPECT_EQ(p.stats.best_cost, s.stats.best_cost);
+
+    // Bit-identical MEMO: same entry creation order (dense-id layout),
+    // and per entry the same plan list — length, cost sequence (insertion
+    // order matters: it encodes the pruning tie-breaks), and properties.
+    const auto& se = s.memo->entries_in_order();
+    const auto& pe = p.memo->entries_in_order();
+    ASSERT_EQ(pe.size(), se.size());
+    for (size_t i = 0; i < se.size(); ++i) {
+      EXPECT_EQ(pe[i]->set().bits(), se[i]->set().bits()) << "entry " << i;
+      EXPECT_EQ(pe[i]->cardinality(), se[i]->cardinality()) << "entry " << i;
+      const auto& sp = se[i]->plans();
+      const auto& pp = pe[i]->plans();
+      ASSERT_EQ(pp.size(), sp.size()) << "entry " << i;
+      for (size_t j = 0; j < sp.size(); ++j) {
+        EXPECT_EQ(pp[j]->cost, sp[j]->cost) << "entry " << i << " plan " << j;
+        EXPECT_EQ(pp[j]->op, sp[j]->op) << "entry " << i << " plan " << j;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Goldens, ParallelGoldenEquivalenceTest, ::testing::ValuesIn(kGoldens),
+    [](const ::testing::TestParamInfo<GoldenCase>& info) {
+      return std::string(info.param.shape) + "_n" +
+             std::to_string(info.param.n) + "_ci" +
+             std::to_string(info.param.max_composite_inner);
+    });
+
+}  // namespace
+}  // namespace cote

@@ -214,6 +214,32 @@ TEST(SessionFaultTest, InjectedTripAtNthCooperativeCheck) {
   EXPECT_EQ(first.status().ToString(), second.status().ToString());
 }
 
+TEST(SessionFaultTest, ParallelEnumerateFaultWinsOverBudgetTrip) {
+  // Same boundary ordering with the rank-parallel enumerator: the fault
+  // consult runs on the coordinator after the worker team has quiesced,
+  // and still precedes the trip check.
+  Workload w = StarWorkload();
+  const QueryGraph& q = w.queries[12];
+  ResourceLimits limits;
+  limits.max_memo_entries = 24;
+  OptimizerOptions par = SmallOptions();
+  par.parallel_workers = 4;
+  CompilationSession session(par);
+
+  FaultScript script;
+  script.FailAt(kFaultPlanEnumerate, nullptr, Status::Internal("boom"));
+  auto r = session.Optimize(q, limits);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().message(), "boom");
+
+  // The abandoned binding leaves no trace: a clean parallel compile next.
+  auto after = session.Optimize(q);
+  CompilationSession fresh(SmallOptions());
+  auto reference = fresh.Optimize(q);
+  ASSERT_TRUE(after.ok() && reference.ok());
+  ExpectSameOptimize(*after, *reference);
+}
+
 // ---------------------------------------------------------------------------
 // SessionPool under scripted faults: per-index isolation, determinism,
 // and pool reusability. Runs under TSan via run_checks.sh.

@@ -394,6 +394,32 @@ TEST(GovernanceTest, SerialGovernedBatchIsolatesPerIndex) {
   EXPECT_EQ(governed.stats().degraded_runs, 2);
 }
 
+TEST(GovernanceTest, ParallelWorkersDegradeAndRecoverLikeSerial) {
+  // Smoke-level cross-check here next to the serial governance suite; the
+  // full parallel trip matrix lives in parallel_session_test.cc.
+  Workload w = StarWorkload();
+  const QueryGraph& q = w.queries[12];
+  OptimizerOptions par = SmallOptions();
+  par.parallel_workers = 4;
+  CompilationSession parallel(par);
+  CompilationSession serial(SmallOptions());
+
+  auto pt = parallel.Optimize(q, TinyLimits());
+  auto st = serial.Optimize(q, TinyLimits());
+  ASSERT_TRUE(pt.ok() && st.ok());
+  EXPECT_TRUE(pt->degraded);
+  EXPECT_EQ(pt->tripped_limit, st->tripped_limit);
+  EXPECT_DOUBLE_EQ(pt->stats.best_cost, st->stats.best_cost);
+
+  // Warm-invariant after the trip: the governed-then-clean sequence ends
+  // bit-identical to a clean serial compile.
+  auto pa = parallel.Optimize(q);
+  auto sa = serial.Optimize(q);
+  ASSERT_TRUE(pa.ok() && sa.ok());
+  EXPECT_FALSE(pa->degraded);
+  ExpectSameOptimize(*pa, *sa);
+}
+
 TEST(GovernedSessionPoolTest, PoolMatchesSerialGovernedBatch) {
   // Fixture name contains "Session" on purpose: run_checks.sh's TSan gate
   // filters `ctest -R 'Session'`, and per-query re-arming of worker-local

@@ -62,6 +62,19 @@ HOT_FUNCTIONS = {
         "JoinPartitions",
         "OnJoin",
         "AddPlans",  # per-join accumulation funnel, charges the budget
+        "AdoptShardRank",  # rank-barrier merge: swaps slots, never copies
+    ],
+    # Rank-parallel enumeration: RunRankSlice is the serial mask/split
+    # loop run per worker slice (the whole per-join hot path under
+    # parallelism); the Gosper helpers run once per (rank, worker) to
+    # compute slice boundaries and must stay pure arithmetic.
+    "src/optimizer/parallel_enumerator.cc": [
+        "RunRankSlice",
+    ],
+    "src/optimizer/gosper_partition.cc": [
+        "GosperRankSize",
+        "GosperUnrank",
+        "PartitionGosperRank",
     ],
     # Resource governance: the slow half of ResourceBudget::Checkpoint()
     # runs once per deadline stride inside the enumeration loop. (The fast
@@ -119,12 +132,17 @@ HOT_FUNCTIONS = {
         "Root",
         "AddEquivalence",
     ],
+    # Matching is by unqualified name, so GetOrCreate / Find / NewPlan /
+    # Insert cover both Memo:: and the MemoShard:: shard-fill twins in
+    # this TU; AdoptShardRank is the per-rank merge (pointer adoption
+    # only — entries and plans stay in the shard arenas they were born in).
     "src/optimizer/memo.cc": [
         "Index",
         "GetOrCreate",
         "Find",
         "NewPlan",
         "Insert",
+        "AdoptShardRank",
     ],
     "src/query/query_graph.cc": [
         "ConnectingPredicates",
@@ -151,6 +169,10 @@ ALLOWED_RECEIVERS = {
     # arenas for entries/plans, flat bitmaps sized once per run).
     "plans", "plans_", "entry_arena_", "creation_order_", "arena_",
     "states_", "explored_flat_", "constructible_flat_",
+    # Shard rank lists: one push per entry *created* in the rank (not per
+    # join), cleared at the rank-barrier merge with capacity retained — so
+    # they are quiescent on warm reruns like the arenas above.
+    "created_", "created_masks_",
 }
 
 BANNED_ANYWHERE = [

@@ -15,11 +15,14 @@
 #                                     is also where the fault-injection
 #                                     suite's error paths run sanitized)
 #   7. TSan cycle                    (-DCOTE_SANITIZE=thread over the
-#                                     session + fault-injection tests: vets
-#                                     the pool's queue cursor, stats merge,
-#                                     the shared statement cache, per-query
-#                                     budget re-arming and the fault hook's
-#                                     install/consult protocol)
+#                                     session + fault-injection + parallel-
+#                                     enumerator tests: vets the pool's
+#                                     queue cursor, stats merge, the shared
+#                                     statement cache, per-query budget
+#                                     re-arming, the fault hook's install/
+#                                     consult protocol, and the rank-
+#                                     parallel enumerator's shard fill /
+#                                     barrier merge / cancel broadcast)
 #
 # Usage: tools/run_checks.sh [--skip-san] [--jobs N]
 #   --skip-san   skip the (slow) sanitizer configure/build/test cycles
@@ -162,7 +165,11 @@ fi
 # release/acquire install-consult pair; running the session tests (pool
 # determinism, stress, shared-cache contention) and the fault-injection
 # suite (SessionFaultTest / SessionPoolFaultTest fixtures — scripted pool
-# faults under concurrency) vets all of them. Only these two targets are
+# faults under concurrency) vets all of them. The rank-parallel enumerator
+# adds parallel_session_test (SessionParallel* fixtures: shard fill /
+# rank-barrier merge, the shared cancel flag, budget fold-and-trip, and
+# team teardown under injected faults — this run IS the race-freedom proof
+# the golden-equivalence suite assumes). Only these three targets are
 # built — the full suite under TSan would be prohibitively slow and
 # single-threaded tests have nothing for TSan to find.
 if [ "$SKIP_SAN" = 1 ]; then
@@ -174,7 +181,8 @@ else
   if cmake -S "$ROOT" -B "$TSAN_DIR" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DCOTE_SANITIZE=thread >/dev/null \
      && cmake --build "$TSAN_DIR" -j "$JOBS" \
-          --target session_test fault_injection_test >/dev/null; then
+          --target session_test fault_injection_test parallel_session_test \
+          >/dev/null; then
     # -R Session hits the session fixtures; unbuilt targets only register
     # lowercase *_NOT_BUILT placeholders, which the regex cannot match.
     if (cd "$TSAN_DIR" && ctest -j "$JOBS" -R 'Session' --output-on-failure \
