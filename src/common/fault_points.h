@@ -31,6 +31,10 @@ void ClearFaultHook();
 bool FaultHookInstalled();
 
 namespace fault_internal {
+// The registry's whole shared state: two atomics (inventoried in
+// tools/sync_inventory.json; the determinism lint cross-checks that file
+// against the declarations in fault_points.cc). hook_fn's acquire load
+// is the consult-side synchronization point; hook_ctx piggybacks on it.
 extern std::atomic<FaultHookFn> hook_fn;
 extern std::atomic<void*> hook_ctx;
 }  // namespace fault_internal

@@ -1,0 +1,77 @@
+#ifndef COTE_COMMON_MUTEX_H_
+#define COTE_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace cote {
+
+/// \brief Annotated mutex vocabulary for Clang Thread Safety Analysis.
+///
+/// libstdc++'s `std::mutex` / `std::lock_guard` carry no capability
+/// attributes, so `-Wthread-safety` cannot see through them; these
+/// zero-cost wrappers (inline forwarding, identical layout semantics)
+/// give the analysis the acquire/release structure it needs. Every
+/// shared-state structure in src/ uses this vocabulary so an unguarded
+/// access to a COTE_GUARDED_BY member is a *build* error on Clang, not a
+/// flaky TSan repro.
+///
+/// `Mutex` satisfies BasicLockable/Lockable (lowercase lock/unlock), so
+/// standard facilities still accept it where needed; prefer `MutexLock`
+/// for scoping and `CondVar` for waits, which keep the analysis engaged.
+class COTE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() COTE_ACQUIRE() { mu_.lock(); }
+  void unlock() COTE_RELEASE() { mu_.unlock(); }
+  bool try_lock() COTE_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII scope holding a Mutex; the annotated twin of std::lock_guard.
+class COTE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) COTE_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() COTE_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable waiting on a cote::Mutex.
+///
+/// Wait() requires the capability: the caller holds the mutex via a
+/// MutexLock, and the wait releases/reacquires it internally (through
+/// std::condition_variable_any, which treats Mutex as BasicLockable) —
+/// held on entry, held on exit, which is exactly what the analysis
+/// checks. Use explicit `while (!predicate) cv.Wait(mu);` loops rather
+/// than predicate overloads: the analysis cannot attach REQUIRES to a
+/// lambda, but it checks the guarded reads in an inline while-condition.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) COTE_REQUIRES(mu) { cv_.wait(mu); }
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace cote
+
+#endif  // COTE_COMMON_MUTEX_H_

@@ -90,6 +90,13 @@ struct ResourceLimits {
 ///
 /// Everything is allocation-free and stays within the hot-path lint; the
 /// armed-but-untripped path performs no heap traffic (session_alloc_test).
+///
+/// Deliberately unsynchronized: a budget is single-owner per compile —
+/// the parallel enumerator gives each worker a *private* budget and folds
+/// deltas at rank barriers (FoldShardCharges), so no budget is ever
+/// touched by two threads. The tree's actual shared-state surface is
+/// inventoried in tools/sync_inventory.json; this class is intentionally
+/// absent from it.
 class ResourceBudget {
  public:
   /// Deadline sampling stride: the clock is read at checkpoints 1,

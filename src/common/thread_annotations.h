@@ -1,0 +1,80 @@
+#ifndef COTE_COMMON_THREAD_ANNOTATIONS_H_
+#define COTE_COMMON_THREAD_ANNOTATIONS_H_
+
+/// \file
+/// Clang Thread Safety Analysis annotations for the COTE concurrency
+/// surface (-Wthread-safety; see src/common/mutex.h for the annotated
+/// mutex vocabulary the attributes attach to).
+///
+/// Every macro expands to a Clang `__attribute__` under Clang and to
+/// nothing elsewhere, so the annotations are a pure compile-time
+/// contract: zero code, zero data, zero runtime cost on every compiler,
+/// and a build error under `-Wthread-safety -Werror` (wired into the
+/// COTE_WERROR build on Clang) when a guarded member is touched without
+/// its capability. GCC builds — including this repo's sanitizer gates —
+/// see plain declarations.
+///
+/// Deployment inventory (what is annotated and why) lives in DESIGN.md
+/// §13; the machine-readable sync inventory the determinism lint
+/// cross-checks is tools/sync_inventory.json.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define COTE_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef COTE_THREAD_ANNOTATION_
+#define COTE_THREAD_ANNOTATION_(x)  // no-op on non-Clang compilers
+#endif
+
+/// Declares a type to be a capability (lockable): cote::Mutex carries it.
+#define COTE_CAPABILITY(x) COTE_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor
+/// and releases it in its destructor (cote::MutexLock).
+#define COTE_SCOPED_CAPABILITY COTE_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only while holding the given capability.
+#define COTE_GUARDED_BY(x) COTE_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given capability.
+#define COTE_PT_GUARDED_BY(x) COTE_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function requires the capability to be held on entry (and exit).
+#define COTE_REQUIRES(...) \
+  COTE_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability (held on exit, not on entry).
+#define COTE_ACQUIRE(...) \
+  COTE_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (held on entry, not on exit).
+#define COTE_RELEASE(...) \
+  COTE_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns the given value.
+#define COTE_TRY_ACQUIRE(...) \
+  COTE_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called while holding the capability (deadlock
+/// guard for non-reentrant mutexes).
+#define COTE_EXCLUDES(...) COTE_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Lock-ordering declarations between capabilities.
+#define COTE_ACQUIRED_BEFORE(...) \
+  COTE_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define COTE_ACQUIRED_AFTER(...) \
+  COTE_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define COTE_RETURN_CAPABILITY(x) COTE_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment explaining the out-of-band synchronization (in this
+/// codebase: acquire/release publication of lazily built caches, whose
+/// happens-before edge the static analysis cannot model). Uses are
+/// reviewed like hotpath-ok / det-ok lint escapes.
+#define COTE_NO_THREAD_SAFETY_ANALYSIS \
+  COTE_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // COTE_COMMON_THREAD_ANNOTATIONS_H_

@@ -14,10 +14,10 @@ WorkerTeam::WorkerTeam(int workers) : workers_(workers) {
 
 WorkerTeam::~WorkerTeam() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  round_cv_.notify_all();
+  round_cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
@@ -27,16 +27,16 @@ void WorkerTeam::Run(TaskFn fn, void* ctx) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     fn_ = fn;
     ctx_ = ctx;
     pending_ = workers_ - 1;
     ++round_;
   }
-  round_cv_.notify_all();
+  round_cv_.NotifyAll();
   fn(ctx, 0);
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(mu_);
+  while (pending_ != 0) done_cv_.Wait(mu_);
 }
 
 void WorkerTeam::ThreadMain(int index) {
@@ -45,10 +45,8 @@ void WorkerTeam::ThreadMain(int index) {
     TaskFn fn;
     void* ctx;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      round_cv_.wait(lock, [this, seen_round] {
-        return shutdown_ || round_ != seen_round;
-      });
+      MutexLock lock(mu_);
+      while (!shutdown_ && round_ == seen_round) round_cv_.Wait(mu_);
       if (shutdown_) return;
       seen_round = round_;
       fn = fn_;
@@ -56,11 +54,11 @@ void WorkerTeam::ThreadMain(int index) {
     }
     fn(ctx, index);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --pending_;
       if (pending_ > 0) continue;
     }
-    done_cv_.notify_one();
+    done_cv_.NotifyOne();
   }
 }
 

@@ -1,11 +1,12 @@
 #ifndef COTE_COMMON_WORKER_TEAM_H_
 #define COTE_COMMON_WORKER_TEAM_H_
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace cote {
 
@@ -20,6 +21,11 @@ namespace cote {
 /// the discipline the parallel enumerator's rank barrier needs: all
 /// rank-(k-1) shard state written before the barrier is visible to every
 /// worker after it.
+///
+/// The entire dispatch state is COTE_GUARDED_BY(mu_), so the hand-off
+/// discipline is statically checked under Clang -Wthread-safety: touching
+/// `round_` / `pending_` / the task slot outside the mutex is a build
+/// error, not a TSan finding.
 ///
 /// The task is a plain function pointer plus context (same style as the
 /// session layer's StageObserverFn) so dispatch stays allocation-free.
@@ -41,21 +47,21 @@ class WorkerTeam {
   /// Runs fn(ctx, w) for every worker w in [0, workers), worker 0 on the
   /// calling thread, and returns once all have finished. Not reentrant:
   /// one round at a time.
-  void Run(TaskFn fn, void* ctx);
+  void Run(TaskFn fn, void* ctx) COTE_EXCLUDES(mu_);
 
  private:
-  void ThreadMain(int index);
+  void ThreadMain(int index) COTE_EXCLUDES(mu_);
 
   const int workers_;
   std::vector<std::thread> threads_;
-  std::mutex mu_;
-  std::condition_variable round_cv_;  // workers wait here between rounds
-  std::condition_variable done_cv_;   // the caller waits here during one
-  TaskFn fn_ = nullptr;
-  void* ctx_ = nullptr;
-  uint64_t round_ = 0;
-  int pending_ = 0;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar round_cv_;  // workers wait here between rounds
+  CondVar done_cv_;   // the caller waits here during one
+  TaskFn fn_ COTE_GUARDED_BY(mu_) = nullptr;
+  void* ctx_ COTE_GUARDED_BY(mu_) = nullptr;
+  uint64_t round_ COTE_GUARDED_BY(mu_) = 0;
+  int pending_ COTE_GUARDED_BY(mu_) = 0;
+  bool shutdown_ COTE_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace cote

@@ -62,7 +62,7 @@ uint64_t CompileTimeCache::Signature(const QueryGraph& graph) {
 
 std::optional<double> CompileTimeCache::Lookup(const QueryGraph& graph) {
   uint64_t sig = Signature(graph);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = map_.find(sig);
   if (it == map_.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -76,7 +76,7 @@ std::optional<double> CompileTimeCache::Lookup(const QueryGraph& graph) {
 
 void CompileTimeCache::Insert(const QueryGraph& graph, double seconds) {
   uint64_t sig = Signature(graph);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = map_.find(sig);
   if (it != map_.end()) {
     it->second->seconds = seconds;

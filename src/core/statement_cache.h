@@ -4,11 +4,12 @@
 #include <atomic>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "query/query_graph.h"
 
 namespace cote {
@@ -39,7 +40,12 @@ class CompilationSession;
 /// Eviction is LRU. Thread-safe: a single mutex guards the map and the
 /// recency list (the critical sections are a hash probe and a splice), and
 /// the hit/miss counters are atomic — the SessionPool's workers share one
-/// cache while compiling a batch.
+/// cache while compiling a batch. The guard discipline is statically
+/// checked: `lru_` / `map_` are COTE_GUARDED_BY(mu_), so an access
+/// outside a MutexLock fails the Clang -Wthread-safety build. Signature
+/// computation and compile-through stay outside the lock by design (see
+/// CompileThrough), which the annotations permit — they touch no guarded
+/// member.
 class CompileTimeCache {
  public:
   /// `capacity` is clamped to at least 1: a zero-capacity cache would
@@ -51,10 +57,10 @@ class CompileTimeCache {
   static uint64_t Signature(const QueryGraph& graph);
 
   /// Returns the cached compile time, refreshing LRU recency.
-  std::optional<double> Lookup(const QueryGraph& graph);
+  std::optional<double> Lookup(const QueryGraph& graph) COTE_EXCLUDES(mu_);
 
   /// Records the measured compile time of a statement.
-  void Insert(const QueryGraph& graph, double seconds);
+  void Insert(const QueryGraph& graph, double seconds) COTE_EXCLUDES(mu_);
 
   /// Compile-through: returns the cached compile time on a hit; on a miss
   /// compiles `graph` through `session` (plan mode), inserts the measured
@@ -66,12 +72,12 @@ class CompileTimeCache {
   /// compile, with the later Insert refreshing the entry — benign for a
   /// cache of measurements.
   StatusOr<double> CompileThrough(CompilationSession* session,
-                                  const QueryGraph& graph);
+                                  const QueryGraph& graph) COTE_EXCLUDES(mu_);
 
   int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const COTE_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return map_.size();
   }
   size_t capacity() const { return capacity_; }
@@ -83,11 +89,11 @@ class CompileTimeCache {
   };
 
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::list<Entry> lru_;  // front = most recent; guarded by mu_
-  std::unordered_map<uint64_t, std::list<Entry>::iterator>
-      map_;  // guarded by mu_
-  std::atomic<int64_t> hits_{0};
+  mutable Mutex mu_;
+  std::list<Entry> lru_ COTE_GUARDED_BY(mu_);  // front = most recent
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> map_
+      COTE_GUARDED_BY(mu_);
+  std::atomic<int64_t> hits_{0};   // relaxed counters, never lock-held
   std::atomic<int64_t> misses_{0};
 };
 

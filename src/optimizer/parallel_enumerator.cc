@@ -28,7 +28,7 @@ void ParallelEnumerator::RunRankSlice(int worker) {
   const GosperSlice slice =
       PartitionGosperRank(rank_n_, rank_k_, worker, workers_);
   if (slice.count == 0) return;
-  StopWatch watch;
+  StopWatch watch;  // det-ok: busy-time instrumentation, never feeds plans
   WorkerSlot& slot = slots_[worker];
   EnumerationStats& stats = slot.stats;
   std::vector<int>& preds = slot.preds;
@@ -164,7 +164,7 @@ ParallelEnumerationResult ParallelEnumerator::Run(
   // ---- Rank 1: singleton entries, inline on the coordinator through
   // shard 0 (the serial enumerator's base-table loop; no checkpoints).
   {
-    StopWatch watch;
+    StopWatch watch;  // det-ok: busy-time instrumentation only
     JoinVisitor* v0 = sharded->Shard(0);
     WorkerSlot& slot0 = slots_[0];
     for (int t = 0; t < n; ++t) {
@@ -174,6 +174,7 @@ ParallelEnumerationResult ParallelEnumerator::Run(
       ++slot0.stats.entries_created;
       if (governed) budgets_[0].ChargeEntries(1);
     }
+    // det-ok: coordinator-only timing accumulation, not plan-visible
     slot0.busy_seconds += watch.ElapsedSeconds();
   }
   sharded->MergeRank();
@@ -200,6 +201,7 @@ ParallelEnumerationResult ParallelEnumerator::Run(
     result.stats.joins_unordered += slots_[w].stats.joins_unordered;
     result.stats.joins_ordered += slots_[w].stats.joins_ordered;
     result.stats.entries_created += slots_[w].stats.entries_created;
+    // det-ok: ascending-worker-order fold of timing instrumentation
     result.busy_seconds += slots_[w].busy_seconds;
   }
   return result;

@@ -103,6 +103,9 @@ class ParallelEnumerator {
   std::vector<uint8_t> exists_;
   std::deque<ResourceBudget> budgets_;  // non-copyable; deque for stability
   std::deque<WorkerSlot> slots_;
+  // The one shared flag of a run (tools/sync_inventory.json): workers
+  // poll it per mask, any tripped shard sets it; relaxed order suffices
+  // because the rank barrier provides the cross-thread edges.
   std::atomic<bool> cancel_{false};
   // Current-rank dispatch state: written by the coordinator before each
   // team round, read by workers during it (ordered by the team's mutex).

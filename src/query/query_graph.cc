@@ -25,7 +25,7 @@ void QueryGraph::EnsureAdjacency() const {
   if (adj_valid_.Load()) return;
   // Cold cache: build under the graph's mutex so concurrent const readers
   // (e.g. pool workers compiling the same graph) serialize here once.
-  std::lock_guard<std::mutex> lock(cache_mu_.mu);
+  MutexLock lock(cache_mu_.mu);
   if (adj_valid_.Load()) return;
   const int n = num_tables();
   const int num_preds = static_cast<int>(join_preds_.size());
@@ -98,13 +98,14 @@ void QueryGraph::ConnectingPredicates(TableSet s, TableSet l,
     return;
   }
   EnsureAdjacency();
+  const AdjacencyCache& adj = adjacency();
   const uint64_t lbits = l.bits();
   for (int a : s) {
-    for (int b : TableSet(adj_.adj[a] & lbits)) {
+    for (int b : TableSet(adj.adj[a] & lbits)) {
       const int key = PairKey(a, b);
-      for (int32_t i = adj_.pair_offset[key]; i < adj_.pair_offset[key + 1];
+      for (int32_t i = adj.pair_offset[key]; i < adj.pair_offset[key + 1];
            ++i) {
-        out->push_back(adj_.pair_preds[i]);
+        out->push_back(adj.pair_preds[i]);
       }
     }
   }
@@ -116,16 +117,17 @@ void QueryGraph::ConnectingPredicates(TableSet s, TableSet l,
 
 void QueryGraph::InternalPredicates(TableSet s, std::vector<int>* out) const {
   EnsureAdjacency();
+  const AdjacencyCache& adj = adjacency();
   out->clear();
   const uint64_t sbits = s.bits();
   for (int a : s) {
     // Only pairs (a, b) with a < b, so each internal edge is seen once.
-    uint64_t higher = adj_.adj[a] & sbits & ~((uint64_t{2} << a) - 1);
+    uint64_t higher = adj.adj[a] & sbits & ~((uint64_t{2} << a) - 1);
     for (int b : TableSet(higher)) {
       const int key = PairKey(a, b);
-      for (int32_t i = adj_.pair_offset[key]; i < adj_.pair_offset[key + 1];
+      for (int32_t i = adj.pair_offset[key]; i < adj.pair_offset[key + 1];
            ++i) {
-        out->push_back(adj_.pair_preds[i]);
+        out->push_back(adj.pair_preds[i]);
       }
     }
   }
@@ -134,9 +136,10 @@ void QueryGraph::InternalPredicates(TableSet s, std::vector<int>* out) const {
 
 bool QueryGraph::AreConnected(TableSet s, TableSet l) const {
   EnsureAdjacency();
+  const AdjacencyCache& adj = adjacency();
   const uint64_t lbits = l.bits();
   for (int a : s) {
-    if ((adj_.adj[a] & lbits) != 0) return true;
+    if ((adj.adj[a] & lbits) != 0) return true;
   }
   return false;
 }
@@ -144,12 +147,13 @@ bool QueryGraph::AreConnected(TableSet s, TableSet l) const {
 bool QueryGraph::IsSubgraphConnected(TableSet s) const {
   if (s.size() <= 1) return !s.empty();
   EnsureAdjacency();
+  const AdjacencyCache& adj = adjacency();
   const uint64_t sbits = s.bits();
   uint64_t reached = sbits & (~sbits + 1);  // lowest table of the set
   uint64_t frontier = reached;
   while (frontier != 0) {
     uint64_t next = 0;
-    for (int t : TableSet(frontier)) next |= adj_.adj[t];
+    for (int t : TableSet(frontier)) next |= adj.adj[t];
     next &= sbits & ~reached;
     reached |= next;
     frontier = next;
@@ -159,8 +163,9 @@ bool QueryGraph::IsSubgraphConnected(TableSet s) const {
 
 TableSet QueryGraph::Neighbors(TableSet s) const {
   EnsureAdjacency();
+  const AdjacencyCache& adj = adjacency();
   uint64_t out = 0;
-  for (int a : s) out |= adj_.adj[a];
+  for (int a : s) out |= adj.adj[a];
   return TableSet(out & ~s.bits());
 }
 
@@ -173,21 +178,23 @@ double QueryGraph::LocalSelectivity(int t) const {
 }
 
 const ColumnEquivalence& QueryGraph::GlobalEquivalence() const {
-  if (global_equiv_valid_.Load()) return global_equiv_;
-  std::lock_guard<std::mutex> lock(cache_mu_.mu);
-  if (!global_equiv_valid_.Load()) {
-    global_equiv_ = ColumnEquivalence();
-    for (const JoinPredicate& p : join_preds_) {
-      if (p.kind == JoinKind::kInner) {
-        global_equiv_.AddEquivalence(p.left, p.right);
+  if (global_equiv_valid_.Load()) return global_equiv_cache();
+  {
+    MutexLock lock(cache_mu_.mu);
+    if (!global_equiv_valid_.Load()) {
+      global_equiv_ = ColumnEquivalence();
+      for (const JoinPredicate& p : join_preds_) {
+        if (p.kind == JoinKind::kInner) {
+          global_equiv_.AddEquivalence(p.left, p.right);
+        }
       }
+      // Flattened so warm Find() lookups never path-halve — the shared
+      // instance stays write-free under concurrent readers.
+      global_equiv_.Flatten();
+      global_equiv_valid_.Store(true);
     }
-    // Flattened so warm Find() lookups never path-halve — the shared
-    // instance stays write-free under concurrent readers.
-    global_equiv_.Flatten();
-    global_equiv_valid_.Store(true);
   }
-  return global_equiv_;
+  return global_equiv_cache();
 }
 
 int QueryGraph::DeriveTransitiveClosure() {
@@ -233,10 +240,11 @@ int QueryGraph::DeriveTransitiveClosure() {
 
 bool QueryGraph::OuterEnabled(TableSet s) const {
   EnsureAdjacency();
-  if ((adj_.inner_only_mask & s.bits()) != 0 && s != AllTables()) {
+  const AdjacencyCache& adj = adjacency();
+  if ((adj.inner_only_mask & s.bits()) != 0 && s != AllTables()) {
     return false;
   }
-  for (int pi : adj_.outer_pred_indices) {
+  for (int pi : adj.outer_pred_indices) {
     const JoinPredicate& p = join_preds_[pi];
     // The null-producing side may not lead a join until its preserved
     // partner has been joined in.
@@ -247,7 +255,7 @@ bool QueryGraph::OuterEnabled(TableSet s) const {
 
 bool QueryGraph::OuterJoinOrientationOk(TableSet s, TableSet l) const {
   EnsureAdjacency();
-  for (int pi : adj_.outer_pred_indices) {
+  for (int pi : adjacency().outer_pred_indices) {
     const JoinPredicate& p = join_preds_[pi];
     bool preserved_in_s = s.Contains(p.left.table);
     bool null_in_l = l.Contains(p.right.table);

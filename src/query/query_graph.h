@@ -2,12 +2,13 @@
 #define COTE_QUERY_QUERY_GRAPH_H_
 
 #include <atomic>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "catalog/table.h"
+#include "common/mutex.h"
 #include "common/table_set.h"
+#include "common/thread_annotations.h"
 #include "query/column_ref.h"
 #include "query/equivalence.h"
 #include "query/predicate.h"
@@ -37,7 +38,12 @@ struct QueryTableRef {
 /// the global equivalence is flattened at build so warm lookups are pure
 /// reads. (A SessionPool batch may contain the same graph pointer many
 /// times.) Mutating a graph while any other thread accesses it is a data
-/// race, as for any container.
+/// race, as for any container. The cache *builds* are statically checked
+/// (`adj_` / `global_equiv_` are COTE_GUARDED_BY the cache mutex); the
+/// warm unguarded reads go through exactly two annotated escape points
+/// (adjacency() / global_equiv_cache()) whose safety argument is the
+/// acquire/release CacheFlag publication, which the static analysis
+/// cannot model — see DESIGN.md §13.
 class QueryGraph {
  public:
   QueryGraph() = default;
@@ -159,7 +165,22 @@ class QueryGraph {
     uint64_t inner_only_mask = 0;
     std::vector<int> outer_pred_indices;  ///< kLeftOuter predicate indices
   };
-  void EnsureAdjacency() const;
+  void EnsureAdjacency() const COTE_EXCLUDES(cache_mu_.mu);
+  /// Unguarded warm read of the published adjacency cache. Safe only
+  /// after EnsureAdjacency() returned: the builder stores the cache
+  /// fields, then release-stores adj_valid_; every path here first
+  /// acquire-loaded the flag (or built under the mutex), so the read
+  /// cannot observe a partial build. This publication edge is invisible
+  /// to -Wthread-safety, hence the single annotated escape.
+  const AdjacencyCache& adjacency() const COTE_NO_THREAD_SAFETY_ANALYSIS {
+    return adj_;
+  }
+  /// Same escape for the flattened global equivalence (write-free after
+  /// publication; see GlobalEquivalence()).
+  const ColumnEquivalence& global_equiv_cache() const
+      COTE_NO_THREAD_SAFETY_ANALYSIS {
+    return global_equiv_;
+  }
   int PairKey(int a, int b) const {
     return (a < b ? a : b) * num_tables() + (a < b ? b : a);
   }
@@ -190,15 +211,15 @@ class QueryGraph {
   };
   /// Mutex serializing lazy-cache builds. Copies get a fresh mutex.
   struct CacheMutex {
-    mutable std::mutex mu;
+    mutable Mutex mu;
     CacheMutex() = default;
     CacheMutex(const CacheMutex&) {}
     CacheMutex& operator=(const CacheMutex&) { return *this; }
   };
 
-  mutable ColumnEquivalence global_equiv_;
+  mutable ColumnEquivalence global_equiv_ COTE_GUARDED_BY(cache_mu_.mu);
   mutable CacheFlag global_equiv_valid_;
-  mutable AdjacencyCache adj_;
+  mutable AdjacencyCache adj_ COTE_GUARDED_BY(cache_mu_.mu);
   mutable CacheFlag adj_valid_;
   mutable CacheMutex cache_mu_;
 };

@@ -205,6 +205,11 @@ uint64_t CompilationContext::Fingerprint(const QueryGraph& graph) {
   uint64_t h = SplitMix(static_cast<uint64_t>(graph.num_tables()));
   for (int t = 0; t < graph.num_tables(); ++t) {
     const QueryTableRef& ref = graph.table_ref(t);
+    // In-process identity on purpose: rebinding to the same catalog
+    // Table object is what makes a warm Reset legal; the fingerprint
+    // never persists and is never compared across runs (the cross-run
+    // statement-cache key hashes contents instead).
+    // det-ok: in-process object identity, never crosses a process
     h = Mix(h, reinterpret_cast<uintptr_t>(ref.table));
     h = Mix(h, ref.inner_only ? 1u : 2u);
   }

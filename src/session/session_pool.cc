@@ -54,9 +54,16 @@ void MergeDelta(const CompilationStats& after, const CompilationStats& before,
   slice.warm_resets = after.warm_resets - before.warm_resets;
 
   CompilationStats& merged = out->merged;
+  // Stage seconds are timing instrumentation folded in ascending worker
+  // order at the batch join (RunBatch calls MergeDelta for w = 0..n-1),
+  // so the FP fold order is pinned; none of it feeds plan choice.
+  // det-ok: pinned worker-order timing fold
   merged.cumulative_stages.bind += slice.stages.bind;
+  // det-ok: pinned worker-order timing fold
   merged.cumulative_stages.enumerate += slice.stages.enumerate;
+  // det-ok: pinned worker-order timing fold
   merged.cumulative_stages.complete += slice.stages.complete;
+  // det-ok: pinned worker-order timing fold
   merged.cumulative_stages.finalize += slice.stages.finalize;
   merged.plans_compiled += after.plans_compiled - before.plans_compiled;
   merged.estimates_run += after.estimates_run - before.estimates_run;
@@ -98,11 +105,12 @@ BatchStats SessionPool::RunBatch(size_t n, const PerItem& per_item) {
 
   // Chunked atomic cursor, chunk = 1: queries are coarse work units, so
   // one relaxed fetch_add per query is the whole queue protocol and load
-  // balance is as fine as it can get.
+  // balance is as fine as it can get. This local is the pool's only
+  // shared mutable word per batch (tools/sync_inventory.json).
   std::atomic<size_t> cursor{0};
-  StopWatch wall;
+  StopWatch wall;  // det-ok: wall-clock instrumentation for BatchStats
   auto drain = [&](int w) {
-    StopWatch busy;
+    StopWatch busy;  // det-ok: per-worker busy-time instrumentation
     CompilationSession* session = sessions_[static_cast<size_t>(w)].get();
     int64_t done = 0;
     for (;;) {
@@ -131,6 +139,7 @@ BatchStats SessionPool::RunBatch(size_t n, const PerItem& per_item) {
   out.wall_seconds = wall.ElapsedSeconds();
   for (size_t w = 0; w < workers; ++w) {
     MergeDelta(sessions_[w]->stats(), before[w], &out, static_cast<int>(w));
+    // det-ok: ascending-worker-order fold of timing instrumentation
     out.busy_seconds += out.per_worker[w].busy_seconds;
   }
   return out;

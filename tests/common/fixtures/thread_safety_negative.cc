@@ -1,0 +1,37 @@
+// Negative thread-safety fixture (tests/common/thread_annotations_test).
+//
+// Reads and writes a COTE_GUARDED_BY member without holding its mutex —
+// the canonical forgotten-lock bug. Under Clang `-Wthread-safety` this
+// MUST produce a diagnostic (the test asserts the analysis actually
+// fires); without the flag, or on non-Clang compilers, it must compile
+// cleanly, proving the annotations are zero-cost no-ops with no runtime
+// semantics. Compiled with -fsyntax-only by the test; never linked.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Guarded {
+ public:
+  // Seeded violation: unguarded access to a guarded member.
+  int Unlocked() { return value_; }
+  void UnlockedWrite(int v) { value_ = v; }
+
+  void Set(int v) COTE_EXCLUDES(mu_) {
+    cote::MutexLock lock(mu_);
+    value_ = v;
+  }
+
+ private:
+  cote::Mutex mu_;
+  int value_ COTE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int cote_fixture_entry() {
+  Guarded g;
+  g.Set(2);
+  g.UnlockedWrite(3);
+  return g.Unlocked();
+}

@@ -1,0 +1,117 @@
+// Compile-fixture proof that the thread-safety annotation layer works.
+//
+// The interesting property of src/common/thread_annotations.h cannot be
+// tested by running code: it is a *compile-time* property — under Clang,
+// `-Wthread-safety` must reject an unguarded access to a COTE_GUARDED_BY
+// member, and must accept the correctly-locked tree. So this test shells
+// out to the same compiler that built it (CMake passes the path and id
+// through compile definitions) and compiles two fixtures with
+// -fsyntax-only:
+//
+//   fixtures/thread_safety_positive.cc  — includes every annotated header
+//       and locks correctly; must always compile, and must stay clean
+//       under `-Wthread-safety -Werror`.
+//   fixtures/thread_safety_negative.cc  — a seeded forgotten-lock bug;
+//       must compile WITHOUT the analysis (annotations are no-ops) and
+//       must FAIL under `-Wthread-safety -Werror`.
+//
+// The two analysis cases are Clang-only (GCC has no thread safety
+// analysis; the macros expand to nothing there) and GTEST_SKIP with a
+// notice on other compilers, so the suite stays green on any toolchain
+// while proving the full property wherever Clang is available.
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+
+#ifndef COTE_TA_CXX
+#error "build must define COTE_TA_CXX (path of the configured C++ compiler)"
+#endif
+
+namespace cote {
+namespace {
+
+bool CompilerIsClang() {
+  return std::string(COTE_TA_CXX_ID).find("Clang") != std::string::npos;
+}
+
+struct CompileOutcome {
+  int exit_code = -1;
+  std::string diagnostics;
+};
+
+// Runs `$CXX -std=c++20 -fsyntax-only <extra_flags> -I src <fixture>`,
+// capturing stderr so failures can assert on the diagnostic text.
+CompileOutcome CompileFixture(const std::string& fixture,
+                              const std::string& extra_flags) {
+  const std::string log = ::testing::TempDir() + "cote_ta_diag.txt";
+  std::string cmd = std::string("\"") + COTE_TA_CXX +
+                    "\" -std=c++20 -fsyntax-only " + extra_flags + " -I \"" +
+                    COTE_TA_SRC_DIR + "\" \"" + COTE_TA_FIXTURE_DIR "/" +
+                    fixture + "\" 2> \"" + log + "\"";
+  CompileOutcome out;
+  out.exit_code = std::system(cmd.c_str());
+  std::ifstream in(log);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  out.diagnostics = ss.str();
+  return out;
+}
+
+// The annotations must never change what compiles: the buggy fixture is
+// valid C++ and has to build on every supported compiler when the
+// analysis is off. This is the zero-cost half of the design contract.
+TEST(ThreadAnnotationsTest, AnnotationsAreNoOpsWithoutAnalysis) {
+  CompileOutcome out = CompileFixture("thread_safety_negative.cc", "");
+  EXPECT_EQ(out.exit_code, 0) << "negative fixture must compile when the "
+                                 "analysis is off:\n"
+                              << out.diagnostics;
+}
+
+// Every annotated header in the tree compiles together — catches a macro
+// definition or annotation placement that only breaks when headers meet.
+TEST(ThreadAnnotationsTest, AllAnnotatedHeadersCompileTogether) {
+  CompileOutcome out = CompileFixture("thread_safety_positive.cc", "");
+  EXPECT_EQ(out.exit_code, 0) << "positive fixture must compile:\n"
+                              << out.diagnostics;
+}
+
+// Clang only: the analysis accepts the correctly-locked tree. A false
+// positive here would mean the deployed annotations misdescribe the
+// code's locking and the -Werror gate would block every build.
+TEST(ThreadAnnotationsTest, AnalysisAcceptsCorrectLocking) {
+  if (!CompilerIsClang()) {
+    GTEST_SKIP() << "thread safety analysis requires Clang; configured "
+                    "compiler is "
+                 << COTE_TA_CXX_ID << " (annotations are no-ops there)";
+  }
+  CompileOutcome out =
+      CompileFixture("thread_safety_positive.cc", "-Wthread-safety -Werror");
+  EXPECT_EQ(out.exit_code, 0)
+      << "annotated headers must be clean under -Wthread-safety -Werror:\n"
+      << out.diagnostics;
+}
+
+// Clang only: the seeded forgotten-lock bug is rejected. This is the
+// negative fixture the issue demands — proof the analysis actually fires
+// rather than silently expanding to nothing.
+TEST(ThreadAnnotationsTest, AnalysisRejectsUnguardedAccess) {
+  if (!CompilerIsClang()) {
+    GTEST_SKIP() << "thread safety analysis requires Clang; configured "
+                    "compiler is "
+                 << COTE_TA_CXX_ID << " (annotations are no-ops there)";
+  }
+  CompileOutcome out =
+      CompileFixture("thread_safety_negative.cc", "-Wthread-safety -Werror");
+  EXPECT_NE(out.exit_code, 0)
+      << "seeded unguarded access compiled clean: the analysis did not fire";
+  EXPECT_NE(out.diagnostics.find("guarded by"), std::string::npos)
+      << "expected a -Wthread-safety 'guarded by' diagnostic, got:\n"
+      << out.diagnostics;
+}
+
+}  // namespace
+}  // namespace cote

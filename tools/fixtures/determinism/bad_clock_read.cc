@@ -1,0 +1,11 @@
+// Known-bad fixture: a wall-clock read inside a determinism-critical
+// function with no escape annotation. Timing may legitimately be
+// *measured* on these paths (instrumentation), but every such read must
+// carry a reasoned escape asserting it never feeds plan choice.
+// expect-fail: time-source
+#include <chrono>
+
+long TestFn() {
+  auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count();
+}

@@ -1,0 +1,15 @@
+// Known-bad fixture: un-annotated float accumulation in a merge-tagged
+// function. FP addition is non-associative — folding worker results in
+// completion order instead of a pinned order changes low bits.
+// expect-fail: float-accumulation
+// lint-tags: merge
+
+struct Slice {
+  double busy_total = 0;
+};
+
+double g_acc_seconds = 0;
+
+void TestFn(const Slice& s) {
+  g_acc_seconds += s.busy_total;  // fold order unpinned, no escape
+}

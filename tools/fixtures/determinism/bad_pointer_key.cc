@@ -1,0 +1,11 @@
+// Known-bad fixture: pointer values used as ordering/hash keys. Heap
+// addresses differ run to run (ASLR, allocation order), so any
+// plan-visible decision keyed on them is nondeterministic.
+// expect-fail: pointer-key
+#include <cstdint>
+
+struct Plan;
+
+uint64_t TestFn(const Plan* p) {
+  return reinterpret_cast<uintptr_t>(p) * 0x9e3779b97f4a7c15ull;
+}

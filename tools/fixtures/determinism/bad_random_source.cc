@@ -1,0 +1,7 @@
+// Known-bad fixture: a random source in a manifested function.
+// expect-fail: random-source
+#include <cstdlib>
+
+int TestFn(int n) {
+  return rand() % n;  // tie-breaking by RNG is nondeterministic
+}

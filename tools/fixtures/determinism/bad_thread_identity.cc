@@ -1,0 +1,10 @@
+// Known-bad fixture: thread identity feeding a value. Which worker runs
+// a slice is a scheduling accident; results must depend on the slice,
+// never on the thread that happened to claim it.
+// expect-fail: thread-identity
+#include <functional>
+#include <thread>
+
+size_t TestFn() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}

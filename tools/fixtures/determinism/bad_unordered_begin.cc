@@ -1,0 +1,10 @@
+// Known-bad fixture: explicit begin() over an unordered container —
+// the iterator form of the same hash-order hazard as a range-for.
+// expect-fail: unordered-iteration
+#include <unordered_set>
+
+std::unordered_set<long> g_seen;
+
+long TestFn() {
+  return g_seen.empty() ? 0 : *g_seen.begin();
+}

@@ -1,0 +1,15 @@
+// Known-bad fixture: iterating an unordered container in a manifested
+// function. Hash order varies across implementations and runs, so any
+// plan-visible effect of this loop would break bit-identical plan choice.
+// expect-fail: unordered-iteration
+#include <unordered_map>
+
+std::unordered_map<int, int> g_by_key;
+
+int TestFn() {
+  int sum = 0;
+  for (const auto& kv : g_by_key) {  // iteration order is hash order
+    sum = sum * 31 + kv.second;
+  }
+  return sum;
+}

@@ -1,0 +1,38 @@
+// Known-good fixture: everything here is the deterministic counterpart
+// of a banned pattern, or a banned pattern behind a reasoned escape.
+// expect-pass
+// lint-tags: merge
+#include <chrono>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+struct Slice {
+  double busy_total = 0;
+  long queries = 0;
+};
+
+std::unordered_set<unsigned long> g_exists;
+std::map<int, int> g_ordered;
+double g_acc_seconds = 0;
+long g_acc_queries = 0;
+
+double TestFn(const std::vector<Slice>& slices, unsigned long mask) {
+  // Probing an unordered container is fine — only iteration is banned;
+  // the find()/end() sentinel comparison is a probe, not an iteration.
+  if (g_exists.find(mask) == g_exists.end()) g_exists.insert(mask);
+  // Iterating an *ordered* container is fine.
+  int sum = 0;
+  for (const auto& kv : g_ordered) sum += kv.second;
+  // Integer accumulation in a merge is fine at any order.
+  for (const Slice& s : slices) g_acc_queries += s.queries;
+  // Float folds are allowed when the order is pinned and annotated:
+  // `slices` is indexed in worker order by contract.
+  for (const Slice& s : slices) {
+    g_acc_seconds += s.busy_total;  // det-ok: fixed worker-order fold
+  }
+  // det-ok: instrumentation only, reading never feeds plan choice
+  auto t0 = std::chrono::steady_clock::now();
+  (void)t0;
+  return g_acc_seconds + sum;
+}

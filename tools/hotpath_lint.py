@@ -19,8 +19,13 @@ fails on constructs that would reintroduce per-join heap traffic:
 
 Escape hatch: a line (or its predecessor) carrying `// hotpath-ok: <why>`
 is exempt — the reason is mandatory and reviewed like any comment. The
-linter also fails if a configured hot function disappears, so a rename
-cannot silently turn the check off.
+linter also fails (exit 2) if a configured hot function disappears, so a
+rename cannot silently turn the check off; where a file defines same-named
+twins (Memo:: / MemoShard::), the manifest lists each qualified name so
+deleting one twin cannot hide behind the other.
+
+The parser, manifest validation, and escape handling live in
+tools/lint_common.py, shared with tools/determinism_lint.py.
 
 Runtime counterpart: tests/optimizer/hotpath_alloc_test.cc asserts zero
 steady-state allocations with a counting operator-new hook; this file is
@@ -35,11 +40,16 @@ import re
 import sys
 from pathlib import Path
 
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from lint_common import (Violation, escape_annotation_re, is_escaped,
+                         scan_manifest_file, strip_comments_and_strings)
+
 # ---------------------------------------------------------------------------
 # Configuration: the hot path, and what is allowed to grow.
 
 # Per file: the functions that run per enumerated join / per probe.
-# Matching is by unqualified name on a definition at file scope.
+# Matching is by definition site; qualified names (`Memo::Find`) pin one
+# class's member, unqualified names accept any enclosing class.
 HOT_FUNCTIONS = {
     "src/optimizer/enumerator.cc": [
         "RunBottomUp",
@@ -132,17 +142,23 @@ HOT_FUNCTIONS = {
         "Root",
         "AddEquivalence",
     ],
-    # Matching is by unqualified name, so GetOrCreate / Find / NewPlan /
-    # Insert cover both Memo:: and the MemoShard:: shard-fill twins in
-    # this TU; AdoptShardRank is the per-rank merge (pointer adoption
-    # only — entries and plans stay in the shard arenas they were born in).
+    # Memo and its MemoShard shard-fill twin both live in this TU; every
+    # twin is manifested under its qualified name so deleting or renaming
+    # one can no longer hide behind the survivor (the stale-entry hole the
+    # old unqualified matching had). Memo::AdoptShardRank is the per-rank
+    # merge (pointer adoption only — entries and plans stay in the shard
+    # arenas they were born in).
     "src/optimizer/memo.cc": [
-        "Index",
-        "GetOrCreate",
-        "Find",
-        "NewPlan",
-        "Insert",
-        "AdoptShardRank",
+        "Memo::Index",
+        "Memo::GetOrCreate",
+        "MemoShard::GetOrCreate",
+        "Memo::Find",
+        "MemoShard::Find",
+        "Memo::NewPlan",
+        "MemoShard::NewPlan",
+        "Memo::Insert",
+        "MemoShard::Insert",
+        "Memo::AdoptShardRank",
     ],
     "src/query/query_graph.cc": [
         "ConnectingPredicates",
@@ -195,125 +211,7 @@ LOCAL_CONTAINER_IN_LOOP = re.compile(
     r"\bstd::(?:vector|string|deque|list)\s*<[^;]*>\s+[A-Za-z_]"
     r"|\bstd::string\s+[A-Za-z_]")
 
-ANNOTATION = re.compile(r"//\s*hotpath-ok\s*:\s*\S")
-
-FUNC_DEF = re.compile(
-    r"^(?!\s*//)[A-Za-z_][\w:<>,&*\s]*?\b(?:[A-Za-z_][A-Za-z0-9_]*::)?"
-    r"(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*\([^;]*$|"
-    r"^(?!\s*//)[A-Za-z_][\w:<>,&*\s]*?\b(?:[A-Za-z_][A-Za-z0-9_]*::)?"
-    r"(?P<name2>[A-Za-z_][A-Za-z0-9_]*)\s*\(.*\)\s*(?:const)?\s*\{")
-
-
-def strip_comments_and_strings(line):
-    """Removes // comments, string and char literals (keeps structure)."""
-    out = []
-    i, n = 0, len(line)
-    while i < n:
-        c = line[i]
-        if c == "/" and i + 1 < n and line[i + 1] == "/":
-            break
-        if c in "\"'":
-            quote = c
-            out.append(quote)
-            i += 1
-            while i < n and line[i] != quote:
-                if line[i] == "\\":
-                    i += 1
-                i += 1
-            out.append(quote)
-            i += 1
-            continue
-        out.append(c)
-        i += 1
-    return "".join(out)
-
-
-class Violation:
-    def __init__(self, path, line_no, func, message, text):
-        self.path = path
-        self.line_no = line_no
-        self.func = func
-        self.message = message
-        self.text = text.strip()
-
-    def __str__(self):
-        return (f"{self.path}:{self.line_no}: [{self.func}] {self.message}\n"
-                f"    {self.text}")
-
-
-def find_functions(lines, wanted):
-    """Yields (name, start_idx, end_idx) for wanted function definitions.
-
-    Brace-counting parser: a definition is a column-0 line (the style the
-    codebase is written in — statements are always indented) mentioning
-    `name(` whose statement ends with `{` rather than `;`.
-    """
-    spans = []
-    i = 0
-    n = len(lines)
-    while i < n:
-        stripped = strip_comments_and_strings(lines[i])
-        matched = None
-        at_col0 = bool(lines[i]) and not lines[i][0].isspace() and \
-            not lines[i].startswith(("}", "#", "//", "/*"))
-        if at_col0:
-            for name in wanted:
-                if re.search(r"\b%s\s*\(" % re.escape(name), stripped) and \
-                        not re.match(r"\s*(?:if|for|while|switch|return)\b",
-                                     stripped):
-                    matched = name
-                    break
-        if matched is not None:
-            # Scan forward to the first '{' or ';' that closes the
-            # declarator (at paren depth 0).
-            j = i
-            paren = 0
-            body_start = None
-            is_decl_only = False
-            while j < n:
-                s = strip_comments_and_strings(lines[j])
-                for k, ch in enumerate(s):
-                    if ch == "(":
-                        paren += 1
-                    elif ch == ")":
-                        paren -= 1
-                    elif ch == ";" and paren == 0:
-                        is_decl_only = True
-                        break
-                    elif ch == "{" and paren == 0:
-                        body_start = (j, k)
-                        break
-                if body_start or is_decl_only:
-                    break
-                j += 1
-            if is_decl_only or body_start is None:
-                i += 1
-                continue
-            # Brace-count from body_start to the matching close.
-            bj, bk = body_start
-            brace = 0
-            end = None
-            for jj in range(bj, n):
-                s = strip_comments_and_strings(lines[jj])
-                start_k = bk if jj == bj else 0
-                for ch in s[start_k:]:
-                    if ch == "{":
-                        brace += 1
-                    elif ch == "}":
-                        brace -= 1
-                        if brace == 0:
-                            end = jj
-                            break
-                if end is not None:
-                    break
-            if end is None:
-                raise RuntimeError(
-                    f"unbalanced braces scanning function '{matched}'")
-            spans.append((matched, i, end))
-            i = end + 1
-            continue
-        i += 1
-    return spans
+ANNOTATION = escape_annotation_re("hotpath-ok")
 
 
 def lint_function(path, lines, name, start, end):
@@ -325,8 +223,7 @@ def lint_function(path, lines, name, start, end):
     for idx in range(start, end + 1):
         raw = lines[idx]
         stripped = strip_comments_and_strings(raw)
-        annotated = (ANNOTATION.search(raw) or
-                     (idx > 0 and ANNOTATION.search(lines[idx - 1])))
+        annotated = is_escaped(lines, idx, ANNOTATION)
 
         in_loop = len(loop_depth_stack) > 0
         if not annotated:
@@ -375,22 +272,8 @@ def main():
     all_violations = []
     config_errors = []
     for rel, wanted in HOT_FUNCTIONS.items():
-        path = root / rel
-        if not path.exists():
-            config_errors.append(f"hot-path file missing: {rel}")
-            continue
-        lines = path.read_text().splitlines()
-        try:
-            spans = find_functions(lines, wanted)
-        except RuntimeError as e:
-            config_errors.append(f"{rel}: {e}")
-            continue
-        found = {name for name, _, _ in spans}
-        for name in wanted:
-            if name not in found:
-                config_errors.append(
-                    f"{rel}: configured hot function '{name}' not found "
-                    f"(renamed? update tools/hotpath_lint.py)")
+        lines, spans, errors = scan_manifest_file(root, rel, wanted)
+        config_errors.extend(errors)
         for name, start, end in spans:
             all_violations.extend(lint_function(rel, lines, name, start, end))
 

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Tier-2 gate for the COTE repo: one driver that runs every static and
-# dynamic check this codebase ships. Exits non-zero if any gate fails.
+# dynamic check this codebase ships. Exits non-zero if any gate fails,
+# and ends with a one-line PASS/SKIP/FAIL summary table per gate.
 #
 #   1. warnings-as-errors build      (-DCOTE_WERROR=ON, src/ scope)
 #   2. full test suite               (ctest on the werror build)
@@ -9,12 +10,23 @@
 #   4. clang-tidy                    (.clang-tidy profile over src/;
 #                                     skipped w/ notice if not installed)
 #   5. hot-path purity lint          (tools/hotpath_lint.py)
-#   6. Debug + ASan/UBSan cycle      (-DCOTE_SANITIZE=address,undefined;
+#   6. determinism lint              (tools/determinism_lint.py: banned
+#                                     nondeterminism on the enumeration/
+#                                     merge/plan-choice/signature paths +
+#                                     sync_inventory.json cross-check +
+#                                     fixture selftest)
+#   7. thread-safety analysis        (Clang -Wthread-safety -Werror over
+#                                     the annotated tree, plus the seeded
+#                                     negative fixture, which must FAIL to
+#                                     compile; skipped w/ notice when no
+#                                     clang++ is installed — the GCC gates
+#                                     still prove the macros are no-ops)
+#   8. Debug + ASan/UBSan cycle      (-DCOTE_SANITIZE=address,undefined;
 #                                     Debug so COTE_DCHECK contracts and
-#                                     their death tests run for real — this
-#                                     is also where the fault-injection
-#                                     suite's error paths run sanitized)
-#   7. TSan cycle                    (-DCOTE_SANITIZE=thread over the
+#                                     their death tests run for real — and
+#                                     asserts the fault-injection and
+#                                     parallel-session suites ran in it)
+#   9. TSan cycle                    (-DCOTE_SANITIZE=thread over the
 #                                     session + fault-injection + parallel-
 #                                     enumerator tests: vets the pool's
 #                                     queue cursor, stats merge, the shared
@@ -29,8 +41,8 @@
 #   --jobs N     parallelism for builds and ctest (default: nproc)
 #
 # Build trees live under build-checks/ (werror), build-checks-san/
-# (sanitized Debug) and build-checks-tsan/; all are disposable and
-# gitignored.
+# (sanitized Debug), build-checks-tsan/ and build-checks-tsa/ (clang
+# thread-safety); all are disposable and gitignored.
 
 set -u
 
@@ -48,12 +60,33 @@ while [ $# -gt 0 ]; do
 done
 
 FAILURES=0
-note()  { printf '\n== %s\n' "$*"; }
-fail()  { printf 'run_checks: FAIL: %s\n' "$*" >&2; FAILURES=$((FAILURES+1)); }
-skip()  { printf 'run_checks: SKIP: %s\n' "$*"; }
+GATE_NAMES=()
+GATE_STATUSES=()
+CURRENT=-1
+
+# gate "<n/total>" "<name>" opens a summary row; fail/skip inside the
+# gate downgrade its status (FAIL sticks; SKIP only from PASS, so a gate
+# that both skipped something and failed something reports FAIL).
+gate() {
+  CURRENT=$((CURRENT+1))
+  GATE_NAMES+=("$2")
+  GATE_STATUSES+=("PASS")
+  printf '\n== [%s] %s\n' "$1" "$2"
+}
+fail() {
+  printf 'run_checks: FAIL: %s\n' "$*" >&2
+  FAILURES=$((FAILURES+1))
+  GATE_STATUSES[$CURRENT]="FAIL"
+}
+skip() {
+  printf 'run_checks: SKIP: %s\n' "$*"
+  if [ "${GATE_STATUSES[$CURRENT]}" = "PASS" ]; then
+    GATE_STATUSES[$CURRENT]="SKIP"
+  fi
+}
 
 # ---- 1. warnings-as-errors build ------------------------------------------
-note "[1/7] warnings-as-errors build (COTE_WERROR=ON)"
+gate "1/9" "warnings-as-errors build (COTE_WERROR=ON)"
 WERROR_DIR="$ROOT/build-checks"
 if cmake -S "$ROOT" -B "$WERROR_DIR" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DCOTE_WERROR=ON >/dev/null \
@@ -64,7 +97,7 @@ else
 fi
 
 # ---- 2. full test suite ----------------------------------------------------
-note "[2/7] full test suite (ctest)"
+gate "2/9" "full test suite (ctest)"
 if [ -f "$WERROR_DIR/CTestTestfile.cmake" ]; then
   if (cd "$WERROR_DIR" && ctest -j "$JOBS" --output-on-failure \
         >ctest.log 2>&1); then
@@ -78,7 +111,7 @@ else
 fi
 
 # ---- 3. clang-format (check-only; never reformats) -------------------------
-note "[3/7] clang-format --dry-run -Werror"
+gate "3/9" "clang-format --dry-run -Werror"
 if command -v clang-format >/dev/null 2>&1; then
   FMT_FILES="$(cd "$ROOT" && git ls-files 'src/*.h' 'src/*.cc' \
                'tests/*.h' 'tests/*.cc' 'bench/*.cc' 'examples/*.cpp')"
@@ -92,12 +125,10 @@ else
 fi
 
 # ---- 4. clang-tidy ---------------------------------------------------------
-note "[4/7] clang-tidy (.clang-tidy profile over src/)"
+gate "4/9" "clang-tidy (.clang-tidy profile over src/)"
 if command -v clang-tidy >/dev/null 2>&1; then
-  # The werror tree has a compilation database when configured with
-  # CMAKE_EXPORT_COMPILE_COMMANDS; generate it on demand.
-  cmake -S "$ROOT" -B "$WERROR_DIR" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
-    >/dev/null
+  # The werror tree always has a compilation database: the top-level
+  # CMakeLists defaults CMAKE_EXPORT_COMPILE_COMMANDS to ON.
   TIDY_SRCS="$(cd "$ROOT" && git ls-files 'src/*.cc')"
   if (cd "$ROOT" && echo "$TIDY_SRCS" | \
         xargs clang-tidy -p "$WERROR_DIR" --quiet); then
@@ -110,7 +141,7 @@ else
 fi
 
 # ---- 5. hot-path purity lint ----------------------------------------------
-note "[5/7] hot-path purity lint (tools/hotpath_lint.py)"
+gate "5/9" "hot-path purity lint (tools/hotpath_lint.py)"
 if python3 "$ROOT/tools/hotpath_lint.py" --repo-root "$ROOT"; then
   echo "hotpath_lint: OK"
 else
@@ -133,22 +164,83 @@ else
   echo "session lint manifest coverage: OK"
 fi
 
-# ---- 6. Debug + ASan/UBSan cycle ------------------------------------------
+# ---- 6. determinism lint ---------------------------------------------------
+# Selftest first (the lint must still catch its known-bad fixtures —
+# otherwise a clean tree result means nothing), then the tree + the
+# sync_inventory.json cross-check.
+gate "6/9" "determinism lint (tools/determinism_lint.py)"
+if python3 "$ROOT/tools/determinism_lint.py" --selftest; then
+  echo "determinism_lint selftest: OK"
+else
+  fail "determinism_lint selftest (the lint itself regressed)"
+fi
+if python3 "$ROOT/tools/determinism_lint.py" --repo-root "$ROOT"; then
+  echo "determinism_lint: OK"
+else
+  fail "determinism_lint"
+fi
+
+# ---- 7. Clang thread-safety analysis ---------------------------------------
+# Builds the annotated tree under -Wthread-safety -Werror (wired into
+# COTE_WERROR for Clang in src/CMakeLists.txt) and then proves the
+# analysis actually fires by compiling the seeded forgotten-lock fixture,
+# which MUST fail. GCC-only machines skip: the macros are no-ops there
+# (gates 1/2/8/9 still compile and run them), and
+# tests/common/thread_annotations_test re-checks all of this in-suite.
+gate "7/9" "Clang thread-safety analysis (-Wthread-safety -Werror)"
+if command -v clang++ >/dev/null 2>&1; then
+  TSA_DIR="$ROOT/build-checks-tsa"
+  if cmake -S "$ROOT" -B "$TSA_DIR" -DCMAKE_CXX_COMPILER=clang++ \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCOTE_WERROR=ON >/dev/null \
+     && cmake --build "$TSA_DIR" -j "$JOBS" \
+          --target cote_common cote_query cote_optimizer cote_core \
+          >/dev/null; then
+    echo "clang -Wthread-safety build: OK"
+  else
+    fail "clang -Wthread-safety build (annotations out of sync with locking)"
+  fi
+  if clang++ -std=c++20 -fsyntax-only -Wthread-safety -Werror \
+        -I "$ROOT/src" \
+        "$ROOT/tests/common/fixtures/thread_safety_negative.cc" \
+        >/dev/null 2>&1; then
+    fail "seeded unguarded-access fixture compiled clean: the analysis did not fire"
+  else
+    echo "negative fixture rejected by -Wthread-safety: OK"
+  fi
+else
+  skip "clang++ not installed; thread-safety analysis not enforced here"
+fi
+
+# ---- 8. Debug + ASan/UBSan cycle ------------------------------------------
 # Debug (no NDEBUG) turns the COTE_DCHECK contracts on, so this cycle is
 # the one that actually executes the debug-only death tests; the
-# sanitizers vet the bit-twiddling enumeration fast path.
+# sanitizers vet the bit-twiddling enumeration fast path. The fault-
+# injection and parallel-session suites must demonstrably run inside it —
+# their error paths are exactly where sanitizers earn their keep.
 if [ "$SKIP_SAN" = 1 ]; then
-  note "[6/7] sanitizer cycle"
+  gate "8/9" "Debug + ASan/UBSan cycle"
   skip "sanitizer cycle (--skip-san)"
 else
-  note "[6/7] Debug + ASan/UBSan cycle (COTE_SANITIZE=address,undefined)"
+  gate "8/9" "Debug + ASan/UBSan cycle (COTE_SANITIZE=address,undefined)"
   SAN_DIR="$ROOT/build-checks-san"
   if cmake -S "$ROOT" -B "$SAN_DIR" -DCMAKE_BUILD_TYPE=Debug \
         -DCOTE_SANITIZE=address,undefined >/dev/null \
      && cmake --build "$SAN_DIR" -j "$JOBS" >/dev/null; then
+    for bin in fault_injection_test parallel_session_test; do
+      if [ ! -x "$SAN_DIR/tests/$bin" ]; then
+        fail "sanitized Debug build did not produce tests/$bin"
+      fi
+    done
     if (cd "$SAN_DIR" && ctest -j "$JOBS" --output-on-failure \
           >ctest.log 2>&1); then
       echo "sanitized Debug ctest: OK"
+      for fixture in SessionFaultTest SessionParallel; do
+        if grep -q "$fixture" "$SAN_DIR/ctest.log"; then
+          echo "sanitized coverage includes $fixture: OK"
+        else
+          fail "sanitized ctest ran no $fixture fixtures (suite renamed or not discovered?)"
+        fi
+      done
     else
       tail -40 "$SAN_DIR/ctest.log"
       fail "sanitized Debug ctest (full log: $SAN_DIR/ctest.log)"
@@ -158,7 +250,7 @@ else
   fi
 fi
 
-# ---- 7. TSan cycle over the session layer ----------------------------------
+# ---- 9. TSan cycle over the session layer ----------------------------------
 # The pool's synchronization points are the queue cursor, the stats merge
 # at join, the mutex-guarded statement cache, and (new with governance) the
 # worker-local budget re-arm per claimed query plus the fault hook's
@@ -173,10 +265,10 @@ fi
 # built — the full suite under TSan would be prohibitively slow and
 # single-threaded tests have nothing for TSan to find.
 if [ "$SKIP_SAN" = 1 ]; then
-  note "[7/7] TSan cycle"
+  gate "9/9" "TSan cycle"
   skip "TSan cycle (--skip-san)"
 else
-  note "[7/7] ThreadSanitizer cycle (COTE_SANITIZE=thread, tests/session)"
+  gate "9/9" "ThreadSanitizer cycle (COTE_SANITIZE=thread, tests/session)"
   TSAN_DIR="$ROOT/build-checks-tsan"
   if cmake -S "$ROOT" -B "$TSAN_DIR" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DCOTE_SANITIZE=thread >/dev/null \
@@ -198,6 +290,12 @@ else
 fi
 
 # ---------------------------------------------------------------------------
+printf '\n== gate summary\n'
+i=0
+while [ $i -le $CURRENT ]; do
+  printf '  %-4s  %s\n' "${GATE_STATUSES[$i]}" "${GATE_NAMES[$i]}"
+  i=$((i+1))
+done
 printf '\n'
 if [ "$FAILURES" -gt 0 ]; then
   echo "run_checks: $FAILURES gate(s) FAILED"
