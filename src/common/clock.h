@@ -1,0 +1,73 @@
+#ifndef COTE_COMMON_CLOCK_H_
+#define COTE_COMMON_CLOCK_H_
+
+#include <chrono>
+
+namespace cote {
+
+/// \brief Injectable monotonic clock.
+///
+/// The compile service front-end (src/service/) reads wall time only
+/// through this interface, so the whole service can run under a
+/// VirtualClock in tests: a seeded arrival trace plus virtual service
+/// times makes every scheduling decision, queue latency, and report field
+/// bit-identical across runs. Production code passes no clock and gets
+/// the process-wide SystemClock.
+///
+/// The existing StopWatch/TimeAccumulator instrumentation (common/timer.h)
+/// deliberately stays on std::chrono directly: those measure *real* stage
+/// seconds for benchmarks and never feed scheduling or plan choice.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Monotonic seconds since an arbitrary epoch (fixed per instance).
+  virtual double NowSeconds() = 0;
+};
+
+/// Wall clock over std::chrono::steady_clock; epoch = construction time.
+class SystemClock final : public Clock {
+ public:
+  SystemClock() : epoch_(std::chrono::steady_clock::now()) {}
+
+  double NowSeconds() override {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch_)
+        .count();
+  }
+
+  /// Process-wide instance (epoch = first use). Not for tests — inject a
+  /// VirtualClock there instead.
+  static SystemClock* Get() {
+    static SystemClock clock;
+    return &clock;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Deterministic clock for tests: time moves only when the owner (or the
+/// component driving it, e.g. CompileService::Run with `drive_clock` set)
+/// advances it. Single-threaded by design, like the service event loop
+/// that drives it.
+class VirtualClock final : public Clock {
+ public:
+  explicit VirtualClock(double start_seconds = 0) : now_(start_seconds) {}
+
+  double NowSeconds() override { return now_; }
+
+  void Advance(double seconds) {
+    if (seconds > 0) now_ += seconds;
+  }
+  /// Monotonic set: never moves time backwards.
+  void SetAtLeast(double seconds) {
+    if (seconds > now_) now_ = seconds;
+  }
+
+ private:
+  double now_;
+};
+
+}  // namespace cote
+
+#endif  // COTE_COMMON_CLOCK_H_

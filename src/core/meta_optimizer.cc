@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/timer.h"
+#include "session/limits_policy.h"
 
 namespace cote {
 
@@ -54,18 +55,9 @@ StatusOr<MetaOptimizeResult> MetaOptimizer::Compile(
 
 ResourceLimits MetaOptimizer::DeriveLimits(
     const CompileTimeEstimate& estimate) const {
-  const double headroom = options_.budget_headroom;
-  ResourceLimits limits;
-  limits.deadline_seconds =
-      std::max(1e-3, headroom * estimate.estimated_seconds);
-  limits.max_memo_entries = std::max<int64_t>(
-      64, std::llround(headroom *
-                       static_cast<double>(estimate.enumeration.entries_created)));
-  limits.max_plans = std::max<int64_t>(
-      256, std::llround(headroom *
-                        static_cast<double>(estimate.plan_estimates.total() +
-                                            estimate.completion_plans)));
-  return limits;
+  LimitsPolicy policy;
+  policy.headroom = options_.budget_headroom;
+  return policy.Derive(estimate);
 }
 
 }  // namespace cote

@@ -64,13 +64,12 @@ class MetaOptimizer {
   StatusOr<MetaOptimizeResult> Compile(const QueryGraph& graph) const;
 
   /// Budget for a high-level compile, derived from its COTE estimate with
-  /// `budget_headroom` slack: deadline = headroom × estimated seconds
-  /// (floored at 1ms — an estimate of ~0 must not trip instantly), entry
-  /// cap = headroom × estimated entries (floor 64), plan cap = headroom ×
-  /// (estimated join plans + completion plans) (floor 256). The closing of
-  /// the paper's loop: the COTE predicts the compile, so a compile that
-  /// blows far past its own prediction is exactly the runaway the
-  /// governance layer exists to stop.
+  /// `budget_headroom` slack. Delegates to the shared LimitsPolicy
+  /// (session/limits_policy.h) — the same rule the compile service's
+  /// admission stage uses — with this meta-optimizer's headroom: deadline
+  /// = headroom × estimated seconds (floored at 1ms), entry cap =
+  /// headroom × estimated entries (floor 64), plan cap = headroom ×
+  /// (estimated join plans + completion plans) (floor 256).
   ResourceLimits DeriveLimits(const CompileTimeEstimate& estimate) const;
 
  private:

@@ -74,21 +74,44 @@ std::optional<double> CompileTimeCache::Lookup(const QueryGraph& graph) {
   return it->second->seconds;
 }
 
-void CompileTimeCache::Insert(const QueryGraph& graph, double seconds) {
+bool CompileTimeCache::Insert(const QueryGraph& graph, double seconds,
+                              double admission_cost_seconds) {
   uint64_t sig = Signature(graph);
   MutexLock lock(mu_);
   auto it = map_.find(sig);
   if (it != map_.end()) {
+    // Refresh path: the entry already earned its slot, so the admission
+    // policy is not consulted again.
     it->second->seconds = seconds;
     lru_.splice(lru_.begin(), lru_, it->second);
-    return;
+    return true;
+  }
+  if (admission_fn_ != nullptr &&
+      !admission_fn_(admission_ctx_, sig, admission_cost_seconds)) {
+    ++admission_rejections_;
+    return false;
   }
   lru_.push_front(Entry{sig, seconds});
   map_[sig] = lru_.begin();
+  ++insertions_;
   if (map_.size() > capacity_) {
     map_.erase(lru_.back().signature);
     lru_.pop_back();
+    ++evictions_;
   }
+  return true;
+}
+
+CacheStats CompileTimeCache::Stats() const {
+  MutexLock lock(mu_);
+  CacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_;
+  stats.admission_rejections = admission_rejections_;
+  stats.insertions = insertions_;
+  stats.size = static_cast<int64_t>(map_.size());
+  return stats;
 }
 
 StatusOr<double> CompileTimeCache::CompileThrough(CompilationSession* session,

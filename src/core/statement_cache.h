@@ -16,6 +16,37 @@ namespace cote {
 
 class CompilationSession;
 
+/// Coherent counter snapshot taken under the cache mutex — the pair
+/// (hits, misses) is consistent with (evictions, admission_rejections,
+/// insertions, size) at one instant, unlike reading two relaxed atomics
+/// independently while workers race between the loads.
+struct CacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+  /// Inserts refused by the admission policy (new entries only; refreshing
+  /// an existing entry never consults the policy).
+  int64_t admission_rejections = 0;
+  int64_t insertions = 0;
+  int64_t size = 0;
+
+  double HitRate() const {
+    int64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+/// Admission policy consulted before a *new* entry is cached. Plain
+/// fn-pointer + ctx (same shape as the pipeline stage observer) so the
+/// hot path stays allocation-free. `cost_seconds` is whatever the caller
+/// passed as the admission cost — the compile service passes the
+/// *estimated* compile seconds so cheap statements never displace
+/// expensive ones. Called under the cache mutex: must be fast and must
+/// not reenter the cache.
+using CacheAdmissionFn = bool (*)(void* ctx, uint64_t signature,
+                                  double cost_seconds);
+
 /// \brief The straightforward alternative the paper dismisses (§1.2):
 /// cache the measured compilation time of each compiled statement and
 /// reuse it for subsequent *similar* statements.
@@ -59,8 +90,25 @@ class CompileTimeCache {
   /// Returns the cached compile time, refreshing LRU recency.
   std::optional<double> Lookup(const QueryGraph& graph) COTE_EXCLUDES(mu_);
 
-  /// Records the measured compile time of a statement.
-  void Insert(const QueryGraph& graph, double seconds) COTE_EXCLUDES(mu_);
+  /// Records the measured compile time of a statement. Returns true when
+  /// the entry is now cached (inserted or refreshed), false when the
+  /// admission policy rejected it. The two-argument form uses `seconds`
+  /// itself as the admission cost; the three-argument form lets the caller
+  /// gate on a different quantity (the compile service gates on the
+  /// *estimated* seconds while caching the *measured* seconds).
+  bool Insert(const QueryGraph& graph, double seconds) COTE_EXCLUDES(mu_) {
+    return Insert(graph, seconds, seconds);
+  }
+  bool Insert(const QueryGraph& graph, double seconds,
+              double admission_cost_seconds) COTE_EXCLUDES(mu_);
+
+  /// Installs the admission policy (null fn = admit everything, the
+  /// default). Not synchronized against concurrent Lookup/Insert: install
+  /// before sharing the cache across workers.
+  void SetAdmissionPolicy(CacheAdmissionFn fn, void* ctx) {
+    admission_fn_ = fn;
+    admission_ctx_ = ctx;
+  }
 
   /// Compile-through: returns the cached compile time on a hit; on a miss
   /// compiles `graph` through `session` (plan mode), inserts the measured
@@ -74,6 +122,7 @@ class CompileTimeCache {
   StatusOr<double> CompileThrough(CompilationSession* session,
                                   const QueryGraph& graph) COTE_EXCLUDES(mu_);
 
+  /// Approximate fast reads (relaxed); use Stats() for a coherent view.
   int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
   size_t size() const COTE_EXCLUDES(mu_) {
@@ -81,6 +130,12 @@ class CompileTimeCache {
     return map_.size();
   }
   size_t capacity() const { return capacity_; }
+
+  /// Coherent snapshot under `mu_`. The hit/miss counters stay relaxed
+  /// atomics on the hot path; reading them while holding the mutex makes
+  /// them consistent with the lock-guarded counters because every counter
+  /// update happens inside a critical section on the same mutex.
+  CacheStats Stats() const COTE_EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -93,8 +148,14 @@ class CompileTimeCache {
   std::list<Entry> lru_ COTE_GUARDED_BY(mu_);  // front = most recent
   std::unordered_map<uint64_t, std::list<Entry>::iterator> map_
       COTE_GUARDED_BY(mu_);
-  std::atomic<int64_t> hits_{0};   // relaxed counters, never lock-held
+  std::atomic<int64_t> hits_{0};   // relaxed counters, updated lock-held
   std::atomic<int64_t> misses_{0};
+  // Cold-path counters only touched inside Insert's critical section.
+  int64_t evictions_ COTE_GUARDED_BY(mu_) = 0;
+  int64_t admission_rejections_ COTE_GUARDED_BY(mu_) = 0;
+  int64_t insertions_ COTE_GUARDED_BY(mu_) = 0;
+  CacheAdmissionFn admission_fn_ = nullptr;  // install-before-share
+  void* admission_ctx_ = nullptr;
 };
 
 }  // namespace cote

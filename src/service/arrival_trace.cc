@@ -1,0 +1,49 @@
+#include "service/arrival_trace.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "query/query_graph.h"
+
+namespace cote {
+
+namespace {
+
+/// One exponential inter-arrival gap via inversion sampling. 1 - u is in
+/// (0, 1] (NextDouble() < 1), so the log argument never hits zero.
+inline double NextGapSeconds(Rng* rng, double mean_gap_seconds) {
+  return -mean_gap_seconds * std::log(1.0 - rng->NextDouble());
+}
+
+}  // namespace
+
+std::vector<Submission> MakeOpenLoopTrace(
+    const std::vector<const QueryGraph*>& pool,
+    const ArrivalTraceOptions& options) {
+  COTE_CHECK(!pool.empty());
+  COTE_CHECK(options.num_arrivals >= 0);
+  COTE_CHECK(options.mean_gap_seconds > 0);
+  COTE_CHECK(options.deadline_slack_min_seconds <=
+             options.deadline_slack_max_seconds);
+  Rng rng(options.seed);
+  std::vector<Submission> trace;
+  trace.reserve(static_cast<size_t>(options.num_arrivals));
+  double now = 0;
+  for (int i = 0; i < options.num_arrivals; ++i) {
+    now += NextGapSeconds(&rng, options.mean_gap_seconds);
+    Submission s;
+    s.query = pool[rng.Uniform(pool.size())];
+    s.arrival_seconds = now;
+    if (rng.Bernoulli(options.deadline_fraction)) {
+      const double span = options.deadline_slack_max_seconds -
+                          options.deadline_slack_min_seconds;
+      s.deadline_seconds = now + options.deadline_slack_min_seconds +
+                           span * rng.NextDouble();
+    }
+    trace.push_back(s);
+  }
+  return trace;
+}
+
+}  // namespace cote

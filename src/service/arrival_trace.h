@@ -1,0 +1,56 @@
+#ifndef COTE_SERVICE_ARRIVAL_TRACE_H_
+#define COTE_SERVICE_ARRIVAL_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cote {
+
+class QueryGraph;
+
+/// One query submitted to the compile service.
+struct Submission {
+  const QueryGraph* query = nullptr;
+  /// When the client submits, in trace seconds. Open-loop: arrivals do not
+  /// wait for prior completions.
+  double arrival_seconds = 0;
+  /// Absolute completion deadline in trace seconds; <= 0 means none. Only
+  /// the kDeadlineAware policy reads it.
+  double deadline_seconds = 0;
+  /// Feedback class for the trip-rate tracker; -1 lets the admission
+  /// stage derive it from the query shape (ServiceQueryClass).
+  int query_class = -1;
+};
+
+struct ArrivalTraceOptions {
+  /// Number of submissions to generate.
+  int num_arrivals = 100;
+  /// Mean inter-arrival gap. Open-loop offered load = (mean compile
+  /// seconds) / mean_gap_seconds; > 1 means overload, which is where
+  /// scheduling policy starts to matter.
+  double mean_gap_seconds = 0.01;
+  uint64_t seed = 42;
+  /// Fraction of submissions carrying a deadline (for kDeadlineAware).
+  double deadline_fraction = 0.5;
+  /// A deadline-carrying submission's deadline is its arrival plus a
+  /// uniform slack from this range.
+  double deadline_slack_min_seconds = 0.05;
+  double deadline_slack_max_seconds = 0.5;
+};
+
+/// \brief Seeded open-loop arrival trace over a query pool.
+///
+/// Queries are drawn uniformly from `pool`, inter-arrival gaps are
+/// exponential with the given mean (a Poisson arrival process — the
+/// standard open-loop model), and deadlines are assigned by seeded coin
+/// flip. Everything derives from one cote::Rng stream, so the same
+/// (pool, options) produce the identical trace on every run — the
+/// determinism anchor for the service tests and for comparing scheduling
+/// policies on *the same* stream.
+std::vector<Submission> MakeOpenLoopTrace(
+    const std::vector<const QueryGraph*>& pool,
+    const ArrivalTraceOptions& options);
+
+}  // namespace cote
+
+#endif  // COTE_SERVICE_ARRIVAL_TRACE_H_

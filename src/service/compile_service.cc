@@ -1,0 +1,252 @@
+#include "service/compile_service.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cote {
+
+namespace {
+
+/// A failed compile whose Status is the budget's own (kFail trip) is trip
+/// evidence just like a degraded result.
+inline bool IsBudgetTripStatus(const Status& status) {
+  return status.code() == StatusCode::kDeadlineExceeded ||
+         status.code() == StatusCode::kResourceExhausted;
+}
+
+}  // namespace
+
+double ServiceReport::MeanQueueSeconds() const {
+  if (records.empty()) return 0;
+  double sum = 0;
+  // det-ok: record-order fold of timeline arithmetic, order pinned by Run
+  for (const ServiceQueryRecord& r : records) sum += r.queue_seconds;
+  return sum / static_cast<double>(records.size());
+}
+
+double ServiceReport::P95QueueSeconds() const {
+  if (records.empty()) return 0;
+  std::vector<double> q;
+  q.reserve(records.size());
+  for (const ServiceQueryRecord& r : records) q.push_back(r.queue_seconds);
+  std::sort(q.begin(), q.end());
+  // Nearest-rank p95: smallest value ≥ 95% of the sample.
+  const size_t rank = (q.size() * 95 + 99) / 100;  // ceil(0.95 n)
+  return q[rank == 0 ? 0 : rank - 1];
+}
+
+void CompileService::ObserverThunk(void* ctx, const StageEvent& event) {
+  auto* trace = static_cast<DispatchTrace*>(ctx);
+  ++trace->events;
+  if (event.budget_tripped) trace->budget_tripped = true;
+}
+
+bool CompileService::ThresholdAdmission(void* ctx, uint64_t /*signature*/,
+                                        double cost_seconds) {
+  return cost_seconds >= *static_cast<const double*>(ctx);
+}
+
+CompileService::CompileService(CompileServiceOptions options)
+    : options_(std::move(options)),
+      clock_(options_.clock != nullptr ? options_.clock : SystemClock::Get()),
+      cache_(options_.enable_cache
+                 ? std::make_unique<CompileTimeCache>(options_.cache_capacity)
+                 : nullptr),
+      tracker_(options_.trip_tracker),
+      admission_(options_.optimizer, options_.counter, options_.time_model,
+                 options_.admission, cache_.get(), &tracker_),
+      pool_(options_.num_workers, options_.optimizer, options_.counter) {
+  if (cache_ != nullptr) {
+    // The ctx points at this service's own options member, so the
+    // threshold stays adjustable per service without any allocation.
+    cache_->SetAdmissionPolicy(
+        &ThresholdAdmission, &options_.cache_admission_threshold_seconds);
+  }
+}
+
+ServiceReport CompileService::Run(const std::vector<Submission>& arrivals) {
+  ServiceReport report;
+  const size_t n = arrivals.size();
+  report.records.reserve(n);
+  std::vector<double> worker_free(static_cast<size_t>(pool_.num_workers()), 0);
+  std::vector<AdmissionOutcome> admitted(n);
+  ReadyQueue queue(options_.policy);
+  size_t next = 0;  // first not-yet-admitted arrival
+
+  // Admits every arrival at or before trace time `t` — admission runs at
+  // arrival on the front end, so by the time a server picks, everything
+  // that has arrived is in the ready queue with its estimate attached.
+  auto admit_up_to = [&](double t) {
+    while (next < n && arrivals[next].arrival_seconds <= t) {
+      const Submission& s = arrivals[next];
+      COTE_CHECK(s.query != nullptr);
+      COTE_CHECK(next == 0 ||
+                 s.arrival_seconds >= arrivals[next - 1].arrival_seconds);
+      admitted[next] = admission_.Admit(*s.query, s.query_class);
+      ReadyEntry entry;
+      entry.ticket = next;
+      entry.ready_seconds = s.arrival_seconds;
+      entry.predicted_seconds = admitted[next].predicted_seconds;
+      entry.deadline_seconds = s.deadline_seconds;
+      queue.Push(entry);
+      ++next;
+    }
+  };
+
+  while (next < n || !queue.empty()) {
+    // The server that frees first dispatches next (lowest index on ties —
+    // a deterministic argmin).
+    size_t w = 0;
+    for (size_t k = 1; k < worker_free.size(); ++k) {
+      if (worker_free[k] < worker_free[w]) w = k;
+    }
+    double t = worker_free[w];
+    // An idle server with an empty queue jumps to the next arrival.
+    if (queue.empty()) t = std::max(t, arrivals[next].arrival_seconds);
+    admit_up_to(t);
+    if (queue.empty()) continue;
+
+    const ReadyEntry entry = queue.PopNext();
+    const Submission& sub = arrivals[entry.ticket];
+    const AdmissionOutcome& adm = admitted[entry.ticket];
+
+    ServiceQueryRecord rec;
+    rec.ticket = entry.ticket;
+    rec.worker = static_cast<int>(w);
+    rec.query_class = adm.query_class;
+    rec.arrival_seconds = sub.arrival_seconds;
+    rec.start_seconds = t;
+    rec.queue_seconds = t - sub.arrival_seconds;
+    rec.deadline_seconds = sub.deadline_seconds;
+    rec.predicted_seconds = adm.predicted_seconds;
+    rec.estimated = adm.estimated;
+    rec.cache_hit = adm.cache_hit;
+    rec.headroom_multiplier = adm.headroom_multiplier;
+    rec.limits = adm.limits;
+
+    // The real compile, on this simulated server's warm session. The
+    // observer context attributes this run's stage events (and any budget
+    // trip) to this queue entry — the fn + ctx observer shape exists for
+    // exactly this.
+    DispatchTrace trace;
+    CompilationSession& session = pool_.session(static_cast<int>(w));
+    session.SetStageObserver(&ObserverThunk, &trace);
+    const double wall_before = clock_->NowSeconds();
+    StatusOr<OptimizeResult> result =
+        adm.limits.Unlimited() ? session.Optimize(*sub.query)
+                               : session.Optimize(*sub.query, adm.limits);
+    const double measured_seconds = clock_->NowSeconds() - wall_before;
+    session.SetStageObserver(nullptr, nullptr);
+
+    rec.stage_events = trace.events;
+    rec.budget_tripped = trace.budget_tripped;
+    if (result.ok()) {
+      rec.degraded = result->degraded;
+      rec.tripped_limit = result->tripped_limit;
+      rec.degraded_stage = result->degraded_stage;
+    } else {
+      rec.status = result.status();
+    }
+
+    rec.service_seconds = options_.time_source == ServiceTimeSource::kClock
+                              ? measured_seconds
+                              : adm.predicted_seconds;
+    rec.finish_seconds = rec.start_seconds + rec.service_seconds;
+    worker_free[w] = rec.finish_seconds;
+    if (options_.drive_clock != nullptr) {
+      options_.drive_clock->SetAtLeast(rec.finish_seconds);
+    }
+
+    // Close the two feedback loops. Cache: store what this statement
+    // actually cost, gated (inside the cache) on what admission predicted
+    // it would cost. Tracker: an armed compile that tripped its derived
+    // budget is evidence the estimator runs low for this class.
+    if (cache_ != nullptr && !adm.cache_hit && result.ok()) {
+      rec.cache_inserted =
+          cache_->Insert(*sub.query, rec.service_seconds,
+                         adm.predicted_seconds);
+    }
+    if (!adm.limits.Unlimited()) {
+      const bool tripped = rec.degraded || rec.budget_tripped ||
+                           IsBudgetTripStatus(rec.status);
+      tracker_.Record(adm.query_class, tripped);
+    }
+
+    if (rec.estimated) ++report.estimates;
+    if (rec.cache_hit) ++report.cache_hits;
+    if (rec.cache_inserted) ++report.cache_insertions;
+    if (rec.degraded) ++report.degraded;
+    if (!rec.status.ok()) ++report.failed;
+    if (rec.deadline_seconds > 0 &&
+        rec.finish_seconds > rec.deadline_seconds) {
+      ++report.deadline_misses;
+    }
+    report.makespan_seconds =
+        std::max(report.makespan_seconds, rec.finish_seconds);
+    report.records.push_back(rec);
+  }
+
+  if (cache_ != nullptr) report.cache_stats = cache_->Stats();
+  report.class_feedback = tracker_.Snapshot();
+  return report;
+}
+
+ServiceBatchResult CompileService::CompileBatch(
+    const std::vector<const QueryGraph*>& queries) {
+  ServiceBatchResult out;
+  const size_t n = queries.size();
+  out.admissions.resize(n);
+  ReadyQueue queue(options_.policy);
+  for (size_t i = 0; i < n; ++i) {
+    COTE_CHECK(queries[i] != nullptr);
+    out.admissions[i] = admission_.Admit(*queries[i], -1);
+    ReadyEntry entry;
+    entry.ticket = i;
+    entry.predicted_seconds = out.admissions[i].predicted_seconds;
+    queue.Push(entry);
+    if (out.admissions[i].estimated) ++out.estimates;
+    if (out.admissions[i].cache_hit) ++out.cache_hits;
+  }
+
+  // Drain by policy to fix the dispatch order, then hand the ordered
+  // batch — with each query's own derived limits — to the pool's real
+  // worker threads (the per-query-limits scheduler hook).
+  std::vector<const QueryGraph*> ordered;
+  std::vector<ResourceLimits> per_query;
+  ordered.reserve(n);
+  per_query.reserve(n);
+  out.schedule.reserve(n);
+  while (!queue.empty()) {
+    const ReadyEntry entry = queue.PopNext();
+    out.schedule.push_back(entry.ticket);
+    ordered.push_back(queries[entry.ticket]);
+    per_query.push_back(out.admissions[entry.ticket].limits);
+  }
+  BatchOptimizeResult batch = pool_.CompileBatch(ordered, per_query);
+  out.stats = std::move(batch.stats);
+
+  out.results.assign(n, StatusOr<OptimizeResult>(
+                            Status::Internal("query was not compiled")));
+  for (size_t k = 0; k < n; ++k) {
+    out.results[out.schedule[k]] = std::move(batch.results[k]);
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    const AdmissionOutcome& adm = out.admissions[i];
+    if (cache_ != nullptr && !adm.cache_hit && out.results[i].ok()) {
+      cache_->Insert(*queries[i], out.results[i]->stats.total_seconds,
+                     adm.predicted_seconds);
+    }
+    if (!adm.limits.Unlimited()) {
+      const bool tripped = out.results[i].ok()
+                               ? out.results[i]->degraded
+                               : IsBudgetTripStatus(out.results[i].status());
+      tracker_.Record(adm.query_class, tripped);
+    }
+  }
+  return out;
+}
+
+}  // namespace cote

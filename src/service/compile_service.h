@@ -1,0 +1,213 @@
+#ifndef COTE_SERVICE_COMPILE_SERVICE_H_
+#define COTE_SERVICE_COMPILE_SERVICE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "core/statement_cache.h"
+#include "core/time_model.h"
+#include "service/admission.h"
+#include "service/arrival_trace.h"
+#include "service/scheduler.h"
+#include "service/trip_tracker.h"
+#include "session/session_pool.h"
+
+namespace cote {
+
+/// Where the simulated timeline's per-query service time comes from.
+enum class ServiceTimeSource {
+  /// Measured compile wall seconds (through the injected clock). The
+  /// real-workload mode the bench uses.
+  kClock,
+  /// The admission-time prediction. Fully deterministic — the mode the
+  /// virtual-clock tests use, and the timeline every policy comparison
+  /// can replay bit-identically.
+  kEstimate,
+};
+
+struct CompileServiceOptions {
+  OptimizerOptions optimizer;
+  PlanCounterOptions counter;
+  /// Calibrated model behind the admission estimates.
+  TimeModel time_model;
+  /// Simulated compile servers (and pool sessions). <= 0 selects
+  /// hardware concurrency, like SessionPool.
+  int num_workers = 1;
+  SchedulingPolicy policy = SchedulingPolicy::kFifo;
+  ServiceTimeSource time_source = ServiceTimeSource::kClock;
+  /// Clock behind every wall-time read the service makes; null selects
+  /// the process SystemClock. Tests inject a VirtualClock.
+  Clock* clock = nullptr;
+  /// When set, Run() advances this clock along the simulated timeline
+  /// (to each dispatch's finish time), so components sharing the clock
+  /// observe simulation time instead of wall time.
+  VirtualClock* drive_clock = nullptr;
+
+  /// Statement cache in front of admission (estimation is skipped on a
+  /// signature hit).
+  bool enable_cache = true;
+  size_t cache_capacity = 1024;
+  /// Cache admission gate: only statements whose *predicted* compile
+  /// seconds clear this threshold earn a cache slot (<= 0 admits all).
+  /// Cheap statements are cheap to recompile; caching them evicts the
+  /// entries whose reuse actually pays.
+  double cache_admission_threshold_seconds = 0;
+
+  AdmissionOptions admission;
+  TripTrackerOptions trip_tracker;
+};
+
+/// Everything the service did for one submission, in dispatch order.
+struct ServiceQueryRecord {
+  size_t ticket = 0;  ///< index into the arrival trace
+  int worker = 0;     ///< simulated server that ran the compile
+  int query_class = 0;
+
+  // Simulated timeline (trace seconds).
+  double arrival_seconds = 0;
+  double start_seconds = 0;
+  double finish_seconds = 0;
+  double queue_seconds = 0;  ///< start - arrival: what p95 is taken over
+  double service_seconds = 0;
+  double deadline_seconds = 0;  ///< copied from the submission; <= 0 none
+
+  // Admission outcome.
+  double predicted_seconds = 0;
+  bool estimated = false;
+  bool cache_hit = false;
+  bool cache_inserted = false;
+  double headroom_multiplier = 1.0;
+  ResourceLimits limits;
+
+  // Compile outcome.
+  Status status;  ///< OK, or why this compile failed (rest unaffected)
+  bool degraded = false;
+  BudgetLimit tripped_limit = BudgetLimit::kNone;
+  CompileStage degraded_stage = CompileStage::kNone;
+  /// Budget trip seen by the stage observer — also set on the kFail path,
+  /// where no degraded result exists to carry it.
+  bool budget_tripped = false;
+  /// Pipeline stage events attributed to this dispatch via observer ctx.
+  int stage_events = 0;
+};
+
+/// \brief Outcome of one open-loop Run() over an arrival trace.
+struct ServiceReport {
+  std::vector<ServiceQueryRecord> records;  ///< dispatch order
+  double makespan_seconds = 0;              ///< last finish, trace seconds
+  int64_t estimates = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_insertions = 0;
+  int64_t degraded = 0;
+  int64_t failed = 0;
+  int64_t deadline_misses = 0;
+  /// Coherent cache counters at the end of the run (all-zero when the
+  /// cache is disabled).
+  CacheStats cache_stats;
+  /// Trip-rate tracker state per observed class at the end of the run.
+  std::vector<TripRateTracker::ClassSnapshot> class_feedback;
+
+  double QueriesPerSecond() const {
+    return makespan_seconds > 0
+               ? static_cast<double>(records.size()) / makespan_seconds
+               : 0;
+  }
+  double MeanQueueSeconds() const;
+  /// p95 of queue_seconds over all records (0 when empty).
+  double P95QueueSeconds() const;
+};
+
+/// Closed-loop batch outcome: compile results in *input* order, the
+/// policy's dispatch order alongside.
+struct ServiceBatchResult {
+  std::vector<StatusOr<OptimizeResult>> results;   ///< input order
+  std::vector<AdmissionOutcome> admissions;        ///< input order
+  std::vector<size_t> schedule;  ///< input indices in dispatch order
+  BatchStats stats;
+  int64_t estimates = 0;
+  int64_t cache_hits = 0;
+};
+
+/// \brief The compile service front-end: estimate-first admission,
+/// policy scheduling, estimate-derived budgets, estimate-gated caching.
+///
+/// Composes the layers built in PRs 3–7 into the server shape the paper's
+/// §6 applications assume. Every submission is admitted through the warm
+/// estimate path first (unless its signature hits the statement cache),
+/// and that one cheap number then drives everything downstream:
+///
+///   * scheduling  — the ready queue pops by policy (FIFO baseline,
+///     shortest-estimated-first, deadline-aware EDF);
+///   * governance  — per-query ResourceLimits derived from the query's
+///     own estimate (shared LimitsPolicy), widened per query class by the
+///     trip-rate tracker when derived budgets keep tripping;
+///   * caching     — statement-cache admission is gated on the predicted
+///     compile cost clearing a threshold, so cheap-to-recompile
+///     statements never displace expensive ones.
+///
+/// Run() replays an open-loop arrival trace against `num_workers`
+/// simulated compile servers: the timeline (queueing, start/finish
+/// times) is discrete-event simulated while the compiles themselves
+/// execute for real through the pool's warm per-worker sessions on the
+/// calling thread. With ServiceTimeSource::kEstimate and a VirtualClock
+/// the whole run — dispatch order, every policy decision, every record —
+/// is bit-identical across runs; with kClock the timeline carries
+/// measured service times, which is what the throughput bench records.
+/// Admission runs at arrival on the front end, off the workers' critical
+/// path (the ~3% estimate cost is the paper's admission fee), so queue
+/// latency is start − arrival.
+///
+/// CompileBatch() is the closed-loop sibling: admit and order the whole
+/// batch by policy, then compile it on the pool's real threads with
+/// per-query limits (the SessionPool scheduler hook).
+///
+/// Not thread-safe; one Run()/CompileBatch() at a time.
+class CompileService {
+ public:
+  explicit CompileService(CompileServiceOptions options = {});
+
+  /// Replays `arrivals` (ascending arrival_seconds; MakeOpenLoopTrace's
+  /// output qualifies) through admission, the ready queue, and the
+  /// simulated servers. A failing compile lands at its record with a
+  /// Status; the queue keeps draining — the service stays usable, pinned
+  /// by the fault-injection tests.
+  ServiceReport Run(const std::vector<Submission>& arrivals);
+
+  /// Closed-loop batch: everything is ready at once, the policy orders
+  /// it, the pool compiles it concurrently under per-query derived
+  /// limits. Results in input order.
+  ServiceBatchResult CompileBatch(
+      const std::vector<const QueryGraph*>& queries);
+
+  const CompileServiceOptions& options() const { return options_; }
+  /// Null when the cache is disabled.
+  CompileTimeCache* cache() { return cache_.get(); }
+  const TripRateTracker& tracker() const { return tracker_; }
+  SessionPool& pool() { return pool_; }
+
+ private:
+  /// Per-dispatch observer context: counts stage events and latches
+  /// budget trips for this queue entry only.
+  struct DispatchTrace {
+    int events = 0;
+    bool budget_tripped = false;
+  };
+  static void ObserverThunk(void* ctx, const StageEvent& event);
+  static bool ThresholdAdmission(void* ctx, uint64_t signature,
+                                 double cost_seconds);
+
+  CompileServiceOptions options_;
+  Clock* clock_;  // never null after construction
+  std::unique_ptr<CompileTimeCache> cache_;  // null when disabled
+  TripRateTracker tracker_;
+  AdmissionStage admission_;
+  SessionPool pool_;
+};
+
+}  // namespace cote
+
+#endif  // COTE_SERVICE_COMPILE_SERVICE_H_

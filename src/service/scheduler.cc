@@ -1,0 +1,79 @@
+#include "service/scheduler.h"
+
+#include "common/check.h"
+
+namespace cote {
+
+namespace {
+
+/// true when `a` should run before `b` under kShortestEstimatedFirst.
+inline bool ShorterFirst(const ReadyEntry& a, const ReadyEntry& b) {
+  if (a.predicted_seconds != b.predicted_seconds) {
+    return a.predicted_seconds < b.predicted_seconds;
+  }
+  return a.ticket < b.ticket;
+}
+
+/// true when `a` should run before `b` under kDeadlineAware (EDF;
+/// deadline-less entries after every deadline-carrying one, FIFO among
+/// themselves).
+inline bool EarlierDeadlineFirst(const ReadyEntry& a, const ReadyEntry& b) {
+  const bool a_has = a.deadline_seconds > 0;
+  const bool b_has = b.deadline_seconds > 0;
+  if (a_has != b_has) return a_has;
+  if (a_has && a.deadline_seconds != b.deadline_seconds) {
+    return a.deadline_seconds < b.deadline_seconds;
+  }
+  return a.ticket < b.ticket;
+}
+
+}  // namespace
+
+const char* SchedulingPolicyName(SchedulingPolicy policy) {
+  switch (policy) {
+    case SchedulingPolicy::kFifo:
+      return "fifo";
+    case SchedulingPolicy::kShortestEstimatedFirst:
+      return "sjf";
+    case SchedulingPolicy::kDeadlineAware:
+      return "edf";
+  }
+  return "unknown";
+}
+
+size_t ReadyQueue::PickIndex() const {
+  COTE_DCHECK(!entries_.empty());
+  size_t best = 0;
+  for (size_t i = 1; i < entries_.size(); ++i) {
+    const ReadyEntry& a = entries_[i];
+    const ReadyEntry& b = entries_[best];
+    bool before = false;
+    switch (policy_) {
+      case SchedulingPolicy::kFifo:
+        before = a.ticket < b.ticket;
+        break;
+      case SchedulingPolicy::kShortestEstimatedFirst:
+        before = ShorterFirst(a, b);
+        break;
+      case SchedulingPolicy::kDeadlineAware:
+        before = EarlierDeadlineFirst(a, b);
+        break;
+    }
+    if (before) best = i;
+  }
+  return best;
+}
+
+ReadyEntry ReadyQueue::PopNext() {
+  COTE_CHECK(!entries_.empty());
+  const size_t i = PickIndex();
+  ReadyEntry out = entries_[i];
+  // Swap-remove: O(1), keeps capacity. Vector order becomes
+  // history-dependent, but PickIndex is order-blind (unique-ticket
+  // tie-breaks), so dispatch order stays deterministic.
+  entries_[i] = entries_.back();
+  entries_.pop_back();
+  return out;
+}
+
+}  // namespace cote

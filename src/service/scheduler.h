@@ -1,0 +1,76 @@
+#ifndef COTE_SERVICE_SCHEDULER_H_
+#define COTE_SERVICE_SCHEDULER_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cote {
+
+/// Queue discipline of the compile service. Every policy is a pure,
+/// deterministic function of the ready set — ties always break on ticket
+/// (submission order), so two runs over the same trace dispatch in the
+/// same order bit for bit.
+enum class SchedulingPolicy {
+  /// Dispatch in arrival order. The estimate-blind baseline.
+  kFifo,
+  /// Shortest-estimated-compile-first: dispatch the ready query with the
+  /// smallest predicted compile seconds. The paper's §6 "workload
+  /// management" application — the ~3%-cost estimate is exactly what SJF
+  /// needs and what a compiler normally never has.
+  kShortestEstimatedFirst,
+  /// Earliest-deadline-first over queries that carry a deadline;
+  /// deadline-less queries run FIFO behind every deadline-carrying one.
+  kDeadlineAware,
+};
+
+const char* SchedulingPolicyName(SchedulingPolicy policy);
+
+/// One admitted submission waiting for a worker.
+struct ReadyEntry {
+  /// Submission index in the arrival trace: unique, and the universal
+  /// deterministic tie-break.
+  size_t ticket = 0;
+  /// Virtual/wall seconds at which the entry became ready (admitted).
+  double ready_seconds = 0;
+  /// Predicted compile seconds (estimate, or cached measurement on a
+  /// signature hit) — the SJF key.
+  double predicted_seconds = 0;
+  /// Absolute deadline in trace time; <= 0 means none — the EDF key.
+  double deadline_seconds = 0;
+};
+
+/// \brief The service's ready queue: admitted-but-not-yet-dispatched
+/// submissions, popped by policy.
+///
+/// A linear-scan priority queue over a capacity-retained vector. The
+/// service dispatches compiles that take milliseconds to seconds, and
+/// ready sets are tens of entries, so an O(n) scan per pop is noise next
+/// to one compile — and a plain vector keeps Pop deterministic, simple to
+/// reason about, and free of heap churn in steady state (swap-remove,
+/// capacity retained).
+class ReadyQueue {
+ public:
+  explicit ReadyQueue(SchedulingPolicy policy) : policy_(policy) {}
+
+  SchedulingPolicy policy() const { return policy_; }
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+  void Push(const ReadyEntry& entry) { entries_.push_back(entry); }
+
+  /// Removes and returns the entry the policy picks next. Queue must be
+  /// non-empty.
+  ReadyEntry PopNext();
+
+ private:
+  /// Index of the policy's pick; deterministic for any vector order
+  /// because every comparison ends in the unique ticket.
+  size_t PickIndex() const;
+
+  SchedulingPolicy policy_;
+  std::vector<ReadyEntry> entries_;
+};
+
+}  // namespace cote
+
+#endif  // COTE_SERVICE_SCHEDULER_H_

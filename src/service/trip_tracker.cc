@@ -1,0 +1,62 @@
+#include "service/trip_tracker.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "query/query_graph.h"
+
+namespace cote {
+
+int ServiceQueryClass(const QueryGraph& graph) {
+  return std::min(graph.num_tables(), TripRateTracker::kMaxClass);
+}
+
+TripRateTracker::TripRateTracker(TripTrackerOptions options)
+    : options_(options) {
+  COTE_CHECK(options_.min_samples >= 1);
+  COTE_CHECK(options_.widen_factor >= 1.0);
+  COTE_CHECK(options_.max_multiplier >= 1.0);
+}
+
+int TripRateTracker::ClampClass(int query_class) {
+  if (query_class < 0) return 0;
+  return std::min(query_class, kMaxClass);
+}
+
+void TripRateTracker::Record(int query_class, bool tripped) {
+  ClassStats& c = classes_[static_cast<size_t>(ClampClass(query_class))];
+  ++c.armed;
+  ++c.window_armed;
+  if (tripped) {
+    ++c.tripped;
+    ++c.window_tripped;
+  }
+  if (c.window_armed < options_.min_samples) return;
+  // Window complete: widen once if the rate crossed the threshold, then
+  // start a fresh window either way — old windows are stale evidence once
+  // the multiplier (and thus the budgets being tripped) has changed.
+  const double rate = static_cast<double>(c.window_tripped) /
+                      static_cast<double>(c.window_armed);
+  if (rate > options_.trip_rate_threshold) {
+    c.multiplier =
+        std::min(c.multiplier * options_.widen_factor, options_.max_multiplier);
+  }
+  c.window_armed = 0;
+  c.window_tripped = 0;
+}
+
+double TripRateTracker::HeadroomMultiplier(int query_class) const {
+  return classes_[static_cast<size_t>(ClampClass(query_class))].multiplier;
+}
+
+std::vector<TripRateTracker::ClassSnapshot> TripRateTracker::Snapshot() const {
+  std::vector<ClassSnapshot> out;
+  for (int k = 0; k <= kMaxClass; ++k) {
+    const ClassStats& c = classes_[static_cast<size_t>(k)];
+    if (c.armed == 0) continue;
+    out.push_back(ClassSnapshot{k, c.armed, c.tripped, c.multiplier});
+  }
+  return out;
+}
+
+}  // namespace cote

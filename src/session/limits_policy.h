@@ -1,0 +1,72 @@
+#ifndef COTE_SESSION_LIMITS_POLICY_H_
+#define COTE_SESSION_LIMITS_POLICY_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "common/resource_budget.h"
+#include "session/compilation_stats.h"
+
+namespace cote {
+
+/// \brief Estimate → ResourceLimits derivation, shared policy.
+///
+/// Generalizes what used to live inside MetaOptimizer::DeriveLimits so
+/// the compile service's admission stage and the meta-optimizer derive
+/// budgets from one rule: each limit is `headroom ×` the corresponding
+/// estimated quantity, floored so a near-zero estimate cannot produce a
+/// budget that trips instantly. The COTE closes its own loop here — the
+/// estimate that justified compiling also bounds the compile, and a run
+/// that blows far past its own prediction is exactly the runaway the
+/// governance layer exists to stop.
+///
+/// `extra_headroom` (≥ 1) composes multiplicatively; the service's
+/// per-query-class trip-rate tracker passes the class multiplier through
+/// it, so a class whose derived budgets keep tripping (evidence the
+/// estimator is biased low there) gets progressively wider budgets
+/// without touching the base policy.
+struct LimitsPolicy {
+  double headroom = 8.0;
+  double min_deadline_seconds = 1e-3;
+  int64_t min_memo_entries = 64;
+  int64_t min_plans = 256;
+
+  /// Full derivation from a COTE estimate: deadline, memo-entry cap, and
+  /// plan cap. Bit-identical to the original MetaOptimizer::DeriveLimits
+  /// at extra_headroom = 1.
+  ResourceLimits Derive(const CompileTimeEstimate& estimate,
+                        double extra_headroom = 1.0) const {
+    const double h = headroom * extra_headroom;
+    ResourceLimits limits;
+    limits.deadline_seconds =
+        std::max(min_deadline_seconds, h * estimate.estimated_seconds);
+    limits.max_memo_entries = std::max<int64_t>(
+        min_memo_entries,
+        std::llround(
+            h * static_cast<double>(estimate.enumeration.entries_created)));
+    limits.max_plans = std::max<int64_t>(
+        min_plans,
+        std::llround(h * static_cast<double>(estimate.plan_estimates.total() +
+                                             estimate.completion_plans)));
+    return limits;
+  }
+
+  /// Deadline-only derivation for entries that carry a predicted time but
+  /// no plan counts — e.g. a statement-cache hit, where estimation was
+  /// skipped entirely and the cached measured seconds stand in for the
+  /// estimate. Count caps stay unlimited: there is nothing to scale them
+  /// from, and a wrong cap is worse than none.
+  ResourceLimits DeriveFromSeconds(double predicted_seconds,
+                                   double extra_headroom = 1.0) const {
+    ResourceLimits limits;
+    limits.deadline_seconds =
+        std::max(min_deadline_seconds,
+                 headroom * extra_headroom * predicted_seconds);
+    return limits;
+  }
+};
+
+}  // namespace cote
+
+#endif  // COTE_SESSION_LIMITS_POLICY_H_

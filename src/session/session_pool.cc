@@ -4,6 +4,7 @@
 #include <atomic>
 #include <thread>
 
+#include "common/check.h"
 #include "common/timer.h"
 
 namespace cote {
@@ -174,6 +175,25 @@ BatchOptimizeResult SessionPool::CompileBatch(
       RunBatch(queries.size(),
                [results, qs, lim](CompilationSession* session, size_t i) {
                  CompileOne(session, qs[i], lim, &results[i]);
+               });
+  return out;
+}
+
+BatchOptimizeResult SessionPool::CompileBatch(
+    const std::vector<const QueryGraph*>& queries,
+    const std::vector<ResourceLimits>& per_query) {
+  COTE_CHECK_EQ(queries.size(), per_query.size());
+  BatchOptimizeResult out{
+      std::vector<StatusOr<OptimizeResult>>(
+          queries.size(), Status::Internal("query was not compiled")),
+      BatchStats{}};
+  StatusOr<OptimizeResult>* results = out.results.data();
+  const QueryGraph* const* qs = queries.data();
+  const ResourceLimits* lims = per_query.data();
+  out.stats =
+      RunBatch(queries.size(),
+               [results, qs, lims](CompilationSession* session, size_t i) {
+                 CompileOne(session, qs[i], &lims[i], &results[i]);
                });
   return out;
 }

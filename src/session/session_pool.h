@@ -112,6 +112,15 @@ class SessionPool {
       const std::vector<const QueryGraph*>& queries,
       const ResourceLimits& limits);
 
+  /// Governed plan batch with *per-query* limits: `per_query[i]` arms the
+  /// budget for `queries[i]`. This is the scheduler hook the compile
+  /// service uses — each query runs under limits derived from its own
+  /// estimate, so one under-estimated query degrades at its index without
+  /// loosening or tightening anyone else's budget. Sizes must match.
+  BatchOptimizeResult CompileBatch(
+      const std::vector<const QueryGraph*>& queries,
+      const std::vector<ResourceLimits>& per_query);
+
   /// Estimate-compiles the batch (§3 mode); results in input order. Null
   /// pointers yield a default (all-zero) estimate.
   BatchEstimateResult EstimateBatch(

@@ -1,0 +1,503 @@
+#include "service/compile_service.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/clock.h"
+#include "service/arrival_trace.h"
+#include "service/scheduler.h"
+#include "service/trip_tracker.h"
+#include "session/session.h"
+#include "workload/workload.h"
+
+// Fixture names deliberately contain "Service": tools/run_checks.sh's TSan
+// gate runs `ctest -R 'Session|Service'`, and the closed-loop batch path
+// below is exactly the concurrent surface that gate race-checks.
+
+namespace cote {
+namespace {
+
+OptimizerOptions SmallOptions() {
+  OptimizerOptions o;
+  o.enumeration.max_composite_inner = 3;
+  return o;
+}
+
+/// Synthetic per-plan coefficients: predictions scale with plan counts, so
+/// queries of different sizes get genuinely different predicted seconds —
+/// what the SJF and threshold tests need — without calibrating a model.
+TimeModel SyntheticModel() {
+  TimeModel model;
+  model.ct[0] = 2e-6;
+  model.ct[1] = 1e-6;
+  model.ct[2] = 1.5e-6;
+  model.intercept = 1e-5;
+  return model;
+}
+
+/// Service options whose scheduling decisions are fully deterministic: the
+/// timeline runs on predicted seconds, and the derived deadline floor is
+/// far above any real compile in this suite so no wall-clock trip can
+/// sneak nondeterminism into the records.
+CompileServiceOptions DeterministicOptions() {
+  CompileServiceOptions o;
+  o.optimizer = SmallOptions();
+  o.time_model = SyntheticModel();
+  o.time_source = ServiceTimeSource::kEstimate;
+  o.admission.limits_policy.min_deadline_seconds = 600.0;
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// ReadyQueue policies.
+
+ReadyEntry Entry(size_t ticket, double predicted, double deadline = 0) {
+  ReadyEntry e;
+  e.ticket = ticket;
+  e.predicted_seconds = predicted;
+  e.deadline_seconds = deadline;
+  return e;
+}
+
+std::vector<size_t> Drain(ReadyQueue* q) {
+  std::vector<size_t> order;
+  while (!q->empty()) order.push_back(q->PopNext().ticket);
+  return order;
+}
+
+TEST(ServiceSchedulerTest, FifoPopsInTicketOrder) {
+  ReadyQueue q(SchedulingPolicy::kFifo);
+  q.Push(Entry(2, 0.1));
+  q.Push(Entry(0, 9.0));
+  q.Push(Entry(1, 0.5));
+  EXPECT_EQ(Drain(&q), (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(ServiceSchedulerTest, ShortestEstimatedFirstOrdersByPrediction) {
+  ReadyQueue q(SchedulingPolicy::kShortestEstimatedFirst);
+  q.Push(Entry(0, 3.0));
+  q.Push(Entry(1, 1.0));
+  q.Push(Entry(2, 2.0));
+  q.Push(Entry(3, 1.0));  // tie with ticket 1: ticket breaks it
+  EXPECT_EQ(Drain(&q), (std::vector<size_t>{1, 3, 2, 0}));
+}
+
+TEST(ServiceSchedulerTest, DeadlineAwareRunsEdfThenFifo) {
+  ReadyQueue q(SchedulingPolicy::kDeadlineAware);
+  q.Push(Entry(0, 1.0));            // no deadline
+  q.Push(Entry(1, 1.0, 0.5));
+  q.Push(Entry(2, 1.0));            // no deadline
+  q.Push(Entry(3, 1.0, 0.2));
+  q.Push(Entry(4, 1.0, 0.5));       // deadline tie with 1: ticket order
+  EXPECT_EQ(Drain(&q), (std::vector<size_t>{3, 1, 4, 0, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// Trip-rate tracker.
+
+TEST(ServiceTripTrackerTest, WidensAfterTrippyWindowAndCapsAtMax) {
+  TripTrackerOptions o;
+  o.min_samples = 4;
+  o.trip_rate_threshold = 0.5;
+  o.widen_factor = 2.0;
+  o.max_multiplier = 4.0;
+  TripRateTracker tracker(o);
+  EXPECT_DOUBLE_EQ(tracker.HeadroomMultiplier(10), 1.0);
+  // First window: 3/4 tripped > 0.5 → ×2.
+  for (int i = 0; i < 3; ++i) tracker.Record(10, true);
+  tracker.Record(10, false);
+  EXPECT_DOUBLE_EQ(tracker.HeadroomMultiplier(10), 2.0);
+  // Second trippy window → ×2 again; third is capped at max_multiplier.
+  for (int i = 0; i < 4; ++i) tracker.Record(10, true);
+  EXPECT_DOUBLE_EQ(tracker.HeadroomMultiplier(10), 4.0);
+  for (int i = 0; i < 4; ++i) tracker.Record(10, true);
+  EXPECT_DOUBLE_EQ(tracker.HeadroomMultiplier(10), 4.0);
+}
+
+TEST(ServiceTripTrackerTest, QuietWindowDoesNotWiden) {
+  TripTrackerOptions o;
+  o.min_samples = 4;
+  o.trip_rate_threshold = 0.5;
+  TripRateTracker tracker(o);
+  // Exactly at the threshold (2/4) does not widen — only exceeding it does.
+  tracker.Record(3, true);
+  tracker.Record(3, true);
+  tracker.Record(3, false);
+  tracker.Record(3, false);
+  EXPECT_DOUBLE_EQ(tracker.HeadroomMultiplier(3), 1.0);
+}
+
+TEST(ServiceTripTrackerTest, ReactsPerWindowNotPerLifetimeRate) {
+  // 4 early trips widen once; a long quiet stretch afterwards never widens
+  // again even though the lifetime rate stays above zero.
+  TripTrackerOptions o;
+  o.min_samples = 4;
+  TripRateTracker tracker(o);
+  for (int i = 0; i < 4; ++i) tracker.Record(5, true);
+  EXPECT_DOUBLE_EQ(tracker.HeadroomMultiplier(5), 2.0);
+  for (int i = 0; i < 16; ++i) tracker.Record(5, false);
+  EXPECT_DOUBLE_EQ(tracker.HeadroomMultiplier(5), 2.0);
+}
+
+TEST(ServiceTripTrackerTest, SnapshotListsOnlyObservedClassesAndClamps) {
+  TripRateTracker tracker;
+  tracker.Record(2, true);
+  tracker.Record(-7, false);   // clamps to class 0
+  tracker.Record(1000, false); // clamps to kMaxClass
+  auto snap = tracker.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].query_class, 0);
+  EXPECT_EQ(snap[1].query_class, 2);
+  EXPECT_EQ(snap[1].tripped, 1);
+  EXPECT_EQ(snap[2].query_class, TripRateTracker::kMaxClass);
+}
+
+// ---------------------------------------------------------------------------
+// Open-loop arrival traces.
+
+TEST(ServiceTraceTest, SameSeedSameTrace) {
+  Workload w = LinearWorkload();
+  std::vector<const QueryGraph*> pool;
+  for (const QueryGraph& q : w.queries) pool.push_back(&q);
+  ArrivalTraceOptions o;
+  o.num_arrivals = 50;
+  o.seed = 7;
+  auto a = MakeOpenLoopTrace(pool, o);
+  auto b = MakeOpenLoopTrace(pool, o);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].query, b[i].query);
+    EXPECT_EQ(a[i].arrival_seconds, b[i].arrival_seconds);
+    EXPECT_EQ(a[i].deadline_seconds, b[i].deadline_seconds);
+  }
+  // Arrivals ascend (gaps are nonnegative) and some deadlines were dealt.
+  for (size_t i = 1; i < a.size(); ++i) {
+    EXPECT_GE(a[i].arrival_seconds, a[i - 1].arrival_seconds);
+  }
+  EXPECT_TRUE(std::any_of(a.begin(), a.end(), [](const Submission& s) {
+    return s.deadline_seconds > 0;
+  }));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end service runs under the virtual clock: determinism, policy
+// behavior, feedback loops.
+
+class ServiceVirtualTest : public ::testing::Test {
+ protected:
+  ServiceVirtualTest()
+      : linear_(LinearWorkload()),
+        star_(StarWorkload()),
+        random_(RandomWorkload(13, 42)) {
+    // ≤ 8-table queries keep the suite fast enough for the TSan cycle
+    // while still spanning ~2 orders of magnitude in predicted cost —
+    // all the heterogeneity the policy tests need.
+    for (const QueryGraph& q : linear_.queries) {
+      if (q.num_tables() <= 8) pool_.push_back(&q);
+    }
+    for (const QueryGraph& q : star_.queries) {
+      if (q.num_tables() <= 8) pool_.push_back(&q);
+    }
+    for (const QueryGraph& q : random_.queries) {
+      if (q.num_tables() <= 8) pool_.push_back(&q);
+    }
+  }
+
+  /// The shared overloaded mixed stream: mean predicted service time is
+  /// far above the mean gap, so a queue builds and policy decides who
+  /// waits.
+  std::vector<Submission> MixedTrace(int n = 60) const {
+    ArrivalTraceOptions o;
+    o.num_arrivals = n;
+    o.mean_gap_seconds = 0.0005;
+    o.seed = 42;
+    return MakeOpenLoopTrace(pool_, o);
+  }
+
+  Workload linear_, star_, random_;
+  std::vector<const QueryGraph*> pool_;
+};
+
+TEST_F(ServiceVirtualTest, RunsAreBitIdentical) {
+  const std::vector<Submission> trace = MixedTrace();
+  CompileServiceOptions options = DeterministicOptions();
+  options.policy = SchedulingPolicy::kShortestEstimatedFirst;
+  options.num_workers = 2;
+
+  VirtualClock clock_a, clock_b;
+  CompileServiceOptions oa = options, ob = options;
+  oa.clock = &clock_a;
+  oa.drive_clock = &clock_a;
+  ob.clock = &clock_b;
+  ob.drive_clock = &clock_b;
+  CompileService a(oa), b(ob);
+  ServiceReport ra = a.Run(trace);
+  ServiceReport rb = b.Run(trace);
+
+  ASSERT_EQ(ra.records.size(), trace.size());
+  ASSERT_EQ(ra.records.size(), rb.records.size());
+  for (size_t i = 0; i < ra.records.size(); ++i) {
+    const ServiceQueryRecord& x = ra.records[i];
+    const ServiceQueryRecord& y = rb.records[i];
+    // Bit-identical dispatch order and policy decisions.
+    EXPECT_EQ(x.ticket, y.ticket) << i;
+    EXPECT_EQ(x.worker, y.worker) << i;
+    EXPECT_EQ(x.start_seconds, y.start_seconds) << i;
+    EXPECT_EQ(x.finish_seconds, y.finish_seconds) << i;
+    EXPECT_EQ(x.predicted_seconds, y.predicted_seconds) << i;
+    EXPECT_EQ(x.cache_hit, y.cache_hit) << i;
+    EXPECT_EQ(x.estimated, y.estimated) << i;
+    EXPECT_EQ(x.cache_inserted, y.cache_inserted) << i;
+    EXPECT_EQ(x.degraded, y.degraded) << i;
+    EXPECT_EQ(x.limits.deadline_seconds, y.limits.deadline_seconds) << i;
+    EXPECT_EQ(x.limits.max_plans, y.limits.max_plans) << i;
+    EXPECT_EQ(x.headroom_multiplier, y.headroom_multiplier) << i;
+    EXPECT_TRUE(x.status.ok()) << x.status.ToString();
+  }
+  EXPECT_EQ(ra.makespan_seconds, rb.makespan_seconds);
+  EXPECT_EQ(ra.cache_hits, rb.cache_hits);
+  EXPECT_EQ(ra.estimates, rb.estimates);
+  // The driven clock followed the simulated timeline to its end.
+  EXPECT_DOUBLE_EQ(clock_a.NowSeconds(), ra.makespan_seconds);
+}
+
+TEST_F(ServiceVirtualTest, ShortestFirstImprovesP95OverFifo) {
+  const std::vector<Submission> trace = MixedTrace();
+  auto run_policy = [&](SchedulingPolicy policy) {
+    CompileServiceOptions o = DeterministicOptions();
+    o.policy = policy;
+    CompileService service(o);
+    return service.Run(trace);
+  };
+  ServiceReport fifo = run_policy(SchedulingPolicy::kFifo);
+  ServiceReport sjf = run_policy(SchedulingPolicy::kShortestEstimatedFirst);
+  // Same stream, same total work — only who waits changes.
+  EXPECT_DOUBLE_EQ(fifo.makespan_seconds, sjf.makespan_seconds);
+  EXPECT_LT(sjf.P95QueueSeconds(), fifo.P95QueueSeconds());
+  EXPECT_LT(sjf.MeanQueueSeconds(), fifo.MeanQueueSeconds());
+}
+
+TEST_F(ServiceVirtualTest, DeadlineAwareDispatchesEarliestDeadlineFirst) {
+  // Six simultaneous arrivals, one server: EDF must run the deadlines in
+  // order and park the deadline-less submissions at the back, FIFO.
+  const QueryGraph* q = pool_[0];
+  std::vector<Submission> subs(6);
+  for (size_t i = 0; i < subs.size(); ++i) subs[i].query = q;
+  subs[1].deadline_seconds = 0.5;
+  subs[3].deadline_seconds = 0.2;
+  subs[5].deadline_seconds = 0.1;
+  CompileServiceOptions o = DeterministicOptions();
+  o.policy = SchedulingPolicy::kDeadlineAware;
+  CompileService service(o);
+  ServiceReport r = service.Run(subs);
+  std::vector<size_t> order;
+  for (const ServiceQueryRecord& rec : r.records) order.push_back(rec.ticket);
+  EXPECT_EQ(order, (std::vector<size_t>{5, 3, 1, 0, 2, 4}));
+}
+
+TEST_F(ServiceVirtualTest, TripFeedbackWidensBudgetsUntilTheClassStopsTripping) {
+  // Deliberately under-derived budgets: headroom 0.5 means every compile
+  // of the 8-table star query gets a plan cap below its own (accurate)
+  // estimate and trips. The tracker must widen the class until the
+  // derived budget clears the real cost.
+  const QueryGraph& q = star_.queries[7];
+  // Spaced arrivals so each admission happens after the previous dispatch
+  // and sees the tracker's latest multiplier.
+  std::vector<Submission> subs(12);
+  for (size_t i = 0; i < subs.size(); ++i) {
+    subs[i].query = &q;
+    subs[i].arrival_seconds = static_cast<double>(i);
+  }
+
+  CompileServiceOptions o = DeterministicOptions();
+  o.enable_cache = false;  // cache hits would skip estimation (and caps)
+  o.admission.limits_policy.headroom = 0.5;
+  o.trip_tracker.min_samples = 2;
+  o.trip_tracker.trip_rate_threshold = 0.4;
+  CompileService service(o);
+  ServiceReport r = service.Run(subs);
+
+  EXPECT_GT(r.degraded, 0);                   // early compiles tripped
+  EXPECT_FALSE(r.records.back().degraded);    // widened budget stopped it
+  EXPECT_GT(r.records.back().headroom_multiplier, 1.0);
+  ASSERT_EQ(r.class_feedback.size(), 1u);
+  EXPECT_EQ(r.class_feedback[0].query_class, ServiceQueryClass(q));
+  EXPECT_GT(r.class_feedback[0].multiplier, 1.0);
+  EXPECT_GT(r.class_feedback[0].tripped, 0);
+  // Every compile was armed (derive_limits on, no cache path).
+  EXPECT_EQ(r.class_feedback[0].armed, static_cast<int64_t>(subs.size()));
+}
+
+// ---------------------------------------------------------------------------
+// Cache interaction: signature hits skip estimation; the threshold gates
+// admission.
+
+class ServiceCacheTest : public ::testing::Test {
+ protected:
+  ServiceCacheTest() : linear_(LinearWorkload()) {}
+  Workload linear_;
+};
+
+TEST_F(ServiceCacheTest, SignatureHitSkipsEstimationEntirely) {
+  // Spaced arrivals: each one is admitted after the previous dispatch has
+  // finished (predicted service ≪ 1s), so repeats find the cache warm.
+  // Simultaneous arrivals would all admit before the first compile and
+  // legitimately all miss.
+  std::vector<Submission> subs(5);
+  for (size_t i = 0; i < subs.size(); ++i) {
+    subs[i].query = &linear_.queries[0];
+    subs[i].arrival_seconds = static_cast<double>(i);
+  }
+  CompileService service(DeterministicOptions());
+  ServiceReport r = service.Run(subs);
+  EXPECT_EQ(r.estimates, 1);       // only the first arrival estimated
+  EXPECT_EQ(r.cache_hits, 4);
+  EXPECT_EQ(r.cache_insertions, 1);
+  EXPECT_EQ(r.cache_stats.hits, 4);
+  EXPECT_EQ(r.cache_stats.misses, 1);
+  EXPECT_EQ(r.cache_stats.size, 1);
+  // Cache-hit admissions predicted from the cached seconds, didn't
+  // estimate, and got deadline-only limits (no count caps to derive).
+  const ServiceQueryRecord& hit = r.records[1];
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_FALSE(hit.estimated);
+  EXPECT_EQ(hit.limits.max_plans, 0);
+  EXPECT_GT(hit.limits.deadline_seconds, 0);
+}
+
+TEST_F(ServiceCacheTest, ZeroThresholdAdmitsEverything) {
+  std::vector<Submission> subs(3);
+  for (size_t i = 0; i < subs.size(); ++i) subs[i].query = &linear_.queries[i];
+  CompileServiceOptions o = DeterministicOptions();
+  o.cache_admission_threshold_seconds = 0;
+  CompileService service(o);
+  ServiceReport r = service.Run(subs);
+  EXPECT_EQ(r.cache_insertions, 3);
+  EXPECT_EQ(r.cache_stats.admission_rejections, 0);
+}
+
+TEST_F(ServiceCacheTest, HugeThresholdCachesNothingAndKeepsEstimating) {
+  std::vector<Submission> subs(4);
+  for (size_t i = 0; i < subs.size(); ++i) subs[i].query = &linear_.queries[0];
+  CompileServiceOptions o = DeterministicOptions();
+  o.cache_admission_threshold_seconds = 1e9;
+  CompileService service(o);
+  ServiceReport r = service.Run(subs);
+  // Nothing ever earns a slot, so every repeat misses and re-estimates.
+  EXPECT_EQ(r.cache_insertions, 0);
+  EXPECT_EQ(r.cache_hits, 0);
+  EXPECT_EQ(r.estimates, 4);
+  EXPECT_EQ(r.cache_stats.admission_rejections, 4);
+  EXPECT_EQ(r.cache_stats.size, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Closed-loop batch: the policy orders, the pool's real threads compile
+// under per-query limits (the concurrent surface the TSan gate races).
+
+class ServicePoolTest : public ::testing::Test {
+ protected:
+  ServicePoolTest() : linear_(LinearWorkload()), random_(RandomWorkload(13, 42)) {
+    // ≤ 8-table queries: enough cost spread to exercise the SJF schedule
+    // while keeping this suite cheap under the TSan cycle.
+    for (const QueryGraph& q : linear_.queries) {
+      if (q.num_tables() <= 8) queries_.push_back(&q);
+    }
+    for (const QueryGraph& q : random_.queries) {
+      if (q.num_tables() <= 8) queries_.push_back(&q);
+    }
+  }
+  Workload linear_, random_;
+  std::vector<const QueryGraph*> queries_;
+};
+
+TEST_F(ServicePoolTest, BatchMatchesSerialReferenceInInputOrder) {
+  CompileServiceOptions o = DeterministicOptions();
+  o.num_workers = 4;
+  o.policy = SchedulingPolicy::kShortestEstimatedFirst;
+  CompileService service(o);
+  ServiceBatchResult batch = service.CompileBatch(queries_);
+  ASSERT_EQ(batch.results.size(), queries_.size());
+  ASSERT_EQ(batch.schedule.size(), queries_.size());
+
+  // Serial reference: same per-query derived limits, one session.
+  CompilationSession serial(SmallOptions());
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    ASSERT_TRUE(batch.results[i].ok()) << i;
+    auto ref = serial.Optimize(*queries_[i], batch.admissions[i].limits);
+    ASSERT_TRUE(ref.ok()) << i;
+    EXPECT_DOUBLE_EQ(batch.results[i]->stats.best_cost, ref->stats.best_cost)
+        << i;
+    EXPECT_EQ(batch.results[i]->stats.memo_entries, ref->stats.memo_entries)
+        << i;
+    EXPECT_EQ(batch.results[i]->degraded, ref->degraded) << i;
+  }
+}
+
+TEST_F(ServicePoolTest, ScheduleFollowsShortestEstimatedFirst) {
+  CompileServiceOptions o = DeterministicOptions();
+  o.num_workers = 2;
+  o.policy = SchedulingPolicy::kShortestEstimatedFirst;
+  CompileService service(o);
+  ServiceBatchResult batch = service.CompileBatch(queries_);
+  for (size_t k = 1; k < batch.schedule.size(); ++k) {
+    const double prev =
+        batch.admissions[batch.schedule[k - 1]].predicted_seconds;
+    const double cur = batch.admissions[batch.schedule[k]].predicted_seconds;
+    EXPECT_LE(prev, cur) << "schedule position " << k;
+  }
+}
+
+TEST_F(ServicePoolTest, RepeatBatchHitsTheCacheInsteadOfEstimating) {
+  CompileServiceOptions o = DeterministicOptions();
+  o.num_workers = 2;
+  CompileService service(o);
+  ServiceBatchResult first = service.CompileBatch(queries_);
+  EXPECT_EQ(first.cache_hits, 0);
+  EXPECT_EQ(first.estimates, static_cast<int64_t>(queries_.size()));
+  ServiceBatchResult second = service.CompileBatch(queries_);
+  EXPECT_EQ(second.cache_hits, static_cast<int64_t>(queries_.size()));
+  EXPECT_EQ(second.estimates, 0);
+}
+
+// ---------------------------------------------------------------------------
+// LimitsPolicy: the shared derivation the admission stage and the
+// meta-optimizer both use.
+
+TEST(ServiceLimitsPolicyTest, DeriveMatchesMetaOptimizerRule) {
+  CompileTimeEstimate est;
+  est.estimated_seconds = 0.25;
+  est.enumeration.entries_created = 1000;
+  est.plan_estimates.counts[0] = 4000;
+  est.completion_plans = 500;
+  LimitsPolicy policy;  // headroom 8, the MetaOptimizerOptions default
+  ResourceLimits limits = policy.Derive(est);
+  EXPECT_DOUBLE_EQ(limits.deadline_seconds, 2.0);
+  EXPECT_EQ(limits.max_memo_entries, 8000);
+  EXPECT_EQ(limits.max_plans, 36000);
+
+  // Floors hold for a near-zero estimate.
+  ResourceLimits floors = policy.Derive(CompileTimeEstimate{});
+  EXPECT_DOUBLE_EQ(floors.deadline_seconds, 1e-3);
+  EXPECT_EQ(floors.max_memo_entries, 64);
+  EXPECT_EQ(floors.max_plans, 256);
+
+  // extra_headroom composes multiplicatively (the tracker's hook).
+  ResourceLimits widened = policy.Derive(est, 2.0);
+  EXPECT_DOUBLE_EQ(widened.deadline_seconds, 4.0);
+  EXPECT_EQ(widened.max_memo_entries, 16000);
+}
+
+TEST(ServiceLimitsPolicyTest, DeriveFromSecondsIsDeadlineOnly) {
+  LimitsPolicy policy;
+  ResourceLimits limits = policy.DeriveFromSeconds(0.5);
+  EXPECT_DOUBLE_EQ(limits.deadline_seconds, 4.0);
+  EXPECT_EQ(limits.max_memo_entries, 0);
+  EXPECT_EQ(limits.max_plans, 0);
+  EXPECT_DOUBLE_EQ(policy.DeriveFromSeconds(0.0).deadline_seconds, 1e-3);
+}
+
+}  // namespace
+}  // namespace cote

@@ -6,6 +6,7 @@
 
 #include "common/fault_points.h"
 #include "common/resource_budget.h"
+#include "service/compile_service.h"
 #include "session/session.h"
 #include "session/session_pool.h"
 #include "tests/common/fault_injection.h"
@@ -365,6 +366,79 @@ TEST(SessionPoolFaultTest, MixedFaultsAndBudgetTripsStayPerIndex) {
     ExpectSameOptimize(*got.results[i], *ref);
   }
   EXPECT_GT(got.stats.merged.degraded_runs, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Compile service: a scripted fault mid-queue fails exactly its own
+// record; the queue drains, and the service stays reusable afterwards.
+
+CompileServiceOptions ServiceOptions() {
+  CompileServiceOptions o;
+  o.optimizer = SmallOptions();
+  o.time_source = ServiceTimeSource::kEstimate;
+  o.admission.limits_policy.min_deadline_seconds = 600.0;
+  return o;
+}
+
+TEST(ServiceFaultTest, MidQueueFaultDrainsAndServiceStaysReusable) {
+  Workload w = LinearWorkload();
+  // Three distinct queries; the doomed one appears twice in the stream.
+  std::vector<Submission> subs(6);
+  subs[0].query = &w.queries[0];
+  subs[1].query = &w.queries[5];  // doomed, first occurrence
+  subs[2].query = &w.queries[1];
+  subs[3].query = &w.queries[2];
+  subs[4].query = &w.queries[5];  // same statement again
+  subs[5].query = &w.queries[3];
+
+  CompileService service(ServiceOptions());
+  {
+    FaultScript script;
+    script.FailAt(kFaultPlanEnumerate, &w.queries[5],
+                  Status::Internal("scripted mid-queue"));
+    ServiceReport r = service.Run(subs);
+    ASSERT_EQ(r.records.size(), subs.size());
+    EXPECT_EQ(r.failed, 1);
+    for (const ServiceQueryRecord& rec : r.records) {
+      if (rec.ticket == 1) {
+        EXPECT_EQ(rec.status.code(), StatusCode::kInternal);
+        // A failed compile must not poison the cache with a bogus entry.
+        EXPECT_FALSE(rec.cache_inserted);
+      } else {
+        EXPECT_TRUE(rec.status.ok()) << rec.ticket;
+      }
+    }
+    // The queue drained past the fault: every submission got a record,
+    // including the second occurrence of the doomed statement.
+  }
+  // Hook cleared; the same service instance serves a clean stream fully.
+  ServiceReport again = service.Run(subs);
+  EXPECT_EQ(again.failed, 0);
+  ASSERT_EQ(again.records.size(), subs.size());
+}
+
+TEST(ServiceFaultTest, BatchFaultLandsAtItsInputIndexOnly) {
+  Workload w = LinearWorkload();
+  std::vector<const QueryGraph*> qs;
+  for (const QueryGraph& q : w.queries) qs.push_back(&q);
+
+  CompileServiceOptions o = ServiceOptions();
+  o.num_workers = 4;
+  o.policy = SchedulingPolicy::kShortestEstimatedFirst;
+  CompileService service(o);
+  FaultScript script;
+  script.FailAt(kFaultPlanComplete, qs[7], Status::Internal("scripted"),
+                /*occurrence=*/0);
+  ServiceBatchResult batch = service.CompileBatch(qs);
+  ASSERT_EQ(batch.results.size(), qs.size());
+  for (size_t i = 0; i < qs.size(); ++i) {
+    if (i == 7) {
+      EXPECT_FALSE(batch.results[i].ok());
+      EXPECT_EQ(batch.results[i].status().code(), StatusCode::kInternal);
+    } else {
+      EXPECT_TRUE(batch.results[i].ok()) << i;
+    }
+  }
 }
 
 }  // namespace

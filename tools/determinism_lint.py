@@ -109,6 +109,26 @@ DET_FUNCTIONS = {
     "src/common/resource_budget.h": {
         "FoldShardCharges": ("merge",),
     },
+    # Service front-end: every scheduling/admission decision must replay
+    # bit-identically under a virtual clock (the service_test determinism
+    # anchor). Run's only time reads go through the injected Clock, and
+    # the trace generator's only randomness is the seeded cote::Rng.
+    "src/service/scheduler.cc": {
+        "ReadyQueue::PickIndex": (),
+        "ReadyQueue::PopNext": (),
+    },
+    "src/service/admission.cc": {
+        "AdmissionStage::Admit": (),
+    },
+    "src/service/trip_tracker.cc": {
+        "TripRateTracker::Record": (),
+    },
+    "src/service/arrival_trace.cc": {
+        "MakeOpenLoopTrace": (),
+    },
+    "src/service/compile_service.cc": {
+        "CompileService::Run": (),
+    },
 }
 
 UNORDERED_DECL = re.compile(

@@ -118,6 +118,28 @@ HOT_FUNCTIONS = {
         "EstimateOne",
         "MergeDelta",
     ],
+    # Service front-end: these run once per arrival (admission + ready-
+    # queue pop) or once per pipeline stage event (the observer thunk);
+    # the estimate they lean on is the warm zero-allocation path, so the
+    # wrapper must not reintroduce heap traffic around it.
+    "src/service/admission.cc": [
+        "Admit",
+    ],
+    "src/service/scheduler.cc": [
+        "PickIndex",  # policy argmin over the ready queue, pure scan
+        "PopNext",    # swap-remove; pop_back never reallocates
+    ],
+    "src/service/trip_tracker.cc": [
+        "Record",
+        "HeadroomMultiplier",
+    ],
+    "src/service/arrival_trace.cc": [
+        "NextGapSeconds",  # per-arrival inversion sample, pure arithmetic
+    ],
+    "src/service/compile_service.cc": [
+        "ObserverThunk",       # runs inside the compile per stage event
+        "ThresholdAdmission",  # runs under the cache mutex per insert
+    ],
     # Query completion: runs once per plan-mode compile; its counting twin
     # runs once per estimate and must never touch the heap.
     "src/optimizer/completion.cc": [

@@ -28,7 +28,8 @@
 #                                     parallel-session suites ran in it)
 #   9. TSan cycle                    (-DCOTE_SANITIZE=thread over the
 #                                     session + fault-injection + parallel-
-#                                     enumerator tests: vets the pool's
+#                                     enumerator + compile-service tests:
+#                                     vets the pool's
 #                                     queue cursor, stats merge, the shared
 #                                     statement cache, per-query budget
 #                                     re-arming, the fault hook's install/
@@ -148,20 +149,22 @@ else
   fail "hotpath_lint"
 fi
 
-# The session layer owns the warm compile path, so every src/session/ TU
-# must be registered in the lint manifest — new session code cannot dodge
-# the purity check by simply not being listed.
+# The session layer owns the warm compile path and the service layer sits
+# directly in front of it (admission runs the estimate on every arrival),
+# so every src/session/ and src/service/ TU must be registered in the lint
+# manifest — new code on those paths cannot dodge the purity check by
+# simply not being listed.
 MISSING_SESSION=""
-for f in "$ROOT"/src/session/*.cc; do
-  rel="src/session/$(basename "$f")"
+for f in "$ROOT"/src/session/*.cc "$ROOT"/src/service/*.cc; do
+  rel="${f#"$ROOT"/}"
   if ! grep -q "\"$rel\"" "$ROOT/tools/hotpath_lint.py"; then
     MISSING_SESSION="$MISSING_SESSION $rel"
   fi
 done
 if [ -n "$MISSING_SESSION" ]; then
-  fail "hotpath_lint manifest is missing session TU(s):$MISSING_SESSION"
+  fail "hotpath_lint manifest is missing session/service TU(s):$MISSING_SESSION"
 else
-  echo "session lint manifest coverage: OK"
+  echo "session/service lint manifest coverage: OK"
 fi
 
 # ---- 6. determinism lint ---------------------------------------------------
@@ -180,6 +183,22 @@ else
   fail "determinism_lint"
 fi
 
+# Every scheduling/admission decision must replay bit-identically under a
+# virtual clock, so every src/service/ TU must be in the determinism
+# manifest too.
+MISSING_SERVICE_DET=""
+for f in "$ROOT"/src/service/*.cc; do
+  rel="src/service/$(basename "$f")"
+  if ! grep -q "\"$rel\"" "$ROOT/tools/determinism_lint.py"; then
+    MISSING_SERVICE_DET="$MISSING_SERVICE_DET $rel"
+  fi
+done
+if [ -n "$MISSING_SERVICE_DET" ]; then
+  fail "determinism_lint manifest is missing service TU(s):$MISSING_SERVICE_DET"
+else
+  echo "service determinism manifest coverage: OK"
+fi
+
 # ---- 7. Clang thread-safety analysis ---------------------------------------
 # Builds the annotated tree under -Wthread-safety -Werror (wired into
 # COTE_WERROR for Clang in src/CMakeLists.txt) and then proves the
@@ -194,7 +213,7 @@ if command -v clang++ >/dev/null 2>&1; then
         -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCOTE_WERROR=ON >/dev/null \
      && cmake --build "$TSA_DIR" -j "$JOBS" \
           --target cote_common cote_query cote_optimizer cote_core \
-          >/dev/null; then
+          cote_service >/dev/null; then
     echo "clang -Wthread-safety build: OK"
   else
     fail "clang -Wthread-safety build (annotations out of sync with locking)"
@@ -261,28 +280,31 @@ fi
 # adds parallel_session_test (SessionParallel* fixtures: shard fill /
 # rank-barrier merge, the shared cancel flag, budget fold-and-trip, and
 # team teardown under injected faults — this run IS the race-freedom proof
-# the golden-equivalence suite assumes). Only these three targets are
-# built — the full suite under TSan would be prohibitively slow and
-# single-threaded tests have nothing for TSan to find.
+# the golden-equivalence suite assumes). The compile service's closed-loop
+# batch path (service_test, Service* fixtures) drives the pool's real
+# threads through per-query limits and the shared statement cache, so it
+# races here too. Only these four targets are built — the full suite under
+# TSan would be prohibitively slow and single-threaded tests have nothing
+# for TSan to find.
 if [ "$SKIP_SAN" = 1 ]; then
   gate "9/9" "TSan cycle"
   skip "TSan cycle (--skip-san)"
 else
-  gate "9/9" "ThreadSanitizer cycle (COTE_SANITIZE=thread, tests/session)"
+  gate "9/9" "ThreadSanitizer cycle (COTE_SANITIZE=thread, session+service)"
   TSAN_DIR="$ROOT/build-checks-tsan"
   if cmake -S "$ROOT" -B "$TSAN_DIR" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DCOTE_SANITIZE=thread >/dev/null \
      && cmake --build "$TSAN_DIR" -j "$JOBS" \
           --target session_test fault_injection_test parallel_session_test \
-          >/dev/null; then
-    # -R Session hits the session fixtures; unbuilt targets only register
+          service_test >/dev/null; then
+    # -R hits the session + service fixtures; unbuilt targets only register
     # lowercase *_NOT_BUILT placeholders, which the regex cannot match.
-    if (cd "$TSAN_DIR" && ctest -j "$JOBS" -R 'Session' --output-on-failure \
-          >ctest.log 2>&1); then
-      echo "TSan session ctest: OK"
+    if (cd "$TSAN_DIR" && ctest -j "$JOBS" -R 'Session|Service' \
+          --output-on-failure >ctest.log 2>&1); then
+      echo "TSan session+service ctest: OK"
     else
       tail -40 "$TSAN_DIR/ctest.log"
-      fail "TSan session ctest (full log: $TSAN_DIR/ctest.log)"
+      fail "TSan session+service ctest (full log: $TSAN_DIR/ctest.log)"
     fi
   else
     fail "TSan build"
