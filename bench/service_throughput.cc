@@ -1,7 +1,7 @@
 // Compile-service scheduling bench (BENCH_service.json).
 //
 // Replays the same seeded open-loop arrival stream (Poisson arrivals over
-// a mixed linear/star/random/TPC-H pool) through CompileService once per
+// a mixed linear/star/random/TPC-H pool) through the service once per
 // scheduling policy — FIFO, shortest-estimated-first, deadline-aware —
 // and records sustained throughput and queue-latency percentiles. The
 // stream is sized for ~1.2x offered load, the overload regime where the
@@ -11,14 +11,25 @@
 // admission fee), so SJF's ordering costs nothing extra — the prediction
 // it sorts by was already paid for by admission and budget derivation.
 //
+// Two execution modes, selectable with --mode (default: both):
+//   simulated  CompileService::Run — the discrete-event timeline, one
+//              compile at a time on the calling thread (1 worker);
+//   async      AsyncCompileService — real worker threads over the condvar
+//              ready-queue handoff, arrivals paced in wall time
+//              (--workers threads, default 4). The queue seconds here are
+//              real waits, so this is the live-server counterpart of the
+//              simulated figures.
+//
 // Expected shape: shortest-estimated-first improves mean and p95 queue
 // latency over FIFO on the mixed pool (classic SJF vs FCFS, enabled here
 // by the estimator); deadline-aware trades some of that for fewer
-// deadline misses on the deadline-carrying half of the stream.
+// deadline misses on the deadline-carrying half of the stream. The async
+// mode shows the same policy ordering when its workers saturate.
 //
 // Usage:
 //   service_throughput [--label NAME] [--out FILE] [--arrivals N]
-//                      [--max-tables N]
+//                      [--max-tables N] [--mode simulated|async|both]
+//                      [--workers N]
 
 #include <algorithm>
 #include <cstdio>
@@ -29,6 +40,7 @@
 
 #include "bench/bench_util.h"
 #include "service/admission.h"
+#include "service/async_executor.h"
 #include "service/compile_service.h"
 #include "workload/workload.h"
 
@@ -36,6 +48,7 @@ namespace cote {
 namespace {
 
 struct Sample {
+  std::string mode;  // "simulated" or "async"
   std::string policy;
   int workers = 0;
   int arrivals = 0;
@@ -76,14 +89,16 @@ void WriteJson(const std::string& path, const std::string& label,
     const Sample& s = samples[i];
     std::fprintf(
         f,
-        "    {\"policy\": \"%s\", \"workers\": %d, \"arrivals\": %d, "
+        "    {\"mode\": \"%s\", \"policy\": \"%s\", \"workers\": %d, "
+        "\"arrivals\": %d, "
         "\"queries_per_sec\": %.2f, \"makespan_seconds\": %.6f, "
         "\"mean_queue_seconds\": %.6f, \"p50_queue_seconds\": %.6f, "
         "\"p95_queue_seconds\": %.6f, \"estimates\": %lld, "
         "\"cache_hits\": %lld, \"cache_insertions\": %lld, "
         "\"degraded\": %lld, \"failed\": %lld, "
         "\"deadline_misses\": %lld}%s\n",
-        s.policy.c_str(), s.workers, s.arrivals, s.queries_per_sec,
+        s.mode.c_str(), s.policy.c_str(), s.workers, s.arrivals,
+        s.queries_per_sec,
         s.makespan_seconds, s.mean_queue_seconds, s.p50_queue_seconds,
         s.p95_queue_seconds, static_cast<long long>(s.estimates),
         static_cast<long long>(s.cache_hits),
@@ -105,6 +120,8 @@ int main(int argc, char** argv) {
   std::string out = "BENCH_service.json";
   int arrivals = 240;
   int max_tables = 8;
+  std::string mode = "both";
+  int async_workers = 4;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--label") == 0 && i + 1 < argc) {
       label = argv[++i];
@@ -114,14 +131,25 @@ int main(int argc, char** argv) {
       arrivals = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--max-tables") == 0 && i + 1 < argc) {
       max_tables = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--mode") == 0 && i + 1 < argc) {
+      mode = argv[++i];
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      async_workers = std::atoi(argv[++i]);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--label NAME] [--out FILE] [--arrivals N] "
-                   "[--max-tables N]\n",
+                   "[--max-tables N] [--mode simulated|async|both] "
+                   "[--workers N]\n",
                    argv[0]);
       return 2;
     }
   }
+  if (mode != "simulated" && mode != "async" && mode != "both") {
+    std::fprintf(stderr, "--mode must be simulated, async, or both\n");
+    return 2;
+  }
+  const bool run_simulated = mode != "async";
+  const bool run_async = mode != "simulated";
 
   bench::Section("Compile-service scheduling (label: " + label + ")");
 
@@ -171,21 +199,13 @@ int main(int argc, char** argv) {
       arrivals, mean_predicted, trace_options.mean_gap_seconds);
 
   std::vector<Sample> samples;
-  for (SchedulingPolicy policy :
-       {SchedulingPolicy::kFifo, SchedulingPolicy::kShortestEstimatedFirst,
-        SchedulingPolicy::kDeadlineAware}) {
-    CompileServiceOptions o;
-    o.optimizer = options;
-    o.time_model = model;
-    o.num_workers = 1;
-    o.policy = policy;
-    o.time_source = ServiceTimeSource::kClock;
-    CompileService service(o);
-    ServiceReport r = service.Run(trace);
-
+  const auto record_sample = [&](const char* sample_mode,
+                                 SchedulingPolicy policy, int workers,
+                                 const ServiceReport& r) {
     Sample s;
+    s.mode = sample_mode;
     s.policy = SchedulingPolicyName(policy);
-    s.workers = o.num_workers;
+    s.workers = workers;
     s.arrivals = arrivals;
     s.queries_per_sec = r.QueriesPerSecond();
     s.makespan_seconds = r.makespan_seconds;
@@ -205,25 +225,65 @@ int main(int argc, char** argv) {
     s.deadline_misses = r.deadline_misses;
     samples.push_back(s);
     std::printf(
-        "%-5s %7.1f q/s  makespan=%7.3fs  queue mean=%7.4fs "
+        "%-9s %-5s w=%d %7.1f q/s  makespan=%7.3fs  queue mean=%7.4fs "
         "p50=%7.4fs p95=%7.4fs  est=%lld hit=%lld miss_ddl=%lld\n",
-        s.policy.c_str(), s.queries_per_sec, s.makespan_seconds,
-        s.mean_queue_seconds, s.p50_queue_seconds, s.p95_queue_seconds,
-        static_cast<long long>(s.estimates),
+        s.mode.c_str(), s.policy.c_str(), s.workers, s.queries_per_sec,
+        s.makespan_seconds, s.mean_queue_seconds, s.p50_queue_seconds,
+        s.p95_queue_seconds, static_cast<long long>(s.estimates),
         static_cast<long long>(s.cache_hits),
         static_cast<long long>(s.deadline_misses));
+  };
+
+  constexpr SchedulingPolicy kPolicies[] = {
+      SchedulingPolicy::kFifo, SchedulingPolicy::kShortestEstimatedFirst,
+      SchedulingPolicy::kDeadlineAware};
+
+  size_t simulated_base = 0;
+  if (run_simulated) {
+    simulated_base = samples.size();
+    for (SchedulingPolicy policy : kPolicies) {
+      CompileServiceOptions o;
+      o.optimizer = options;
+      o.time_model = model;
+      o.num_workers = 1;
+      o.policy = policy;
+      o.time_source = ServiceTimeSource::kClock;
+      CompileService service(o);
+      ServiceReport r = service.Run(trace);
+      record_sample("simulated", policy, o.num_workers, r);
+    }
   }
 
-  const Sample& fifo = samples[0];
-  const Sample& sjf = samples[1];
-  std::printf("\nSJF vs FIFO: p95 queue %.4fs -> %.4fs (%+.1f%%)\n",
-              fifo.p95_queue_seconds, sjf.p95_queue_seconds,
-              fifo.p95_queue_seconds > 0
-                  ? 100.0 * (sjf.p95_queue_seconds - fifo.p95_queue_seconds) /
-                        fifo.p95_queue_seconds
-                  : 0.0);
-  if (sjf.p95_queue_seconds >= fifo.p95_queue_seconds) {
-    std::printf("WARNING: SJF did not improve p95 over FIFO on this run\n");
+  if (run_async) {
+    // Live replay: real worker threads, arrivals paced in wall time. The
+    // queue seconds here are actual condvar waits, so dispatch-order
+    // effects only show once the workers saturate; with --workers above
+    // the offered load the async samples mostly measure handoff overhead.
+    for (SchedulingPolicy policy : kPolicies) {
+      CompileServiceOptions o;
+      o.optimizer = options;
+      o.time_model = model;
+      o.num_workers = async_workers;
+      o.policy = policy;
+      o.time_source = ServiceTimeSource::kClock;
+      AsyncCompileService service(o);
+      ServiceReport r = service.Run(trace, /*pace_arrivals=*/true);
+      record_sample("async", policy, o.num_workers, r);
+    }
+  }
+
+  if (run_simulated) {
+    const Sample& fifo = samples[simulated_base];
+    const Sample& sjf = samples[simulated_base + 1];
+    std::printf("\nSJF vs FIFO (simulated): p95 queue %.4fs -> %.4fs (%+.1f%%)\n",
+                fifo.p95_queue_seconds, sjf.p95_queue_seconds,
+                fifo.p95_queue_seconds > 0
+                    ? 100.0 * (sjf.p95_queue_seconds - fifo.p95_queue_seconds) /
+                          fifo.p95_queue_seconds
+                    : 0.0);
+    if (sjf.p95_queue_seconds >= fifo.p95_queue_seconds) {
+      std::printf("WARNING: SJF did not improve p95 over FIFO on this run\n");
+    }
   }
 
   WriteJson(out, label, samples);

@@ -1,0 +1,232 @@
+#include "service/async_executor.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/check.h"
+
+namespace cote {
+
+AsyncCompileService::AsyncCompileService(CompileServiceOptions options)
+    : options_(std::move(options)),
+      clock_(options_.clock != nullptr ? options_.clock : SystemClock::Get()),
+      cache_(options_.enable_cache
+                 ? std::make_unique<CompileTimeCache>(options_.cache_capacity)
+                 : nullptr),
+      tracker_(options_.trip_tracker),
+      admission_(options_.optimizer, options_.counter, options_.time_model,
+                 options_.admission, cache_.get(), &tracker_),
+      pool_(options_.num_workers, options_.optimizer, options_.counter),
+      queue_(options_.policy) {
+  if (cache_ != nullptr) {
+    cache_->SetAdmissionPolicy(
+        &ThresholdAdmission, &options_.cache_admission_threshold_seconds);
+  }
+  const int workers = pool_.num_workers();
+  threads_.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    threads_.emplace_back(&AsyncCompileService::WorkerLoop, this, w);
+  }
+}
+
+AsyncCompileService::~AsyncCompileService() { Shutdown(); }
+
+size_t AsyncCompileService::Submit(const Submission& submission) {
+  COTE_CHECK(submission.query != nullptr);
+  // Admission on the caller thread: the stage's warm estimate session is
+  // single-threaded, and the cache + tracker it consults are only ever
+  // mutated on this same thread (at Drain), so admission never races the
+  // workers — they touch neither.
+  Pending p;
+  p.submission = submission;
+  p.admission = admission_.Admit(*submission.query, submission.query_class);
+  const double now = clock_->NowSeconds();
+
+  size_t ticket;
+  {
+    MutexLock lock(mu_);
+    COTE_CHECK(!stop_);  // Submit after Shutdown is a driver bug
+    if (pending_.empty()) burst_epoch_ = now;
+    p.arrival_seconds = now - burst_epoch_;
+    ticket = pending_.size();
+    ReadyEntry entry;
+    entry.ticket = ticket;
+    entry.ready_seconds = p.arrival_seconds;
+    entry.predicted_seconds = p.admission.predicted_seconds;
+    entry.deadline_seconds = submission.deadline_seconds;
+    pending_.push_back(p);
+    queue_.Push(entry);
+    ++submitted_;
+  }
+  ready_cv_.NotifyOne();
+  return ticket;
+}
+
+void AsyncCompileService::WorkerLoop(int worker) {
+  for (;;) {
+    ReadyEntry entry;
+    Pending work;
+    double epoch;
+    {
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) ready_cv_.Wait(mu_);
+      // Stop only takes effect on an empty queue: everything admitted
+      // before Shutdown still compiles (shutdown never abandons work).
+      if (queue_.empty()) return;
+      entry = queue_.PopNext();
+      work = pending_[entry.ticket];
+      epoch = burst_epoch_;
+    }
+
+    const ServiceQueryRecord rec =
+        CompileEntry(worker, entry.ticket, work, epoch);
+
+    {
+      MutexLock lock(mu_);
+      completed_.push_back(rec);
+      ++finished_;
+    }
+    done_cv_.NotifyOne();
+  }
+}
+
+ServiceQueryRecord AsyncCompileService::CompileEntry(int worker,
+                                                     size_t ticket,
+                                                     const Pending& work,
+                                                     double epoch) {
+  const Submission& sub = work.submission;
+  const AdmissionOutcome& adm = work.admission;
+  ServiceQueryRecord rec;
+  rec.ticket = ticket;
+  rec.worker = worker;
+  rec.query_class = adm.query_class;
+  rec.arrival_seconds = work.arrival_seconds;
+  rec.deadline_seconds = sub.deadline_seconds;
+  rec.predicted_seconds = adm.predicted_seconds;
+  rec.estimated = adm.estimated;
+  rec.cache_hit = adm.cache_hit;
+  rec.headroom_multiplier = adm.headroom_multiplier;
+  rec.limits = adm.limits;
+
+  // The real compile, lock-free on this worker's own warm session; the
+  // observer ctx is stack-local, so trip evidence lands on this record
+  // no matter how dispatches interleave across workers.
+  DispatchTrace trace;
+  CompilationSession& session = pool_.session(worker);
+  session.SetStageObserver(&DispatchTraceObserver, &trace);
+  const double wall_before = clock_->NowSeconds();
+  StatusOr<OptimizeResult> result =
+      adm.limits.Unlimited() ? session.Optimize(*sub.query)
+                             : session.Optimize(*sub.query, adm.limits);
+  const double wall_after = clock_->NowSeconds();
+  session.SetStageObserver(nullptr, nullptr);
+
+  rec.start_seconds = wall_before - epoch;
+  rec.queue_seconds = rec.start_seconds - rec.arrival_seconds;
+  rec.stage_events = trace.events;
+  rec.budget_tripped = trace.budget_tripped;
+  if (result.ok()) {
+    rec.degraded = result->degraded;
+    rec.tripped_limit = result->tripped_limit;
+    rec.degraded_stage = result->degraded_stage;
+  } else {
+    rec.status = result.status();
+  }
+  rec.service_seconds = options_.time_source == ServiceTimeSource::kClock
+                            ? wall_after - wall_before
+                            : adm.predicted_seconds;
+  rec.finish_seconds = rec.start_seconds + rec.service_seconds;
+  return rec;
+}
+
+ServiceReport AsyncCompileService::Drain() {
+  std::vector<ServiceQueryRecord> records;
+  std::vector<Pending> pending;
+  {
+    MutexLock lock(mu_);
+    while (finished_ < submitted_) done_cv_.Wait(mu_);
+    records = std::move(completed_);
+    pending = std::move(pending_);
+    completed_.clear();
+    pending_.clear();
+    submitted_ = 0;
+    finished_ = 0;
+    burst_epoch_ = 0;
+  }
+  // Ticket order: input-order recovery, and — more importantly — a
+  // *deterministic* feedback order. Cache inserts and tracker records
+  // below run on this thread in ticket order regardless of the workers'
+  // completion interleaving, which is what lets the async burst match the
+  // simulated oracle's feedback state exactly.
+  std::sort(records.begin(), records.end(),
+            [](const ServiceQueryRecord& a, const ServiceQueryRecord& b) {
+              return a.ticket < b.ticket;
+            });
+
+  ServiceReport report;
+  report.records = std::move(records);
+  for (ServiceQueryRecord& rec : report.records) {
+    const Pending& p = pending[rec.ticket];
+    const AdmissionOutcome& adm = p.admission;
+    if (cache_ != nullptr && !adm.cache_hit && rec.status.ok()) {
+      rec.cache_inserted =
+          cache_->Insert(*p.submission.query, rec.service_seconds,
+                         adm.predicted_seconds);
+    }
+    if (!adm.limits.Unlimited()) {
+      // Identical trip predicate to Run/CompileBatch (trip_tracker.h).
+      tracker_.Record(adm.query_class,
+                      IsBudgetTrip(rec.degraded, rec.status,
+                                   rec.budget_tripped));
+    }
+
+    if (rec.estimated) ++report.estimates;
+    if (rec.cache_hit) ++report.cache_hits;
+    if (rec.cache_inserted) ++report.cache_insertions;
+    if (rec.degraded) ++report.degraded;
+    if (!rec.status.ok()) ++report.failed;
+    if (rec.deadline_seconds > 0 &&
+        rec.finish_seconds > rec.deadline_seconds) {
+      ++report.deadline_misses;
+    }
+    report.makespan_seconds =
+        std::max(report.makespan_seconds, rec.finish_seconds);
+  }
+
+  if (cache_ != nullptr) report.cache_stats = cache_->Stats();
+  report.class_feedback = tracker_.Snapshot();
+  return report;
+}
+
+ServiceReport AsyncCompileService::Run(const std::vector<Submission>& arrivals,
+                                       bool pace_arrivals) {
+  const double t0 = clock_->NowSeconds();
+  for (const Submission& s : arrivals) {
+    if (pace_arrivals) {
+      // Open-loop replay: hold each submission until its trace offset on
+      // the service clock. Sleep in short slices so an injected clock
+      // that advances coarsely cannot strand the replay.
+      for (;;) {
+        const double wait = s.arrival_seconds - (clock_->NowSeconds() - t0);
+        if (wait <= 0) break;
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            std::min(wait, 0.001)));
+      }
+    }
+    Submit(s);
+  }
+  return Drain();
+}
+
+void AsyncCompileService::Shutdown() {
+  {
+    MutexLock lock(mu_);
+    if (stop_ && threads_.empty()) return;  // already shut down
+    stop_ = true;
+  }
+  ready_cv_.NotifyAll();
+  for (std::thread& t : threads_) t.join();
+  threads_.clear();
+}
+
+}  // namespace cote

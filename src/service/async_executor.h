@@ -1,0 +1,175 @@
+#ifndef COTE_SERVICE_ASYNC_EXECUTOR_H_
+#define COTE_SERVICE_ASYNC_EXECUTOR_H_
+
+#include <cstddef>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "service/admission.h"
+#include "service/arrival_trace.h"
+#include "service/compile_service.h"
+#include "service/scheduler.h"
+#include "service/trip_tracker.h"
+#include "session/session_pool.h"
+
+namespace cote {
+
+/// \brief Live async twin of CompileService: real worker threads blocking
+/// on a condition variable over the shared ready queue.
+///
+/// CompileService::Run simulates the service timeline (discrete-event,
+/// virtual clock) while compiling on the calling thread; this class runs
+/// the *same* front-end — estimate-first admission, policy-ordered
+/// ReadyQueue, estimate-derived per-query limits, estimate-gated caching
+/// — as an actual server: `num_workers` threads each own one warm pool
+/// session, block on `ready_cv_` while the queue is empty, pop by
+/// SchedulingPolicy, compile outside the lock, and publish a
+/// ServiceQueryRecord into the guarded results sink.
+///
+/// Queue protocol (all shared state under the one `mu_`):
+///
+///   Submit (caller thread)                Worker w
+///   ----------------------                --------
+///   admit (warm estimate session)         lock mu_
+///   lock mu_                              while (!stop_ && queue empty)
+///     pending_[t] = outcome                 ready_cv_.Wait(mu_)
+///     queue_.Push(ticket t)               if (queue empty) exit  // stop
+///     ++submitted_                        entry = queue_.PopNext()
+///   unlock; ready_cv_.NotifyOne()         copy pending_[ticket]; unlock
+///                                         compile on own session
+///                                         lock mu_
+///                                           completed_.push_back(rec)
+///                                           ++finished_
+///                                         unlock; done_cv_.NotifyOne()
+///
+/// Happens-before: every record field a worker writes is published to
+/// Drain() through the `mu_` release (worker) / acquire (Drain) pair, and
+/// every pending admission a worker reads was published through the same
+/// mutex by Submit — no field crosses threads outside the lock. The
+/// compile itself touches only the worker's own session and stack-local
+/// state, so it runs lock-free.
+///
+/// Determinism contract (pinned by tests/service/async_service_test.cc
+/// against the virtual-clock CompileService::Run oracle): admission runs
+/// at Submit on the caller thread, and *all* feedback — statement-cache
+/// inserts and trip-tracker records — is deferred to Drain(), where it is
+/// applied in ticket order on the caller thread. Intra-burst admissions
+/// therefore never observe intra-burst feedback, exactly like a simulated
+/// burst whose arrivals all precede the first dispatch; per-query
+/// outcomes (status, degraded, trip evidence, cache decisions) then
+/// depend only on (query, options, limits) — warm-session invariance —
+/// and match the simulated run's regardless of which worker ran what in
+/// which order. Wall-clock fields (start/finish/queue seconds, worker
+/// index) are the only fields that may differ.
+///
+/// Shutdown protocol: Shutdown() sets `stop_` and wakes every worker;
+/// a worker exits only when the queue is *empty*, so every admitted query
+/// still compiles and lands in the sink — stop never abandons admitted
+/// work. The destructor calls Shutdown(). Submit after Shutdown is a
+/// programming error (checked).
+///
+/// Driver threading: Submit/Drain/Run/Shutdown are single-caller (one
+/// driver thread), like CompileService; only the workers are concurrent.
+class AsyncCompileService {
+ public:
+  explicit AsyncCompileService(CompileServiceOptions options = {});
+  ~AsyncCompileService();
+
+  // Non-copyable, non-movable for CompileService's reasons (admission and
+  // cache policy hold pointers into our own members) plus the worker
+  // threads' `this` capture.
+  AsyncCompileService(const AsyncCompileService&) = delete;
+  AsyncCompileService& operator=(const AsyncCompileService&) = delete;
+  AsyncCompileService(AsyncCompileService&&) = delete;
+  AsyncCompileService& operator=(AsyncCompileService&&) = delete;
+
+  /// Admits one submission (on the calling thread) and enqueues it for
+  /// the workers. Returns the submission's ticket: its index within the
+  /// current burst, and its index into Drain()'s records. The submitted
+  /// query must stay alive until the burst is drained.
+  size_t Submit(const Submission& submission) COTE_EXCLUDES(mu_);
+
+  /// Blocks until every submitted query has compiled, applies the
+  /// deferred feedback (cache inserts, tracker records) in ticket order,
+  /// and returns the burst's report with records in ticket (submission)
+  /// order — input-order recovery is `report.records[ticket]`, unlike
+  /// Run-the-simulation's dispatch-ordered records. Resets burst state,
+  /// so the service is immediately reusable for the next burst.
+  ServiceReport Drain() COTE_EXCLUDES(mu_);
+
+  /// Submit-all + Drain. With `pace_arrivals` the caller thread sleeps
+  /// each submission until its arrival_seconds offset on the service
+  /// clock (open-loop replay in real time — the bench's async mode);
+  /// without it the whole trace is submitted as one burst, which is the
+  /// deterministic shape the oracle test compares.
+  ServiceReport Run(const std::vector<Submission>& arrivals,
+                    bool pace_arrivals = false) COTE_EXCLUDES(mu_);
+
+  /// Stops the workers after the queue drains and joins them. Idempotent.
+  /// Called by the destructor; call it earlier to bound worker lifetime.
+  void Shutdown() COTE_EXCLUDES(mu_);
+
+  const CompileServiceOptions& options() const { return options_; }
+  /// Null when the cache is disabled.
+  CompileTimeCache* cache() { return cache_.get(); }
+  const TripRateTracker& tracker() const { return tracker_; }
+  SessionPool& pool() { return pool_; }
+
+ private:
+  /// One admitted-but-not-drained submission, indexed by ticket.
+  struct Pending {
+    Submission submission;
+    AdmissionOutcome admission;
+    /// Service-clock seconds from the burst epoch at Submit time.
+    double arrival_seconds = 0;
+  };
+
+  /// Body of worker thread `worker` (owning pool session `worker`).
+  void WorkerLoop(int worker) COTE_EXCLUDES(mu_);
+
+  /// The per-dispatch hot path: compiles `work` on worker `worker`'s own
+  /// session and builds its record. Touches only worker-private state —
+  /// no lock, no allocation (tools/hotpath_lint.py manifests it).
+  ServiceQueryRecord CompileEntry(int worker, size_t ticket,
+                                  const Pending& work, double epoch);
+
+  CompileServiceOptions options_;
+  Clock* clock_;  // never null after construction
+  std::unique_ptr<CompileTimeCache> cache_;  // null when disabled
+  TripRateTracker tracker_;
+  AdmissionStage admission_;
+  SessionPool pool_;
+
+  Mutex mu_;
+  /// Workers wait here for work (or stop). Signaled by Submit/Shutdown.
+  CondVar ready_cv_;
+  /// Drain waits here for the burst to finish. Signaled per completion.
+  CondVar done_cv_;
+  ReadyQueue queue_ COTE_GUARDED_BY(mu_);
+  /// Burst state, reset by Drain. `pending_` is indexed by ticket and
+  /// only ever grows within a burst, so a worker's copy-out never races
+  /// a reallocation observed without the lock.
+  std::vector<Pending> pending_ COTE_GUARDED_BY(mu_);
+  std::vector<ServiceQueryRecord> completed_ COTE_GUARDED_BY(mu_);
+  size_t submitted_ COTE_GUARDED_BY(mu_) = 0;
+  size_t finished_ COTE_GUARDED_BY(mu_) = 0;
+  /// Service-clock reading at the burst's first Submit; all per-record
+  /// times are offsets from it.
+  double burst_epoch_ COTE_GUARDED_BY(mu_) = 0;
+  /// Stop flag for the workers (poison condition, not a poison pill: the
+  /// wait predicate is `stop_ || !queue_.empty()`, and exit additionally
+  /// requires the queue empty so admitted work always completes).
+  bool stop_ COTE_GUARDED_BY(mu_) = false;
+
+  /// Spawned in the constructor, joined by Shutdown. Immutable in
+  /// between; touched only by the driver thread.
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace cote
+
+#endif  // COTE_SERVICE_ASYNC_EXECUTOR_H_

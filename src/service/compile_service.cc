@@ -7,17 +7,6 @@
 
 namespace cote {
 
-namespace {
-
-/// A failed compile whose Status is the budget's own (kFail trip) is trip
-/// evidence just like a degraded result.
-inline bool IsBudgetTripStatus(const Status& status) {
-  return status.code() == StatusCode::kDeadlineExceeded ||
-         status.code() == StatusCode::kResourceExhausted;
-}
-
-}  // namespace
-
 double ServiceReport::MeanQueueSeconds() const {
   if (records.empty()) return 0;
   double sum = 0;
@@ -37,14 +26,14 @@ double ServiceReport::P95QueueSeconds() const {
   return q[rank == 0 ? 0 : rank - 1];
 }
 
-void CompileService::ObserverThunk(void* ctx, const StageEvent& event) {
+void DispatchTraceObserver(void* ctx, const StageEvent& event) {
   auto* trace = static_cast<DispatchTrace*>(ctx);
   ++trace->events;
   if (event.budget_tripped) trace->budget_tripped = true;
 }
 
-bool CompileService::ThresholdAdmission(void* ctx, uint64_t /*signature*/,
-                                        double cost_seconds) {
+bool ThresholdAdmission(void* ctx, uint64_t /*signature*/,
+                        double cost_seconds) {
   return cost_seconds >= *static_cast<const double*>(ctx);
 }
 
@@ -132,7 +121,7 @@ ServiceReport CompileService::Run(const std::vector<Submission>& arrivals) {
     // exactly this.
     DispatchTrace trace;
     CompilationSession& session = pool_.session(static_cast<int>(w));
-    session.SetStageObserver(&ObserverThunk, &trace);
+    session.SetStageObserver(&DispatchTraceObserver, &trace);
     const double wall_before = clock_->NowSeconds();
     StatusOr<OptimizeResult> result =
         adm.limits.Unlimited() ? session.Optimize(*sub.query)
@@ -169,9 +158,9 @@ ServiceReport CompileService::Run(const std::vector<Submission>& arrivals) {
                          adm.predicted_seconds);
     }
     if (!adm.limits.Unlimited()) {
-      const bool tripped = rec.degraded || rec.budget_tripped ||
-                           IsBudgetTripStatus(rec.status);
-      tracker_.Record(adm.query_class, tripped);
+      tracker_.Record(
+          adm.query_class,
+          IsBudgetTrip(rec.degraded, rec.status, rec.budget_tripped));
     }
 
     if (rec.estimated) ++report.estimates;
@@ -212,7 +201,10 @@ ServiceBatchResult CompileService::CompileBatch(
 
   // Drain by policy to fix the dispatch order, then hand the ordered
   // batch — with each query's own derived limits — to the pool's real
-  // worker threads (the per-query-limits scheduler hook).
+  // worker threads (the per-query-limits scheduler hook). Each query also
+  // gets its own DispatchTrace wired through the pool's observer hook, so
+  // the batch path sees the same observer-side trip evidence the
+  // open-loop Run sees per dispatch.
   std::vector<const QueryGraph*> ordered;
   std::vector<ResourceLimits> per_query;
   ordered.reserve(n);
@@ -224,13 +216,19 @@ ServiceBatchResult CompileService::CompileBatch(
     ordered.push_back(queries[entry.ticket]);
     per_query.push_back(out.admissions[entry.ticket].limits);
   }
-  BatchOptimizeResult batch = pool_.CompileBatch(ordered, per_query);
+  std::vector<DispatchTrace> ordered_traces(n);
+  std::vector<void*> trace_ctx(n);
+  for (size_t k = 0; k < n; ++k) trace_ctx[k] = &ordered_traces[k];
+  BatchOptimizeResult batch = pool_.CompileBatch(
+      ordered, per_query, &DispatchTraceObserver, trace_ctx.data());
   out.stats = std::move(batch.stats);
 
   out.results.assign(n, StatusOr<OptimizeResult>(
                             Status::Internal("query was not compiled")));
+  out.traces.resize(n);
   for (size_t k = 0; k < n; ++k) {
     out.results[out.schedule[k]] = std::move(batch.results[k]);
+    out.traces[out.schedule[k]] = ordered_traces[k];
   }
 
   for (size_t i = 0; i < n; ++i) {
@@ -240,10 +238,15 @@ ServiceBatchResult CompileService::CompileBatch(
                      adm.predicted_seconds);
     }
     if (!adm.limits.Unlimited()) {
-      const bool tripped = out.results[i].ok()
-                               ? out.results[i]->degraded
-                               : IsBudgetTripStatus(out.results[i].status());
-      tracker_.Record(adm.query_class, tripped);
+      // The same trip predicate Run feeds the tracker with — degraded
+      // flag, budget-trip Status, or observer evidence — so per-class
+      // headroom feedback cannot diverge between execution paths.
+      const bool degraded = out.results[i].ok() && out.results[i]->degraded;
+      const Status status =
+          out.results[i].ok() ? Status() : out.results[i].status();
+      tracker_.Record(adm.query_class,
+                      IsBudgetTrip(degraded, status,
+                                   out.traces[i].budget_tripped));
     }
   }
   return out;

@@ -121,12 +121,33 @@ struct ServiceReport {
   double P95QueueSeconds() const;
 };
 
+/// Per-dispatch observer context: counts stage events and latches budget
+/// trips for one queue entry only. Shared by every execution path — the
+/// simulated Run, the closed-loop CompileBatch (via the SessionPool's
+/// per-query observer-ctx hook), and the async executor — so all three
+/// gather identical trip evidence for the tracker.
+struct DispatchTrace {
+  int events = 0;
+  bool budget_tripped = false;
+};
+
+/// The StageObserverFn that fills a DispatchTrace (ctx points at one).
+void DispatchTraceObserver(void* ctx, const StageEvent& event);
+
+/// Cache admission policy shared by both service front-ends: a statement
+/// earns a cache slot only when its predicted compile seconds reach the
+/// threshold `ctx` points at (a double — each service points it at its
+/// own options member, so the gate stays adjustable without allocation).
+bool ThresholdAdmission(void* ctx, uint64_t signature, double cost_seconds);
+
 /// Closed-loop batch outcome: compile results in *input* order, the
 /// policy's dispatch order alongside.
 struct ServiceBatchResult {
   std::vector<StatusOr<OptimizeResult>> results;   ///< input order
   std::vector<AdmissionOutcome> admissions;        ///< input order
   std::vector<size_t> schedule;  ///< input indices in dispatch order
+  /// Stage events + observer-side budget-trip evidence, input order.
+  std::vector<DispatchTrace> traces;
   BatchStats stats;
   int64_t estimates = 0;
   int64_t cache_hits = 0;
@@ -170,6 +191,20 @@ class CompileService {
  public:
   explicit CompileService(CompileServiceOptions options = {});
 
+  // Neither copyable nor movable — and deliberately *explicitly* so: the
+  // constructor wires `admission_` to `&tracker_` and the cache's
+  // admission policy to `&options_.cache_admission_threshold_seconds`,
+  // both pointers into this object's own members. A moved-from service
+  // would leave the cache policy and the admission stage reading freed
+  // (or stale) memory through those aliases. Member types already forbid
+  // the implicit operations today, but that is an accident of their
+  // composition; deleting them here makes the self-aliasing constraint
+  // part of the contract (static-asserted in service_test.cc).
+  CompileService(const CompileService&) = delete;
+  CompileService& operator=(const CompileService&) = delete;
+  CompileService(CompileService&&) = delete;
+  CompileService& operator=(CompileService&&) = delete;
+
   /// Replays `arrivals` (ascending arrival_seconds; MakeOpenLoopTrace's
   /// output qualifies) through admission, the ready queue, and the
   /// simulated servers. A failing compile lands at its record with a
@@ -190,16 +225,6 @@ class CompileService {
   SessionPool& pool() { return pool_; }
 
  private:
-  /// Per-dispatch observer context: counts stage events and latches
-  /// budget trips for this queue entry only.
-  struct DispatchTrace {
-    int events = 0;
-    bool budget_tripped = false;
-  };
-  static void ObserverThunk(void* ctx, const StageEvent& event);
-  static bool ThresholdAdmission(void* ctx, uint64_t signature,
-                                 double cost_seconds);
-
   CompileServiceOptions options_;
   Clock* clock_;  // never null after construction
   std::unique_ptr<CompileTimeCache> cache_;  // null when disabled

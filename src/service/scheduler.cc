@@ -1,5 +1,7 @@
 #include "service/scheduler.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace cote {
@@ -27,6 +29,16 @@ inline bool EarlierDeadlineFirst(const ReadyEntry& a, const ReadyEntry& b) {
   return a.ticket < b.ticket;
 }
 
+/// Heap comparator: std::push_heap/pop_heap build a max-heap, so the
+/// "largest" element — the one every other entry schedules before — must
+/// be the next dispatch. Inverting SchedulesBefore does exactly that.
+struct DispatchesLater {
+  SchedulingPolicy policy;
+  bool operator()(const ReadyEntry& a, const ReadyEntry& b) const {
+    return SchedulesBefore(policy, b, a);
+  }
+};
+
 }  // namespace
 
 const char* SchedulingPolicyName(SchedulingPolicy policy) {
@@ -41,38 +53,32 @@ const char* SchedulingPolicyName(SchedulingPolicy policy) {
   return "unknown";
 }
 
-size_t ReadyQueue::PickIndex() const {
-  COTE_DCHECK(!entries_.empty());
-  size_t best = 0;
-  for (size_t i = 1; i < entries_.size(); ++i) {
-    const ReadyEntry& a = entries_[i];
-    const ReadyEntry& b = entries_[best];
-    bool before = false;
-    switch (policy_) {
-      case SchedulingPolicy::kFifo:
-        before = a.ticket < b.ticket;
-        break;
-      case SchedulingPolicy::kShortestEstimatedFirst:
-        before = ShorterFirst(a, b);
-        break;
-      case SchedulingPolicy::kDeadlineAware:
-        before = EarlierDeadlineFirst(a, b);
-        break;
-    }
-    if (before) best = i;
+bool SchedulesBefore(SchedulingPolicy policy, const ReadyEntry& a,
+                     const ReadyEntry& b) {
+  switch (policy) {
+    case SchedulingPolicy::kFifo:
+      return a.ticket < b.ticket;
+    case SchedulingPolicy::kShortestEstimatedFirst:
+      return ShorterFirst(a, b);
+    case SchedulingPolicy::kDeadlineAware:
+      return EarlierDeadlineFirst(a, b);
   }
-  return best;
+  return a.ticket < b.ticket;
+}
+
+void ReadyQueue::Push(const ReadyEntry& entry) {
+  heap_.push_back(entry);
+  std::push_heap(heap_.begin(), heap_.end(), DispatchesLater{policy_});
 }
 
 ReadyEntry ReadyQueue::PopNext() {
-  COTE_CHECK(!entries_.empty());
-  const size_t i = PickIndex();
-  ReadyEntry out = entries_[i];
-  // Swap-remove: O(1), keeps capacity. Vector order becomes
-  // history-dependent, but PickIndex is order-blind (unique-ticket
-  // tie-breaks), so dispatch order stays deterministic.
-  entries_[i] = entries_.back();
-  entries_.pop_back();
+  COTE_CHECK(!heap_.empty());
+  // pop_heap moves the root (the unique SchedulesBefore-minimum) to the
+  // back and re-heaps in O(log n); pop_back keeps capacity, so a steady
+  // push/pop regime allocates nothing.
+  std::pop_heap(heap_.begin(), heap_.end(), DispatchesLater{policy_});
+  ReadyEntry out = heap_.back();
+  heap_.pop_back();
   return out;
 }
 

@@ -39,36 +39,46 @@ struct ReadyEntry {
   double deadline_seconds = 0;
 };
 
+/// True when `a` should dispatch before `b` under `policy`. A strict
+/// total order for any entry set with unique tickets (every comparison
+/// ends in the ticket tie-break), so the dispatch sequence is a pure
+/// function of the ready set's *contents* — never of insertion or heap
+/// history. Exported so tests (and any external scheduler) can sort a
+/// reference sequence with the exact production comparator.
+bool SchedulesBefore(SchedulingPolicy policy, const ReadyEntry& a,
+                     const ReadyEntry& b);
+
 /// \brief The service's ready queue: admitted-but-not-yet-dispatched
 /// submissions, popped by policy.
 ///
-/// A linear-scan priority queue over a capacity-retained vector. The
-/// service dispatches compiles that take milliseconds to seconds, and
-/// ready sets are tens of entries, so an O(n) scan per pop is noise next
-/// to one compile — and a plain vector keeps Pop deterministic, simple to
-/// reason about, and free of heap churn in steady state (swap-remove,
-/// capacity retained).
+/// A binary heap over a capacity-retained vector, ordered by
+/// SchedulesBefore: Push and PopNext are O(log n), which the live async
+/// executor needs — its workers pop under a mutex, so a linear scan per
+/// pop (the previous implementation: O(n²) per drain) would serialize the
+/// whole pool behind queue maintenance on deep backlogs. Because
+/// SchedulesBefore is a strict total order (unique-ticket tie-break),
+/// heap pops yield exactly the sorted dispatch sequence the old argmin
+/// scan produced — pinned against the scheduler tests' expected orders
+/// and a sorted-reference cross-check.
 class ReadyQueue {
  public:
   explicit ReadyQueue(SchedulingPolicy policy) : policy_(policy) {}
 
   SchedulingPolicy policy() const { return policy_; }
-  bool empty() const { return entries_.empty(); }
-  size_t size() const { return entries_.size(); }
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
 
-  void Push(const ReadyEntry& entry) { entries_.push_back(entry); }
+  /// O(log n) sift-up insert.
+  void Push(const ReadyEntry& entry);
 
-  /// Removes and returns the entry the policy picks next. Queue must be
-  /// non-empty.
+  /// Removes and returns the entry the policy picks next (the heap root).
+  /// O(log n). Queue must be non-empty.
   ReadyEntry PopNext();
 
  private:
-  /// Index of the policy's pick; deterministic for any vector order
-  /// because every comparison ends in the unique ticket.
-  size_t PickIndex() const;
-
   SchedulingPolicy policy_;
-  std::vector<ReadyEntry> entries_;
+  /// Max-heap under "dispatches later", so the root is the next dispatch.
+  std::vector<ReadyEntry> heap_;
 };
 
 }  // namespace cote

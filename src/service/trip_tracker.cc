@@ -11,6 +11,15 @@ int ServiceQueryClass(const QueryGraph& graph) {
   return std::min(graph.num_tables(), TripRateTracker::kMaxClass);
 }
 
+bool IsBudgetTripStatus(const Status& status) {
+  return status.code() == StatusCode::kDeadlineExceeded ||
+         status.code() == StatusCode::kResourceExhausted;
+}
+
+bool IsBudgetTrip(bool degraded, const Status& status, bool observer_tripped) {
+  return degraded || observer_tripped || IsBudgetTripStatus(status);
+}
+
 TripRateTracker::TripRateTracker(TripTrackerOptions options)
     : options_(options) {
   COTE_CHECK(options_.min_samples >= 1);

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
+
 namespace cote {
 
 class QueryGraph;
@@ -14,6 +16,22 @@ class QueryGraph;
 /// dominant axis of COTE error (§5's per-size error tables). Classes
 /// above TripRateTracker::kMaxClass share the last bucket.
 int ServiceQueryClass(const QueryGraph& graph);
+
+/// A failed compile whose Status is the budget's own (kFail trip) is trip
+/// evidence just like a degraded result.
+bool IsBudgetTripStatus(const Status& status);
+
+/// The one trip predicate every execution path feeds the tracker with:
+/// an armed compile counts as tripped when its result degraded
+/// (kGreedyFallback), when its failure Status is the budget's own
+/// (kFail), or when the stage observer saw the budget flag raise
+/// (`observer_tripped`) — the last catches trips detected after
+/// enumeration already finished, where the result is neither degraded
+/// nor failed. The simulated Run, the closed-loop CompileBatch, and the
+/// async executor all call exactly this function, so per-class headroom
+/// feedback cannot diverge by execution path (pinned by
+/// ServiceTripPredicateTest).
+bool IsBudgetTrip(bool degraded, const Status& status, bool observer_tripped);
 
 struct TripTrackerOptions {
   /// A class whose windowed trip rate exceeds this gets wider budgets.

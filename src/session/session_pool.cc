@@ -198,6 +198,33 @@ BatchOptimizeResult SessionPool::CompileBatch(
   return out;
 }
 
+BatchOptimizeResult SessionPool::CompileBatch(
+    const std::vector<const QueryGraph*>& queries,
+    const std::vector<ResourceLimits>& per_query, StageObserverFn observer,
+    void* const* per_query_observer_ctx) {
+  if (observer == nullptr) return CompileBatch(queries, per_query);
+  COTE_CHECK_EQ(queries.size(), per_query.size());
+  COTE_CHECK(per_query_observer_ctx != nullptr);
+  BatchOptimizeResult out{
+      std::vector<StatusOr<OptimizeResult>>(
+          queries.size(), Status::Internal("query was not compiled")),
+      BatchStats{}};
+  StatusOr<OptimizeResult>* results = out.results.data();
+  const QueryGraph* const* qs = queries.data();
+  const ResourceLimits* lims = per_query.data();
+  out.stats = RunBatch(
+      queries.size(), [results, qs, lims, observer, per_query_observer_ctx](
+                          CompilationSession* session, size_t i) {
+        // Observer scope = exactly this query's compile on this worker's
+        // own session; the ctx slot is query-private, so no two workers
+        // ever write one concurrently.
+        session->SetStageObserver(observer, per_query_observer_ctx[i]);
+        CompileOne(session, qs[i], &lims[i], &results[i]);
+        session->SetStageObserver(nullptr, nullptr);
+      });
+  return out;
+}
+
 BatchEstimateResult SessionPool::EstimateBatch(
     const std::vector<const QueryGraph*>& queries,
     const TimeModel& time_model) {

@@ -121,6 +121,22 @@ class SessionPool {
       const std::vector<const QueryGraph*>& queries,
       const std::vector<ResourceLimits>& per_query);
 
+  /// Per-query-limits batch that additionally attributes pipeline stage
+  /// events: the claiming worker installs `observer` with
+  /// `per_query_observer_ctx[i]` on its session for exactly the span of
+  /// `queries[i]`'s compile, then clears it — so each query's stage
+  /// events (and any budget-trip flag they carry) land in that query's
+  /// own context object no matter which worker ran it or in what order.
+  /// The compile service uses this to gather the same observer-side trip
+  /// evidence on the batch path that the open-loop Run gathers per
+  /// dispatch. `observer` may be null (contexts then unused); when given,
+  /// `per_query_observer_ctx` must have one slot per query, and each ctx
+  /// must be written by no one else while the batch runs.
+  BatchOptimizeResult CompileBatch(
+      const std::vector<const QueryGraph*>& queries,
+      const std::vector<ResourceLimits>& per_query, StageObserverFn observer,
+      void* const* per_query_observer_ctx);
+
   /// Estimate-compiles the batch (§3 mode); results in input order. Null
   /// pointers yield a default (all-zero) estimate.
   BatchEstimateResult EstimateBatch(

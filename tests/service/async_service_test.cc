@@ -1,0 +1,292 @@
+#include "service/async_executor.h"
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+#include <vector>
+
+#include "common/clock.h"
+#include "service/arrival_trace.h"
+#include "service/compile_service.h"
+#include "service/scheduler.h"
+#include "session/session.h"
+#include "workload/workload.h"
+
+// Fixture names deliberately contain "Service": tools/run_checks.sh's TSan
+// gate builds this binary and races it via `ctest -R 'Session|Service'`.
+// Every fixture here runs the live executor with >= 4 worker threads, so
+// the queue handoff, the per-worker sessions, and the results sink are
+// exactly the surface that cycle checks.
+
+namespace cote {
+namespace {
+
+OptimizerOptions SmallOptions() {
+  OptimizerOptions o;
+  o.enumeration.max_composite_inner = 3;
+  return o;
+}
+
+TimeModel SyntheticModel() {
+  TimeModel model;
+  model.ct[0] = 2e-6;
+  model.ct[1] = 1e-6;
+  model.ct[2] = 1.5e-6;
+  model.intercept = 1e-5;
+  return model;
+}
+
+/// Options whose per-query *outcomes* are deterministic: service times
+/// come from the estimate, and the derived deadline floor is far above
+/// any real compile here, so no wall-clock trip can differ between the
+/// async workers and the simulated oracle. (The async run still uses the
+/// real SystemClock for its wall fields — those are exactly the fields
+/// the oracle comparison excludes.)
+CompileServiceOptions AsyncDeterministicOptions() {
+  CompileServiceOptions o;
+  o.optimizer = SmallOptions();
+  o.time_model = SyntheticModel();
+  o.time_source = ServiceTimeSource::kEstimate;
+  o.admission.limits_policy.min_deadline_seconds = 600.0;
+  o.num_workers = 4;
+  return o;
+}
+
+TEST(AsyncServiceValueSemanticsTest, ExecutorIsNeitherCopyableNorMovable) {
+  static_assert(!std::is_copy_constructible_v<AsyncCompileService>,
+                "AsyncCompileService self-aliases and owns worker threads");
+  static_assert(!std::is_copy_assignable_v<AsyncCompileService>,
+                "AsyncCompileService self-aliases and owns worker threads");
+  static_assert(!std::is_move_constructible_v<AsyncCompileService>,
+                "worker threads capture `this`; a moved-from executor would "
+                "leave them running on a gutted object");
+  static_assert(!std::is_move_assignable_v<AsyncCompileService>,
+                "worker threads capture `this`; move-assignment is unsound");
+  SUCCEED();
+}
+
+class AsyncServiceTest : public ::testing::Test {
+ protected:
+  AsyncServiceTest()
+      : linear_(LinearWorkload()),
+        star_(StarWorkload()),
+        random_(RandomWorkload(13, 42)) {
+    for (const QueryGraph& q : linear_.queries) {
+      if (q.num_tables() <= 8) pool_.push_back(&q);
+    }
+    for (const QueryGraph& q : star_.queries) {
+      if (q.num_tables() <= 8) pool_.push_back(&q);
+    }
+    for (const QueryGraph& q : random_.queries) {
+      if (q.num_tables() <= 8) pool_.push_back(&q);
+    }
+  }
+
+  /// A seeded mixed stream collapsed into one burst (every arrival at
+  /// t = 0). The burst shape is the determinism contract's precondition:
+  /// in the simulated oracle all admissions then precede the first
+  /// dispatch, exactly like the async path's Submit-then-Drain split, so
+  /// neither run's admissions observe intra-burst feedback.
+  std::vector<Submission> BurstTrace(int n = 48) const {
+    ArrivalTraceOptions o;
+    o.num_arrivals = n;
+    o.seed = 42;
+    std::vector<Submission> subs = MakeOpenLoopTrace(pool_, o);
+    for (Submission& s : subs) {
+      s.arrival_seconds = 0;
+      s.deadline_seconds = 0;
+    }
+    return subs;
+  }
+
+  Workload linear_, star_, random_;
+  std::vector<const QueryGraph*> pool_;
+};
+
+/// The tentpole's oracle test: the same seeded burst through the live
+/// 4-worker executor and through the virtual-clock simulated Run must
+/// produce identical per-query outcomes — everything except the
+/// wall-clock-dependent fields (start/finish/queue seconds, worker
+/// index) — plus identical feedback state (cache, tracker).
+TEST_F(AsyncServiceTest, BurstMatchesSimulatedOraclePerQuery) {
+  const std::vector<Submission> burst = BurstTrace();
+
+  CompileServiceOptions async_options = AsyncDeterministicOptions();
+  async_options.policy = SchedulingPolicy::kShortestEstimatedFirst;
+
+  VirtualClock clock;
+  CompileServiceOptions sim_options = async_options;
+  sim_options.clock = &clock;
+  sim_options.drive_clock = &clock;
+
+  AsyncCompileService async(async_options);
+  CompileService sim(sim_options);
+  ServiceReport ra = async.Run(burst);
+  ServiceReport rs = sim.Run(burst);
+
+  ASSERT_EQ(ra.records.size(), burst.size());
+  ASSERT_EQ(rs.records.size(), burst.size());
+  // Async records are input-order recoverable: records[t].ticket == t.
+  std::vector<const ServiceQueryRecord*> sim_by_ticket(burst.size(), nullptr);
+  for (const ServiceQueryRecord& rec : rs.records) {
+    sim_by_ticket[rec.ticket] = &rec;
+  }
+  for (size_t t = 0; t < burst.size(); ++t) {
+    const ServiceQueryRecord& a = ra.records[t];
+    ASSERT_EQ(a.ticket, t);
+    ASSERT_NE(sim_by_ticket[t], nullptr);
+    const ServiceQueryRecord& s = *sim_by_ticket[t];
+    // Compile outcome.
+    EXPECT_EQ(a.status.code(), s.status.code()) << t;
+    EXPECT_EQ(a.degraded, s.degraded) << t;
+    EXPECT_EQ(a.tripped_limit, s.tripped_limit) << t;
+    EXPECT_EQ(a.degraded_stage, s.degraded_stage) << t;
+    EXPECT_EQ(a.budget_tripped, s.budget_tripped) << t;
+    EXPECT_EQ(a.stage_events, s.stage_events) << t;
+    // Admission outcome.
+    EXPECT_EQ(a.estimated, s.estimated) << t;
+    EXPECT_EQ(a.cache_hit, s.cache_hit) << t;
+    EXPECT_EQ(a.cache_inserted, s.cache_inserted) << t;
+    EXPECT_EQ(a.predicted_seconds, s.predicted_seconds) << t;
+    EXPECT_EQ(a.query_class, s.query_class) << t;
+    EXPECT_EQ(a.headroom_multiplier, s.headroom_multiplier) << t;
+    EXPECT_EQ(a.limits.deadline_seconds, s.limits.deadline_seconds) << t;
+    EXPECT_EQ(a.limits.max_plans, s.limits.max_plans) << t;
+    EXPECT_EQ(a.limits.max_memo_entries, s.limits.max_memo_entries) << t;
+    // kEstimate: service time is the prediction on both paths.
+    EXPECT_EQ(a.service_seconds, s.service_seconds) << t;
+  }
+  // Aggregates that don't depend on the wall clock.
+  EXPECT_EQ(ra.estimates, rs.estimates);
+  EXPECT_EQ(ra.cache_hits, rs.cache_hits);
+  EXPECT_EQ(ra.cache_insertions, rs.cache_insertions);
+  EXPECT_EQ(ra.degraded, rs.degraded);
+  EXPECT_EQ(ra.failed, rs.failed);
+  EXPECT_EQ(ra.cache_stats.hits, rs.cache_stats.hits);
+  EXPECT_EQ(ra.cache_stats.misses, rs.cache_stats.misses);
+  EXPECT_EQ(ra.cache_stats.insertions, rs.cache_stats.insertions);
+  EXPECT_EQ(ra.cache_stats.size, rs.cache_stats.size);
+  ASSERT_EQ(ra.class_feedback.size(), rs.class_feedback.size());
+  for (size_t k = 0; k < ra.class_feedback.size(); ++k) {
+    EXPECT_EQ(ra.class_feedback[k].query_class,
+              rs.class_feedback[k].query_class);
+    EXPECT_EQ(ra.class_feedback[k].armed, rs.class_feedback[k].armed);
+    EXPECT_EQ(ra.class_feedback[k].tripped, rs.class_feedback[k].tripped);
+    EXPECT_EQ(ra.class_feedback[k].multiplier,
+              rs.class_feedback[k].multiplier);
+  }
+}
+
+TEST_F(AsyncServiceTest, TrippingBurstMatchesOracleTripEvidence) {
+  // Under-derived budgets (headroom 0.5) on an 8-table star query: the
+  // compiles trip their plan caps deterministically, and the async
+  // workers must report exactly the oracle's trip evidence per ticket —
+  // through all three channels of the shared IsBudgetTrip predicate —
+  // and leave the tracker in the oracle's exact state. kFifo makes the
+  // oracle's Record order equal Drain's ticket order.
+  const QueryGraph& q = star_.queries[7];
+  std::vector<Submission> subs(8);
+  for (Submission& s : subs) s.query = &q;
+
+  auto make_options = [] {
+    CompileServiceOptions o = AsyncDeterministicOptions();
+    o.policy = SchedulingPolicy::kFifo;
+    o.enable_cache = false;
+    o.admission.limits_policy.headroom = 0.5;
+    o.trip_tracker.min_samples = 2;
+    return o;
+  };
+  AsyncCompileService async(make_options());
+
+  VirtualClock clock;
+  CompileServiceOptions sim_options = make_options();
+  sim_options.clock = &clock;
+  sim_options.drive_clock = &clock;
+  CompileService sim(sim_options);
+
+  ServiceReport ra = async.Run(subs);
+  ServiceReport rs = sim.Run(subs);
+  ASSERT_EQ(ra.records.size(), subs.size());
+  EXPECT_GT(rs.degraded, 0) << "workload must actually trip";
+  EXPECT_EQ(ra.degraded, rs.degraded);
+  for (size_t t = 0; t < subs.size(); ++t) {
+    const ServiceQueryRecord& a = ra.records[t];
+    const ServiceQueryRecord& s = rs.records[t];  // kFifo: ticket order
+    ASSERT_EQ(a.ticket, s.ticket);
+    EXPECT_EQ(a.degraded, s.degraded) << t;
+    EXPECT_EQ(a.budget_tripped, s.budget_tripped) << t;
+    EXPECT_EQ(a.tripped_limit, s.tripped_limit) << t;
+    EXPECT_EQ(a.headroom_multiplier, s.headroom_multiplier) << t;
+  }
+  ASSERT_EQ(ra.class_feedback.size(), 1u);
+  ASSERT_EQ(rs.class_feedback.size(), 1u);
+  EXPECT_EQ(ra.class_feedback[0].armed, rs.class_feedback[0].armed);
+  EXPECT_EQ(ra.class_feedback[0].tripped, rs.class_feedback[0].tripped);
+  EXPECT_EQ(ra.class_feedback[0].multiplier, rs.class_feedback[0].multiplier);
+}
+
+TEST_F(AsyncServiceTest, SecondBurstHitsTheCacheAndServiceIsReusable) {
+  // Drain resets burst state: a second Run on the same executor must see
+  // the first burst's cache insertions as signature hits and skip
+  // estimation — the same across-burst behavior the simulated service
+  // shows across Runs.
+  const std::vector<Submission> burst = BurstTrace(24);
+  AsyncCompileService async(AsyncDeterministicOptions());
+  ServiceReport first = async.Run(burst);
+  EXPECT_EQ(first.cache_hits, 0);
+  EXPECT_GT(first.estimates, 0);
+  ServiceReport second = async.Run(burst);
+  EXPECT_EQ(second.cache_hits, static_cast<int64_t>(burst.size()));
+  EXPECT_EQ(second.estimates, 0);
+  ASSERT_EQ(second.records.size(), burst.size());
+  for (size_t t = 0; t < second.records.size(); ++t) {
+    EXPECT_EQ(second.records[t].ticket, t);
+    EXPECT_TRUE(second.records[t].status.ok());
+    EXPECT_TRUE(second.records[t].cache_hit) << t;
+  }
+}
+
+TEST_F(AsyncServiceTest, SubmitDrainApiReturnsDenseTicketsAndWallSanity) {
+  // The direct API (no trace): tickets are dense submission indices, and
+  // the wall-clock fields obey the basic timeline invariants even though
+  // their exact values are nondeterministic.
+  AsyncCompileService async(AsyncDeterministicOptions());
+  std::vector<Submission> subs(12);
+  for (Submission& s : subs) s.query = pool_[3];
+  for (size_t t = 0; t < subs.size(); ++t) {
+    EXPECT_EQ(async.Submit(subs[t]), t);
+  }
+  ServiceReport r = async.Drain();
+  ASSERT_EQ(r.records.size(), subs.size());
+  for (const ServiceQueryRecord& rec : r.records) {
+    EXPECT_GE(rec.arrival_seconds, 0);
+    EXPECT_GE(rec.start_seconds, rec.arrival_seconds);
+    EXPECT_GE(rec.queue_seconds, 0);
+    EXPECT_GE(rec.finish_seconds, rec.start_seconds);
+    EXPECT_GE(rec.worker, 0);
+    EXPECT_LT(rec.worker, 4);
+  }
+  // An empty drain is legal and returns an empty report.
+  ServiceReport empty = async.Drain();
+  EXPECT_TRUE(empty.records.empty());
+}
+
+TEST_F(AsyncServiceTest, ShutdownCompletesAdmittedWorkBeforeStopping) {
+  // Shutdown immediately after submitting a backlog: stop must not
+  // abandon admitted queries — the workers drain the queue first, so a
+  // post-shutdown Drain returns every record, all compiled.
+  AsyncCompileService async(AsyncDeterministicOptions());
+  std::vector<Submission> subs(16);
+  for (Submission& s : subs) s.query = pool_[5];
+  for (const Submission& s : subs) async.Submit(s);
+  async.Shutdown();
+  async.Shutdown();  // idempotent
+  ServiceReport r = async.Drain();
+  ASSERT_EQ(r.records.size(), subs.size());
+  for (const ServiceQueryRecord& rec : r.records) {
+    EXPECT_TRUE(rec.status.ok()) << rec.status.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace cote

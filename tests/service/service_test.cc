@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "common/clock.h"
@@ -92,6 +94,135 @@ TEST(ServiceSchedulerTest, DeadlineAwareRunsEdfThenFifo) {
   q.Push(Entry(3, 1.0, 0.2));
   q.Push(Entry(4, 1.0, 0.5));       // deadline tie with 1: ticket order
   EXPECT_EQ(Drain(&q), (std::vector<size_t>{3, 1, 4, 0, 2}));
+}
+
+/// Deterministic key stream for the heap cross-checks: a plain LCG, so
+/// the entry sets are identical on every run with plenty of duplicate
+/// keys to force the ticket tie-break.
+class KeyStream {
+ public:
+  uint64_t Next(uint64_t mod) {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return (state_ >> 33) % mod;
+  }
+
+ private:
+  uint64_t state_ = 0x5eed;
+};
+
+TEST(ServiceSchedulerTest, HeapDrainMatchesSortedReferenceEveryPolicy) {
+  // The heap refactor's pin: because SchedulesBefore is a strict total
+  // order, draining the heap must yield exactly the sequence sorting the
+  // same entries with the production comparator yields — for every
+  // policy, including heavy key duplication.
+  for (SchedulingPolicy policy :
+       {SchedulingPolicy::kFifo, SchedulingPolicy::kShortestEstimatedFirst,
+        SchedulingPolicy::kDeadlineAware}) {
+    KeyStream keys;
+    std::vector<ReadyEntry> entries;
+    for (size_t t = 0; t < 128; ++t) {
+      ReadyEntry e;
+      e.ticket = t;
+      e.predicted_seconds = static_cast<double>(keys.Next(8)) * 0.125;
+      e.deadline_seconds =
+          keys.Next(2) == 0 ? 0 : static_cast<double>(1 + keys.Next(8)) * 0.25;
+      entries.push_back(e);
+    }
+    ReadyQueue q(policy);
+    for (const ReadyEntry& e : entries) q.Push(e);
+    std::vector<ReadyEntry> ref = entries;
+    std::sort(ref.begin(), ref.end(),
+              [policy](const ReadyEntry& a, const ReadyEntry& b) {
+                return SchedulesBefore(policy, a, b);
+              });
+    for (size_t k = 0; k < ref.size(); ++k) {
+      EXPECT_EQ(q.PopNext().ticket, ref[k].ticket)
+          << SchedulingPolicyName(policy) << " position " << k;
+    }
+    EXPECT_TRUE(q.empty());
+  }
+}
+
+TEST(ServiceSchedulerTest, InterleavedPushPopAlwaysPopsThePolicyMinimum) {
+  // Pops interleaved with pushes (the async executor's live shape, which
+  // the old drain-only argmin scan never saw): every pop must still be
+  // the SchedulesBefore-minimum of the queue's current contents.
+  KeyStream keys;
+  ReadyQueue q(SchedulingPolicy::kShortestEstimatedFirst);
+  std::vector<ReadyEntry> live;  // reference multiset of current contents
+  size_t next_ticket = 0;
+  auto push_one = [&]() {
+    ReadyEntry e;
+    e.ticket = next_ticket++;
+    e.predicted_seconds = static_cast<double>(keys.Next(6)) * 0.25;
+    q.Push(e);
+    live.push_back(e);
+  };
+  auto pop_one = [&]() {
+    auto min_it = std::min_element(
+        live.begin(), live.end(), [](const ReadyEntry& a, const ReadyEntry& b) {
+          return SchedulesBefore(SchedulingPolicy::kShortestEstimatedFirst, a,
+                                 b);
+        });
+    EXPECT_EQ(q.PopNext().ticket, min_it->ticket);
+    live.erase(min_it);
+  };
+  for (int round = 0; round < 40; ++round) {
+    const uint64_t pushes = 1 + keys.Next(4);
+    for (uint64_t i = 0; i < pushes; ++i) push_one();
+    const uint64_t pops = keys.Next(static_cast<uint64_t>(live.size()) + 1);
+    for (uint64_t i = 0; i < pops; ++i) pop_one();
+    EXPECT_EQ(q.size(), live.size());
+  }
+  while (!live.empty()) pop_one();
+  EXPECT_TRUE(q.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Service value semantics: the constructor aliases the service's own
+// members (admission → &tracker_, cache policy ctx →
+// &options_.cache_admission_threshold_seconds), so a copied or moved
+// service would read another object's freed or stale state through those
+// pointers. The special members are explicitly deleted; these asserts
+// make any future "just make it movable" change a test failure with this
+// explanation attached.
+
+TEST(ServiceValueSemanticsTest, CompileServiceIsNeitherCopyableNorMovable) {
+  static_assert(!std::is_copy_constructible_v<CompileService>,
+                "CompileService self-aliases; copying would alias another "
+                "object's members");
+  static_assert(!std::is_copy_assignable_v<CompileService>,
+                "CompileService self-aliases; copy-assignment is unsound");
+  static_assert(!std::is_move_constructible_v<CompileService>,
+                "CompileService self-aliases; a moved-from service would "
+                "leave dangling admission/cache-policy pointers");
+  static_assert(!std::is_move_assignable_v<CompileService>,
+                "CompileService self-aliases; move-assignment is unsound");
+  SUCCEED();
+}
+
+// ---------------------------------------------------------------------------
+// The shared trip predicate: every execution path (Run, CompileBatch, the
+// async executor) feeds the tracker through exactly IsBudgetTrip.
+
+TEST(ServiceTripPredicateTest, StatusPredicateMatchesBudgetTripCodes) {
+  EXPECT_TRUE(IsBudgetTripStatus(Status::DeadlineExceeded("budget")));
+  EXPECT_TRUE(IsBudgetTripStatus(Status::ResourceExhausted("budget")));
+  EXPECT_FALSE(IsBudgetTripStatus(Status::OK()));
+  EXPECT_FALSE(IsBudgetTripStatus(Status::Internal("unrelated failure")));
+  EXPECT_FALSE(IsBudgetTripStatus(Status::InvalidArgument("bad query")));
+}
+
+TEST(ServiceTripPredicateTest, AnyEvidenceChannelCountsAsATrip) {
+  EXPECT_FALSE(IsBudgetTrip(false, Status::OK(), false));
+  // Each channel alone is sufficient — in particular the observer-only
+  // case (a trip reported through stage events with no degraded result to
+  // carry it), which the pre-unification CompileBatch path dropped.
+  EXPECT_TRUE(IsBudgetTrip(true, Status::OK(), false));
+  EXPECT_TRUE(IsBudgetTrip(false, Status::DeadlineExceeded("budget"), false));
+  EXPECT_TRUE(IsBudgetTrip(false, Status::OK(), true));
+  // A non-budget failure is not trip evidence on its own.
+  EXPECT_FALSE(IsBudgetTrip(false, Status::Internal("unrelated"), false));
 }
 
 // ---------------------------------------------------------------------------
@@ -328,6 +459,153 @@ TEST_F(ServiceVirtualTest, TripFeedbackWidensBudgetsUntilTheClassStopsTripping) 
   EXPECT_GT(r.class_feedback[0].tripped, 0);
   // Every compile was armed (derive_limits on, no cache path).
   EXPECT_EQ(r.class_feedback[0].armed, static_cast<int64_t>(subs.size()));
+}
+
+TEST_F(ServiceVirtualTest, RunAndBatchTrackerFeedbackAgreeOnATrippingBurst) {
+  // Regression for the predicate split: Run counted observer-reported
+  // trips while CompileBatch derived trips from degraded/status only.
+  // Both paths now share IsBudgetTrip, so the same tripping burst must
+  // leave two fresh services with identical per-query trip evidence and
+  // an identical tracker snapshot. kFifo + simultaneous arrivals make
+  // Run's record order equal CompileBatch's input order, so the tracker
+  // sees the same Record sequence in both.
+  const QueryGraph& q = star_.queries[7];
+  std::vector<const QueryGraph*> queries(8, &q);
+  std::vector<Submission> subs(queries.size());
+  for (Submission& s : subs) s.query = &q;
+
+  auto make_options = [] {
+    CompileServiceOptions o = DeterministicOptions();
+    o.enable_cache = false;  // cache hits would skip estimation (and caps)
+    o.policy = SchedulingPolicy::kFifo;
+    o.admission.limits_policy.headroom = 0.5;  // under-derived: trips
+    o.trip_tracker.min_samples = 2;
+    return o;
+  };
+  CompileService run_service(make_options());
+  CompileService batch_service(make_options());
+  ServiceReport run_report = run_service.Run(subs);
+  ServiceBatchResult batch = batch_service.CompileBatch(queries);
+
+  ASSERT_EQ(run_report.records.size(), queries.size());
+  ASSERT_EQ(batch.traces.size(), queries.size());
+  int64_t trips = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const ServiceQueryRecord& rec = run_report.records[i];
+    ASSERT_EQ(rec.ticket, i);  // kFifo burst: dispatch order = input order
+    const bool batch_degraded = batch.results[i].ok()
+                                    ? batch.results[i]->degraded
+                                    : false;
+    EXPECT_EQ(rec.degraded, batch_degraded) << i;
+    EXPECT_EQ(rec.budget_tripped, batch.traces[i].budget_tripped) << i;
+    EXPECT_EQ(rec.stage_events, batch.traces[i].events) << i;
+    if (IsBudgetTrip(rec.degraded, rec.status, rec.budget_tripped)) ++trips;
+  }
+  EXPECT_GT(trips, 0) << "workload must actually trip to test the predicate";
+
+  auto run_snap = run_service.tracker().Snapshot();
+  auto batch_snap = batch_service.tracker().Snapshot();
+  ASSERT_EQ(run_snap.size(), 1u);
+  ASSERT_EQ(batch_snap.size(), 1u);
+  EXPECT_EQ(run_snap[0].query_class, batch_snap[0].query_class);
+  EXPECT_EQ(run_snap[0].armed, batch_snap[0].armed);
+  EXPECT_EQ(run_snap[0].tripped, batch_snap[0].tripped);
+  EXPECT_DOUBLE_EQ(run_snap[0].multiplier, batch_snap[0].multiplier);
+}
+
+// ---------------------------------------------------------------------------
+// Simulated-timeline edge cases: idle gaps and saturation. All under
+// kEstimate + the virtual clock, so every assertion is exact.
+
+class ServiceTimelineTest : public ::testing::Test {
+ protected:
+  ServiceTimelineTest() : linear_(LinearWorkload()) {}
+
+  /// One submission of the (cheap, fixed) reference query at `arrival`.
+  Submission At(double arrival) const {
+    Submission s;
+    s.query = &linear_.queries[2];
+    s.arrival_seconds = arrival;
+    return s;
+  }
+
+  static void CheckInvariants(const ServiceReport& r) {
+    double max_finish = 0;
+    for (const ServiceQueryRecord& rec : r.records) {
+      EXPECT_GE(rec.start_seconds, rec.arrival_seconds) << rec.ticket;
+      EXPECT_GE(rec.queue_seconds, 0) << rec.ticket;
+      EXPECT_DOUBLE_EQ(rec.queue_seconds,
+                       rec.start_seconds - rec.arrival_seconds)
+          << rec.ticket;
+      EXPECT_DOUBLE_EQ(rec.finish_seconds,
+                       rec.start_seconds + rec.service_seconds)
+          << rec.ticket;
+      max_finish = std::max(max_finish, rec.finish_seconds);
+    }
+    EXPECT_DOUBLE_EQ(r.makespan_seconds, max_finish);
+  }
+
+  Workload linear_;
+};
+
+TEST_F(ServiceTimelineTest, ArrivalAfterLongIdleGapStartsAtItsArrival) {
+  // A burst, then nothing for ~1000 virtual seconds, then a second burst:
+  // the idle server must jump its clock to the late arrivals instead of
+  // back-dating their starts (predicted service here is ≪ 1s, so the
+  // first burst is long finished).
+  std::vector<Submission> subs;
+  for (int i = 0; i < 3; ++i) subs.push_back(At(0));
+  for (int i = 0; i < 3; ++i) subs.push_back(At(1000.0));
+  CompileService service(DeterministicOptions());
+  ServiceReport r = service.Run(subs);
+  ASSERT_EQ(r.records.size(), subs.size());
+  CheckInvariants(r);
+  // The first post-gap dispatch starts exactly at its arrival: no queue
+  // wait was invented across the idle gap.
+  const ServiceQueryRecord& first_late = r.records[3];
+  EXPECT_EQ(first_late.ticket, 3u);
+  EXPECT_DOUBLE_EQ(first_late.start_seconds, 1000.0);
+  EXPECT_DOUBLE_EQ(first_late.queue_seconds, 0.0);
+  EXPECT_GE(r.makespan_seconds, 1000.0);
+}
+
+TEST_F(ServiceTimelineTest, MidRunEmptyQueueJumpsToNextArrival) {
+  // One cheap query at t=0, the next at t=5: after the first compile the
+  // queue is empty mid-run, and the dispatch loop must advance the idle
+  // server to t=5 (not spin or dispatch early).
+  std::vector<Submission> subs = {At(0), At(5.0), At(5.0)};
+  CompileService service(DeterministicOptions());
+  ServiceReport r = service.Run(subs);
+  ASSERT_EQ(r.records.size(), subs.size());
+  CheckInvariants(r);
+  EXPECT_LT(r.records[0].finish_seconds, 5.0);
+  EXPECT_DOUBLE_EQ(r.records[1].start_seconds, 5.0);
+  EXPECT_DOUBLE_EQ(r.records[1].queue_seconds, 0.0);
+  // The third submission arrived with the second and waits behind it on
+  // the single server.
+  EXPECT_DOUBLE_EQ(r.records[2].start_seconds,
+                   r.records[1].finish_seconds);
+}
+
+TEST_F(ServiceTimelineTest, SingleWorkerSaturatedStreamRunsBackToBack) {
+  // Everything arrives at once on one server: starts chain exactly
+  // (start[k] = finish[k-1]), queue waits grow monotonically, and the
+  // makespan is the sum of the service times.
+  std::vector<Submission> subs(10, At(0));
+  CompileService service(DeterministicOptions());
+  ServiceReport r = service.Run(subs);
+  ASSERT_EQ(r.records.size(), subs.size());
+  CheckInvariants(r);
+  double sum = 0;
+  for (size_t k = 0; k < r.records.size(); ++k) {
+    if (k > 0) {
+      EXPECT_DOUBLE_EQ(r.records[k].start_seconds,
+                       r.records[k - 1].finish_seconds);
+      EXPECT_GE(r.records[k].queue_seconds, r.records[k - 1].queue_seconds);
+    }
+    sum += r.records[k].service_seconds;
+  }
+  EXPECT_DOUBLE_EQ(r.makespan_seconds, sum);
 }
 
 // ---------------------------------------------------------------------------

@@ -114,7 +114,8 @@ DET_FUNCTIONS = {
     # anchor). Run's only time reads go through the injected Clock, and
     # the trace generator's only randomness is the seeded cote::Rng.
     "src/service/scheduler.cc": {
-        "ReadyQueue::PickIndex": (),
+        "SchedulesBefore": (),
+        "ReadyQueue::Push": (),
         "ReadyQueue::PopNext": (),
     },
     "src/service/admission.cc": {
@@ -128,6 +129,16 @@ DET_FUNCTIONS = {
     },
     "src/service/compile_service.cc": {
         "CompileService::Run": (),
+    },
+    # Live async executor: Submit (admission + ticket assignment) and
+    # Drain (ticket-order feedback application) are the two halves of its
+    # determinism contract — the async-vs-simulated oracle test holds
+    # exactly because neither depends on worker interleaving. The worker
+    # loop itself is deliberately NOT determinism-critical: its wall-time
+    # fields are the documented exclusion.
+    "src/service/async_executor.cc": {
+        "AsyncCompileService::Submit": (),
+        "AsyncCompileService::Drain": (),
     },
 }
 

@@ -126,8 +126,9 @@ HOT_FUNCTIONS = {
         "Admit",
     ],
     "src/service/scheduler.cc": [
-        "PickIndex",  # policy argmin over the ready queue, pure scan
-        "PopNext",    # swap-remove; pop_back never reallocates
+        "SchedulesBefore",  # the policy comparator, pure arithmetic
+        "Push",     # heap sift-up; heap_ retains capacity (see receivers)
+        "PopNext",  # heap sift-down + pop_back; never reallocates
     ],
     "src/service/trip_tracker.cc": [
         "Record",
@@ -137,8 +138,15 @@ HOT_FUNCTIONS = {
         "NextGapSeconds",  # per-arrival inversion sample, pure arithmetic
     ],
     "src/service/compile_service.cc": [
-        "ObserverThunk",       # runs inside the compile per stage event
-        "ThresholdAdmission",  # runs under the cache mutex per insert
+        "DispatchTraceObserver",  # runs inside the compile per stage event
+        "ThresholdAdmission",     # runs under the cache mutex per insert
+    ],
+    # Async executor: CompileEntry is the per-dispatch body every worker
+    # thread runs between the two mutex scopes (pop → compile → publish);
+    # any heap traffic here is multiplied by every live dispatch, so it
+    # must stay as pure as the simulated Run's dispatch body.
+    "src/service/async_executor.cc": [
+        "CompileEntry",
     ],
     # Query completion: runs once per plan-mode compile; its counting twin
     # runs once per estimate and must never touch the heap.
@@ -211,6 +219,9 @@ ALLOWED_RECEIVERS = {
     # join), cleared at the rank-barrier merge with capacity retained — so
     # they are quiescent on warm reruns like the arenas above.
     "created_", "created_masks_",
+    # ReadyQueue's heap vector: push_back + sift; pops shrink it without
+    # releasing capacity, so a steady-state queue stops allocating.
+    "heap_",
 }
 
 BANNED_ANYWHERE = [

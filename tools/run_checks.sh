@@ -28,14 +28,16 @@
 #                                     parallel-session suites ran in it)
 #   9. TSan cycle                    (-DCOTE_SANITIZE=thread over the
 #                                     session + fault-injection + parallel-
-#                                     enumerator + compile-service tests:
-#                                     vets the pool's
+#                                     enumerator + compile-service +
+#                                     async-executor tests: vets the pool's
 #                                     queue cursor, stats merge, the shared
 #                                     statement cache, per-query budget
 #                                     re-arming, the fault hook's install/
-#                                     consult protocol, and the rank-
+#                                     consult protocol, the rank-
 #                                     parallel enumerator's shard fill /
-#                                     barrier merge / cancel broadcast)
+#                                     barrier merge / cancel broadcast, and
+#                                     the async executor's condvar/ready-
+#                                     queue worker handoff)
 #
 # Usage: tools/run_checks.sh [--skip-san] [--jobs N]
 #   --skip-san   skip the (slow) sanitizer configure/build/test cycles
@@ -283,9 +285,12 @@ fi
 # the golden-equivalence suite assumes). The compile service's closed-loop
 # batch path (service_test, Service* fixtures) drives the pool's real
 # threads through per-query limits and the shared statement cache, so it
-# races here too. Only these four targets are built — the full suite under
-# TSan would be prohibitively slow and single-threaded tests have nothing
-# for TSan to find.
+# races here too, and async_service_test (AsyncService* fixtures, >= 4
+# worker threads) races the live executor's condvar/ready-queue handoff,
+# per-worker warm sessions, and guarded results sink — the TSan run is the
+# dynamic half of the oracle test's determinism claim. Only these five
+# targets are built — the full suite under TSan would be prohibitively
+# slow and single-threaded tests have nothing for TSan to find.
 if [ "$SKIP_SAN" = 1 ]; then
   gate "9/9" "TSan cycle"
   skip "TSan cycle (--skip-san)"
@@ -296,7 +301,7 @@ else
         -DCOTE_SANITIZE=thread >/dev/null \
      && cmake --build "$TSAN_DIR" -j "$JOBS" \
           --target session_test fault_injection_test parallel_session_test \
-          service_test >/dev/null; then
+          service_test async_service_test >/dev/null; then
     # -R hits the session + service fixtures; unbuilt targets only register
     # lowercase *_NOT_BUILT placeholders, which the regex cannot match.
     if (cd "$TSAN_DIR" && ctest -j "$JOBS" -R 'Session|Service' \
