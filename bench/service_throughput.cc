@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/clock.h"
 #include "service/admission.h"
 #include "service/async_executor.h"
 #include "service/compile_service.h"
@@ -48,7 +49,7 @@ namespace cote {
 namespace {
 
 struct Sample {
-  std::string mode;  // "simulated" or "async"
+  std::string mode;  // "simulated", "async", "overload", "overload-growth"
   std::string policy;
   int workers = 0;
   int arrivals = 0;
@@ -63,6 +64,21 @@ struct Sample {
   int64_t degraded = 0;
   int64_t failed = 0;
   int64_t deadline_misses = 0;
+  // Overload-sweep columns (zero/empty for the scheduling samples above):
+  // offered load multiplier, overload policy, queue capacity (0 =
+  // unbounded), the outcome taxonomy, and p95 queue latency over *served*
+  // queries only — the resilience headline (shed work must not count as
+  // latency the service delivered).
+  double load = 0;
+  std::string overload;
+  int capacity = 0;
+  int64_t served_full = 0;
+  int64_t served_degraded = 0;
+  int64_t shed_queue_full = 0;
+  int64_t shed_expired = 0;
+  int64_t failed_permanent = 0;
+  int64_t retried = 0;
+  double p95_served_queue_seconds = 0;
 };
 
 double Percentile(std::vector<double> xs, int pct) {
@@ -96,7 +112,12 @@ void WriteJson(const std::string& path, const std::string& label,
         "\"p95_queue_seconds\": %.6f, \"estimates\": %lld, "
         "\"cache_hits\": %lld, \"cache_insertions\": %lld, "
         "\"degraded\": %lld, \"failed\": %lld, "
-        "\"deadline_misses\": %lld}%s\n",
+        "\"deadline_misses\": %lld, "
+        "\"load\": %.2f, \"overload\": \"%s\", \"capacity\": %d, "
+        "\"served_full\": %lld, \"served_degraded\": %lld, "
+        "\"shed_queue_full\": %lld, \"shed_expired\": %lld, "
+        "\"failed_permanent\": %lld, \"retried\": %lld, "
+        "\"p95_served_queue_seconds\": %.6f}%s\n",
         s.mode.c_str(), s.policy.c_str(), s.workers, s.arrivals,
         s.queries_per_sec,
         s.makespan_seconds, s.mean_queue_seconds, s.p50_queue_seconds,
@@ -104,7 +125,13 @@ void WriteJson(const std::string& path, const std::string& label,
         static_cast<long long>(s.cache_hits),
         static_cast<long long>(s.cache_insertions),
         static_cast<long long>(s.degraded), static_cast<long long>(s.failed),
-        static_cast<long long>(s.deadline_misses),
+        static_cast<long long>(s.deadline_misses), s.load, s.overload.c_str(),
+        s.capacity, static_cast<long long>(s.served_full),
+        static_cast<long long>(s.served_degraded),
+        static_cast<long long>(s.shed_queue_full),
+        static_cast<long long>(s.shed_expired),
+        static_cast<long long>(s.failed_permanent),
+        static_cast<long long>(s.retried), s.p95_served_queue_seconds,
         i + 1 < samples.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -271,6 +298,114 @@ int main(int argc, char** argv) {
       record_sample("async", policy, o.num_workers, r);
     }
   }
+
+  // -------------------------------------------------------------------------
+  // Overload sweep (DESIGN.md §16): offered load 0.5x/1x/2x/4x through
+  // three front-door configurations, on the virtual clock with
+  // estimate-derived service times so the load multiplier is exact and
+  // the runs replay deterministically:
+  //   unbounded-fifo    the pre-resilience service — no capacity, no
+  //                     patience, no retry; every arrival waits forever;
+  //   reject            capacity 8, typed refusal at the door, patience
+  //                     ladder and one retry for what gets in;
+  //   shed-lowest-value capacity 8, evict the worst estimate-derived
+  //                     value under pressure, same ladder and retry.
+  // The headline column is p95 queue latency of *served* queries: the
+  // bounded doors hold it near the queue's drain time at any load, while
+  // the unbounded door's grows with offered load — and with trace
+  // length, which the overload-growth samples show directly at 2x.
+  struct OverloadConfig {
+    const char* name;
+    OverloadPolicy policy;
+    int capacity;
+    double patience_factor;
+    int max_retries;
+  };
+  constexpr OverloadConfig kDoors[] = {
+      {"unbounded-fifo", OverloadPolicy::kBlock, 0, 0.0, 0},
+      {"reject", OverloadPolicy::kReject, 8, 4.0, 1},
+      {"shed-lowest-value", OverloadPolicy::kShedLowestValue, 8, 4.0, 1},
+  };
+  const auto make_sweep_trace = [&](int n, double load) {
+    ArrivalTraceOptions t;
+    t.num_arrivals = n;
+    t.mean_gap_seconds = mean_predicted / load;
+    t.seed = 1234;
+    return MakeOpenLoopTrace(pool, t);
+  };
+  const auto run_overload = [&](const char* sample_mode, double load,
+                                const OverloadConfig& door,
+                                const std::vector<Submission>& sweep_trace) {
+    CompileServiceOptions o;
+    o.optimizer = options;
+    o.time_model = model;
+    o.num_workers = 1;
+    o.policy = SchedulingPolicy::kFifo;
+    o.time_source = ServiceTimeSource::kEstimate;
+    o.queue_capacity = door.capacity;
+    o.overload = door.policy;
+    o.max_retries = door.max_retries;
+    o.admission.limits_policy.patience_factor = door.patience_factor;
+    VirtualClock clock;
+    o.clock = &clock;
+    o.drive_clock = &clock;
+    CompileService service(o);
+    ServiceReport r = service.Run(sweep_trace);
+    record_sample(sample_mode, o.policy, o.num_workers, r);
+    Sample& s = samples.back();
+    s.arrivals = static_cast<int>(sweep_trace.size());
+    s.load = load;
+    s.overload = door.name;
+    s.capacity = door.capacity;
+    s.served_full = r.taxonomy.served_full;
+    s.served_degraded = r.taxonomy.served_degraded;
+    s.shed_queue_full = r.taxonomy.shed_queue_full;
+    s.shed_expired = r.taxonomy.shed_expired;
+    s.failed_permanent = r.taxonomy.failed_permanent;
+    s.retried = r.taxonomy.retried;
+    s.p95_served_queue_seconds = r.P95ServedQueueSeconds();
+    std::printf(
+        "  -> %-17s load=%.1fx cap=%d  served=%lld+%lldd shed=%lld+%llde "
+        "retried=%lld  p95(served)=%.4fs\n",
+        door.name, load, door.capacity,
+        static_cast<long long>(s.served_full),
+        static_cast<long long>(s.served_degraded),
+        static_cast<long long>(s.shed_queue_full),
+        static_cast<long long>(s.shed_expired),
+        static_cast<long long>(s.retried), s.p95_served_queue_seconds);
+    return s.p95_served_queue_seconds;
+  };
+
+  const int sweep_arrivals = std::max(40, arrivals / 2);
+  std::printf("\noverload sweep (%d arrivals, virtual clock):\n",
+              sweep_arrivals);
+  for (double load : {0.5, 1.0, 2.0, 4.0}) {
+    const std::vector<Submission> sweep_trace =
+        make_sweep_trace(sweep_arrivals, load);
+    for (const OverloadConfig& door : kDoors) {
+      run_overload("overload", load, door, sweep_trace);
+    }
+  }
+
+  // Growth check at 2x load: double the trace and the unbounded door's
+  // served-p95 roughly doubles with it (the queue just keeps deepening),
+  // while the bounded shedding door's stays where it was.
+  std::printf("\noverload growth at 2.0x load (N vs 2N arrivals):\n");
+  double unbounded_p95[2], shed_p95[2];
+  for (int i = 0; i < 2; ++i) {
+    const std::vector<Submission> sweep_trace =
+        make_sweep_trace(sweep_arrivals * (i + 1), 2.0);
+    unbounded_p95[i] = run_overload("overload-growth", 2.0, kDoors[0],
+                                    sweep_trace);
+    shed_p95[i] = run_overload("overload-growth", 2.0, kDoors[2], sweep_trace);
+  }
+  std::printf(
+      "unbounded-fifo p95(served): %.4fs -> %.4fs (x%.2f)   "
+      "shed-lowest-value: %.4fs -> %.4fs (x%.2f)\n",
+      unbounded_p95[0], unbounded_p95[1],
+      unbounded_p95[0] > 0 ? unbounded_p95[1] / unbounded_p95[0] : 0.0,
+      shed_p95[0], shed_p95[1],
+      shed_p95[0] > 0 ? shed_p95[1] / shed_p95[0] : 0.0);
 
   if (run_simulated) {
     const Sample& fifo = samples[simulated_base];

@@ -2,6 +2,11 @@
 #define COTE_COMMON_CLOCK_H_
 
 #include <chrono>
+#ifndef NDEBUG
+#include <thread>
+
+#include "common/check.h"
+#endif
 
 namespace cote {
 
@@ -49,23 +54,48 @@ class SystemClock final : public Clock {
 /// Deterministic clock for tests: time moves only when the owner (or the
 /// component driving it, e.g. CompileService::Run with `drive_clock` set)
 /// advances it. Single-threaded by design, like the service event loop
-/// that drives it.
+/// that drives it — `now_` is a plain double with no synchronization, so
+/// sharing one across threads (e.g. injecting it into the async
+/// executor, whose workers read the clock concurrently) is a data race.
+/// Debug builds enforce the contract: every call COTE_DCHECKs that it
+/// runs on the constructing thread (pinned by the contracts death test);
+/// release builds compile the check — and the owner id — out entirely.
 class VirtualClock final : public Clock {
  public:
-  explicit VirtualClock(double start_seconds = 0) : now_(start_seconds) {}
+  explicit VirtualClock(double start_seconds = 0) : now_(start_seconds) {
+#ifndef NDEBUG
+    owner_ = std::this_thread::get_id();
+#endif
+  }
 
-  double NowSeconds() override { return now_; }
+  double NowSeconds() override {
+    CheckOwner();
+    return now_;
+  }
 
   void Advance(double seconds) {
+    CheckOwner();
     if (seconds > 0) now_ += seconds;
   }
   /// Monotonic set: never moves time backwards.
   void SetAtLeast(double seconds) {
+    CheckOwner();
     if (seconds > now_) now_ = seconds;
   }
 
  private:
+  void CheckOwner() const {
+#ifndef NDEBUG
+    COTE_DCHECK(std::this_thread::get_id() == owner_ &&
+                "VirtualClock is single-threaded: accessed off its "
+                "constructing thread");
+#endif
+  }
+
   double now_;
+#ifndef NDEBUG
+  std::thread::id owner_;
+#endif
 };
 
 }  // namespace cote

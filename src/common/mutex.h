@@ -1,6 +1,7 @@
 #ifndef COTE_COMMON_MUTEX_H_
 #define COTE_COMMON_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -65,6 +66,15 @@ class CondVar {
   CondVar& operator=(const CondVar&) = delete;
 
   void Wait(Mutex& mu) COTE_REQUIRES(mu) { cv_.wait(mu); }
+  /// Timed wait: blocks at most `seconds`, then returns whether it was
+  /// notified (false = timed out). Same lock discipline as Wait(). The
+  /// async service's Drain watchdog uses this as its poll cadence —
+  /// spurious wakeups and timeouts are both fine because callers re-check
+  /// their predicate in a loop either way.
+  bool WaitFor(Mutex& mu, double seconds) COTE_REQUIRES(mu) {
+    return cv_.wait_for(mu, std::chrono::duration<double>(seconds)) ==
+           std::cv_status::no_timeout;
+  }
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }
 

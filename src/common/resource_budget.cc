@@ -8,7 +8,7 @@ void ResourceBudget::Arm(const ResourceLimits& limits) {
   limits_ = limits;
   armed_ = !limits.Unlimited();
   has_deadline_ = limits.deadline_seconds > 0;
-  tripped_ = BudgetLimit::kNone;
+  tripped_.store(BudgetLimit::kNone, std::memory_order_relaxed);
   checkpoints_ = 0;
   entries_ = 0;
   plans_ = 0;
@@ -24,7 +24,7 @@ void ResourceBudget::Disarm() {
   limits_ = ResourceLimits{};
   armed_ = false;
   has_deadline_ = false;
-  tripped_ = BudgetLimit::kNone;
+  tripped_.store(BudgetLimit::kNone, std::memory_order_relaxed);
   checkpoints_ = 0;
   entries_ = 0;
   plans_ = 0;
@@ -39,7 +39,7 @@ bool ResourceBudget::CheckDeadlineSlow() {
 }
 
 Status ResourceBudget::TripStatus() const {
-  switch (tripped_) {
+  switch (tripped_.load(std::memory_order_relaxed)) {
     case BudgetLimit::kNone:
       return Status::OK();
     case BudgetLimit::kDeadline:
@@ -60,6 +60,10 @@ Status ResourceBudget::TripStatus() const {
       return Status::ResourceExhausted(
           StrFormat("checkpoint budget of %lld reached",
                     static_cast<long long>(limits_.max_checkpoints)));
+    case BudgetLimit::kExternalCancel:
+      return Status::Cancelled(
+          StrFormat("compile cancelled externally after %lld checkpoints",
+                    static_cast<long long>(checkpoints_)));
   }
   return Status::Internal("unknown budget limit");
 }

@@ -1,6 +1,7 @@
 #ifndef COTE_COMMON_RESOURCE_BUDGET_H_
 #define COTE_COMMON_RESOURCE_BUDGET_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 
@@ -28,6 +29,11 @@ enum class BudgetLimit {
   kMemoEntries,  ///< MEMO-entry cap exceeded
   kPlans,        ///< plan-count cap exceeded
   kCheckpoints,  ///< cooperative-check cap reached (deterministic work cap)
+  /// A supervisor thread cancelled the compile from outside
+  /// (ResourceBudget::TripExternal) — e.g. the async service's watchdog
+  /// decided the run outlived its queue-wait patience. Maps to
+  /// StatusCode::kCancelled, not a budget-derived code.
+  kExternalCancel,
 };
 
 /// What the plan-mode pipeline does when a budget trips mid-compile.
@@ -91,12 +97,28 @@ struct ResourceLimits {
 /// Everything is allocation-free and stays within the hot-path lint; the
 /// armed-but-untripped path performs no heap traffic (session_alloc_test).
 ///
-/// Deliberately unsynchronized: a budget is single-owner per compile —
+/// Threading: every field except `tripped_` is single-owner per compile —
 /// the parallel enumerator gives each worker a *private* budget and folds
-/// deltas at rank barriers (FoldShardCharges), so no budget is ever
-/// touched by two threads. The tree's actual shared-state surface is
-/// inventoried in tools/sync_inventory.json; this class is intentionally
-/// absent from it.
+/// deltas at rank barriers (FoldShardCharges), so the charge counters are
+/// never touched by two threads. The tripped flag alone is a
+/// std::atomic<BudgetLimit> (inventoried in tools/sync_inventory.json):
+/// a supervisor thread may call TripExternal() on a budget whose compile
+/// is in flight on another thread, and the owner observes the cancel at
+/// its next cooperative Checkpoint(). All flag accesses are relaxed — the
+/// flag carries no payload, only "stop soon"; every field the supervisor
+/// or the owner reads *about* the cancelled compile crosses threads
+/// through an external mutex (the async service's `mu_`), which provides
+/// the happens-before. The relaxed fast-path load keeps the
+/// armed-but-untripped Checkpoint() cost at a couple of integer compares
+/// (the <2% bench budget in EXPERIMENTS.md survives the atomic change).
+///
+/// TripExternal races Arm()/Disarm() only if the supervisor fires at a
+/// budget whose compile already retired; callers must bound that window —
+/// the async service only cancels budgets registered as in-flight under
+/// its mutex, and a worker deregisters (under the same mutex) before the
+/// session can re-arm the budget for another query, so a late cancel can
+/// land only on a still-armed, already-finished budget, where the next
+/// Arm() reset erases it harmlessly.
 class ResourceBudget {
  public:
   /// Deadline sampling stride: the clock is read at checkpoints 1,
@@ -115,8 +137,12 @@ class ResourceBudget {
   void Disarm();
 
   bool armed() const { return armed_; }
-  bool tripped() const { return tripped_ != BudgetLimit::kNone; }
-  BudgetLimit tripped_limit() const { return tripped_; }
+  bool tripped() const {
+    return tripped_.load(std::memory_order_relaxed) != BudgetLimit::kNone;
+  }
+  BudgetLimit tripped_limit() const {
+    return tripped_.load(std::memory_order_relaxed);
+  }
   const ResourceLimits& limits() const { return limits_; }
   int64_t checkpoints() const { return checkpoints_; }
   int64_t entries_charged() const { return entries_; }
@@ -138,12 +164,23 @@ class ResourceBudget {
     }
   }
 
+  /// Cancels the compile from another thread: first-trip-wins against any
+  /// concurrent self-trip, observed by the owner at its next Checkpoint().
+  /// Safe to call at any time on an in-flight budget (see the class doc
+  /// for the retirement race the caller must bound); a cancel landing on
+  /// a disarmed or finished budget is erased by the next Arm().
+  void TripExternal() { Trip(BudgetLimit::kExternalCancel); }
+
   /// The cooperative cancellation point. Returns true once the budget is
   /// exhausted; the caller stops enumerating (the overshoot is whatever
-  /// the current mask batch emitted since the previous check).
+  /// the current mask batch emitted since the previous check). The
+  /// tripped read is the relaxed fast path — one untripped atomic load
+  /// per mask batch.
   bool Checkpoint() {
     ++checkpoints_;
-    if (tripped_ != BudgetLimit::kNone) return true;
+    if (tripped_.load(std::memory_order_relaxed) != BudgetLimit::kNone) {
+      return true;
+    }
     if (limits_.max_checkpoints > 0 &&
         checkpoints_ >= limits_.max_checkpoints) {
       Trip(BudgetLimit::kCheckpoints);
@@ -181,9 +218,13 @@ class ResourceBudget {
   Status TripStatus() const;
 
  private:
-  /// First limit to trip wins; later trips never overwrite it.
+  /// First limit to trip wins; later trips never overwrite it. The CAS
+  /// makes first-wins hold even when an owner self-trip races an external
+  /// cancel — exactly one limit is ever recorded.
   void Trip(BudgetLimit limit) {
-    if (tripped_ == BudgetLimit::kNone) tripped_ = limit;
+    BudgetLimit expected = BudgetLimit::kNone;
+    tripped_.compare_exchange_strong(expected, limit,
+                                     std::memory_order_relaxed);
   }
   /// Cold half of Checkpoint(): reads the clock, trips on expiry.
   bool CheckDeadlineSlow();
@@ -191,7 +232,9 @@ class ResourceBudget {
   ResourceLimits limits_;
   bool armed_ = false;
   bool has_deadline_ = false;
-  BudgetLimit tripped_ = BudgetLimit::kNone;
+  /// The only cross-thread field (see the class doc); everything else is
+  /// owner-private, so nothing here needs a mutex or GUARDED_BY.
+  std::atomic<BudgetLimit> tripped_{BudgetLimit::kNone};
   int64_t checkpoints_ = 0;
   int64_t entries_ = 0;
   int64_t plans_ = 0;

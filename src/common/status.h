@@ -26,6 +26,16 @@ enum class StatusCode {
   /// A countable per-query resource cap (MEMO entries, plans, cooperative
   /// checkpoints) was exhausted before the compile finished.
   kResourceExhausted,
+  /// The service declined the work outright — e.g. a bounded ready queue
+  /// was full under OverloadPolicy::kReject, or the submission was the
+  /// lowest-value entry under kShedLowestValue. Retrying later (when the
+  /// backlog drains) is reasonable; retrying immediately is not.
+  kUnavailable,
+  /// The compile was cancelled from outside — a supervisor tripped the
+  /// in-flight budget (ResourceBudget::TripExternal) because the run
+  /// outlived its usefulness. Unlike kDeadlineExceeded this is a verdict
+  /// about the *caller's* interest, not the compile's own budget.
+  kCancelled,
 };
 
 /// \brief Result of an operation that can fail.
@@ -68,6 +78,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -30,6 +30,8 @@ AdmissionOutcome AdmissionStage::Admit(const QueryGraph& graph,
         // deadline can be derived from seconds alone — the count caps
         // stay unlimited (LimitsPolicy::DeriveFromSeconds).
         out.predicted_seconds = *cached;
+        out.patience_seconds =
+            admission_.limits_policy.DerivePatience(out.predicted_seconds);
         if (admission_.derive_limits) {
           out.limits = admission_.limits_policy.DeriveFromSeconds(
               *cached, out.headroom_multiplier);
@@ -42,6 +44,8 @@ AdmissionOutcome AdmissionStage::Admit(const QueryGraph& graph,
   out.estimate = session_.Estimate(graph, time_model_);
   out.estimated = true;
   out.predicted_seconds = out.estimate.estimated_seconds;
+  out.patience_seconds =
+      admission_.limits_policy.DerivePatience(out.predicted_seconds);
   if (admission_.derive_limits) {
     out.limits = admission_.limits_policy.Derive(out.estimate,
                                                  out.headroom_multiplier);

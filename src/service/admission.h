@@ -33,6 +33,11 @@ struct AdmissionOutcome {
   /// Limits the compile should run under (unlimited when derive_limits is
   /// off).
   ResourceLimits limits;
+  /// Estimate-derived queue-wait patience in seconds
+  /// (LimitsPolicy::DerivePatience); <= 0 means the query waits forever.
+  /// Each whole patience interval spent queued demotes the compile one
+  /// degradation tier at dispatch.
+  double patience_seconds = 0;
   /// Trip-tracker multiplier folded into the limits (1.0 = no widening).
   double headroom_multiplier = 1.0;
   int query_class = 0;

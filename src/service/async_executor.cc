@@ -4,8 +4,23 @@
 #include <chrono>
 
 #include "common/check.h"
+#include "common/str_util.h"
+#include "service/outcome.h"
 
 namespace cote {
+
+namespace {
+
+/// Whole patience intervals waited by `now_offset` — the tier demotion
+/// count (same arithmetic as the simulated front-end's, over wall time).
+int Demotions(const ReadyEntry& entry, double now_offset) {
+  if (entry.patience_seconds <= 0) return 0;
+  const double waited = now_offset - entry.ready_seconds;
+  if (waited < entry.patience_seconds) return 0;
+  return static_cast<int>(waited / entry.patience_seconds);
+}
+
+}  // namespace
 
 AsyncCompileService::AsyncCompileService(CompileServiceOptions options)
     : options_(std::move(options)),
@@ -17,12 +32,16 @@ AsyncCompileService::AsyncCompileService(CompileServiceOptions options)
       admission_(options_.optimizer, options_.counter, options_.time_model,
                  options_.admission, cache_.get(), &tracker_),
       pool_(options_.num_workers, options_.optimizer, options_.counter),
-      queue_(options_.policy) {
+      queue_(options_.policy, options_.queue_capacity, options_.overload) {
   if (cache_ != nullptr) {
     cache_->SetAdmissionPolicy(
         &ThresholdAdmission, &options_.cache_admission_threshold_seconds);
   }
   const int workers = pool_.num_workers();
+  {
+    MutexLock lock(mu_);
+    inflight_.resize(static_cast<size_t>(workers));
+  }
   threads_.reserve(static_cast<size_t>(workers));
   for (int w = 0; w < workers; ++w) {
     threads_.emplace_back(&AsyncCompileService::WorkerLoop, this, w);
@@ -31,21 +50,53 @@ AsyncCompileService::AsyncCompileService(CompileServiceOptions options)
 
 AsyncCompileService::~AsyncCompileService() { Shutdown(); }
 
+ServiceQueryRecord AsyncCompileService::MakeShedRecord(
+    const ReadyEntry& entry, const Pending& work, double at_offset,
+    Status status) const {
+  const AdmissionOutcome& adm = work.admission;
+  ServiceQueryRecord rec;
+  rec.ticket = entry.ticket;
+  rec.worker = -1;
+  rec.query_class = adm.query_class;
+  rec.arrival_seconds = work.arrival_seconds;
+  rec.start_seconds = at_offset;
+  rec.finish_seconds = at_offset;
+  rec.queue_seconds = at_offset - work.arrival_seconds;
+  rec.deadline_seconds = work.submission.deadline_seconds;
+  rec.predicted_seconds = adm.predicted_seconds;
+  rec.estimated = adm.estimated;
+  rec.cache_hit = adm.cache_hit;
+  rec.headroom_multiplier = adm.headroom_multiplier;
+  rec.status = std::move(status);
+  rec.tier = static_cast<int>(ServiceTier::kShed);
+  rec.retries = entry.retries;
+  rec.outcome = ClassifyRecord(rec);
+  return rec;
+}
+
 size_t AsyncCompileService::Submit(const Submission& submission) {
   COTE_CHECK(submission.query != nullptr);
   // Admission on the caller thread: the stage's warm estimate session is
   // single-threaded, and the cache + tracker it consults are only ever
   // mutated on this same thread (at Drain), so admission never races the
-  // workers — they touch neither.
+  // workers — they touch neither. The estimate is paid before the
+  // overload decision on purpose: the shed choice *is* estimate-derived.
   Pending p;
   p.submission = submission;
   p.admission = admission_.Admit(*submission.query, submission.query_class);
   const double now = clock_->NowSeconds();
 
   size_t ticket;
+  bool notify_worker = false;
   {
     MutexLock lock(mu_);
     COTE_CHECK(!stop_);  // Submit after Shutdown is a driver bug
+    if (options_.overload == OverloadPolicy::kBlock) {
+      // Backpressure: the submitter waits at the door for a worker pop.
+      // stop_ cannot rise mid-wait (Shutdown runs on this same driver
+      // thread), so the predicate needs no stop clause.
+      while (queue_.Full()) space_cv_.Wait(mu_);
+    }
     if (pending_.empty()) burst_epoch_ = now;
     p.arrival_seconds = now - burst_epoch_;
     ticket = pending_.size();
@@ -54,11 +105,24 @@ size_t AsyncCompileService::Submit(const Submission& submission) {
     entry.ready_seconds = p.arrival_seconds;
     entry.predicted_seconds = p.admission.predicted_seconds;
     entry.deadline_seconds = submission.deadline_seconds;
+    entry.patience_seconds = p.admission.patience_seconds;
     pending_.push_back(p);
-    queue_.Push(entry);
     ++submitted_;
+    const OfferOutcome offer = queue_.Offer(entry);
+    notify_worker = offer.admitted;
+    if (offer.shed_incoming || offer.shed_existing) {
+      // The refused ticket terminates right here on the caller thread:
+      // its record is complete, it counts finished, and no worker will
+      // ever see it — ticket conservation by construction.
+      completed_.push_back(MakeShedRecord(
+          offer.shed, pending_[offer.shed.ticket], p.arrival_seconds,
+          Status::Unavailable(StrFormat(
+              "compile queue full (capacity %zu, policy %s)",
+              queue_.capacity(), OverloadPolicyName(options_.overload)))));
+      ++finished_;
+    }
   }
-  ready_cv_.NotifyOne();
+  if (notify_worker) ready_cv_.NotifyOne();
   return ticket;
 }
 
@@ -67,37 +131,91 @@ void AsyncCompileService::WorkerLoop(int worker) {
     ReadyEntry entry;
     Pending work;
     double epoch;
+    int tier;
     {
       MutexLock lock(mu_);
-      while (!stop_ && queue_.empty()) ready_cv_.Wait(mu_);
+      while (!stop_ && (hold_ || queue_.empty())) ready_cv_.Wait(mu_);
       // Stop only takes effect on an empty queue: everything admitted
       // before Shutdown still compiles (shutdown never abandons work).
       if (queue_.empty()) return;
       entry = queue_.PopNext();
       work = pending_[entry.ticket];
       epoch = burst_epoch_;
+      const double now_offset = clock_->NowSeconds() - epoch;
+      // Queue-wait expiry on the wall clock: each whole patience interval
+      // waited demotes one tier; past the ladder's bottom the entry is
+      // shed without compiling.
+      tier = std::min(static_cast<int>(ServiceTier::kShed),
+                      entry.tier + Demotions(entry, now_offset));
+      if (tier >= static_cast<int>(ServiceTier::kShed)) {
+        completed_.push_back(MakeShedRecord(
+            entry, work, now_offset,
+            Status::DeadlineExceeded(StrFormat(
+                "queue wait %.3fs exhausted patience %.3fs ladder",
+                now_offset - entry.ready_seconds, entry.patience_seconds))));
+        ++finished_;
+      } else {
+        // Register for the cancellation supervisor before the compile
+        // starts. The budget pointer stays valid for the pool's lifetime;
+        // the registration is cleared under mu_ after the compile, so a
+        // supervisor trip can never land on a *later* armed compile.
+        InFlight& f = inflight_[static_cast<size_t>(worker)];
+        f.active = true;
+        f.ticket = entry.ticket;
+        f.start_seconds = clock_->NowSeconds();
+        f.patience_seconds = entry.patience_seconds;
+        f.budget = &pool_.session(worker).context().budget();
+      }
+    }
+    // The pop freed a queue slot either way; wake a kBlock submitter.
+    space_cv_.NotifyOne();
+    if (tier >= static_cast<int>(ServiceTier::kShed)) {
+      done_cv_.NotifyOne();
+      continue;
     }
 
     const ServiceQueryRecord rec =
-        CompileEntry(worker, entry.ticket, work, epoch);
+        CompileEntry(worker, entry, work, epoch, tier);
 
+    bool retried = false;
     {
       MutexLock lock(mu_);
-      completed_.push_back(rec);
-      ++finished_;
+      inflight_[static_cast<size_t>(worker)].active = false;
+      inflight_[static_cast<size_t>(worker)].budget = nullptr;
+      // Bounded retry-with-degradation, same rule as the simulated
+      // front-end: a transient failure with budget left re-enqueues one
+      // tier down (capacity-blind — admission was paid once) and touches
+      // neither submitted_ nor finished_.
+      if (!rec.status.ok() && IsTransientFailure(rec.status.code()) &&
+          entry.retries < options_.max_retries) {
+        ReadyEntry again = entry;
+        again.ready_seconds = clock_->NowSeconds() - epoch;
+        again.tier =
+            std::min(static_cast<int>(ServiceTier::kGreedyOnly), tier + 1);
+        again.retries = entry.retries + 1;
+        queue_.Push(again);
+        retried = true;
+      } else {
+        completed_.push_back(rec);
+        ++finished_;
+      }
     }
-    done_cv_.NotifyOne();
+    if (retried) {
+      ready_cv_.NotifyOne();
+    } else {
+      done_cv_.NotifyOne();
+    }
   }
 }
 
 ServiceQueryRecord AsyncCompileService::CompileEntry(int worker,
-                                                     size_t ticket,
+                                                     const ReadyEntry& entry,
                                                      const Pending& work,
-                                                     double epoch) {
+                                                     double epoch, int tier) {
   const Submission& sub = work.submission;
   const AdmissionOutcome& adm = work.admission;
   ServiceQueryRecord rec;
-  rec.ticket = ticket;
+  rec.ticket = entry.ticket;
   rec.worker = worker;
   rec.query_class = adm.query_class;
   rec.arrival_seconds = work.arrival_seconds;
@@ -106,7 +224,17 @@ ServiceQueryRecord AsyncCompileService::CompileEntry(int worker,
   rec.estimated = adm.estimated;
   rec.cache_hit = adm.cache_hit;
   rec.headroom_multiplier = adm.headroom_multiplier;
-  rec.limits = adm.limits;
+  rec.tier = tier;
+  rec.retries = entry.retries;
+  // The tier transform, identical to the simulated front-end's: full
+  // limits, halved limits, or the ungoverned greedy-only compile.
+  ResourceLimits limits = adm.limits;
+  if (tier == static_cast<int>(ServiceTier::kBudgetHalved)) {
+    limits = HalveLimits(limits);
+  } else if (tier == static_cast<int>(ServiceTier::kGreedyOnly)) {
+    limits = ResourceLimits();
+  }
+  rec.limits = limits;
 
   // The real compile, lock-free on this worker's own warm session; the
   // observer ctx is stack-local, so trip evidence lands on this record
@@ -116,8 +244,10 @@ ServiceQueryRecord AsyncCompileService::CompileEntry(int worker,
   session.SetStageObserver(&DispatchTraceObserver, &trace);
   const double wall_before = clock_->NowSeconds();
   StatusOr<OptimizeResult> result =
-      adm.limits.Unlimited() ? session.Optimize(*sub.query)
-                             : session.Optimize(*sub.query, adm.limits);
+      tier == static_cast<int>(ServiceTier::kGreedyOnly)
+          ? session.OptimizeGreedy(*sub.query)
+          : (limits.Unlimited() ? session.Optimize(*sub.query)
+                                : session.Optimize(*sub.query, limits));
   const double wall_after = clock_->NowSeconds();
   session.SetStageObserver(nullptr, nullptr);
 
@@ -136,6 +266,7 @@ ServiceQueryRecord AsyncCompileService::CompileEntry(int worker,
                             ? wall_after - wall_before
                             : adm.predicted_seconds;
   rec.finish_seconds = rec.start_seconds + rec.service_seconds;
+  rec.outcome = ClassifyRecord(rec);
   return rec;
 }
 
@@ -144,7 +275,31 @@ ServiceReport AsyncCompileService::Drain() {
   std::vector<Pending> pending;
   {
     MutexLock lock(mu_);
-    while (finished_ < submitted_) done_cv_.Wait(mu_);
+    while (finished_ < submitted_) {
+      if (options_.external_cancel_factor <= 0) {
+        done_cv_.Wait(mu_);
+        continue;
+      }
+      // Supervisor mode: poll instead of park, and externally trip any
+      // registered compile that has overstayed patience * factor. The
+      // trip is taken under mu_ while the registration is active, so it
+      // can only reach the compile it names (see the class doc); the
+      // cancelled compile notices at its next cooperative checkpoint.
+      done_cv_.WaitFor(mu_, options_.cancel_poll_seconds);
+      const double now = clock_->NowSeconds();
+      for (InFlight& f : inflight_) {
+        if (!f.active || f.patience_seconds <= 0) continue;
+        if (now - f.start_seconds >
+            f.patience_seconds * options_.external_cancel_factor) {
+          // Deliberately re-tripped every poll while the registration
+          // stays active: TripExternal is an idempotent first-trip-wins
+          // CAS, and re-arming (the compile's own Arm resets the flag
+          // before any charge) can erase a trip that landed in the
+          // register-to-Arm window — the next poll simply lands it again.
+          f.budget->TripExternal();
+        }
+      }
+    }
     records = std::move(completed_);
     pending = std::move(pending_);
     completed_.clear();
@@ -168,12 +323,17 @@ ServiceReport AsyncCompileService::Drain() {
   for (ServiceQueryRecord& rec : report.records) {
     const Pending& p = pending[rec.ticket];
     const AdmissionOutcome& adm = p.admission;
+    // Feedback for compiled terminal attempts only — sheds never ran
+    // (their !ok status already skips the cache; their unlimited default
+    // limits already skip the tracker), and a greedy-tier run applied no
+    // budget, so it is silent toward the tracker. Mirrors the simulated
+    // front-end exactly: both test rec.limits, the *applied* limits.
     if (cache_ != nullptr && !adm.cache_hit && rec.status.ok()) {
       rec.cache_inserted =
           cache_->Insert(*p.submission.query, rec.service_seconds,
                          adm.predicted_seconds);
     }
-    if (!adm.limits.Unlimited()) {
+    if (!rec.limits.Unlimited()) {
       // Identical trip predicate to Run/CompileBatch (trip_tracker.h).
       tracker_.Record(adm.query_class,
                       IsBudgetTrip(rec.degraded, rec.status,
@@ -191,8 +351,12 @@ ServiceReport AsyncCompileService::Drain() {
     }
     report.makespan_seconds =
         std::max(report.makespan_seconds, rec.finish_seconds);
+    if (options_.outcome_observer != nullptr) {
+      options_.outcome_observer(options_.outcome_observer_ctx, rec);
+    }
   }
 
+  report.taxonomy = BuildTaxonomy(report.records);
   if (cache_ != nullptr) report.cache_stats = cache_->Stats();
   report.class_feedback = tracker_.Snapshot();
   return report;
@@ -218,13 +382,28 @@ ServiceReport AsyncCompileService::Run(const std::vector<Submission>& arrivals,
   return Drain();
 }
 
+void AsyncCompileService::HoldWorkers() {
+  MutexLock lock(mu_);
+  hold_ = true;
+}
+
+void AsyncCompileService::ReleaseWorkers() {
+  {
+    MutexLock lock(mu_);
+    hold_ = false;
+  }
+  ready_cv_.NotifyAll();
+}
+
 void AsyncCompileService::Shutdown() {
   {
     MutexLock lock(mu_);
     if (stop_ && threads_.empty()) return;  // already shut down
     stop_ = true;
+    hold_ = false;  // a held worker must still observe the stop
   }
   ready_cv_.NotifyAll();
+  space_cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
   threads_.clear();
 }

@@ -4,8 +4,41 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/str_util.h"
 
 namespace cote {
+
+namespace {
+
+/// p95 of queue_seconds over records passing `served_only` filtering.
+double P95Queue(const std::vector<ServiceQueryRecord>& records,
+                bool served_only) {
+  std::vector<double> q;
+  q.reserve(records.size());
+  for (const ServiceQueryRecord& r : records) {
+    if (served_only && r.outcome != ServiceOutcome::kServedFull &&
+        r.outcome != ServiceOutcome::kServedDegraded) {
+      continue;
+    }
+    q.push_back(r.queue_seconds);
+  }
+  if (q.empty()) return 0;
+  std::sort(q.begin(), q.end());
+  // Nearest-rank p95: smallest value ≥ 95% of the sample.
+  const size_t rank = (q.size() * 95 + 99) / 100;  // ceil(0.95 n)
+  return q[rank == 0 ? 0 : rank - 1];
+}
+
+/// Whole patience intervals `entry` waited by dispatch time `now` — the
+/// tier demotion count. Patience <= 0 never demotes.
+int Demotions(const ReadyEntry& entry, double now) {
+  if (entry.patience_seconds <= 0) return 0;
+  const double waited = now - entry.ready_seconds;
+  if (waited < entry.patience_seconds) return 0;
+  return static_cast<int>(waited / entry.patience_seconds);
+}
+
+}  // namespace
 
 double ServiceReport::MeanQueueSeconds() const {
   if (records.empty()) return 0;
@@ -16,14 +49,11 @@ double ServiceReport::MeanQueueSeconds() const {
 }
 
 double ServiceReport::P95QueueSeconds() const {
-  if (records.empty()) return 0;
-  std::vector<double> q;
-  q.reserve(records.size());
-  for (const ServiceQueryRecord& r : records) q.push_back(r.queue_seconds);
-  std::sort(q.begin(), q.end());
-  // Nearest-rank p95: smallest value ≥ 95% of the sample.
-  const size_t rank = (q.size() * 95 + 99) / 100;  // ceil(0.95 n)
-  return q[rank == 0 ? 0 : rank - 1];
+  return P95Queue(records, /*served_only=*/false);
+}
+
+double ServiceReport::P95ServedQueueSeconds() const {
+  return P95Queue(records, /*served_only=*/true);
 }
 
 void DispatchTraceObserver(void* ctx, const StageEvent& event) {
@@ -35,6 +65,48 @@ void DispatchTraceObserver(void* ctx, const StageEvent& event) {
 bool ThresholdAdmission(void* ctx, uint64_t /*signature*/,
                         double cost_seconds) {
   return cost_seconds >= *static_cast<const double*>(ctx);
+}
+
+ServiceOutcome ClassifyRecord(const ServiceQueryRecord& record) {
+  // The two shed shapes are typed by construction: queue-full sheds carry
+  // kUnavailable, expiry sheds sit at the ladder's bottom tier.
+  if (record.status.code() == StatusCode::kUnavailable) {
+    return ServiceOutcome::kShedQueueFull;
+  }
+  if (record.tier >= static_cast<int>(ServiceTier::kShed)) {
+    return ServiceOutcome::kShedExpired;
+  }
+  if (!record.status.ok()) return ServiceOutcome::kFailedPermanent;
+  if (record.degraded ||
+      record.tier >= static_cast<int>(ServiceTier::kGreedyOnly)) {
+    return ServiceOutcome::kServedDegraded;
+  }
+  return ServiceOutcome::kServedFull;
+}
+
+OutcomeTaxonomy BuildTaxonomy(const std::vector<ServiceQueryRecord>& records) {
+  OutcomeTaxonomy out;
+  for (const ServiceQueryRecord& r : records) {
+    switch (r.outcome) {
+      case ServiceOutcome::kServedFull:
+        ++out.served_full;
+        break;
+      case ServiceOutcome::kServedDegraded:
+        ++out.served_degraded;
+        break;
+      case ServiceOutcome::kShedQueueFull:
+        ++out.shed_queue_full;
+        break;
+      case ServiceOutcome::kShedExpired:
+        ++out.shed_expired;
+        break;
+      case ServiceOutcome::kFailedPermanent:
+        ++out.failed_permanent;
+        break;
+    }
+    out.retried += r.retries;
+  }
+  return out;
 }
 
 CompileService::CompileService(CompileServiceOptions options)
@@ -61,14 +133,69 @@ ServiceReport CompileService::Run(const std::vector<Submission>& arrivals) {
   report.records.reserve(n);
   std::vector<double> worker_free(static_cast<size_t>(pool_.num_workers()), 0);
   std::vector<AdmissionOutcome> admitted(n);
-  ReadyQueue queue(options_.policy);
+  std::vector<int> retry_count(n, 0);
+  ReadyQueue queue(options_.policy, options_.queue_capacity,
+                   options_.overload);
   size_t next = 0;  // first not-yet-admitted arrival
+
+  // Commits one terminal record: classify, count, notify. Every path that
+  // finishes a ticket — served, failed, or shed — funnels through here,
+  // so "exactly one bucket per ticket" holds by construction.
+  auto commit = [&](ServiceQueryRecord& rec) {
+    rec.outcome = ClassifyRecord(rec);
+    if (rec.estimated) ++report.estimates;
+    if (rec.cache_hit) ++report.cache_hits;
+    if (rec.cache_inserted) ++report.cache_insertions;
+    if (rec.degraded) ++report.degraded;
+    if (!rec.status.ok()) ++report.failed;
+    if (rec.deadline_seconds > 0 &&
+        rec.finish_seconds > rec.deadline_seconds) {
+      ++report.deadline_misses;
+    }
+    report.makespan_seconds =
+        std::max(report.makespan_seconds, rec.finish_seconds);
+    report.records.push_back(rec);
+    if (options_.outcome_observer != nullptr) {
+      options_.outcome_observer(options_.outcome_observer_ctx,
+                                report.records.back());
+    }
+  };
+
+  // A shed record: never dispatched (worker -1, bottom tier, no service
+  // time); `at` is the trace instant the shed decision was taken.
+  auto make_shed = [&](const ReadyEntry& entry, double at, Status status) {
+    const Submission& s = arrivals[entry.ticket];
+    const AdmissionOutcome& adm = admitted[entry.ticket];
+    ServiceQueryRecord rec;
+    rec.ticket = entry.ticket;
+    rec.worker = -1;
+    rec.query_class = adm.query_class;
+    rec.arrival_seconds = s.arrival_seconds;
+    rec.start_seconds = at;
+    rec.finish_seconds = at;
+    rec.queue_seconds = at - s.arrival_seconds;
+    rec.deadline_seconds = s.deadline_seconds;
+    rec.predicted_seconds = adm.predicted_seconds;
+    rec.estimated = adm.estimated;
+    rec.cache_hit = adm.cache_hit;
+    rec.headroom_multiplier = adm.headroom_multiplier;
+    rec.status = std::move(status);
+    rec.tier = static_cast<int>(ServiceTier::kShed);
+    rec.retries = entry.retries;
+    commit(rec);
+  };
 
   // Admits every arrival at or before trace time `t` — admission runs at
   // arrival on the front end, so by the time a server picks, everything
   // that has arrived is in the ready queue with its estimate attached.
+  // Under kBlock with a bounded queue the door closes while the queue is
+  // full (backpressure: the submitter waits, so admission resumes only
+  // after a dispatch frees a slot); under the shedding policies the
+  // estimate is still paid first — the shed decision *is* estimate-derived
+  // — and Offer says who, if anyone, was refused.
   auto admit_up_to = [&](double t) {
     while (next < n && arrivals[next].arrival_seconds <= t) {
+      if (options_.overload == OverloadPolicy::kBlock && queue.Full()) break;
       const Submission& s = arrivals[next];
       COTE_CHECK(s.query != nullptr);
       COTE_CHECK(next == 0 ||
@@ -79,8 +206,18 @@ ServiceReport CompileService::Run(const std::vector<Submission>& arrivals) {
       entry.ready_seconds = s.arrival_seconds;
       entry.predicted_seconds = admitted[next].predicted_seconds;
       entry.deadline_seconds = s.deadline_seconds;
-      queue.Push(entry);
+      entry.patience_seconds = admitted[next].patience_seconds;
       ++next;
+      const OfferOutcome offer = queue.Offer(entry);
+      if (offer.shed_incoming || offer.shed_existing) {
+        // The shed instant is the incoming arrival's own timestamp: that
+        // is when the queue was observed full.
+        make_shed(offer.shed, s.arrival_seconds,
+                  Status::Unavailable(StrFormat(
+                      "compile queue full (capacity %zu, policy %s)",
+                      queue.capacity(),
+                      OverloadPolicyName(options_.overload))));
+      }
     }
   };
 
@@ -97,9 +234,32 @@ ServiceReport CompileService::Run(const std::vector<Submission>& arrivals) {
     admit_up_to(t);
     if (queue.empty()) continue;
 
-    const ReadyEntry entry = queue.PopNext();
+    ReadyEntry entry = queue.PopNext();
+    // Queue-wait expiry: each whole patience interval waited demotes one
+    // tier; past the ladder's bottom the entry is shed, the worker stays
+    // free at t, and the loop immediately picks again.
+    const int tier = std::min(
+        static_cast<int>(ServiceTier::kShed),
+        entry.tier + Demotions(entry, t));
+    if (tier >= static_cast<int>(ServiceTier::kShed)) {
+      make_shed(entry, t,
+                Status::DeadlineExceeded(StrFormat(
+                    "queue wait %.3fs exhausted patience %.3fs ladder",
+                    t - entry.ready_seconds, entry.patience_seconds)));
+      admit_up_to(t);  // the shed freed a slot — reopen the door
+      continue;
+    }
+
     const Submission& sub = arrivals[entry.ticket];
     const AdmissionOutcome& adm = admitted[entry.ticket];
+    // The tier transform: full limits, halved limits, or the ungoverned
+    // greedy-only compile.
+    ResourceLimits limits = adm.limits;
+    if (tier == static_cast<int>(ServiceTier::kBudgetHalved)) {
+      limits = HalveLimits(limits);
+    } else if (tier == static_cast<int>(ServiceTier::kGreedyOnly)) {
+      limits = ResourceLimits();
+    }
 
     ServiceQueryRecord rec;
     rec.ticket = entry.ticket;
@@ -113,7 +273,9 @@ ServiceReport CompileService::Run(const std::vector<Submission>& arrivals) {
     rec.estimated = adm.estimated;
     rec.cache_hit = adm.cache_hit;
     rec.headroom_multiplier = adm.headroom_multiplier;
-    rec.limits = adm.limits;
+    rec.limits = limits;
+    rec.tier = tier;
+    rec.retries = entry.retries;
 
     // The real compile, on this simulated server's warm session. The
     // observer context attributes this run's stage events (and any budget
@@ -124,8 +286,10 @@ ServiceReport CompileService::Run(const std::vector<Submission>& arrivals) {
     session.SetStageObserver(&DispatchTraceObserver, &trace);
     const double wall_before = clock_->NowSeconds();
     StatusOr<OptimizeResult> result =
-        adm.limits.Unlimited() ? session.Optimize(*sub.query)
-                               : session.Optimize(*sub.query, adm.limits);
+        tier == static_cast<int>(ServiceTier::kGreedyOnly)
+            ? session.OptimizeGreedy(*sub.query)
+            : (limits.Unlimited() ? session.Optimize(*sub.query)
+                                  : session.Optimize(*sub.query, limits));
     const double measured_seconds = clock_->NowSeconds() - wall_before;
     session.SetStageObserver(nullptr, nullptr);
 
@@ -148,35 +312,42 @@ ServiceReport CompileService::Run(const std::vector<Submission>& arrivals) {
       options_.drive_clock->SetAtLeast(rec.finish_seconds);
     }
 
-    // Close the two feedback loops. Cache: store what this statement
-    // actually cost, gated (inside the cache) on what admission predicted
-    // it would cost. Tracker: an armed compile that tripped its derived
-    // budget is evidence the estimator runs low for this class.
+    // Bounded retry-with-degradation: a transient failure with budget
+    // left re-enqueues one tier down (capacity-blind — the ticket paid
+    // admission once) and commits no record; only the final attempt does.
+    if (!result.ok() && IsTransientFailure(result.status().code()) &&
+        retry_count[entry.ticket] < options_.max_retries) {
+      ++retry_count[entry.ticket];
+      ReadyEntry again = entry;
+      again.ready_seconds = rec.finish_seconds;
+      again.tier = std::min(static_cast<int>(ServiceTier::kGreedyOnly),
+                            tier + 1);
+      again.retries = retry_count[entry.ticket];
+      queue.Push(again);
+      continue;
+    }
+
+    // Close the two feedback loops — terminal compiled attempts only
+    // (sheds never ran, retried attempts aren't final). Cache: store what
+    // this statement actually cost, gated (inside the cache) on what
+    // admission predicted it would cost. Tracker: an armed compile that
+    // tripped its *applied* budget is evidence the estimator runs low for
+    // this class — a greedy-tier run applied no budget, so it is silent.
     if (cache_ != nullptr && !adm.cache_hit && result.ok()) {
       rec.cache_inserted =
           cache_->Insert(*sub.query, rec.service_seconds,
                          adm.predicted_seconds);
     }
-    if (!adm.limits.Unlimited()) {
+    if (!limits.Unlimited()) {
       tracker_.Record(
           adm.query_class,
           IsBudgetTrip(rec.degraded, rec.status, rec.budget_tripped));
     }
 
-    if (rec.estimated) ++report.estimates;
-    if (rec.cache_hit) ++report.cache_hits;
-    if (rec.cache_inserted) ++report.cache_insertions;
-    if (rec.degraded) ++report.degraded;
-    if (!rec.status.ok()) ++report.failed;
-    if (rec.deadline_seconds > 0 &&
-        rec.finish_seconds > rec.deadline_seconds) {
-      ++report.deadline_misses;
-    }
-    report.makespan_seconds =
-        std::max(report.makespan_seconds, rec.finish_seconds);
-    report.records.push_back(rec);
+    commit(rec);
   }
 
+  report.taxonomy = BuildTaxonomy(report.records);
   if (cache_ != nullptr) report.cache_stats = cache_->Stats();
   report.class_feedback = tracker_.Snapshot();
   return report;
@@ -187,52 +358,78 @@ ServiceBatchResult CompileService::CompileBatch(
   ServiceBatchResult out;
   const size_t n = queries.size();
   out.admissions.resize(n);
-  ReadyQueue queue(options_.policy);
-  for (size_t i = 0; i < n; ++i) {
-    COTE_CHECK(queries[i] != nullptr);
-    out.admissions[i] = admission_.Admit(*queries[i], -1);
-    ReadyEntry entry;
-    entry.ticket = i;
-    entry.predicted_seconds = out.admissions[i].predicted_seconds;
-    queue.Push(entry);
-    if (out.admissions[i].estimated) ++out.estimates;
-    if (out.admissions[i].cache_hit) ++out.cache_hits;
-  }
+  out.results.assign(n, StatusOr<OptimizeResult>(
+                            Status::Internal("query was not compiled")));
+  out.traces.resize(n);
+  out.schedule.reserve(n);
+  ReadyQueue queue(options_.policy, options_.queue_capacity,
+                   options_.overload);
 
-  // Drain by policy to fix the dispatch order, then hand the ordered
-  // batch — with each query's own derived limits — to the pool's real
-  // worker threads (the per-query-limits scheduler hook). Each query also
-  // gets its own DispatchTrace wired through the pool's observer hook, so
-  // the batch path sees the same observer-side trip evidence the
-  // open-loop Run sees per dispatch.
+  // Closed-loop admission under a bounded queue. kBlock drains the queue
+  // in capacity-sized windows (backpressure: the batch waits at the door,
+  // nothing is lost); the shedding policies admit the whole batch through
+  // Offer and the refused indices land as typed kUnavailable results —
+  // under kShedLowestValue that keeps the best `capacity` submissions by
+  // estimate-derived value.
   std::vector<const QueryGraph*> ordered;
   std::vector<ResourceLimits> per_query;
   ordered.reserve(n);
   per_query.reserve(n);
-  out.schedule.reserve(n);
-  while (!queue.empty()) {
-    const ReadyEntry entry = queue.PopNext();
-    out.schedule.push_back(entry.ticket);
-    ordered.push_back(queries[entry.ticket]);
-    per_query.push_back(out.admissions[entry.ticket].limits);
+  auto drain = [&] {
+    while (!queue.empty()) {
+      const ReadyEntry entry = queue.PopNext();
+      out.schedule.push_back(entry.ticket);
+      ordered.push_back(queries[entry.ticket]);
+      per_query.push_back(out.admissions[entry.ticket].limits);
+    }
+  };
+  for (size_t i = 0; i < n; ++i) {
+    COTE_CHECK(queries[i] != nullptr);
+    out.admissions[i] = admission_.Admit(*queries[i], -1);
+    if (out.admissions[i].estimated) ++out.estimates;
+    if (out.admissions[i].cache_hit) ++out.cache_hits;
+    ReadyEntry entry;
+    entry.ticket = i;
+    entry.predicted_seconds = out.admissions[i].predicted_seconds;
+    if (options_.overload == OverloadPolicy::kBlock) {
+      if (queue.Full()) drain();  // window boundary: free the whole queue
+      queue.Push(entry);
+      continue;
+    }
+    const OfferOutcome offer = queue.Offer(entry);
+    if (offer.shed_incoming || offer.shed_existing) {
+      out.results[offer.shed.ticket] = StatusOr<OptimizeResult>(
+          Status::Unavailable(StrFormat(
+              "compile queue full (capacity %zu, policy %s)",
+              queue.capacity(), OverloadPolicyName(options_.overload))));
+      ++out.taxonomy.shed_queue_full;
+    }
   }
-  std::vector<DispatchTrace> ordered_traces(n);
-  std::vector<void*> trace_ctx(n);
-  for (size_t k = 0; k < n; ++k) trace_ctx[k] = &ordered_traces[k];
+  drain();
+
+  // The policy-fixed dispatch order goes to the pool's real worker
+  // threads with each query's own derived limits (the per-query-limits
+  // scheduler hook). Each query also gets its own DispatchTrace wired
+  // through the pool's observer hook, so the batch path sees the same
+  // observer-side trip evidence the open-loop Run sees per dispatch.
+  const size_t m = ordered.size();
+  std::vector<DispatchTrace> ordered_traces(m);
+  std::vector<void*> trace_ctx(m);
+  for (size_t k = 0; k < m; ++k) trace_ctx[k] = &ordered_traces[k];
   BatchOptimizeResult batch = pool_.CompileBatch(
       ordered, per_query, &DispatchTraceObserver, trace_ctx.data());
   out.stats = std::move(batch.stats);
 
-  out.results.assign(n, StatusOr<OptimizeResult>(
-                            Status::Internal("query was not compiled")));
-  out.traces.resize(n);
-  for (size_t k = 0; k < n; ++k) {
+  for (size_t k = 0; k < m; ++k) {
     out.results[out.schedule[k]] = std::move(batch.results[k]);
     out.traces[out.schedule[k]] = ordered_traces[k];
   }
 
   for (size_t i = 0; i < n; ++i) {
     const AdmissionOutcome& adm = out.admissions[i];
+    const bool shed =
+        out.results[i].status().code() == StatusCode::kUnavailable;
+    if (shed) continue;  // never compiled: no feedback, already counted
     if (cache_ != nullptr && !adm.cache_hit && out.results[i].ok()) {
       cache_->Insert(*queries[i], out.results[i]->stats.total_seconds,
                      adm.predicted_seconds);
@@ -247,6 +444,13 @@ ServiceBatchResult CompileService::CompileBatch(
       tracker_.Record(adm.query_class,
                       IsBudgetTrip(degraded, status,
                                    out.traces[i].budget_tripped));
+    }
+    if (!out.results[i].ok()) {
+      ++out.taxonomy.failed_permanent;
+    } else if (out.results[i]->degraded) {
+      ++out.taxonomy.served_degraded;
+    } else {
+      ++out.taxonomy.served_full;
     }
   }
   return out;

@@ -12,6 +12,7 @@
 #include "core/time_model.h"
 #include "service/admission.h"
 #include "service/arrival_trace.h"
+#include "service/outcome.h"
 #include "service/scheduler.h"
 #include "service/trip_tracker.h"
 #include "session/session_pool.h"
@@ -28,6 +29,16 @@ enum class ServiceTimeSource {
   /// can replay bit-identically.
   kEstimate,
 };
+
+struct ServiceQueryRecord;
+
+/// Per-terminal-record observer: invoked once per ticket with its final
+/// record, in the order records are committed (Run: event order; the
+/// async executor: ticket order at Drain). The service-level analogue of
+/// the pipeline's stage observer — the hook overload monitors watch shed
+/// and degradation decisions through, without polling reports.
+using ServiceOutcomeObserverFn = void (*)(void* ctx,
+                                          const ServiceQueryRecord& record);
 
 struct CompileServiceOptions {
   OptimizerOptions optimizer;
@@ -59,12 +70,40 @@ struct CompileServiceOptions {
 
   AdmissionOptions admission;
   TripTrackerOptions trip_tracker;
+
+  // ---- Overload resilience (DESIGN.md §16) -------------------------------
+  /// Ready-queue capacity; 0 = unbounded (every overload knob below is
+  /// then inert and the service behaves exactly as before this existed).
+  size_t queue_capacity = 0;
+  /// What a full queue does with the next submission. kBlock applies
+  /// backpressure (Run stops admitting until a dispatch frees a slot; the
+  /// async Submit blocks the caller); kReject and kShedLowestValue shed
+  /// with a typed kUnavailable record instead.
+  OverloadPolicy overload = OverloadPolicy::kBlock;
+  /// Re-enqueue budget per ticket: a compile that fails with a transient
+  /// Status (IsTransientFailure) is re-admitted at the next degradation
+  /// tier up to this many times before the failure becomes permanent.
+  /// Queue-wait patience itself comes from the admission LimitsPolicy
+  /// (patience_factor) — estimate-derived, like everything else here.
+  int max_retries = 0;
+  /// Optional terminal-record observer (see ServiceOutcomeObserverFn).
+  ServiceOutcomeObserverFn outcome_observer = nullptr;
+  void* outcome_observer_ctx = nullptr;
+  /// Async-only: with factor k > 0, AsyncCompileService::Drain acts as a
+  /// cancellation supervisor and externally trips (ResourceBudget::
+  /// TripExternal) any in-flight compile whose wall time exceeds
+  /// patience * k. 0 disables; ignored by the simulated front-end, whose
+  /// compiles run on the driver thread.
+  double external_cancel_factor = 0;
+  /// Supervisor poll interval while Drain waits (seconds).
+  double cancel_poll_seconds = 0.002;
 };
 
-/// Everything the service did for one submission, in dispatch order.
+/// Everything the service did for one submission: exactly one terminal
+/// record per ticket (retried attempts fold into the final one).
 struct ServiceQueryRecord {
   size_t ticket = 0;  ///< index into the arrival trace
-  int worker = 0;     ///< simulated server that ran the compile
+  int worker = 0;     ///< simulated server that ran the compile; -1 = shed
   int query_class = 0;
 
   // Simulated timeline (trace seconds).
@@ -93,7 +132,27 @@ struct ServiceQueryRecord {
   bool budget_tripped = false;
   /// Pipeline stage events attributed to this dispatch via observer ctx.
   int stage_events = 0;
+
+  // Overload outcome (DESIGN.md §16).
+  /// The one terminal bucket this ticket landed in (== ClassifyRecord on
+  /// the rest of this record — stored so reports are self-describing).
+  ServiceOutcome outcome = ServiceOutcome::kServedFull;
+  /// Degradation tier the *final* attempt ran at (ServiceTier as int;
+  /// kShed for shed records).
+  int tier = 0;
+  /// Transient-failure re-enqueues this ticket consumed before the final
+  /// attempt.
+  int retries = 0;
 };
+
+/// Classifies a finished record into its terminal bucket. Pure function
+/// of the record — both service front-ends go through it, so the async
+/// taxonomy can be pinned field-for-field against the simulated oracle's.
+ServiceOutcome ClassifyRecord(const ServiceQueryRecord& record);
+
+/// Folds per-ticket outcomes (and retry attempts) into the burst
+/// taxonomy; TotalTickets() == records.size() by construction.
+OutcomeTaxonomy BuildTaxonomy(const std::vector<ServiceQueryRecord>& records);
 
 /// \brief Outcome of one open-loop Run() over an arrival trace.
 struct ServiceReport {
@@ -103,8 +162,10 @@ struct ServiceReport {
   int64_t cache_hits = 0;
   int64_t cache_insertions = 0;
   int64_t degraded = 0;
-  int64_t failed = 0;
+  int64_t failed = 0;  ///< records with a non-OK Status, sheds included
   int64_t deadline_misses = 0;
+  /// One terminal bucket per ticket (BuildTaxonomy over `records`).
+  OutcomeTaxonomy taxonomy;
   /// Coherent cache counters at the end of the run (all-zero when the
   /// cache is disabled).
   CacheStats cache_stats;
@@ -119,6 +180,11 @@ struct ServiceReport {
   double MeanQueueSeconds() const;
   /// p95 of queue_seconds over all records (0 when empty).
   double P95QueueSeconds() const;
+  /// p95 of queue_seconds over *served* records only (outcome kServedFull
+  /// or kServedDegraded; 0 when none) — the overload bench's headline:
+  /// under kShedLowestValue this stays bounded at 2x load while the
+  /// unbounded-FIFO p95 grows with trace length.
+  double P95ServedQueueSeconds() const;
 };
 
 /// Per-dispatch observer context: counts stage events and latches budget
@@ -151,6 +217,10 @@ struct ServiceBatchResult {
   BatchStats stats;
   int64_t estimates = 0;
   int64_t cache_hits = 0;
+  /// Terminal buckets for the batch (no retries on the closed-loop path,
+  /// so `retried` stays 0; sheds land at their input index as
+  /// kUnavailable results).
+  OutcomeTaxonomy taxonomy;
 };
 
 /// \brief The compile service front-end: estimate-first admission,
@@ -186,6 +256,18 @@ struct ServiceBatchResult {
 /// batch by policy, then compile it on the pool's real threads with
 /// per-query limits (the SessionPool scheduler hook).
 ///
+/// Overload resilience (DESIGN.md §16): with queue_capacity > 0 the ready
+/// queue is bounded and the OverloadPolicy decides what a full queue does
+/// (backpressure, typed rejection, or lowest-estimated-value shedding);
+/// with a LimitsPolicy patience_factor each query's estimate also prices
+/// its queue-wait patience, and a dispatch that waited k whole patience
+/// intervals runs k tiers down the degradation ladder (full -> half
+/// budget -> greedy-only -> shed). Transient failures re-enqueue one tier
+/// down up to max_retries times. Every decision is a pure function of
+/// trace time and queue contents, so overload runs replay bit-identically
+/// under a VirtualClock, and the defaults (capacity 0, no patience, no
+/// retries) reproduce the pre-overload service exactly.
+///
 /// Not thread-safe; one Run()/CompileBatch() at a time.
 class CompileService {
  public:
@@ -209,7 +291,10 @@ class CompileService {
   /// output qualifies) through admission, the ready queue, and the
   /// simulated servers. A failing compile lands at its record with a
   /// Status; the queue keeps draining — the service stays usable, pinned
-  /// by the fault-injection tests.
+  /// by the fault-injection tests. Records are in event order: shed
+  /// records commit when the shed happens (admission-time for queue-full
+  /// sheds, dispatch-time for expiries), served ones at dispatch; exactly
+  /// one terminal record per ticket either way.
   ServiceReport Run(const std::vector<Submission>& arrivals);
 
   /// Closed-loop batch: everything is ready at once, the policy orders

@@ -1,0 +1,144 @@
+#ifndef COTE_SERVICE_OUTCOME_H_
+#define COTE_SERVICE_OUTCOME_H_
+
+#include <cstdint>
+
+#include "common/resource_budget.h"
+#include "common/status.h"
+
+namespace cote {
+
+/// \brief Degradation ladder and outcome taxonomy of the overload-
+/// resilient compile service (DESIGN.md §16).
+///
+/// Both service front-ends — the simulated CompileService::Run and the
+/// live AsyncCompileService — speak this vocabulary, and build their
+/// reports through the same classification helpers, so the async run's
+/// taxonomy can be pinned ticket-for-ticket against the virtual-clock
+/// oracle's.
+
+/// The service's graceful-degradation ladder. An entry is admitted at
+/// kFull (or, on retry, one tier below its failed attempt); at dispatch
+/// it is demoted one tier per whole patience interval it waited. The
+/// ladder trades result quality for service time monotonically: each
+/// step strictly cheapens the compile, and the bottom step sheds it.
+enum class ServiceTier {
+  /// The full governed compile under the admission-derived limits.
+  kFull = 0,
+  /// Full DP under half the derived budget: the compile still produces a
+  /// DP-quality plan when it fits, and trips into its fallback twice as
+  /// early when it doesn't.
+  kBudgetHalved = 1,
+  /// Greedy-only (CompilationSession::OptimizeGreedy): polynomial time,
+  /// no estimation, no budget — the service-side analogue of optimizing
+  /// without estimates. Still a valid plan.
+  kGreedyOnly = 2,
+  /// Not compiled at all: shed with a typed status.
+  kShed = 3,
+};
+
+inline const char* ServiceTierName(ServiceTier tier) {
+  switch (tier) {
+    case ServiceTier::kFull:
+      return "full";
+    case ServiceTier::kBudgetHalved:
+      return "budget-halved";
+    case ServiceTier::kGreedyOnly:
+      return "greedy-only";
+    case ServiceTier::kShed:
+      return "shed";
+  }
+  return "unknown";
+}
+
+/// Exactly one bucket per submitted ticket — the chaos-soak harness's
+/// conservation law. (Retries are attempts, not tickets: a retried query
+/// still lands in exactly one terminal bucket, and the attempt count is
+/// reported separately.)
+enum class ServiceOutcome {
+  /// Compiled at kFull/kBudgetHalved without degradation.
+  kServedFull = 0,
+  /// Served a valid plan of reduced quality: the compile degraded to its
+  /// greedy fallback (budget trip), or ran at the kGreedyOnly tier.
+  kServedDegraded,
+  /// Never compiled: refused or evicted by the overload policy while the
+  /// queue was full (StatusCode::kUnavailable).
+  kShedQueueFull,
+  /// Never compiled: waited past the bottom of the degradation ladder
+  /// (StatusCode::kDeadlineExceeded with a queue-wait message).
+  kShedExpired,
+  /// Compiled and failed with a Status that no retry tier could absorb
+  /// (non-transient, or the retry budget ran out).
+  kFailedPermanent,
+};
+
+inline const char* ServiceOutcomeName(ServiceOutcome outcome) {
+  switch (outcome) {
+    case ServiceOutcome::kServedFull:
+      return "served-full";
+    case ServiceOutcome::kServedDegraded:
+      return "served-degraded";
+    case ServiceOutcome::kShedQueueFull:
+      return "shed-queue-full";
+    case ServiceOutcome::kShedExpired:
+      return "shed-expired";
+    case ServiceOutcome::kFailedPermanent:
+      return "failed-permanent";
+  }
+  return "unknown";
+}
+
+/// Per-burst outcome counts, one terminal bucket per ticket plus the
+/// retry-attempt tally. Surfaced through ServiceReport.
+struct OutcomeTaxonomy {
+  int64_t served_full = 0;
+  int64_t served_degraded = 0;
+  int64_t shed_queue_full = 0;
+  int64_t shed_expired = 0;
+  int64_t failed_permanent = 0;
+  /// Total re-enqueues across all tickets (attempts beyond the first).
+  int64_t retried = 0;
+
+  /// Tickets accounted for — must equal the burst size (every ticket in
+  /// exactly one bucket).
+  int64_t TotalTickets() const {
+    return served_full + served_degraded + shed_queue_full + shed_expired +
+           failed_permanent;
+  }
+};
+
+/// True for failure codes the retry ladder treats as transient — worth
+/// one more attempt a tier down: injected/internal faults and kFail
+/// budget trips. kCancelled is deliberately excluded (an external cancel
+/// is a verdict, not bad luck), as are the admission-side shed codes.
+inline bool IsTransientFailure(StatusCode code) {
+  return code == StatusCode::kInternal ||
+         code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kResourceExhausted;
+}
+
+/// The kBudgetHalved tier transform: every finite limit is halved (the
+/// deadline in seconds, the count caps integer-halved but kept >= 1 so a
+/// cap never silently becomes "unlimited"); unlimited fields stay
+/// unlimited and the trip action is preserved. Halving an Unlimited()
+/// limits is the identity, so the tier is a no-op for ungoverned runs.
+inline ResourceLimits HalveLimits(const ResourceLimits& limits) {
+  ResourceLimits out = limits;
+  if (out.deadline_seconds > 0) out.deadline_seconds *= 0.5;
+  if (out.max_memo_entries > 0) {
+    out.max_memo_entries = out.max_memo_entries > 1 ? out.max_memo_entries / 2
+                                                    : 1;
+  }
+  if (out.max_plans > 0) {
+    out.max_plans = out.max_plans > 1 ? out.max_plans / 2 : 1;
+  }
+  if (out.max_checkpoints > 0) {
+    out.max_checkpoints = out.max_checkpoints > 1 ? out.max_checkpoints / 2
+                                                  : 1;
+  }
+  return out;
+}
+
+}  // namespace cote
+
+#endif  // COTE_SERVICE_OUTCOME_H_

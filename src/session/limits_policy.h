@@ -31,6 +31,21 @@ struct LimitsPolicy {
   double min_deadline_seconds = 1e-3;
   int64_t min_memo_entries = 64;
   int64_t min_plans = 256;
+  /// Plan-mode action when a derived budget trips (copied into every
+  /// ResourceLimits this policy derives). The service's retry ladder
+  /// leans on kFail: a failed-with-Status trip is a *transient* outcome
+  /// it can re-enqueue one tier down, where kGreedyFallback degrades
+  /// inside the compile instead.
+  BudgetAction on_trip = BudgetAction::kGreedyFallback;
+
+  /// Queue-wait patience: how long an admitted entry may wait before the
+  /// dispatcher starts demoting it down the degradation ladder, in
+  /// multiples of its own predicted compile seconds (a cheap compile is
+  /// stale after milliseconds; a heavy one is still worth running after
+  /// seconds). <= 0 disables expiry entirely — the backward-compatible
+  /// default. See DerivePatience().
+  double patience_factor = 0;
+  double min_patience_seconds = 1e-3;
 
   /// Full derivation from a COTE estimate: deadline, memo-entry cap, and
   /// plan cap. Bit-identical to the original MetaOptimizer::DeriveLimits
@@ -39,6 +54,7 @@ struct LimitsPolicy {
                         double extra_headroom = 1.0) const {
     const double h = headroom * extra_headroom;
     ResourceLimits limits;
+    limits.on_trip = on_trip;
     limits.deadline_seconds =
         std::max(min_deadline_seconds, h * estimate.estimated_seconds);
     limits.max_memo_entries = std::max<int64_t>(
@@ -60,10 +76,20 @@ struct LimitsPolicy {
   ResourceLimits DeriveFromSeconds(double predicted_seconds,
                                    double extra_headroom = 1.0) const {
     ResourceLimits limits;
+    limits.on_trip = on_trip;
     limits.deadline_seconds =
         std::max(min_deadline_seconds,
                  headroom * extra_headroom * predicted_seconds);
     return limits;
+  }
+
+  /// Estimate-derived queue-wait patience, floored like the deadline so a
+  /// near-zero prediction cannot expire instantly. Returns 0 (= infinite
+  /// patience, no expiry) when patience_factor is off.
+  double DerivePatience(double predicted_seconds) const {
+    if (patience_factor <= 0) return 0;
+    return std::max(min_patience_seconds,
+                    patience_factor * predicted_seconds);
   }
 };
 

@@ -151,6 +151,18 @@ StatusOr<OptimizeResult> CompilationPipeline::CompilePlan(
              : PlanHigh(graph, &limits);
 }
 
+StatusOr<OptimizeResult> CompilationPipeline::CompilePlanGreedy(
+    const QueryGraph& graph) {
+  if (graph.num_tables() == 0) {
+    return Status::InvalidArgument("query has no tables");
+  }
+  // Disarm any budget a previous governed compile left armed: PlanLow
+  // never arms one itself, and its stage events read the budget's tripped
+  // state — stale trip evidence must not leak into this run's observer.
+  ctx_->budget().Disarm();
+  return PlanLow(graph);
+}
+
 StatusOr<OptimizeResult> CompilationPipeline::PlanLow(
     const QueryGraph& graph) {
   StopWatch watch;

@@ -79,6 +79,15 @@ class CompilationPipeline {
   StatusOr<OptimizeResult> CompilePlan(const QueryGraph& graph,
                                        const ResourceLimits& limits);
 
+  /// Greedy-only compile regardless of the configured optimization level:
+  /// the kLow pass (one join order, no property enumeration, no budget,
+  /// no estimation) on a session whose options say kHigh. This is the
+  /// service's bottom degradation tier — when a query has waited past its
+  /// patience, running the polynomial-time pass beats shedding it, and
+  /// beats paying for DP it no longer merits. Same fault points and
+  /// observer events as any kLow compile.
+  StatusOr<OptimizeResult> CompilePlanGreedy(const QueryGraph& graph);
+
   /// Estimate mode. Allocation-free in steady state: a warm context bind
   /// plus a saturated counter re-run touch no heap.
   CompileTimeEstimate CompileEstimate(const QueryGraph& graph,

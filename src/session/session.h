@@ -54,6 +54,14 @@ class CompilationSession {
     return pipeline_.CompilePlan(graph, limits);
   }
 
+  /// Greedy-only plan mode, ignoring the session's optimization level:
+  /// the polynomial-time kLow pass with no estimation and no budget. The
+  /// compile service's bottom degradation tier (see
+  /// CompilationPipeline::CompilePlanGreedy).
+  StatusOr<OptimizeResult> OptimizeGreedy(const QueryGraph& graph) {
+    return pipeline_.CompilePlanGreedy(graph);
+  }
+
   /// Estimate mode: the paper's plan-counting pass; `time_model` converts
   /// join-plan counts to seconds (§3.5).
   CompileTimeEstimate Estimate(const QueryGraph& graph,

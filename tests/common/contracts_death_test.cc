@@ -7,8 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <thread>
 
 #include "common/check.h"
+#include "common/clock.h"
 #include "common/flat_set_index.h"
 #include "common/table_set.h"
 
@@ -52,6 +54,27 @@ TEST(ContractsDeathTest, TableSetRejectsOverWidthIndices) {
 TEST(ContractsDeathTest, EmptySetHasNoFirstTable) {
   TableSet empty;
   EXPECT_DEATH(empty.First(), "COTE_CHECK failed");
+}
+
+TEST(ContractsDeathTest, VirtualClockRejectsOffThreadAccess) {
+  // VirtualClock is deliberately unsynchronized (determinism over
+  // generality): every access must come from the constructing thread.
+  // A worker thread reading an injected VirtualClock is the exact bug
+  // this owner check exists to catch before TSan has to.
+  VirtualClock clock;
+  clock.Advance(1.0);  // owner access is fine
+  EXPECT_DEATH(
+      {
+        std::thread t([&clock] { clock.NowSeconds(); });
+        t.join();
+      },
+      "COTE_CHECK failed");
+  EXPECT_DEATH(
+      {
+        std::thread t([&clock] { clock.Advance(1.0); });
+        t.join();
+      },
+      "COTE_CHECK failed");
 }
 
 #else  // NDEBUG

@@ -32,6 +32,8 @@ TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
             StatusCode::kDeadlineExceeded);
   EXPECT_EQ(Status::ResourceExhausted("x").code(),
             StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
 }
 
 TEST(StatusTest, GovernanceCodesPrintTheirNames) {
@@ -39,6 +41,15 @@ TEST(StatusTest, GovernanceCodesPrintTheirNames) {
             "DeadlineExceeded: compile budget: 2ms past");
   EXPECT_EQ(Status::ResourceExhausted("memo entries: 65 > 64").ToString(),
             "ResourceExhausted: memo entries: 65 > 64");
+}
+
+TEST(StatusTest, OverloadCodesPrintTheirNames) {
+  // The overload-resilience vocabulary (DESIGN.md §16): a shed submission
+  // is kUnavailable, an externally tripped compile is kCancelled.
+  EXPECT_EQ(Status::Unavailable("compile queue full").ToString(),
+            "Unavailable: compile queue full");
+  EXPECT_EQ(Status::Cancelled("supervisor tripped budget").ToString(),
+            "Cancelled: supervisor tripped budget");
 }
 
 StatusOr<int> Exhausted() { return Status::ResourceExhausted("cap"); }

@@ -271,6 +271,165 @@ TEST_F(AsyncServiceTest, SubmitDrainApiReturnsDenseTicketsAndWallSanity) {
   EXPECT_TRUE(empty.records.empty());
 }
 
+TEST_F(AsyncServiceTest, ZeroQueryBurstsAndRepeatedDrainsAreHarmless) {
+  // Lifecycle edges: draining an executor that never saw a submission,
+  // draining twice in a row, and an empty Run must all return empty
+  // reports and leave the service fully usable.
+  AsyncCompileService async(AsyncDeterministicOptions());
+  EXPECT_TRUE(async.Drain().records.empty());
+  EXPECT_TRUE(async.Drain().records.empty());
+  EXPECT_TRUE(async.Run({}).records.empty());
+  // Still alive: a real burst after the empty ones compiles normally.
+  std::vector<Submission> subs(4);
+  for (Submission& s : subs) s.query = pool_[2];
+  ServiceReport r = async.Run(subs);
+  ASSERT_EQ(r.records.size(), subs.size());
+  for (const ServiceQueryRecord& rec : r.records) {
+    EXPECT_TRUE(rec.status.ok()) << rec.status.ToString();
+  }
+  EXPECT_EQ(r.taxonomy.TotalTickets(), 4);
+}
+
+TEST_F(AsyncServiceTest, HoldWorkersPinsTheBacklogUntilRelease) {
+  // HoldWorkers freezes dispatch so a whole burst queues up; Release lets
+  // the 4 workers race over the full backlog at once — the deepest
+  // contention shape the TSan gate can see from this suite.
+  AsyncCompileService async(AsyncDeterministicOptions());
+  async.HoldWorkers();
+  std::vector<Submission> subs(24);
+  for (size_t t = 0; t < subs.size(); ++t) {
+    subs[t].query = pool_[t % pool_.size()];
+    EXPECT_EQ(async.Submit(subs[t]), t);
+  }
+  async.ReleaseWorkers();
+  ServiceReport r = async.Drain();
+  ASSERT_EQ(r.records.size(), subs.size());
+  EXPECT_EQ(r.taxonomy.TotalTickets(), static_cast<int64_t>(subs.size()));
+  EXPECT_EQ(r.taxonomy.shed_queue_full, 0);
+  for (size_t t = 0; t < r.records.size(); ++t) {
+    EXPECT_EQ(r.records[t].ticket, t);
+    EXPECT_TRUE(r.records[t].status.ok()) << r.records[t].status.ToString();
+  }
+}
+
+TEST_F(AsyncServiceTest, RejectShedsAtSubmitExactlyLikeTheSimulatedOracle) {
+  // With the workers held, the queue state at each Submit is a pure
+  // function of the submission order — so kReject's shed set is
+  // deterministic and must equal the simulated oracle's for the same
+  // burst (where all admissions also precede the first dispatch).
+  auto make_options = [] {
+    CompileServiceOptions o = AsyncDeterministicOptions();
+    o.queue_capacity = 3;
+    o.overload = OverloadPolicy::kReject;
+    return o;
+  };
+  std::vector<Submission> subs(10);
+  for (size_t t = 0; t < subs.size(); ++t) {
+    subs[t].query = pool_[t % pool_.size()];
+  }
+
+  AsyncCompileService async(make_options());
+  async.HoldWorkers();
+  for (const Submission& s : subs) async.Submit(s);
+  async.ReleaseWorkers();
+  ServiceReport ra = async.Drain();
+
+  VirtualClock clock;
+  CompileServiceOptions sim_options = make_options();
+  sim_options.clock = &clock;
+  sim_options.drive_clock = &clock;
+  CompileService sim(sim_options);
+  ServiceReport rs = sim.Run(subs);
+
+  ASSERT_EQ(ra.records.size(), subs.size());
+  ASSERT_EQ(rs.records.size(), subs.size());
+  std::vector<const ServiceQueryRecord*> sim_by_ticket(subs.size(), nullptr);
+  for (const ServiceQueryRecord& rec : rs.records) {
+    sim_by_ticket[rec.ticket] = &rec;
+  }
+  for (size_t t = 0; t < subs.size(); ++t) {
+    const ServiceQueryRecord& a = ra.records[t];
+    ASSERT_EQ(a.ticket, t);
+    const ServiceQueryRecord& s = *sim_by_ticket[t];
+    EXPECT_EQ(a.outcome, s.outcome) << t;
+    EXPECT_EQ(a.status.code(), s.status.code()) << t;
+    if (a.outcome == ServiceOutcome::kShedQueueFull) {
+      EXPECT_EQ(a.worker, -1) << t;
+    }
+  }
+  EXPECT_EQ(ra.taxonomy.shed_queue_full, rs.taxonomy.shed_queue_full);
+  EXPECT_EQ(ra.taxonomy.served_full, rs.taxonomy.served_full);
+  EXPECT_EQ(ra.taxonomy.served_degraded, rs.taxonomy.served_degraded);
+  EXPECT_EQ(ra.taxonomy.TotalTickets(), static_cast<int64_t>(subs.size()));
+  EXPECT_GT(ra.taxonomy.shed_queue_full, 0) << "burst must actually overflow";
+}
+
+TEST_F(AsyncServiceTest, ShedLowestValueEvictionsMatchTheSimulatedOracle) {
+  // Same pinned-burst construction for the eviction policy: who survives
+  // a full queue is decided by ShedsFirst over deterministic contents,
+  // so the async shed set and taxonomy must equal the oracle's.
+  auto make_options = [] {
+    CompileServiceOptions o = AsyncDeterministicOptions();
+    o.queue_capacity = 3;
+    o.overload = OverloadPolicy::kShedLowestValue;
+    o.enable_cache = false;  // distinct predictions stay distinct
+    return o;
+  };
+  std::vector<Submission> subs(10);
+  for (size_t t = 0; t < subs.size(); ++t) {
+    subs[t].query = pool_[t % pool_.size()];
+  }
+
+  AsyncCompileService async(make_options());
+  async.HoldWorkers();
+  for (const Submission& s : subs) async.Submit(s);
+  async.ReleaseWorkers();
+  ServiceReport ra = async.Drain();
+
+  VirtualClock clock;
+  CompileServiceOptions sim_options = make_options();
+  sim_options.clock = &clock;
+  sim_options.drive_clock = &clock;
+  CompileService sim(sim_options);
+  ServiceReport rs = sim.Run(subs);
+
+  ASSERT_EQ(ra.records.size(), subs.size());
+  std::vector<const ServiceQueryRecord*> sim_by_ticket(subs.size(), nullptr);
+  for (const ServiceQueryRecord& rec : rs.records) {
+    sim_by_ticket[rec.ticket] = &rec;
+  }
+  for (size_t t = 0; t < subs.size(); ++t) {
+    EXPECT_EQ(ra.records[t].outcome, sim_by_ticket[t]->outcome) << t;
+    EXPECT_EQ(ra.records[t].status.code(), sim_by_ticket[t]->status.code())
+        << t;
+  }
+  EXPECT_EQ(ra.taxonomy.shed_queue_full, rs.taxonomy.shed_queue_full);
+  EXPECT_GT(ra.taxonomy.shed_queue_full, 0) << "burst must actually overflow";
+}
+
+TEST_F(AsyncServiceTest, BlockPolicyBackpressuresSubmitAndServesEverything) {
+  // kBlock + tiny capacity: Submit blocks at the door until a worker
+  // frees a slot, so the whole stream is served with the queue never
+  // exceeding its bound. Workers must be live (holding them would
+  // deadlock the driver — documented on HoldWorkers).
+  CompileServiceOptions o = AsyncDeterministicOptions();
+  o.queue_capacity = 2;
+  o.overload = OverloadPolicy::kBlock;
+  AsyncCompileService async(o);
+  std::vector<Submission> subs(20);
+  for (size_t t = 0; t < subs.size(); ++t) {
+    subs[t].query = pool_[t % pool_.size()];
+  }
+  for (const Submission& s : subs) async.Submit(s);
+  ServiceReport r = async.Drain();
+  ASSERT_EQ(r.records.size(), subs.size());
+  EXPECT_EQ(r.taxonomy.shed_queue_full, 0);
+  EXPECT_EQ(r.taxonomy.TotalTickets(), static_cast<int64_t>(subs.size()));
+  for (const ServiceQueryRecord& rec : r.records) {
+    EXPECT_TRUE(rec.status.ok()) << rec.status.ToString();
+  }
+}
+
 TEST_F(AsyncServiceTest, ShutdownCompletesAdmittedWorkBeforeStopping) {
   // Shutdown immediately after submitting a backlog: stop must not
   // abandon admitted queries — the workers drain the queue first, so a

@@ -1,0 +1,527 @@
+// Deterministic chaos-soak harness for the overload-resilient compile
+// service (DESIGN.md §16): seeded long runs mixing queue overload,
+// injected faults, budget trips, queue-wait expiry, bounded retry, and
+// cross-thread cancellation — through both service front-ends.
+//
+//   * The simulated legs run on a VirtualClock with kEstimate service
+//     times: the whole soak (shed decisions, ladder demotions, retries,
+//     fault injections) replays bit-identically, which is asserted by
+//     literally running it twice.
+//   * The async legs run the live 4-worker executor. Pinned legs hold
+//     the workers so the queue state at every Submit is deterministic
+//     and per-ticket outcomes must equal the simulated oracle's; the
+//     free-running supervisor soak asserts the invariants that survive
+//     any interleaving — no ticket lost, every ticket in exactly one
+//     taxonomy bucket, every status from the service's vocabulary, and
+//     the service reusable after every burst.
+//
+// Fixture names deliberately contain "Service": tools/run_checks.sh's
+// TSan gate builds this binary and races it via `ctest -R
+// 'Session|Service'`. The death test below is the one exception — its
+// fixture name matches neither, keeping abort-by-design out of the
+// sanitizer cycle.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/fault_points.h"
+#include "common/resource_budget.h"
+#include "common/status.h"
+#include "service/async_executor.h"
+#include "service/compile_service.h"
+#include "service/scheduler.h"
+#include "session/session.h"
+#include "tests/common/fault_injection.h"
+#include "workload/workload.h"
+
+namespace cote {
+namespace {
+
+using testing::FaultScript;
+
+OptimizerOptions SmallOptions() {
+  OptimizerOptions o;
+  o.enumeration.max_composite_inner = 3;
+  return o;
+}
+
+TimeModel SyntheticModel() {
+  TimeModel model;
+  model.ct[0] = 2e-6;
+  model.ct[1] = 1e-6;
+  model.ct[2] = 1.5e-6;
+  model.intercept = 1e-5;
+  return model;
+}
+
+/// Shared base: estimate-driven service times and a deadline floor far
+/// above any real compile, so the only failures are the ones the chaos
+/// script (or the overload machinery) injects on purpose.
+CompileServiceOptions ChaosBaseOptions() {
+  CompileServiceOptions o;
+  o.optimizer = SmallOptions();
+  o.time_model = SyntheticModel();
+  o.time_source = ServiceTimeSource::kEstimate;
+  o.admission.limits_policy.min_deadline_seconds = 600.0;
+  return o;
+}
+
+/// Ticket conservation, the soak's core invariant: exactly one terminal
+/// record per submitted ticket, each classified into exactly one
+/// taxonomy bucket, and the stored outcome equal to re-classifying the
+/// record from scratch.
+void ExpectConserved(const ServiceReport& r, size_t n) {
+  ASSERT_EQ(r.records.size(), n);
+  EXPECT_EQ(r.taxonomy.TotalTickets(), static_cast<int64_t>(n));
+  std::vector<bool> seen(n, false);
+  for (const ServiceQueryRecord& rec : r.records) {
+    ASSERT_LT(rec.ticket, n);
+    EXPECT_FALSE(seen[rec.ticket]) << "duplicate terminal record for ticket "
+                                   << rec.ticket;
+    seen[rec.ticket] = true;
+    EXPECT_EQ(rec.outcome, ClassifyRecord(rec)) << rec.ticket;
+  }
+  const OutcomeTaxonomy ref = BuildTaxonomy(r.records);
+  EXPECT_EQ(r.taxonomy.served_full, ref.served_full);
+  EXPECT_EQ(r.taxonomy.served_degraded, ref.served_degraded);
+  EXPECT_EQ(r.taxonomy.shed_queue_full, ref.shed_queue_full);
+  EXPECT_EQ(r.taxonomy.shed_expired, ref.shed_expired);
+  EXPECT_EQ(r.taxonomy.failed_permanent, ref.failed_permanent);
+  EXPECT_EQ(r.taxonomy.retried, ref.retried);
+}
+
+class ChaosSoakServiceTest : public ::testing::Test {
+ protected:
+  ChaosSoakServiceTest()
+      : linear_(LinearWorkload()),
+        star_(StarWorkload()),
+        random_(RandomWorkload(13, 42)) {
+    // <= 6 tables keeps every compile cheap enough for the soak to stay
+    // inside the TSan gate's time box while still spanning a wide
+    // predicted-cost range (the shed-value and patience heterogeneity).
+    for (const QueryGraph& q : linear_.queries) {
+      if (q.num_tables() <= 6) pool_.push_back(&q);
+    }
+    for (const QueryGraph& q : star_.queries) {
+      if (q.num_tables() <= 6) pool_.push_back(&q);
+    }
+    for (const QueryGraph& q : random_.queries) {
+      if (q.num_tables() <= 6) pool_.push_back(&q);
+    }
+  }
+
+  /// Seeded open-loop stream well past saturation (~2x and beyond): the
+  /// mean gap sits far below the mean predicted service time, so the
+  /// queue overflows and every overload mechanism gets exercised.
+  std::vector<Submission> ChaosTrace(int n, uint64_t seed) const {
+    ArrivalTraceOptions o;
+    o.num_arrivals = n;
+    o.mean_gap_seconds = 0.0002;
+    o.seed = seed;
+    return MakeOpenLoopTrace(pool_, o);
+  }
+
+  Workload linear_, star_, random_;
+  std::vector<const QueryGraph*> pool_;
+};
+
+// ---------------------------------------------------------------------------
+// Leg A: the simulated chaos soak — overload + faults + trips + ladder +
+// retry on the virtual clock, run twice, compared bit for bit.
+
+TEST_F(ChaosSoakServiceTest, SimulatedSoakIsBitIdenticalAndConservesTickets) {
+  // Two fault-doomed tickets compile *copies* of a cheap query: a unique
+  // subject address per ticket makes the every-attempt rule hit exactly
+  // that ticket, and a cheap prediction keeps it from being shed before
+  // it ever runs.
+  std::vector<QueryGraph> doomed(2, *pool_[0]);
+  std::vector<Submission> trace = ChaosTrace(64, 7);
+  trace[10].query = &doomed[0];
+  trace[30].query = &doomed[1];
+
+  struct SoakResult {
+    ServiceReport burst;
+    ServiceReport second;
+    int64_t injected = 0;
+  };
+  auto run_soak = [&]() {
+    // Fresh script per run so occurrence counters restart: same rules,
+    // same seed, same virtual clock => the injections must land on the
+    // same consults.
+    FaultScript script;
+    script.FailAt(kFaultPlanEnumerate, nullptr,
+                  Status::Internal("chaos: enumerate"), 5);
+    script.FailAt(kFaultPlanBind, nullptr, Status::Internal("chaos: bind"), 9);
+    script.FailAt(kFaultPlanFinalize, nullptr,
+                  Status::Internal("chaos: finalize"), 3);
+    script.FailAt(kFaultPlanEnumerate, nullptr,
+                  Status::Internal("chaos: enumerate late"), 17);
+    script.FailAt(kFaultPlanEnumerate, &doomed[0],
+                  Status::Internal("chaos: doomed"), 0);
+    script.FailAt(kFaultPlanEnumerate, &doomed[1],
+                  Status::Internal("chaos: doomed"), 0);
+
+    CompileServiceOptions o = ChaosBaseOptions();
+    o.policy = SchedulingPolicy::kShortestEstimatedFirst;
+    o.num_workers = 2;
+    o.queue_capacity = 8;
+    o.overload = OverloadPolicy::kShedLowestValue;
+    o.max_retries = 1;
+    o.admission.limits_policy.patience_factor = 3.7;
+    // Tight headroom: accurate estimates regularly trip their own caps,
+    // mixing organic greedy-fallback degradations into the soak.
+    o.admission.limits_policy.headroom = 0.9;
+    VirtualClock clock;
+    o.clock = &clock;
+    o.drive_clock = &clock;
+    CompileService service(o);
+
+    SoakResult out;
+    out.burst = service.Run(trace);
+    // The service must stay usable after the chaos burst: a clean
+    // follow-up burst on the *same* service still conserves tickets.
+    std::vector<Submission> after(6);
+    for (size_t i = 0; i < after.size(); ++i) after[i].query = pool_[i];
+    out.second = service.Run(after);
+    out.injected = script.injected();
+    return out;
+  };
+
+  SoakResult a = run_soak();
+  SoakResult b = run_soak();
+
+  ExpectConserved(a.burst, trace.size());
+  ExpectConserved(a.second, 6);
+  EXPECT_GT(a.injected, 0) << "the chaos script must actually fire";
+  // The overload machinery must actually engage at this load.
+  EXPECT_GT(a.burst.taxonomy.shed_queue_full + a.burst.taxonomy.shed_expired,
+            0);
+  EXPECT_GT(a.burst.taxonomy.failed_permanent, 0) << "doomed tickets";
+  EXPECT_GT(a.burst.taxonomy.retried, 0);
+
+  // Bit-identical replay: every record field that exists in the
+  // simulated timeline, in the same order.
+  EXPECT_EQ(a.injected, b.injected);
+  ASSERT_EQ(a.burst.records.size(), b.burst.records.size());
+  for (size_t i = 0; i < a.burst.records.size(); ++i) {
+    const ServiceQueryRecord& x = a.burst.records[i];
+    const ServiceQueryRecord& y = b.burst.records[i];
+    EXPECT_EQ(x.ticket, y.ticket) << i;
+    EXPECT_EQ(x.worker, y.worker) << i;
+    EXPECT_EQ(x.start_seconds, y.start_seconds) << i;
+    EXPECT_EQ(x.finish_seconds, y.finish_seconds) << i;
+    EXPECT_EQ(x.queue_seconds, y.queue_seconds) << i;
+    EXPECT_EQ(x.predicted_seconds, y.predicted_seconds) << i;
+    EXPECT_EQ(x.status.ToString(), y.status.ToString()) << i;
+    EXPECT_EQ(x.outcome, y.outcome) << i;
+    EXPECT_EQ(x.tier, y.tier) << i;
+    EXPECT_EQ(x.retries, y.retries) << i;
+    EXPECT_EQ(x.degraded, y.degraded) << i;
+  }
+  EXPECT_EQ(a.burst.makespan_seconds, b.burst.makespan_seconds);
+  EXPECT_EQ(a.burst.taxonomy.served_full, b.burst.taxonomy.served_full);
+  EXPECT_EQ(a.burst.taxonomy.served_degraded,
+            b.burst.taxonomy.served_degraded);
+  EXPECT_EQ(a.burst.taxonomy.shed_queue_full,
+            b.burst.taxonomy.shed_queue_full);
+  EXPECT_EQ(a.burst.taxonomy.shed_expired, b.burst.taxonomy.shed_expired);
+  EXPECT_EQ(a.burst.taxonomy.failed_permanent,
+            b.burst.taxonomy.failed_permanent);
+  EXPECT_EQ(a.burst.taxonomy.retried, b.burst.taxonomy.retried);
+  ASSERT_EQ(a.second.records.size(), b.second.records.size());
+  for (size_t i = 0; i < a.second.records.size(); ++i) {
+    EXPECT_EQ(a.second.records[i].ticket, b.second.records[i].ticket) << i;
+    EXPECT_EQ(a.second.records[i].outcome, b.second.records[i].outcome) << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Leg B: the pinned async chaos burst — with the workers held during
+// submission and all wall-derived decisions off, every per-ticket
+// outcome must equal the virtual-clock oracle's.
+
+TEST_F(ChaosSoakServiceTest, AsyncPinnedChaosBurstMatchesSimulatedOracle) {
+  // Fault-targeted tickets compile dedicated query *copies*: the rules
+  // key on the subject address, so unique copies make each rule's
+  // occurrence counter private to its ticket — deterministic under any
+  // worker interleaving.
+  std::vector<QueryGraph> doomed(2, *pool_[0]);      // fail every attempt
+  std::vector<QueryGraph> transient(3, *pool_[1]);   // fail first attempt
+  const size_t kN = 40;
+  std::vector<Submission> subs(kN);
+  for (size_t t = 0; t < kN; ++t) {
+    subs[t].query = pool_[(t * 7) % pool_.size()];
+  }
+  subs[3].query = &doomed[0];
+  subs[17].query = &doomed[1];
+  subs[5].query = &transient[0];
+  subs[11].query = &transient[1];
+  subs[29].query = &transient[2];
+
+  auto arm_script = [&](FaultScript& script) {
+    for (const QueryGraph& q : doomed) {
+      script.FailAt(kFaultPlanEnumerate, &q,
+                    Status::Internal("chaos: doomed"), 0);
+    }
+    for (const QueryGraph& q : transient) {
+      script.FailAt(kFaultPlanBind, &q,
+                    Status::Internal("chaos: transient"), 1);
+    }
+  };
+  auto make_options = [] {
+    CompileServiceOptions o = ChaosBaseOptions();
+    o.policy = SchedulingPolicy::kShortestEstimatedFirst;
+    o.num_workers = 4;
+    o.queue_capacity = 10;
+    o.overload = OverloadPolicy::kShedLowestValue;
+    o.max_retries = 1;
+    // Wall-derived decisions stay off (no patience, no supervisor): the
+    // pinned comparison only holds when nothing reads the wall clock.
+    return o;
+  };
+
+  ServiceReport ra;
+  int64_t injected_async = 0;
+  {
+    FaultScript script;
+    arm_script(script);
+    AsyncCompileService async(make_options());
+    async.HoldWorkers();
+    for (const Submission& s : subs) async.Submit(s);
+    async.ReleaseWorkers();
+    ra = async.Drain();
+    injected_async = script.injected();
+  }
+
+  ServiceReport rs;
+  int64_t injected_sim = 0;
+  {
+    FaultScript script;
+    arm_script(script);
+    VirtualClock clock;
+    CompileServiceOptions o = make_options();
+    o.clock = &clock;
+    o.drive_clock = &clock;
+    CompileService sim(o);
+    rs = sim.Run(subs);
+    injected_sim = script.injected();
+  }
+
+  ExpectConserved(ra, kN);
+  ExpectConserved(rs, kN);
+  EXPECT_GT(injected_sim, 0) << "the chaos script must actually fire";
+  EXPECT_EQ(injected_async, injected_sim);
+  EXPECT_GT(ra.taxonomy.shed_queue_full, 0) << "burst must overflow";
+
+  std::vector<const ServiceQueryRecord*> sim_by_ticket(kN, nullptr);
+  for (const ServiceQueryRecord& rec : rs.records) {
+    sim_by_ticket[rec.ticket] = &rec;
+  }
+  for (size_t t = 0; t < kN; ++t) {
+    const ServiceQueryRecord& x = ra.records[t];
+    ASSERT_EQ(x.ticket, t);
+    ASSERT_NE(sim_by_ticket[t], nullptr);
+    const ServiceQueryRecord& s = *sim_by_ticket[t];
+    EXPECT_EQ(x.outcome, s.outcome) << t;
+    EXPECT_EQ(x.status.code(), s.status.code()) << t;
+    EXPECT_EQ(x.tier, s.tier) << t;
+    EXPECT_EQ(x.retries, s.retries) << t;
+    EXPECT_EQ(x.degraded, s.degraded) << t;
+    EXPECT_EQ(x.predicted_seconds, s.predicted_seconds) << t;
+  }
+  EXPECT_EQ(ra.taxonomy.served_full, rs.taxonomy.served_full);
+  EXPECT_EQ(ra.taxonomy.served_degraded, rs.taxonomy.served_degraded);
+  EXPECT_EQ(ra.taxonomy.shed_queue_full, rs.taxonomy.shed_queue_full);
+  EXPECT_EQ(ra.taxonomy.shed_expired, rs.taxonomy.shed_expired);
+  EXPECT_EQ(ra.taxonomy.failed_permanent, rs.taxonomy.failed_permanent);
+  EXPECT_EQ(ra.taxonomy.retried, rs.taxonomy.retried);
+}
+
+// ---------------------------------------------------------------------------
+// Leg C: cross-thread cancellation — the atomic trip flag itself, the
+// supervisor actually cancelling an overstaying compile, and the armed
+// supervisor *not* cancelling anything when patience is off.
+
+TEST(ServiceBudgetCancelTest, CrossThreadTripExternalObservedAtCheckpoint) {
+  ResourceBudget budget;
+  ResourceLimits limits;
+  limits.max_plans = 1;  // arm something so the budget is live
+  budget.Arm(limits);
+  ASSERT_TRUE(budget.armed());
+  EXPECT_FALSE(budget.tripped());
+  // The supervisor shape: another thread trips the in-flight budget.
+  std::thread supervisor([&budget] { budget.TripExternal(); });
+  supervisor.join();
+  EXPECT_TRUE(budget.tripped());
+  EXPECT_EQ(budget.tripped_limit(), BudgetLimit::kExternalCancel);
+  // The owner notices at its next cooperative checkpoint, and the trip
+  // maps to kCancelled — not a budget-derived code.
+  EXPECT_TRUE(budget.Checkpoint());
+  EXPECT_EQ(budget.TripStatus().code(), StatusCode::kCancelled);
+  // First-trip-wins: a racing self-trip cannot overwrite the cancel.
+  budget.ChargePlans(5);
+  EXPECT_EQ(budget.tripped_limit(), BudgetLimit::kExternalCancel);
+  // Re-arming erases the stale cancel (the documented retirement rule).
+  budget.Arm(limits);
+  EXPECT_FALSE(budget.tripped());
+}
+
+/// RAII hook that *stalls* (rather than fails) the first matching fault
+/// consult: the compile sits inside its pipeline long enough for the
+/// Drain supervisor to declare it overdue and TripExternal its budget —
+/// a deterministic stand-in for "this compile wedged".
+class StallScript {
+ public:
+  StallScript(const char* point, double seconds)
+      : point_(point), seconds_(seconds) {
+    InstallFaultHook(&StallScript::Hook, this);
+  }
+  ~StallScript() { ClearFaultHook(); }
+  StallScript(const StallScript&) = delete;
+  StallScript& operator=(const StallScript&) = delete;
+
+ private:
+  static Status Hook(void* ctx, const char* point, const void* /*subject*/) {
+    auto* self = static_cast<StallScript*>(ctx);
+    if (std::string_view(point) == self->point_ &&
+        !self->stalled_.exchange(true)) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(self->seconds_));
+    }
+    return Status::OK();
+  }
+
+  const char* point_;
+  double seconds_;
+  std::atomic<bool> stalled_{false};
+};
+
+TEST_F(ChaosSoakServiceTest, SupervisorCancelsAnOverstayingCompile) {
+  CompileServiceOptions o = ChaosBaseOptions();
+  o.num_workers = 1;
+  // Huge patience floor: queue-wait never demotes (wait / 1e6 == 0
+  // tiers), while the supervisor threshold patience * 1e-9 = 1ms — so
+  // the *only* wall-derived decision in play is the external cancel.
+  o.admission.limits_policy.patience_factor = 1.0;
+  o.admission.limits_policy.min_patience_seconds = 1e6;
+  o.admission.limits_policy.on_trip = BudgetAction::kFail;
+  o.external_cancel_factor = 1e-9;
+  o.cancel_poll_seconds = 1e-3;
+  // The compile stalls for 200ms right after bind; the supervisor polls
+  // every 1ms with a ~1ms overdue threshold, so the trip lands long
+  // before the stall ends, and the first post-stall checkpoint cancels.
+  StallScript stall(kFaultPlanBind, 0.2);
+  AsyncCompileService async(o);
+  Submission sub;
+  sub.query = pool_[pool_.size() - 1];
+  async.Submit(sub);
+  ServiceReport r = async.Drain();
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_EQ(r.records[0].status.code(), StatusCode::kCancelled)
+      << r.records[0].status.ToString();
+  EXPECT_EQ(r.records[0].outcome, ServiceOutcome::kFailedPermanent);
+  EXPECT_EQ(r.taxonomy.failed_permanent, 1);
+}
+
+TEST_F(ChaosSoakServiceTest, ArmedSupervisorWithoutPatienceCancelsNothing) {
+  // external_cancel_factor > 0 arms the supervisor poll loop, but with
+  // patience disabled (factor 0) no registration is ever overdue: every
+  // compile must finish untouched, however slowly it runs.
+  CompileServiceOptions o = ChaosBaseOptions();
+  o.num_workers = 4;
+  o.external_cancel_factor = 1.0;
+  o.cancel_poll_seconds = 1e-3;
+  AsyncCompileService async(o);
+  std::vector<Submission> subs(12);
+  for (size_t t = 0; t < subs.size(); ++t) {
+    subs[t].query = pool_[t % pool_.size()];
+  }
+  ServiceReport r = async.Run(subs);
+  ExpectConserved(r, subs.size());
+  for (const ServiceQueryRecord& rec : r.records) {
+    EXPECT_TRUE(rec.status.ok()) << rec.status.ToString();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Leg D: the free-running async soak — repeated chaos bursts on one
+// executor with *everything* on (bounded queue, shedding, wall-clock
+// patience ladder, retries, supervisor cancellation, injected faults).
+// Worker interleaving and wall time make the per-ticket outcomes
+// nondeterministic here, so the assertions are the interleaving-proof
+// invariants: conservation, the status vocabulary, and reusability.
+
+TEST_F(ChaosSoakServiceTest, FreeRunningSupervisedSoakConservesEveryBurst) {
+  CompileServiceOptions o = ChaosBaseOptions();
+  o.policy = SchedulingPolicy::kShortestEstimatedFirst;
+  o.num_workers = 4;
+  o.queue_capacity = 8;
+  o.overload = OverloadPolicy::kShedLowestValue;
+  o.max_retries = 1;
+  o.admission.limits_policy.patience_factor = 3.7;
+  o.admission.limits_policy.headroom = 0.9;
+  o.admission.limits_policy.on_trip = BudgetAction::kFail;
+  o.external_cancel_factor = 2.0;
+  o.cancel_poll_seconds = 1e-3;
+  AsyncCompileService async(o);
+
+  FaultScript script;
+  script.FailAt(kFaultPlanEnumerate, nullptr,
+                Status::Internal("chaos: enumerate"), 7);
+  script.FailAt(kFaultPlanBind, nullptr, Status::Internal("chaos: bind"), 19);
+  script.FailAt(kFaultPlanComplete, nullptr,
+                Status::Internal("chaos: complete"), 31);
+
+  for (uint64_t burst = 0; burst < 3; ++burst) {
+    std::vector<Submission> subs = ChaosTrace(36, 100 + burst);
+    // Async bursts submit as fast as the door allows (arrival times are
+    // wall-clock); the trace just picks the query mix.
+    ServiceReport r = async.Run(subs);
+    ExpectConserved(r, subs.size());
+    for (const ServiceQueryRecord& rec : r.records) {
+      switch (rec.status.code()) {
+        case StatusCode::kOk:                 // served (full or degraded)
+        case StatusCode::kUnavailable:        // shed at the door
+        case StatusCode::kDeadlineExceeded:   // patience ladder expiry
+        case StatusCode::kResourceExhausted:  // tripped caps, retries spent
+        case StatusCode::kCancelled:          // supervisor cancel
+        case StatusCode::kInternal:           // injected fault, retries spent
+          break;
+        default:
+          ADD_FAILURE() << "burst " << burst << " ticket " << rec.ticket
+                        << ": unexpected status " << rec.status.ToString();
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle contract: Submit racing past Shutdown is a driver bug and
+// must abort loudly, not enqueue into a stopping executor. The fixture
+// name deliberately avoids "Session"/"Service" so the TSan gate never
+// runs an abort-by-design test.
+
+TEST(ChaosLifecycleDeathTest, SubmitAfterShutdownAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Workload w = LinearWorkload();
+  CompileServiceOptions o;
+  o.num_workers = 2;
+  EXPECT_DEATH(
+      {
+        AsyncCompileService async(o);
+        async.Shutdown();
+        Submission sub;
+        sub.query = &w.queries[0];
+        async.Submit(sub);
+      },
+      "COTE_CHECK failed");
+}
+
+}  // namespace
+}  // namespace cote

@@ -777,5 +777,523 @@ TEST(ServiceLimitsPolicyTest, DeriveFromSecondsIsDeadlineOnly) {
   EXPECT_DOUBLE_EQ(policy.DeriveFromSeconds(0.0).deadline_seconds, 1e-3);
 }
 
+TEST(ServiceLimitsPolicyTest, DerivePatienceIsEstimateScaledWithFloor) {
+  LimitsPolicy policy;
+  // Default factor 0: patience disabled, everything waits forever.
+  EXPECT_DOUBLE_EQ(policy.DerivePatience(1.0), 0.0);
+  policy.patience_factor = 4.0;
+  EXPECT_DOUBLE_EQ(policy.DerivePatience(0.5), 2.0);
+  // The floor keeps near-zero estimates from expiring instantly.
+  EXPECT_DOUBLE_EQ(policy.DerivePatience(0.0), policy.min_patience_seconds);
+}
+
+// ---------------------------------------------------------------------------
+// Overload vocabulary: tiers, outcomes, transient classification, limit
+// halving (src/service/outcome.h).
+
+TEST(ServiceOutcomeTest, NamesCoverEveryTierAndBucket) {
+  EXPECT_STREQ(ServiceTierName(ServiceTier::kFull), "full");
+  EXPECT_STREQ(ServiceTierName(ServiceTier::kBudgetHalved), "budget-halved");
+  EXPECT_STREQ(ServiceTierName(ServiceTier::kGreedyOnly), "greedy-only");
+  EXPECT_STREQ(ServiceTierName(ServiceTier::kShed), "shed");
+  EXPECT_STREQ(ServiceOutcomeName(ServiceOutcome::kServedFull), "served-full");
+  EXPECT_STREQ(ServiceOutcomeName(ServiceOutcome::kServedDegraded),
+               "served-degraded");
+  EXPECT_STREQ(ServiceOutcomeName(ServiceOutcome::kShedQueueFull),
+               "shed-queue-full");
+  EXPECT_STREQ(ServiceOutcomeName(ServiceOutcome::kShedExpired),
+               "shed-expired");
+  EXPECT_STREQ(ServiceOutcomeName(ServiceOutcome::kFailedPermanent),
+               "failed-permanent");
+}
+
+TEST(ServiceOutcomeTest, TransientCodesAreExactlyTheRetryableOnes) {
+  EXPECT_TRUE(IsTransientFailure(StatusCode::kInternal));
+  EXPECT_TRUE(IsTransientFailure(StatusCode::kDeadlineExceeded));
+  EXPECT_TRUE(IsTransientFailure(StatusCode::kResourceExhausted));
+  // A shed is a decision, a cancel is an order: neither earns a retry.
+  EXPECT_FALSE(IsTransientFailure(StatusCode::kUnavailable));
+  EXPECT_FALSE(IsTransientFailure(StatusCode::kCancelled));
+  EXPECT_FALSE(IsTransientFailure(StatusCode::kOk));
+  EXPECT_FALSE(IsTransientFailure(StatusCode::kInvalidArgument));
+}
+
+TEST(ServiceOutcomeTest, HalveLimitsHalvesFiniteCapsAndKeepsThemPositive) {
+  ResourceLimits limits;
+  limits.deadline_seconds = 3.0;
+  limits.max_memo_entries = 100;
+  limits.max_plans = 1;
+  limits.on_trip = BudgetAction::kFail;
+  ResourceLimits half = HalveLimits(limits);
+  EXPECT_DOUBLE_EQ(half.deadline_seconds, 1.5);
+  EXPECT_EQ(half.max_memo_entries, 50);
+  EXPECT_EQ(half.max_plans, 1);  // floor: a cap never halves to zero
+  EXPECT_EQ(half.on_trip, BudgetAction::kFail);
+  // Unlimited (0) axes stay unlimited: halving "no cap" must not
+  // accidentally manufacture a cap.
+  ResourceLimits open = HalveLimits(ResourceLimits());
+  EXPECT_TRUE(open.Unlimited());
+}
+
+TEST(ServiceOutcomeTest, TaxonomyTotalsItsFiveTerminalBuckets) {
+  OutcomeTaxonomy t;
+  t.served_full = 3;
+  t.served_degraded = 2;
+  t.shed_queue_full = 4;
+  t.shed_expired = 1;
+  t.failed_permanent = 5;
+  t.retried = 7;  // attempts, not tickets: excluded from the total
+  EXPECT_EQ(t.TotalTickets(), 15);
+}
+
+TEST(ServiceOutcomeTest, ClassifyRecordBucketsByStatusThenTierThenDegraded) {
+  ServiceQueryRecord rec;
+  EXPECT_EQ(ClassifyRecord(rec), ServiceOutcome::kServedFull);
+  rec.tier = static_cast<int>(ServiceTier::kBudgetHalved);
+  EXPECT_EQ(ClassifyRecord(rec), ServiceOutcome::kServedFull);
+  rec.tier = static_cast<int>(ServiceTier::kGreedyOnly);
+  EXPECT_EQ(ClassifyRecord(rec), ServiceOutcome::kServedDegraded);
+  rec.tier = 0;
+  rec.degraded = true;
+  EXPECT_EQ(ClassifyRecord(rec), ServiceOutcome::kServedDegraded);
+  rec.degraded = false;
+  rec.status = Status::Internal("boom");
+  EXPECT_EQ(ClassifyRecord(rec), ServiceOutcome::kFailedPermanent);
+  rec.status = Status::DeadlineExceeded("patience ladder");
+  rec.tier = static_cast<int>(ServiceTier::kShed);
+  EXPECT_EQ(ClassifyRecord(rec), ServiceOutcome::kShedExpired);
+  // Queue-full wins over everything: the ticket never entered the queue.
+  rec.status = Status::Unavailable("queue full");
+  EXPECT_EQ(ClassifyRecord(rec), ServiceOutcome::kShedQueueFull);
+}
+
+// ---------------------------------------------------------------------------
+// Bounded ReadyQueue: Offer under each OverloadPolicy, O(1) depth/age
+// accessors (DESIGN.md §16).
+
+TEST(ServiceOverloadQueueTest, RejectRefusesTheIncomingWhenFull) {
+  ReadyQueue q(SchedulingPolicy::kFifo, /*capacity=*/2, OverloadPolicy::kReject);
+  EXPECT_TRUE(q.Offer(Entry(0, 1.0)).admitted);
+  EXPECT_TRUE(q.Offer(Entry(1, 2.0)).admitted);
+  EXPECT_TRUE(q.Full());
+  OfferOutcome out = q.Offer(Entry(2, 0.5));
+  EXPECT_FALSE(out.admitted);
+  EXPECT_TRUE(out.shed_incoming);
+  EXPECT_FALSE(out.shed_existing);
+  EXPECT_EQ(out.shed.ticket, 2u);
+  EXPECT_EQ(q.size(), 2u);
+  // A pop frees the slot and the door reopens.
+  q.PopNext();
+  EXPECT_TRUE(q.Offer(Entry(3, 0.5)).admitted);
+}
+
+TEST(ServiceOverloadQueueTest, ShedLowestValueEvictsTheWorstQueuedEntry) {
+  ReadyQueue q(SchedulingPolicy::kShortestEstimatedFirst, /*capacity=*/2,
+               OverloadPolicy::kShedLowestValue);
+  q.Offer(Entry(0, 5.0));  // the most expensive prediction: sheds first
+  q.Offer(Entry(1, 1.0));
+  OfferOutcome out = q.Offer(Entry(2, 2.0));
+  EXPECT_TRUE(out.admitted);
+  EXPECT_TRUE(out.shed_existing);
+  EXPECT_EQ(out.shed.ticket, 0u);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(Drain(&q), (std::vector<size_t>{1, 2}));
+}
+
+TEST(ServiceOverloadQueueTest, ShedLowestValueRefusesAnIncomingWorstOffer) {
+  ReadyQueue q(SchedulingPolicy::kShortestEstimatedFirst, /*capacity=*/2,
+               OverloadPolicy::kShedLowestValue);
+  q.Offer(Entry(0, 5.0));
+  q.Offer(Entry(1, 1.0));
+  OfferOutcome out = q.Offer(Entry(2, 9.0));  // worse than everything queued
+  EXPECT_FALSE(out.admitted);
+  EXPECT_TRUE(out.shed_incoming);
+  EXPECT_EQ(out.shed.ticket, 2u);
+  EXPECT_EQ(Drain(&q), (std::vector<size_t>{1, 0}));
+}
+
+TEST(ServiceOverloadQueueTest, ShedValueBreaksTiesTowardDeadlinesAndAge) {
+  // Equal predictions: the deadline-less entry sheds before the
+  // deadline-carrying one, and among deadline-less the younger ticket
+  // sheds first (the longest-waiting submission keeps its slot).
+  ReadyQueue q(SchedulingPolicy::kFifo, /*capacity=*/2,
+               OverloadPolicy::kShedLowestValue);
+  q.Offer(Entry(0, 1.0));
+  q.Offer(Entry(1, 1.0, /*deadline=*/0.5));
+  OfferOutcome out = q.Offer(Entry(2, 1.0));
+  // Ticket 2 is deadline-less and youngest: it is its own worst offer.
+  EXPECT_TRUE(out.shed_incoming);
+  out = q.Offer(Entry(3, 1.0, /*deadline=*/0.2));
+  // Now the deadline-less ticket 0 is the lowest value in the queue.
+  EXPECT_TRUE(out.shed_existing);
+  EXPECT_EQ(out.shed.ticket, 0u);
+}
+
+TEST(ServiceOverloadQueueTest, BlockPolicyAdmitsPastCapacity) {
+  // kBlock's Offer never sheds: bounding is the caller's protocol (the
+  // async Submit blocks on space_cv_, the simulated Run defers admission).
+  ReadyQueue q(SchedulingPolicy::kFifo, /*capacity=*/1, OverloadPolicy::kBlock);
+  EXPECT_TRUE(q.Offer(Entry(0, 1.0)).admitted);
+  EXPECT_TRUE(q.Full());
+  EXPECT_TRUE(q.Offer(Entry(1, 1.0)).admitted);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+ReadyEntry AgedEntry(size_t ticket, double ready) {
+  ReadyEntry e;
+  e.ticket = ticket;
+  e.ready_seconds = ready;
+  return e;
+}
+
+TEST(ServiceOverloadQueueTest, DepthAndOldestAgeAreObservable) {
+  ReadyQueue q(SchedulingPolicy::kFifo);
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_DOUBLE_EQ(q.OldestEnqueueSeconds(), 0.0);
+  EXPECT_DOUBLE_EQ(q.OldestAgeSeconds(10.0), 0.0);
+  q.Push(AgedEntry(0, 1.0));
+  q.Push(AgedEntry(1, 2.0));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_DOUBLE_EQ(q.OldestEnqueueSeconds(), 1.0);
+  EXPECT_DOUBLE_EQ(q.OldestAgeSeconds(5.0), 4.0);
+  q.PopNext();  // FIFO: ticket 0, the oldest, leaves
+  EXPECT_DOUBLE_EQ(q.OldestEnqueueSeconds(), 2.0);
+  EXPECT_DOUBLE_EQ(q.OldestAgeSeconds(5.0), 3.0);
+  q.PopNext();
+  EXPECT_DOUBLE_EQ(q.OldestAgeSeconds(5.0), 0.0);
+}
+
+TEST(ServiceOverloadQueueTest, EnqueueStampsClampMonotone) {
+  // A retry can re-enqueue with a ready_seconds *before* a later
+  // admission's (its failing attempt started earlier). The age ring
+  // clamps stamps monotone so "oldest" means longest *queued*, not
+  // earliest ready.
+  ReadyQueue q(SchedulingPolicy::kFifo);
+  q.Push(AgedEntry(0, 5.0));
+  q.Push(AgedEntry(1, 3.0));  // re-enqueued "in the past"
+  EXPECT_DOUBLE_EQ(q.OldestEnqueueSeconds(), 5.0);
+  q.PopNext();  // ticket 0
+  // Ticket 1's stamp was clamped up to 5.0 at enqueue.
+  EXPECT_DOUBLE_EQ(q.OldestEnqueueSeconds(), 5.0);
+  EXPECT_DOUBLE_EQ(q.OldestAgeSeconds(6.0), 1.0);
+}
+
+TEST(ServiceOverloadQueueTest, AgeRingMatchesReferenceUnderChurn) {
+  // Push/pop churn with policy-order (non-FIFO) removals: the lazy
+  // dead-prefix reclamation and compaction must keep OldestEnqueueSeconds
+  // equal to a brute-force reference at every step.
+  KeyStream keys;
+  ReadyQueue q(SchedulingPolicy::kShortestEstimatedFirst);
+  std::vector<std::pair<size_t, double>> live;  // (ticket, enqueue stamp)
+  size_t next_ticket = 0;
+  double now = 0;
+  auto reference_oldest = [&]() {
+    double oldest = 0;
+    bool any = false;
+    for (const auto& p : live) {
+      if (!any || p.second < oldest) oldest = p.second;
+      any = true;
+    }
+    return oldest;
+  };
+  for (int step = 0; step < 600; ++step) {
+    const bool push = live.empty() || keys.Next(3) != 0;
+    if (push) {
+      now += 0.25;
+      ReadyEntry e;
+      e.ticket = next_ticket++;
+      e.ready_seconds = now;
+      e.predicted_seconds = static_cast<double>(keys.Next(16)) * 0.125;
+      q.Push(e);
+      live.emplace_back(e.ticket, now);
+    } else {
+      const size_t popped = q.PopNext().ticket;
+      live.erase(std::find_if(live.begin(), live.end(),
+                              [popped](const std::pair<size_t, double>& p) {
+                                return p.first == popped;
+                              }));
+    }
+    ASSERT_EQ(q.size(), live.size()) << "step " << step;
+    ASSERT_DOUBLE_EQ(q.OldestEnqueueSeconds(), reference_oldest())
+        << "step " << step;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end overload behavior under the virtual clock: bounded
+// admission, the queue-wait degradation ladder, bounded retry.
+
+TEST_F(ServiceVirtualTest, RejectPolicyShedsBurstOverflowWithTypedRecords) {
+  // Twelve simultaneous arrivals against capacity 2 and one worker: the
+  // first two tickets fill the queue, the other ten shed at admission
+  // with kUnavailable — and the service keeps serving what it admitted.
+  std::vector<Submission> subs(12);
+  for (Submission& s : subs) s.query = pool_[0];
+  CompileServiceOptions o = DeterministicOptions();
+  o.queue_capacity = 2;
+  o.overload = OverloadPolicy::kReject;
+  VirtualClock clock;
+  o.clock = &clock;
+  o.drive_clock = &clock;
+  CompileService service(o);
+  ServiceReport r = service.Run(subs);
+  ASSERT_EQ(r.records.size(), subs.size());
+  EXPECT_EQ(r.taxonomy.TotalTickets(), 12);
+  EXPECT_EQ(r.taxonomy.served_full, 2);
+  EXPECT_EQ(r.taxonomy.shed_queue_full, 10);
+  for (const ServiceQueryRecord& rec : r.records) {
+    if (rec.outcome == ServiceOutcome::kShedQueueFull) {
+      EXPECT_EQ(rec.worker, -1);
+      EXPECT_EQ(rec.status.code(), StatusCode::kUnavailable);
+      EXPECT_DOUBLE_EQ(rec.queue_seconds, 0.0);  // shed at the door
+    } else {
+      EXPECT_TRUE(rec.status.ok()) << rec.status.ToString();
+    }
+  }
+}
+
+TEST_F(ServiceVirtualTest, BlockPolicyBackpressuresInsteadOfShedding) {
+  // The same burst under kBlock: admission waits for queue slots, so
+  // every ticket is eventually served and nothing sheds.
+  std::vector<Submission> subs(12);
+  for (Submission& s : subs) s.query = pool_[0];
+  CompileServiceOptions o = DeterministicOptions();
+  o.queue_capacity = 2;
+  o.overload = OverloadPolicy::kBlock;
+  VirtualClock clock;
+  o.clock = &clock;
+  o.drive_clock = &clock;
+  CompileService service(o);
+  ServiceReport r = service.Run(subs);
+  ASSERT_EQ(r.records.size(), subs.size());
+  EXPECT_EQ(r.taxonomy.served_full, 12);
+  EXPECT_EQ(r.taxonomy.shed_queue_full, 0);
+}
+
+TEST_F(ServiceVirtualTest, ShedLowestValueKeepsTheCheapestPredictions) {
+  // A heterogeneous simultaneous burst against capacity 2: whatever ends
+  // up served must predict no more than anything shed — the estimate is
+  // the admission currency.
+  ASSERT_GE(pool_.size(), 12u);
+  std::vector<Submission> subs(12);
+  for (size_t i = 0; i < subs.size(); ++i) subs[i].query = pool_[i];
+  CompileServiceOptions o = DeterministicOptions();
+  o.queue_capacity = 2;
+  o.overload = OverloadPolicy::kShedLowestValue;
+  o.enable_cache = false;
+  VirtualClock clock;
+  o.clock = &clock;
+  o.drive_clock = &clock;
+  CompileService service(o);
+  ServiceReport r = service.Run(subs);
+  ASSERT_EQ(r.records.size(), subs.size());
+  EXPECT_EQ(r.taxonomy.served_full, 2);
+  EXPECT_EQ(r.taxonomy.shed_queue_full, 10);
+  double max_served = 0, min_shed = 0;
+  bool any_shed = false;
+  for (const ServiceQueryRecord& rec : r.records) {
+    if (rec.status.ok()) {
+      max_served = std::max(max_served, rec.predicted_seconds);
+    } else {
+      min_shed = any_shed ? std::min(min_shed, rec.predicted_seconds)
+                          : rec.predicted_seconds;
+      any_shed = true;
+    }
+  }
+  ASSERT_TRUE(any_shed);
+  EXPECT_LE(max_served, min_shed);
+}
+
+TEST_F(ServiceVirtualTest, PatienceLadderDemotesThenExpiresQueuedWork) {
+  // Five identical simultaneous submissions, one worker, FIFO: each
+  // successive ticket waits one more service time. With patience 0.9x
+  // the predicted seconds, the waits land at 0, ~1.1, ~2.2, ~3.3 patience
+  // intervals — so the ladder serves full, budget-halved, greedy-only,
+  // then sheds the rest, all on virtual-clock reads.
+  std::vector<Submission> subs(5);
+  for (Submission& s : subs) s.query = pool_[0];
+  CompileServiceOptions o = DeterministicOptions();
+  o.enable_cache = false;  // identical predictions for all five tickets
+  o.admission.limits_policy.patience_factor = 0.9;
+  o.admission.limits_policy.min_patience_seconds = 1e-12;
+  VirtualClock clock;
+  o.clock = &clock;
+  o.drive_clock = &clock;
+  CompileService service(o);
+  ServiceReport r = service.Run(subs);
+  ASSERT_EQ(r.records.size(), subs.size());
+
+  // FIFO over a simultaneous burst commits records in ticket order.
+  const double p = r.records[0].predicted_seconds;
+  ASSERT_GT(p, 0);
+  EXPECT_EQ(r.records[0].ticket, 0u);
+  EXPECT_EQ(r.records[0].tier, static_cast<int>(ServiceTier::kFull));
+  EXPECT_EQ(r.records[0].outcome, ServiceOutcome::kServedFull);
+
+  EXPECT_EQ(r.records[1].tier, static_cast<int>(ServiceTier::kBudgetHalved));
+  EXPECT_EQ(r.records[1].outcome, ServiceOutcome::kServedFull);
+  EXPECT_TRUE(r.records[1].status.ok()) << r.records[1].status.ToString();
+  // The halved budget is visible in the record: the derived 600s deadline
+  // floor became 300s.
+  EXPECT_DOUBLE_EQ(r.records[1].limits.deadline_seconds, 300.0);
+
+  EXPECT_EQ(r.records[2].tier, static_cast<int>(ServiceTier::kGreedyOnly));
+  EXPECT_EQ(r.records[2].outcome, ServiceOutcome::kServedDegraded);
+  EXPECT_TRUE(r.records[2].status.ok()) << r.records[2].status.ToString();
+
+  for (size_t i : {size_t{3}, size_t{4}}) {
+    EXPECT_EQ(r.records[i].tier, static_cast<int>(ServiceTier::kShed)) << i;
+    EXPECT_EQ(r.records[i].outcome, ServiceOutcome::kShedExpired) << i;
+    EXPECT_EQ(r.records[i].status.code(), StatusCode::kDeadlineExceeded) << i;
+    EXPECT_EQ(r.records[i].worker, -1) << i;
+    // Expiry happens at dispatch time, after the last served finish.
+    EXPECT_DOUBLE_EQ(r.records[i].start_seconds, r.records[i].finish_seconds)
+        << i;
+  }
+  EXPECT_EQ(r.taxonomy.served_full, 2);
+  EXPECT_EQ(r.taxonomy.served_degraded, 1);
+  EXPECT_EQ(r.taxonomy.shed_expired, 2);
+  EXPECT_EQ(r.taxonomy.retried, 0);
+  // Makespan is the three served compiles back to back.
+  EXPECT_DOUBLE_EQ(r.makespan_seconds, p + p + p);
+  // p95 over served records only ignores the expired tail.
+  EXPECT_LE(r.P95ServedQueueSeconds(), p + p);
+}
+
+/// Options whose derived caps sit at the floors (memo 64, plans 256) and
+/// fail on trip: an 8-table star query blows the memo floor
+/// deterministically, which is what the retry ladder needs — a transient
+/// ResourceExhausted that greedy-only (budget disarmed) then survives.
+CompileServiceOptions FloorCapFailOptions() {
+  CompileServiceOptions o = DeterministicOptions();
+  o.enable_cache = false;
+  o.admission.limits_policy.headroom = 1e-6;
+  o.admission.limits_policy.on_trip = BudgetAction::kFail;
+  return o;
+}
+
+TEST_F(ServiceVirtualTest, TransientFailureRetriesDownTheLadderAndServes) {
+  const QueryGraph* big = nullptr;
+  for (const QueryGraph& q : star_.queries) {
+    if (q.num_tables() == 8) big = &q;
+  }
+  ASSERT_NE(big, nullptr);
+  std::vector<Submission> subs(1);
+  subs[0].query = big;
+  CompileServiceOptions o = FloorCapFailOptions();
+  o.max_retries = 2;
+  VirtualClock clock;
+  o.clock = &clock;
+  o.drive_clock = &clock;
+  CompileService service(o);
+  ServiceReport r = service.Run(subs);
+  // Full DP trips the 64-entry memo floor, the halved retry trips 32,
+  // greedy-only disarms the budget and completes: one terminal record,
+  // two retry attempts folded in.
+  ASSERT_EQ(r.records.size(), 1u);
+  const ServiceQueryRecord& rec = r.records[0];
+  EXPECT_TRUE(rec.status.ok()) << rec.status.ToString();
+  EXPECT_EQ(rec.tier, static_cast<int>(ServiceTier::kGreedyOnly));
+  EXPECT_EQ(rec.retries, 2);
+  EXPECT_EQ(rec.outcome, ServiceOutcome::kServedDegraded);
+  EXPECT_EQ(r.taxonomy.served_degraded, 1);
+  EXPECT_EQ(r.taxonomy.retried, 2);
+  EXPECT_EQ(r.taxonomy.TotalTickets(), 1);
+  // Each attempt consumed worker time: the final start is two service
+  // times after arrival.
+  EXPECT_GT(rec.start_seconds, 0.0);
+}
+
+TEST_F(ServiceVirtualTest, ExhaustedRetryBudgetBecomesPermanentFailure) {
+  const QueryGraph* big = nullptr;
+  for (const QueryGraph& q : star_.queries) {
+    if (q.num_tables() == 8) big = &q;
+  }
+  ASSERT_NE(big, nullptr);
+  std::vector<Submission> subs(1);
+  subs[0].query = big;
+  CompileServiceOptions o = FloorCapFailOptions();
+  o.max_retries = 0;
+  VirtualClock clock;
+  o.clock = &clock;
+  o.drive_clock = &clock;
+  CompileService service(o);
+  ServiceReport r = service.Run(subs);
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_EQ(r.records[0].status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(r.records[0].outcome, ServiceOutcome::kFailedPermanent);
+  EXPECT_EQ(r.records[0].retries, 0);
+  EXPECT_EQ(r.taxonomy.failed_permanent, 1);
+  EXPECT_EQ(r.taxonomy.retried, 0);
+}
+
+TEST_F(ServiceVirtualTest, OutcomeObserverSeesEveryTerminalRecordOnce) {
+  struct Seen {
+    std::vector<size_t> tickets;
+    std::vector<ServiceOutcome> outcomes;
+  } seen;
+  std::vector<Submission> subs(6);
+  for (Submission& s : subs) s.query = pool_[0];
+  CompileServiceOptions o = DeterministicOptions();
+  o.queue_capacity = 2;
+  o.overload = OverloadPolicy::kReject;
+  o.outcome_observer = [](void* ctx, const ServiceQueryRecord& rec) {
+    auto* s = static_cast<Seen*>(ctx);
+    s->tickets.push_back(rec.ticket);
+    s->outcomes.push_back(rec.outcome);
+  };
+  o.outcome_observer_ctx = &seen;
+  VirtualClock clock;
+  o.clock = &clock;
+  o.drive_clock = &clock;
+  CompileService service(o);
+  ServiceReport r = service.Run(subs);
+  ASSERT_EQ(seen.tickets.size(), subs.size());
+  // One observation per ticket, matching the committed records exactly.
+  for (size_t i = 0; i < r.records.size(); ++i) {
+    EXPECT_EQ(seen.tickets[i], r.records[i].ticket) << i;
+    EXPECT_EQ(seen.outcomes[i], r.records[i].outcome) << i;
+  }
+}
+
+TEST_F(ServiceVirtualTest, OverloadRunsAreBitIdenticalAndDefaultsUnchanged) {
+  // The §16 determinism pin: a full overload configuration (bounded
+  // queue, shedding, patience, retries) replays bit-identically under
+  // the virtual clock.
+  const std::vector<Submission> trace = MixedTrace(40);
+  auto run_once = [&]() {
+    CompileServiceOptions o = DeterministicOptions();
+    o.policy = SchedulingPolicy::kShortestEstimatedFirst;
+    o.num_workers = 2;
+    o.queue_capacity = 4;
+    o.overload = OverloadPolicy::kShedLowestValue;
+    o.admission.limits_policy.patience_factor = 6.0;
+    o.max_retries = 1;
+    VirtualClock clock;
+    o.clock = &clock;
+    o.drive_clock = &clock;
+    CompileService service(o);
+    return service.Run(trace);
+  };
+  ServiceReport a = run_once();
+  ServiceReport b = run_once();
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].ticket, b.records[i].ticket) << i;
+    EXPECT_EQ(a.records[i].outcome, b.records[i].outcome) << i;
+    EXPECT_EQ(a.records[i].tier, b.records[i].tier) << i;
+    EXPECT_EQ(a.records[i].retries, b.records[i].retries) << i;
+    EXPECT_EQ(a.records[i].start_seconds, b.records[i].start_seconds) << i;
+    EXPECT_EQ(a.records[i].finish_seconds, b.records[i].finish_seconds) << i;
+  }
+  EXPECT_EQ(a.taxonomy.served_full, b.taxonomy.served_full);
+  EXPECT_EQ(a.taxonomy.served_degraded, b.taxonomy.served_degraded);
+  EXPECT_EQ(a.taxonomy.shed_queue_full, b.taxonomy.shed_queue_full);
+  EXPECT_EQ(a.taxonomy.shed_expired, b.taxonomy.shed_expired);
+  EXPECT_EQ(a.taxonomy.failed_permanent, b.taxonomy.failed_permanent);
+  EXPECT_EQ(a.taxonomy.retried, b.taxonomy.retried);
+  EXPECT_EQ(a.taxonomy.TotalTickets(), static_cast<int64_t>(trace.size()));
+}
+
 }  // namespace
 }  // namespace cote

@@ -79,7 +79,9 @@ TEST(SessionAllocSteadyTest, ArmedUntrippedBudgetAllocatesNothing) {
   // The governance hot path — Arm, per-entry/per-plan charges, amortized
   // checkpoints with deadline sampling — adds ZERO heap allocations to a
   // warm estimate. The budget is session-owned POD state; tripping (not
-  // exercised here) only ever flips a flag.
+  // exercised here) only ever flips a flag — now an atomic (so a
+  // supervisor thread can TripExternal a compile in flight), but the
+  // armed-untripped fast path is still a single relaxed load per check.
   Workload w = StarWorkload();
   const QueryGraph& q = w.queries[w.queries.size() / 2];
   TimeModel model;

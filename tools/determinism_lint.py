@@ -106,17 +106,16 @@ DET_FUNCTIONS = {
         "MergeDelta": ("merge",),
         "SessionPool::RunBatch": ("merge",),
     },
-    "src/common/resource_budget.h": {
-        "FoldShardCharges": ("merge",),
-    },
     # Service front-end: every scheduling/admission decision must replay
     # bit-identically under a virtual clock (the service_test determinism
     # anchor). Run's only time reads go through the injected Clock, and
     # the trace generator's only randomness is the seeded cote::Rng.
     "src/service/scheduler.cc": {
         "SchedulesBefore": (),
+        "ShedsFirst": (),
         "ReadyQueue::Push": (),
         "ReadyQueue::PopNext": (),
+        "ReadyQueue::Offer": (),
     },
     "src/service/admission.cc": {
         "AdmissionStage::Admit": (),
@@ -129,6 +128,18 @@ DET_FUNCTIONS = {
     },
     "src/service/compile_service.cc": {
         "CompileService::Run": (),
+        "ClassifyRecord": (),
+        "BuildTaxonomy": (),
+    },
+    # Cross-thread cancellation wire: the trip itself must stay a pure
+    # CAS on the atomic flag — no clock reads, no randomness — so a
+    # supervisor trip replays identically wherever it lands.
+    "src/common/resource_budget.h": {
+        "FoldShardCharges": ("merge",),
+        # TripExternal is a one-line delegate to Trip; contracting Trip
+        # covers both (the parser attributes the delegate's body to the
+        # Trip call inside it anyway).
+        "Trip": (),
     },
     # Live async executor: Submit (admission + ticket assignment) and
     # Drain (ticket-order feedback application) are the two halves of its

@@ -127,8 +127,12 @@ HOT_FUNCTIONS = {
     ],
     "src/service/scheduler.cc": [
         "SchedulesBefore",  # the policy comparator, pure arithmetic
+        "ShedsFirst",       # the eviction comparator, pure arithmetic
         "Push",     # heap sift-up; heap_ retains capacity (see receivers)
         "PopNext",  # heap sift-down + pop_back; never reallocates
+        "Enqueue",  # shared Push/Offer tail: heap_ + slots_ only
+        "MarkDead", # slot-ring bookkeeping, amortized O(1), no heap
+        "Offer",    # capacity gate + O(capacity) eviction scan, no heap
     ],
     "src/service/trip_tracker.cc": [
         "Record",
@@ -140,6 +144,7 @@ HOT_FUNCTIONS = {
     "src/service/compile_service.cc": [
         "DispatchTraceObserver",  # runs inside the compile per stage event
         "ThresholdAdmission",     # runs under the cache mutex per insert
+        "ClassifyRecord",         # per-terminal-record bucket map, pure
     ],
     # Async executor: CompileEntry is the per-dispatch body every worker
     # thread runs between the two mutex scopes (pop → compile → publish);
@@ -222,6 +227,10 @@ ALLOWED_RECEIVERS = {
     # ReadyQueue's heap vector: push_back + sift; pops shrink it without
     # releasing capacity, so a steady-state queue stops allocating.
     "heap_",
+    # ReadyQueue's age slot ring: one push per enqueue, reclaimed lazily
+    # from the front with amortized compaction — bounded by the churn of
+    # one queue residence window, like heap_.
+    "slots_",
 }
 
 BANNED_ANYWHERE = [

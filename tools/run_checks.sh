@@ -37,7 +37,11 @@
 #                                     parallel enumerator's shard fill /
 #                                     barrier merge / cancel broadcast, and
 #                                     the async executor's condvar/ready-
-#                                     queue worker handoff)
+#                                     queue worker handoff; ends with the
+#                                     bounded fixed-seed chaos-soak gate —
+#                                     overload + faults + trips + external
+#                                     cancels through both front-ends,
+#                                     30 s per-test ceiling)
 #
 # Usage: tools/run_checks.sh [--skip-san] [--jobs N]
 #   --skip-san   skip the (slow) sanitizer configure/build/test cycles
@@ -288,9 +292,15 @@ fi
 # races here too, and async_service_test (AsyncService* fixtures, >= 4
 # worker threads) races the live executor's condvar/ready-queue handoff,
 # per-worker warm sessions, and guarded results sink — the TSan run is the
-# dynamic half of the oracle test's determinism claim. Only these five
-# targets are built — the full suite under TSan would be prohibitively
-# slow and single-threaded tests have nothing for TSan to find.
+# dynamic half of the oracle test's determinism claim. chaos_soak_test
+# (ChaosSoakServiceTest / ServiceBudgetCancelTest fixtures) is the
+# overload-resilience soak: seeded overload + injected faults + budget
+# trips + supervisor cancels through both front-ends; it runs as its own
+# bounded step below (fixed seeds in the test source, 30 s per-test
+# ceiling) so a wedged soak fails the gate instead of hanging it. Only
+# these six targets are built — the full suite under TSan would be
+# prohibitively slow and single-threaded tests have nothing for TSan to
+# find.
 if [ "$SKIP_SAN" = 1 ]; then
   gate "9/9" "TSan cycle"
   skip "TSan cycle (--skip-san)"
@@ -301,15 +311,31 @@ else
         -DCOTE_SANITIZE=thread >/dev/null \
      && cmake --build "$TSAN_DIR" -j "$JOBS" \
           --target session_test fault_injection_test parallel_session_test \
-          service_test async_service_test >/dev/null; then
+          service_test async_service_test chaos_soak_test >/dev/null; then
     # -R hits the session + service fixtures; unbuilt targets only register
     # lowercase *_NOT_BUILT placeholders, which the regex cannot match.
+    # The chaos soak runs as its own bounded step, so exclude it here.
     if (cd "$TSAN_DIR" && ctest -j "$JOBS" -R 'Session|Service' \
-          --output-on-failure >ctest.log 2>&1); then
+          -E 'ChaosSoak|BudgetCancel' --output-on-failure >ctest.log 2>&1); then
       echo "TSan session+service ctest: OK"
     else
       tail -40 "$TSAN_DIR/ctest.log"
       fail "TSan session+service ctest (full log: $TSAN_DIR/ctest.log)"
+    fi
+    # Bounded chaos-soak gate: the seeds are fixed in the test source, so
+    # this is a deterministic replay, and --timeout turns a wedged soak
+    # (lost ticket, stuck Drain, supervisor deadlock) into a FAIL within
+    # 30 s per test instead of hanging the whole gate.
+    if (cd "$TSAN_DIR" && ctest -j "$JOBS" -R 'ChaosSoak|BudgetCancel' \
+          --timeout 30 --output-on-failure >ctest-chaos.log 2>&1); then
+      if grep -q 'ChaosSoakServiceTest' "$TSAN_DIR/ctest-chaos.log"; then
+        echo "TSan chaos-soak gate: OK"
+      else
+        fail "TSan chaos gate ran no ChaosSoakServiceTest fixtures (suite renamed or not discovered?)"
+      fi
+    else
+      tail -40 "$TSAN_DIR/ctest-chaos.log"
+      fail "TSan chaos-soak gate (full log: $TSAN_DIR/ctest-chaos.log)"
     fi
   else
     fail "TSan build"
